@@ -1,0 +1,80 @@
+//! Storage-engine microbenchmarks: clustered B-tree inserts, point
+//! lookups, range scans, and the cursor-vs-scan access patterns that
+//! underpin the §2.6 observations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stardb::buffer::{BufferPool, DiskProfile};
+use stardb::btree::BTree;
+use stardb::store::MemStore;
+use std::hint::black_box;
+use std::ops::Bound;
+use std::sync::Arc;
+
+fn tree_with(n: u64) -> BTree {
+    let pool = Arc::new(BufferPool::new(Arc::new(MemStore::new()), 8192, DiskProfile::instant()));
+    let mut t = BTree::create(pool).unwrap();
+    for i in 0..n {
+        t.insert(&i.to_be_bytes(), &[0u8; 48]).unwrap();
+    }
+    t
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+
+    group.bench_function("insert_10k_sequential", |b| {
+        b.iter(|| black_box(tree_with(10_000).len()))
+    });
+
+    let tree = tree_with(100_000);
+    group.bench_function("get_hot_100k", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(tree.get(&k.to_be_bytes()).unwrap())
+        })
+    });
+
+    group.bench_function("range_scan_1k_of_100k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            tree.scan_range_with(
+                Bound::Included(&40_000u64.to_be_bytes()[..]),
+                Bound::Excluded(&41_000u64.to_be_bytes()[..]),
+                |_, _| {
+                    n += 1;
+                    true
+                },
+            )
+            .unwrap();
+            black_box(n)
+        })
+    });
+
+    // The cursor pattern: one descent per row (the paper's "SQL cursors
+    // ... are very slow").
+    group.bench_function("cursor_style_1k_descents", |b| {
+        b.iter(|| {
+            let mut last: Option<Vec<u8>> = None;
+            for _ in 0..1_000 {
+                let lo = match &last {
+                    None => Bound::Unbounded,
+                    Some(k) => Bound::Excluded(k.as_slice()),
+                };
+                let mut hit = None;
+                tree.scan_range_with(lo, Bound::Unbounded, |k, _| {
+                    hit = Some(k.to_vec());
+                    false
+                })
+                .unwrap();
+                last = hit;
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Per-galaxy cost of `fBCGCandidate` — the operation Table 1 shows
+//! dominating the pipeline — with and without the early χ² filter (§2.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxbcg::candidate::f_bcg_candidate;
+use maxbcg::import::{galaxy_from_payload, sp_import_galaxy};
+use maxbcg::schema::create_schema;
+use maxbcg::zone_task::sp_zone;
+use skycore::bcg::BcgParams;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::types::Galaxy;
+use skycore::{SkyRegion, ZoneScheme};
+use skysim::{Sky, SkyConfig};
+use stardb::{Database, DbConfig, Value};
+use std::hint::black_box;
+
+struct Fixture {
+    db: Database,
+    kcorr: KcorrTable,
+    scheme: ZoneScheme,
+    sample: Vec<Galaxy>,
+}
+
+fn fixture() -> Fixture {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let region = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+    let sky = Sky::generate(region, &SkyConfig::scaled(0.5), &kcorr, 7);
+    let mut db = Database::new(DbConfig::in_memory());
+    create_schema(&mut db, &kcorr).unwrap();
+    sp_import_galaxy(&mut db, &sky, &region).unwrap();
+    let scheme = ZoneScheme::default();
+    sp_zone(&mut db, &scheme).unwrap();
+    // A representative galaxy sample, as the engine sees them.
+    let sample = sky
+        .galaxies
+        .iter()
+        .step_by(sky.galaxies.len() / 64)
+        .map(|g| {
+            let row = db.get("Galaxy", &[Value::BigInt(g.objid)]).unwrap().unwrap();
+            galaxy_from_payload(&row.encode())
+        })
+        .collect();
+    Fixture { db, kcorr, scheme, sample }
+}
+
+fn bench_candidate(c: &mut Criterion) {
+    let f = fixture();
+    let params = BcgParams::default();
+    let mut group = c.benchmark_group("fBCGCandidate");
+    group.sample_size(10);
+    group.bench_function("early_filter", |b| {
+        b.iter(|| {
+            for g in &f.sample {
+                black_box(
+                    f_bcg_candidate(&f.db, &f.kcorr, &f.scheme, &params, g, true).unwrap(),
+                );
+            }
+        })
+    });
+    group.bench_function("deferred_filter", |b| {
+        b.iter(|| {
+            for g in &f.sample {
+                black_box(
+                    f_bcg_candidate(&f.db, &f.kcorr, &f.scheme, &params, g, false).unwrap(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate);
+criterion_main!(benches);

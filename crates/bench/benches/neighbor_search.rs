@@ -1,0 +1,81 @@
+//! Microbenchmark behind §2.3's design choice: zone-indexed neighbor
+//! search vs the HTM index vs the TAM-style brute-force scan, at survey
+//! density (Criterion companion of the `ablation_spatial` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm::HtmIndex;
+use maxbcg::neighbors::nearby_obj_eq_zd;
+use maxbcg::schema::create_schema;
+use maxbcg::zone_task::sp_zone;
+use skycore::angle::chord2_of_deg;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::{SkyRegion, UnitVec, ZoneScheme};
+use skysim::{Sky, SkyConfig};
+use stardb::{Database, DbConfig};
+use std::hint::black_box;
+
+struct Fixture {
+    db: Database,
+    scheme: ZoneScheme,
+    htm: HtmIndex,
+    positions: Vec<UnitVec>,
+    queries: Vec<(f64, f64)>,
+}
+
+fn fixture() -> Fixture {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let region = SkyRegion::new(180.0, 181.5, -0.75, 0.75);
+    // Half the paper's density: ~7000 galaxies/deg² over 2.25 deg².
+    let sky = Sky::generate(region, &SkyConfig::scaled(0.5), &kcorr, 99);
+    let mut db = Database::new(DbConfig::in_memory());
+    create_schema(&mut db, &kcorr).unwrap();
+    maxbcg::import::sp_import_galaxy(&mut db, &sky, &region).unwrap();
+    let scheme = ZoneScheme::default();
+    sp_zone(&mut db, &scheme).unwrap();
+    let htm = HtmIndex::build(sky.galaxies.iter().map(|g| (g.objid, g.ra, g.dec)), 12);
+    let positions = sky.galaxies.iter().map(|g| g.unit_vec()).collect();
+    let interior = region.shrunk(0.45);
+    let queries = sky
+        .galaxies
+        .iter()
+        .filter(|g| interior.contains(g.ra, g.dec))
+        .step_by(200)
+        .map(|g| (g.ra, g.dec))
+        .collect();
+    Fixture { db, scheme, htm, positions, queries }
+}
+
+fn bench_neighbor_search(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("neighbor_search");
+    group.sample_size(20);
+    for radius in [0.1, 0.42] {
+        group.bench_with_input(BenchmarkId::new("zone", radius), &radius, |b, &r| {
+            b.iter(|| {
+                for &(ra, dec) in &f.queries {
+                    black_box(nearby_obj_eq_zd(&f.db, &f.scheme, ra, dec, r).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("htm", radius), &radius, |b, &r| {
+            b.iter(|| {
+                for &(ra, dec) in &f.queries {
+                    black_box(f.htm.within(ra, dec, r));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", radius), &radius, |b, &r| {
+            b.iter(|| {
+                let r2 = chord2_of_deg(r);
+                for &(ra, dec) in &f.queries {
+                    let center = UnitVec::from_radec(ra, dec);
+                    black_box(f.positions.iter().filter(|p| center.chord2(p) < r2).count());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor_search);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! The Table 1 experiment as a Criterion benchmark: the full pipeline
+//! sequentially vs 3-way zone-partitioned, on a small sky.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxbcg::{run_partitioned, IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use std::hint::black_box;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let import = SkyRegion::new(180.0, 182.0, -2.0, 2.0);
+    let candidates = import.shrunk(0.5);
+    let sky = Sky::generate(import, &SkyConfig::scaled(0.1), &kcorr, 31);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut db = MaxBcgDb::new(config).unwrap();
+            black_box(db.run("seq", &sky, &import, &candidates).unwrap())
+        })
+    });
+    group.bench_function("partitioned_3way", |b| {
+        b.iter(|| black_box(run_partitioned(&config, &sky, &import, &candidates, 3).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

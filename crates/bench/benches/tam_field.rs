@@ -1,0 +1,62 @@
+//! Per-field cost of the TAM pipeline at the paper's production settings
+//! vs the SQL-equivalent physics (Table 2's measured factor), plus the
+//! field file codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skycore::bcg::BcgParams;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use std::hint::black_box;
+use tam::pipeline::process_field;
+
+fn bench_tam_field(c: &mut Criterion) {
+    let kcorr_prod = KcorrTable::generate(KcorrConfig::tam());
+    let kcorr_fine = KcorrTable::generate(KcorrConfig::sql());
+    let target = SkyRegion::new(180.5, 181.0, 0.0, 0.5);
+    let survey = target.expanded(1.0);
+    let sky = Sky::generate(survey, &SkyConfig::scaled(0.25), &kcorr_fine, 11);
+    let params = BcgParams::default();
+
+    let buffer_prod = target.expanded(0.25);
+    let galaxies_prod: Vec<_> = sky.galaxies_in(&buffer_prod).copied().collect();
+    let buffer_fine = target.expanded(0.5);
+    let galaxies_fine: Vec<_> = sky.galaxies_in(&buffer_fine).copied().collect();
+
+    let mut group = c.benchmark_group("tam_field");
+    group.sample_size(10);
+    group.bench_function("production_0.25buf_dz0.01", |b| {
+        b.iter(|| {
+            black_box(process_field(
+                &target,
+                &buffer_prod,
+                &galaxies_prod,
+                &kcorr_prod,
+                &params,
+                false,
+            ))
+        })
+    });
+    group.bench_function("sql_equivalent_0.5buf_dz0.001", |b| {
+        b.iter(|| {
+            black_box(process_field(
+                &target,
+                &buffer_fine,
+                &galaxies_fine,
+                &kcorr_fine,
+                &params,
+                false,
+            ))
+        })
+    });
+    group.bench_function("file_codec_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = tam::files::encode(&galaxies_fine);
+            black_box(tam::files::decode(&bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tam_field);
+criterion_main!(benches);

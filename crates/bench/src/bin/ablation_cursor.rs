@@ -1,0 +1,79 @@
+//! **Ablation (§2.6)** — "The iteration through the galaxy table uses SQL
+//! cursors which are very slow. But there was no easy way to avoid them."
+//!
+//! Runs `spMakeCandidates` with the paper's row-at-a-time cursor (each
+//! fetch re-descends the clustered index) and with the set-based streaming
+//! scan the authors wished for. Identical answers, different cost — the
+//! optimization the paper lists as future work.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_cursor [-- --scale 0.1]
+//! ```
+
+use bench::{secs, BenchOpts, TextTable};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use serde::Serialize;
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+
+#[derive(Serialize)]
+struct CursorReport {
+    scale: f64,
+    galaxies: u64,
+    cursor_s: f64,
+    cursor_logical_reads: u64,
+    set_based_s: f64,
+    set_based_logical_reads: u64,
+    overhead: f64,
+    identical: bool,
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let survey = SkyRegion::new(180.0, 182.0, -1.0, 1.0);
+    let candidate_window = survey.shrunk(0.5);
+
+    let mut runs = Vec::new();
+    for mode in [IterationMode::Cursor, IterationMode::SetBased] {
+        let config = MaxBcgConfig { iteration: mode, db: bench::server_db(), ..Default::default() };
+        let kcorr = KcorrTable::generate(config.kcorr);
+        let sky = opts.sky(survey, &kcorr);
+        let mut db = MaxBcgDb::new(config).expect("schema");
+        db.import_galaxy(&sky, &survey).expect("import");
+        db.make_zone().expect("zone");
+        let stats = db.make_candidates(&candidate_window).expect("candidates");
+        runs.push((stats, db.candidates().expect("rows"), db.db().row_count("Galaxy").unwrap()));
+    }
+    let (cursor_stats, cursor_rows, galaxies) = &runs[0];
+    let (set_stats, set_rows, _) = &runs[1];
+    let identical = cursor_rows == set_rows;
+    let overhead = cursor_stats.cpu.as_secs_f64() / set_stats.cpu.as_secs_f64();
+
+    let mut t = TextTable::new(&["iteration", "cpu (s)", "logical reads"]);
+    t.row(&[
+        "SQL cursor (paper)".into(),
+        secs(cursor_stats.cpu),
+        cursor_stats.logical_reads.to_string(),
+    ]);
+    t.row(&["set-based scan".into(), secs(set_stats.cpu), set_stats.logical_reads.to_string()]);
+    println!("{}", t.render());
+    println!("identical catalogs: {}", if identical { "YES" } else { "NO — BUG" });
+    println!(
+        "cursor overhead: {overhead:.2}x cpu, {:.1}x logical reads",
+        cursor_stats.logical_reads as f64 / set_stats.logical_reads.max(1) as f64
+    );
+    assert!(identical);
+
+    let report = CursorReport {
+        scale: opts.scale,
+        galaxies: *galaxies,
+        cursor_s: cursor_stats.cpu.as_secs_f64(),
+        cursor_logical_reads: cursor_stats.logical_reads,
+        set_based_s: set_stats.cpu.as_secs_f64(),
+        set_based_logical_reads: set_stats.logical_reads,
+        overhead,
+        identical,
+    };
+    let path = opts.write_report("ablation_cursor", &report);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,222 @@
+//! **Ablation (§2.3)** — "We tried both the Hierarchical Triangular Mesh
+//! (HTM) and the zone-based neighbor techniques. ... the Zone index was
+//! chosen to perform the neighbor counts because it offered better
+//! performance."
+//!
+//! Compares three neighbor-search strategies on the same sky: the
+//! zone-indexed search through the database, the HTM index (the external
+//! C-library approach, here in-process), and the brute-force scan the TAM
+//! files use. Reports mean query time per radius.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_spatial [-- --scale 0.2]
+//! ```
+
+use bench::{BenchOpts, TextTable};
+use htm::HtmIndex;
+use maxbcg::neighbors::nearby_obj_eq_zd;
+use maxbcg::schema::create_schema;
+use maxbcg::zone_task::sp_zone;
+use serde::Serialize;
+use skycore::angle::chord2_of_deg;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::{SkyRegion, UnitVec, ZoneScheme};
+use stardb::{Database, DbConfig};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct RadiusRow {
+    radius_deg: f64,
+    zone_us: f64,
+    htm_us: f64,
+    brute_us: f64,
+    mean_hits: f64,
+}
+
+#[derive(Serialize)]
+struct TableSizeRow {
+    region_deg2: f64,
+    galaxies: usize,
+    zone_us: f64,
+    htm_us: f64,
+    brute_us: f64,
+}
+
+#[derive(Serialize)]
+struct SpatialReport {
+    scale: f64,
+    galaxies: usize,
+    queries: usize,
+    rows: Vec<RadiusRow>,
+    /// Table-size sweep at the MaxBCG working radius (0.42 deg): the
+    /// query circle is fixed, the searchable table grows — the flat scan
+    /// pays for the whole table, the indexes only for the hits. The
+    /// paper's real case is a 104 deg² table.
+    table_size_sweep: Vec<TableSizeRow>,
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let region = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+    let sky = opts.sky(region, &kcorr);
+    let n = sky.galaxies.len();
+    println!("sky: {n} galaxies over {region}");
+
+    // Zone-indexed database.
+    let mut db = Database::new(DbConfig::in_memory());
+    create_schema(&mut db, &kcorr).expect("schema");
+    maxbcg::import::sp_import_galaxy(&mut db, &sky, &region).expect("import");
+    let scheme = ZoneScheme::default();
+    sp_zone(&mut db, &scheme).expect("zone");
+
+    // HTM index at depth 12 (~40 arcsec trixels, comparable to 30" zones).
+    let htm = HtmIndex::build(sky.galaxies.iter().map(|g| (g.objid, g.ra, g.dec)), 12);
+
+    // Brute-force arrays (the TAM way).
+    let positions: Vec<UnitVec> = sky.galaxies.iter().map(|g| g.unit_vec()).collect();
+
+    // Query points: every k-th galaxy, interior only.
+    let interior = region.shrunk(0.5);
+    let queries: Vec<(f64, f64)> = sky
+        .galaxies
+        .iter()
+        .filter(|g| interior.contains(g.ra, g.dec))
+        .step_by((n / 200).max(1))
+        .map(|g| (g.ra, g.dec))
+        .collect();
+    println!("{} query points\n", queries.len());
+
+    let mut rows = Vec::new();
+    let mut t =
+        TextTable::new(&["radius (deg)", "zone (us)", "HTM (us)", "brute force (us)", "mean hits"]);
+    for radius in [0.05, 0.1, 0.25, 0.42] {
+        let mut hits_total = 0usize;
+
+        let t0 = Instant::now();
+        for &(ra, dec) in &queries {
+            hits_total += nearby_obj_eq_zd(&db, &scheme, ra, dec, radius).expect("zone").len();
+        }
+        let zone_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+        let t0 = Instant::now();
+        let mut htm_hits = 0usize;
+        for &(ra, dec) in &queries {
+            htm_hits += htm.within(ra, dec, radius).len();
+        }
+        let htm_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+        let t0 = Instant::now();
+        let mut brute_hits = 0usize;
+        for &(ra, dec) in &queries {
+            let center = UnitVec::from_radec(ra, dec);
+            let r2 = chord2_of_deg(radius);
+            brute_hits += positions.iter().filter(|p| center.chord2(p) < r2).count();
+        }
+        let brute_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+        assert_eq!(hits_total, htm_hits, "zone and HTM must agree");
+        assert_eq!(hits_total, brute_hits, "zone and brute force must agree");
+        let mean_hits = hits_total as f64 / queries.len() as f64;
+        t.row(&[
+            format!("{radius}"),
+            format!("{zone_us:.1}"),
+            format!("{htm_us:.1}"),
+            format!("{brute_us:.1}"),
+            format!("{mean_hits:.1}"),
+        ]);
+        rows.push(RadiusRow { radius_deg: radius, zone_us, htm_us, brute_us, mean_hits });
+    }
+    println!("{}", t.render());
+    let last = rows.last().expect("rows");
+    if last.brute_us > last.zone_us {
+        println!(
+            "at this density the zone join beats the brute-force scan by {:.1}x (HTM: {:.1}x).",
+            last.brute_us / last.zone_us,
+            last.brute_us / last.htm_us
+        );
+    } else {
+        println!(
+            "note: at only {n} galaxies a flat scan is still competitive; the index \
+             win appears at survey densities — rerun with --scale 0.5 or more."
+        );
+    }
+
+    // ---- table-size sweep at the working radius -----------------------
+    println!("\ntable-size sweep at radius 0.42 deg, fixed density (per-query microseconds):");
+    let mut sweep = Vec::new();
+    let mut ts =
+        TextTable::new(&["region (deg2)", "galaxies", "zone (us)", "HTM (us)", "brute force (us)"]);
+    for side in [2.0, 4.0, 8.0, 12.0] {
+        let region_s = SkyRegion::new(180.0, 180.0 + side, -side / 2.0, side / 2.0);
+        let sky_s = skysim::Sky::generate(
+            region_s,
+            &skysim::SkyConfig::scaled(opts.scale),
+            &kcorr,
+            opts.seed,
+        );
+        let mut db_s = Database::new(DbConfig::in_memory());
+        create_schema(&mut db_s, &kcorr).expect("schema");
+        maxbcg::import::sp_import_galaxy(&mut db_s, &sky_s, &region_s).expect("import");
+        sp_zone(&mut db_s, &scheme).expect("zone");
+        let htm_s =
+            HtmIndex::build(sky_s.galaxies.iter().map(|g| (g.objid, g.ra, g.dec)), 12);
+        let pos_s: Vec<UnitVec> = sky_s.galaxies.iter().map(|g| g.unit_vec()).collect();
+        // Fixed query set near the region center so only the table size
+        // varies across sweep rows.
+        let qwin = SkyRegion::new(180.5, 181.5, -0.5, 0.5);
+        let qs: Vec<(f64, f64)> = sky_s
+            .galaxies
+            .iter()
+            .filter(|g| qwin.contains(g.ra, g.dec))
+            .step_by((sky_s.galaxies_in(&qwin).count() / 64).max(1))
+            .map(|g| (g.ra, g.dec))
+            .collect();
+        let r = 0.42;
+        let t0 = Instant::now();
+        for &(ra, dec) in &qs {
+            std::hint::black_box(nearby_obj_eq_zd(&db_s, &scheme, ra, dec, r).unwrap());
+        }
+        let zone_us = t0.elapsed().as_micros() as f64 / qs.len() as f64;
+        let t0 = Instant::now();
+        for &(ra, dec) in &qs {
+            std::hint::black_box(htm_s.within(ra, dec, r));
+        }
+        let htm_us = t0.elapsed().as_micros() as f64 / qs.len() as f64;
+        let t0 = Instant::now();
+        let r2 = chord2_of_deg(r);
+        for &(ra, dec) in &qs {
+            let center = UnitVec::from_radec(ra, dec);
+            std::hint::black_box(pos_s.iter().filter(|p| center.chord2(p) < r2).count());
+        }
+        let brute_us = t0.elapsed().as_micros() as f64 / qs.len() as f64;
+        ts.row(&[
+            format!("{:.0}", region_s.area_deg2()),
+            sky_s.galaxies.len().to_string(),
+            format!("{zone_us:.1}"),
+            format!("{htm_us:.1}"),
+            format!("{brute_us:.1}"),
+        ]);
+        sweep.push(TableSizeRow {
+            region_deg2: region_s.area_deg2(),
+            galaxies: sky_s.galaxies.len(),
+            zone_us,
+            htm_us,
+            brute_us,
+        });
+    }
+    println!("{}", ts.render());
+    println!("index cost tracks the (fixed) hit count; the flat scan grows with");
+    println!("the table. The paper's case is a 104 deg2 / 1.5M-row table, far");
+    println!("right of the crossover — which is why it zones the data.");
+
+    let report = SpatialReport {
+        scale: opts.scale,
+        galaxies: n,
+        queries: queries.len(),
+        rows,
+        table_size_sweep: sweep,
+    };
+    let path = opts.write_report("ablation_spatial", &report);
+    println!("report written to {}", path.display());
+}

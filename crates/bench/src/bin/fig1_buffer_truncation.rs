@@ -1,0 +1,181 @@
+//! **Figures 1 and 2** — the TAM buffer compromise and the candidate
+//! geometry.
+//!
+//! Figure 1: TAM limits each field's Buffer file to 1 x 1 deg² (a 0.25 deg
+//! margin) instead of the ideal 1.5 x 1.5 deg², accepting truncated
+//! neighborhoods. This binary quantifies that compromise by sweeping the
+//! buffer margin and scoring each TAM catalog against the database
+//! reference (full data, fine grid).
+//!
+//! Figure 2: candidates are compared against neighboring candidates; the
+//! text around it gives the population rates — ~3% of galaxies become
+//! candidates, ~0.13% become BCGs, ~4.5 clusters per 0.25 deg² field —
+//! which the reference run reports here.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig1_buffer_truncation [-- --scale 0.1]
+//! ```
+
+use bench::{BenchOpts, TextTable};
+use gridsim::das::NetworkModel;
+use gridsim::node::tam_cluster;
+use gridsim::{DataArchiveServer, GridCluster};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use serde::Serialize;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use tam::{publish_region, run_region, TamConfig};
+
+#[derive(Serialize)]
+struct MarginRow {
+    margin_deg: f64,
+    z_step: f64,
+    clusters: usize,
+    matching_reference: usize,
+    missed: usize,
+    spurious: usize,
+    agreement_pct: f64,
+    /// Fraction of reference candidates in the target whose (z, ngal,
+    /// chi2) are bit-identical in the TAM run — the sensitive metric:
+    /// truncated neighborhoods change ngal/chi2 before they change which
+    /// BCGs win.
+    candidate_exact_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Fig1Report {
+    scale: f64,
+    reference_clusters: usize,
+    rows: Vec<MarginRow>,
+    candidate_fraction_pct: f64,
+    bcg_fraction_pct: f64,
+    clusters_per_quarter_deg2: f64,
+    paper_candidate_fraction_pct: f64,
+    paper_bcg_fraction_pct: f64,
+    paper_clusters_per_field: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, db: bench::server_db(), ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+    let target = SkyRegion::new(181.0, 182.0, -0.5, 0.5);
+    let sky = opts.sky(survey, &kcorr);
+    println!(
+        "sky {} galaxies over {survey}; target {target}\n",
+        sky.galaxies.len()
+    );
+
+    // ---- reference: the database run ------------------------------------
+    let mut db = MaxBcgDb::new(config).expect("schema");
+    let report = db.run("reference", &sky, &survey, &target.expanded(0.5)).expect("run");
+    let reference: Vec<i64> = db
+        .clusters()
+        .expect("clusters")
+        .into_iter()
+        .filter(|c| target.contains(c.ra, c.dec))
+        .map(|c| c.objid)
+        .collect();
+    // Candidate-level reference: the sensitive agreement metric.
+    let ref_candidates: std::collections::HashMap<i64, skycore::Candidate> = db
+        .candidates()
+        .expect("candidates")
+        .into_iter()
+        .filter(|c| target.contains(c.ra, c.dec))
+        .map(|c| (c.objid, c))
+        .collect();
+    let galaxies_in_b = sky.galaxies_in(&target.expanded(0.5)).count();
+    let candidate_fraction = 100.0 * report.candidates as f64 / galaxies_in_b.max(1) as f64;
+    let bcg_fraction = 100.0 * report.clusters as f64 / galaxies_in_b.max(1) as f64;
+    let clusters_per_field = reference.len() as f64 / (target.area_deg2() / 0.25);
+    println!("reference (database): {} clusters in target", reference.len());
+    println!(
+        "Figure 2 rates: candidates {:.2}% of galaxies (paper ~3%), BCGs {:.3}% (paper ~0.13%), {:.2} clusters per 0.25 deg2 field (paper ~4.5; rates scale with density, see EXPERIMENTS.md)\n",
+        candidate_fraction, bcg_fraction, clusters_per_field
+    );
+
+    // ---- TAM margin sweep ------------------------------------------------
+    let mut rows = Vec::new();
+    let mut t = TextTable::new(&[
+        "buffer margin (deg)",
+        "z-step",
+        "clusters",
+        "match ref",
+        "missed",
+        "spurious",
+        "agreement",
+        "cand exact",
+    ]);
+    for (margin, kc) in [
+        (0.25, KcorrConfig::tam()), // the paper's production compromise
+        (0.25, KcorrConfig::sql()),
+        (0.5, KcorrConfig::sql()),  // the "ideal" Figure 1 geometry
+        (1.0, KcorrConfig::sql()),  // enough buffer for exact agreement
+    ] {
+        let cfg = TamConfig { buffer_margin: margin, kcorr: kc, ..TamConfig::default() };
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        let (fields, _) = publish_region(&sky, &target, &cfg, &das);
+        let cluster = GridCluster::new(tam_cluster());
+        let run = run_region(&cluster, &das, fields, &cfg);
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        let tam_ids: std::collections::HashSet<i64> =
+            run.clusters.iter().map(|c| c.objid).collect();
+        let matching = reference.iter().filter(|id| tam_ids.contains(id)).count();
+        let missed = reference.len() - matching;
+        let spurious = tam_ids.len() - matching;
+        let agreement = 100.0 * matching as f64 / reference.len().max(1) as f64;
+        // Candidate-level exactness in the target window.
+        let mut cand_exact = 0usize;
+        for c in run.candidates.iter().filter(|c| target.contains(c.ra, c.dec)) {
+            if let Some(r) = ref_candidates.get(&c.objid) {
+                if (r.z - c.z).abs() < 1e-12
+                    && r.ngal == c.ngal
+                    && (r.chi2 - c.chi2).abs() < 1e-9
+                {
+                    cand_exact += 1;
+                }
+            }
+        }
+        let candidate_exact =
+            100.0 * cand_exact as f64 / ref_candidates.len().max(1) as f64;
+        t.row(&[
+            format!("{margin}"),
+            format!("{}", kc.z_step),
+            tam_ids.len().to_string(),
+            matching.to_string(),
+            missed.to_string(),
+            spurious.to_string(),
+            format!("{agreement:.0}%"),
+            format!("{candidate_exact:.1}%"),
+        ]);
+        rows.push(MarginRow {
+            margin_deg: margin,
+            z_step: kc.z_step,
+            clusters: tam_ids.len(),
+            matching_reference: matching,
+            missed,
+            spurious,
+            agreement_pct: agreement,
+            candidate_exact_pct: candidate_exact,
+        });
+    }
+    println!("{}", t.render());
+    println!("shape check: candidate-level exactness rises with buffer margin and");
+    println!("grid fineness; the 1.0 deg margin at dz=0.001 agrees exactly (the");
+    println!("tam_vs_db_agreement integration test proves it).");
+
+    let out = Fig1Report {
+        scale: opts.scale,
+        reference_clusters: reference.len(),
+        rows,
+        candidate_fraction_pct: candidate_fraction,
+        bcg_fraction_pct: bcg_fraction,
+        clusters_per_quarter_deg2: clusters_per_field,
+        paper_candidate_fraction_pct: 3.0,
+        paper_bcg_fraction_pct: 0.13,
+        paper_clusters_per_field: 4.5,
+    };
+    let path = opts.write_report("fig1_fig2", &out);
+    println!("report written to {}", path.display());
+}

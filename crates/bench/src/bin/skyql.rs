@@ -1,0 +1,106 @@
+//! `skyql` — an interactive SQL shell over a synthetic CAS catalog.
+//!
+//! Boots a MySkyServer-style database (schema + k-correction + imported
+//! galaxies + zone index), then reads SQL statements from stdin — the
+//! closest thing to poking at the paper's SkyServer with Query Analyzer.
+//!
+//! ```text
+//! cargo run -p bench --release --bin skyql [-- --scale 0.1]
+//! skyql> SELECT COUNT(*) FROM Galaxy WHERE i < 20;
+//! skyql> SELECT TOP 5 * FROM Clusters ORDER BY ngal DESC;
+//! skyql> .tables
+//! skyql> .quit
+//! ```
+
+use bench::{BenchOpts, TextTable};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use stardb::SqlOutput;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(194.0, 196.5, 1.25, 3.75);
+    eprintln!("generating sky over {survey} at scale {} ...", opts.scale);
+    let sky = opts.sky(survey, &kcorr);
+    let mut engine = MaxBcgDb::new(config).expect("schema");
+    eprintln!("running the MaxBCG pipeline to populate Candidates/Clusters ...");
+    engine
+        .run("skyql", &sky, &survey, &survey.shrunk(0.75).expanded(0.5))
+        .expect("pipeline");
+    let db = engine.db_mut();
+    eprintln!(
+        "ready: {} galaxies, {} candidates, {} clusters. \
+         Type SQL (one line), .tables, .schema <t>, or .quit",
+        db.row_count("Galaxy").unwrap_or(0),
+        db.row_count("Candidates").unwrap_or(0),
+        db.row_count("Clusters").unwrap_or(0),
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("skyql> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case(".quit") || line.eq_ignore_ascii_case(".exit") {
+            break;
+        }
+        if line.eq_ignore_ascii_case(".tables") {
+            for t in db.table_names() {
+                println!("  {t} ({} rows)", db.row_count(&t).unwrap_or(0));
+            }
+            continue;
+        }
+        if let Some(t) = line.strip_prefix(".schema ") {
+            match db.schema_of(t.trim()) {
+                Ok(schema) => {
+                    for c in schema.columns() {
+                        println!(
+                            "  {} {}{}",
+                            c.name,
+                            c.dtype,
+                            if c.nullable { "" } else { " NOT NULL" }
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if line == ".help" {
+            println!("  SQL: SELECT/INSERT/CREATE TABLE/CREATE INDEX/DELETE/TRUNCATE/DROP");
+            println!("  meta: .tables  .schema <table>  .quit");
+            continue;
+        }
+        match db.execute_sql(line) {
+            Ok(SqlOutput::Rows { columns, rows }) => {
+                let header: Vec<&str> = columns.iter().map(String::as_str).collect();
+                let mut t = TextTable::new(&header);
+                for row in rows.iter().take(50) {
+                    let cells: Vec<String> =
+                        row.values().iter().map(ToString::to_string).collect();
+                    t.row(&cells);
+                }
+                print!("{}", t.render());
+                if rows.len() > 50 {
+                    println!("  ... {} more rows", rows.len() - 50);
+                }
+                println!("({} rows)", rows.len());
+            }
+            Ok(SqlOutput::Affected(n)) => println!("({n} rows affected)"),
+            Ok(SqlOutput::Done) => println!("(ok)"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! **Table 1** — SQL Server cluster performance, with no partitioning and
+//! with 3-way partitioning: per-task elapsed/cpu/I/O, per-partition galaxy
+//! counts, and the 1-node/3-node ratios (paper: elapsed 48%, cpu 127%,
+//! I/O 126%).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1 [-- --scale 0.1 --seed 2005]
+//! ```
+
+use bench::{secs, BenchOpts, PaperCase, TextTable};
+use maxbcg::stats::RunReport;
+use maxbcg::{run_partitioned, IterationMode, MaxBcgConfig, MaxBcgDb};
+use serde::Serialize;
+use skycore::kcorr::KcorrTable;
+
+#[derive(Serialize)]
+struct Table1Report {
+    scale: f64,
+    seed: u64,
+    sequential: RunReport,
+    partitions: Vec<RunReport>,
+    elapsed_ratio: f64,
+    cpu_ratio: f64,
+    io_ratio: f64,
+    galaxies_sequential: u64,
+    galaxies_partitioned_total: u64,
+    union_identical: bool,
+    paper: PaperNumbers,
+}
+
+#[derive(Serialize)]
+struct PaperNumbers {
+    elapsed_ratio: f64,
+    cpu_ratio: f64,
+    io_ratio: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let case = PaperCase::full();
+    let config = MaxBcgConfig { iteration: IterationMode::Cursor, db: bench::server_db(), ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    println!(
+        "Table 1 reproduction: target {} inside import {} at density scale {}",
+        case.target, case.import, opts.scale
+    );
+    let sky = opts.sky(case.import, &kcorr);
+    println!("  sky: {} galaxies, {} injected clusters\n", sky.galaxies.len(), sky.truth.len());
+
+    // ---- no partitioning --------------------------------------------------
+    let mut seq_db = MaxBcgDb::new(config).expect("schema");
+    let sequential = seq_db
+        .run("No Partitioning", &sky, &case.import, &case.candidates)
+        .expect("sequential run");
+
+    // ---- 3-node partitioning ----------------------------------------------
+    let par = run_partitioned(&config, &sky, &case.import, &case.candidates, 3)
+        .expect("partitioned run");
+    let union_identical = par.clusters == seq_db.clusters().expect("clusters");
+
+    // ---- render -------------------------------------------------------------
+    let mut t = TextTable::new(&["", "Task", "elapse (s)", "cpu (s)", "I/O", "Galaxies"]);
+    let block = |t: &mut TextTable, label: &str, r: &RunReport| {
+        for (i, name) in maxbcg::stats::TABLE1_TASKS.iter().enumerate() {
+            let task = r.task(name).expect("task present");
+            t.row(&[
+                if i == 0 { label.to_owned() } else { String::new() },
+                task.name.clone(),
+                secs(task.elapsed()),
+                secs(task.cpu),
+                (task.physical_reads + task.physical_writes).to_string(),
+                String::new(),
+            ]);
+        }
+        t.row(&[
+            String::new(),
+            "total".into(),
+            secs(r.total_elapsed()),
+            secs(r.total_cpu()),
+            r.total_io().to_string(),
+            r.galaxies.to_string(),
+        ]);
+    };
+    block(&mut t, "No Partitioning", &sequential);
+    for p in &par.partitions {
+        block(&mut t, &p.report.label, &p.report);
+    }
+    t.row(&[
+        "Partitioning Total".into(),
+        String::new(),
+        secs(par.elapsed()),
+        secs(par.total_cpu()),
+        par.total_io().to_string(),
+        par.total_galaxies().to_string(),
+    ]);
+    let elapsed_ratio = par.elapsed().as_secs_f64() / sequential.total_elapsed().as_secs_f64();
+    let cpu_ratio = par.total_cpu().as_secs_f64() / sequential.total_cpu().as_secs_f64();
+    let io_ratio = par.total_io() as f64 / sequential.total_io().max(1) as f64;
+    t.row(&[
+        "Ratio 1node/3node".into(),
+        String::new(),
+        format!("{:.0}%", elapsed_ratio * 100.0),
+        format!("{:.0}%", cpu_ratio * 100.0),
+        format!("{:.0}%", io_ratio * 100.0),
+        String::new(),
+    ]);
+    println!("{}", t.render());
+    println!("paper's ratios:        elapsed 48%   cpu 127%   I/O 126%");
+    println!(
+        "union of partition answers identical to sequential: {}",
+        if union_identical { "YES" } else { "NO — BUG" }
+    );
+
+    let report = Table1Report {
+        scale: opts.scale,
+        seed: opts.seed,
+        sequential,
+        partitions: par.partitions.iter().map(|p| p.report.clone()).collect(),
+        elapsed_ratio,
+        cpu_ratio,
+        io_ratio,
+        galaxies_sequential: sky.galaxies.len() as u64,
+        galaxies_partitioned_total: par.total_galaxies(),
+        union_identical,
+        paper: PaperNumbers { elapsed_ratio: 0.48, cpu_ratio: 1.27, io_ratio: 1.26 },
+    };
+    let path = opts.write_report("table1", &report);
+    println!("report written to {}", path.display());
+    assert!(union_identical, "partitioned execution must be lossless");
+}

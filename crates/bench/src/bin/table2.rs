@@ -1,0 +1,120 @@
+//! **Table 2** — the scale factors converting the TAM test case (one 600
+//! MHz CPU, one 0.25 deg² field, z-steps of 0.01, 0.25 deg buffer) to the
+//! SQL test case (dual 2.6 GHz, 66 deg², z-steps of 0.001, 0.5 deg
+//! buffer). The paper's factors: CPUs 0.5, CPU speed ~0.25, target area
+//! 264, z-steps+buffer 25 → total 825.
+//!
+//! The hardware factors are definitional; the physics factor (finer grid ×
+//! larger buffer) is *measured* by running the same fields at both
+//! settings.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2 [-- --scale 0.1]
+//! ```
+
+use bench::{BenchOpts, TextTable};
+use gridsim::das::NetworkModel;
+use gridsim::node::tam_cluster;
+use gridsim::{DataArchiveServer, GridCluster};
+use serde::Serialize;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use tam::{publish_region, run_region, TamConfig};
+
+#[derive(Serialize)]
+struct Table2Report {
+    scale: f64,
+    cpus_factor: f64,
+    cpu_speed_factor: f64,
+    area_factor: f64,
+    physics_factor_measured: f64,
+    physics_factor_paper: f64,
+    total_measured: f64,
+    total_paper: f64,
+    prod_per_field_s: f64,
+    ideal_per_field_s: f64,
+}
+
+fn measure(cfg: &TamConfig, opts: &BenchOpts, target: SkyRegion) -> f64 {
+    let kcorr = KcorrTable::generate(cfg.kcorr);
+    // Survey leaves room for the widest buffer in the sweep.
+    let survey = target.expanded(1.2);
+    let sky = opts.sky(survey, &kcorr);
+    let das = DataArchiveServer::new(NetworkModel::instant());
+    let (fields, _) = publish_region(&sky, &target, cfg, &das);
+    let cluster = GridCluster::new(tam_cluster());
+    let run = run_region(&cluster, &das, fields, cfg);
+    assert!(run.failures.is_empty(), "{:?}", run.failures);
+    run.mean_field_compute.as_secs_f64()
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    // A 2 x 2 deg block (16 production fields) gives a stable per-field mean.
+    let target = SkyRegion::new(180.0, 182.0, -1.0, 1.0);
+
+    println!("measuring TAM per-field cost at production settings (0.25 deg buffer, dz=0.01)...");
+    let prod = measure(&TamConfig::default(), &opts, target);
+    println!("  {:.2} ms/field on this host", prod * 1e3);
+    println!("measuring TAM per-field cost at SQL-equivalent settings (0.5 deg buffer, dz=0.001)...");
+    let ideal_cfg = TamConfig {
+        buffer_margin: 0.5,
+        kcorr: KcorrConfig::sql(),
+        ..TamConfig::default()
+    };
+    let ideal = measure(&ideal_cfg, &opts, target);
+    println!("  {:.2} ms/field on this host\n", ideal * 1e3);
+
+    let cpus_factor = 0.5; // 1 TAM CPU vs dual-CPU SQL node
+    let cpu_speed_factor = 0.6 / 2.6; // 600 MHz vs 2.6 GHz
+    let area_factor = 66.0 / 0.25; // 264 fields
+    let physics = ideal / prod;
+    let total = cpus_factor * cpu_speed_factor * area_factor * physics;
+
+    let mut t = TextTable::new(&["", "TAM", "SQL Server", "Scale Factor", "paper"]);
+    t.row(&["CPUs used".into(), "1".into(), "2".into(), format!("{cpus_factor}"), "0.5".into()]);
+    t.row(&[
+        "CPU".into(),
+        "600 MHz".into(),
+        "2.6 GHz".into(),
+        format!("{cpu_speed_factor:.3}"),
+        "~0.25".into(),
+    ]);
+    t.row(&[
+        "Target field".into(),
+        "0.25 deg2".into(),
+        "66 deg2".into(),
+        format!("{area_factor}"),
+        "264".into(),
+    ]);
+    t.row(&[
+        "z-steps + buffer".into(),
+        "0.01 / 0.25deg".into(),
+        "0.001 / 0.5deg".into(),
+        format!("{physics:.1} (measured)"),
+        "25".into(),
+    ]);
+    t.row(&[
+        "Total Scale Factor".into(),
+        String::new(),
+        String::new(),
+        format!("{total:.0}"),
+        "825".into(),
+    ]);
+    println!("{}", t.render());
+
+    let report = Table2Report {
+        scale: opts.scale,
+        cpus_factor,
+        cpu_speed_factor,
+        area_factor,
+        physics_factor_measured: physics,
+        physics_factor_paper: 25.0,
+        total_measured: total,
+        total_paper: 825.0,
+        prod_per_field_s: prod,
+        ideal_per_field_s: ideal,
+    };
+    let path = opts.write_report("table2", &report);
+    println!("report written to {}", path.display());
+}

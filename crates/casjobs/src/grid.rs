@@ -1,0 +1,271 @@
+//! The "gridified" MaxBCG of §4: deploy the code to the Data-Grid nodes
+//! hosting CAS partitions, run in parallel, collect results at the origin.
+//!
+//! "When the user submits the MaxBCG application, upon authentication and
+//! authorization, the SQL code (about 500 lines) is deployed on the
+//! available Data-Grid nodes hosting the CAS database system. Each node
+//! will analyze a piece of the sky in parallel and store the results
+//! locally or, depending on the policy, transfer the final results back to
+//! the origin." Autonomy is modeled by nodes belonging to different
+//! organizations with their own deployment policies.
+
+use crate::users::UserId;
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::types::Cluster;
+use skycore::SkyRegion;
+use skysim::Sky;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a node does with its results (the "policy" of §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultPolicy {
+    /// Ship the cluster catalog back to the submitting site.
+    TransferBack,
+    /// Keep results local; only row counts travel.
+    StoreLocally,
+}
+
+/// One Data-Grid node hosting a CAS partition.
+pub struct CasNode {
+    /// Node name (e.g. `fnal-cas`).
+    pub name: String,
+    /// Hosting organization (e.g. `Fermilab`).
+    pub organization: String,
+    /// The stripe of sky this node's CAS database holds.
+    pub native: SkyRegion,
+    /// The stripe actually imported (native plus duplicated buffers).
+    pub imported: SkyRegion,
+    /// Result-return policy.
+    pub policy: ResultPolicy,
+    /// Whether this node accepts code deployment from the submitter's
+    /// organization (authorization).
+    pub accepts_deployment: bool,
+}
+
+/// Outcome of one node's run.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Node name.
+    pub node: String,
+    /// Whether the code was deployed and ran.
+    pub deployed: bool,
+    /// Clusters found natively (present only under
+    /// [`ResultPolicy::TransferBack`]).
+    pub clusters: Vec<Cluster>,
+    /// Clusters counted locally (always present).
+    pub cluster_count: u64,
+    /// Node wall time.
+    pub elapsed: Duration,
+    /// Failure message, if the node errored.
+    pub error: Option<String>,
+}
+
+/// A federation of CAS-hosting nodes.
+pub struct DataGrid {
+    sky: Arc<Sky>,
+    nodes: Vec<CasNode>,
+    config: MaxBcgConfig,
+}
+
+/// A full grid run.
+#[derive(Debug, Clone)]
+pub struct GridRunReport {
+    /// Submitting user.
+    pub user: UserId,
+    /// Per-node outcomes.
+    pub outcomes: Vec<NodeOutcome>,
+    /// Clusters transferred back to the origin, merged and sorted.
+    pub collected: Vec<Cluster>,
+    /// Wall time of the parallel phase.
+    pub elapsed: Duration,
+}
+
+impl DataGrid {
+    /// Federate `n` nodes over a CAS catalog, stripe-partitioning
+    /// `import_window` with 1 degree duplicated buffers (Figure 6 layout).
+    /// Node organizations cycle through the paper's hosts.
+    pub fn new(
+        sky: Arc<Sky>,
+        import_window: &SkyRegion,
+        n: usize,
+        config: MaxBcgConfig,
+    ) -> Self {
+        let orgs = ["Fermilab", "JHU", "IUCAA"];
+        let nodes = import_window
+            .partition_with_buffers(n, maxbcg::partition::PARTITION_MARGIN_DEG)
+            .into_iter()
+            .enumerate()
+            .map(|(k, (native, imported))| CasNode {
+                name: format!("cas-{}", k + 1),
+                organization: orgs[k % orgs.len()].to_owned(),
+                native,
+                imported,
+                policy: ResultPolicy::TransferBack,
+                accepts_deployment: true,
+            })
+            .collect();
+        DataGrid { sky, nodes, config }
+    }
+
+    /// Mutable access to node policies (tests flip them).
+    pub fn nodes_mut(&mut self) -> &mut [CasNode] {
+        &mut self.nodes
+    }
+
+    /// Node list.
+    pub fn nodes(&self) -> &[CasNode] {
+        &self.nodes
+    }
+
+    /// Deploy MaxBCG for `user` over `candidate_window` and collect
+    /// results per node policy. Nodes run concurrently, each against its
+    /// own local database — the code travels to the data.
+    pub fn submit_maxbcg(&self, user: UserId, candidate_window: &SkyRegion) -> GridRunReport {
+        let start = Instant::now();
+        let outcomes: Vec<NodeOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|node| {
+                    let sky = Arc::clone(&self.sky);
+                    let config =
+                        MaxBcgConfig { iteration: IterationMode::SetBased, ..self.config };
+                    scope.spawn(move || run_node(node, &sky, candidate_window, config))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("grid node panicked")).collect()
+        });
+        let mut collected: Vec<Cluster> = outcomes
+            .iter()
+            .flat_map(|o| o.clusters.iter().copied())
+            .collect();
+        collected.sort_by_key(|c| c.objid);
+        GridRunReport { user, outcomes, collected, elapsed: start.elapsed() }
+    }
+}
+
+fn run_node(
+    node: &CasNode,
+    sky: &Sky,
+    candidate_window: &SkyRegion,
+    config: MaxBcgConfig,
+) -> NodeOutcome {
+    let t0 = Instant::now();
+    if !node.accepts_deployment {
+        return NodeOutcome {
+            node: node.name.clone(),
+            deployed: false,
+            clusters: Vec::new(),
+            cluster_count: 0,
+            elapsed: t0.elapsed(),
+            error: Some(format!("{} refused code deployment", node.organization)),
+        };
+    }
+    let fringe = SkyRegion::new(
+        candidate_window.ra_min,
+        candidate_window.ra_max,
+        (node.native.dec_min - 0.5).max(candidate_window.dec_min),
+        (node.native.dec_max + 0.5).min(candidate_window.dec_max),
+    );
+    let run = (|| -> Result<Vec<Cluster>, stardb::DbError> {
+        let mut engine = MaxBcgDb::new(config)?;
+        engine.run(&node.name, sky, &node.imported, &fringe)?;
+        Ok(engine
+            .clusters()?
+            .into_iter()
+            .filter(|c| node.native.contains(c.ra, c.dec))
+            .collect())
+    })();
+    match run {
+        Ok(clusters) => NodeOutcome {
+            node: node.name.clone(),
+            deployed: true,
+            cluster_count: clusters.len() as u64,
+            clusters: if node.policy == ResultPolicy::TransferBack {
+                clusters
+            } else {
+                Vec::new()
+            },
+            elapsed: t0.elapsed(),
+            error: None,
+        },
+        Err(e) => NodeOutcome {
+            node: node.name.clone(),
+            deployed: true,
+            clusters: Vec::new(),
+            cluster_count: 0,
+            elapsed: t0.elapsed(),
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycore::kcorr::{KcorrConfig, KcorrTable};
+    use skysim::SkyConfig;
+
+    fn grid(n: usize) -> (DataGrid, SkyRegion) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let survey = SkyRegion::new(180.0, 181.0, -1.5, 1.5);
+        let sky = Arc::new(Sky::generate(survey, &SkyConfig::scaled(0.08), &kcorr, 555));
+        let cand = survey.shrunk(0.5);
+        (DataGrid::new(sky, &survey, n, MaxBcgConfig::default()), cand)
+    }
+
+    #[test]
+    fn grid_run_collects_all_native_clusters() {
+        let (g, cand) = grid(3);
+        let report = g.submit_maxbcg(UserId(1), &cand);
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.outcomes.iter().all(|o| o.deployed && o.error.is_none()));
+        let per_node: u64 = report.outcomes.iter().map(|o| o.cluster_count).sum();
+        assert_eq!(per_node as usize, report.collected.len());
+        // No duplicate objids across nodes.
+        let mut ids: Vec<i64> = report.collected.iter().map(|c| c.objid).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), report.collected.len());
+    }
+
+    #[test]
+    fn grid_matches_single_site_run() {
+        let (g, cand) = grid(2);
+        let report = g.submit_maxbcg(UserId(1), &cand);
+        let mut single = MaxBcgDb::new(MaxBcgConfig::default()).unwrap();
+        single.run("one-site", &g.sky, &g.sky.region.clone(), &cand).unwrap();
+        let expected = single.clusters().unwrap();
+        assert_eq!(report.collected, expected, "grid union must equal one-site run");
+    }
+
+    #[test]
+    fn store_locally_policy_withholds_rows() {
+        let (mut g, cand) = grid(2);
+        g.nodes_mut()[0].policy = ResultPolicy::StoreLocally;
+        let report = g.submit_maxbcg(UserId(1), &cand);
+        let o = &report.outcomes[0];
+        assert!(o.clusters.is_empty());
+        // Counts still travel.
+        assert!(o.error.is_none());
+    }
+
+    #[test]
+    fn refusing_node_reports_authorization_failure() {
+        let (mut g, cand) = grid(3);
+        g.nodes_mut()[1].accepts_deployment = false;
+        let report = g.submit_maxbcg(UserId(1), &cand);
+        let refused = &report.outcomes[1];
+        assert!(!refused.deployed);
+        assert!(refused.error.as_ref().unwrap().contains("refused"));
+        // The other nodes still produce their stripes.
+        assert!(report.outcomes[0].deployed && report.outcomes[2].deployed);
+    }
+
+    #[test]
+    fn organizations_cycle_through_paper_hosts() {
+        let (g, _) = grid(3);
+        let orgs: Vec<&str> = g.nodes().iter().map(|n| n.organization.as_str()).collect();
+        assert_eq!(orgs, vec!["Fermilab", "JHU", "IUCAA"]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # casjobs — the batch query system of §4
+//!
+//! The SDSS Batch Query System: users with personal server-side databases
+//! (MyDB), a queue of long-running query jobs against the CAS catalog,
+//! group-based table sharing, and the "gridified" MaxBCG deployment that
+//! ships code to the Data-Grid nodes hosting CAS partitions instead of
+//! shipping hundreds of thousands of files to compute nodes.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod service;
+pub mod users;
+pub mod wire;
+
+pub use grid::{CasNode, DataGrid, GridRunReport, ResultPolicy};
+pub use service::{CasError, CasJobs, JobId, JobSpec, JobState};
+pub use users::{GroupId, Registry, UserId};
+pub use wire::{handle_json, Envelope, Request, Response};

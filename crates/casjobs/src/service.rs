@@ -1,0 +1,579 @@
+//! The CasJobs batch query service: long-running queries against the CAS
+//! database, results into per-user MyDBs, table sharing through groups.
+//!
+//! "CasJobs is an application ... that lets users submit long-running SQL
+//! queries on the CAS databases. The query output can be stored on the
+//! server-side in the user's personal relational database (MyDB). Users may
+//! upload and download data ... CasJobs allows creating new tables,
+//! indexes, and stored procedures. CasJobs provides a collaborative
+//! environment where users can form groups and share data" (§4).
+
+use crate::users::{GroupId, Registry, UserError, UserId};
+use maxbcg::import::galaxy_row;
+use maxbcg::schema::galaxy_schema;
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::SkyRegion;
+use skysim::Sky;
+use stardb::{Database, DbConfig, DbError, Row, Schema};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(pub u64);
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Submitted,
+    /// Currently executing.
+    Running,
+    /// Completed; the message summarizes the output.
+    Finished(String),
+    /// Failed with an error message.
+    Failed(String),
+    /// Cancelled before execution.
+    Cancelled,
+}
+
+/// What a job does. CasJobs queries are represented as typed operations
+/// rather than SQL text (the engine has no parser; the operations cover
+/// what the paper's workflows do).
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Extract a sky window from the CAS `Galaxy` catalog into a MyDB
+    /// table (the long-running SELECT INTO of a typical CasJobs session).
+    ExtractRegion {
+        /// Window to extract.
+        window: SkyRegion,
+        /// Destination MyDB table.
+        into: String,
+    },
+    /// Run the full MaxBCG pipeline over CAS data, storing the cluster
+    /// catalog into `into` in the user's MyDB.
+    RunMaxBcg {
+        /// Import window (target plus 1 deg, as in the paper).
+        import_window: SkyRegion,
+        /// Candidate window (target plus 0.5 deg).
+        candidate_window: SkyRegion,
+        /// Destination MyDB table for clusters.
+        into: String,
+    },
+    /// Count rows of one of the user's MyDB tables.
+    CountRows {
+        /// Table to count.
+        table: String,
+    },
+    /// Run a SQL statement against the user's MyDB (the literal "submit
+    /// long-running SQL queries" surface; see `stardb::sql` for the
+    /// dialect).
+    Sql {
+        /// The statement.
+        statement: String,
+    },
+}
+
+/// One job record.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Id.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// The operation.
+    pub spec: JobSpec,
+    /// Current state.
+    pub state: JobState,
+}
+
+/// Service errors.
+#[derive(Debug)]
+pub enum CasError {
+    /// User/group registry error.
+    User(UserError),
+    /// Database error inside a MyDB or the CAS store.
+    Db(DbError),
+    /// Unknown job.
+    NoSuchJob(JobId),
+    /// Sharing denied: no common group with the owner.
+    NotShared,
+    /// MyDB row quota exceeded.
+    QuotaExceeded {
+        /// The quota in rows.
+        quota: u64,
+    },
+}
+
+impl From<UserError> for CasError {
+    fn from(e: UserError) -> Self {
+        CasError::User(e)
+    }
+}
+impl From<DbError> for CasError {
+    fn from(e: DbError) -> Self {
+        CasError::Db(e)
+    }
+}
+
+impl std::fmt::Display for CasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CasError::User(e) => write!(f, "{e}"),
+            CasError::Db(e) => write!(f, "{e}"),
+            CasError::NoSuchJob(id) => write!(f, "no such job: {}", id.0),
+            CasError::NotShared => write!(f, "table is not shared with you"),
+            CasError::QuotaExceeded { quota } => write!(f, "MyDB quota of {quota} rows exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+/// The CasJobs service over one CAS catalog.
+pub struct CasJobs {
+    /// User/group registry.
+    pub registry: Registry,
+    cas_sky: Arc<Sky>,
+    maxbcg_config: MaxBcgConfig,
+    mydbs: HashMap<UserId, Database>,
+    mydb_quota_rows: u64,
+    shares: Vec<(UserId, String, GroupId)>,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, Job>,
+    next_job: u64,
+}
+
+impl CasJobs {
+    /// Stand up the service over a CAS catalog.
+    pub fn new(cas_sky: Arc<Sky>, maxbcg_config: MaxBcgConfig) -> Self {
+        CasJobs {
+            registry: Registry::new(),
+            cas_sky,
+            maxbcg_config,
+            mydbs: HashMap::new(),
+            mydb_quota_rows: u64::MAX,
+            shares: Vec::new(),
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            next_job: 0,
+        }
+    }
+
+    /// Cap every MyDB at `rows` total rows (failure-injection and fairness
+    /// testing).
+    pub fn set_mydb_quota(&mut self, rows: u64) {
+        self.mydb_quota_rows = rows;
+    }
+
+    /// Register a user, provisioning an empty MyDB.
+    pub fn register(&mut self, name: &str) -> Result<UserId, CasError> {
+        let id = self.registry.create_user(name)?;
+        self.mydbs.insert(id, Database::new(DbConfig::in_memory()));
+        Ok(id)
+    }
+
+    /// Read access to a user's MyDB.
+    pub fn mydb(&self, user: UserId) -> Result<&Database, CasError> {
+        self.mydbs.get(&user).ok_or(CasError::User(UserError::NoSuchUser(user)))
+    }
+
+    /// Create a table in the user's MyDB (CasJobs lets users create their
+    /// own tables and indexes).
+    pub fn create_table(
+        &mut self,
+        user: UserId,
+        name: &str,
+        schema: Schema,
+        clustered_on: Option<&[&str]>,
+    ) -> Result<(), CasError> {
+        let db = self.mydbs.get_mut(&user).ok_or(CasError::User(UserError::NoSuchUser(user)))?;
+        match clustered_on {
+            Some(cols) => db.create_clustered_table(name, schema, cols)?,
+            None => db.create_table(name, schema)?,
+        }
+        Ok(())
+    }
+
+    /// Upload rows into a MyDB table ("Users may upload and download data
+    /// to and from their MyDB"). The table must exist; rows are appended,
+    /// subject to the quota.
+    pub fn upload(
+        &mut self,
+        user: UserId,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<u64, CasError> {
+        self.check_quota(user, rows.len() as u64)?;
+        let db = self.mydbs.get_mut(&user).ok_or(CasError::User(UserError::NoSuchUser(user)))?;
+        let mut n = 0;
+        for row in rows {
+            db.insert(table, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Download a MyDB table (the owner's view; for shared reads see
+    /// [`CasJobs::read_shared`]).
+    pub fn download(&self, user: UserId, table: &str) -> Result<Vec<Row>, CasError> {
+        Ok(self.mydb(user)?.scan(table)?)
+    }
+
+    /// Share a MyDB table with a group the owner belongs to.
+    pub fn share_table(
+        &mut self,
+        owner: UserId,
+        table: &str,
+        group: GroupId,
+    ) -> Result<(), CasError> {
+        let u = self.registry.user(owner)?;
+        if !u.groups.contains(&group) {
+            return Err(CasError::NotShared);
+        }
+        self.mydb(owner)?.schema_of(table)?; // must exist
+        self.shares.push((owner, table.to_ascii_lowercase(), group));
+        Ok(())
+    }
+
+    /// Read a table shared by `owner` — allowed for the owner, or for
+    /// users sharing a group the table was shared with.
+    pub fn read_shared(
+        &self,
+        reader: UserId,
+        owner: UserId,
+        table: &str,
+    ) -> Result<Vec<Row>, CasError> {
+        if reader != owner {
+            let reader_groups = &self.registry.user(reader)?.groups;
+            let allowed = self.shares.iter().any(|(o, t, g)| {
+                *o == owner && t == &table.to_ascii_lowercase() && reader_groups.contains(g)
+            });
+            if !allowed {
+                return Err(CasError::NotShared);
+            }
+        }
+        Ok(self.mydb(owner)?.scan(table)?)
+    }
+
+    /// Submit a job; it waits in the queue until [`CasJobs::run_pending`].
+    pub fn submit(&mut self, user: UserId, spec: JobSpec) -> Result<JobId, CasError> {
+        self.registry.user(user)?;
+        self.next_job += 1;
+        let id = JobId(self.next_job);
+        self.jobs.insert(id, Job { id, user, spec, state: JobState::Submitted });
+        self.queue.push_back(id);
+        Ok(id)
+    }
+
+    /// Job status.
+    pub fn status(&self, id: JobId) -> Result<&JobState, CasError> {
+        Ok(&self.jobs.get(&id).ok_or(CasError::NoSuchJob(id))?.state)
+    }
+
+    /// Cancel a queued job.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), CasError> {
+        let job = self.jobs.get_mut(&id).ok_or(CasError::NoSuchJob(id))?;
+        if job.state == JobState::Submitted {
+            job.state = JobState::Cancelled;
+            self.queue.retain(|&q| q != id);
+        }
+        Ok(())
+    }
+
+    /// Run every queued job to completion, in submission order. Returns
+    /// the number of jobs executed. (The real CasJobs runs queues
+    /// asynchronously; synchronous draining keeps tests deterministic.)
+    pub fn run_pending(&mut self) -> usize {
+        let mut ran = 0;
+        while let Some(id) = self.queue.pop_front() {
+            let job = self.jobs.get(&id).cloned().expect("queued job exists");
+            if job.state != JobState::Submitted {
+                continue;
+            }
+            self.jobs.get_mut(&id).expect("exists").state = JobState::Running;
+            let outcome = self.execute(&job);
+            let state = match outcome {
+                Ok(msg) => JobState::Finished(msg),
+                Err(e) => JobState::Failed(e.to_string()),
+            };
+            self.jobs.get_mut(&id).expect("exists").state = state;
+            ran += 1;
+        }
+        ran
+    }
+
+    fn check_quota(&self, user: UserId, adding: u64) -> Result<(), CasError> {
+        let db = self.mydb(user)?;
+        let total: u64 = db
+            .table_names()
+            .iter()
+            .map(|t| db.row_count(t).unwrap_or(0))
+            .sum();
+        if total + adding > self.mydb_quota_rows {
+            return Err(CasError::QuotaExceeded { quota: self.mydb_quota_rows });
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, job: &Job) -> Result<String, CasError> {
+        match &job.spec {
+            JobSpec::ExtractRegion { window, into } => {
+                let galaxies: Vec<_> = self.cas_sky.galaxies_in(window).copied().collect();
+                self.check_quota(job.user, galaxies.len() as u64)?;
+                let db = self
+                    .mydbs
+                    .get_mut(&job.user)
+                    .ok_or(CasError::User(UserError::NoSuchUser(job.user)))?;
+                if !db.has_table(into) {
+                    db.create_clustered_table(into, galaxy_schema(), &["objid"])?;
+                }
+                db.truncate(into)?;
+                for g in &galaxies {
+                    db.insert(into, galaxy_row(g))?;
+                }
+                Ok(format!("{} rows into {into}", galaxies.len()))
+            }
+            JobSpec::RunMaxBcg { import_window, candidate_window, into } => {
+                let mut engine = MaxBcgDb::new(MaxBcgConfig {
+                    iteration: IterationMode::SetBased,
+                    ..self.maxbcg_config
+                })?;
+                let report =
+                    engine.run("casjobs", &self.cas_sky, import_window, candidate_window)?;
+                let clusters = engine.clusters()?;
+                self.check_quota(job.user, clusters.len() as u64)?;
+                let db = self
+                    .mydbs
+                    .get_mut(&job.user)
+                    .ok_or(CasError::User(UserError::NoSuchUser(job.user)))?;
+                if !db.has_table(into) {
+                    db.create_clustered_table(
+                        into,
+                        maxbcg::schema::candidates_schema(),
+                        &["objid"],
+                    )?;
+                }
+                db.truncate(into)?;
+                for c in &clusters {
+                    db.insert(into, maxbcg::cluster::candidate_row(c))?;
+                }
+                Ok(format!(
+                    "{} clusters into {into} ({} galaxies scanned)",
+                    clusters.len(),
+                    report.galaxies
+                ))
+            }
+            JobSpec::CountRows { table } => {
+                let n = self.mydb(job.user)?.row_count(table)?;
+                Ok(format!("{n}"))
+            }
+            JobSpec::Sql { statement } => {
+                let db = self
+                    .mydbs
+                    .get_mut(&job.user)
+                    .ok_or(CasError::User(UserError::NoSuchUser(job.user)))?;
+                match db.execute_sql(statement)? {
+                    stardb::SqlOutput::Rows { rows, columns } => {
+                        Ok(format!("{} rows, {} columns", rows.len(), columns.len()))
+                    }
+                    stardb::SqlOutput::Affected(n) => Ok(format!("{n} rows affected")),
+                    stardb::SqlOutput::Done => Ok("ok".into()),
+                }
+            }
+        }
+    }
+
+    /// Run a SQL statement against the user's MyDB synchronously and
+    /// return the full output (interactive CasJobs queries; long-running
+    /// work should go through [`CasJobs::submit`]).
+    pub fn query(&mut self, user: UserId, sql: &str) -> Result<stardb::SqlOutput, CasError> {
+        let db = self
+            .mydbs
+            .get_mut(&user)
+            .ok_or(CasError::User(UserError::NoSuchUser(user)))?;
+        Ok(db.execute_sql(sql)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycore::kcorr::{KcorrConfig, KcorrTable};
+    use skysim::SkyConfig;
+
+    fn service() -> CasJobs {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let region = SkyRegion::new(180.0, 181.2, -0.6, 0.6);
+        let sky = Sky::generate(region, &SkyConfig::scaled(0.1), &kcorr, 321);
+        CasJobs::new(Arc::new(sky), MaxBcgConfig::default())
+    }
+
+    #[test]
+    fn extract_region_into_mydb() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let window = SkyRegion::new(180.2, 180.8, -0.3, 0.3);
+        let id = s
+            .submit(alice, JobSpec::ExtractRegion { window, into: "mygal".into() })
+            .unwrap();
+        assert_eq!(*s.status(id).unwrap(), JobState::Submitted);
+        assert_eq!(s.run_pending(), 1);
+        let JobState::Finished(msg) = s.status(id).unwrap() else {
+            panic!("job should finish: {:?}", s.status(id).unwrap())
+        };
+        assert!(msg.contains("rows into mygal"));
+        let n = s.mydb(alice).unwrap().row_count("mygal").unwrap();
+        assert!(n > 0);
+        assert_eq!(n as usize, s.cas_sky.galaxies_in(&window).count());
+    }
+
+    #[test]
+    fn maxbcg_job_end_to_end() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let import = s.cas_sky.region;
+        let cand = import.shrunk(0.5);
+        let id = s
+            .submit(
+                alice,
+                JobSpec::RunMaxBcg {
+                    import_window: import,
+                    candidate_window: cand,
+                    into: "myclusters".into(),
+                },
+            )
+            .unwrap();
+        s.run_pending();
+        assert!(matches!(s.status(id).unwrap(), JobState::Finished(_)));
+        // A follow-up query over the job output.
+        let id2 = s.submit(alice, JobSpec::CountRows { table: "myclusters".into() }).unwrap();
+        s.run_pending();
+        let JobState::Finished(count) = s.status(id2).unwrap() else { panic!() };
+        let n: u64 = count.parse().unwrap();
+        assert_eq!(n, s.mydb(alice).unwrap().row_count("myclusters").unwrap());
+    }
+
+    #[test]
+    fn sharing_requires_common_group() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let bob = s.register("bob").unwrap();
+        let eve = s.register("eve").unwrap();
+        s.submit(
+            alice,
+            JobSpec::ExtractRegion {
+                window: SkyRegion::new(180.2, 180.4, -0.1, 0.1),
+                into: "t".into(),
+            },
+        )
+        .unwrap();
+        s.run_pending();
+        let g = s.registry.create_group(alice, "collab").unwrap();
+        s.registry.add_member(alice, g, bob).unwrap();
+        s.share_table(alice, "t", g).unwrap();
+        assert!(s.read_shared(bob, alice, "t").is_ok());
+        assert!(matches!(s.read_shared(eve, alice, "t"), Err(CasError::NotShared)));
+        // The owner always reads their own tables.
+        assert!(s.read_shared(alice, alice, "t").is_ok());
+    }
+
+    #[test]
+    fn quota_fails_jobs_gracefully() {
+        let mut s = service();
+        s.set_mydb_quota(10);
+        let alice = s.register("alice").unwrap();
+        let id = s
+            .submit(
+                alice,
+                JobSpec::ExtractRegion { window: s.cas_sky.region, into: "big".into() },
+            )
+            .unwrap();
+        s.run_pending();
+        let JobState::Failed(msg) = s.status(id).unwrap() else {
+            panic!("job must fail on quota")
+        };
+        assert!(msg.contains("quota"));
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        use stardb::{Column, DataType, Value};
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("note", DataType::Text),
+        ]);
+        s.create_table(alice, "notes", schema, Some(&["id"])).unwrap();
+        let rows = vec![
+            Row(vec![Value::BigInt(1), Value::Text("first".into())]),
+            Row(vec![Value::BigInt(2), Value::Text("second".into())]),
+        ];
+        assert_eq!(s.upload(alice, "notes", rows.clone()).unwrap(), 2);
+        let back = s.download(alice, "notes").unwrap();
+        assert_eq!(back, rows);
+        // Upload respects the quota.
+        s.set_mydb_quota(2);
+        let err = s
+            .upload(alice, "notes", vec![Row(vec![Value::BigInt(3), Value::Null])])
+            .unwrap_err();
+        assert!(matches!(err, CasError::QuotaExceeded { .. }));
+    }
+
+    #[test]
+    fn sql_jobs_and_interactive_queries() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        // Create and fill a table through pure SQL jobs.
+        for stmt in [
+            "CREATE TABLE sn (id BIGINT PRIMARY KEY, z FLOAT, mag FLOAT)",
+            "INSERT INTO sn VALUES (1, 0.05, 17.2), (2, 0.12, 18.9), (3, 0.30, 21.0)",
+        ] {
+            let id = s.submit(alice, JobSpec::Sql { statement: stmt.into() }).unwrap();
+            s.run_pending();
+            assert!(
+                matches!(s.status(id).unwrap(), JobState::Finished(_)),
+                "{stmt}: {:?}",
+                s.status(id).unwrap()
+            );
+        }
+        // Interactive query over the job output.
+        let out = s
+            .query(alice, "SELECT COUNT(*) AS n, MAX(mag) FROM sn WHERE z < 0.2")
+            .unwrap();
+        let (cols, rows) = out.rows().unwrap();
+        assert_eq!(cols[0], "n");
+        assert_eq!(rows[0][0], stardb::Value::BigInt(2));
+        assert_eq!(rows[0].f64(1).unwrap(), 18.9);
+        // A bad statement fails the job, not the service.
+        let id = s
+            .submit(alice, JobSpec::Sql { statement: "SELEKT * FROM sn".into() })
+            .unwrap();
+        s.run_pending();
+        assert!(matches!(s.status(id).unwrap(), JobState::Failed(_)));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let id = s.submit(alice, JobSpec::CountRows { table: "none".into() }).unwrap();
+        s.cancel(id).unwrap();
+        assert_eq!(s.run_pending(), 0);
+        assert_eq!(*s.status(id).unwrap(), JobState::Cancelled);
+    }
+
+    #[test]
+    fn jobs_run_in_submission_order() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let w = SkyRegion::new(180.2, 180.4, -0.1, 0.1);
+        let a = s.submit(alice, JobSpec::ExtractRegion { window: w, into: "t".into() }).unwrap();
+        // Depends on "t" existing: only correct if run after job a.
+        let b = s.submit(alice, JobSpec::CountRows { table: "t".into() }).unwrap();
+        s.run_pending();
+        assert!(matches!(s.status(a).unwrap(), JobState::Finished(_)));
+        assert!(matches!(s.status(b).unwrap(), JobState::Finished(_)));
+    }
+}

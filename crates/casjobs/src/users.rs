@@ -1,0 +1,183 @@
+//! Users and groups — the collaborative side of CasJobs: "users can form
+//! groups and share data with others" (§4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A user id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+/// A group id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u64);
+
+/// One registered user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct User {
+    /// Id.
+    pub id: UserId,
+    /// Login name (unique).
+    pub name: String,
+    /// Groups the user belongs to.
+    pub groups: BTreeSet<GroupId>,
+}
+
+/// One group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Group {
+    /// Id.
+    pub id: GroupId,
+    /// Group name (unique).
+    pub name: String,
+    /// The user who created the group (always a member).
+    pub owner: UserId,
+}
+
+/// Registry errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserError {
+    /// Login or group name taken.
+    NameTaken(String),
+    /// Unknown user.
+    NoSuchUser(UserId),
+    /// Unknown group.
+    NoSuchGroup(GroupId),
+    /// Operation requires group ownership.
+    NotOwner,
+}
+
+impl std::fmt::Display for UserError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UserError::NameTaken(n) => write!(f, "name already taken: {n}"),
+            UserError::NoSuchUser(u) => write!(f, "no such user: {}", u.0),
+            UserError::NoSuchGroup(g) => write!(f, "no such group: {}", g.0),
+            UserError::NotOwner => write!(f, "only the group owner may do that"),
+        }
+    }
+}
+
+impl std::error::Error for UserError {}
+
+/// The user/group registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    users: BTreeMap<UserId, User>,
+    groups: BTreeMap<GroupId, Group>,
+    next_user: u64,
+    next_group: u64,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a user.
+    pub fn create_user(&mut self, name: &str) -> Result<UserId, UserError> {
+        if self.users.values().any(|u| u.name == name) {
+            return Err(UserError::NameTaken(name.to_owned()));
+        }
+        self.next_user += 1;
+        let id = UserId(self.next_user);
+        self.users.insert(id, User { id, name: name.to_owned(), groups: BTreeSet::new() });
+        Ok(id)
+    }
+
+    /// Look up a user.
+    pub fn user(&self, id: UserId) -> Result<&User, UserError> {
+        self.users.get(&id).ok_or(UserError::NoSuchUser(id))
+    }
+
+    /// Find a user by login name.
+    pub fn user_by_name(&self, name: &str) -> Option<&User> {
+        self.users.values().find(|u| u.name == name)
+    }
+
+    /// Create a group owned by `owner`, who becomes a member.
+    pub fn create_group(&mut self, owner: UserId, name: &str) -> Result<GroupId, UserError> {
+        self.user(owner)?;
+        if self.groups.values().any(|g| g.name == name) {
+            return Err(UserError::NameTaken(name.to_owned()));
+        }
+        self.next_group += 1;
+        let id = GroupId(self.next_group);
+        self.groups.insert(id, Group { id, name: name.to_owned(), owner });
+        self.users.get_mut(&owner).expect("checked").groups.insert(id);
+        Ok(id)
+    }
+
+    /// Add `member` to `group` (owner only).
+    pub fn add_member(
+        &mut self,
+        actor: UserId,
+        group: GroupId,
+        member: UserId,
+    ) -> Result<(), UserError> {
+        let g = self.groups.get(&group).ok_or(UserError::NoSuchGroup(group))?;
+        if g.owner != actor {
+            return Err(UserError::NotOwner);
+        }
+        self.users
+            .get_mut(&member)
+            .ok_or(UserError::NoSuchUser(member))?
+            .groups
+            .insert(group);
+        Ok(())
+    }
+
+    /// Do two users share at least one group?
+    pub fn share_group(&self, a: UserId, b: UserId) -> bool {
+        match (self.users.get(&a), self.users.get(&b)) {
+            (Some(a), Some(b)) => a.groups.intersection(&b.groups).next().is_some(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup_users() {
+        let mut r = Registry::new();
+        let alice = r.create_user("alice").unwrap();
+        assert_eq!(r.user(alice).unwrap().name, "alice");
+        assert_eq!(r.user_by_name("alice").unwrap().id, alice);
+        assert!(r.user_by_name("bob").is_none());
+        assert_eq!(r.create_user("alice"), Err(UserError::NameTaken("alice".into())));
+    }
+
+    #[test]
+    fn groups_and_membership() {
+        let mut r = Registry::new();
+        let alice = r.create_user("alice").unwrap();
+        let bob = r.create_user("bob").unwrap();
+        let eve = r.create_user("eve").unwrap();
+        let g = r.create_group(alice, "sdss-clusters").unwrap();
+        assert!(!r.share_group(alice, bob));
+        r.add_member(alice, g, bob).unwrap();
+        assert!(r.share_group(alice, bob));
+        assert!(!r.share_group(bob, eve));
+        // Only the owner can add members.
+        assert_eq!(r.add_member(bob, g, eve), Err(UserError::NotOwner));
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut r = Registry::new();
+        let ghost = UserId(99);
+        assert!(r.user(ghost).is_err());
+        assert!(r.create_group(ghost, "g").is_err());
+        let alice = r.create_user("alice").unwrap();
+        let g = r.create_group(alice, "g").unwrap();
+        assert_eq!(r.add_member(alice, g, ghost), Err(UserError::NoSuchUser(ghost)));
+        assert_eq!(
+            r.add_member(alice, GroupId(42), alice),
+            Err(UserError::NoSuchGroup(GroupId(42)))
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The web-service boundary of §4.
+//!
+//! "CasJobs is accessible not only through the Web interface but also
+//! through Web services. Once the GGF DAIS protocol becomes a final
+//! recommendation, it should be fairly easy to expose CasJobs Web services
+//! wrapped into the official Grid specification."
+//!
+//! This module is that wrapper: a versioned, serialized request/response
+//! protocol over the in-process service. Transport is out of scope (any
+//! byte channel works); what matters for the reproduction is that every
+//! CasJobs operation round-trips through a stable wire format, so a remote
+//! site could drive the service without linking the Rust API — the
+//! interoperability property DAIS was after.
+
+use crate::service::{CasJobs, JobId, JobSpec, JobState};
+use crate::users::UserId;
+use serde::{Deserialize, Serialize};
+use skycore::SkyRegion;
+
+/// Protocol version tag; requests carrying another version are rejected.
+pub const WIRE_VERSION: u32 = 1;
+
+/// A request envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Protocol version.
+    pub version: u32,
+    /// Authenticated user id (authentication itself is the host's job;
+    /// "upon authentication and authorization, the SQL code is deployed").
+    pub user: u64,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Operations exposed over the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit an extract-region job.
+    SubmitExtract {
+        /// Window bounds (ra_min, ra_max, dec_min, dec_max).
+        window: (f64, f64, f64, f64),
+        /// Destination MyDB table.
+        into: String,
+    },
+    /// Submit a MaxBCG run.
+    SubmitMaxBcg {
+        /// Import window bounds.
+        import: (f64, f64, f64, f64),
+        /// Candidate window bounds.
+        candidates: (f64, f64, f64, f64),
+        /// Destination MyDB table.
+        into: String,
+    },
+    /// Submit an arbitrary SQL statement against MyDB.
+    SubmitSql {
+        /// The statement.
+        statement: String,
+    },
+    /// Poll a job.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Cancel a queued job.
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Drain the queue (the host would do this on a timer; exposed so a
+    /// remote test harness can drive the lifecycle deterministically).
+    RunPending,
+    /// Interactive SQL with the full result set returned.
+    Query {
+        /// The statement.
+        statement: String,
+    },
+}
+
+/// A response envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Job accepted.
+    Submitted {
+        /// Assigned job id.
+        job: u64,
+    },
+    /// Job status.
+    Status {
+        /// One of `submitted`, `running`, `finished`, `failed`, `cancelled`.
+        state: String,
+        /// Completion message or failure reason, when finished/failed.
+        message: Option<String>,
+    },
+    /// Queue drained.
+    Ran {
+        /// Jobs executed.
+        jobs: usize,
+    },
+    /// Cancel acknowledged.
+    Cancelled,
+    /// Query result.
+    Rows {
+        /// Column names.
+        columns: Vec<String>,
+        /// Row values rendered as strings (wire-stable; NULL is `"NULL"`).
+        rows: Vec<Vec<String>>,
+    },
+    /// Non-query statement result.
+    Affected {
+        /// Rows affected.
+        rows: u64,
+    },
+    /// DDL succeeded.
+    Done,
+    /// The request failed.
+    Error {
+        /// Message.
+        message: String,
+    },
+}
+
+fn region(b: (f64, f64, f64, f64)) -> SkyRegion {
+    SkyRegion::new(b.0, b.1, b.2, b.3)
+}
+
+/// Handle one JSON-encoded request against the service, returning the
+/// JSON-encoded response. Malformed input or version skew yields an
+/// `Error` response, never a panic.
+pub fn handle_json(service: &mut CasJobs, request_json: &str) -> String {
+    let response = match serde_json::from_str::<Envelope>(request_json) {
+        Ok(env) => handle(service, env),
+        Err(e) => Response::Error { message: format!("malformed request: {e}") },
+    };
+    serde_json::to_string(&response).expect("responses always serialize")
+}
+
+/// Handle one decoded request.
+pub fn handle(service: &mut CasJobs, env: Envelope) -> Response {
+    if env.version != WIRE_VERSION {
+        return Response::Error {
+            message: format!("unsupported wire version {} (want {WIRE_VERSION})", env.version),
+        };
+    }
+    let user = UserId(env.user);
+    let submitted = |r: Result<JobId, crate::service::CasError>| match r {
+        Ok(job) => Response::Submitted { job: job.0 },
+        Err(e) => Response::Error { message: e.to_string() },
+    };
+    match env.request {
+        Request::SubmitExtract { window, into } => submitted(
+            service.submit(user, JobSpec::ExtractRegion { window: region(window), into }),
+        ),
+        Request::SubmitMaxBcg { import, candidates, into } => submitted(service.submit(
+            user,
+            JobSpec::RunMaxBcg {
+                import_window: region(import),
+                candidate_window: region(candidates),
+                into,
+            },
+        )),
+        Request::SubmitSql { statement } => {
+            submitted(service.submit(user, JobSpec::Sql { statement }))
+        }
+        Request::Status { job } => match service.status(JobId(job)) {
+            Ok(state) => {
+                let (s, message) = match state {
+                    JobState::Submitted => ("submitted", None),
+                    JobState::Running => ("running", None),
+                    JobState::Finished(m) => ("finished", Some(m.clone())),
+                    JobState::Failed(m) => ("failed", Some(m.clone())),
+                    JobState::Cancelled => ("cancelled", None),
+                };
+                Response::Status { state: s.to_owned(), message }
+            }
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::Cancel { job } => match service.cancel(JobId(job)) {
+            Ok(()) => Response::Cancelled,
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::RunPending => Response::Ran { jobs: service.run_pending() },
+        Request::Query { statement } => match service.query(user, &statement) {
+            Ok(stardb::SqlOutput::Rows { columns, rows }) => Response::Rows {
+                columns,
+                rows: rows
+                    .iter()
+                    .map(|r| r.values().iter().map(ToString::to_string).collect())
+                    .collect(),
+            },
+            Ok(stardb::SqlOutput::Affected(rows)) => Response::Affected { rows },
+            Ok(stardb::SqlOutput::Done) => Response::Done,
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxbcg::MaxBcgConfig;
+    use skycore::kcorr::{KcorrConfig, KcorrTable};
+    use skysim::{Sky, SkyConfig};
+    use std::sync::Arc;
+
+    fn service_with_user() -> (CasJobs, u64) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let region = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+        let sky = Arc::new(Sky::generate(region, &SkyConfig::test(), &kcorr, 9));
+        let mut s = CasJobs::new(sky, MaxBcgConfig::default());
+        let u = s.register("wire-user").unwrap();
+        (s, u.0)
+    }
+
+    fn call(s: &mut CasJobs, user: u64, request: Request) -> Response {
+        let env = Envelope { version: WIRE_VERSION, user, request };
+        let json = serde_json::to_string(&env).unwrap();
+        serde_json::from_str(&handle_json(s, &json)).unwrap()
+    }
+
+    #[test]
+    fn full_job_lifecycle_over_the_wire() {
+        let (mut s, user) = service_with_user();
+        let r = call(
+            &mut s,
+            user,
+            Request::SubmitExtract { window: (180.0, 180.5, -0.2, 0.2), into: "w".into() },
+        );
+        let Response::Submitted { job } = r else { panic!("{r:?}") };
+        let r = call(&mut s, user, Request::Status { job });
+        assert!(matches!(r, Response::Status { ref state, .. } if state == "submitted"));
+        let r = call(&mut s, user, Request::RunPending);
+        assert!(matches!(r, Response::Ran { jobs: 1 }));
+        let r = call(&mut s, user, Request::Status { job });
+        let Response::Status { state, message } = r else { panic!() };
+        assert_eq!(state, "finished");
+        assert!(message.unwrap().contains("rows into w"));
+    }
+
+    #[test]
+    fn interactive_query_over_the_wire() {
+        let (mut s, user) = service_with_user();
+        call(
+            &mut s,
+            user,
+            Request::SubmitSql {
+                statement: "CREATE TABLE t (id BIGINT PRIMARY KEY, v FLOAT)".into(),
+            },
+        );
+        call(&mut s, user, Request::RunPending);
+        let r = call(
+            &mut s,
+            user,
+            Request::Query { statement: "INSERT INTO t VALUES (1, 2.5), (2, NULL)".into() },
+        );
+        assert!(matches!(r, Response::Affected { rows: 2 }));
+        let r = call(
+            &mut s,
+            user,
+            Request::Query { statement: "SELECT id, v FROM t ORDER BY id".into() },
+        );
+        let Response::Rows { columns, rows } = r else { panic!("{r:?}") };
+        assert_eq!(columns, vec!["id", "v"]);
+        assert_eq!(rows, vec![vec!["1", "2.5"], vec!["2", "NULL"]]);
+    }
+
+    #[test]
+    fn version_skew_and_garbage_are_rejected_gracefully() {
+        let (mut s, user) = service_with_user();
+        let env = Envelope { version: 99, user, request: Request::RunPending };
+        let out = handle_json(&mut s, &serde_json::to_string(&env).unwrap());
+        assert!(out.contains("unsupported wire version"));
+        let out = handle_json(&mut s, "{not json");
+        assert!(out.contains("malformed request"));
+    }
+
+    #[test]
+    fn unknown_user_and_job_error() {
+        let (mut s, _) = service_with_user();
+        let r = call(&mut s, 424242, Request::Query { statement: "SELECT 1 FROM t".into() });
+        assert!(matches!(r, Response::Error { .. }));
+        let r = call(&mut s, 1, Request::Status { job: 777 });
+        assert!(matches!(r, Response::Error { .. }));
+    }
+}

@@ -1,0 +1,188 @@
+//! `fIsCluster` and `spMakeClusters`: decide which candidates are the
+//! centers of their clusters.
+//!
+//! A candidate is a cluster center when it carries the maximum likelihood
+//! among all candidates within `radius(z)` degrees and `|Δz| <= 0.05` —
+//! found, as in the paper, by running the zone neighborhood search over the
+//! galaxy Zone table and joining the hits against `Candidates`.
+
+use crate::neighbors::visit_nearby;
+use skycore::bcg::{self, BcgParams};
+use skycore::kcorr::KcorrTable;
+use skycore::types::Candidate;
+use skycore::ZoneScheme;
+use stardb::{Database, DbResult, Row, Value};
+
+/// Decode a `Candidates`/`Clusters` row.
+pub fn candidate_from_row(row: &Row) -> DbResult<Candidate> {
+    Ok(Candidate {
+        objid: row.i64(0)?,
+        ra: row.f64(1)?,
+        dec: row.f64(2)?,
+        z: row.f64(3)?,
+        i: row.f64(4)?,
+        ngal: row.i64(5)? as i32,
+        chi2: row.f64(6)?,
+    })
+}
+
+/// Encode a candidate as a table row.
+pub fn candidate_row(c: &Candidate) -> Row {
+    Row(vec![
+        Value::BigInt(c.objid),
+        Value::Float(c.ra),
+        Value::Float(c.dec),
+        Value::Float(c.z),
+        Value::Real(c.i as f32),
+        Value::Int(c.ngal),
+        Value::Float(c.chi2),
+    ])
+}
+
+/// `fIsCluster`: is this candidate the best in its neighborhood?
+pub fn f_is_cluster(
+    db: &Database,
+    kcorr: &KcorrTable,
+    scheme: &ZoneScheme,
+    params: &BcgParams,
+    c: &Candidate,
+) -> DbResult<bool> {
+    let rad = kcorr.nearest(c.z).radius;
+    let mut best = f64::NEG_INFINITY;
+    let mut join_err: Option<stardb::DbError> = None;
+    visit_nearby(db, scheme, c.ra, c.dec, rad, |objid, _distance, _| {
+        match db.get("Candidates", &[Value::BigInt(objid)]) {
+            Ok(Some(row)) => {
+                // Only the z and chi2 columns matter for the max.
+                let z = row.f64(3).unwrap_or(f64::NAN);
+                let chi2 = row.f64(6).unwrap_or(f64::NEG_INFINITY);
+                if (z - c.z).abs() <= params.z_window {
+                    best = best.max(chi2);
+                }
+                true
+            }
+            Ok(None) => true, // a galaxy that is not a candidate
+            Err(e) => {
+                join_err = Some(e);
+                false
+            }
+        }
+    })?;
+    if let Some(e) = join_err {
+        return Err(e);
+    }
+    Ok(bcg::is_cluster_center(c.chi2, best, params))
+}
+
+/// `spMakeClusters`: truncate `Clusters` and insert every candidate for
+/// which `fIsCluster` returns 1. Returns the number of clusters.
+pub fn sp_make_clusters(
+    db: &mut Database,
+    kcorr: &KcorrTable,
+    scheme: &ZoneScheme,
+    params: &BcgParams,
+) -> DbResult<u64> {
+    db.truncate("Clusters")?;
+    // Materialize the candidate list first (the scan must not alias the
+    // inserts); candidate counts are ~3% of galaxies, so this is small.
+    let mut candidates = Vec::new();
+    db.scan_with("Candidates", |row| {
+        candidates.push(candidate_from_row(row)?);
+        Ok(true)
+    })?;
+    let mut n = 0;
+    for c in &candidates {
+        if f_is_cluster(db, kcorr, scheme, params, c)? {
+            db.insert("Clusters", candidate_row(c))?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::sp_import_galaxy;
+    use crate::schema::create_schema;
+    use crate::zone_task::sp_zone;
+    use skycore::kcorr::KcorrConfig;
+    use skycore::SkyRegion;
+    use stardb::DbConfig;
+
+    /// A hand-built Candidates table: one dominant candidate and one
+    /// nearby weaker one at the same redshift, plus a distant candidate.
+    fn setup() -> (Database, KcorrTable, ZoneScheme, Vec<Candidate>) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        // Galaxies backing the zone table: the three candidates.
+        let k = kcorr.nearest(0.2);
+        let mk = |objid: i64, ra: f64, dec: f64| {
+            skycore::Galaxy::with_derived_errors(objid, ra, dec, k.i, k.gr, k.ri)
+        };
+        let sky = skysim::Sky {
+            region: SkyRegion::new(179.0, 182.0, -1.0, 1.0),
+            galaxies: vec![mk(1, 180.5, 0.0), mk(2, 180.52, 0.01), mk(3, 181.5, 0.5)],
+            truth: vec![],
+        };
+        sp_import_galaxy(&mut db, &sky, &sky.region.clone()).unwrap();
+        let scheme = ZoneScheme::default();
+        sp_zone(&mut db, &scheme).unwrap();
+        let candidates = vec![
+            Candidate { objid: 1, ra: 180.5, dec: 0.0, z: 0.2, i: k.i, ngal: 10, chi2: 2.0 },
+            Candidate { objid: 2, ra: 180.52, dec: 0.01, z: 0.2, i: k.i, ngal: 4, chi2: 1.0 },
+            Candidate { objid: 3, ra: 181.5, dec: 0.5, z: 0.2, i: k.i, ngal: 5, chi2: 1.5 },
+        ];
+        for c in &candidates {
+            db.insert("Candidates", candidate_row(c)).unwrap();
+        }
+        (db, kcorr, scheme, candidates)
+    }
+
+    #[test]
+    fn dominant_candidate_wins_weaker_neighbor_loses() {
+        let (db, kcorr, scheme, cands) = setup();
+        let p = BcgParams::default();
+        assert!(f_is_cluster(&db, &kcorr, &scheme, &p, &cands[0]).unwrap());
+        assert!(!f_is_cluster(&db, &kcorr, &scheme, &p, &cands[1]).unwrap());
+        // The distant candidate has no competition.
+        assert!(f_is_cluster(&db, &kcorr, &scheme, &p, &cands[2]).unwrap());
+    }
+
+    #[test]
+    fn different_redshift_slices_do_not_compete() {
+        let (mut db, kcorr, scheme, mut cands) = setup();
+        let p = BcgParams::default();
+        // Move the weaker neighbor far in redshift: it now wins its own slice.
+        db.delete_by_key("Candidates", &[Value::BigInt(2)]).unwrap();
+        cands[1].z = 0.30;
+        db.insert("Candidates", candidate_row(&cands[1])).unwrap();
+        assert!(f_is_cluster(&db, &kcorr, &scheme, &p, &cands[1]).unwrap());
+    }
+
+    #[test]
+    fn sp_make_clusters_fills_table() {
+        let (mut db, kcorr, scheme, _) = setup();
+        let p = BcgParams::default();
+        let n = sp_make_clusters(&mut db, &kcorr, &scheme, &p).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.row_count("Clusters").unwrap(), 2);
+        let ids: Vec<i64> = db
+            .scan("Clusters")
+            .unwrap()
+            .iter()
+            .map(|r| r.i64(0).unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn rerun_is_idempotent() {
+        let (mut db, kcorr, scheme, _) = setup();
+        let p = BcgParams::default();
+        let a = sp_make_clusters(&mut db, &kcorr, &scheme, &p).unwrap();
+        let b = sp_make_clusters(&mut db, &kcorr, &scheme, &p).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,177 @@
+//! `fGetClusterGalaxiesMetric` and `spMakeGalaxiesMetric`: retrieve the
+//! galaxies belonging to each cluster — everything within
+//! `radius(z) * r200(ngal)` degrees of the BCG that sits inside the
+//! magnitude and ridge-line color windows at the cluster redshift.
+
+use crate::cluster::candidate_from_row;
+use crate::import::galaxy_from_payload;
+use crate::neighbors::visit_nearby;
+use skycore::bcg::{self, BcgParams};
+use skycore::kcorr::KcorrTable;
+use skycore::types::{Cluster, ClusterMember, Friend};
+use skycore::ZoneScheme;
+use stardb::{Database, DbResult, Row, Value};
+
+/// `fGetClusterGalaxiesMetric` for one cluster: the BCG itself (distance
+/// 0) plus every admitted member.
+pub fn f_get_cluster_galaxies(
+    db: &Database,
+    kcorr: &KcorrTable,
+    scheme: &ZoneScheme,
+    params: &BcgParams,
+    cluster: &Cluster,
+) -> DbResult<Vec<ClusterMember>> {
+    let k = kcorr.nearest(cluster.z);
+    let w = bcg::member_windows(k, cluster.i, f64::from(cluster.ngal), params);
+    // Insert the central galaxy first, as the SQL does.
+    let mut members = vec![ClusterMember {
+        cluster_objid: cluster.objid,
+        galaxy_objid: cluster.objid,
+        distance: 0.0,
+    }];
+    let mut join_err: Option<stardb::DbError> = None;
+    visit_nearby(db, scheme, cluster.ra, cluster.dec, w.radius_deg, |objid, distance, _| {
+        if objid == cluster.objid {
+            return true;
+        }
+        match db.get("Galaxy", &[Value::BigInt(objid)]) {
+            Ok(Some(row)) => {
+                let g = galaxy_from_payload(&row.encode());
+                let f = Friend { objid, distance, i: g.i, gr: g.gr, ri: g.ri };
+                if w.admits(&f) {
+                    members.push(ClusterMember {
+                        cluster_objid: cluster.objid,
+                        galaxy_objid: objid,
+                        distance,
+                    });
+                }
+                true
+            }
+            Ok(None) => true,
+            Err(e) => {
+                join_err = Some(e);
+                false
+            }
+        }
+    })?;
+    match join_err {
+        Some(e) => Err(e),
+        None => Ok(members),
+    }
+}
+
+/// `spMakeGalaxiesMetric`: loop over `Clusters` (a cursor in the paper)
+/// filling `ClusterGalaxiesMetric`. Returns the number of membership rows.
+pub fn sp_make_galaxies_metric(
+    db: &mut Database,
+    kcorr: &KcorrTable,
+    scheme: &ZoneScheme,
+    params: &BcgParams,
+) -> DbResult<u64> {
+    db.truncate("ClusterGalaxiesMetric")?;
+    let mut clusters = Vec::new();
+    db.scan_with("Clusters", |row| {
+        clusters.push(candidate_from_row(row)?);
+        Ok(true)
+    })?;
+    let mut n = 0;
+    for cluster in &clusters {
+        for m in f_get_cluster_galaxies(db, kcorr, scheme, params, cluster)? {
+            db.insert(
+                "ClusterGalaxiesMetric",
+                Row(vec![
+                    Value::BigInt(m.cluster_objid),
+                    Value::BigInt(m.galaxy_objid),
+                    Value::Float(m.distance),
+                ]),
+            )?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::candidate_row;
+    use crate::import::sp_import_galaxy;
+    use crate::schema::create_schema;
+    use crate::zone_task::sp_zone;
+    use skycore::kcorr::KcorrConfig;
+    use skycore::types::Candidate;
+    use skycore::{Galaxy, SkyRegion};
+    use stardb::DbConfig;
+
+    /// One cluster of known membership: BCG + 5 on-ridge members inside
+    /// the metric radius + contaminants (too blue / too bright / too far).
+    fn setup() -> (Database, KcorrTable, ZoneScheme, Cluster) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let k = kcorr.nearest(0.15);
+        let ngal = 6.0;
+        let rad = k.radius * bcg::r200_mpc(ngal);
+        let mut galaxies = vec![Galaxy::with_derived_errors(1, 180.0, 0.0, k.i, k.gr, k.ri)];
+        for j in 0..5i64 {
+            let ang = j as f64 * std::f64::consts::TAU / 5.0;
+            galaxies.push(Galaxy::with_derived_errors(
+                10 + j,
+                180.0 + 0.6 * rad * ang.cos(),
+                0.6 * rad * ang.sin(),
+                k.i + 1.0,
+                k.gr,
+                k.ri,
+            ));
+        }
+        // Contaminants: wrong color, brighter than BCG, outside radius.
+        galaxies.push(Galaxy::with_derived_errors(20, 180.01, 0.01, k.i + 1.0, k.gr - 0.5, k.ri));
+        galaxies.push(Galaxy::with_derived_errors(21, 180.02, 0.0, k.i - 1.0, k.gr, k.ri));
+        galaxies.push(Galaxy::with_derived_errors(22, 180.0 + 3.0 * rad, 0.0, k.i + 1.0, k.gr, k.ri));
+        let sky = skysim::Sky {
+            region: SkyRegion::new(179.0, 181.0, -1.0, 1.0),
+            galaxies,
+            truth: vec![],
+        };
+        sp_import_galaxy(&mut db, &sky, &sky.region.clone()).unwrap();
+        let scheme = ZoneScheme::default();
+        sp_zone(&mut db, &scheme).unwrap();
+        let cluster =
+            Candidate { objid: 1, ra: 180.0, dec: 0.0, z: 0.15, i: k.i, ngal: 6, chi2: 1.0 };
+        db.insert("Clusters", candidate_row(&cluster)).unwrap();
+        (db, kcorr, scheme, cluster)
+    }
+
+    #[test]
+    fn members_are_exactly_the_injected_ones() {
+        let (db, kcorr, scheme, cluster) = setup();
+        let p = BcgParams::default();
+        let members = f_get_cluster_galaxies(&db, &kcorr, &scheme, &p, &cluster).unwrap();
+        let mut ids: Vec<i64> = members.iter().map(|m| m.galaxy_objid).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn bcg_row_comes_first_with_distance_zero() {
+        let (db, kcorr, scheme, cluster) = setup();
+        let p = BcgParams::default();
+        let members = f_get_cluster_galaxies(&db, &kcorr, &scheme, &p, &cluster).unwrap();
+        assert_eq!(members[0].galaxy_objid, 1);
+        assert_eq!(members[0].distance, 0.0);
+        assert!(members[1..].iter().all(|m| m.distance > 0.0));
+    }
+
+    #[test]
+    fn metric_table_filled_by_procedure() {
+        let (mut db, kcorr, scheme, _) = setup();
+        let p = BcgParams::default();
+        let n = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(db.row_count("ClusterGalaxiesMetric").unwrap(), 6);
+        // Re-running truncates and refills.
+        let n2 = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p).unwrap();
+        assert_eq!(n2, 6);
+        assert_eq!(db.row_count("ClusterGalaxiesMetric").unwrap(), 6);
+    }
+}

@@ -1,0 +1,208 @@
+//! `fGetNearbyObjEqZd`: the zone-indexed neighborhood search.
+//!
+//! A line-by-line port of the paper's table-valued function: loop over the
+//! zones a search circle overlaps, cut on right ascension inside each zone
+//! with the per-zone narrowing factor `@x`, then keep objects whose squared
+//! chord distance beats `4 sin²(r/2)`. The range scans run against the
+//! `(zoneid, ra, objid)` clustered index — "this pure SQL approach avoids
+//! the cost of using expensive calls to the external C-HTM libraries".
+
+use crate::zone_task::zone_entry_from_payload;
+use skycore::angle::{chord2_of_deg, deg_of_chord_approx};
+use skycore::{UnitVec, ZoneScheme};
+use stardb::{Database, DbResult, Value};
+
+/// One neighbor hit: object id and angular distance in degrees (the
+/// paper's chord/d2r convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Object id from the Zone table.
+    pub objid: i64,
+    /// Angular distance to the query point, degrees.
+    pub distance: f64,
+}
+
+/// Find every Zone-table object within `r` degrees of `(ra, dec)`.
+/// The result includes the query object itself when it is in the table
+/// (distance 0), exactly as the SQL function does — callers exclude self
+/// where the paper's SQL has `n.objid != @objid`.
+pub fn nearby_obj_eq_zd(
+    db: &Database,
+    scheme: &ZoneScheme,
+    ra: f64,
+    dec: f64,
+    r: f64,
+) -> DbResult<Vec<Neighbor>> {
+    let mut out = Vec::new();
+    visit_nearby(db, scheme, ra, dec, r, |objid, distance, _| {
+        out.push(Neighbor { objid, distance });
+        true
+    })?;
+    Ok(out)
+}
+
+/// Visitor-form of [`nearby_obj_eq_zd`] for hot loops: called with
+/// `(objid, distance_deg, dec)` per hit; return `false` to stop.
+///
+/// Hits are buffered one zone at a time and `visit` runs *after* each
+/// zone's index scan completes, so the callback is free to query the
+/// database again (the `JOIN Galaxy` / `JOIN Candidates` of the paper's
+/// functions) — index scans themselves hold the buffer-pool latch and must
+/// not re-enter the engine.
+pub fn visit_nearby(
+    db: &Database,
+    scheme: &ZoneScheme,
+    ra: f64,
+    dec: f64,
+    r: f64,
+    mut visit: impl FnMut(i64, f64, f64) -> bool,
+) -> DbResult<()> {
+    let center = UnitVec::from_radec(ra, dec);
+    let r2 = chord2_of_deg(r);
+    let (zone_min, zone_max) = scheme.zone_range(dec, r);
+    let (dec_lo, dec_hi) = (dec - r, dec + r);
+    // Reused per-zone hit buffer: a zone stripe within the RA window holds
+    // at most a few dozen objects at survey densities.
+    let mut hits: Vec<(i64, f64, f64)> = Vec::new();
+    for zone in zone_min..=zone_max {
+        let x = scheme.ra_half_window(dec, r, zone);
+        let lo = [Value::Int(zone), Value::Float(ra - x)];
+        let hi = [Value::Int(zone), Value::Float(ra + x)];
+        hits.clear();
+        db.range_scan_prefix_raw("Zone", &lo, &hi, |payload| {
+            let e = zone_entry_from_payload(payload);
+            // The paper's WHERE clause: dec window plus exact chord cut.
+            if e.dec >= dec_lo && e.dec <= dec_hi {
+                let c2 = center.chord2(&e.pos);
+                if c2 < r2 {
+                    hits.push((e.objid, deg_of_chord_approx(c2.sqrt()), e.dec));
+                }
+            }
+            true
+        })?;
+        for &(objid, distance, hit_dec) in &hits {
+            if !visit(objid, distance, hit_dec) {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::sp_import_galaxy;
+    use crate::schema::create_schema;
+    use crate::zone_task::sp_zone;
+    use skycore::kcorr::{KcorrConfig, KcorrTable};
+    use skycore::SkyRegion;
+    use skysim::{Sky, SkyConfig};
+    use stardb::DbConfig;
+
+    fn setup(seed: u64) -> (Database, Sky, ZoneScheme) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let region = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+        let sky = Sky::generate(region, &SkyConfig::scaled(0.15), &kcorr, seed);
+        sp_import_galaxy(&mut db, &sky, &region).unwrap();
+        let scheme = ZoneScheme::default();
+        sp_zone(&mut db, &scheme).unwrap();
+        (db, sky, scheme)
+    }
+
+    fn brute_force(sky: &Sky, ra: f64, dec: f64, r: f64) -> Vec<i64> {
+        let center = UnitVec::from_radec(ra, dec);
+        let r2 = chord2_of_deg(r);
+        let mut ids: Vec<i64> = sky
+            .galaxies
+            .iter()
+            .filter(|g| center.chord2(&g.unit_vec()) < r2)
+            .map(|g| g.objid)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn matches_brute_force_at_several_radii() {
+        let (db, sky, scheme) = setup(31);
+        for &(ra, dec, r) in &[
+            (180.5, 0.0, 0.5),
+            (180.2, 0.3, 0.25),
+            (180.9, -0.4, 0.1),
+            (180.5, 0.45, 0.3), // circle sticks out of the populated region
+        ] {
+            let mut got: Vec<i64> = nearby_obj_eq_zd(&db, &scheme, ra, dec, r)
+                .unwrap()
+                .into_iter()
+                .map(|n| n.objid)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&sky, ra, dec, r), "at ({ra},{dec},{r})");
+        }
+    }
+
+    #[test]
+    fn includes_self_at_distance_zero() {
+        let (db, sky, scheme) = setup(32);
+        let g = &sky.galaxies[sky.galaxies.len() / 2];
+        let hits = nearby_obj_eq_zd(&db, &scheme, g.ra, g.dec, 0.05).unwrap();
+        let me = hits.iter().find(|n| n.objid == g.objid).expect("self must be found");
+        assert!(me.distance < 1e-9);
+    }
+
+    #[test]
+    fn distances_match_chord_convention() {
+        let (db, sky, scheme) = setup(33);
+        let g = &sky.galaxies[0];
+        let center = UnitVec::from_radec(g.ra, g.dec);
+        for n in nearby_obj_eq_zd(&db, &scheme, g.ra, g.dec, 0.3).unwrap() {
+            let other = sky.galaxies.iter().find(|x| x.objid == n.objid).unwrap();
+            let expect = center.sep_deg_approx(&other.unit_vec());
+            assert!((n.distance - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_region_returns_nothing() {
+        let (db, _, scheme) = setup(34);
+        // Far away from the populated window.
+        let hits = nearby_obj_eq_zd(&db, &scheme, 10.0, 45.0, 0.5).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn early_stop_via_visitor() {
+        let (db, _, scheme) = setup(35);
+        let mut n = 0;
+        visit_nearby(&db, &scheme, 180.5, 0.0, 0.5, |_, _, _| {
+            n += 1;
+            n < 5
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn coarse_zones_also_correct() {
+        // The search must be zone-height independent (the paper tried
+        // several heights in the zone-index tech report).
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let region = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+        let sky = Sky::generate(region, &SkyConfig::scaled(0.1), &kcorr, 36);
+        sp_import_galaxy(&mut db, &sky, &region).unwrap();
+        let coarse = ZoneScheme::with_height(0.25);
+        sp_zone(&mut db, &coarse).unwrap();
+        let mut got: Vec<i64> = nearby_obj_eq_zd(&db, &coarse, 180.5, 0.0, 0.4)
+            .unwrap()
+            .into_iter()
+            .map(|n| n.objid)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&sky, 180.5, 0.0, 0.4));
+    }
+}

@@ -1,0 +1,332 @@
+//! The MaxBCG database pipeline: the stored-procedure sequence of the
+//! paper's appendix, instrumented per task exactly as Table 1 reports it.
+
+use crate::candidate::f_bcg_candidate;
+use crate::cluster::{candidate_from_row, candidate_row, sp_make_clusters};
+use crate::import::{galaxy_from_row, sp_import_galaxy};
+use crate::members::sp_make_galaxies_metric;
+use crate::schema::create_schema;
+use crate::stats::RunReport;
+use crate::zone_task::sp_zone;
+use skycore::bcg::BcgParams;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::types::{Candidate, Cluster, ClusterMember};
+use skycore::{SkyRegion, ZoneScheme};
+use skysim::Sky;
+use stardb::{Database, DbConfig, DbResult, TaskStats};
+
+/// How `spMakeCandidates` iterates the galaxy table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationMode {
+    /// The paper's implementation: a SQL cursor, fetched row at a time
+    /// ("the iteration through the galaxy table uses SQL cursors which are
+    /// very slow. But there was no easy way to avoid them").
+    Cursor,
+    /// The set-based alternative §2.6 wishes for: one streaming scan.
+    SetBased,
+}
+
+/// Configuration of the database implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxBcgConfig {
+    /// Engine configuration.
+    pub db: DbConfig,
+    /// k-correction grid (the paper's SQL case: z-steps of 0.001).
+    pub kcorr: KcorrConfig,
+    /// Likelihood parameters.
+    pub params: BcgParams,
+    /// Zone height in degrees (the paper: 30 arcsec).
+    pub zone_height_deg: f64,
+    /// Galaxy-table iteration strategy.
+    pub iteration: IterationMode,
+    /// Early χ² filtering (§2.6); disable only for the ablation bench.
+    pub early_filter: bool,
+}
+
+impl Default for MaxBcgConfig {
+    fn default() -> Self {
+        MaxBcgConfig {
+            db: DbConfig::in_memory(),
+            kcorr: KcorrConfig::sql(),
+            params: BcgParams::default(),
+            zone_height_deg: skycore::angle::ZONE_HEIGHT_DEG,
+            iteration: IterationMode::Cursor,
+            early_filter: true,
+        }
+    }
+}
+
+/// A MaxBCG database instance: one `stardb` database holding the paper's
+/// schema, plus the k-correction table and zone scheme.
+pub struct MaxBcgDb {
+    db: Database,
+    kcorr: KcorrTable,
+    scheme: ZoneScheme,
+    config: MaxBcgConfig,
+}
+
+impl MaxBcgDb {
+    /// Create the database, schema, and k-correction table.
+    pub fn new(config: MaxBcgConfig) -> DbResult<Self> {
+        let kcorr = KcorrTable::generate(config.kcorr);
+        let mut db = Database::new(config.db);
+        create_schema(&mut db, &kcorr)?;
+        Ok(MaxBcgDb { db, kcorr, scheme: ZoneScheme::with_height(config.zone_height_deg), config })
+    }
+
+    /// The underlying database (read access for tests and reports).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database (ad-hoc SQL sessions over
+    /// the populated catalog, as `skyql` provides).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The k-correction table in use.
+    pub fn kcorr(&self) -> &KcorrTable {
+        &self.kcorr
+    }
+
+    /// `spImportGalaxy` as a measured task.
+    pub fn import_galaxy(&mut self, sky: &Sky, window: &SkyRegion) -> DbResult<TaskStats> {
+        let (_, stats) =
+            self.db.run_task("spImportGalaxy", |db| sp_import_galaxy(db, sky, window))?;
+        Ok(stats)
+    }
+
+    /// `spZone` as a measured task.
+    pub fn make_zone(&mut self) -> DbResult<TaskStats> {
+        let scheme = self.scheme;
+        let (_, stats) = self.db.run_task("spZone", |db| sp_zone(db, &scheme))?;
+        Ok(stats)
+    }
+
+    /// `spMakeCandidates` over `window` as a measured task (the paper files
+    /// its time under `fBCGCandidate`, the function doing the work).
+    pub fn make_candidates(&mut self, window: &SkyRegion) -> DbResult<TaskStats> {
+        let kcorr = &self.kcorr;
+        let scheme = self.scheme;
+        let params = self.config.params;
+        let iteration = self.config.iteration;
+        let early = self.config.early_filter;
+        let (_, stats) = self.db.run_task("fBCGCandidate", |db| {
+            db.truncate("Candidates")?;
+            match iteration {
+                IterationMode::Cursor => {
+                    let mut cursor = db.cursor("Galaxy")?;
+                    while let Some(row) = cursor.fetch_next(db)? {
+                        let g = galaxy_from_row(&row)?;
+                        if !window.contains(g.ra, g.dec) {
+                            continue;
+                        }
+                        if let Some(c) = f_bcg_candidate(db, kcorr, &scheme, &params, &g, early)? {
+                            db.insert("Candidates", candidate_row(&c))?;
+                        }
+                    }
+                }
+                IterationMode::SetBased => {
+                    let mut galaxies = Vec::new();
+                    db.scan_with("Galaxy", |row| {
+                        let g = galaxy_from_row(row)?;
+                        if window.contains(g.ra, g.dec) {
+                            galaxies.push(g);
+                        }
+                        Ok(true)
+                    })?;
+                    for g in &galaxies {
+                        if let Some(c) = f_bcg_candidate(db, kcorr, &scheme, &params, g, early)? {
+                            db.insert("Candidates", candidate_row(&c))?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    /// `spMakeClusters` as a measured task (Table 1's `fIsCluster` row).
+    pub fn make_clusters(&mut self) -> DbResult<TaskStats> {
+        let kcorr = &self.kcorr;
+        let scheme = self.scheme;
+        let params = self.config.params;
+        let (_, stats) = self
+            .db
+            .run_task("fIsCluster", |db| sp_make_clusters(db, kcorr, &scheme, &params))?;
+        Ok(stats)
+    }
+
+    /// `spMakeGalaxiesMetric` as a measured task.
+    pub fn make_galaxies_metric(&mut self) -> DbResult<TaskStats> {
+        let kcorr = &self.kcorr;
+        let scheme = self.scheme;
+        let params = self.config.params;
+        let (_, stats) = self.db.run_task("spMakeGalaxiesMetric", |db| {
+            sp_make_galaxies_metric(db, kcorr, &scheme, &params)
+        })?;
+        Ok(stats)
+    }
+
+    /// Run the full pipeline: import `import_window`, zone, find candidates
+    /// over `candidate_window` (the target plus its 0.5 deg buffer, Figure
+    /// 4), select clusters, retrieve members.
+    ///
+    /// ```
+    /// use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+    /// use skycore::kcorr::KcorrTable;
+    /// use skycore::SkyRegion;
+    /// use skysim::{Sky, SkyConfig};
+    ///
+    /// let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    /// let kcorr = KcorrTable::generate(config.kcorr);
+    /// let survey = SkyRegion::new(180.0, 181.5, -0.75, 0.75);
+    /// let sky = Sky::generate(survey, &SkyConfig::test(), &kcorr, 7);
+    /// let mut db = MaxBcgDb::new(config).unwrap();
+    /// let report = db.run("demo", &sky, &survey, &survey.shrunk(0.5)).unwrap();
+    /// assert_eq!(report.galaxies as usize, sky.galaxies.len());
+    /// assert_eq!(report.tasks.len(), 5); // import, zone, candidates, clusters, members
+    /// ```
+    pub fn run(
+        &mut self,
+        label: &str,
+        sky: &Sky,
+        import_window: &SkyRegion,
+        candidate_window: &SkyRegion,
+    ) -> DbResult<RunReport> {
+        let tasks = vec![
+            self.import_galaxy(sky, import_window)?,
+            self.make_zone()?,
+            self.make_candidates(candidate_window)?,
+            self.make_clusters()?,
+            self.make_galaxies_metric()?,
+        ];
+        Ok(RunReport {
+            label: label.to_owned(),
+            tasks,
+            galaxies: self.db.row_count("Galaxy")?,
+            candidates: self.db.row_count("Candidates")?,
+            clusters: self.db.row_count("Clusters")?,
+            members: self.db.row_count("ClusterGalaxiesMetric")?,
+        })
+    }
+
+    /// Materialize the candidate catalog.
+    pub fn candidates(&self) -> DbResult<Vec<Candidate>> {
+        let mut out = Vec::new();
+        self.db.scan_with("Candidates", |row| {
+            out.push(candidate_from_row(row)?);
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Materialize the cluster catalog.
+    pub fn clusters(&self) -> DbResult<Vec<Cluster>> {
+        let mut out = Vec::new();
+        self.db.scan_with("Clusters", |row| {
+            out.push(candidate_from_row(row)?);
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Materialize the membership table.
+    pub fn members(&self) -> DbResult<Vec<ClusterMember>> {
+        let mut out = Vec::new();
+        self.db.scan_with("ClusterGalaxiesMetric", |row| {
+            out.push(ClusterMember {
+                cluster_objid: row.i64(0)?,
+                galaxy_objid: row.i64(1)?,
+                distance: row.f64(2)?,
+            });
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysim::SkyConfig;
+
+    fn run_pipeline(iteration: IterationMode) -> (MaxBcgDb, RunReport, Sky) {
+        let config = MaxBcgConfig { iteration, ..MaxBcgConfig::default() };
+        let kcorr = KcorrTable::generate(config.kcorr);
+        let survey = SkyRegion::new(180.0, 182.2, -1.1, 1.1);
+        let mut sky_cfg = SkyConfig::scaled(0.15);
+        sky_cfg.clusters.density_per_deg2 = 12.0;
+        let sky = Sky::generate(survey, &sky_cfg, &kcorr, 404);
+        let target = survey.shrunk(0.5); // leave a candidate buffer
+        let mut db = MaxBcgDb::new(config).unwrap();
+        let report = db.run("test", &sky, &survey, &target).unwrap();
+        (db, report, sky)
+    }
+
+    #[test]
+    fn full_pipeline_produces_catalogs() {
+        let (db, report, sky) = run_pipeline(IterationMode::Cursor);
+        assert_eq!(report.galaxies as usize, sky.galaxies.len());
+        assert!(report.candidates > 0, "must find candidates");
+        assert!(report.clusters > 0, "must find clusters");
+        assert!(report.clusters <= report.candidates);
+        assert!(report.members >= report.clusters, "every cluster lists its BCG");
+        assert_eq!(report.tasks.len(), 5);
+        // Every cluster is a candidate.
+        let clusters = db.clusters().unwrap();
+        let cands = db.candidates().unwrap();
+        for c in &clusters {
+            assert!(cands.iter().any(|k| k == c));
+        }
+    }
+
+    #[test]
+    fn cursor_and_set_based_agree_exactly() {
+        let (a, _, _) = run_pipeline(IterationMode::Cursor);
+        let (b, _, _) = run_pipeline(IterationMode::SetBased);
+        assert_eq!(a.candidates().unwrap(), b.candidates().unwrap());
+        assert_eq!(a.clusters().unwrap(), b.clusters().unwrap());
+        assert_eq!(a.members().unwrap(), b.members().unwrap());
+    }
+
+    #[test]
+    fn recovers_most_injected_interior_clusters() {
+        let (db, _, sky) = run_pipeline(IterationMode::Cursor);
+        let clusters = db.clusters().unwrap();
+        let interior = sky.region.shrunk(0.6);
+        let mut hit = 0;
+        let mut total = 0;
+        for t in sky.truth_in(&interior).filter(|t| t.members >= 8) {
+            total += 1;
+            // Recovered if some cluster BCG sits within 2 arcmin.
+            if clusters.iter().any(|c| {
+                skycore::coords::sep_radec_deg(c.ra, c.dec, t.ra, t.dec) < 2.0 / 60.0
+            }) {
+                hit += 1;
+            }
+        }
+        assert!(total >= 3, "need clusters to score, got {total}");
+        // Boosted cluster density makes clusters compete inside each
+        // other's comparison radius (real MaxBCG behavior: only the best
+        // candidate of a neighborhood survives fIsCluster), so recovery
+        // of *individual* injections saturates below 100%.
+        assert!(hit * 2 >= total, "recovered {hit}/{total}");
+    }
+
+    #[test]
+    fn task_stats_have_paper_names() {
+        let (_, report, _) = run_pipeline(IterationMode::SetBased);
+        let names: Vec<&str> = report.tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["spImportGalaxy", "spZone", "fBCGCandidate", "fIsCluster", "spMakeGalaxiesMetric"]
+        );
+        // Every task did measurable work. (The Table 1 claim that
+        // fBCGCandidate dominates holds at survey densities and is checked
+        // by the table1 bench, not at unit-test scale.)
+        assert!(report.tasks.iter().all(|t| t.logical_reads > 0));
+    }
+}

@@ -1,0 +1,159 @@
+//! `spZone`: arrange the data in zones so neighborhood searches are
+//! efficient — "this task assigns a ZoneID and creates a clustered index on
+//! the data" (§2.4, Table 1's first row).
+
+use crate::import::galaxy_from_payload;
+use skycore::{UnitVec, ZoneScheme};
+use stardb::{Database, DbResult, Row, Value};
+
+/// Rebuild the `Zone` table from `Galaxy`: one row per galaxy with its
+/// zone number and unit vector, clustered on `(zoneid, ra, objid)`.
+/// Returns the number of zone rows written.
+pub fn sp_zone(db: &mut Database, scheme: &ZoneScheme) -> DbResult<u64> {
+    db.truncate("Zone")?;
+    // Collect first: the scan borrows the database immutably while inserts
+    // need it mutably — and a real engine would similarly materialize the
+    // sort run before building the clustered index.
+    let mut rows: Vec<Row> = Vec::new();
+    db.scan_with("Galaxy", |row| {
+        let g = galaxy_from_payload(&row.encode());
+        let v = UnitVec::from_radec(g.ra, g.dec);
+        rows.push(Row(vec![
+            Value::Int(scheme.zone_of(g.dec)),
+            Value::Float(g.ra),
+            Value::BigInt(g.objid),
+            Value::Float(g.dec),
+            Value::Float(v.x),
+            Value::Float(v.y),
+            Value::Float(v.z),
+        ]));
+        Ok(true)
+    })?;
+    // Sort by the clustered key so the B-tree builds append-mostly, the
+    // way `CREATE CLUSTERED INDEX` bulk-sorts.
+    rows.sort_by(|a, b| {
+        (a.i64(0).unwrap(), a.f64(1).unwrap_or(0.0))
+            .partial_cmp(&(b.i64(0).unwrap(), b.f64(1).unwrap_or(0.0)))
+            .unwrap()
+    });
+    let mut n = 0;
+    for row in rows {
+        db.insert("Zone", row)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Fast decode of the fixed-layout `Zone` payload:
+/// `[1+4 zoneid][1+8 ra][1+8 objid][1+8 dec][1+8 cx][1+8 cy][1+8 cz]`
+/// = 59 bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneEntry {
+    /// Zone number.
+    pub zoneid: i32,
+    /// Right ascension, degrees.
+    pub ra: f64,
+    /// Object id.
+    pub objid: i64,
+    /// Declination, degrees.
+    pub dec: f64,
+    /// Unit vector.
+    pub pos: UnitVec,
+}
+
+/// Decode a `Zone` row payload (see [`ZoneEntry`]).
+pub fn zone_entry_from_payload(p: &[u8]) -> ZoneEntry {
+    debug_assert_eq!(p.len(), 59, "zone payload layout drifted");
+    #[inline]
+    fn f64_at(p: &[u8], off: usize) -> f64 {
+        f64::from_le_bytes(p[off..off + 8].try_into().unwrap())
+    }
+    ZoneEntry {
+        zoneid: i32::from_le_bytes(p[1..5].try_into().unwrap()),
+        ra: f64_at(p, 6),
+        objid: i64::from_le_bytes(p[15..23].try_into().unwrap()),
+        dec: f64_at(p, 24),
+        pos: UnitVec { x: f64_at(p, 33), y: f64_at(p, 42), z: f64_at(p, 51) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::sp_import_galaxy;
+    use crate::schema::create_schema;
+    use skycore::kcorr::{KcorrConfig, KcorrTable};
+    use skycore::SkyRegion;
+    use skysim::{Sky, SkyConfig};
+    use stardb::DbConfig;
+
+    fn setup() -> Database {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let region = SkyRegion::new(180.0, 180.6, 0.0, 0.6);
+        let sky = Sky::generate(region, &SkyConfig::test(), &kcorr, 11);
+        sp_import_galaxy(&mut db, &sky, &region).unwrap();
+        db
+    }
+
+    #[test]
+    fn zone_rows_match_galaxy_rows() {
+        let mut db = setup();
+        let n = sp_zone(&mut db, &ZoneScheme::default()).unwrap();
+        assert_eq!(n, db.row_count("Galaxy").unwrap());
+        assert_eq!(n, db.row_count("Zone").unwrap());
+    }
+
+    #[test]
+    fn zone_assignment_follows_formula() {
+        let mut db = setup();
+        let scheme = ZoneScheme::default();
+        sp_zone(&mut db, &scheme).unwrap();
+        db.scan_with("Zone", |row| {
+            let zoneid = row.i64(0).unwrap() as i32;
+            let dec = row.f64(3).unwrap();
+            assert_eq!(zoneid, scheme.zone_of(dec));
+            Ok(true)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn zone_table_is_ordered_by_zone_then_ra() {
+        let mut db = setup();
+        sp_zone(&mut db, &ZoneScheme::default()).unwrap();
+        let mut last: Option<(i64, f64)> = None;
+        db.scan_with("Zone", |row| {
+            let key = (row.i64(0).unwrap(), row.f64(1).unwrap());
+            if let Some(prev) = last {
+                assert!(prev <= key, "{prev:?} > {key:?}");
+            }
+            last = Some(key);
+            Ok(true)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rezone_is_idempotent() {
+        let mut db = setup();
+        let scheme = ZoneScheme::default();
+        let n1 = sp_zone(&mut db, &scheme).unwrap();
+        let n2 = sp_zone(&mut db, &scheme).unwrap();
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn fast_zone_decode_matches_row() {
+        let mut db = setup();
+        sp_zone(&mut db, &ZoneScheme::default()).unwrap();
+        let rows = db.scan("Zone").unwrap();
+        let row = &rows[0];
+        let entry = zone_entry_from_payload(&row.encode());
+        assert_eq!(entry.zoneid as i64, row.i64(0).unwrap());
+        assert_eq!(entry.ra, row.f64(1).unwrap());
+        assert_eq!(entry.objid, row.i64(2).unwrap());
+        assert_eq!(entry.pos.x, row.f64(4).unwrap());
+    }
+}

@@ -1,0 +1,316 @@
+//! A Chimera-style virtual data catalog.
+//!
+//! The TAM pipeline entered the Grid world through the Chimera Virtual Data
+//! System ("Applying Chimera Virtual Data Concepts to Cluster Finding in
+//! the Sloan Sky Survey", the paper's reference [6]): files are *virtual* —
+//! described by the transformation that derives them from other files — and
+//! materialized on demand. This module implements that model over the
+//! [`DataArchiveServer`]: register derivations, ask for a file, and the
+//! catalog recursively materializes missing ancestors, records lineage, and
+//! counts what actually ran.
+
+use crate::das::{DasError, DataArchiveServer};
+use std::collections::{HashMap, HashSet};
+
+/// A derivation executor: given the input files' bytes, produce the
+/// outputs' bytes (parallel to the registered output list).
+pub type Executor = Box<dyn Fn(&[Vec<u8>]) -> Result<Vec<Vec<u8>>, String> + Send + Sync>;
+
+/// One registered derivation.
+struct Derivation {
+    transformation: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+}
+
+/// Errors from the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChimeraError {
+    /// The file is neither present in the archive nor derivable.
+    NotDerivable(String),
+    /// A derivation cycle was detected while materializing.
+    Cycle(String),
+    /// The executor for a transformation failed.
+    ExecutorFailed {
+        /// Transformation name.
+        transformation: String,
+        /// Failure message.
+        message: String,
+    },
+    /// Fetch from the archive failed unexpectedly.
+    Das(String),
+    /// Two derivations claim the same output.
+    DuplicateOutput(String),
+    /// No executor registered for a transformation.
+    NoExecutor(String),
+}
+
+impl std::fmt::Display for ChimeraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChimeraError::NotDerivable(f0) => write!(f, "{f0} is not derivable"),
+            ChimeraError::Cycle(f0) => write!(f, "derivation cycle through {f0}"),
+            ChimeraError::ExecutorFailed { transformation, message } => {
+                write!(f, "{transformation} failed: {message}")
+            }
+            ChimeraError::Das(m) => write!(f, "archive error: {m}"),
+            ChimeraError::DuplicateOutput(o) => write!(f, "{o} already has a derivation"),
+            ChimeraError::NoExecutor(t) => write!(f, "no executor for {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ChimeraError {}
+
+/// The virtual data catalog.
+#[derive(Default)]
+pub struct VirtualDataCatalog {
+    derivations: Vec<Derivation>,
+    by_output: HashMap<String, usize>,
+    executors: HashMap<String, Executor>,
+    materialized: std::sync::atomic::AtomicU64,
+}
+
+impl VirtualDataCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a transformation executor.
+    pub fn register_executor(&mut self, transformation: &str, exec: Executor) {
+        self.executors.insert(transformation.to_owned(), exec);
+    }
+
+    /// Register a derivation: `outputs` are produced by `transformation`
+    /// from `inputs`.
+    pub fn register_derivation(
+        &mut self,
+        transformation: &str,
+        inputs: &[&str],
+        outputs: &[&str],
+    ) -> Result<(), ChimeraError> {
+        for o in outputs {
+            if self.by_output.contains_key(*o) {
+                return Err(ChimeraError::DuplicateOutput((*o).to_owned()));
+            }
+        }
+        let idx = self.derivations.len();
+        self.derivations.push(Derivation {
+            transformation: transformation.to_owned(),
+            inputs: inputs.iter().map(|s| (*s).to_owned()).collect(),
+            outputs: outputs.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        for o in outputs {
+            self.by_output.insert((*o).to_owned(), idx);
+        }
+        Ok(())
+    }
+
+    /// Number of derivations actually executed so far (virtual-data hit
+    /// rate accounting: re-requests of materialized files run nothing).
+    pub fn materializations(&self) -> u64 {
+        self.materialized.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The transitive input closure of a file (its provenance), in
+    /// dependency order, not including the file itself. Raw (underived)
+    /// files appear too.
+    pub fn lineage(&self, file: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        self.lineage_rec(file, &mut seen, &mut out);
+        out
+    }
+
+    fn lineage_rec(&self, file: &str, seen: &mut HashSet<String>, out: &mut Vec<String>) {
+        if let Some(&idx) = self.by_output.get(file) {
+            for input in &self.derivations[idx].inputs {
+                if seen.insert(input.clone()) {
+                    self.lineage_rec(input, seen, out);
+                    out.push(input.clone());
+                }
+            }
+        }
+    }
+
+    /// Ensure `file` exists in the archive, deriving it (and any missing
+    /// ancestors) if needed. Returns the file's bytes.
+    pub fn materialize(
+        &self,
+        das: &DataArchiveServer,
+        file: &str,
+    ) -> Result<Vec<u8>, ChimeraError> {
+        let mut in_flight = HashSet::new();
+        self.materialize_rec(das, file, &mut in_flight)
+    }
+
+    fn materialize_rec(
+        &self,
+        das: &DataArchiveServer,
+        file: &str,
+        in_flight: &mut HashSet<String>,
+    ) -> Result<Vec<u8>, ChimeraError> {
+        if das.exists(file) {
+            return das
+                .fetch(file)
+                .map(|(bytes, _)| bytes)
+                .map_err(|e: DasError| ChimeraError::Das(e.to_string()));
+        }
+        let Some(&idx) = self.by_output.get(file) else {
+            return Err(ChimeraError::NotDerivable(file.to_owned()));
+        };
+        if !in_flight.insert(file.to_owned()) {
+            return Err(ChimeraError::Cycle(file.to_owned()));
+        }
+        let d = &self.derivations[idx];
+        let mut inputs = Vec::with_capacity(d.inputs.len());
+        for input in &d.inputs {
+            inputs.push(self.materialize_rec(das, input, in_flight)?);
+        }
+        let exec = self
+            .executors
+            .get(&d.transformation)
+            .ok_or_else(|| ChimeraError::NoExecutor(d.transformation.clone()))?;
+        let outputs = exec(&inputs).map_err(|message| ChimeraError::ExecutorFailed {
+            transformation: d.transformation.clone(),
+            message,
+        })?;
+        if outputs.len() != d.outputs.len() {
+            return Err(ChimeraError::ExecutorFailed {
+                transformation: d.transformation.clone(),
+                message: format!(
+                    "produced {} outputs, {} registered",
+                    outputs.len(),
+                    d.outputs.len()
+                ),
+            });
+        }
+        self.materialized.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut wanted = None;
+        for (name, bytes) in d.outputs.iter().zip(outputs) {
+            if name == file {
+                wanted = Some(bytes.clone());
+            }
+            das.publish(name.clone(), bytes);
+        }
+        in_flight.remove(file);
+        Ok(wanted.expect("file is one of the derivation's outputs"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::das::NetworkModel;
+
+    /// raw.cat --cut--> field.target + field.buffer --find--> field.clusters
+    fn catalog() -> (VirtualDataCatalog, DataArchiveServer) {
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        das.publish("raw.cat", b"g1 g2 g3 g4".to_vec());
+        let mut vdc = VirtualDataCatalog::new();
+        vdc.register_executor(
+            "cut",
+            Box::new(|inputs| {
+                let raw = String::from_utf8_lossy(&inputs[0]).to_string();
+                let gals: Vec<&str> = raw.split_whitespace().collect();
+                Ok(vec![
+                    gals[..2].join(" ").into_bytes(),
+                    gals.join(" ").into_bytes(),
+                ])
+            }),
+        );
+        vdc.register_executor(
+            "find",
+            Box::new(|inputs| {
+                let n = inputs.iter().map(|b| b.split(|&c| c == b' ').count()).sum::<usize>();
+                Ok(vec![format!("clusters:{n}").into_bytes()])
+            }),
+        );
+        vdc.register_derivation("cut", &["raw.cat"], &["field.target", "field.buffer"])
+            .unwrap();
+        vdc.register_derivation(
+            "find",
+            &["field.target", "field.buffer"],
+            &["field.clusters"],
+        )
+        .unwrap();
+        (vdc, das)
+    }
+
+    #[test]
+    fn materializes_transitively() {
+        let (vdc, das) = catalog();
+        assert!(!das.exists("field.clusters"));
+        let bytes = vdc.materialize(&das, "field.clusters").unwrap();
+        assert_eq!(bytes, b"clusters:6");
+        // Both stages ran, and every intermediate is now published.
+        assert_eq!(vdc.materializations(), 2);
+        assert!(das.exists("field.target") && das.exists("field.buffer"));
+    }
+
+    #[test]
+    fn rerequests_hit_the_archive_not_the_executor() {
+        let (vdc, das) = catalog();
+        vdc.materialize(&das, "field.clusters").unwrap();
+        vdc.materialize(&das, "field.clusters").unwrap();
+        assert_eq!(vdc.materializations(), 2, "second request must be a pure fetch");
+    }
+
+    #[test]
+    fn lineage_is_complete_and_ordered() {
+        let (vdc, _) = catalog();
+        let lineage = vdc.lineage("field.clusters");
+        assert_eq!(lineage, vec!["raw.cat", "field.target", "field.buffer"]);
+        assert!(vdc.lineage("raw.cat").is_empty());
+    }
+
+    #[test]
+    fn underivable_and_missing_executor_errors() {
+        let (vdc, das) = catalog();
+        assert_eq!(
+            vdc.materialize(&das, "nope.fits"),
+            Err(ChimeraError::NotDerivable("nope.fits".into()))
+        );
+        let mut vdc2 = VirtualDataCatalog::new();
+        vdc2.register_derivation("ghost", &["raw.cat"], &["x"]).unwrap();
+        let das2 = DataArchiveServer::new(NetworkModel::instant());
+        das2.publish("raw.cat", vec![1]);
+        assert_eq!(
+            vdc2.materialize(&das2, "x"),
+            Err(ChimeraError::NoExecutor("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut vdc = VirtualDataCatalog::new();
+        vdc.register_executor("id", Box::new(|i| Ok(vec![i[0].clone()])));
+        vdc.register_derivation("id", &["b"], &["a"]).unwrap();
+        vdc.register_derivation("id", &["a"], &["b"]).unwrap();
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        assert!(matches!(vdc.materialize(&das, "a"), Err(ChimeraError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicate_outputs_rejected() {
+        let mut vdc = VirtualDataCatalog::new();
+        vdc.register_derivation("t", &[], &["out"]).unwrap();
+        assert_eq!(
+            vdc.register_derivation("t2", &[], &["out"]),
+            Err(ChimeraError::DuplicateOutput("out".into()))
+        );
+    }
+
+    #[test]
+    fn executor_failure_surfaces() {
+        let mut vdc = VirtualDataCatalog::new();
+        vdc.register_executor("boom", Box::new(|_| Err("no disk".into())));
+        vdc.register_derivation("boom", &[], &["out"]).unwrap();
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        assert!(matches!(
+            vdc.materialize(&das, "out"),
+            Err(ChimeraError::ExecutorFailed { .. })
+        ));
+    }
+}

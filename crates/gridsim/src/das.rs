@@ -1,0 +1,192 @@
+//! The Data Archive Server: the remote file store Grid jobs stage their
+//! inputs from.
+//!
+//! "As is common in astronomical file-based Grid applications, the TAM and
+//! Chimera implementations use hundreds of thousands of files fetched from
+//! the SDSS Data Archive Server (DAS) to the computing nodes" (§2). This
+//! module models that store: named files, a network cost model, and
+//! transfer accounting. Fetches return real bytes (jobs actually parse
+//! them) plus the *modeled* wall time the transfer would have cost.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Network cost model for DAS transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Sustained bandwidth in megabytes per second.
+    pub bandwidth_mb_s: f64,
+    /// Per-file latency (request + metadata + seek).
+    pub latency_ms: f64,
+}
+
+impl NetworkModel {
+    /// A 2004-era campus link: ~10 MB/s with 20 ms per-file overhead.
+    pub fn campus_2004() -> Self {
+        NetworkModel { bandwidth_mb_s: 10.0, latency_ms: 20.0 }
+    }
+
+    /// Free transfers (unit tests).
+    pub fn instant() -> Self {
+        NetworkModel { bandwidth_mb_s: f64::INFINITY, latency_ms: 0.0 }
+    }
+
+    /// Modeled wall time to move `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let secs = self.latency_ms / 1000.0 + bytes as f64 / (self.bandwidth_mb_s * 1e6);
+        Duration::from_secs_f64(secs)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::campus_2004()
+    }
+}
+
+/// Errors from the archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DasError {
+    /// The requested file does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for DasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DasError::NotFound(name) => write!(f, "DAS file not found: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DasError {}
+
+/// Cumulative transfer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferTotals {
+    /// Files served.
+    pub files: u64,
+    /// Bytes served.
+    pub bytes: u64,
+    /// Modeled transfer nanoseconds.
+    pub modeled_nanos: u64,
+}
+
+impl TransferTotals {
+    /// Modeled transfer time.
+    pub fn modeled(&self) -> Duration {
+        Duration::from_nanos(self.modeled_nanos)
+    }
+}
+
+/// The archive server. Thread-safe: many node slots fetch concurrently.
+pub struct DataArchiveServer {
+    files: RwLock<HashMap<String, Vec<u8>>>,
+    network: NetworkModel,
+    files_served: AtomicU64,
+    bytes_served: AtomicU64,
+    modeled_nanos: AtomicU64,
+}
+
+impl DataArchiveServer {
+    /// Create an empty archive with the given network model.
+    pub fn new(network: NetworkModel) -> Self {
+        DataArchiveServer {
+            files: RwLock::new(HashMap::new()),
+            network,
+            files_served: AtomicU64::new(0),
+            bytes_served: AtomicU64::new(0),
+            modeled_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish (or replace) a file.
+    pub fn publish(&self, name: impl Into<String>, data: Vec<u8>) {
+        self.files.write().insert(name.into(), data);
+    }
+
+    /// Number of files in the archive.
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// `true` when `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// Fetch a file: returns the bytes and the modeled transfer time, and
+    /// updates the counters.
+    pub fn fetch(&self, name: &str) -> Result<(Vec<u8>, Duration), DasError> {
+        let data = self
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DasError::NotFound(name.to_owned()))?;
+        let t = self.network.transfer_time(data.len() as u64);
+        self.files_served.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.modeled_nanos.fetch_add(t.as_nanos() as u64, Ordering::Relaxed);
+        Ok((data, t))
+    }
+
+    /// Snapshot the transfer counters.
+    pub fn totals(&self) -> TransferTotals {
+        TransferTotals {
+            files: self.files_served.load(Ordering::Relaxed),
+            bytes: self.bytes_served.load(Ordering::Relaxed),
+            modeled_nanos: self.modeled_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_fetch() {
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        das.publish("field-001.tgt", vec![1, 2, 3]);
+        assert!(das.exists("field-001.tgt"));
+        let (data, _t) = das.fetch("field-001.tgt").unwrap();
+        assert_eq!(data, vec![1, 2, 3]);
+        assert_eq!(das.file_count(), 1);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        assert_eq!(
+            das.fetch("nope"),
+            Err(DasError::NotFound("nope".into()))
+        );
+    }
+
+    #[test]
+    fn transfer_model_scales_with_size() {
+        let n = NetworkModel { bandwidth_mb_s: 10.0, latency_ms: 20.0 };
+        let small = n.transfer_time(0);
+        let big = n.transfer_time(10_000_000); // 10 MB at 10 MB/s = 1 s
+        assert_eq!(small, Duration::from_millis(20));
+        assert!((big.as_secs_f64() - 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let das = DataArchiveServer::new(NetworkModel::campus_2004());
+        das.publish("a", vec![0u8; 1000]);
+        das.publish("b", vec![0u8; 3000]);
+        das.fetch("a").unwrap();
+        das.fetch("b").unwrap();
+        das.fetch("a").unwrap();
+        let t = das.totals();
+        assert_eq!(t.files, 3);
+        assert_eq!(t.bytes, 5000);
+        assert!(t.modeled() >= Duration::from_millis(60), "3 fetches x 20 ms latency");
+    }
+}

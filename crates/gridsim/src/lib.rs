@@ -1,0 +1,20 @@
+//! # gridsim — the Grid substrate
+//!
+//! A simulation of the 2004-era Grid environment the paper's file-based
+//! MaxBCG ran in: virtual compute nodes ([`node`]), a Data Archive Server
+//! with a network cost model ([`das`]), and a Condor-style batch scheduler
+//! ([`scheduler`]) that executes real Rust jobs while accounting node time
+//! virtually (scaled by node clock speed) so TAM-vs-SQL comparisons do not
+//! depend on the benchmark host.
+
+#![warn(missing_docs)]
+
+pub mod chimera;
+pub mod das;
+pub mod node;
+pub mod scheduler;
+
+pub use chimera::VirtualDataCatalog;
+pub use das::{DataArchiveServer, NetworkModel, TransferTotals};
+pub use node::{sql_cluster, tam_cluster, NodeSpec};
+pub use scheduler::{BatchReport, GridCluster, JobRun, JobSpec, StageIn};

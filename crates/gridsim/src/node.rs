@@ -1,0 +1,68 @@
+//! Virtual compute nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of one grid node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node name (e.g. `tam3`).
+    pub name: String,
+    /// Clock speed in GHz, used to scale measured compute time into the
+    /// node's virtual time (a 600 MHz TAM node runs a job `host/0.6`
+    /// times slower than the benchmark host).
+    pub cpu_ghz: f64,
+    /// Number of CPUs (job slots).
+    pub cpus: usize,
+    /// RAM in MB. Jobs whose declared working set exceeds this cannot be
+    /// scheduled on the node — the constraint that forced the TAM
+    /// implementation down to a 1 x 1 deg² buffer (§2.2).
+    pub ram_mb: u64,
+}
+
+impl NodeSpec {
+    /// One node of the paper's Terabyte Analysis Machine: a dual 600 MHz
+    /// Pentium III with 1 GB of RAM.
+    pub fn tam(idx: usize) -> Self {
+        NodeSpec { name: format!("tam{idx}"), cpu_ghz: 0.6, cpus: 2, ram_mb: 1024 }
+    }
+
+    /// One node of the paper's SQL Server cluster: a dual 2.6 GHz Xeon
+    /// with 2 GB of RAM.
+    pub fn sql_server(idx: usize) -> Self {
+        NodeSpec { name: format!("sql{idx}"), cpu_ghz: 2.6, cpus: 2, ram_mb: 2048 }
+    }
+}
+
+/// The five-node TAM Beowulf cluster (10 job slots).
+pub fn tam_cluster() -> Vec<NodeSpec> {
+    (1..=5).map(NodeSpec::tam).collect()
+}
+
+/// The three-node SQL Server cluster.
+pub fn sql_cluster() -> Vec<NodeSpec> {
+    (1..=3).map(NodeSpec::sql_server).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shapes() {
+        let tam = tam_cluster();
+        assert_eq!(tam.len(), 5);
+        assert_eq!(tam.iter().map(|n| n.cpus).sum::<usize>(), 10);
+        assert!(tam.iter().all(|n| (n.cpu_ghz - 0.6).abs() < 1e-9 && n.ram_mb == 1024));
+
+        let sql = sql_cluster();
+        assert_eq!(sql.len(), 3);
+        assert!(sql.iter().all(|n| (n.cpu_ghz - 2.6).abs() < 1e-9 && n.ram_mb == 2048));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<String> =
+            tam_cluster().into_iter().map(|n| n.name).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,331 @@
+//! The batch scheduler: Condor-style matchmaking over virtual nodes.
+//!
+//! Jobs run for real (the worker closure executes actual Rust code against
+//! actually-fetched files) while node timing is **simulated**: measured
+//! compute time is scaled by the node's clock relative to the benchmark
+//! host, stage-in cost comes from the archive's network model, and jobs are
+//! placed on node slots by greedy earliest-available list scheduling — the
+//! behavior of a matchmaking batch system over an embarrassingly parallel
+//! workload.
+//!
+//! Execution and scheduling are deliberately decoupled into two phases
+//! (measure, then simulate placement) so the virtual makespan is
+//! deterministic and independent of host core count or oversubscription —
+//! the reproduction's TAM numbers must not depend on how many cores this
+//! machine happens to have.
+
+use crate::das::{DasError, DataArchiveServer};
+use crate::node::NodeSpec;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One job to schedule.
+pub struct JobSpec<J> {
+    /// Job name (for reports).
+    pub name: String,
+    /// Declared working-set size; nodes with less RAM cannot run the job.
+    pub ram_mb: u64,
+    /// Workload payload handed to the worker.
+    pub payload: J,
+}
+
+/// Stage-in handle passed to workers: fetches go through the archive and
+/// are accounted to the current job.
+pub struct StageIn<'a> {
+    das: &'a DataArchiveServer,
+    accum: Mutex<(Duration, u64)>,
+}
+
+impl StageIn<'_> {
+    /// Fetch a file from the archive, accumulating modeled transfer time.
+    pub fn fetch(&self, name: &str) -> Result<Vec<u8>, DasError> {
+        let (bytes, t) = self.das.fetch(name)?;
+        let mut acc = self.accum.lock();
+        acc.0 += t;
+        acc.1 += bytes.len() as u64;
+        Ok(bytes)
+    }
+}
+
+/// Result of one job.
+#[derive(Debug, Clone)]
+pub struct JobRun<T> {
+    /// Job name.
+    pub name: String,
+    /// Worker output, or the failure message.
+    pub output: Result<T, String>,
+    /// Measured compute time on the host.
+    pub compute_real: Duration,
+    /// Modeled stage-in time.
+    pub stage_in: Duration,
+    /// Bytes staged in.
+    pub bytes_in: u64,
+    /// Node the simulator placed the job on (`None` if unschedulable).
+    pub node: Option<String>,
+    /// Virtual completion time of the job within the batch.
+    pub virtual_end: Duration,
+}
+
+/// Whole-batch accounting.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Virtual wall time for the cluster to drain the batch.
+    pub virtual_makespan: Duration,
+    /// Sum of virtual compute across jobs.
+    pub virtual_compute_total: Duration,
+    /// Sum of modeled stage-in across jobs.
+    pub stage_in_total: Duration,
+    /// Real wall time of the measurement phase on the host.
+    pub real_elapsed: Duration,
+    /// Jobs no node could satisfy (RAM constraint).
+    pub unschedulable: u32,
+    /// Jobs that returned an error.
+    pub failed: u32,
+}
+
+/// A virtual cluster: nodes plus the host clock they are scaled against.
+#[derive(Debug, Clone)]
+pub struct GridCluster {
+    /// Member nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// Benchmark-host clock in GHz; measured compute is multiplied by
+    /// `host_ghz / node.cpu_ghz` to produce node-virtual time.
+    pub host_ghz: f64,
+    /// Re-run a failing job up to this many extra attempts (Condor
+    /// requeue-on-failure).
+    pub retries: u32,
+}
+
+impl GridCluster {
+    /// A cluster with the default host clock estimate (3 GHz).
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        GridCluster { nodes, host_ghz: 3.0, retries: 1 }
+    }
+
+    /// Total job slots.
+    pub fn slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.cpus).sum()
+    }
+
+    /// Run a batch: execute every job (in parallel on the host), then place
+    /// the measured jobs onto node slots in virtual time.
+    pub fn run_batch<J, T>(
+        &self,
+        das: &DataArchiveServer,
+        jobs: Vec<JobSpec<J>>,
+        worker: impl Fn(&J, &StageIn) -> Result<T, String> + Sync,
+    ) -> (Vec<JobRun<T>>, BatchReport)
+    where
+        J: Send + Sync,
+        T: Send,
+    {
+        // ---- phase 1: measure -----------------------------------------
+        let start = Instant::now();
+        let n = jobs.len();
+        let results: Vec<Mutex<Option<JobRun<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let job = &jobs[idx];
+                    let stage = StageIn { das, accum: Mutex::new((Duration::ZERO, 0)) };
+                    let t0 = Instant::now();
+                    let mut output = worker(&job.payload, &stage);
+                    let mut attempts_left = self.retries;
+                    while output.is_err() && attempts_left > 0 {
+                        attempts_left -= 1;
+                        output = worker(&job.payload, &stage);
+                    }
+                    let compute_real = t0.elapsed();
+                    let (stage_in, bytes_in) = *stage.accum.lock();
+                    *results[idx].lock() = Some(JobRun {
+                        name: job.name.clone(),
+                        output,
+                        compute_real,
+                        stage_in,
+                        bytes_in,
+                        node: None,
+                        virtual_end: Duration::ZERO,
+                    });
+                });
+            }
+        });
+        let real_elapsed = start.elapsed();
+        let mut runs: Vec<JobRun<T>> = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every job measured"))
+            .collect();
+
+        // ---- phase 2: simulate placement -------------------------------
+        struct Slot {
+            node_idx: usize,
+            available: Duration,
+        }
+        let mut slots: Vec<Slot> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, node)| {
+                (0..node.cpus).map(move |_| Slot { node_idx: i, available: Duration::ZERO })
+            })
+            .collect();
+        let mut report = BatchReport { real_elapsed, ..BatchReport::default() };
+        for (run, job) in runs.iter_mut().zip(&jobs) {
+            if run.output.is_err() {
+                report.failed += 1;
+            }
+            let slot = slots
+                .iter_mut()
+                .filter(|s| self.nodes[s.node_idx].ram_mb >= job.ram_mb)
+                .min_by_key(|s| s.available);
+            let Some(slot) = slot else {
+                report.unschedulable += 1;
+                continue;
+            };
+            let node = &self.nodes[slot.node_idx];
+            let virtual_compute =
+                Duration::from_secs_f64(run.compute_real.as_secs_f64() * self.host_ghz / node.cpu_ghz);
+            let end = slot.available + run.stage_in + virtual_compute;
+            slot.available = end;
+            run.node = Some(node.name.clone());
+            run.virtual_end = end;
+            report.virtual_compute_total += virtual_compute;
+            report.stage_in_total += run.stage_in;
+            report.virtual_makespan = report.virtual_makespan.max(end);
+        }
+        (runs, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::das::NetworkModel;
+    use crate::node::{tam_cluster, NodeSpec};
+
+    fn das_with(files: &[(&str, usize)]) -> DataArchiveServer {
+        let das = DataArchiveServer::new(NetworkModel::campus_2004());
+        for (name, size) in files {
+            das.publish(*name, vec![7u8; *size]);
+        }
+        das
+    }
+
+    fn jobs(n: usize, ram: u64) -> Vec<JobSpec<usize>> {
+        (0..n).map(|i| JobSpec { name: format!("job{i}"), ram_mb: ram, payload: i }).collect()
+    }
+
+    #[test]
+    fn all_jobs_run_and_schedule() {
+        let das = das_with(&[("f", 1000)]);
+        let cluster = GridCluster::new(tam_cluster());
+        let (runs, report) = cluster.run_batch(&das, jobs(25, 512), |&i, stage| {
+            let bytes = stage.fetch("f").map_err(|e| e.to_string())?;
+            Ok(i + bytes.len())
+        });
+        assert_eq!(runs.len(), 25);
+        assert!(runs.iter().all(|r| r.output == Ok(r.name[3..].parse::<usize>().unwrap() + 1000)));
+        assert!(runs.iter().all(|r| r.node.is_some()));
+        assert_eq!(report.unschedulable, 0);
+        assert_eq!(report.failed, 0);
+        assert!(report.virtual_makespan > Duration::ZERO);
+    }
+
+    #[test]
+    fn makespan_reflects_parallelism() {
+        // 20 equal jobs on 10 slots take ~2 job-times; on 2 slots ~10.
+        // Jobs sleep rather than spin so their measured wall time is
+        // immune to host CPU contention while the suite runs.
+        let das = das_with(&[]);
+        let nap = |_: &usize, _: &StageIn| -> Result<(), String> {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(())
+        };
+        let wide = GridCluster::new(tam_cluster()); // 10 slots
+        let (_, wide_report) = wide.run_batch(&das, jobs(20, 1), nap);
+        let narrow = GridCluster::new(vec![NodeSpec::tam(1)]); // 2 slots
+        let (_, narrow_report) = narrow.run_batch(&das, jobs(20, 1), nap);
+        let ratio =
+            narrow_report.virtual_makespan.as_secs_f64() / wide_report.virtual_makespan.as_secs_f64();
+        assert!(
+            (2.5..9.0).contains(&ratio),
+            "5x slots should shrink makespan ~5x, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn slower_nodes_yield_longer_virtual_time() {
+        let das = das_with(&[]);
+        let nap = |_: &usize, _: &StageIn| -> Result<(), String> {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(())
+        };
+        let tam = GridCluster::new(vec![NodeSpec::tam(1)]); // 0.6 GHz
+        let sql = GridCluster::new(vec![NodeSpec::sql_server(1)]); // 2.6 GHz
+        let (_, t_tam) = tam.run_batch(&das, jobs(4, 1), nap);
+        let (_, t_sql) = sql.run_batch(&das, jobs(4, 1), nap);
+        let ratio = t_tam.virtual_compute_total.as_secs_f64()
+            / t_sql.virtual_compute_total.as_secs_f64();
+        assert!(
+            (ratio - 2.6 / 0.6).abs() < 1.5,
+            "virtual time should scale by clock ratio, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn ram_constraint_blocks_scheduling() {
+        let das = das_with(&[]);
+        let cluster = GridCluster::new(tam_cluster()); // 1 GB nodes
+        let (runs, report) =
+            cluster.run_batch(&das, jobs(3, 4096), |_, _| -> Result<(), String> { Ok(()) });
+        assert_eq!(report.unschedulable, 3);
+        assert!(runs.iter().all(|r| r.node.is_none()));
+    }
+
+    #[test]
+    fn failures_are_reported_and_retried() {
+        let das = das_with(&[]);
+        let mut cluster = GridCluster::new(tam_cluster());
+        cluster.retries = 0;
+        let (runs, report) = cluster.run_batch(&das, jobs(4, 1), |&i, _| {
+            if i % 2 == 0 {
+                Err(format!("job {i} exploded"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(report.failed, 2);
+        assert!(runs[0].output.is_err() && runs[1].output.is_ok());
+        // Retries rescue flaky jobs: a counter-based worker that fails on
+        // first attempt succeeds with retries = 1.
+        cluster.retries = 1;
+        let attempts = AtomicUsize::new(0);
+        let (runs, report) = cluster.run_batch(&das, jobs(1, 1), |_, _| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err("flaky".into())
+            } else {
+                Ok(0usize)
+            }
+        });
+        assert_eq!(report.failed, 0);
+        assert!(runs[0].output.is_ok());
+    }
+
+    #[test]
+    fn stage_in_accounted_per_job() {
+        let das = das_with(&[("big", 5_000_000)]); // 0.5 s at 10 MB/s
+        let cluster = GridCluster::new(tam_cluster());
+        let (runs, report) = cluster.run_batch(&das, jobs(2, 1), |_, stage| {
+            stage.fetch("big").map_err(|e| e.to_string()).map(|b| b.len())
+        });
+        assert!(runs.iter().all(|r| r.bytes_in == 5_000_000));
+        assert!(runs.iter().all(|r| r.stage_in > Duration::from_millis(400)));
+        assert!(report.stage_in_total > Duration::from_millis(800));
+    }
+}

@@ -1,0 +1,190 @@
+//! Circle coverage: which trixels does a spherical cap touch?
+//!
+//! The cover is *conservative*: it may include trixels that only graze the
+//! cap (callers re-check exact distances, as the paper's SQL does after its
+//! HTM ranges), but it never misses a trixel containing a point of the cap
+//! — the property the correctness proptests pin down.
+
+use crate::trixel::{id_range_at_depth, roots, Trixel};
+use skycore::angle::{chord2_of_deg, deg_to_rad};
+use skycore::UnitVec;
+
+/// A half-open id range `[lo, hi)` of leaf trixels.
+pub type IdRange = (u64, u64);
+
+/// Compute the leaf-depth trixel ranges overlapping the cap at
+/// `(ra, dec)` with angular radius `radius_deg`.
+pub fn circle_cover(ra: f64, dec: f64, radius_deg: f64, depth: u32) -> Vec<IdRange> {
+    let center = UnitVec::from_radec(ra, dec);
+    let cap = Cap {
+        center,
+        cos_r: deg_to_rad(radius_deg).cos(),
+        chord2: chord2_of_deg(radius_deg),
+    };
+    let mut ranges = Vec::new();
+    for root in roots() {
+        visit(&root, &cap, depth, &mut ranges);
+    }
+    merge(ranges)
+}
+
+struct Cap {
+    center: UnitVec,
+    cos_r: f64,
+    chord2: f64,
+}
+
+impl Cap {
+    fn contains(&self, p: &UnitVec) -> bool {
+        self.center.chord2(p) <= self.chord2
+    }
+}
+
+enum Class {
+    Full,
+    Partial,
+    Outside,
+}
+
+fn classify(t: &Trixel, cap: &Cap) -> Class {
+    let inside = t.v.iter().filter(|v| cap.contains(v)).count();
+    if inside == 3 {
+        return Class::Full;
+    }
+    if inside > 0 {
+        return Class::Partial;
+    }
+    // No corner inside. The cap may still poke into the triangle through a
+    // face or an edge.
+    if t.contains(&cap.center) {
+        return Class::Partial;
+    }
+    for i in 0..3 {
+        if edge_intersects_cap(&t.v[i], &t.v[(i + 1) % 3], cap) {
+            return Class::Partial;
+        }
+    }
+    Class::Outside
+}
+
+/// Does the great-circle arc from `a` to `b` pass within the cap?
+fn edge_intersects_cap(a: &UnitVec, b: &UnitVec, cap: &Cap) -> bool {
+    let n = a.cross(b).normalized();
+    let d = n.dot(&cap.center);
+    // Distance from the cap center to the edge's great circle is
+    // asin(|d|); compare against the cap radius via cosines.
+    let sin_r2 = 1.0 - cap.cos_r * cap.cos_r;
+    if d * d > sin_r2 {
+        return false;
+    }
+    // Closest point of the great circle to the center.
+    let p = UnitVec {
+        x: cap.center.x - d * n.x,
+        y: cap.center.y - d * n.y,
+        z: cap.center.z - d * n.z,
+    }
+    .normalized();
+    // On the arc segment when angle(a,p) + angle(p,b) == angle(a,b).
+    let full = a.dot(b).clamp(-1.0, 1.0).acos();
+    let part = a.dot(&p).clamp(-1.0, 1.0).acos() + p.dot(b).clamp(-1.0, 1.0).acos();
+    (part - full).abs() < 1e-9
+}
+
+fn visit(t: &Trixel, cap: &Cap, depth: u32, out: &mut Vec<IdRange>) {
+    match classify(t, cap) {
+        Class::Outside => {}
+        Class::Full => out.push(id_range_at_depth(t.id, depth)),
+        Class::Partial => {
+            if t.depth() >= depth {
+                out.push(id_range_at_depth(t.id, depth));
+            } else {
+                for child in t.children() {
+                    visit(&child, cap, depth, out);
+                }
+            }
+        }
+    }
+}
+
+/// Merge adjacent/overlapping sorted ranges.
+fn merge(mut ranges: Vec<IdRange>) -> Vec<IdRange> {
+    ranges.sort_unstable();
+    let mut out: Vec<IdRange> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trixel::lookup_id;
+
+    /// Every point inside the circle must land in some covered range.
+    fn assert_no_false_negatives(ra: f64, dec: f64, r: f64, depth: u32) {
+        let cover = circle_cover(ra, dec, r, depth);
+        assert!(!cover.is_empty(), "cover cannot be empty");
+        // Probe a spiral of interior points.
+        for k in 0..200 {
+            let frac = f64::from(k) / 200.0;
+            let ang = frac * 40.0;
+            let pr = r * frac.sqrt();
+            let pra = ra + pr * ang.cos() / deg_to_rad(dec).cos().max(0.05);
+            let pdec = (dec + pr * ang.sin()).clamp(-89.9, 89.9);
+            let p = UnitVec::from_radec(pra, pdec);
+            if p.sep_deg(&UnitVec::from_radec(ra, dec)) > r {
+                continue;
+            }
+            let id = lookup_id(&p, depth);
+            assert!(
+                cover.iter().any(|&(lo, hi)| lo <= id && id < hi),
+                "point ({pra},{pdec}) id {id} escaped the cover of ({ra},{dec},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_small_circles() {
+        assert_no_false_negatives(195.163, 2.5, 0.5, 10);
+        assert_no_false_negatives(10.0, -5.0, 0.25, 10);
+    }
+
+    #[test]
+    fn covers_across_root_boundaries() {
+        // Circle straddling the equator (S/N root boundary) and ra=0.
+        assert_no_false_negatives(0.0, 0.0, 1.0, 8);
+        assert_no_false_negatives(90.0, 0.5, 0.7, 8);
+    }
+
+    #[test]
+    fn covers_near_pole() {
+        assert_no_false_negatives(123.0, 88.5, 1.0, 8);
+    }
+
+    #[test]
+    fn cover_is_tight_for_small_radius() {
+        // A 0.1 degree circle at depth 10 (trixel side ~0.1 deg) should
+        // need only a handful of ranges, not hundreds.
+        let cover = circle_cover(180.0, 1.0, 0.1, 10);
+        let total: u64 = cover.iter().map(|(lo, hi)| hi - lo).sum();
+        assert!(total < 200, "cover too loose: {total} leaf trixels");
+    }
+
+    #[test]
+    fn whole_sphere_cap_covers_everything() {
+        let cover = circle_cover(0.0, 0.0, 180.0, 4);
+        let total: u64 = cover.iter().map(|(lo, hi)| hi - lo).sum();
+        assert_eq!(total, 8 * 4u64.pow(4), "every leaf trixel must be covered");
+    }
+
+    #[test]
+    fn merge_collapses_adjacent() {
+        assert_eq!(merge(vec![(4, 6), (0, 2), (2, 4)]), vec![(0, 6)]);
+        assert_eq!(merge(vec![(0, 3), (1, 2)]), vec![(0, 3)]);
+        assert_eq!(merge(vec![(0, 1), (5, 6)]), vec![(0, 1), (5, 6)]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # htm — Hierarchical Triangular Mesh
+//!
+//! A pure-Rust HTM spatial index for the celestial sphere, standing in for
+//! the "external C-HTM libraries" the paper tried before settling on zone
+//! indexing (§2.3). The trixel scheme follows Kunszt et al., the paper's
+//! reference [12]. Used by the spatial-index ablation benchmark.
+
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod index;
+pub mod trixel;
+
+pub use cover::circle_cover;
+pub use index::HtmIndex;
+pub use trixel::{lookup_id, Trixel};

@@ -1,0 +1,216 @@
+//! Trixels: the triangular cells of the Hierarchical Triangular Mesh.
+//!
+//! The sphere is seeded with 8 spherical triangles (4 per hemisphere);
+//! each triangle splits into 4 children by joining the edge midpoints.
+//! A trixel id encodes the path: root ids are 8..=15 (so the top bit of
+//! every valid id at depth d sits at bit 3 + 2d), and each level appends
+//! two bits selecting the child. This is the id scheme of Kunszt et al.,
+//! "The Indexing of the SDSS Science Archive" (the paper's reference [12]).
+
+use skycore::UnitVec;
+
+/// A trixel: id plus corner vertices.
+#[derive(Debug, Clone, Copy)]
+pub struct Trixel {
+    /// HTM id (depth-tagged by magnitude).
+    pub id: u64,
+    /// Corner vertices, counter-clockwise seen from outside the sphere.
+    pub v: [UnitVec; 3],
+}
+
+const V: [UnitVec; 6] = [
+    UnitVec { x: 0.0, y: 0.0, z: 1.0 },  // north pole
+    UnitVec { x: 1.0, y: 0.0, z: 0.0 },  // ra 0
+    UnitVec { x: 0.0, y: 1.0, z: 0.0 },  // ra 90
+    UnitVec { x: -1.0, y: 0.0, z: 0.0 }, // ra 180
+    UnitVec { x: 0.0, y: -1.0, z: 0.0 }, // ra 270
+    UnitVec { x: 0.0, y: 0.0, z: -1.0 }, // south pole
+];
+
+/// The 8 root trixels, ids 8..=15.
+pub fn roots() -> [Trixel; 8] {
+    [
+        Trixel { id: 8, v: [V[1], V[5], V[2]] },  // S0
+        Trixel { id: 9, v: [V[2], V[5], V[3]] },  // S1
+        Trixel { id: 10, v: [V[3], V[5], V[4]] }, // S2
+        Trixel { id: 11, v: [V[4], V[5], V[1]] }, // S3
+        Trixel { id: 12, v: [V[1], V[0], V[4]] }, // N0
+        Trixel { id: 13, v: [V[4], V[0], V[3]] }, // N1
+        Trixel { id: 14, v: [V[3], V[0], V[2]] }, // N2
+        Trixel { id: 15, v: [V[2], V[0], V[1]] }, // N3
+    ]
+}
+
+impl Trixel {
+    /// Depth of this trixel (roots are depth 0).
+    pub fn depth(&self) -> u32 {
+        depth_of(self.id)
+    }
+
+    /// The four children, by midpoint subdivision.
+    pub fn children(&self) -> [Trixel; 4] {
+        let [v0, v1, v2] = self.v;
+        let w0 = v1.midpoint(&v2);
+        let w1 = v0.midpoint(&v2);
+        let w2 = v0.midpoint(&v1);
+        [
+            Trixel { id: self.id * 4, v: [v0, w2, w1] },
+            Trixel { id: self.id * 4 + 1, v: [v1, w0, w2] },
+            Trixel { id: self.id * 4 + 2, v: [v2, w1, w0] },
+            Trixel { id: self.id * 4 + 3, v: [w0, w1, w2] },
+        ]
+    }
+
+    /// `true` when `p` lies inside (or on the boundary of) this spherical
+    /// triangle: on the non-negative side of each directed edge plane.
+    pub fn contains(&self, p: &UnitVec) -> bool {
+        let [a, b, c] = &self.v;
+        a.cross(b).dot(p) >= -1e-12
+            && b.cross(c).dot(p) >= -1e-12
+            && c.cross(a).dot(p) >= -1e-12
+    }
+}
+
+/// Depth encoded in an id's magnitude.
+pub fn depth_of(id: u64) -> u32 {
+    debug_assert!(id >= 8, "invalid trixel id {id}");
+    (63 - id.leading_zeros() - 3) / 2
+}
+
+/// The id of the depth-`d` trixel containing the point, walking down from
+/// the roots.
+pub fn lookup_id(p: &UnitVec, depth: u32) -> u64 {
+    let root = roots()
+        .into_iter()
+        .find(|t| t.contains(p))
+        .expect("every point is inside some root trixel");
+    let mut cur = root;
+    for _ in 0..depth {
+        let children = cur.children();
+        cur = children
+            .into_iter()
+            .find(|t| t.contains(p))
+            // Points on shared edges satisfy `contains` for both sides;
+            // `find` picks the lower child id deterministically.
+            .expect("children tile the parent");
+    }
+    cur.id
+}
+
+/// The trixel (with vertices) for an id.
+pub fn trixel_of(id: u64) -> Trixel {
+    let d = depth_of(id);
+    let root_id = id >> (2 * d);
+    let mut cur = roots()[(root_id - 8) as usize];
+    for level in (0..d).rev() {
+        let child = ((id >> (2 * level)) & 3) as usize;
+        cur = cur.children()[child];
+    }
+    cur
+}
+
+/// The id range `[lo, hi)` at `leaf_depth` covered by trixel `id`.
+pub fn id_range_at_depth(id: u64, leaf_depth: u32) -> (u64, u64) {
+    let d = depth_of(id);
+    debug_assert!(leaf_depth >= d);
+    let shift = 2 * (leaf_depth - d);
+    (id << shift, (id + 1) << shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_tile_the_sphere() {
+        // A grid of points: each inside at least one root.
+        for dec10 in -8..=8 {
+            for ra10 in 0..36 {
+                let p = UnitVec::from_radec(f64::from(ra10) * 10.0, f64::from(dec10) * 10.0);
+                let hits = roots().iter().filter(|t| t.contains(&p)).count();
+                assert!(hits >= 1, "point uncovered at ra={} dec={}", ra10 * 10, dec10 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn children_tile_parent() {
+        let parent = roots()[4];
+        for dec in [5, 25, 45, 65, 85] {
+            for ra in [275, 300, 330, 355] {
+                let p = UnitVec::from_radec(f64::from(ra), f64::from(dec));
+                if parent.contains(&p) {
+                    let hits = parent.children().iter().filter(|t| t.contains(&p)).count();
+                    assert!(hits >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_encoding() {
+        assert_eq!(depth_of(8), 0);
+        assert_eq!(depth_of(15), 0);
+        assert_eq!(depth_of(32), 1);
+        assert_eq!(depth_of(63), 1);
+        assert_eq!(depth_of(8 << 20), 10);
+    }
+
+    #[test]
+    fn lookup_is_consistent_with_trixel_of() {
+        for &(ra, dec) in &[(0.5, 0.5), (195.163, 2.5), (300.0, -45.0), (90.0, 89.0), (180.0, -89.0)] {
+            let p = UnitVec::from_radec(ra, dec);
+            for depth in [0, 3, 8, 12] {
+                let id = lookup_id(&p, depth);
+                assert_eq!(depth_of(id), depth);
+                assert!(trixel_of(id).contains(&p), "ra={ra} dec={dec} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_trixels_nest() {
+        let p = UnitVec::from_radec(42.0, 17.0);
+        let shallow = lookup_id(&p, 5);
+        let deep = lookup_id(&p, 9);
+        assert_eq!(deep >> (2 * 4), shallow, "deep id must extend the shallow id");
+    }
+
+    #[test]
+    fn id_ranges() {
+        assert_eq!(id_range_at_depth(8, 0), (8, 9));
+        assert_eq!(id_range_at_depth(8, 2), (128, 144));
+        let (lo, hi) = id_range_at_depth(9, 1);
+        assert_eq!(hi - lo, 4);
+    }
+
+    #[test]
+    fn trixel_vertices_are_unit_length() {
+        let mut t = roots()[0];
+        for _ in 0..6 {
+            t = t.children()[3];
+            for v in &t.v {
+                assert!((v.norm() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trixel_area_shrinks_with_depth() {
+        // Corner spread (max pairwise chord) roughly halves per level.
+        let mut t = roots()[2];
+        let spread = |t: &Trixel| {
+            t.v[0]
+                .chord2(&t.v[1])
+                .max(t.v[1].chord2(&t.v[2]))
+                .max(t.v[2].chord2(&t.v[0]))
+        };
+        let mut last = spread(&t);
+        for _ in 0..5 {
+            t = t.children()[3];
+            let s = spread(&t);
+            assert!(s < last * 0.5, "spread must shrink fast");
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Angle utilities for equatorial coordinates.
+//!
+//! All public APIs in this workspace express angles in **degrees**, matching
+//! the paper's SQL code (`fGetNearbyObjEqZd` takes degrees, zones are 30
+//! arcseconds tall, buffers are quoted in degrees). Radians only appear at
+//! trigonometric call sites.
+
+use std::f64::consts::PI;
+
+/// Degrees-to-radians factor, the `@d2r` constant of the paper's SQL.
+pub const D2R: f64 = PI / 180.0;
+
+/// Radians-to-degrees factor.
+pub const R2D: f64 = 180.0 / PI;
+
+/// One arcsecond in degrees.
+pub const ARCSEC: f64 = 1.0 / 3600.0;
+
+/// The zone height used throughout the paper: 30 arcseconds, in degrees.
+pub const ZONE_HEIGHT_DEG: f64 = 30.0 * ARCSEC;
+
+/// Small epsilon used to avoid division by zero near the poles, mirroring
+/// `@epsilon` in `fGetNearbyObjEqZd`.
+pub const POLE_EPSILON: f64 = 1e-9;
+
+/// Convert degrees to radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * D2R
+}
+
+/// Convert radians to degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * R2D
+}
+
+/// Normalize a right ascension into `[0, 360)` degrees.
+#[inline]
+pub fn wrap_ra(ra: f64) -> f64 {
+    let r = ra % 360.0;
+    if r < 0.0 {
+        r + 360.0
+    } else {
+        r
+    }
+}
+
+/// Clamp a declination into `[-90, +90]` degrees.
+#[inline]
+pub fn clamp_dec(dec: f64) -> f64 {
+    dec.clamp(-90.0, 90.0)
+}
+
+/// The search-radius correction applied before cutting on right ascension:
+/// an interval of `r` degrees on the sky spans `r / cos(dec)` degrees of
+/// right ascension at declination `dec`. This is `@adjustedRadius` in the
+/// paper's SQL.
+#[inline]
+pub fn ra_adjusted_radius(r_deg: f64, dec_deg: f64) -> f64 {
+    r_deg / (deg_to_rad(dec_deg.abs()).cos() + POLE_EPSILON)
+}
+
+/// Squared chord length corresponding to an angular separation of `r`
+/// degrees on the unit sphere: `4 sin^2(r/2)`. This is `@r2` in
+/// `fGetNearbyObjEqZd`; comparisons against it avoid any trigonometry in
+/// the inner loop.
+#[inline]
+pub fn chord2_of_deg(r_deg: f64) -> f64 {
+    let s = (deg_to_rad(r_deg) / 2.0).sin();
+    4.0 * s * s
+}
+
+/// Exact angular separation, in degrees, for a chord of length `chord` on
+/// the unit sphere.
+#[inline]
+pub fn deg_of_chord(chord: f64) -> f64 {
+    2.0 * rad_to_deg((chord / 2.0).clamp(-1.0, 1.0).asin())
+}
+
+/// The paper's small-angle approximation: `fGetNearbyObjEqZd` reports
+/// `distance = chord / @d2r`, i.e. it treats the chord length as if it were
+/// the arc length. For the sub-degree radii MaxBCG uses, the relative error
+/// is below 2.5e-5; we reproduce the same convention so distances agree with
+/// the paper's SQL bit-for-bit in spirit.
+#[inline]
+pub fn deg_of_chord_approx(chord: f64) -> f64 {
+    chord / D2R
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_ra_wraps_into_range() {
+        assert_eq!(wrap_ra(0.0), 0.0);
+        assert_eq!(wrap_ra(359.5), 359.5);
+        assert_eq!(wrap_ra(360.0), 0.0);
+        assert!((wrap_ra(-1.0) - 359.0).abs() < 1e-12);
+        assert!((wrap_ra(725.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_dec_clamps() {
+        assert_eq!(clamp_dec(95.0), 90.0);
+        assert_eq!(clamp_dec(-95.0), -90.0);
+        assert_eq!(clamp_dec(12.5), 12.5);
+    }
+
+    #[test]
+    fn zone_height_is_30_arcsec() {
+        assert!((ZONE_HEIGHT_DEG - 30.0 / 3600.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adjusted_radius_grows_away_from_equator() {
+        let at_equator = ra_adjusted_radius(0.5, 0.0);
+        let at_60 = ra_adjusted_radius(0.5, 60.0);
+        assert!((at_equator - 0.5).abs() < 1e-6);
+        // cos(60 deg) = 0.5, so the window doubles.
+        assert!((at_60 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chord_roundtrip_small_angles() {
+        for &r in &[0.01, 0.1, 0.5, 1.0, 5.0] {
+            let c2 = chord2_of_deg(r);
+            let back = deg_of_chord(c2.sqrt());
+            assert!((back - r).abs() < 1e-9, "r={r} back={back}");
+        }
+    }
+
+    #[test]
+    fn chord_approx_close_for_subdegree_radii() {
+        for &r in &[0.05, 0.25, 0.5, 1.0] {
+            let chord = chord2_of_deg(r).sqrt();
+            let approx = deg_of_chord_approx(chord);
+            assert!(
+                (approx - r).abs() / r < 1e-4,
+                "r={r} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn chord_of_antipodes_is_two() {
+        // 180 degrees apart: chord = diameter = 2.
+        assert!((chord2_of_deg(180.0) - 4.0).abs() < 1e-12);
+    }
+}

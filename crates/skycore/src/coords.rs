@@ -1,0 +1,186 @@
+//! Positions on the celestial sphere.
+//!
+//! The paper stores each object both as `(ra, dec)` in degrees and as a unit
+//! vector `(cx, cy, cz)`; neighborhood predicates compare squared chord
+//! lengths between unit vectors because that needs no trigonometry per pair.
+
+use crate::angle::{chord2_of_deg, deg_of_chord, deg_of_chord_approx, deg_to_rad, wrap_ra};
+use serde::{Deserialize, Serialize};
+
+/// A point on the unit sphere, the `(cx, cy, cz)` triple of the SDSS Zone
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitVec {
+    /// x component (towards ra 0, dec 0).
+    pub x: f64,
+    /// y component (towards ra 90, dec 0).
+    pub y: f64,
+    /// z component (towards the north celestial pole).
+    pub z: f64,
+}
+
+impl UnitVec {
+    /// Build a unit vector from equatorial coordinates in degrees.
+    pub fn from_radec(ra_deg: f64, dec_deg: f64) -> Self {
+        let ra = deg_to_rad(wrap_ra(ra_deg));
+        let dec = deg_to_rad(dec_deg);
+        let cd = dec.cos();
+        UnitVec {
+            x: cd * ra.cos(),
+            y: cd * ra.sin(),
+            z: dec.sin(),
+        }
+    }
+
+    /// Recover `(ra, dec)` in degrees.
+    pub fn to_radec(&self) -> (f64, f64) {
+        let ra = self.y.atan2(self.x).to_degrees();
+        let dec = self.z.clamp(-1.0, 1.0).asin().to_degrees();
+        (wrap_ra(ra), dec)
+    }
+
+    /// Squared chord distance to another unit vector. Cheap: six
+    /// multiplications, no trig. This is exactly the quantity
+    /// `POWER(cx-@cx,2)+POWER(cy-@cy,2)+POWER(cz-@cz,2)` in the paper.
+    #[inline]
+    pub fn chord2(&self, other: &UnitVec) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Exact angular separation in degrees.
+    pub fn sep_deg(&self, other: &UnitVec) -> f64 {
+        deg_of_chord(self.chord2(other).sqrt())
+    }
+
+    /// Angular separation using the paper's chord/d2r approximation
+    /// (see [`crate::angle::deg_of_chord_approx`]).
+    pub fn sep_deg_approx(&self, other: &UnitVec) -> f64 {
+        deg_of_chord_approx(self.chord2(other).sqrt())
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: &UnitVec) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Euclidean norm — 1.0 up to floating point error for vectors built by
+    /// [`UnitVec::from_radec`].
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Renormalize to unit length; useful after midpoint interpolation
+    /// (the HTM crate subdivides triangles this way).
+    pub fn normalized(&self) -> UnitVec {
+        let n = self.norm();
+        UnitVec {
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
+    }
+
+    /// Midpoint of two unit vectors, projected back onto the sphere.
+    pub fn midpoint(&self, other: &UnitVec) -> UnitVec {
+        UnitVec {
+            x: self.x + other.x,
+            y: self.y + other.y,
+            z: self.z + other.z,
+        }
+        .normalized()
+    }
+
+    /// Cross product (not normalized).
+    pub fn cross(&self, other: &UnitVec) -> UnitVec {
+        UnitVec {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+}
+
+/// `true` when two positions are within `r_deg` degrees of each other,
+/// evaluated through the squared-chord shortcut.
+#[inline]
+pub fn within_deg(a: &UnitVec, b: &UnitVec, r_deg: f64) -> bool {
+    a.chord2(b) < chord2_of_deg(r_deg)
+}
+
+/// Great-circle separation of two `(ra, dec)` pairs in degrees.
+pub fn sep_radec_deg(ra1: f64, dec1: f64, ra2: f64, dec2: f64) -> f64 {
+    UnitVec::from_radec(ra1, dec1).sep_deg(&UnitVec::from_radec(ra2, dec2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radec_roundtrip() {
+        for &(ra, dec) in &[
+            (0.0, 0.0),
+            (180.0, 45.0),
+            (359.9, -89.5),
+            (123.456, -12.345),
+            (195.163, 2.5), // MySkyServerDr1 center
+        ] {
+            let v = UnitVec::from_radec(ra, dec);
+            let (ra2, dec2) = v.to_radec();
+            assert!((ra - ra2).abs() < 1e-9, "ra {ra} vs {ra2}");
+            assert!((dec - dec2).abs() < 1e-9, "dec {dec} vs {dec2}");
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn separation_along_equator_equals_ra_difference() {
+        let d = sep_radec_deg(10.0, 0.0, 10.5, 0.0);
+        assert!((d - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_along_meridian_equals_dec_difference() {
+        let d = sep_radec_deg(42.0, 1.0, 42.0, 2.25);
+        assert!((d - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ra_separation_shrinks_with_declination() {
+        // 1 degree of RA at dec=60 is only 0.5 degrees on the sky.
+        let d = sep_radec_deg(10.0, 60.0, 11.0, 60.0);
+        assert!((d - 0.5).abs() < 1e-3, "d={d}");
+    }
+
+    #[test]
+    fn within_deg_matches_exact_separation() {
+        let a = UnitVec::from_radec(100.0, 20.0);
+        let b = UnitVec::from_radec(100.3, 20.2);
+        let sep = a.sep_deg(&b);
+        assert!(within_deg(&a, &b, sep + 1e-9));
+        assert!(!within_deg(&a, &b, sep - 1e-9));
+    }
+
+    #[test]
+    fn midpoint_is_on_sphere_and_between() {
+        let a = UnitVec::from_radec(10.0, 0.0);
+        let b = UnitVec::from_radec(20.0, 0.0);
+        let m = a.midpoint(&b);
+        assert!((m.norm() - 1.0).abs() < 1e-12);
+        let (ra, dec) = m.to_radec();
+        assert!((ra - 15.0).abs() < 1e-9);
+        assert!(dec.abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_of_orthogonal_axes() {
+        let x = UnitVec { x: 1.0, y: 0.0, z: 0.0 };
+        let y = UnitVec { x: 0.0, y: 1.0, z: 0.0 };
+        let z = x.cross(&y);
+        assert!((z.z - 1.0).abs() < 1e-12 && z.x.abs() < 1e-12 && z.y.abs() < 1e-12);
+    }
+}

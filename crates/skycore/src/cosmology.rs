@@ -1,0 +1,168 @@
+//! A small flat-FLRW cosmology: redshift → distance conversions.
+//!
+//! The paper never publishes its cosmological parameters, but the comment in
+//! `fIsCluster` pins them down observationally: *"the r200 radius is, at
+//! ngal=100, 1.78 degree [Mpc] which, at z=0.05, is 0.74 degrees"*. With
+//! `r200(100) = 0.17 * 100^0.51 = 1.78 Mpc`, an angular scale of
+//! 0.74 deg / 1.78 Mpc at z = 0.05 requires an angular-diameter distance of
+//! ~138 Mpc — i.e. distances measured in h = 1 units (H0 = 100 km/s/Mpc),
+//! the common convention of 2004-era SDSS work. We therefore default to
+//! H0 = 100, Omega_m = 0.3, Omega_Lambda = 0.7.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in km/s.
+pub const C_KM_S: f64 = 299_792.458;
+
+/// A flat Friedmann–Lemaître–Robertson–Walker cosmology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cosmology {
+    /// Hubble constant in km/s/Mpc.
+    pub h0: f64,
+    /// Matter density parameter.
+    pub omega_m: f64,
+    /// Dark-energy density parameter (flatness: `omega_m + omega_l = 1`).
+    pub omega_l: f64,
+}
+
+impl Default for Cosmology {
+    fn default() -> Self {
+        Cosmology { h0: 100.0, omega_m: 0.3, omega_l: 0.7 }
+    }
+}
+
+impl Cosmology {
+    /// Hubble distance `c / H0` in Mpc.
+    pub fn hubble_distance_mpc(&self) -> f64 {
+        C_KM_S / self.h0
+    }
+
+    /// Dimensionless Hubble parameter `E(z)` for a flat universe.
+    #[inline]
+    fn e_of_z(&self, z: f64) -> f64 {
+        (self.omega_m * (1.0 + z).powi(3) + self.omega_l).sqrt()
+    }
+
+    /// Line-of-sight comoving distance in Mpc, by composite Simpson
+    /// integration of `dz / E(z)`. Accurate to well below 0.01% for the
+    /// z <= 1 range MaxBCG works in.
+    pub fn comoving_distance_mpc(&self, z: f64) -> f64 {
+        assert!(z >= 0.0, "negative redshift {z}");
+        if z == 0.0 {
+            return 0.0;
+        }
+        // Enough panels for smooth integrands on [0, 1].
+        let n = 64usize; // must be even for Simpson
+        let h = z / n as f64;
+        let mut sum = 1.0 / self.e_of_z(0.0) + 1.0 / self.e_of_z(z);
+        for k in 1..n {
+            let w = if k % 2 == 1 { 4.0 } else { 2.0 };
+            sum += w / self.e_of_z(h * k as f64);
+        }
+        self.hubble_distance_mpc() * sum * h / 3.0
+    }
+
+    /// Angular-diameter distance in Mpc (flat universe: `D_C / (1+z)`).
+    pub fn angular_diameter_distance_mpc(&self, z: f64) -> f64 {
+        self.comoving_distance_mpc(z) / (1.0 + z)
+    }
+
+    /// Luminosity distance in Mpc (flat universe: `D_C * (1+z)`).
+    pub fn luminosity_distance_mpc(&self, z: f64) -> f64 {
+        self.comoving_distance_mpc(z) * (1.0 + z)
+    }
+
+    /// Distance modulus `m - M = 5 log10(D_L / 10 pc)`.
+    pub fn distance_modulus(&self, z: f64) -> f64 {
+        5.0 * (self.luminosity_distance_mpc(z) * 1.0e5).log10()
+    }
+
+    /// Angular size, in degrees, subtended by a proper length of
+    /// `length_mpc` at redshift `z`. This is the `radius` column of the
+    /// k-correction table when `length_mpc = 1`.
+    pub fn angular_size_deg(&self, z: f64, length_mpc: f64) -> f64 {
+        let da = self.angular_diameter_distance_mpc(z);
+        (length_mpc / da).to_degrees()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hubble_distance() {
+        let c = Cosmology::default();
+        assert!((c.hubble_distance_mpc() - 2997.92458).abs() < 1e-4);
+    }
+
+    #[test]
+    fn comoving_distance_is_monotone_increasing() {
+        let c = Cosmology::default();
+        let mut last = 0.0;
+        for k in 1..=100 {
+            let z = k as f64 * 0.01;
+            let d = c.comoving_distance_mpc(z);
+            assert!(d > last, "z={z}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn low_z_matches_hubble_law() {
+        // D ~ cz/H0 for z << 1.
+        let c = Cosmology::default();
+        let z = 0.01;
+        let d = c.comoving_distance_mpc(z);
+        let hubble = c.hubble_distance_mpc() * z;
+        assert!((d - hubble).abs() / hubble < 0.01, "d={d} hubble={hubble}");
+    }
+
+    #[test]
+    fn reproduces_the_papers_fiscluster_comment() {
+        // "the r200 radius is, at ngal=100, 1.78 [Mpc] which, at z=0.05, is
+        // 0.74 degrees". Allow a few percent for their unknown exact params.
+        let c = Cosmology::default();
+        let r200_mpc = 0.17 * 100f64.powf(0.51);
+        assert!((r200_mpc - 1.78).abs() < 0.01);
+        let deg = c.angular_size_deg(0.05, r200_mpc);
+        assert!(
+            (deg - 0.74).abs() < 0.05,
+            "angular r200 at z=0.05 should be ~0.74 deg, got {deg}"
+        );
+    }
+
+    #[test]
+    fn angular_size_shrinks_with_redshift_below_z1() {
+        let c = Cosmology::default();
+        let a = c.angular_size_deg(0.05, 1.0);
+        let b = c.angular_size_deg(0.3, 1.0);
+        let d = c.angular_size_deg(0.8, 1.0);
+        assert!(a > b && b > d);
+    }
+
+    #[test]
+    fn distance_modulus_reasonable() {
+        let c = Cosmology::default();
+        // At z=0.1, D_L ~ 320 Mpc (h=1): mu ~ 5 log10(3.2e7) ~ 37.5.
+        let mu = c.distance_modulus(0.1);
+        assert!((37.0..38.2).contains(&mu), "mu={mu}");
+    }
+
+    #[test]
+    fn luminosity_vs_angular_diameter_relation() {
+        // Etherington: D_L = (1+z)^2 D_A.
+        let c = Cosmology::default();
+        for &z in &[0.05, 0.2, 0.5, 1.0] {
+            let dl = c.luminosity_distance_mpc(z);
+            let da = c.angular_diameter_distance_mpc(z);
+            assert!((dl - (1.0 + z).powi(2) * da).abs() < 1e-6 * dl);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative redshift")]
+    fn negative_redshift_panics() {
+        Cosmology::default().comoving_distance_mpc(-0.1);
+    }
+}

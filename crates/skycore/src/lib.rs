@@ -1,0 +1,30 @@
+//! # skycore — the astronomy substrate
+//!
+//! Shared primitives for the MaxBCG reproduction: angle and spherical
+//! geometry helpers, rectangular sky regions, a small FLRW cosmology, the
+//! generated k-correction table, zone arithmetic, the record types of the
+//! paper's schema, and — most importantly — the MaxBCG likelihood math of
+//! [`bcg`], transcribed from the paper's appendix SQL.
+//!
+//! Everything downstream (`skysim`, `stardb`'s zone index, the `tam`
+//! baseline, the `maxbcg` database pipeline) builds on these definitions so
+//! that the two competing implementations provably share their physics.
+
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod bcg;
+pub mod coords;
+pub mod cosmology;
+pub mod kcorr;
+pub mod region;
+pub mod types;
+pub mod zones;
+
+pub use bcg::BcgParams;
+pub use coords::UnitVec;
+pub use cosmology::Cosmology;
+pub use kcorr::{KcorrConfig, KcorrRow, KcorrTable};
+pub use region::SkyRegion;
+pub use types::{Candidate, Cluster, ClusterMember, Friend, Galaxy};
+pub use zones::ZoneScheme;

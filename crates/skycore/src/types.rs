@@ -1,0 +1,151 @@
+//! The shared record types flowing through both MaxBCG implementations:
+//! galaxies, BCG candidates, clusters, and cluster members. Field sets match
+//! the paper's `Galaxy`, `Candidates`, `Clusters`, and
+//! `ClusterGalaxiesMetric` tables.
+
+use crate::coords::UnitVec;
+use serde::{Deserialize, Serialize};
+
+/// One galaxy from the catalog — the 5-space MaxBCG works in (two spatial
+/// dimensions, two colors, one brightness) plus the per-object color errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Galaxy {
+    /// Unique SDSS-style object identifier.
+    pub objid: i64,
+    /// Right ascension, degrees.
+    pub ra: f64,
+    /// Declination, degrees.
+    pub dec: f64,
+    /// De-reddened i-band magnitude.
+    pub i: f64,
+    /// g-r color.
+    pub gr: f64,
+    /// r-i color.
+    pub ri: f64,
+    /// Standard error of g-r (see [`sigma_gr`]).
+    pub sigma_gr: f64,
+    /// Standard error of r-i (see [`sigma_ri`]).
+    pub sigma_ri: f64,
+}
+
+impl Galaxy {
+    /// Construct a galaxy computing the color-error model from the i-band
+    /// magnitude, exactly as `spImportGalaxy` does.
+    pub fn with_derived_errors(objid: i64, ra: f64, dec: f64, i: f64, gr: f64, ri: f64) -> Self {
+        Galaxy { objid, ra, dec, i, gr, ri, sigma_gr: sigma_gr(i), sigma_ri: sigma_ri(i) }
+    }
+
+    /// Unit vector of the galaxy's position.
+    pub fn unit_vec(&self) -> UnitVec {
+        UnitVec::from_radec(self.ra, self.dec)
+    }
+}
+
+/// The g-r photometric error model of `spImportGalaxy`:
+/// `2.089 * 10^(0.228 * i - 6)`.
+#[inline]
+pub fn sigma_gr(i: f64) -> f64 {
+    2.089 * 10f64.powf(0.228 * i - 6.0)
+}
+
+/// The r-i photometric error model of `spImportGalaxy`:
+/// `4.266 * 10^(0.206 * i - 6)`.
+#[inline]
+pub fn sigma_ri(i: f64) -> f64 {
+    4.266 * 10f64.powf(0.206 * i - 6.0)
+}
+
+/// A BCG candidate (one row of the paper's `Candidates` table): a galaxy
+/// that, at its best redshift, is plausibly the brightest galaxy of a
+/// cluster, together with its maximum-likelihood redshift, neighbor count,
+/// and weighted likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Unique object identifier.
+    pub objid: i64,
+    /// Right ascension, degrees.
+    pub ra: f64,
+    /// Declination, degrees.
+    pub dec: f64,
+    /// Maximum-likelihood redshift.
+    pub z: f64,
+    /// i-band magnitude of the candidate.
+    pub i: f64,
+    /// Number of galaxies in the cluster (neighbors + the BCG itself).
+    pub ngal: i32,
+    /// Weighted likelihood `max(ln(ngal+1) - chisq)`; the paper stores it in
+    /// the `chi2` column.
+    pub chi2: f64,
+}
+
+/// A confirmed cluster (one row of `Clusters`): a candidate that carries the
+/// best likelihood among all candidates in its neighborhood and redshift
+/// slice. Identical shape to [`Candidate`].
+pub type Cluster = Candidate;
+
+/// One cluster-membership row (`ClusterGalaxiesMetric`): `galaxy` belongs to
+/// the cluster centered on `cluster` at angular separation `distance`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMember {
+    /// The BCG at the cluster center.
+    pub cluster_objid: i64,
+    /// The member galaxy.
+    pub galaxy_objid: i64,
+    /// Angular separation in degrees (0 for the BCG itself).
+    pub distance: f64,
+}
+
+/// A neighbor record produced by a spatial search: object id, angular
+/// distance in degrees, and the photometry needed by the counting windows.
+/// This is the paper's `@friends` table variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Friend {
+    /// Unique object identifier.
+    pub objid: i64,
+    /// Angular distance to the search center, degrees.
+    pub distance: f64,
+    /// i-band magnitude.
+    pub i: f64,
+    /// g-r color.
+    pub gr: f64,
+    /// r-i color.
+    pub ri: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_model_matches_paper_constants() {
+        // spImportGalaxy: sigmagr = 2.089 * 10^(0.228*i - 6).
+        let s = sigma_gr(20.0);
+        assert!((s - 2.089 * 10f64.powf(0.228 * 20.0 - 6.0)).abs() < 1e-15);
+        let s = sigma_ri(20.0);
+        assert!((s - 4.266 * 10f64.powf(0.206 * 20.0 - 6.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn errors_grow_for_fainter_galaxies() {
+        assert!(sigma_gr(21.0) > sigma_gr(17.0));
+        assert!(sigma_ri(21.0) > sigma_ri(17.0));
+        // Bright galaxies have tiny color errors.
+        assert!(sigma_gr(15.0) < 0.01);
+    }
+
+    #[test]
+    fn with_derived_errors_populates_sigmas() {
+        let g = Galaxy::with_derived_errors(42, 195.0, 2.5, 18.0, 1.1, 0.5);
+        assert_eq!(g.objid, 42);
+        assert!((g.sigma_gr - sigma_gr(18.0)).abs() < 1e-15);
+        assert!((g.sigma_ri - sigma_ri(18.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_vec_matches_coords() {
+        let g = Galaxy::with_derived_errors(1, 10.0, -5.0, 18.0, 1.0, 0.4);
+        let v = g.unit_vec();
+        let (ra, dec) = v.to_radec();
+        assert!((ra - 10.0).abs() < 1e-9 && (dec + 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! The zone schema: mapping declinations to 30-arcsecond zones.
+//!
+//! The paper's zone-indexing scheme maps the celestial sphere into
+//! declination stripes ("zones") of fixed height `h`:
+//! `Zone = floor((dec + 90) / h)`. Neighborhood searches then loop over the
+//! zones a search circle overlaps and cut on right ascension inside each
+//! zone. Both the `stardb` zone index and the `maxbcg` pipeline use these
+//! helpers so zone arithmetic lives in exactly one place.
+
+use crate::angle::{ra_adjusted_radius, ZONE_HEIGHT_DEG};
+use serde::{Deserialize, Serialize};
+
+/// Zone numbering scheme with height `h` degrees (default: 30 arcsec).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneScheme {
+    /// Zone height in degrees.
+    pub height_deg: f64,
+}
+
+impl Default for ZoneScheme {
+    fn default() -> Self {
+        ZoneScheme { height_deg: ZONE_HEIGHT_DEG }
+    }
+}
+
+impl ZoneScheme {
+    /// Create a scheme with a custom height (tests use coarse zones).
+    pub fn with_height(height_deg: f64) -> Self {
+        assert!(height_deg > 0.0, "zone height must be positive");
+        ZoneScheme { height_deg }
+    }
+
+    /// `Zone = floor((dec + 90) / h)` — the paper's formula.
+    #[inline]
+    pub fn zone_of(&self, dec_deg: f64) -> i32 {
+        ((dec_deg + 90.0) / self.height_deg).floor() as i32
+    }
+
+    /// Declination of the *bottom* edge of a zone.
+    #[inline]
+    pub fn zone_bottom_dec(&self, zone: i32) -> f64 {
+        f64::from(zone) * self.height_deg - 90.0
+    }
+
+    /// Zone range `[min, max]` overlapped by a circle of radius `r_deg`
+    /// centered at declination `dec_deg` (the loop bounds of
+    /// `fGetNearbyObjEqZd`).
+    pub fn zone_range(&self, dec_deg: f64, r_deg: f64) -> (i32, i32) {
+        (self.zone_of(dec_deg - r_deg), self.zone_of(dec_deg + r_deg))
+    }
+
+    /// The per-zone right-ascension half-window `@x` of `fGetNearbyObjEqZd`:
+    /// in zones away from the circle's central zone, the circle is narrower
+    /// in RA; the window is the chord half-width at the zone edge nearest
+    /// the center, corrected for `cos(dec)`.
+    ///
+    /// Returns the half-width in RA degrees. For the central zone this is
+    /// the full `cos(dec)`-adjusted radius.
+    pub fn ra_half_window(&self, center_dec: f64, r_deg: f64, zone: i32) -> f64 {
+        let cen_zone = self.zone_of(center_dec);
+        if zone == cen_zone {
+            return ra_adjusted_radius(r_deg, center_dec);
+        }
+        // Zones below the center use their top edge; zones above use their
+        // bottom edge — the point of the zone closest to the circle center.
+        let zone_x = if zone < cen_zone { zone + 1 } else { zone };
+        let dec_at_zone = self.zone_bottom_dec(zone_x);
+        let delta_dec = (center_dec - dec_at_zone).abs();
+        // The paper computes sqrt(|r^2 - delta^2|): when the zone is wholly
+        // outside the circle (possible at the extreme loop bounds) the
+        // absolute value keeps the arithmetic finite and the distance test
+        // still rejects everything.
+        let chord = (r_deg * r_deg - delta_dec * delta_dec).abs().sqrt();
+        ra_adjusted_radius(chord, dec_at_zone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_height_is_30_arcsec() {
+        let s = ZoneScheme::default();
+        assert!((s.height_deg - 30.0 / 3600.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zone_formula_matches_paper() {
+        let s = ZoneScheme::default();
+        // floor((dec + 90)/h): dec = -90 is zone 0.
+        assert_eq!(s.zone_of(-90.0), 0);
+        // dec = 0 is zone 90/h = 10800.
+        assert_eq!(s.zone_of(0.0), 10800);
+        // One zone above after 30 arcsec.
+        assert_eq!(s.zone_of(30.0 / 3600.0), 10801);
+    }
+
+    #[test]
+    fn zone_bottom_inverts_zone_of() {
+        let s = ZoneScheme::default();
+        for &dec in &[-89.9, -5.0, 0.0, 2.5, 45.1] {
+            let z = s.zone_of(dec);
+            let bottom = s.zone_bottom_dec(z);
+            assert!(bottom <= dec && dec < bottom + s.height_deg, "dec={dec}");
+        }
+    }
+
+    #[test]
+    fn zone_range_covers_circle() {
+        let s = ZoneScheme::default();
+        let (lo, hi) = s.zone_range(2.5, 0.5);
+        assert!(s.zone_bottom_dec(lo) <= 2.0);
+        assert!(s.zone_bottom_dec(hi) + s.height_deg >= 3.0);
+        // 1 degree of circle diameter spans ~120 thirty-arcsec zones.
+        assert!((hi - lo) >= 119 && (hi - lo) <= 121, "span {}", hi - lo);
+    }
+
+    #[test]
+    fn central_zone_window_is_adjusted_radius() {
+        let s = ZoneScheme::default();
+        let w = s.ra_half_window(0.0, 0.5, s.zone_of(0.0));
+        assert!((w - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_narrows_away_from_center() {
+        let s = ZoneScheme::default();
+        let center = 2.5;
+        let r = 0.5;
+        let cen_zone = s.zone_of(center);
+        let near = s.ra_half_window(center, r, cen_zone + 1);
+        let far = s.ra_half_window(center, r, s.zone_of(center + r));
+        assert!(near <= s.ra_half_window(center, r, cen_zone) + 1e-9);
+        assert!(far < near, "far={far} near={near}");
+    }
+
+    #[test]
+    fn coarse_zones_for_tests() {
+        let s = ZoneScheme::with_height(1.0);
+        assert_eq!(s.zone_of(0.5), 90);
+        assert_eq!(s.zone_of(-0.5), 89);
+    }
+
+    #[test]
+    #[should_panic(expected = "zone height must be positive")]
+    fn zero_height_panics() {
+        ZoneScheme::with_height(0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests on the astronomy substrate.
+
+use proptest::prelude::*;
+use skycore::angle::{chord2_of_deg, deg_of_chord, wrap_ra};
+use skycore::bcg::{self, BcgParams};
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::{Galaxy, SkyRegion, UnitVec, ZoneScheme};
+
+proptest! {
+    #[test]
+    fn unitvec_roundtrip(ra in 0.0f64..360.0, dec in -89.9f64..89.9) {
+        let v = UnitVec::from_radec(ra, dec);
+        prop_assert!((v.norm() - 1.0).abs() < 1e-12);
+        let (ra2, dec2) = v.to_radec();
+        prop_assert!((wrap_ra(ra) - ra2).abs() < 1e-8 || (wrap_ra(ra) - ra2).abs() > 359.9);
+        prop_assert!((dec - dec2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn chord_angle_inverse(r in 0.0001f64..179.0) {
+        let c2 = chord2_of_deg(r);
+        prop_assert!((deg_of_chord(c2.sqrt()) - r).abs() < 1e-8);
+    }
+
+    #[test]
+    fn separation_is_a_metric(
+        a in (0.0f64..360.0, -89.0f64..89.0),
+        b in (0.0f64..360.0, -89.0f64..89.0),
+        c in (0.0f64..360.0, -89.0f64..89.0),
+    ) {
+        let va = UnitVec::from_radec(a.0, a.1);
+        let vb = UnitVec::from_radec(b.0, b.1);
+        let vc = UnitVec::from_radec(c.0, c.1);
+        let ab = va.sep_deg(&vb);
+        let ba = vb.sep_deg(&va);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(va.sep_deg(&va) < 1e-9, "identity");
+        // Triangle inequality with float slack.
+        prop_assert!(ab <= va.sep_deg(&vc) + vc.sep_deg(&vb) + 1e-9);
+    }
+
+    #[test]
+    fn region_expand_shrink_and_containment(
+        ra0 in 0.0f64..300.0,
+        dec0 in -60.0f64..50.0,
+        w in 0.2f64..20.0,
+        h in 0.2f64..20.0,
+        m in 0.0f64..0.09,
+    ) {
+        let r = SkyRegion::new(ra0, ra0 + w, dec0, dec0 + h);
+        // Float add/sub round-trips only approximately.
+        let rt = r.expanded(m).shrunk(m);
+        prop_assert!((rt.ra_min - r.ra_min).abs() < 1e-9);
+        prop_assert!((rt.ra_max - r.ra_max).abs() < 1e-9);
+        prop_assert!((rt.dec_min - r.dec_min).abs() < 1e-9);
+        prop_assert!((rt.dec_max - r.dec_max).abs() < 1e-9);
+        // Everything in r is in the expansion; centers survive shrinking.
+        let (cra, cdec) = r.center();
+        prop_assert!(r.expanded(m).contains(cra, cdec));
+        prop_assert!(r.shrunk(m).contains(cra, cdec));
+        prop_assert!((r.area_deg2() - w * h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stripes_partition_any_region(
+        dec0 in -60.0f64..40.0,
+        h in 1.0f64..30.0,
+        n in 1usize..12,
+    ) {
+        let r = SkyRegion::new(100.0, 120.0, dec0, dec0 + h);
+        let stripes = r.dec_stripes(n);
+        prop_assert_eq!(stripes.len(), n);
+        let total: f64 = stripes.iter().map(|s| s.area_deg2()).sum();
+        prop_assert!((total - r.area_deg2()).abs() < 1e-6);
+        for w in stripes.windows(2) {
+            prop_assert_eq!(w[0].dec_max, w[1].dec_min);
+        }
+    }
+
+    #[test]
+    fn zone_of_matches_paper_formula(dec in -89.99f64..89.99, h in 0.001f64..5.0) {
+        let s = ZoneScheme::with_height(h);
+        prop_assert_eq!(s.zone_of(dec), ((dec + 90.0) / h).floor() as i32);
+    }
+
+    #[test]
+    fn search_windows_bound_every_passing_redshift(
+        z in 0.06f64..1.0,
+        di in -0.8f64..0.8,
+        dgr in -0.1f64..0.1,
+        dri in -0.1f64..0.1,
+    ) {
+        // Sample near the ridge line so the chisq filter usually passes.
+        let kcorr = KcorrTable::generate(KcorrConfig::tam());
+        let p = BcgParams::default();
+        let k0 = *kcorr.nearest(z);
+        let g = Galaxy::with_derived_errors(1, 180.0, 0.0, k0.i + di, k0.gr + dgr, k0.ri + dri);
+        let passing = bcg::passing_redshifts(&g, &kcorr, &p);
+        prop_assume!(!passing.is_empty());
+        let w = bcg::search_windows(g.i, &passing, &kcorr, &p);
+        for pr in &passing {
+            let k = kcorr.row(pr.zid).unwrap();
+            prop_assert!(k.radius <= w.radius_deg + 1e-12);
+            prop_assert!(k.ilim <= w.i_max + 1e-12);
+            prop_assert!(w.gr_min <= k.gr - 2.0 * p.gr_pop_sigma + 1e-12);
+            prop_assert!(w.ri_max >= k.ri + 2.0 * p.ri_pop_sigma - 1e-12);
+        }
+        // Counting windows are strictly inside the search windows, so any
+        // friend counted at some redshift is admitted by the search bound.
+        for pr in &passing {
+            let k = kcorr.row(pr.zid).unwrap();
+            let f = skycore::Friend {
+                objid: 2,
+                distance: k.radius * 0.99,
+                i: g.i.max(k.ilim - 0.001),
+                gr: k.gr,
+                ri: k.ri,
+            };
+            if f.i >= g.i && f.i <= k.ilim {
+                prop_assert!(w.admits(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_likelihood_monotone_in_neighbor_count(
+        z in 0.06f64..0.9,
+        extra in 1usize..20,
+    ) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let p = BcgParams::default();
+        let k = kcorr.nearest(z);
+        let g = Galaxy::with_derived_errors(1, 180.0, 0.0, k.i, k.gr, k.ri);
+        let mk_friends = |n: usize| -> Vec<skycore::Friend> {
+            (0..n)
+                .map(|j| skycore::Friend {
+                    objid: 10 + j as i64,
+                    distance: k.radius * 0.5,
+                    i: (k.i + 0.3).min(k.ilim),
+                    gr: k.gr,
+                    ri: k.ri,
+                })
+                .collect()
+        };
+        let a = bcg::evaluate_candidate(&g, &kcorr, &p, |_| mk_friends(1));
+        let b = bcg::evaluate_candidate(&g, &kcorr, &p, |_| mk_friends(1 + extra));
+        prop_assume!(a.is_some() && b.is_some());
+        prop_assert!(b.unwrap().chi2 >= a.unwrap().chi2 - 1e-12);
+    }
+
+    #[test]
+    fn r200_grows_sublinearly(n in 1.0f64..1000.0) {
+        let r = bcg::r200_mpc(n);
+        prop_assert!(r > 0.0);
+        prop_assert!(bcg::r200_mpc(n * 2.0) < r * 2.0, "exponent < 1");
+        prop_assert!(bcg::r200_mpc(n * 2.0) > r, "monotone");
+    }
+}

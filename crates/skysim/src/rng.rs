@@ -1,0 +1,119 @@
+//! Deterministic random sampling helpers.
+//!
+//! Everything in `skysim` is reproducible from a single `u64` seed: the
+//! same seed and region always generate the same sky, so the TAM baseline,
+//! the database pipeline, and every bench see identical data — the
+//! apples-to-apples requirement of the comparison.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a generator from a root seed and a purpose label, so different
+/// generation stages (field, clusters) draw independent streams.
+pub fn stream(seed: u64, label: &str) -> SmallRng {
+    // FNV-1a over the label, mixed into the seed.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(seed ^ h)
+}
+
+/// Standard normal via Box–Muller (rand's `StandardNormal` lives in
+/// `rand_distr`, which is outside the sanctioned dependency set).
+pub fn normal(rng: &mut SmallRng, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sigma * z
+}
+
+/// Poisson sample via inversion for small means, normal approximation for
+/// large ones (cluster and galaxy counts per region).
+pub fn poisson(rng: &mut SmallRng, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "negative Poisson mean");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 50.0 {
+        return normal(rng, mean, mean.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Sample from a truncated power-law `p(n) ~ n^-alpha` on `[lo, hi]`
+/// (cluster richness distribution).
+pub fn power_law(rng: &mut SmallRng, lo: f64, hi: f64, alpha: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi > lo && alpha > 1.0);
+    let u: f64 = rng.gen();
+    let a = 1.0 - alpha;
+    (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let a1: Vec<u64> = {
+            let mut r = stream(42, "field");
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = stream(42, "field");
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = stream(42, "clusters");
+            (0..5).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a1, a2, "same seed+label must repeat");
+        assert_ne!(a1, b, "different labels must diverge");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = stream(7, "normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_moments_small_and_large() {
+        let mut r = stream(7, "poisson");
+        for &mean in &[0.5, 4.0, 200.0] {
+            let n = 5_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, mean)).sum();
+            let got = total as f64 / n as f64;
+            assert!(
+                (got - mean).abs() < mean.sqrt() * 0.2 + 0.05,
+                "mean {mean} got {got}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn power_law_respects_bounds_and_skew() {
+        let mut r = stream(9, "pl");
+        let samples: Vec<f64> = (0..10_000).map(|_| power_law(&mut r, 5.0, 50.0, 2.5)).collect();
+        assert!(samples.iter().all(|&x| (5.0..=50.0).contains(&x)));
+        let below_10 = samples.iter().filter(|&&x| x < 10.0).count();
+        assert!(below_10 > 6_000, "power law must favor the low end: {below_10}");
+    }
+}

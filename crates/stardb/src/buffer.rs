@@ -1,0 +1,413 @@
+//! The buffer pool: a fixed set of in-memory frames over a [`PageStore`],
+//! with clock eviction and the I/O accounting that backs Table 1's I/O
+//! column.
+//!
+//! Accounting follows SQL Server's conventions as the paper reports them:
+//!
+//! * **logical read** — any page access through the pool, hit or miss;
+//! * **physical read** — a miss that had to fetch from the store;
+//! * **physical write** — a dirty eviction or flush.
+//!
+//! A [`DiskProfile`] attaches a *modeled* latency to physical operations.
+//! The engine never sleeps; instead the accumulated model time is reported
+//! separately so task timings can present `elapsed = cpu + modeled I/O
+//! wait`, the decomposition Table 1 shows (the paper's `fBCGCandidate` has
+//! low I/O density — data stays in memory — while `spZone` rewrites
+//! everything and is I/O heavy; the same contrast shows up in these
+//! counters).
+
+use crate::error::{DbError, DbResult};
+use crate::page::PAGE_SIZE;
+use crate::store::{PageId, PageStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Latency model for the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskProfile {
+    /// Modeled time per physical page read.
+    pub read_latency: Duration,
+    /// Modeled time per physical page write.
+    pub write_latency: Duration,
+}
+
+impl DiskProfile {
+    /// A 2004-era server disk subsystem: ~0.2 ms per 8 KiB sequentialish
+    /// page read, ~0.3 ms per write.
+    pub fn spinning_disk() -> Self {
+        DiskProfile {
+            read_latency: Duration::from_micros(200),
+            write_latency: Duration::from_micros(300),
+        }
+    }
+
+    /// No modeled latency (unit tests).
+    pub fn instant() -> Self {
+        DiskProfile { read_latency: Duration::ZERO, write_latency: Duration::ZERO }
+    }
+}
+
+impl Default for DiskProfile {
+    fn default() -> Self {
+        DiskProfile::spinning_disk()
+    }
+}
+
+/// Monotonic I/O counters. Cheap to share and snapshot.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    modeled_io_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Page accesses through the pool (the paper's "I/O" column counts
+    /// these logical operations).
+    pub logical_reads: u64,
+    /// Misses served from the store.
+    pub physical_reads: u64,
+    /// Dirty pages written back.
+    pub physical_writes: u64,
+    /// Accumulated modeled I/O wait.
+    pub modeled_io: Duration,
+}
+
+impl IoStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            modeled_io: Duration::from_nanos(self.modeled_io_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl IoSnapshot {
+    /// Counter deltas `self - earlier` (both from the same pool).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            modeled_io: self.modeled_io - earlier.modeled_io,
+        }
+    }
+}
+
+struct Frame {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+/// The buffer pool. All page access goes through [`BufferPool::with_page`]
+/// and [`BufferPool::with_page_mut`]; the closure discipline guarantees a
+/// frame cannot be evicted while in use without the complexity of pin
+/// bookkeeping leaking into callers.
+pub struct BufferPool {
+    store: Arc<dyn PageStore>,
+    inner: Mutex<PoolInner>,
+    stats: IoStats,
+    profile: DiskProfile,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `store`.
+    pub fn new(store: Arc<dyn PageStore>, capacity: usize, profile: DiskProfile) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            store,
+            inner: Mutex::new(PoolInner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                capacity,
+            }),
+            stats: IoStats::default(),
+            profile,
+        }
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// The I/O counters.
+    pub fn stats(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Allocate a fresh page (zeroed, resident, dirty).
+    pub fn allocate(&self) -> DbResult<PageId> {
+        let id = self.store.allocate();
+        let mut inner = self.inner.lock();
+        let frame_idx = self.frame_for(&mut inner, id, /*load=*/ false)?;
+        inner.frames[frame_idx].data.fill(0);
+        inner.frames[frame_idx].dirty = true;
+        Ok(id)
+    }
+
+    /// Run `f` over an immutable view of page `id`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
+        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        let idx = self.frame_for(&mut inner, id, true)?;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Run `f` over a mutable view of page `id`; the page is marked dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
+        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        let idx = self.frame_for(&mut inner, id, true)?;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].data))
+    }
+
+    /// Write every dirty frame back to the store.
+    pub fn flush_all(&self) {
+        let mut inner = self.inner.lock();
+        for frame in &mut inner.frames {
+            if frame.dirty {
+                self.store.write_page(frame.page, &frame.data);
+                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .modeled_io_nanos
+                    .fetch_add(self.profile.write_latency.as_nanos() as u64, Ordering::Relaxed);
+                frame.dirty = false;
+            }
+        }
+    }
+
+    fn write_back(&self, frame: &Frame) {
+        self.store.write_page(frame.page, &frame.data);
+        self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .modeled_io_nanos
+            .fetch_add(self.profile.write_latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Locate (or load) `id` in a frame, evicting if needed.
+    fn frame_for(&self, inner: &mut PoolInner, id: PageId, load: bool) -> DbResult<usize> {
+        if let Some(&idx) = inner.map.get(&id) {
+            inner.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        // Miss.
+        let idx = if inner.frames.len() < inner.capacity {
+            inner.frames.push(Frame {
+                page: id,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                referenced: true,
+            });
+            inner.frames.len() - 1
+        } else {
+            let victim = self.pick_victim(inner)?;
+            let old = inner.frames[victim].page;
+            if inner.frames[victim].dirty {
+                self.write_back(&inner.frames[victim]);
+            }
+            inner.frames[victim].page = id;
+            inner.frames[victim].dirty = false;
+            inner.frames[victim].referenced = true;
+            inner.map.remove(&old);
+            victim
+        };
+        inner.map.insert(id, idx);
+        if load {
+            self.store.read_page(id, &mut inner.frames[idx].data);
+            self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .modeled_io_nanos
+                .fetch_add(self.profile.read_latency.as_nanos() as u64, Ordering::Relaxed);
+        }
+        Ok(idx)
+    }
+
+    /// Clock (second-chance) eviction.
+    fn pick_victim(&self, inner: &mut PoolInner) -> DbResult<usize> {
+        let n = inner.frames.len();
+        for _ in 0..2 * n {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            if inner.frames[idx].referenced {
+                inner.frames[idx].referenced = false;
+            } else {
+                return Ok(idx);
+            }
+        }
+        // Unreachable with the closure discipline (nothing stays pinned),
+        // but keep the error path for safety.
+        Err(DbError::BufferExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(Arc::new(MemStore::new()), capacity, DiskProfile::instant())
+    }
+
+    #[test]
+    fn allocate_and_readback() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |data| data[0] = 42).unwrap();
+        let v = p.with_page(id, |data| data[0]).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn hits_do_not_count_as_physical() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        for _ in 0..10 {
+            p.with_page(id, |_| ()).unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 10);
+        assert_eq!(s.physical_reads, 0, "resident page must not hit the store");
+    }
+
+    #[test]
+    fn eviction_round_trips_through_store() {
+        let p = pool(2);
+        let ids: Vec<_> = (0..5).map(|_| p.allocate().unwrap()).collect();
+        for (k, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |data| data[0] = k as u8).unwrap();
+        }
+        // All five pages survive a pool of two frames.
+        for (k, &id) in ids.iter().enumerate() {
+            let v = p.with_page(id, |data| data[0]).unwrap();
+            assert_eq!(v, k as u8, "page {id}");
+        }
+        let s = p.stats();
+        assert!(s.physical_reads > 0, "small pool must have missed");
+        assert!(s.physical_writes > 0, "dirty evictions must write back");
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let p = pool(8);
+        let ids: Vec<_> = (0..8).map(|_| p.allocate().unwrap()).collect();
+        for &id in &ids {
+            p.with_page_mut(id, |d| d[1] = 7).unwrap();
+        }
+        let before = p.stats().physical_reads;
+        for _ in 0..100 {
+            for &id in &ids {
+                p.with_page(id, |_| ()).unwrap();
+            }
+        }
+        assert_eq!(p.stats().physical_reads, before, "no misses expected");
+    }
+
+    #[test]
+    fn modeled_latency_accumulates() {
+        let store = Arc::new(MemStore::new());
+        let p = BufferPool::new(
+            store,
+            1,
+            DiskProfile {
+                read_latency: Duration::from_micros(100),
+                write_latency: Duration::from_micros(100),
+            },
+        );
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        // Ping-pong between two pages in a single frame.
+        for _ in 0..5 {
+            p.with_page_mut(a, |d| d[0] += 1).unwrap();
+            p.with_page_mut(b, |d| d[0] += 1).unwrap();
+        }
+        let s = p.stats();
+        assert!(s.modeled_io >= Duration::from_micros(100 * (s.physical_reads)));
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_pages() {
+        let store = Arc::new(MemStore::new());
+        let p = BufferPool::new(store.clone(), 4, DiskProfile::instant());
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |d| d[7] = 99).unwrap();
+        p.flush_all();
+        let mut raw = vec![0u8; PAGE_SIZE];
+        store.read_page(id, &mut raw);
+        assert_eq!(raw[7], 99);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        let before = p.stats();
+        p.with_page(id, |_| ()).unwrap();
+        p.with_page(id, |_| ()).unwrap();
+        let delta = p.stats().since(&before);
+        assert_eq!(delta.logical_reads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        pool(0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_are_safe() {
+        // The pool is the only shared mutable state between partition
+        // threads in principle; hammer it from several threads and verify
+        // per-page sums (each page is only touched by its owner thread, as
+        // in the share-nothing design, but through one pool).
+        let p = std::sync::Arc::new(pool(8));
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        std::thread::scope(|scope| {
+            for (t, &id) in ids.iter().enumerate() {
+                let p = std::sync::Arc::clone(&p);
+                scope.spawn(move || {
+                    for k in 0..500u32 {
+                        p.with_page_mut(id, |d| {
+                            let cur = u32::from_le_bytes(d[..4].try_into().unwrap());
+                            d[..4].copy_from_slice(&(cur + 1).to_le_bytes());
+                        })
+                        .unwrap();
+                        if k % 7 == 0 {
+                            p.with_page(id, |d| {
+                                assert_eq!(d[8], 0, "thread {t} page must stay zero beyond its counter");
+                            })
+                            .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        for &id in &ids {
+            let v = p
+                .with_page(id, |d| u32::from_le_bytes(d[..4].try_into().unwrap()))
+                .unwrap();
+            assert_eq!(v, 500);
+        }
+    }
+}

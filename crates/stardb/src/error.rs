@@ -1,0 +1,54 @@
+//! Error type for the engine.
+
+use std::fmt;
+
+/// Errors surfaced by the storage and execution layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table name was not found in the catalog.
+    NoSuchTable(String),
+    /// A column name was not found in a schema.
+    NoSuchColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A row did not match the table schema (arity or type).
+    SchemaMismatch(String),
+    /// A duplicate key was inserted into a unique (clustered) index.
+    DuplicateKey(String),
+    /// A value could not be decoded from its on-page representation.
+    Corrupt(String),
+    /// A record was too large to fit in one page.
+    RecordTooLarge {
+        /// Size of the offending record in bytes.
+        size: usize,
+        /// Largest record the page layout accepts.
+        max: usize,
+    },
+    /// The buffer pool could not evict any frame (everything pinned).
+    BufferExhausted,
+    /// An expression referenced an incompatible type.
+    TypeError(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DbError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            DbError::BufferExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            DbError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,301 @@
+//! Relational operators.
+//!
+//! A compact pull-based operator set: filter, project, nested-loop join,
+//! sort, limit, and grouped aggregation. The MaxBCG stored procedures are
+//! hand-written loops (as stored procedures are), but the query-shaped
+//! steps — the k-correction join of the Filter stage, the region selections
+//! of Figures 4/5, CasJobs user queries — run through these operators, and
+//! the cursor-vs-set ablation uses them as the set-based side.
+
+use crate::error::DbResult;
+use crate::expr::Expr;
+use crate::row::Row;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Keep rows matching `pred`.
+pub fn filter(rows: Vec<Row>, pred: &Expr) -> DbResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        if pred.matches(&row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate `exprs` for each row (SELECT list).
+pub fn project(rows: &[Row], exprs: &[Expr]) -> DbResult<Vec<Row>> {
+    rows.iter()
+        .map(|row| {
+            exprs
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<DbResult<Vec<Value>>>()
+                .map(Row)
+        })
+        .collect()
+}
+
+/// Nested-loop inner join: concatenated rows where `on` holds. `on` sees
+/// the concatenated row (left columns first).
+pub fn nested_loop_join(left: &[Row], right: &[Row], on: &Expr) -> DbResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            let mut joined = l.0.clone();
+            joined.extend(r.0.iter().cloned());
+            let joined = Row(joined);
+            if on.matches(&joined)? {
+                out.push(joined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// CROSS JOIN (the paper's `Galaxy CROSS JOIN Kcorr` filter step).
+pub fn cross_join(left: &[Row], right: &[Row]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            let mut joined = l.0.clone();
+            joined.extend(r.0.iter().cloned());
+            out.push(Row(joined));
+        }
+    }
+    out
+}
+
+/// Sort by the listed column positions ascending.
+pub fn sort_by_cols(mut rows: Vec<Row>, cols: &[usize]) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for &c in cols {
+            match a[c].total_cmp(&b[c]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    });
+    rows
+}
+
+/// First `n` rows (SQL `TOP n`).
+pub fn limit(mut rows: Vec<Row>, n: usize) -> Vec<Row> {
+    rows.truncate(n);
+    rows
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// `COUNT(*)`.
+    Count,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+/// One aggregate specification: the function and its argument (ignored for
+/// `Count`).
+pub struct AggSpec {
+    /// Aggregate function.
+    pub agg: Agg,
+    /// Argument expression (use `Expr::lit(0)` for COUNT).
+    pub arg: Expr,
+}
+
+/// GROUP BY `group_col` (pass `None` for a single global group), computing
+/// `aggs`. Output rows are `[group_key?, agg_0, agg_1, ...]`, ordered by
+/// group key.
+pub fn aggregate(rows: &[Row], group_col: Option<usize>, aggs: &[AggSpec]) -> DbResult<Vec<Row>> {
+    struct Acc {
+        count: u64,
+        seen: u64,
+        min: f64,
+        max: f64,
+        sum: f64,
+    }
+    impl Acc {
+        fn new() -> Self {
+            Acc { count: 0, seen: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        }
+    }
+    // Group keys are compared via total order; a Vec keeps groups sorted.
+    let mut groups: Vec<(Option<Value>, Vec<Acc>)> = Vec::new();
+    for row in rows {
+        let key = group_col.map(|c| row[c].clone());
+        let idx = match groups.binary_search_by(|(k, _)| cmp_opt(k, &key)) {
+            Ok(i) => i,
+            Err(i) => {
+                groups.insert(i, (key.clone(), aggs.iter().map(|_| Acc::new()).collect()));
+                i
+            }
+        };
+        for (spec, acc) in aggs.iter().zip(&mut groups[idx].1) {
+            acc.count += 1;
+            if spec.agg != Agg::Count {
+                let v = spec.arg.eval(row)?;
+                if !v.is_null() {
+                    let x = v.as_f64()?;
+                    acc.seen += 1;
+                    acc.min = acc.min.min(x);
+                    acc.max = acc.max.max(x);
+                    acc.sum += x;
+                }
+            }
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut out: Vec<Value> = Vec::new();
+            if let Some(k) = key {
+                out.push(k);
+            }
+            for (spec, acc) in aggs.iter().zip(accs) {
+                out.push(match spec.agg {
+                    Agg::Count => Value::BigInt(acc.count as i64),
+                    Agg::Min if acc.seen > 0 => Value::Float(acc.min),
+                    Agg::Max if acc.seen > 0 => Value::Float(acc.max),
+                    Agg::Sum if acc.seen > 0 => Value::Float(acc.sum),
+                    Agg::Avg if acc.seen > 0 => Value::Float(acc.sum / acc.seen as f64),
+                    // SQL: aggregates over no non-NULL input are NULL.
+                    _ => Value::Null,
+                });
+            }
+            Row(out)
+        })
+        .collect())
+}
+
+fn cmp_opt(a: &Option<Value>, b: &Option<Value>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => x.total_cmp(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn rows() -> Vec<Row> {
+        (0..10)
+            .map(|i| Row(vec![Value::Int(i), Value::Float(f64::from(i) * 1.5), Value::Int(i % 3)]))
+            .collect()
+    }
+
+    #[test]
+    fn filter_keeps_matches() {
+        let pred = Expr::Col(0).bin(BinOp::Ge, Expr::lit(7i32));
+        let out = filter(rows(), &pred).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn project_evaluates_select_list() {
+        let out = project(&rows(), &[Expr::Col(1).bin(BinOp::Mul, Expr::lit(2.0))]).unwrap();
+        assert_eq!(out[3].f64(0).unwrap(), 9.0);
+        assert_eq!(out[0].arity(), 1);
+    }
+
+    #[test]
+    fn join_matches_on_predicate() {
+        let left = rows();
+        let right = vec![Row(vec![Value::Int(2)]), Row(vec![Value::Int(5)])];
+        // left.col2 == right.col0 (concatenated index 3).
+        let on = Expr::Col(2).bin(BinOp::Eq, Expr::Col(3));
+        let out = nested_loop_join(&left, &right, &on).unwrap();
+        // col2 = i % 3 in {2, 5}: only 2 matches (i = 2, 5, 8).
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.arity() == 4));
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let out = cross_join(&rows(), &rows());
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0].arity(), 6);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let mut r = rows();
+        r.reverse();
+        let sorted = sort_by_cols(r, &[2, 0]);
+        assert_eq!(sorted[0][2], Value::Int(0));
+        assert_eq!(sorted[0][0], Value::Int(0));
+        let top = limit(sorted, 4);
+        assert_eq!(top.len(), 4);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let out = aggregate(
+            &rows(),
+            None,
+            &[
+                AggSpec { agg: Agg::Count, arg: Expr::lit(0i32) },
+                AggSpec { agg: Agg::Min, arg: Expr::Col(1) },
+                AggSpec { agg: Agg::Max, arg: Expr::Col(1) },
+                AggSpec { agg: Agg::Avg, arg: Expr::Col(0) },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::BigInt(10));
+        assert_eq!(out[0].f64(1).unwrap(), 0.0);
+        assert_eq!(out[0].f64(2).unwrap(), 13.5);
+        assert_eq!(out[0].f64(3).unwrap(), 4.5);
+    }
+
+    #[test]
+    fn grouped_count() {
+        let out = aggregate(
+            &rows(),
+            Some(2),
+            &[AggSpec { agg: Agg::Count, arg: Expr::lit(0i32) }],
+        )
+        .unwrap();
+        // Groups 0,1,2 with counts 4,3,3.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0][0], Value::Int(0));
+        assert_eq!(out[0][1], Value::BigInt(4));
+        assert_eq!(out[1][1], Value::BigInt(3));
+    }
+
+    #[test]
+    fn aggregate_of_empty_input() {
+        let out = aggregate(&[], None, &[AggSpec { agg: Agg::Count, arg: Expr::lit(0i32) }])
+            .unwrap();
+        assert!(out.is_empty(), "no rows means no groups, as in SQL GROUP BY");
+    }
+
+    #[test]
+    fn min_of_all_null_group_is_null() {
+        let rows = vec![Row(vec![Value::Int(1), Value::Null])];
+        let out = aggregate(&rows, None, &[AggSpec { agg: Agg::Min, arg: Expr::Col(1) }]).unwrap();
+        assert!(out[0][0].is_null(), "MIN over all-NULL input is NULL in SQL");
+    }
+
+    #[test]
+    fn avg_ignores_nulls() {
+        let rows = vec![
+            Row(vec![Value::Float(2.0)]),
+            Row(vec![Value::Null]),
+            Row(vec![Value::Float(4.0)]),
+        ];
+        let out = aggregate(&rows, None, &[AggSpec { agg: Agg::Avg, arg: Expr::Col(0) }]).unwrap();
+        assert_eq!(out[0].f64(0).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Scalar expressions over rows.
+//!
+//! A small expression tree covering what the paper's SQL actually computes
+//! in queries: column references, literals, arithmetic, comparisons with
+//! `BETWEEN`, boolean connectives, and the few scalar functions MaxBCG
+//! leans on (`POWER`, `LOG`, `ABS`, `FLOOR`). Booleans follow SQL
+//! three-valued logic far enough for these workloads: any comparison with
+//! NULL is NULL, and filters keep only rows evaluating to true.
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Unary scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// Absolute value.
+    Abs,
+    /// Natural logarithm (T-SQL `LOG`).
+    Log,
+    /// `FLOOR`.
+    Floor,
+    /// Square root.
+    Sqrt,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `POWER(base, exp)`.
+    Power(Box<Expr>, Box<Expr>),
+    /// Unary scalar function.
+    Call(Func, Box<Expr>),
+    /// `a BETWEEN lo AND hi` (inclusive both ends, like SQL).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `NOT a`.
+    Not(Box<Expr>),
+    /// `a IS NULL`.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference by name, resolved against a schema.
+    pub fn col(schema: &Schema, name: &str) -> DbResult<Expr> {
+        Ok(Expr::Col(schema.col(name)?))
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Builder: `self op other`.
+    pub fn bin(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(other))
+    }
+
+    /// Builder: `self BETWEEN lo AND hi`.
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        Expr::Between(Box::new(self), Box::new(lo), Box::new(hi))
+    }
+
+    /// Builder: `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.bin(BinOp::And, other)
+    }
+
+    /// Evaluate against a row. Comparisons yield `Int(1)`, `Int(0)`, or
+    /// `Null`.
+    pub fn eval(&self, row: &Row) -> DbResult<Value> {
+        match self {
+            Expr::Col(i) => row
+                .values()
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::TypeError(format!("column index {i} out of range"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(row)?;
+                let b = b.eval(row)?;
+                eval_bin(*op, a, b)
+            }
+            Expr::Power(base, exp) => {
+                let base = base.eval(row)?;
+                let exp = exp.eval(row)?;
+                if base.is_null() || exp.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Float(base.as_f64()?.powf(exp.as_f64()?)))
+            }
+            Expr::Call(f, a) => {
+                let v = a.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let x = v.as_f64()?;
+                Ok(Value::Float(match f {
+                    Func::Abs => x.abs(),
+                    Func::Log => x.ln(),
+                    Func::Floor => x.floor(),
+                    Func::Sqrt => x.sqrt(),
+                }))
+            }
+            Expr::Between(v, lo, hi) => {
+                let v = v.eval(row)?;
+                let lo = lo.eval(row)?;
+                let hi = hi.eval(row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ge = eval_bin(BinOp::Ge, v.clone(), lo)?;
+                let le = eval_bin(BinOp::Le, v, hi)?;
+                eval_bin(BinOp::And, ge, le)
+            }
+            Expr::Not(a) => match a.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Int(i32::from(!truthy(&v)?))),
+            },
+            Expr::IsNull(a) => Ok(Value::Int(i32::from(a.eval(row)?.is_null()))),
+        }
+    }
+
+    /// Evaluate as a filter predicate: NULL counts as false, as in SQL
+    /// `WHERE`.
+    pub fn matches(&self, row: &Row) -> DbResult<bool> {
+        match self.eval(row)? {
+            Value::Null => Ok(false),
+            v => truthy(&v),
+        }
+    }
+}
+
+fn truthy(v: &Value) -> DbResult<bool> {
+    Ok(v.as_f64()? != 0.0)
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> DbResult<Value> {
+    use BinOp::*;
+    // SQL semantics: NULL propagates through every operator except that
+    // AND/OR shortcut when the other side decides the result.
+    match op {
+        And => {
+            return Ok(match (null_bool(&a)?, null_bool(&b)?) {
+                (Some(false), _) | (_, Some(false)) => Value::Int(0),
+                (Some(true), Some(true)) => Value::Int(1),
+                _ => Value::Null,
+            });
+        }
+        Or => {
+            return Ok(match (null_bool(&a)?, null_bool(&b)?) {
+                (Some(true), _) | (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    // Text equality is the only text operation needed (CasJobs lookups).
+    if let (Value::Text(x), Value::Text(y)) = (&a, &b) {
+        return match op {
+            Eq => Ok(Value::Int(i32::from(x == y))),
+            Ne => Ok(Value::Int(i32::from(x != y))),
+            Lt => Ok(Value::Int(i32::from(x < y))),
+            Le => Ok(Value::Int(i32::from(x <= y))),
+            Gt => Ok(Value::Int(i32::from(x > y))),
+            Ge => Ok(Value::Int(i32::from(x >= y))),
+            _ => Err(DbError::TypeError("arithmetic on text".into())),
+        };
+    }
+    let x = a.as_f64()?;
+    let y = b.as_f64()?;
+    Ok(match op {
+        Add => Value::Float(x + y),
+        Sub => Value::Float(x - y),
+        Mul => Value::Float(x * y),
+        Div => Value::Float(x / y),
+        Lt => Value::Int(i32::from(x < y)),
+        Le => Value::Int(i32::from(x <= y)),
+        Gt => Value::Int(i32::from(x > y)),
+        Ge => Value::Int(i32::from(x >= y)),
+        Eq => Value::Int(i32::from(x == y)),
+        Ne => Value::Int(i32::from(x != y)),
+        And | Or => unreachable!("handled above"),
+    })
+}
+
+fn null_bool(v: &Value) -> DbResult<Option<bool>> {
+    if v.is_null() {
+        Ok(None)
+    } else {
+        Ok(Some(truthy(v)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row(vec![
+            Value::BigInt(42),
+            Value::Float(180.5),
+            Value::Real(2.5),
+            Value::Null,
+            Value::Text("abc".into()),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let r = row();
+        assert_eq!(Expr::Col(0).eval(&r).unwrap(), Value::BigInt(42));
+        assert_eq!(Expr::lit(7i32).eval(&r).unwrap(), Value::Int(7));
+        assert!(Expr::Col(99).eval(&r).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row();
+        let e = Expr::Col(1).bin(BinOp::Add, Expr::lit(0.5));
+        assert_eq!(e.eval(&r).unwrap().as_f64().unwrap(), 181.0);
+        let e = Expr::Power(Box::new(Expr::lit(2.0)), Box::new(Expr::lit(10.0)));
+        assert_eq!(e.eval(&r).unwrap().as_f64().unwrap(), 1024.0);
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let r = row();
+        let e = Expr::Col(1).between(Expr::lit(180.5), Expr::lit(200.0));
+        assert!(e.matches(&r).unwrap());
+        let e = Expr::Col(1).between(Expr::lit(180.6), Expr::lit(200.0));
+        assert!(!e.matches(&r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_null_and_filter_false() {
+        let r = row();
+        let e = Expr::Col(3).bin(BinOp::Eq, Expr::lit(1.0));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        assert!(!e.matches(&r).unwrap());
+        let e = Expr::IsNull(Box::new(Expr::Col(3)));
+        assert!(e.matches(&r).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = row();
+        let null = Expr::Col(3).bin(BinOp::Eq, Expr::lit(1.0));
+        // false AND NULL = false
+        let e = Expr::lit(0i32).bin(BinOp::And, null.clone());
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(0));
+        // true OR NULL = true
+        let e = Expr::lit(1i32).bin(BinOp::Or, null.clone());
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+        // true AND NULL = NULL
+        let e = Expr::lit(1i32).bin(BinOp::And, null);
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let r = row();
+        assert_eq!(
+            Expr::Call(Func::Abs, Box::new(Expr::lit(-3.0))).eval(&r).unwrap().as_f64().unwrap(),
+            3.0
+        );
+        let ln = Expr::Call(Func::Log, Box::new(Expr::lit(std::f64::consts::E)));
+        assert!((ln.eval(&r).unwrap().as_f64().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            Expr::Call(Func::Floor, Box::new(Expr::lit(2.9))).eval(&r).unwrap().as_f64().unwrap(),
+            2.0
+        );
+        assert_eq!(
+            Expr::Call(Func::Sqrt, Box::new(Expr::lit(16.0))).eval(&r).unwrap().as_f64().unwrap(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn text_comparisons() {
+        let r = row();
+        let e = Expr::Col(4).bin(BinOp::Eq, Expr::lit("abc"));
+        assert!(e.matches(&r).unwrap());
+        let e = Expr::Col(4).bin(BinOp::Lt, Expr::lit("abd"));
+        assert!(e.matches(&r).unwrap());
+        let e = Expr::Col(4).bin(BinOp::Add, Expr::lit("x"));
+        assert!(e.eval(&r).is_err());
+    }
+
+    #[test]
+    fn not_inverts() {
+        let r = row();
+        let e = Expr::Not(Box::new(Expr::lit(0i32)));
+        assert!(e.matches(&r).unwrap());
+    }
+}

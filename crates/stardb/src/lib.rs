@@ -1,0 +1,36 @@
+//! # stardb — an embedded relational engine
+//!
+//! The "SQL Server" substrate of the reproduction: paged storage with a
+//! buffer pool and I/O accounting, heap tables, a clustered B+tree with
+//! order-preserving composite keys, simple relational executors, and
+//! per-task session statistics matching the shape of the paper's Table 1.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod error;
+pub mod heap;
+pub mod key;
+pub mod page;
+pub mod row;
+pub mod schema;
+pub mod store;
+pub mod value;
+
+pub use buffer::{BufferPool, DiskProfile, IoSnapshot};
+pub use error::{DbError, DbResult};
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use value::{DataType, Value};
+
+pub mod db;
+pub mod exec;
+pub mod expr;
+pub mod sql;
+pub mod stats;
+
+pub use db::{Cursor, Database, DbConfig};
+pub use expr::{BinOp, Expr, Func};
+pub use sql::SqlOutput;
+pub use stats::TaskStats;

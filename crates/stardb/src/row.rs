@@ -1,0 +1,242 @@
+//! Rows and their on-page wire format.
+//!
+//! Rows are encoded with a compact self-describing codec: one type tag byte
+//! per value followed by a fixed- or length-prefixed payload. The codec is
+//! the single source of truth for what bytes live inside pages, TAM files
+//! reuse their own codec (`tam::files`) — the two stay independent, as in
+//! the paper.
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// A materialized row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+const TAG_NULL: u8 = 0;
+const TAG_BIGINT: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_REAL: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_TEXT: u8 = 5;
+
+impl Row {
+    /// Build a row from anything convertible to values.
+    pub fn of<const N: usize>(values: [Value; N]) -> Self {
+        Row(values.to_vec())
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Append the wire encoding of this row to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in &self.0 {
+            match v {
+                Value::Null => out.put_u8(TAG_NULL),
+                Value::BigInt(x) => {
+                    out.put_u8(TAG_BIGINT);
+                    out.put_i64_le(*x);
+                }
+                Value::Int(x) => {
+                    out.put_u8(TAG_INT);
+                    out.put_i32_le(*x);
+                }
+                Value::Real(x) => {
+                    out.put_u8(TAG_REAL);
+                    out.put_f32_le(*x);
+                }
+                Value::Float(x) => {
+                    out.put_u8(TAG_FLOAT);
+                    out.put_f64_le(*x);
+                }
+                Value::Text(s) => {
+                    out.put_u8(TAG_TEXT);
+                    out.put_u32_le(s.len() as u32);
+                    out.put_slice(s.as_bytes());
+                }
+            }
+        }
+    }
+
+    /// Encode to a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Exact size of the wire encoding.
+    pub fn encoded_len(&self) -> usize {
+        self.0
+            .iter()
+            .map(|v| match v {
+                Value::Null => 1,
+                Value::BigInt(_) | Value::Float(_) => 9,
+                Value::Int(_) | Value::Real(_) => 5,
+                Value::Text(s) => 5 + s.len(),
+            })
+            .sum()
+    }
+
+    /// Decode a row of `arity` values from `buf`. The buffer must contain
+    /// exactly one row (trailing bytes are an error, catching page
+    /// corruption early).
+    pub fn decode(mut buf: &[u8], arity: usize) -> DbResult<Row> {
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            if !buf.has_remaining() {
+                return Err(DbError::Corrupt("row truncated".into()));
+            }
+            let tag = buf.get_u8();
+            let v = match tag {
+                TAG_NULL => Value::Null,
+                TAG_BIGINT => {
+                    ensure(buf.remaining() >= 8)?;
+                    Value::BigInt(buf.get_i64_le())
+                }
+                TAG_INT => {
+                    ensure(buf.remaining() >= 4)?;
+                    Value::Int(buf.get_i32_le())
+                }
+                TAG_REAL => {
+                    ensure(buf.remaining() >= 4)?;
+                    Value::Real(buf.get_f32_le())
+                }
+                TAG_FLOAT => {
+                    ensure(buf.remaining() >= 8)?;
+                    Value::Float(buf.get_f64_le())
+                }
+                TAG_TEXT => {
+                    ensure(buf.remaining() >= 4)?;
+                    let len = buf.get_u32_le() as usize;
+                    ensure(buf.remaining() >= len)?;
+                    let s = std::str::from_utf8(&buf[..len])
+                        .map_err(|_| DbError::Corrupt("invalid utf8 in text value".into()))?
+                        .to_owned();
+                    buf.advance(len);
+                    Value::Text(s)
+                }
+                other => return Err(DbError::Corrupt(format!("unknown value tag {other}"))),
+            };
+            values.push(v);
+        }
+        if buf.has_remaining() {
+            return Err(DbError::Corrupt(format!(
+                "{} trailing bytes after row",
+                buf.remaining()
+            )));
+        }
+        Ok(Row(values))
+    }
+
+    /// Numeric accessor by position.
+    pub fn f64(&self, idx: usize) -> DbResult<f64> {
+        self.0[idx].as_f64()
+    }
+
+    /// Integer accessor by position.
+    pub fn i64(&self, idx: usize) -> DbResult<i64> {
+        self.0[idx].as_i64()
+    }
+}
+
+fn ensure(ok: bool) -> DbResult<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(DbError::Corrupt("row truncated".into()))
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        Row(vec![
+            Value::BigInt(1234567890123),
+            Value::Float(195.163),
+            Value::Real(2.5),
+            Value::Int(-7),
+            Value::Null,
+            Value::Text("skyserver".into()),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let row = sample();
+        let bytes = row.encode();
+        assert_eq!(bytes.len(), row.encoded_len());
+        let back = Row::decode(&bytes, row.arity()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn truncated_buffer_is_corrupt() {
+        let bytes = sample().encode();
+        let r = Row::decode(&bytes[..bytes.len() - 1], 6);
+        assert!(matches!(r, Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(Row::decode(&bytes, 6), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt() {
+        assert!(matches!(Row::decode(&[42], 1), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut bytes = vec![TAG_TEXT];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(Row::decode(&bytes, 1), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_row_roundtrip() {
+        let row = Row(vec![]);
+        assert_eq!(Row::decode(&row.encode(), 0).unwrap(), row);
+    }
+
+    #[test]
+    fn float_payloads_preserve_bits() {
+        let row = Row(vec![Value::Float(f64::MIN_POSITIVE), Value::Real(f32::NAN)]);
+        let back = Row::decode(&row.encode(), 2).unwrap();
+        assert_eq!(back[0].as_f64().unwrap(), f64::MIN_POSITIVE);
+        match back[1] {
+            Value::Real(v) => assert!(v.is_nan()),
+            _ => panic!("expected Real"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Table schemas.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (matched case-insensitively, as in SQL).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A NOT NULL column.
+    pub fn new(name: &str, dtype: DataType) -> Self {
+        Column { name: name.to_owned(), dtype, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, dtype: DataType) -> Self {
+        Column { name: name.to_owned(), dtype, nullable: true }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema; panics on duplicate column names (a programming
+    /// error, since schemas are static in this workspace).
+    pub fn new(columns: Vec<Column>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert!(
+                    !a.name.eq_ignore_ascii_case(&b.name),
+                    "duplicate column name {}",
+                    a.name
+                );
+            }
+        }
+        Schema { columns }
+    }
+
+    /// The column list in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn col(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::NoSuchColumn(name.to_owned()))
+    }
+
+    /// Validate a row of values against this schema.
+    pub fn check_row(&self, values: &[Value]) -> DbResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(DbError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(DbError::SchemaMismatch(format!(
+                    "NULL in NOT NULL column {}",
+                    c.name
+                )));
+            }
+            if !v.compatible_with(c.dtype) {
+                return Err(DbError::SchemaMismatch(format!(
+                    "value {v} is not a {} (column {})",
+                    c.dtype, c.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas (used by joins). Column names may repeat
+    /// across sides; lookups resolve to the left occurrence, as SQL's
+    /// natural positional semantics would.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        for c in &right.columns {
+            let mut c = c.clone();
+            if columns.iter().any(|l| l.name.eq_ignore_ascii_case(&c.name)) {
+                c.name = format!("{}_r", c.name);
+            }
+            columns.push(c);
+        }
+        Schema::new(columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("objid", DataType::BigInt),
+            Column::new("ra", DataType::Float),
+            Column::nullable("note", DataType::Text),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.col("OBJID").unwrap(), 0);
+        assert_eq!(s.col("ra").unwrap(), 1);
+        assert!(matches!(s.col("nope"), Err(DbError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn check_row_accepts_valid() {
+        let s = sample();
+        s.check_row(&[Value::BigInt(1), Value::Float(12.0), Value::Null]).unwrap();
+        s.check_row(&[Value::BigInt(1), Value::Float(12.0), Value::Text("x".into())]).unwrap();
+    }
+
+    #[test]
+    fn check_row_rejects_wrong_arity() {
+        let s = sample();
+        assert!(matches!(
+            s.check_row(&[Value::BigInt(1)]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn check_row_rejects_null_in_not_null() {
+        let s = sample();
+        assert!(s.check_row(&[Value::Null, Value::Float(0.0), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn check_row_rejects_type_mismatch() {
+        let s = sample();
+        assert!(s
+            .check_row(&[Value::BigInt(1), Value::Text("oops".into()), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let s = sample();
+        let j = s.join(&sample());
+        assert_eq!(j.arity(), 6);
+        assert_eq!(j.columns()[3].name, "objid_r");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_columns_panic() {
+        Schema::new(vec![
+            Column::new("x", DataType::Int),
+            Column::new("X", DataType::Float),
+        ]);
+    }
+}

@@ -1,0 +1,259 @@
+//! The SQL abstract syntax tree.
+
+use crate::value::DataType;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `SELECT ...`
+    Select(Box<Select>),
+    /// `EXPLAIN SELECT ...` — render the plan instead of running it.
+    Explain(Box<Select>),
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row literals.
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    /// `CREATE TABLE t (col type [NOT NULL], ..., [PRIMARY KEY (cols)])`
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// Clustered primary-key columns, if declared.
+        primary_key: Option<Vec<String>>,
+    },
+    /// `DROP TABLE t`
+    DropTable {
+        /// Table name.
+        table: String,
+    },
+    /// `CREATE INDEX name ON table (cols)`
+    CreateIndex {
+        /// Index name.
+        index: String,
+        /// Indexed table.
+        table: String,
+        /// Key columns.
+        columns: Vec<String>,
+    },
+    /// `DROP INDEX name ON table`
+    DropIndex {
+        /// Index name.
+        index: String,
+        /// Indexed table.
+        table: String,
+    },
+    /// `TRUNCATE TABLE t`
+    Truncate {
+        /// Table name.
+        table: String,
+    },
+    /// `UPDATE t SET col = expr [, ...] [WHERE expr]` (clustered tables
+    /// only; key columns may not be assigned).
+    Update {
+        /// Table name.
+        table: String,
+        /// `(column, value-expression)` assignments.
+        assignments: Vec<(String, SqlExpr)>,
+        /// Row filter; `None` updates everything.
+        filter: Option<SqlExpr>,
+    },
+    /// `DELETE FROM t [WHERE expr]` (clustered tables only).
+    Delete {
+        /// Table name.
+        table: String,
+        /// Row filter; `None` deletes everything.
+        filter: Option<SqlExpr>,
+    },
+}
+
+/// One column in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// NOT NULL?
+    pub not_null: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM table.
+    pub from: TableRef,
+    /// Zero or more INNER JOINs.
+    pub joins: Vec<Join>,
+    /// WHERE clause.
+    pub filter: Option<SqlExpr>,
+    /// GROUP BY column (single column supported).
+    pub group_by: Option<ColRef>,
+    /// HAVING clause (aggregates allowed; applied after grouping).
+    pub having: Option<SqlExpr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// `SELECT TOP n` / `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// One INNER JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// ON condition (`None` for CROSS JOIN).
+    pub on: Option<SqlExpr>,
+}
+
+/// A projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// Output column name.
+        alias: Option<String>,
+    },
+}
+
+/// Column reference, possibly qualified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Table or alias qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Sort order item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression (a column reference).
+    pub col: ColRef,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Aggregate functions in the projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)`.
+    Count,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+/// SQL expressions (pre-binding: columns by name).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference.
+    Col(ColRef),
+    /// NULL literal.
+    Null,
+    /// Numeric literal.
+    Number(f64),
+    /// Integer literal (kept separate so INSERT targets int columns).
+    Integer(i64),
+    /// String literal.
+    Str(String),
+    /// Unary negation.
+    Neg(Box<SqlExpr>),
+    /// Binary op.
+    Bin {
+        /// Operator.
+        op: SqlBinOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// Lower bound.
+        lo: Box<SqlExpr>,
+        /// Upper bound.
+        hi: Box<SqlExpr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// Scalar function call (ABS, LOG, FLOOR, SQRT, POWER).
+    Func {
+        /// Function name, uppercased.
+        name: String,
+        /// Arguments.
+        args: Vec<SqlExpr>,
+    },
+    /// Aggregate call — only legal in a SELECT list.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument (`None` for COUNT(*)).
+        arg: Option<Box<SqlExpr>>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}

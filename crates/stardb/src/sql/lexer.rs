@@ -1,0 +1,280 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively
+    /// by the parser; the lexer preserves the original spelling).
+    Ident(String),
+    /// Numeric literal (integer or decimal).
+    Number(String),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+/// Tokenize a SQL string. `--` comments run to end of line.
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                out.push(Token::Sym(Sym::Dot));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Sym(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Sym(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Sym(Sym::Slash));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Sym(Sym::Semi));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym(Sym::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        out.push(Token::Sym(Sym::Le));
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        out.push(Token::Sym(Sym::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Sym(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(DbError::TypeError("unterminated string literal".into()))
+                        }
+                        Some(&b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '0'..='9' => i += 1,
+                        '.' if !seen_dot && !seen_exp => {
+                            seen_dot = true;
+                            i += 1;
+                        }
+                        'e' | 'E' if !seen_exp && i > start => {
+                            seen_exp = true;
+                            i += 1;
+                            if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(Token::Number(input[start..i].to_owned()));
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '@' | '[' => {
+                // [bracketed identifiers] are unwrapped.
+                if c == '[' {
+                    let start = i + 1;
+                    while i < bytes.len() && bytes[i] != b']' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(DbError::TypeError("unterminated [identifier]".into()));
+                    }
+                    out.push(Token::Ident(input[start..i].to_owned()));
+                    i += 1;
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '@')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token::Ident(input[start..i].to_owned()));
+                }
+            }
+            other => {
+                return Err(DbError::TypeError(format!("unexpected character '{other}' in SQL")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let toks = lex("SELECT objid, ra FROM Galaxy WHERE dec >= -1.5 AND i < 21 -- tail").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Sym(Sym::Ge)));
+        assert!(toks.contains(&Token::Number("1.5".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Number("21".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_dots() {
+        let toks = lex("1e-9 2.5 .5 10").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number("1e-9".into()),
+                Token::Number("2.5".into()),
+                Token::Number(".5".into()),
+                Token::Number("10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_and_brackets() {
+        let toks = lex("g.objid [order]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("g".into()),
+                Token::Sym(Sym::Dot),
+                Token::Ident("objid".into()),
+                Token::Ident("order".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("<> != <= >= < > = * / + -").unwrap();
+        use Sym::*;
+        let syms: Vec<Sym> = toks
+            .iter()
+            .map(|t| match t {
+                Token::Sym(s) => *s,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(syms, vec![Ne, Ne, Le, Ge, Lt, Gt, Eq, Star, Slash, Plus, Minus]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT ?").is_err());
+    }
+}

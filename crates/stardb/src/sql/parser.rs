@@ -1,0 +1,694 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::*;
+use super::lexer::{lex, Sym, Token};
+use crate::error::{DbError, DbResult};
+use crate::value::DataType;
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> DbResult<Stmt> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.stmt()?;
+    p.eat_sym(Sym::Semi); // optional
+    if p.pos != p.tokens.len() {
+        return Err(err(format!("trailing tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+fn err(msg: impl Into<String>) -> DbError {
+    DbError::TypeError(format!("SQL parse error: {}", msg.into()))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume an identifier token if it equals `kw` case-insensitively.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.peek() == Some(&Token::Sym(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> DbResult<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {sym:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn stmt(&mut self) -> DbResult<Stmt> {
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Stmt::Explain(Box::new(self.select()?)));
+        }
+        if self.peek_kw("SELECT") {
+            return Ok(Stmt::Select(Box::new(self.select()?)));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("INDEX") {
+                let index = self.ident()?;
+                self.expect_kw("ON")?;
+                let table = self.ident()?;
+                self.expect_sym(Sym::LParen)?;
+                let mut columns = vec![self.ident()?];
+                while self.eat_sym(Sym::Comma) {
+                    columns.push(self.ident()?);
+                }
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Stmt::CreateIndex { index, table, columns });
+            }
+            self.expect_kw("TABLE")?;
+            return self.create_table();
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("INDEX") {
+                let index = self.ident()?;
+                self.expect_kw("ON")?;
+                return Ok(Stmt::DropIndex { index, table: self.ident()? });
+            }
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::DropTable { table: self.ident()? });
+        }
+        if self.eat_kw("TRUNCATE") {
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::Truncate { table: self.ident()? });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect_sym(Sym::Eq)?;
+                assignments.push((col, self.expr()?));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Update { table, assignments, filter });
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Delete { table, filter });
+        }
+        Err(err(format!("unsupported statement start: {:?}", self.peek())))
+    }
+
+    fn select(&mut self) -> DbResult<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut limit = None;
+        if self.eat_kw("TOP") {
+            limit = Some(self.usize_lit()?);
+        }
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym(Sym::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    // Bare alias, unless it's a clause keyword.
+                    let up = s.to_ascii_uppercase();
+                    if ["FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN"].contains(&up.as_str())
+                    {
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                joins.push(Join { table: self.table_ref()?, on: None });
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                joins.push(Join { table, on: Some(self.expr()?) });
+            } else if self.eat_kw("JOIN") {
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                joins.push(Join { table, on: Some(self.expr()?) });
+            } else {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.col_ref()?)
+        } else {
+            None
+        };
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.col_ref()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { col, desc });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.usize_lit()?);
+        }
+        Ok(Select { distinct, items, from, joins, filter, group_by, having, order_by, limit })
+    }
+
+    fn insert(&mut self) -> DbResult<Stmt> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat_sym(Sym::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat_sym(Sym::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym(Sym::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_sym(Sym::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert { table, columns, rows })
+    }
+
+    fn create_table(&mut self) -> DbResult<Stmt> {
+        let table = self.ident()?;
+        self.expect_sym(Sym::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key: Option<Vec<String>> = None;
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                self.expect_sym(Sym::LParen)?;
+                let mut cols = vec![self.ident()?];
+                while self.eat_sym(Sym::Comma) {
+                    cols.push(self.ident()?);
+                }
+                self.expect_sym(Sym::RParen)?;
+                primary_key = Some(cols);
+            } else {
+                let name = self.ident()?;
+                let ty = self.ident()?;
+                let dtype = match ty.to_ascii_uppercase().as_str() {
+                    "BIGINT" => DataType::BigInt,
+                    "INT" | "INTEGER" => DataType::Int,
+                    "REAL" => DataType::Real,
+                    "FLOAT" | "DOUBLE" => DataType::Float,
+                    "TEXT" | "VARCHAR" | "NVARCHAR" => {
+                        // Accept an optional (n) length we ignore.
+                        if self.eat_sym(Sym::LParen) {
+                            self.usize_lit()?;
+                            self.expect_sym(Sym::RParen)?;
+                        }
+                        DataType::Text
+                    }
+                    other => return Err(err(format!("unknown type {other}"))),
+                };
+                let mut not_null = false;
+                loop {
+                    if self.eat_kw("NOT") {
+                        self.expect_kw("NULL")?;
+                        not_null = true;
+                    } else if self.eat_kw("NULL") {
+                        // explicitly nullable
+                    } else if self.eat_kw("PRIMARY") {
+                        self.expect_kw("KEY")?;
+                        primary_key = Some(vec![name.clone()]);
+                        not_null = true;
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnDef { name, dtype, not_null });
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        Ok(Stmt::CreateTable { table, columns, primary_key })
+    }
+
+    fn usize_lit(&mut self) -> DbResult<usize> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                n.parse().map_err(|_| err(format!("expected integer, found {n}")))
+            }
+            other => Err(err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn table_ref(&mut self) -> DbResult<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: `Galaxy g` or `Galaxy AS g`.
+        let alias = if self.eat_kw("AS") {
+            self.ident()?
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            let up = s.to_ascii_uppercase();
+            let keywords = [
+                "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "CROSS", "ON", "SELECT",
+            ];
+            if keywords.contains(&up.as_str()) {
+                table.clone()
+            } else {
+                self.ident()?
+            }
+        } else {
+            table.clone()
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn col_ref(&mut self) -> DbResult<ColRef> {
+        let first = self.ident()?;
+        if self.eat_sym(Sym::Dot) {
+            Ok(ColRef { table: Some(first), column: self.ident()? })
+        } else {
+            Ok(ColRef { table: None, column: first })
+        }
+    }
+
+    // ---- expressions (precedence climbing) -------------------------------
+
+    fn expr(&mut self) -> DbResult<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Bin { op: SqlBinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Bin { op: SqlBinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> DbResult<SqlExpr> {
+        if self.eat_kw("NOT") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> DbResult<SqlExpr> {
+        let left = self.add_expr()?;
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(SqlBinOp::Eq),
+            Some(Token::Sym(Sym::Ne)) => Some(SqlBinOp::Ne),
+            Some(Token::Sym(Sym::Lt)) => Some(SqlBinOp::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(SqlBinOp::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(SqlBinOp::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(SqlBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(SqlExpr::Bin { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym(Sym::Plus) {
+                SqlBinOp::Add
+            } else if self.eat_sym(Sym::Minus) {
+                SqlBinOp::Sub
+            } else {
+                break;
+            };
+            let right = self.mul_expr()?;
+            left = SqlExpr::Bin { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym(Sym::Star) {
+                SqlBinOp::Mul
+            } else if self.eat_sym(Sym::Slash) {
+                SqlBinOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary_expr()?;
+            left = SqlExpr::Bin { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> DbResult<SqlExpr> {
+        if self.eat_sym(Sym::Minus) {
+            return Ok(SqlExpr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_sym(Sym::Plus) {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> DbResult<SqlExpr> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if !n.contains(['.', 'e', 'E']) {
+                    if let Ok(i) = n.parse::<i64>() {
+                        return Ok(SqlExpr::Integer(i));
+                    }
+                }
+                n.parse::<f64>()
+                    .map(SqlExpr::Number)
+                    .map_err(|_| err(format!("bad number {n}")))
+            }
+            Some(Token::Str(s)) => Ok(SqlExpr::Str(s)),
+            Some(Token::Sym(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                if upper == "NULL" {
+                    return Ok(SqlExpr::Null);
+                }
+                // Function or aggregate call?
+                if self.peek() == Some(&Token::Sym(Sym::LParen)) {
+                    self.pos += 1;
+                    let agg = match upper.as_str() {
+                        "COUNT" => Some(AggFunc::Count),
+                        "MIN" => Some(AggFunc::Min),
+                        "MAX" => Some(AggFunc::Max),
+                        "SUM" => Some(AggFunc::Sum),
+                        "AVG" => Some(AggFunc::Avg),
+                        _ => None,
+                    };
+                    if let Some(func) = agg {
+                        if self.eat_sym(Sym::Star) {
+                            self.expect_sym(Sym::RParen)?;
+                            if func != AggFunc::Count {
+                                return Err(err("only COUNT accepts *"));
+                            }
+                            return Ok(SqlExpr::Agg { func, arg: None });
+                        }
+                        let arg = self.expr()?;
+                        self.expect_sym(Sym::RParen)?;
+                        return Ok(SqlExpr::Agg { func, arg: Some(Box::new(arg)) });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_sym(Sym::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat_sym(Sym::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_sym(Sym::RParen)?;
+                    }
+                    return Ok(SqlExpr::Func { name: upper, args });
+                }
+                // Qualified column?
+                if self.eat_sym(Sym::Dot) {
+                    let column = self.ident()?;
+                    return Ok(SqlExpr::Col(ColRef { table: Some(name), column }));
+                }
+                Ok(SqlExpr::Col(ColRef { table: None, column: name }))
+            }
+            other => Err(err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_style_select() {
+        let stmt = parse(
+            "SELECT objid, ra, dec FROM Galaxy g \
+             WHERE g.ra BETWEEN 172.5 AND 184.5 AND g.dec BETWEEN -2.5 AND 4.5",
+        )
+        .unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.from.table, "Galaxy");
+        assert_eq!(s.from.alias, "g");
+        assert!(matches!(s.filter, Some(SqlExpr::Bin { op: SqlBinOp::And, .. })));
+    }
+
+    #[test]
+    fn parses_join_group_order_limit() {
+        let stmt = parse(
+            "SELECT k.zid, COUNT(*) AS n FROM Galaxy g \
+             JOIN Kcorr k ON g.i <= k.ilim \
+             WHERE g.i > 15 GROUP BY k.zid ORDER BY n DESC, zid LIMIT 10",
+        )
+        .unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        assert_eq!(s.joins.len(), 1);
+        assert!(s.joins[0].on.is_some());
+        assert!(s.group_by.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].desc && !s.order_by[1].desc);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_cross_join_and_top() {
+        let stmt = parse("SELECT TOP 5 * FROM Galaxy CROSS JOIN Kcorr").unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        assert_eq!(s.limit, Some(5));
+        assert!(s.joins[0].on.is_none());
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+    }
+
+    #[test]
+    fn parses_insert() {
+        let stmt =
+            parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let Stmt::Insert { table, columns, rows } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(columns.unwrap(), vec!["a", "b"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], SqlExpr::Null);
+    }
+
+    #[test]
+    fn parses_create_table_with_pk() {
+        let stmt = parse(
+            "CREATE TABLE Candidates (objid BIGINT PRIMARY KEY, ra FLOAT NOT NULL, \
+             note VARCHAR(32))",
+        )
+        .unwrap();
+        let Stmt::CreateTable { table, columns, primary_key } = stmt else { panic!() };
+        assert_eq!(table, "Candidates");
+        assert_eq!(columns.len(), 3);
+        assert!(columns[0].not_null);
+        assert_eq!(columns[2].dtype, DataType::Text);
+        assert_eq!(primary_key.unwrap(), vec!["objid"]);
+    }
+
+    #[test]
+    fn parses_composite_pk() {
+        let stmt = parse(
+            "CREATE TABLE Zone (zoneid INT NOT NULL, ra FLOAT NOT NULL, objid BIGINT NOT NULL, \
+             PRIMARY KEY (zoneid, ra, objid))",
+        )
+        .unwrap();
+        let Stmt::CreateTable { primary_key, .. } = stmt else { panic!() };
+        assert_eq!(primary_key.unwrap(), vec!["zoneid", "ra", "objid"]);
+    }
+
+    #[test]
+    fn parses_index_ddl() {
+        let stmt = parse("CREATE INDEX ix_radec ON Galaxy (ra, dec)").unwrap();
+        assert_eq!(
+            stmt,
+            Stmt::CreateIndex {
+                index: "ix_radec".into(),
+                table: "Galaxy".into(),
+                columns: vec!["ra".into(), "dec".into()],
+            }
+        );
+        assert!(matches!(
+            parse("DROP INDEX ix_radec ON Galaxy").unwrap(),
+            Stmt::DropIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_update() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE c > 0").unwrap();
+        let Stmt::Update { table, assignments, filter } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[1].0, "b");
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn parses_delete_truncate_drop() {
+        assert!(matches!(
+            parse("DELETE FROM t WHERE a = 1").unwrap(),
+            Stmt::Delete { filter: Some(_), .. }
+        ));
+        assert!(matches!(parse("TRUNCATE TABLE t").unwrap(), Stmt::Truncate { .. }));
+        assert!(matches!(parse("DROP TABLE t;").unwrap(), Stmt::DropTable { .. }));
+    }
+
+    #[test]
+    fn precedence_and_negation() {
+        // -a + b * 2 > 0 AND NOT c = 1 OR d IS NOT NULL
+        let stmt = parse(
+            "SELECT * FROM t WHERE -a + b * 2 > 0 AND NOT c = 1 OR d IS NOT NULL",
+        )
+        .unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        // Top node must be OR.
+        assert!(matches!(s.filter, Some(SqlExpr::Bin { op: SqlBinOp::Or, .. })));
+    }
+
+    #[test]
+    fn functions_and_aggregates() {
+        let stmt = parse("SELECT POWER(g.i - 20, 2), COUNT(*), AVG(ra) FROM t g").unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: SqlExpr::Func { name, .. }, .. } if name == "POWER"
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: SqlExpr::Agg { func: AggFunc::Count, arg: None }, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("INSERT INTO t VALUES").is_err());
+        assert!(parse("SELECT * FROM t WHERE a BETWEEN 1").is_err());
+        assert!(parse("SELECT * FROM t extra garbage ,").is_err());
+        assert!(parse("UPDATE t WHERE a = 1").is_err());
+    }
+}

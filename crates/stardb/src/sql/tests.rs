@@ -1,0 +1,359 @@
+//! End-to-end SQL tests against a live database.
+
+use super::engine::SqlOutput;
+use crate::db::{Database, DbConfig};
+use crate::error::DbError;
+use crate::row::Row;
+use crate::value::Value;
+
+fn db() -> Database {
+    let mut d = Database::new(DbConfig::in_memory());
+    d.execute_sql(
+        "CREATE TABLE Galaxy (objid BIGINT PRIMARY KEY, ra FLOAT NOT NULL, \
+         dec FLOAT NOT NULL, i REAL, name VARCHAR(20))",
+    )
+    .unwrap();
+    d.execute_sql(
+        "INSERT INTO Galaxy VALUES \
+         (1, 180.1, 0.5, 17.5, 'a'), \
+         (2, 180.9, -0.5, 18.5, 'b'), \
+         (3, 181.5, 0.1, 19.5, NULL), \
+         (4, 182.0, 1.5, 20.5, 'd'), \
+         (5, 183.0, 2.5, 21.0, 'e')",
+    )
+    .unwrap();
+    d
+}
+
+fn rows(d: &mut Database, sql: &str) -> (Vec<String>, Vec<Row>) {
+    d.execute_sql(sql).unwrap().rows().unwrap()
+}
+
+#[test]
+fn select_star_and_column_order() {
+    let mut d = db();
+    let (cols, rs) = rows(&mut d, "SELECT * FROM Galaxy");
+    assert_eq!(cols, vec!["objid", "ra", "dec", "i", "name"]);
+    assert_eq!(rs.len(), 5);
+    // Clustered order by objid.
+    assert_eq!(rs[0].i64(0).unwrap(), 1);
+}
+
+#[test]
+fn where_between_like_the_paper() {
+    let mut d = db();
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT objid FROM Galaxy WHERE ra BETWEEN 180.5 AND 182.0 AND dec BETWEEN -1 AND 1",
+    );
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![2, 3]);
+}
+
+#[test]
+fn expressions_aliases_and_functions() {
+    let mut d = db();
+    let (cols, rs) = rows(
+        &mut d,
+        "SELECT objid, POWER(i - 17.5, 2) AS dev, ABS(dec) FROM Galaxy WHERE objid <= 2",
+    );
+    assert_eq!(cols[1], "dev");
+    assert_eq!(rs[0].f64(1).unwrap(), 0.0);
+    assert_eq!(rs[1].f64(1).unwrap(), 1.0);
+    assert_eq!(rs[0].f64(2).unwrap(), 0.5);
+}
+
+#[test]
+fn order_by_desc_and_limit_and_top() {
+    let mut d = db();
+    let (_, rs) = rows(&mut d, "SELECT objid, i FROM Galaxy ORDER BY i DESC LIMIT 2");
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![5, 4]);
+    let (_, rs) = rows(&mut d, "SELECT TOP 1 objid FROM Galaxy ORDER BY ra DESC");
+    assert_eq!(rs[0].i64(0).unwrap(), 5);
+}
+
+#[test]
+fn is_null_and_text_compare() {
+    let mut d = db();
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE name IS NULL");
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs[0].i64(0).unwrap(), 3);
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE name = 'b'");
+    assert_eq!(rs[0].i64(0).unwrap(), 2);
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE name IS NOT NULL");
+    assert_eq!(rs.len(), 4);
+}
+
+#[test]
+fn global_aggregates() {
+    let mut d = db();
+    let (cols, rs) =
+        rows(&mut d, "SELECT COUNT(*) AS n, MIN(i), MAX(i), AVG(ra) FROM Galaxy");
+    assert_eq!(cols[0], "n");
+    assert_eq!(rs[0][0], Value::BigInt(5));
+    assert_eq!(rs[0].f64(1).unwrap(), 17.5);
+    assert_eq!(rs[0].f64(2).unwrap(), 21.0);
+    assert!((rs[0].f64(3).unwrap() - 181.5).abs() < 1e-9);
+}
+
+#[test]
+fn aggregate_over_empty_input_is_one_row() {
+    let mut d = db();
+    let (_, rs) = rows(&mut d, "SELECT COUNT(*), MAX(i) FROM Galaxy WHERE ra > 999");
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs[0][0], Value::BigInt(0));
+    assert!(rs[0][1].is_null());
+}
+
+#[test]
+fn group_by_with_order() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Obs (id BIGINT PRIMARY KEY, zone INT NOT NULL, mag FLOAT)")
+        .unwrap();
+    d.execute_sql(
+        "INSERT INTO Obs VALUES (1, 10, 17.0), (2, 10, 18.0), (3, 11, 19.0), \
+         (4, 12, 20.0), (5, 12, 21.0), (6, 12, 22.0)",
+    )
+    .unwrap();
+    let (cols, rs) = rows(
+        &mut d,
+        "SELECT zone, COUNT(*) AS n, AVG(mag) AS m FROM Obs GROUP BY zone ORDER BY n DESC",
+    );
+    assert_eq!(cols, vec!["zone", "n", "m"]);
+    assert_eq!(rs[0][0], Value::Int(12));
+    assert_eq!(rs[0][1], Value::BigInt(3));
+    assert_eq!(rs[0].f64(2).unwrap(), 21.0);
+    assert_eq!(rs.len(), 3);
+}
+
+#[test]
+fn inner_join_with_qualifiers() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Kcorr (zid INT PRIMARY KEY, ilim FLOAT)").unwrap();
+    d.execute_sql("INSERT INTO Kcorr VALUES (1, 18.0), (2, 20.0)").unwrap();
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT g.objid, k.zid FROM Galaxy g JOIN Kcorr k ON g.i <= k.ilim ORDER BY g.objid, k.zid",
+    );
+    // i <= 18: objid 1 matches both zids; objid 2 matches zid 2 only (18.5
+    // <= 20); objid 3 (19.5) matches zid 2; others exceed 20.
+    let pairs: Vec<(i64, i64)> =
+        rs.iter().map(|r| (r.i64(0).unwrap(), r.i64(1).unwrap())).collect();
+    assert_eq!(pairs, vec![(1, 1), (1, 2), (2, 2), (3, 2)]);
+}
+
+#[test]
+fn cross_join_cardinality() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Two (x INT PRIMARY KEY)").unwrap();
+    d.execute_sql("INSERT INTO Two VALUES (1), (2)").unwrap();
+    let (_, rs) = rows(&mut d, "SELECT COUNT(*) FROM Galaxy CROSS JOIN Two");
+    assert_eq!(rs[0][0], Value::BigInt(10));
+}
+
+#[test]
+fn ambiguous_and_missing_columns_error() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE G2 (objid BIGINT PRIMARY KEY, extra FLOAT)").unwrap();
+    d.execute_sql("INSERT INTO G2 VALUES (1, 0.0)").unwrap();
+    let err = d
+        .execute_sql("SELECT objid FROM Galaxy g JOIN G2 h ON g.objid = h.objid")
+        .unwrap_err();
+    assert!(matches!(err, DbError::TypeError(m) if m.contains("ambiguous")));
+    let err = d.execute_sql("SELECT nope FROM Galaxy").unwrap_err();
+    assert!(matches!(err, DbError::NoSuchColumn(_)));
+}
+
+#[test]
+fn insert_with_column_list_and_nulls() {
+    let mut d = db();
+    d.execute_sql("INSERT INTO Galaxy (objid, ra, dec) VALUES (10, 179.0, -2.0)").unwrap();
+    let (_, rs) = rows(&mut d, "SELECT i, name FROM Galaxy WHERE objid = 10");
+    assert!(rs[0][0].is_null() && rs[0][1].is_null());
+    // NOT NULL violation surfaces.
+    let err = d.execute_sql("INSERT INTO Galaxy (objid) VALUES (11)").unwrap_err();
+    assert!(matches!(err, DbError::SchemaMismatch(_)));
+}
+
+#[test]
+fn insert_coerces_numeric_families() {
+    let mut d = db();
+    // Integer literal into FLOAT column; float into REAL; int into BIGINT.
+    d.execute_sql("INSERT INTO Galaxy VALUES (20, 180, 1, 19, 'z')").unwrap();
+    let (_, rs) = rows(&mut d, "SELECT ra, i FROM Galaxy WHERE objid = 20");
+    assert_eq!(rs[0].f64(0).unwrap(), 180.0);
+    assert_eq!(rs[0].f64(1).unwrap(), 19.0);
+    // Fractional into integer column fails.
+    d.execute_sql("CREATE TABLE Ints (x INT PRIMARY KEY)").unwrap();
+    assert!(d.execute_sql("INSERT INTO Ints VALUES (1.5)").is_err());
+}
+
+#[test]
+fn duplicate_pk_via_sql() {
+    let mut d = db();
+    let err = d
+        .execute_sql("INSERT INTO Galaxy VALUES (1, 0, 0, 0, 'dup')")
+        .unwrap_err();
+    assert!(matches!(err, DbError::DuplicateKey(_)));
+}
+
+#[test]
+fn delete_where_and_full_delete() {
+    let mut d = db();
+    let out = d.execute_sql("DELETE FROM Galaxy WHERE i > 20").unwrap();
+    assert_eq!(out, SqlOutput::Affected(2));
+    assert_eq!(d.row_count("Galaxy").unwrap(), 3);
+    let out = d.execute_sql("DELETE FROM Galaxy").unwrap();
+    assert_eq!(out, SqlOutput::Affected(3));
+    assert_eq!(d.row_count("Galaxy").unwrap(), 0);
+}
+
+#[test]
+fn update_rows() {
+    let mut d = db();
+    let out = d
+        .execute_sql("UPDATE Galaxy SET i = i + 1, name = 'bumped' WHERE dec > 0")
+        .unwrap();
+    assert_eq!(out, SqlOutput::Affected(4));
+    let (_, rs) = rows(&mut d, "SELECT objid, i, name FROM Galaxy WHERE name = 'bumped'");
+    assert_eq!(rs.len(), 4);
+    // i bumped by one for objid 1 (17.5 -> 18.5).
+    let row1 = rs.iter().find(|r| r.i64(0).unwrap() == 1).unwrap();
+    assert_eq!(row1.f64(1).unwrap(), 18.5);
+    // Unfiltered UPDATE touches every row.
+    let out = d.execute_sql("UPDATE Galaxy SET name = NULL").unwrap();
+    assert_eq!(out, SqlOutput::Affected(5));
+    let (_, rs) = rows(&mut d, "SELECT COUNT(*) FROM Galaxy WHERE name IS NULL");
+    assert_eq!(rs[0][0], Value::BigInt(5));
+    // Key columns are protected.
+    let err = d.execute_sql("UPDATE Galaxy SET objid = 99").unwrap_err();
+    assert!(matches!(err, DbError::TypeError(m) if m.contains("key column")));
+}
+
+#[test]
+fn truncate_and_drop() {
+    let mut d = db();
+    d.execute_sql("TRUNCATE TABLE Galaxy").unwrap();
+    assert_eq!(d.row_count("Galaxy").unwrap(), 0);
+    d.execute_sql("DROP TABLE Galaxy").unwrap();
+    assert!(!d.has_table("Galaxy"));
+}
+
+#[test]
+fn create_heap_table_without_pk() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Log (msg TEXT)").unwrap();
+    d.execute_sql("INSERT INTO Log VALUES ('hello')").unwrap();
+    let (_, rs) = rows(&mut d, "SELECT msg FROM Log");
+    assert_eq!(rs[0][0], Value::Text("hello".into()));
+    // DELETE needs a clustered key.
+    assert!(d.execute_sql("DELETE FROM Log WHERE msg = 'hello'").is_err());
+}
+
+#[test]
+fn arithmetic_and_three_valued_logic() {
+    let mut d = db();
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT objid FROM Galaxy WHERE (i - 17.5) / 2 < 1 OR name = 'nobody'",
+    );
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![1, 2]);
+    // NULL name comparisons exclude row 3 from = and <> alike.
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE name <> 'a'");
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![2, 4, 5]);
+}
+
+#[test]
+fn order_by_hidden_key_sorts_plain_selects() {
+    // SQL permits ordering by a column that is not projected.
+    let mut d = db();
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy ORDER BY i DESC");
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![5, 4, 3, 2, 1]);
+}
+
+#[test]
+fn order_by_in_aggregates_requires_projection() {
+    let mut d = db();
+    let err = d
+        .execute_sql("SELECT COUNT(*) FROM Galaxy GROUP BY dec ORDER BY i")
+        .unwrap_err();
+    assert!(matches!(err, DbError::TypeError(m) if m.contains("ORDER BY")));
+}
+
+#[test]
+fn aggregates_rejected_in_where() {
+    let mut d = db();
+    let err = d.execute_sql("SELECT objid FROM Galaxy WHERE COUNT(*) > 1").unwrap_err();
+    assert!(matches!(err, DbError::TypeError(m) if m.contains("aggregate")));
+}
+
+#[test]
+fn distinct_dedups_rows() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Pairs (id BIGINT PRIMARY KEY, tag INT)").unwrap();
+    d.execute_sql("INSERT INTO Pairs VALUES (1, 7), (2, 7), (3, 8), (4, 7)").unwrap();
+    let (_, rs) = rows(&mut d, "SELECT DISTINCT tag FROM Pairs ORDER BY tag");
+    let tags: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(tags, vec![7, 8]);
+}
+
+#[test]
+fn having_filters_groups() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Obs (id BIGINT PRIMARY KEY, zone INT NOT NULL, mag FLOAT)")
+        .unwrap();
+    d.execute_sql(
+        "INSERT INTO Obs VALUES (1, 10, 17.0), (2, 10, 18.0), (3, 11, 19.0),          (4, 12, 20.0), (5, 12, 21.0), (6, 12, 22.0)",
+    )
+    .unwrap();
+    // Only groups with >= 2 rows and bright enough minimum survive.
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT zone, COUNT(*) AS n FROM Obs GROUP BY zone          HAVING COUNT(*) >= 2 AND MIN(mag) < 20.5 ORDER BY zone",
+    );
+    let zones: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(zones, vec![10, 12]);
+    // HAVING referencing the group key works too.
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT zone, COUNT(*) FROM Obs GROUP BY zone HAVING zone > 10 ORDER BY zone",
+    );
+    assert_eq!(rs.len(), 2);
+    // HAVING without grouping is rejected.
+    assert!(d.execute_sql("SELECT zone FROM Obs HAVING zone > 1").is_err());
+}
+
+#[test]
+fn explain_describes_the_pipeline() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Kcorr (zid INT PRIMARY KEY, ilim FLOAT)").unwrap();
+    let (cols, rs) = rows(
+        &mut d,
+        "EXPLAIN SELECT g.objid, COUNT(*) FROM Galaxy g JOIN Kcorr k ON g.i <= k.ilim          WHERE g.ra > 180 GROUP BY g.objid ORDER BY objid LIMIT 3",
+    );
+    assert_eq!(cols, vec!["plan"]);
+    let steps: Vec<String> =
+        rs.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    assert!(steps[0].contains("scan Galaxy") && steps[0].contains("clustered"));
+    assert!(steps.iter().any(|s| s.contains("nested-loop inner join Kcorr")));
+    assert!(steps.iter().any(|s| s.contains("WHERE")));
+    assert!(steps.iter().any(|s| s.contains("GROUP BY")));
+    assert!(steps.iter().any(|s| s.contains("limit 3")));
+}
+
+#[test]
+fn the_appendix_header_query_runs() {
+    // The paper's Figure 4 query shape, verbatim modulo schema size.
+    let mut d = db();
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT objid, ra, dec FROM Galaxy \
+         WHERE ra BETWEEN 172.5 AND 184.5 AND dec BETWEEN -2.5 AND 4.5 \
+         ORDER BY objid",
+    );
+    assert_eq!(rs.len(), 5);
+}

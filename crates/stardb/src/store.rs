@@ -1,0 +1,224 @@
+//! The simulated disk: a flat array of pages behind a trait.
+//!
+//! The engine never touches the store directly — all access goes through
+//! the [`crate::buffer::BufferPool`], which is where logical/physical I/O
+//! accounting happens. The in-memory [`MemStore`] stands in for the disk
+//! subsystem of the paper's SQL Server machines; a latency profile on the
+//! buffer pool models its cost.
+
+use crate::page::PAGE_SIZE;
+use parking_lot::RwLock;
+
+/// Identifier of a page within a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Sentinel for "no page" in sibling/child pointers.
+pub const NO_PAGE: PageId = PageId(u32::MAX);
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Backing storage for pages. Implementations must be thread-safe; the
+/// buffer pool serializes access but stats collectors may observe sizes
+/// concurrently.
+pub trait PageStore: Send + Sync {
+    /// Read page `id` into `buf` (`PAGE_SIZE` bytes).
+    fn read_page(&self, id: PageId, buf: &mut [u8]);
+    /// Write `buf` to page `id`.
+    fn write_page(&self, id: PageId, buf: &[u8]);
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate(&self) -> PageId;
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+}
+
+/// An in-memory page store.
+#[derive(Default)]
+pub struct MemStore {
+    pages: RwLock<Vec<Box<[u8]>>>,
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.pages.read().len() * PAGE_SIZE
+    }
+}
+
+impl PageStore for MemStore {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) {
+        let pages = self.pages.read();
+        buf.copy_from_slice(&pages[id.0 as usize]);
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) {
+        let mut pages = self.pages.write();
+        pages[id.0 as usize].copy_from_slice(buf);
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut pages = self.pages.write();
+        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        PageId(pages.len() as u32 - 1)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.read().len() as u32
+    }
+}
+
+/// A file-backed page store: pages live at `page_id * PAGE_SIZE` offsets
+/// in one file. This is the persistence path; the experiment binaries use
+/// [`MemStore`] plus the buffer pool's modeled latency so timing stays
+/// deterministic, but the engine runs unchanged over real disk.
+pub struct FileStore {
+    file: RwLock<std::fs::File>,
+    pages: std::sync::atomic::AtomicU32,
+}
+
+impl FileStore {
+    /// Open (or create) a store at `path`. Existing pages are preserved:
+    /// the page count is recovered from the file length.
+    pub fn open(path: &std::path::Path) -> std::io::Result<FileStore> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("store file length {len} is not a multiple of the page size"),
+            ));
+        }
+        Ok(FileStore {
+            file: RwLock::new(file),
+            pages: std::sync::atomic::AtomicU32::new((len / PAGE_SIZE as u64) as u32),
+        })
+    }
+}
+
+impl PageStore for FileStore {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) {
+        use std::os::unix::fs::FileExt;
+        let file = self.file.read();
+        file.read_exact_at(buf, u64::from(id.0) * PAGE_SIZE as u64)
+            .expect("page read within allocated range");
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) {
+        use std::os::unix::fs::FileExt;
+        let file = self.file.read();
+        file.write_all_at(buf, u64::from(id.0) * PAGE_SIZE as u64)
+            .expect("page write within allocated range");
+    }
+
+    fn allocate(&self) -> PageId {
+        use std::os::unix::fs::FileExt;
+        let id = self.pages.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        // Extend the file with a zeroed page so reads are always valid.
+        let file = self.file.read();
+        file.write_all_at(&[0u8; PAGE_SIZE], u64::from(id) * PAGE_SIZE as u64)
+            .expect("extend store file");
+        PageId(id)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_is_sequential() {
+        let s = MemStore::new();
+        assert_eq!(s.allocate(), PageId(0));
+        assert_eq!(s.allocate(), PageId(1));
+        assert_eq!(s.page_count(), 2);
+        assert_eq!(s.bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let s = MemStore::new();
+        let id = s.allocate();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        data[PAGE_SIZE - 1] = 0xCD;
+        s.write_page(id, &data);
+        let mut back = vec![0u8; PAGE_SIZE];
+        s.read_page(id, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fresh_pages_are_zeroed() {
+        let s = MemStore::new();
+        let id = s.allocate();
+        let mut buf = vec![1u8; PAGE_SIZE];
+        s.read_page(id, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("stardb-{tag}-{}.pages", std::process::id()))
+    }
+
+    #[test]
+    fn file_store_roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let s = FileStore::open(&path).unwrap();
+            let a = s.allocate();
+            let b = s.allocate();
+            let mut data = vec![0u8; PAGE_SIZE];
+            data[0] = 0xAA;
+            s.write_page(a, &data);
+            data[0] = 0xBB;
+            s.write_page(b, &data);
+            assert_eq!(s.page_count(), 2);
+        }
+        // Reopen: pages persist across process-lifetime boundaries.
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.page_count(), 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        s.read_page(PageId(0), &mut buf);
+        assert_eq!(buf[0], 0xAA);
+        s.read_page(PageId(1), &mut buf);
+        assert_eq!(buf[0], 0xBB);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_fresh_pages_zeroed() {
+        let path = temp_path("zeroed");
+        let s = FileStore::open(&path).unwrap();
+        let id = s.allocate();
+        let mut buf = vec![7u8; PAGE_SIZE];
+        s.read_page(id, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_rejects_torn_files() {
+        let path = temp_path("torn");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

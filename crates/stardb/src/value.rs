@@ -1,0 +1,243 @@
+//! Typed values and their total order.
+//!
+//! The engine supports the types the paper's schema actually uses —
+//! `bigint`, `int`, `real` (f32), `float` (f64) — plus `text` for the
+//! CasJobs layer (user names, job descriptions). Values carry their type
+//! tag on the wire so pages are self-describing.
+
+use crate::error::{DbError, DbResult};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types (`DataType::Real` is SQL `real`, i.e. f32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (`bigint`).
+    BigInt,
+    /// 32-bit signed integer (`int`).
+    Int,
+    /// 32-bit float (`real`).
+    Real,
+    /// 64-bit float (`float`).
+    Float,
+    /// UTF-8 string (`varchar`).
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::BigInt => "bigint",
+            DataType::Int => "int",
+            DataType::Real => "real",
+            DataType::Float => "float",
+            DataType::Text => "text",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single typed value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// `bigint`.
+    BigInt(i64),
+    /// `int`.
+    Int(i32),
+    /// `real`.
+    Real(f32),
+    /// `float`.
+    Float(f64),
+    /// `text`.
+    Text(String),
+}
+
+impl Value {
+    /// The value's type, or `None` for NULL (NULL inhabits every type).
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::BigInt(_) => Some(DataType::BigInt),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Real(_) => Some(DataType::Real),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value as f64 (ints and floats); errors on text
+    /// and NULL.
+    pub fn as_f64(&self) -> DbResult<f64> {
+        match self {
+            Value::BigInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(f64::from(*v)),
+            Value::Real(v) => Ok(f64::from(*v)),
+            Value::Float(v) => Ok(*v),
+            other => Err(DbError::TypeError(format!("not numeric: {other}"))),
+        }
+    }
+
+    /// Integer view (ints only).
+    pub fn as_i64(&self) -> DbResult<i64> {
+        match self {
+            Value::BigInt(v) => Ok(*v),
+            Value::Int(v) => Ok(i64::from(*v)),
+            other => Err(DbError::TypeError(format!("not an integer: {other}"))),
+        }
+    }
+
+    /// String view (text only).
+    pub fn as_str(&self) -> DbResult<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(DbError::TypeError(format!("not text: {other}"))),
+        }
+    }
+
+    /// `true` when the value can be stored in a column of type `dtype`.
+    /// NULL is compatible with every type.
+    pub fn compatible_with(&self, dtype: DataType) -> bool {
+        match self.dtype() {
+            None => true,
+            Some(t) => t == dtype,
+        }
+    }
+
+    /// Total order used by indexes and ORDER BY. NULL sorts first (the SQL
+    /// Server convention); numeric types compare by value across widths;
+    /// floats use IEEE total order so NaN is handled deterministically.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+            (Text(_), _) => Ordering::Greater,
+            (_, Text(_)) => Ordering::Less,
+            (a, b) => {
+                let fa = a.as_f64().expect("numeric");
+                let fb = b.as_f64().expect("numeric");
+                fa.total_cmp(&fb)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::BigInt(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::BigInt(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Real(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_tags() {
+        assert_eq!(Value::BigInt(1).dtype(), Some(DataType::BigInt));
+        assert_eq!(Value::Null.dtype(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Int(7).as_f64().unwrap(), 7.0);
+        assert_eq!(Value::Real(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::BigInt(42).as_i64().unwrap(), 42);
+        assert!(Value::Text("x".into()).as_f64().is_err());
+        assert!(Value::Float(1.0).as_i64().is_err());
+    }
+
+    #[test]
+    fn null_is_compatible_with_everything() {
+        for t in [DataType::BigInt, DataType::Real, DataType::Text] {
+            assert!(Value::Null.compatible_with(t));
+        }
+        assert!(!Value::Int(1).compatible_with(DataType::Text));
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert_eq!(Value::Int(-100).total_cmp(&Value::Null), Ordering::Greater);
+    }
+
+    #[test]
+    fn cross_width_numeric_comparison() {
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert_eq!(Value::BigInt(2).total_cmp(&Value::Real(2.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn text_sorts_after_numbers() {
+        assert_eq!(Value::Text("a".into()).total_cmp(&Value::Float(1e308)), Ordering::Greater);
+        assert_eq!(Value::Text("a".into()).total_cmp(&Value::Text("b".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn eq_follows_total_order() {
+        assert_eq!(Value::Int(3), Value::BigInt(3));
+        assert_ne!(Value::Int(3), Value::BigInt(4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Text("hi".into()).to_string(), "'hi'");
+        assert_eq!(Value::Int(5).to_string(), "5");
+    }
+}

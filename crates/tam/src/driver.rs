@@ -1,0 +1,351 @@
+//! The TAM region driver: publish field files to the Data Archive Server,
+//! run one grid job per field, aggregate the catalogs.
+
+use crate::fields::{tile, Field};
+use crate::files;
+use crate::pipeline::{process_field, FieldResult, StageCounts};
+use gridsim::scheduler::{BatchReport, GridCluster, JobSpec};
+use gridsim::DataArchiveServer;
+use serde::{Deserialize, Serialize};
+use skycore::bcg::BcgParams;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::types::{Candidate, Cluster, ClusterMember};
+use skycore::SkyRegion;
+use skysim::Sky;
+use std::time::Duration;
+
+/// Configuration of a TAM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TamConfig {
+    /// Target field side in degrees (paper: 0.5).
+    pub field_side: f64,
+    /// Buffer margin in degrees (paper: 0.25; the "ideal" is 0.5).
+    pub buffer_margin: f64,
+    /// k-correction grid (paper: z-steps of 0.01).
+    pub kcorr: KcorrConfig,
+    /// Likelihood parameters.
+    pub params: BcgParams,
+    /// Enable step 5's strict compromised-result discard.
+    pub discard_compromised: bool,
+    /// Declared working set per job in MB (two files plus arrays); the TAM
+    /// nodes' 1 GB is plenty for the 1 x 1 deg² compromise but not for what
+    /// the finer SQL configuration would need (§2.5).
+    pub job_ram_mb: u64,
+}
+
+impl Default for TamConfig {
+    fn default() -> Self {
+        TamConfig {
+            field_side: 0.5,
+            buffer_margin: 0.25,
+            kcorr: KcorrConfig::tam(),
+            params: BcgParams::default(),
+            discard_compromised: false,
+            job_ram_mb: 256,
+        }
+    }
+}
+
+impl TamConfig {
+    /// The configuration TAM could *not* afford (Table 2's scale factors):
+    /// 0.5 deg buffer and z-steps of 0.001. Needed for the apples-to-apples
+    /// agreement test against the SQL implementation.
+    pub fn ideal() -> Self {
+        TamConfig { buffer_margin: 0.5, kcorr: KcorrConfig::sql(), ..Self::default() }
+    }
+}
+
+/// Aggregated result of a TAM region run.
+#[derive(Debug, Clone)]
+pub struct TamRun {
+    /// Fields processed.
+    pub fields: usize,
+    /// Candidates whose galaxy lies in each field's own target area
+    /// (deduplicated union; buffer-area candidates are per-field working
+    /// state and are not collected).
+    pub candidates: Vec<Candidate>,
+    /// Union of per-field cluster catalogs (target areas are disjoint).
+    pub clusters: Vec<Cluster>,
+    /// Union of membership rows.
+    pub members: Vec<ClusterMember>,
+    /// Summed stage counts.
+    pub counts: StageCounts,
+    /// Mean measured compute per field on the host.
+    pub mean_field_compute: Duration,
+    /// Batch-level accounting (virtual makespan etc.).
+    pub batch: BatchReport,
+    /// Job failure messages, if any.
+    pub failures: Vec<String>,
+}
+
+/// Cut field files from a generated sky and publish them to the archive.
+/// Returns the fields and total bytes published.
+pub fn publish_region(
+    sky: &Sky,
+    region: &SkyRegion,
+    cfg: &TamConfig,
+    das: &DataArchiveServer,
+) -> (Vec<Field>, u64) {
+    let fields = tile(region, &sky.region, cfg.field_side, cfg.buffer_margin);
+    let mut bytes = 0u64;
+    for field in &fields {
+        let target: Vec<_> = sky.galaxies_in(&field.target).copied().collect();
+        let buffer: Vec<_> = sky.galaxies_in(&field.buffer).copied().collect();
+        let t = files::encode(&target);
+        let b = files::encode(&buffer);
+        bytes += (t.len() + b.len()) as u64;
+        das.publish(field.target_file(), t);
+        das.publish(field.buffer_file(), b);
+    }
+    (fields, bytes)
+}
+
+/// Publish the region *virtually*, Chimera style (the paper's reference
+/// [6]): only the raw whole-region catalog file goes into the archive;
+/// each field's Target/Buffer files are registered as derivations that cut
+/// them from the raw file on demand. Returns the field list — call
+/// [`materialize_fields`] (or let any consumer ask the catalog) before
+/// running.
+pub fn publish_virtual_region(
+    sky: &Sky,
+    region: &SkyRegion,
+    cfg: &TamConfig,
+    das: &DataArchiveServer,
+    vdc: &mut gridsim::VirtualDataCatalog,
+) -> Vec<Field> {
+    let fields = tile(region, &sky.region, cfg.field_side, cfg.buffer_margin);
+    let raw_name = "sky.cat";
+    let all: Vec<_> = sky.galaxies.clone();
+    das.publish(raw_name, files::encode(&all));
+    for field in &fields {
+        let target = field.target;
+        let buffer = field.buffer;
+        let tname = format!("cut-{:05}", field.index);
+        vdc.register_executor(
+            &tname,
+            Box::new(move |inputs| {
+                let raw = files::decode(&inputs[0]).map_err(|e| e.to_string())?;
+                let t: Vec<_> =
+                    raw.iter().filter(|g| target.contains(g.ra, g.dec)).copied().collect();
+                let b: Vec<_> =
+                    raw.iter().filter(|g| buffer.contains(g.ra, g.dec)).copied().collect();
+                Ok(vec![files::encode(&t), files::encode(&b)])
+            }),
+        );
+        vdc.register_derivation(
+            &tname,
+            &[raw_name],
+            &[&field.target_file(), &field.buffer_file()],
+        )
+        .expect("field names are unique");
+    }
+    fields
+}
+
+/// Materialize every field's files through the virtual data catalog.
+pub fn materialize_fields(
+    fields: &[Field],
+    das: &DataArchiveServer,
+    vdc: &gridsim::VirtualDataCatalog,
+) -> Result<(), gridsim::chimera::ChimeraError> {
+    for f in fields {
+        vdc.materialize(das, &f.target_file())?;
+        vdc.materialize(das, &f.buffer_file())?;
+    }
+    Ok(())
+}
+
+/// Run the TAM pipeline over `region`: one grid job per field, each
+/// staging its two files from the archive and running the six-step
+/// pipeline.
+pub fn run_region(
+    cluster: &GridCluster,
+    das: &DataArchiveServer,
+    fields: Vec<Field>,
+    cfg: &TamConfig,
+) -> TamRun {
+    let kcorr = KcorrTable::generate(cfg.kcorr);
+    let jobs: Vec<JobSpec<Field>> = fields
+        .iter()
+        .map(|f| JobSpec { name: f.target_file(), ram_mb: cfg.job_ram_mb, payload: *f })
+        .collect();
+    let (runs, batch) = cluster.run_batch(das, jobs, |field, stage| {
+        // Stage-in: the two files this task needs.
+        let buffer_bytes = stage.fetch(&field.buffer_file()).map_err(|e| e.to_string())?;
+        // The Target file is staged for fidelity (and billed for
+        // transfer), though the buffer is a superset of its galaxies.
+        let _target_bytes = stage.fetch(&field.target_file()).map_err(|e| e.to_string())?;
+        let buffer = files::decode(&buffer_bytes).map_err(|e| e.to_string())?;
+        Ok(process_field(
+            &field.target,
+            &field.buffer,
+            &buffer,
+            &kcorr,
+            &cfg.params,
+            cfg.discard_compromised,
+        ))
+    });
+
+    let mut out = TamRun {
+        fields: fields.len(),
+        candidates: Vec::new(),
+        clusters: Vec::new(),
+        members: Vec::new(),
+        counts: StageCounts::default(),
+        mean_field_compute: Duration::ZERO,
+        batch,
+        failures: Vec::new(),
+    };
+    let mut total_compute = Duration::ZERO;
+    let mut ok = 0u32;
+    for (run, field) in runs.into_iter().zip(&fields) {
+        total_compute += run.compute_real;
+        match run.output {
+            Ok(FieldResult { candidates, clusters, members, counts }) => {
+                ok += 1;
+                out.candidates.extend(
+                    candidates.into_iter().filter(|c| field.target.contains(c.ra, c.dec)),
+                );
+                out.clusters.extend(clusters);
+                out.members.extend(members);
+                absorb(&mut out.counts, &counts);
+            }
+            Err(e) => out.failures.push(format!("{}: {e}", run.name)),
+        }
+    }
+    if ok > 0 {
+        out.mean_field_compute = total_compute / ok.max(1);
+    }
+    // Deterministic catalog order regardless of job completion order.
+    // Galaxies exactly on shared field-target edges can be claimed twice
+    // (SQL BETWEEN-style inclusive windows); keep one.
+    out.candidates.sort_by_key(|c| c.objid);
+    out.candidates.dedup_by_key(|c| c.objid);
+    out.clusters.sort_by_key(|c| c.objid);
+    out.clusters.dedup_by_key(|c| c.objid);
+    out.members.sort_by_key(|a| (a.cluster_objid, a.galaxy_objid));
+    out
+}
+
+fn absorb(into: &mut StageCounts, from: &StageCounts) {
+    into.target_galaxies += from.target_galaxies;
+    into.buffer_galaxies += from.buffer_galaxies;
+    into.filter_passed += from.filter_passed;
+    into.candidates += from.candidates;
+    into.target_candidates += from.target_candidates;
+    into.clusters += from.clusters;
+    into.compromised_discarded += from.compromised_discarded;
+    into.members += from.members;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::das::NetworkModel;
+    use gridsim::node::tam_cluster;
+    use skysim::SkyConfig;
+
+    fn setup() -> (Sky, KcorrTable) {
+        let kcorr = KcorrTable::generate(KcorrConfig::tam());
+        let region = SkyRegion::new(180.0, 181.0, 0.0, 1.0);
+        let sky = Sky::generate(region, &SkyConfig::scaled(0.15), &kcorr, 2024);
+        (sky, kcorr)
+    }
+
+    #[test]
+    fn publish_creates_two_files_per_field() {
+        let (sky, _) = setup();
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        let cfg = TamConfig::default();
+        let inner = SkyRegion::new(180.25, 180.75, 0.25, 0.75);
+        let (fields, bytes) = publish_region(&sky, &inner, &cfg, &das);
+        assert_eq!(fields.len(), 1);
+        assert_eq!(das.file_count(), 2);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn region_run_end_to_end() {
+        let (sky, _) = setup();
+        let das = DataArchiveServer::new(NetworkModel::campus_2004());
+        let cfg = TamConfig::default();
+        let target = SkyRegion::new(180.25, 180.75, 0.25, 0.75);
+        let (fields, _) = publish_region(&sky, &target, &cfg, &das);
+        let cluster = GridCluster::new(tam_cluster());
+        let run = run_region(&cluster, &das, fields, &cfg);
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        assert_eq!(run.fields, 1);
+        assert!(run.counts.buffer_galaxies > 0);
+        assert!(run.batch.virtual_makespan > Duration::ZERO);
+        // Every reported cluster must be inside the target window.
+        for c in &run.clusters {
+            assert!(target.contains(c.ra, c.dec));
+        }
+    }
+
+    #[test]
+    fn virtual_region_equals_direct_publication() {
+        let (sky, _) = setup();
+        let cfg = TamConfig::default();
+        let target = SkyRegion::new(180.0, 181.0, 0.0, 1.0);
+        let cluster = GridCluster::new(tam_cluster());
+
+        // Direct: cut and publish all field files up front.
+        let das_direct = DataArchiveServer::new(NetworkModel::instant());
+        let (fields, _) = publish_region(&sky, &target, &cfg, &das_direct);
+        let direct = run_region(&cluster, &das_direct, fields.clone(), &cfg);
+
+        // Virtual: only the raw catalog exists; fields derive on demand.
+        let das_virtual = DataArchiveServer::new(NetworkModel::instant());
+        let mut vdc = gridsim::VirtualDataCatalog::new();
+        let vfields = publish_virtual_region(&sky, &target, &cfg, &das_virtual, &mut vdc);
+        assert_eq!(das_virtual.file_count(), 1, "only sky.cat before materialization");
+        materialize_fields(&vfields, &das_virtual, &vdc).unwrap();
+        assert_eq!(vdc.materializations() as usize, vfields.len());
+        let virt = run_region(&cluster, &das_virtual, vfields, &cfg);
+
+        assert!(direct.failures.is_empty() && virt.failures.is_empty());
+        assert_eq!(direct.clusters, virt.clusters, "derived files must be identical");
+        assert_eq!(direct.candidates, virt.candidates);
+        // Provenance: each buffer file traces back to the raw catalog.
+        let lineage = vdc.lineage("field-00000.buffer");
+        assert_eq!(lineage, vec!["sky.cat"]);
+    }
+
+    #[test]
+    fn missing_files_surface_as_failures() {
+        let (sky, _) = setup();
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        let cfg = TamConfig::default();
+        let target = SkyRegion::new(180.0, 181.0, 0.0, 0.5);
+        let (fields, _) = publish_region(&sky, &target, &cfg, &das);
+        // Sabotage: publish run uses a fresh DAS missing one file.
+        let das2 = DataArchiveServer::new(NetworkModel::instant());
+        for f in &fields[1..] {
+            let (bytes, _) = das.fetch(&f.target_file()).unwrap();
+            das2.publish(f.target_file(), bytes);
+            let (bytes, _) = das.fetch(&f.buffer_file()).unwrap();
+            das2.publish(f.buffer_file(), bytes);
+        }
+        let cluster = GridCluster::new(tam_cluster());
+        let run = run_region(&cluster, &das2, fields, &cfg);
+        assert_eq!(run.failures.len(), 1);
+        assert!(run.failures[0].contains("not found"));
+    }
+
+    #[test]
+    fn corrupt_file_detected_not_crashing() {
+        let (sky, _) = setup();
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        let cfg = TamConfig::default();
+        let target = SkyRegion::new(180.25, 180.75, 0.25, 0.75);
+        let (fields, _) = publish_region(&sky, &target, &cfg, &das);
+        // Truncate the buffer file in the archive.
+        let (bytes, _) = das.fetch(&fields[0].buffer_file()).unwrap();
+        das.publish(fields[0].buffer_file(), bytes[..bytes.len() - 11].to_vec());
+        let cluster = GridCluster::new(tam_cluster());
+        let run = run_region(&cluster, &das, fields, &cfg);
+        assert_eq!(run.failures.len(), 1);
+        assert!(run.failures[0].contains("truncated"), "{:?}", run.failures);
+    }
+}

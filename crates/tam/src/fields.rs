@@ -1,0 +1,125 @@
+//! Field tiling: the divide-and-conquer unit of the TAM implementation.
+//!
+//! "The TAM MaxBCG implementation takes advantage of the parallel nature of
+//! the problem by using a divide-and-conquer strategy which breaks the sky
+//! in 0.25 deg² fields. Each field is processed as an independent task.
+//! Each of these tasks require two files: a 0.5 x 0.5 deg² Target file ...
+//! and a 1 x 1 deg² Buffer file" (§2.2).
+
+use serde::{Deserialize, Serialize};
+use skycore::SkyRegion;
+
+/// One target field plus its buffer window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Sequential field number within the tiling.
+    pub index: u32,
+    /// The 0.5 x 0.5 deg² target area whose galaxies this task evaluates.
+    pub target: SkyRegion,
+    /// The buffer area whose galaxies are available as neighbors
+    /// (target expanded by the buffer margin, clipped to the survey).
+    pub buffer: SkyRegion,
+}
+
+impl Field {
+    /// DAS file name of the Target file.
+    pub fn target_file(&self) -> String {
+        format!("field-{:05}.target", self.index)
+    }
+
+    /// DAS file name of the Buffer file.
+    pub fn buffer_file(&self) -> String {
+        format!("field-{:05}.buffer", self.index)
+    }
+}
+
+/// Tile `region` into `side x side` deg² target fields with `margin`
+/// degrees of buffer, clipping buffers at the survey boundary `survey`.
+///
+/// The paper's TAM geometry is `side = 0.5`, `margin = 0.25` (a 1 x 1
+/// buffer file); the "ideal" geometry it could not afford is
+/// `margin = 0.5` (1.5 x 1.5).
+pub fn tile(region: &SkyRegion, survey: &SkyRegion, side: f64, margin: f64) -> Vec<Field> {
+    assert!(side > 0.0 && margin >= 0.0);
+    let nx = (region.ra_span() / side).round().max(1.0) as u32;
+    let ny = (region.dec_span() / side).round().max(1.0) as u32;
+    let mut fields = Vec::with_capacity((nx * ny) as usize);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let ra_min = region.ra_min + f64::from(ix) * side;
+            let dec_min = region.dec_min + f64::from(iy) * side;
+            let target = SkyRegion::new(
+                ra_min,
+                (ra_min + side).min(region.ra_max),
+                dec_min,
+                (dec_min + side).min(region.dec_max),
+            );
+            let buffer = target
+                .expanded(margin)
+                .intersect(survey)
+                .expect("buffer always overlaps the survey");
+            fields.push(Field { index: iy * nx + ix, target, buffer });
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let region = SkyRegion::new(180.0, 182.0, 0.0, 1.0);
+        let survey = region.expanded(1.0);
+        let fields = tile(&region, &survey, 0.5, 0.25);
+        // 4 x 2 = 8 fields of 0.25 deg².
+        assert_eq!(fields.len(), 8);
+        for f in &fields {
+            assert!((f.target.area_deg2() - 0.25).abs() < 1e-9);
+            assert!((f.buffer.area_deg2() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn targets_tile_disjointly_and_cover() {
+        let region = SkyRegion::new(10.0, 11.5, -0.5, 0.5);
+        let fields = tile(&region, &region.expanded(1.0), 0.5, 0.25);
+        let total: f64 = fields.iter().map(|f| f.target.area_deg2()).sum();
+        assert!((total - region.area_deg2()).abs() < 1e-9);
+        // Disjoint interiors: no pair of targets overlaps by area.
+        for (i, a) in fields.iter().enumerate() {
+            for b in &fields[i + 1..] {
+                if let Some(overlap) = a.target.intersect(&b.target) {
+                    assert!(overlap.area_deg2() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffers_clip_at_survey_edge() {
+        let region = SkyRegion::new(0.0, 0.5, 0.0, 0.5);
+        let survey = region; // survey ends exactly at the region
+        let fields = tile(&region, &survey, 0.5, 0.25);
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].buffer, region, "buffer cannot extend past the survey");
+    }
+
+    #[test]
+    fn file_names_are_unique() {
+        let region = SkyRegion::new(0.0, 2.0, 0.0, 2.0);
+        let fields = tile(&region, &region, 0.5, 0.25);
+        let names: std::collections::HashSet<String> =
+            fields.iter().map(Field::target_file).collect();
+        assert_eq!(names.len(), fields.len());
+    }
+
+    #[test]
+    fn sixty_six_deg2_is_264_fields() {
+        // Table 2: "Target field 0.25 deg² vs 66 deg²: factor 264".
+        let region = SkyRegion::paper_target_66();
+        let fields = tile(&region, &region.expanded(1.0), 0.5, 0.25);
+        assert_eq!(fields.len(), 264);
+    }
+}

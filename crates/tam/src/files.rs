@@ -1,0 +1,179 @@
+//! The Target/Buffer file format.
+//!
+//! A compact binary layout with a 16-byte header and 44 bytes per galaxy —
+//! the record size the paper quotes for its galaxy table ("roughly 1.5
+//! million rows (44 bytes each)"). The codec detects truncation, bad magic,
+//! and version skew, which the failure-injection tests exercise.
+
+use bytes::{Buf, BufMut};
+use skycore::Galaxy;
+
+/// File magic: "TAMG".
+const MAGIC: u32 = 0x54414D47;
+/// Format version.
+const VERSION: u16 = 1;
+/// Bytes per galaxy record.
+pub const RECORD_BYTES: usize = 44;
+/// Header bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileError {
+    /// Magic number mismatch: not a TAM galaxy file.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The byte count does not match the declared record count.
+    Truncated {
+        /// Records the header promised.
+        expected: u32,
+        /// Bytes actually present after the header.
+        got_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            FileError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FileError::Truncated { expected, got_bytes } => {
+                write!(f, "truncated file: {expected} records declared, {got_bytes} payload bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+/// Encode galaxies into a field file.
+pub fn encode(galaxies: &[Galaxy]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + galaxies.len() * RECORD_BYTES);
+    out.put_u32_le(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u16_le(0); // reserved
+    out.put_u32_le(galaxies.len() as u32);
+    out.put_u32_le(0); // reserved
+    for g in galaxies {
+        out.put_i64_le(g.objid);
+        out.put_f64_le(g.ra);
+        out.put_f64_le(g.dec);
+        out.put_f32_le(g.i as f32);
+        out.put_f32_le(g.gr as f32);
+        out.put_f32_le(g.ri as f32);
+        out.put_f32_le(g.sigma_gr as f32);
+        out.put_f32_le(g.sigma_ri as f32);
+    }
+    out
+}
+
+/// Decode a field file.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<Galaxy>, FileError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(FileError::Truncated { expected: 0, got_bytes: buf.len() });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(FileError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(FileError::BadVersion(version));
+    }
+    buf.advance(2);
+    let count = buf.get_u32_le();
+    buf.advance(4);
+    if buf.len() != count as usize * RECORD_BYTES {
+        return Err(FileError::Truncated { expected: count, got_bytes: buf.len() });
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(Galaxy {
+            objid: buf.get_i64_le(),
+            ra: buf.get_f64_le(),
+            dec: buf.get_f64_le(),
+            i: f64::from(buf.get_f32_le()),
+            gr: f64::from(buf.get_f32_le()),
+            ri: f64::from(buf.get_f32_le()),
+            sigma_gr: f64::from(buf.get_f32_le()),
+            sigma_ri: f64::from(buf.get_f32_le()),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Galaxy> {
+        (0..n)
+            .map(|k| {
+                Galaxy::with_derived_errors(
+                    k as i64 + 1,
+                    180.0 + k as f64 * 0.001,
+                    -1.0 + k as f64 * 0.0005,
+                    16.0 + k as f64 * 0.01,
+                    1.1,
+                    0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let galaxies = sample(100);
+        let bytes = encode(&galaxies);
+        assert_eq!(bytes.len(), HEADER_BYTES + 100 * RECORD_BYTES);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.len(), 100);
+        for (a, b) in galaxies.iter().zip(&back) {
+            assert_eq!(a.objid, b.objid);
+            assert_eq!(a.ra, b.ra); // f64 fields exact
+            assert!((a.i - b.i).abs() < 1e-6); // f32 fields rounded
+            assert!((a.sigma_gr - b.sigma_gr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let bytes = encode(&[]);
+        assert_eq!(decode(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn record_size_matches_the_paper() {
+        assert_eq!(RECORD_BYTES, 44, "the paper quotes 44-byte galaxy rows");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample(1));
+        bytes[0] = 0x00;
+        assert!(matches!(decode(&bytes), Err(FileError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(&sample(1));
+        bytes[4] = 99;
+        assert!(matches!(decode(&bytes), Err(FileError::BadVersion(99))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&sample(10));
+        let cut = &bytes[..bytes.len() - 7];
+        assert!(matches!(decode(cut), Err(FileError::Truncated { expected: 10, .. })));
+        assert!(matches!(decode(&bytes[..4]), Err(FileError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = encode(&sample(3));
+        bytes.extend_from_slice(&[0u8; 5]);
+        assert!(matches!(decode(&bytes), Err(FileError::Truncated { .. })));
+    }
+}

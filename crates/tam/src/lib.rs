@@ -1,0 +1,20 @@
+//! # tam — the file-based MaxBCG baseline
+//!
+//! A faithful reimplementation of the Terabyte Analysis Machine pipeline
+//! the paper compares against (§2.2): the sky tiled into 0.25 deg² target
+//! fields, each processed as an independent grid job that stages a Target
+//! and a Buffer file from the Data Archive Server and runs the six-step
+//! MaxBCG algorithm over in-memory arrays with brute-force neighbor
+//! searches — no database, no spatial index, coarse (0.01) redshift steps,
+//! and the RAM-constrained 0.25 deg buffer compromise of Figure 1.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod fields;
+pub mod files;
+pub mod pipeline;
+
+pub use driver::{publish_region, run_region, TamConfig, TamRun};
+pub use fields::{tile, Field};
+pub use pipeline::{process_field, FieldResult, StageCounts};

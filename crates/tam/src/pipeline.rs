@@ -1,0 +1,349 @@
+//! The Astrotools-style per-field pipeline: the six steps of §2.1 over
+//! in-memory arrays, with brute-force neighbor searches against the Buffer
+//! file — no indexes, exactly like the Tcl/C original. Once the Target and
+//! Buffer arrays are loaded, the task is CPU-bound (§2.2).
+//!
+//! The scoring math is shared with the database implementation through
+//! [`skycore::bcg`]; only the data access differs. That is the controlled
+//! variable of the whole reproduction.
+
+use serde::{Deserialize, Serialize};
+use skycore::bcg::{self, BcgParams};
+use skycore::coords::UnitVec;
+use skycore::kcorr::KcorrTable;
+use skycore::types::{Candidate, Cluster, ClusterMember, Friend, Galaxy};
+use skycore::SkyRegion;
+
+/// Per-stage row counts, for the cost-shape analysis of Tables 1–3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCounts {
+    /// Galaxies in the Target file.
+    pub target_galaxies: u64,
+    /// Galaxies in the Buffer file.
+    pub buffer_galaxies: u64,
+    /// Buffer galaxies passing the χ² filter at ≥1 redshift.
+    pub filter_passed: u64,
+    /// BCG candidates (≥1 neighbor at the best redshift).
+    pub candidates: u64,
+    /// Candidates inside the target area.
+    pub target_candidates: u64,
+    /// Clusters selected.
+    pub clusters: u64,
+    /// Compromised clusters discarded (search circle truncated by the
+    /// buffer edge).
+    pub compromised_discarded: u64,
+    /// Cluster membership rows.
+    pub members: u64,
+}
+
+/// Output of one field task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FieldResult {
+    /// All BCG candidates found in the buffer area (the `BufferC` file).
+    pub candidates: Vec<Candidate>,
+    /// Clusters whose BCG lies in the target area (the final catalog rows
+    /// this task owns).
+    pub clusters: Vec<Cluster>,
+    /// Membership rows for those clusters.
+    pub members: Vec<ClusterMember>,
+    /// Stage counts.
+    pub counts: StageCounts,
+}
+
+/// The in-RAM Buffer arrays with precomputed unit vectors — the state the
+/// TAM task holds after stage-in.
+struct BufferArrays<'a> {
+    galaxies: &'a [Galaxy],
+    positions: Vec<UnitVec>,
+}
+
+impl<'a> BufferArrays<'a> {
+    fn new(galaxies: &'a [Galaxy]) -> Self {
+        BufferArrays { galaxies, positions: galaxies.iter().map(Galaxy::unit_vec).collect() }
+    }
+
+    /// Brute force: every galaxy within `radius_deg` of `center`, except
+    /// `self_objid`. O(buffer) per call — the cost the paper's zone index
+    /// eliminates.
+    fn friends_within(&self, center: &UnitVec, self_objid: i64, radius_deg: f64) -> Vec<Friend> {
+        let chord2 = skycore::angle::chord2_of_deg(radius_deg);
+        let mut out = Vec::new();
+        for (g, pos) in self.galaxies.iter().zip(&self.positions) {
+            if g.objid == self_objid {
+                continue;
+            }
+            let c2 = center.chord2(pos);
+            if c2 < chord2 {
+                out.push(Friend {
+                    objid: g.objid,
+                    distance: skycore::angle::deg_of_chord_approx(c2.sqrt()),
+                    i: g.i,
+                    gr: g.gr,
+                    ri: g.ri,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Process one field: Target and Buffer galaxy arrays in, candidate and
+/// cluster catalogs out.
+///
+/// `target_region` is the area whose clusters this task owns;
+/// `buffer_region` bounds the data actually available (used by the
+/// compromised-result check). `discard_compromised` enables step 5's
+/// strictest reading: drop clusters whose comparison circle was truncated
+/// by the buffer edge.
+pub fn process_field(
+    target_region: &SkyRegion,
+    buffer_region: &SkyRegion,
+    buffer_galaxies: &[Galaxy],
+    kcorr: &KcorrTable,
+    params: &BcgParams,
+    discard_compromised: bool,
+) -> FieldResult {
+    let arrays = BufferArrays::new(buffer_galaxies);
+    let mut counts = StageCounts {
+        buffer_galaxies: buffer_galaxies.len() as u64,
+        target_galaxies: buffer_galaxies
+            .iter()
+            .filter(|g| target_region.contains(g.ra, g.dec))
+            .count() as u64,
+        ..StageCounts::default()
+    };
+
+    // Steps 1–4 per galaxy: filter, check neighbors, pick most likely.
+    // Candidates are computed for the whole buffer area because step 5
+    // compares target candidates against buffer candidates (BufferC).
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (g, pos) in buffer_galaxies.iter().zip(&arrays.positions) {
+        let passing = bcg::passing_redshifts(g, kcorr, params);
+        if passing.is_empty() {
+            continue;
+        }
+        counts.filter_passed += 1;
+        let windows = bcg::search_windows(g.i, &passing, kcorr, params);
+        let mut friends = arrays.friends_within(pos, g.objid, windows.radius_deg);
+        friends.retain(|f| windows.admits(f));
+        let friend_counts = bcg::count_neighbors(&passing, &friends, kcorr, g.i, params);
+        if let Some((idx, chi)) = bcg::best_likelihood(&passing, &friend_counts, params) {
+            let k = kcorr.row(passing[idx].zid).expect("zid");
+            candidates.push(Candidate {
+                objid: g.objid,
+                ra: g.ra,
+                dec: g.dec,
+                z: k.z,
+                i: g.i,
+                ngal: friend_counts[idx] as i32 + 1,
+                chi2: chi,
+            });
+        }
+    }
+    counts.candidates = candidates.len() as u64;
+
+    // Step "pick most likely" across candidates: a target candidate is a
+    // cluster center iff it carries the best likelihood among candidates
+    // within radius(z) and Δz <= z_window (compare with BufferC).
+    let cand_pos: Vec<UnitVec> = candidates.iter().map(|c| UnitVec::from_radec(c.ra, c.dec)).collect();
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for (c, pos) in candidates.iter().zip(&cand_pos) {
+        if !target_region.contains(c.ra, c.dec) {
+            continue;
+        }
+        counts.target_candidates += 1;
+        let rad = kcorr.nearest(c.z).radius;
+        let chord2 = skycore::angle::chord2_of_deg(rad);
+        let mut best = f64::NEG_INFINITY;
+        for (other, opos) in candidates.iter().zip(&cand_pos) {
+            if (other.z - c.z).abs() <= params.z_window && pos.chord2(opos) < chord2 {
+                best = best.max(other.chi2);
+            }
+        }
+        if bcg::is_cluster_center(c.chi2, best, params) {
+            // Step 5: discard compromised results — the comparison circle
+            // must lie inside the data we actually had.
+            if discard_compromised && circle_truncated(c.ra, c.dec, rad, buffer_region) {
+                counts.compromised_discarded += 1;
+                continue;
+            }
+            clusters.push(*c);
+        }
+    }
+    counts.clusters = clusters.len() as u64;
+
+    // Step 6: retrieve the members of the clusters.
+    let mut members: Vec<ClusterMember> = Vec::new();
+    for cluster in &clusters {
+        let k = kcorr.nearest(cluster.z);
+        let w = bcg::member_windows(k, cluster.i, f64::from(cluster.ngal), params);
+        members.push(ClusterMember {
+            cluster_objid: cluster.objid,
+            galaxy_objid: cluster.objid,
+            distance: 0.0,
+        });
+        let center = UnitVec::from_radec(cluster.ra, cluster.dec);
+        for f in arrays.friends_within(&center, cluster.objid, w.radius_deg) {
+            if w.admits(&f) {
+                members.push(ClusterMember {
+                    cluster_objid: cluster.objid,
+                    galaxy_objid: f.objid,
+                    distance: f.distance,
+                });
+            }
+        }
+    }
+    counts.members = members.len() as u64;
+
+    FieldResult { candidates, clusters, members, counts }
+}
+
+/// Does a circle of `rad` degrees around `(ra, dec)` poke outside `region`?
+fn circle_truncated(ra: f64, dec: f64, rad: f64, region: &SkyRegion) -> bool {
+    let ra_rad = skycore::angle::ra_adjusted_radius(rad, dec);
+    ra - ra_rad < region.ra_min
+        || ra + ra_rad > region.ra_max
+        || dec - rad < region.dec_min
+        || dec + rad > region.dec_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycore::kcorr::KcorrConfig;
+
+    fn kcorr() -> KcorrTable {
+        KcorrTable::generate(KcorrConfig::tam())
+    }
+
+    /// Hand-built sky: one rich cluster at z=0.2 in the target center,
+    /// plus sparse field galaxies far from the ridge.
+    fn toy_sky(k: &KcorrTable) -> (SkyRegion, SkyRegion, Vec<Galaxy>) {
+        let target = SkyRegion::new(180.0, 180.5, 0.0, 0.5);
+        let buffer = target.expanded(0.25);
+        let row = k.nearest(0.2);
+        let mut galaxies = Vec::new();
+        // The BCG at the target center.
+        galaxies.push(Galaxy::with_derived_errors(1, 180.25, 0.25, row.i, row.gr, row.ri));
+        // Eight members just around it, fainter, on the ridge.
+        for j in 0..8 {
+            let ang = f64::from(j) * std::f64::consts::TAU / 8.0;
+            let r = row.radius * 0.4;
+            galaxies.push(Galaxy::with_derived_errors(
+                10 + i64::from(j),
+                180.25 + r * ang.cos(),
+                0.25 + r * ang.sin(),
+                row.i + 0.6 + 0.05 * f64::from(j),
+                row.gr,
+                row.ri,
+            ));
+        }
+        // Field junk nowhere near the ridge.
+        for j in 0..50 {
+            galaxies.push(Galaxy::with_derived_errors(
+                100 + i64::from(j),
+                180.0 + f64::from(j % 10) * 0.09,
+                0.0 + f64::from(j / 10) * 0.09,
+                20.5,
+                -0.5,
+                2.5,
+            ));
+        }
+        (target, buffer, galaxies)
+    }
+
+    #[test]
+    fn finds_the_injected_cluster() {
+        let k = kcorr();
+        let (target, buffer, galaxies) = toy_sky(&k);
+        let result =
+            process_field(&target, &buffer, &galaxies, &k, &BcgParams::default(), false);
+        assert_eq!(result.clusters.len(), 1, "exactly the one injected cluster");
+        let c = &result.clusters[0];
+        assert_eq!(c.objid, 1);
+        assert!((c.z - 0.2).abs() < 0.05, "z={}", c.z);
+        assert_eq!(c.ngal, 9, "8 members + BCG");
+        // Members: the BCG row plus the 8 injected members.
+        assert_eq!(result.members.len(), 9);
+        assert!(result.members.iter().all(|m| m.cluster_objid == 1));
+    }
+
+    #[test]
+    fn field_junk_is_filtered_early() {
+        let k = kcorr();
+        let (target, buffer, galaxies) = toy_sky(&k);
+        let result =
+            process_field(&target, &buffer, &galaxies, &k, &BcgParams::default(), false);
+        // 59 galaxies, only the 9 on the ridge can pass the filter.
+        assert!(result.counts.filter_passed <= 9 + 2);
+        assert_eq!(result.counts.buffer_galaxies, 59);
+    }
+
+    #[test]
+    fn members_do_not_out_likelihood_the_bcg() {
+        // The brightest galaxy wins: no member may appear in the cluster
+        // catalog alongside the BCG.
+        let k = kcorr();
+        let (target, buffer, galaxies) = toy_sky(&k);
+        let result =
+            process_field(&target, &buffer, &galaxies, &k, &BcgParams::default(), false);
+        let ids: Vec<i64> = result.clusters.iter().map(|c| c.objid).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn cluster_outside_target_not_owned() {
+        let k = kcorr();
+        let (_, buffer, galaxies) = toy_sky(&k);
+        // Same data, but the target window excludes the cluster.
+        let other_target = SkyRegion::new(180.5, 181.0, 0.0, 0.5);
+        let result =
+            process_field(&other_target, &buffer, &galaxies, &k, &BcgParams::default(), false);
+        assert!(result.clusters.is_empty(), "cluster belongs to the neighboring field");
+        // But it is still in the candidate list (BufferC).
+        assert!(result.candidates.iter().any(|c| c.objid == 1));
+    }
+
+    #[test]
+    fn compromised_discard_drops_edge_clusters() {
+        // A low-redshift cluster: at z = 0.05 the 1 Mpc radius (~0.4 deg)
+        // exceeds the 0.25 deg buffer margin, so its comparison circle is
+        // truncated wherever the BCG sits in the target — the exact
+        // compromise Figure 1 describes.
+        let k = kcorr();
+        let target = SkyRegion::new(180.0, 180.5, 0.0, 0.5);
+        let buffer = target.expanded(0.25);
+        let row = k.nearest(0.05);
+        assert!(row.radius > 0.25, "z=0.05 circle must outgrow the margin");
+        // BCG near the target corner, so the ~0.4 deg circle pokes past
+        // the 0.25 deg buffer margin.
+        let mut galaxies = vec![Galaxy::with_derived_errors(
+            1, 180.05, 0.05, row.i, row.gr, row.ri,
+        )];
+        for j in 0..6 {
+            let ang = f64::from(j) * std::f64::consts::TAU / 6.0;
+            let r = 0.08;
+            galaxies.push(Galaxy::with_derived_errors(
+                10 + i64::from(j),
+                180.05 + r * ang.cos(),
+                0.05 + r * ang.sin(),
+                row.i + 0.5,
+                row.gr,
+                row.ri,
+            ));
+        }
+        let strict = process_field(&target, &buffer, &galaxies, &k, &BcgParams::default(), true);
+        let lax = process_field(&target, &buffer, &galaxies, &k, &BcgParams::default(), false);
+        assert_eq!(lax.clusters.len(), 1);
+        assert_eq!(strict.clusters.len(), 0);
+        assert_eq!(strict.counts.compromised_discarded, 1);
+    }
+
+    #[test]
+    fn circle_truncation_geometry() {
+        let region = SkyRegion::new(0.0, 1.0, 0.0, 1.0);
+        assert!(!circle_truncated(0.5, 0.5, 0.2, &region));
+        assert!(circle_truncated(0.1, 0.5, 0.2, &region));
+        assert!(circle_truncated(0.5, 0.9, 0.2, &region));
+    }
+}

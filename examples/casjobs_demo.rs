@@ -1,0 +1,106 @@
+//! CasJobs and the data grid (§4): batch queries into MyDB, group sharing,
+//! and the "gridified" MaxBCG that deploys code to the CAS-hosting nodes
+//! instead of moving files to compute nodes.
+//!
+//! Run with: `cargo run --release --example casjobs_demo`
+
+use casjobs::{CasJobs, DataGrid, JobSpec, JobState, ResultPolicy};
+use maxbcg::MaxBcgConfig;
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use std::sync::Arc;
+
+fn main() {
+    let config = MaxBcgConfig::default();
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+    println!("standing up the CAS catalog over {survey} ...");
+    let sky = Arc::new(Sky::generate(survey, &SkyConfig::scaled(0.1), &kcorr, 1234));
+    println!("  {} galaxies in the archive\n", sky.galaxies.len());
+
+    // ---- the batch query system -----------------------------------------
+    let mut cas = CasJobs::new(Arc::clone(&sky), config);
+    let maria = cas.register("maria").expect("register");
+    let jim = cas.register("jim").expect("register");
+
+    println!("== MyDB batch jobs ==");
+    let window = SkyRegion::new(180.3, 181.0, -0.5, 0.5);
+    let extract = cas
+        .submit(maria, JobSpec::ExtractRegion { window, into: "MyGalaxies".into() })
+        .expect("submit");
+    let target = survey.shrunk(1.0);
+    let bcg_job = cas
+        .submit(
+            maria,
+            JobSpec::RunMaxBcg {
+                import_window: survey,
+                candidate_window: target.expanded(0.5),
+                into: "MyClusters".into(),
+            },
+        )
+        .expect("submit");
+    println!("  maria queued jobs {:?} and {:?}", extract, bcg_job);
+    let ran = cas.run_pending();
+    println!("  queue drained: {ran} jobs executed");
+    for id in [extract, bcg_job] {
+        match cas.status(id).expect("status") {
+            JobState::Finished(msg) => println!("    job {} finished: {msg}", id.0),
+            other => println!("    job {} -> {other:?}", id.0),
+        }
+    }
+
+    // ---- interactive SQL against MyDB -------------------------------------
+    println!("\n== SQL in MyDB ==");
+    let out = cas
+        .query(
+            maria,
+            "SELECT COUNT(*) AS n, MIN(z), MAX(z) FROM MyClusters WHERE ngal >= 5",
+        )
+        .expect("sql");
+    if let stardb::SqlOutput::Rows { columns, rows } = out {
+        println!("  {}: {:?}", columns.join(", "), rows.first().map(|r| r.values().to_vec()));
+    }
+    cas.query(maria, "CREATE INDEX ix_z ON MyClusters (z)").expect("index");
+    println!(
+        "  maria created index ix_z on MyClusters: {:?}",
+        cas.mydb(maria).expect("mydb").index_names("MyClusters").expect("names")
+    );
+
+    // ---- sharing ----------------------------------------------------------
+    println!("\n== group sharing ==");
+    let group = cas.registry.create_group(maria, "cluster-hunters").expect("group");
+    cas.registry.add_member(maria, group, jim).expect("add member");
+    cas.share_table(maria, "MyClusters", group).expect("share");
+    let rows = cas.read_shared(jim, maria, "MyClusters").expect("shared read");
+    println!("  jim reads maria's MyClusters through the group: {} rows", rows.len());
+
+    // ---- the data grid ------------------------------------------------------
+    println!("\n== gridified MaxBCG (code to the data) ==");
+    let mut grid = DataGrid::new(Arc::clone(&sky), &survey, 3, config);
+    // One site keeps results local, per its organization's policy.
+    grid.nodes_mut()[2].policy = ResultPolicy::StoreLocally;
+    for n in grid.nodes() {
+        println!(
+            "  node {} ({}) holds {} / imports {}",
+            n.name, n.organization, n.native, n.imported
+        );
+    }
+    let report = grid.submit_maxbcg(maria, &target.expanded(0.5));
+    println!("  run finished in {:.2} s:", report.elapsed.as_secs_f64());
+    for o in &report.outcomes {
+        println!(
+            "    {}: deployed={} clusters={} returned={}{}",
+            o.node,
+            o.deployed,
+            o.cluster_count,
+            o.clusters.len(),
+            o.error.as_deref().map(|e| format!("  error: {e}")).unwrap_or_default()
+        );
+    }
+    println!(
+        "  {} cluster rows transferred back to the origin (instead of {} galaxy files)",
+        report.collected.len(),
+        sky.galaxies.len()
+    );
+}

@@ -1,0 +1,102 @@
+//! The paper's headline comparison on one synthetic sky: the file-based
+//! TAM Grid pipeline versus the database implementation.
+//!
+//! One target area is processed both ways at *equal physics* (fine
+//! z-steps, 0.5 deg buffers), so the remaining difference is purely
+//! file-pipeline-vs-database:
+//!
+//! * **TAM**: tiled into 0.5 x 0.5 deg² fields, Target/Buffer files
+//!   published to a simulated Data Archive Server, one Condor-style job per
+//!   field on a virtual 5-node 600 MHz cluster, each field brute-forcing
+//!   its buffer arrays;
+//! * **database**: imported once, zone-indexed, processed set-at-a-time.
+//!
+//! The gap grows with density (brute force is O(n²) per field; the zone
+//! join is O(n · hits)): at `--scale 1.0` — the paper's density — the
+//! database wins by an order of magnitude, as in Table 3.
+//!
+//! Run with: `cargo run --release --example grid_vs_db`
+
+use gridsim::das::NetworkModel;
+use gridsim::node::tam_cluster;
+use gridsim::{DataArchiveServer, GridCluster};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use tam::{publish_region, run_region, TamConfig};
+
+fn main() {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let survey = SkyRegion::new(180.0, 184.0, -2.0, 2.0);
+    let target = SkyRegion::new(181.0, 183.0, -1.0, 1.0);
+    println!("generating synthetic sky over {survey} ...");
+    let sky = Sky::generate(survey, &SkyConfig::scaled(0.25), &kcorr, 42);
+    println!("  {} galaxies, target area {target}\n", sky.galaxies.len());
+
+    // ---------------- TAM ------------------------------------------------
+    println!("== TAM (file-based Grid pipeline, equal physics) ==");
+    let tam_cfg = TamConfig {
+        buffer_margin: 0.5,
+        kcorr: KcorrConfig::sql(),
+        ..TamConfig::default()
+    };
+    let das = DataArchiveServer::new(NetworkModel::campus_2004());
+    let (fields, bytes) = publish_region(&sky, &target, &tam_cfg, &das);
+    println!(
+        "  published {} field files ({:.1} MB) to the Data Archive Server",
+        das.file_count(),
+        bytes as f64 / 1e6
+    );
+    let cluster = GridCluster::new(tam_cluster());
+    let tam_run = run_region(&cluster, &das, fields, &tam_cfg);
+    println!("  {} fields over {} nodes ({} slots)", tam_run.fields, 5, cluster.slots());
+    println!(
+        "  stage-in (modeled): {:.1} s   virtual makespan on 600 MHz nodes: {:.0} s",
+        tam_run.batch.stage_in_total.as_secs_f64(),
+        tam_run.batch.virtual_makespan.as_secs_f64()
+    );
+    println!(
+        "  mean field compute on this host: {:.2} s   clusters found: {}\n",
+        tam_run.mean_field_compute.as_secs_f64(),
+        tam_run.clusters.len()
+    );
+
+    // ---------------- database ------------------------------------------
+    println!("== database (zone-indexed, set-based, fine grid) ==");
+    let db_cfg = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let mut db = MaxBcgDb::new(db_cfg).expect("schema");
+    let report = db
+        .run("grid_vs_db", &sky, &survey, &target.expanded(0.5))
+        .expect("pipeline");
+    print!("{report}");
+    let db_clusters: Vec<_> = db
+        .clusters()
+        .expect("clusters")
+        .into_iter()
+        .filter(|c| target.contains(c.ra, c.dec))
+        .collect();
+    println!("  clusters in target: {}\n", db_clusters.len());
+
+    // ---------------- comparison ----------------------------------------
+    let tam_virtual = tam_run.batch.virtual_makespan.as_secs_f64();
+    let tam_host = tam_run.mean_field_compute.as_secs_f64() * tam_run.fields as f64;
+    let db_host = report.total_elapsed().as_secs_f64();
+    println!("== comparison (equal physics, same host) ==");
+    println!("  TAM {tam_host:.2} s  vs  DB {db_host:.2} s  ->  {:.1}x", tam_host / db_host);
+    println!("  (paper's per-node gap is ~40x at full survey density; rerun with");
+    println!("   a denser sky to watch the gap open — see the table3 bench)");
+    println!(
+        "  TAM virtual elapsed on the 2004 cluster: {:.0} s ({:.1} h)",
+        tam_virtual,
+        tam_virtual / 3600.0
+    );
+    let shared = db_clusters
+        .iter()
+        .filter(|c| tam_run.clusters.iter().any(|t| t.objid == c.objid))
+        .count();
+    println!(
+        "  catalog overlap: {shared}/{} of the DB clusters also found by TAM",
+        db_clusters.len()
+    );
+}

@@ -1,0 +1,28 @@
+//! # maxbcg-grid
+//!
+//! Workspace facade for the reproduction of *"When Database Systems Meet the
+//! Grid"* (Nieto-Santisteban, Gray, Szalay, Annis, Thakar, O'Mullane — CIDR
+//! 2005). Re-exports every subsystem so integration tests and examples can
+//! use one dependency.
+//!
+//! The paper reimplements the MaxBCG galaxy-cluster finder — a file-based
+//! Grid application — inside a relational database and shows an order of
+//! magnitude speedup. This workspace rebuilds both sides:
+//!
+//! * [`skycore`] — angles, spherical geometry, cosmology, k-correction model.
+//! * [`skysim`] — synthetic SDSS-like catalogs with injected clusters.
+//! * [`stardb`] — an embedded relational engine (the "SQL Server" substrate).
+//! * [`htm`] — the Hierarchical Triangular Mesh index (rejected alternative).
+//! * [`gridsim`] — Condor-style scheduler + data archive server.
+//! * [`tam`] — the file-based Tcl/C-era baseline pipeline.
+//! * [`maxbcg`] — the paper's contribution: MaxBCG on the database.
+//! * [`casjobs`] — the batch query system of section 4.
+
+pub use casjobs;
+pub use gridsim;
+pub use htm;
+pub use maxbcg;
+pub use skycore;
+pub use skysim;
+pub use stardb;
+pub use tam;

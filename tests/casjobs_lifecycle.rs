@@ -1,0 +1,101 @@
+//! End-to-end CasJobs scenario spanning crates: a CAS catalog, two users,
+//! batch jobs into MyDB, group sharing, and the gridified MaxBCG whose
+//! collected catalog matches a single-site run.
+
+use casjobs::{CasError, CasJobs, DataGrid, JobSpec, JobState};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use std::sync::Arc;
+
+fn fixture() -> (Arc<Sky>, MaxBcgConfig, SkyRegion) {
+    let config = MaxBcgConfig::default();
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(180.0, 182.6, -1.3, 1.3);
+    let sky = Arc::new(Sky::generate(survey, &SkyConfig::scaled(0.08), &kcorr, 678));
+    (sky, config, survey)
+}
+
+#[test]
+fn full_collaboration_workflow() {
+    let (sky, config, survey) = fixture();
+    let mut cas = CasJobs::new(Arc::clone(&sky), config);
+    let maria = cas.register("maria").unwrap();
+    let jim = cas.register("jim").unwrap();
+
+    // Maria extracts a region and runs MaxBCG into her MyDB.
+    let target = survey.shrunk(1.0);
+    let j1 = cas
+        .submit(
+            maria,
+            JobSpec::ExtractRegion { window: target, into: "gals".into() },
+        )
+        .unwrap();
+    let j2 = cas
+        .submit(
+            maria,
+            JobSpec::RunMaxBcg {
+                import_window: survey,
+                candidate_window: target.expanded(0.5),
+                into: "clusters".into(),
+            },
+        )
+        .unwrap();
+    cas.run_pending();
+    assert!(matches!(cas.status(j1).unwrap(), JobState::Finished(_)));
+    assert!(matches!(cas.status(j2).unwrap(), JobState::Finished(_)));
+
+    // Jim cannot read Maria's table until she shares it with a common group.
+    assert!(matches!(
+        cas.read_shared(jim, maria, "clusters"),
+        Err(CasError::NotShared)
+    ));
+    let g = cas.registry.create_group(maria, "vo").unwrap();
+    cas.registry.add_member(maria, g, jim).unwrap();
+    cas.share_table(maria, "clusters", g).unwrap();
+    let shared_rows = cas.read_shared(jim, maria, "clusters").unwrap();
+
+    // The shared catalog equals an independent single-site run.
+    let mut reference = MaxBcgDb::new(MaxBcgConfig {
+        iteration: IterationMode::SetBased,
+        ..config
+    })
+    .unwrap();
+    reference.run("ref", &sky, &survey, &target.expanded(0.5)).unwrap();
+    assert_eq!(shared_rows.len(), reference.clusters().unwrap().len());
+}
+
+#[test]
+fn grid_deployment_equals_casjobs_run() {
+    let (sky, config, survey) = fixture();
+    let target = survey.shrunk(1.0);
+    let candidate_window = target.expanded(0.5);
+
+    // Grid: three autonomous sites, code shipped to the data.
+    let grid = DataGrid::new(Arc::clone(&sky), &survey, 3, config);
+    let report = grid.submit_maxbcg(casjobs::UserId(1), &candidate_window);
+    assert!(report.outcomes.iter().all(|o| o.error.is_none()));
+
+    // Single CasJobs site.
+    let mut cas = CasJobs::new(Arc::clone(&sky), config);
+    let user = cas.register("solo").unwrap();
+    let job = cas
+        .submit(
+            user,
+            JobSpec::RunMaxBcg {
+                import_window: survey,
+                candidate_window,
+                into: "c".into(),
+            },
+        )
+        .unwrap();
+    cas.run_pending();
+    assert!(matches!(cas.status(job).unwrap(), JobState::Finished(_)));
+    let solo_rows = cas.mydb(user).unwrap().row_count("c").unwrap();
+    assert_eq!(
+        report.collected.len() as u64,
+        solo_rows,
+        "grid union must equal the single-site catalog"
+    );
+}

@@ -1,0 +1,121 @@
+//! Failure injection across the stack: tiny buffer pools, corrupt archive
+//! files, refused deployments, quota exhaustion, and unschedulable jobs.
+
+use gridsim::das::NetworkModel;
+use gridsim::node::{tam_cluster, NodeSpec};
+use gridsim::scheduler::JobSpec as GridJobSpec;
+use gridsim::{DataArchiveServer, GridCluster};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use stardb::DbConfig;
+use tam::{publish_region, run_region, TamConfig};
+
+fn small_sky(seed: u64) -> Sky {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let region = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+    Sky::generate(region, &SkyConfig::scaled(0.08), &kcorr, seed)
+}
+
+#[test]
+fn pipeline_survives_a_starved_buffer_pool() {
+    // A 64-frame (512 KiB) pool forces constant eviction; the answer must
+    // not change, only the physical I/O. The sky must outsize the pool:
+    // ~9k galaxies is a few hundred pages of Galaxy + Zone rows.
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let sky = Sky::generate(
+        SkyRegion::new(180.0, 182.0, -0.5, 0.5),
+        &SkyConfig::scaled(0.3),
+        &kcorr,
+        41,
+    );
+    let survey = sky.region;
+    let candidate_window = survey.shrunk(0.5);
+
+    let roomy = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let starved = MaxBcgConfig { db: DbConfig::tiny(64), ..roomy };
+
+    let mut a = MaxBcgDb::new(roomy).unwrap();
+    let ra = a.run("roomy", &sky, &survey, &candidate_window).unwrap();
+    let mut b = MaxBcgDb::new(starved).unwrap();
+    let rb = b.run("starved", &sky, &survey, &candidate_window).unwrap();
+
+    assert_eq!(a.clusters().unwrap(), b.clusters().unwrap(), "answers must match");
+    assert!(
+        rb.total_io() > ra.total_io() * 2,
+        "starved pool must do far more physical I/O ({} vs {})",
+        rb.total_io(),
+        ra.total_io()
+    );
+}
+
+#[test]
+fn tam_run_with_poisoned_archive_fails_only_the_poisoned_fields() {
+    let sky = small_sky(2);
+    let cfg = TamConfig::default();
+    let das = DataArchiveServer::new(NetworkModel::instant());
+    let target = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+    let (fields, _) = publish_region(&sky, &target, &cfg, &das);
+    assert!(fields.len() >= 4);
+    // Corrupt one buffer file, delete another target file.
+    let (bytes, _) = das.fetch(&fields[0].buffer_file()).unwrap();
+    das.publish(fields[0].buffer_file(), bytes[..40].to_vec());
+    // A DAS has no delete; simulate a missing file with a bad name instead:
+    // re-publish field 1's data under the wrong name by building a fresh
+    // archive without it.
+    let das2 = DataArchiveServer::new(NetworkModel::instant());
+    for f in &fields {
+        if f.index != fields[1].index {
+            let (b, _) = das.fetch(&f.buffer_file()).unwrap();
+            das2.publish(f.buffer_file(), b);
+        }
+        let (t, _) = das.fetch(&f.target_file()).unwrap();
+        das2.publish(f.target_file(), t);
+    }
+    let grid = GridCluster::new(tam_cluster());
+    let run = run_region(&grid, &das2, fields.clone(), &cfg);
+    assert_eq!(run.failures.len(), 2, "{:?}", run.failures);
+    // The healthy fields still produced their stripes of the catalog.
+    assert!(run.counts.target_galaxies > 0);
+}
+
+#[test]
+fn oversized_jobs_are_unschedulable_but_reported() {
+    let das = DataArchiveServer::new(NetworkModel::instant());
+    let cluster = GridCluster::new(vec![NodeSpec::tam(1)]); // 1 GB nodes
+    let jobs = vec![
+        GridJobSpec { name: "fits".into(), ram_mb: 512, payload: 0u32 },
+        GridJobSpec { name: "too-big".into(), ram_mb: 8192, payload: 1u32 },
+    ];
+    let (runs, report) = cluster.run_batch(&das, jobs, |_, _| Ok::<_, String>(()));
+    assert_eq!(report.unschedulable, 1);
+    assert!(runs[0].node.is_some());
+    assert!(runs[1].node.is_none());
+}
+
+#[test]
+fn casjobs_quota_failure_leaves_other_jobs_healthy() {
+    let sky = std::sync::Arc::new(small_sky(3));
+    let mut cas = casjobs::CasJobs::new(sky.clone(), MaxBcgConfig::default());
+    cas.set_mydb_quota(50);
+    let u = cas.register("bounded").unwrap();
+    let big = cas
+        .submit(
+            u,
+            casjobs::JobSpec::ExtractRegion { window: sky.region, into: "big".into() },
+        )
+        .unwrap();
+    let small = cas
+        .submit(
+            u,
+            casjobs::JobSpec::ExtractRegion {
+                window: SkyRegion::new(180.0, 180.08, -0.02, 0.02),
+                into: "small".into(),
+            },
+        )
+        .unwrap();
+    cas.run_pending();
+    assert!(matches!(cas.status(big).unwrap(), casjobs::JobState::Failed(_)));
+    assert!(matches!(cas.status(small).unwrap(), casjobs::JobState::Finished(_)));
+}

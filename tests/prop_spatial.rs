@@ -1,0 +1,93 @@
+//! Property tests on the spatial substrates: for random skies and random
+//! query circles, the zone-indexed search and the HTM index must both
+//! return exactly the brute-force neighbor set.
+
+use htm::HtmIndex;
+use maxbcg::neighbors::nearby_obj_eq_zd;
+use maxbcg::schema::create_schema;
+use maxbcg::zone_task::sp_zone;
+use proptest::prelude::*;
+use skycore::angle::chord2_of_deg;
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::{Galaxy, SkyRegion, UnitVec, ZoneScheme};
+use stardb::{Database, DbConfig};
+
+/// Build a deterministic galaxy list from proptest-chosen positions.
+fn galaxies(positions: &[(f64, f64)]) -> Vec<Galaxy> {
+    positions
+        .iter()
+        .enumerate()
+        .map(|(k, &(ra, dec))| Galaxy::with_derived_errors(k as i64 + 1, ra, dec, 18.0, 1.0, 0.5))
+        .collect()
+}
+
+fn brute_force(galaxies: &[Galaxy], ra: f64, dec: f64, r: f64) -> Vec<i64> {
+    let center = UnitVec::from_radec(ra, dec);
+    let r2 = chord2_of_deg(r);
+    let mut ids: Vec<i64> = galaxies
+        .iter()
+        .filter(|g| center.chord2(&g.unit_vec()) < r2)
+        .map(|g| g.objid)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn zone_search_equals_brute_force(
+        positions in prop::collection::vec((178.0f64..182.0, -2.0f64..2.0), 30..250),
+        qra in 178.5f64..181.5,
+        qdec in -1.5f64..1.5,
+        r in 0.01f64..0.9,
+    ) {
+        let gals = galaxies(&positions);
+        let kcorr = KcorrTable::generate(KcorrConfig::tam());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let sky = skysim::Sky {
+            region: SkyRegion::new(178.0, 182.0, -2.0, 2.0),
+            galaxies: gals.clone(),
+            truth: vec![],
+        };
+        maxbcg::import::sp_import_galaxy(&mut db, &sky, &sky.region.clone()).unwrap();
+        let scheme = ZoneScheme::default();
+        sp_zone(&mut db, &scheme).unwrap();
+        let mut got: Vec<i64> = nearby_obj_eq_zd(&db, &scheme, qra, qdec, r)
+            .unwrap()
+            .into_iter()
+            .map(|n| n.objid)
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&gals, qra, qdec, r));
+    }
+
+    #[test]
+    fn htm_search_equals_brute_force(
+        positions in prop::collection::vec((0.0f64..359.9, -85.0f64..85.0), 30..250),
+        qidx in 0usize..29,
+        r in 0.05f64..2.0,
+    ) {
+        let gals = galaxies(&positions);
+        // Query centered on one of the points, guaranteeing hits.
+        let (qra, qdec) = positions[qidx % positions.len()];
+        let idx = HtmIndex::build(
+            gals.iter().map(|g| (g.objid, g.ra, g.dec)),
+            10,
+        );
+        let mut got: Vec<i64> = idx.within(qra, qdec, r).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&gals, qra, qdec, r));
+    }
+
+    #[test]
+    fn zone_assignment_total_and_monotone(dec in -89.99f64..89.99) {
+        let s = ZoneScheme::default();
+        let z = s.zone_of(dec);
+        prop_assert!(z >= 0);
+        prop_assert!(s.zone_bottom_dec(z) <= dec);
+        prop_assert!(dec < s.zone_bottom_dec(z + 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Figures 4 and 5: the region arithmetic of the database implementation.
+//!
+//! Figure 4 — objects inside T and 0.5 deg away from T (region B) are
+//! inspected as BCG candidates, with neighbor searches guaranteed 0.5 deg
+//! of data because the import region P extends another 0.5 deg.
+//! Figure 5 — cluster selection reads candidates in T with comparison
+//! circles that stay inside B.
+
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+
+#[test]
+fn paper_region_arithmetic() {
+    // The paper's windows: P = spImportGalaxy 172, 185, -3, 5;
+    // B = spMakeCandidates 172.5, 184.5, -2.5, 4.5; T = Figure 5's
+    // 173..184 x -2..4.
+    let t = SkyRegion::paper_target_66();
+    let b = t.expanded(0.5);
+    let p = SkyRegion::paper_import_104();
+    assert_eq!(b, SkyRegion::new(172.5, 184.5, -2.5, 4.5));
+    assert_eq!(b.expanded(0.5), p);
+    assert!((t.area_deg2() - 66.0).abs() < 1e-9);
+    assert!((p.area_deg2() - 104.0).abs() < 1e-9);
+}
+
+#[test]
+fn candidates_confined_to_b_clusters_use_full_buffer() {
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    // A miniature P/B/T nest with the same 0.5 deg margins.
+    let p = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+    let b = p.shrunk(0.5);
+    let t = b.shrunk(0.5);
+    let mut sky_cfg = SkyConfig::scaled(0.12);
+    sky_cfg.clusters.density_per_deg2 = 10.0;
+    let sky = Sky::generate(p, &sky_cfg, &kcorr, 909);
+    let mut db = MaxBcgDb::new(config).unwrap();
+    db.run("regions", &sky, &p, &b).unwrap();
+
+    let candidates = db.candidates().unwrap();
+    assert!(!candidates.is_empty(), "B must contain candidates");
+    for c in &candidates {
+        assert!(b.contains(c.ra, c.dec), "candidate outside B: {c:?}");
+    }
+    // Figure 4's guarantee: every candidate has 0.5 deg of neighbor data.
+    for c in &candidates {
+        assert!(
+            p.contains(c.ra - 0.5, c.dec - 0.5) || c.ra - 0.5 >= p.ra_min,
+            "import region too small"
+        );
+    }
+    // Figure 5: the comparison circle of any candidate stays within the
+    // imported data (radius <= 0.42 deg at the z floor).
+    let max_radius = db.kcorr().max_radius_deg();
+    assert!(max_radius < 0.5);
+    for c in &candidates {
+        assert!(p.contains(c.ra, (c.dec - max_radius).max(p.dec_min)));
+        assert!(p.contains(c.ra, (c.dec + max_radius).min(p.dec_max)));
+    }
+    // Clusters are candidates; those in T are the catalog the paper counts.
+    let clusters = db.clusters().unwrap();
+    let in_t = clusters.iter().filter(|c| t.contains(c.ra, c.dec)).count();
+    assert!(in_t > 0, "T must own some clusters");
+}

@@ -1,0 +1,123 @@
+//! The controlled experiment behind the whole paper: the file-based TAM
+//! pipeline and the database pipeline implement *the same algorithm*, so
+//! with the same physics parameters (fine redshift grid, sufficient
+//! buffers) they must produce the same cluster catalog on the same sky.
+//!
+//! TAM at the paper's production settings (0.25 deg buffer, z-steps of
+//! 0.01) is *less accurate* — that asymmetry is quantified by the Figure 1
+//! bench, not here.
+
+use gridsim::das::NetworkModel;
+use gridsim::node::tam_cluster;
+use gridsim::{DataArchiveServer, GridCluster};
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use tam::{publish_region, run_region, TamConfig};
+
+fn test_sky() -> (Sky, SkyRegion, SkyRegion) {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    // Survey must give TAM's ideal 1-degree buffer files room at the edges:
+    // target 1x1 inside a 3x3 survey.
+    let survey = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+    let sky = Sky::generate(survey, &SkyConfig::scaled(0.12), &kcorr, 20_240_613);
+    let target = SkyRegion::new(181.0, 182.0, -0.5, 0.5);
+    (sky, survey, target)
+}
+
+#[test]
+fn ideal_tam_and_db_produce_identical_cluster_catalogs() {
+    let (sky, survey, target) = test_sky();
+
+    // --- TAM at ideal settings: fine z grid, 1 deg buffer files --------
+    let tam_cfg = TamConfig {
+        buffer_margin: 1.0,
+        kcorr: KcorrConfig::sql(),
+        ..TamConfig::default()
+    };
+    let das = DataArchiveServer::new(NetworkModel::instant());
+    let (fields, _) = publish_region(&sky, &target, &tam_cfg, &das);
+    let grid = GridCluster::new(tam_cluster());
+    let tam_run = run_region(&grid, &das, fields, &tam_cfg);
+    assert!(tam_run.failures.is_empty(), "{:?}", tam_run.failures);
+
+    // --- Database over the same sky -------------------------------------
+    let db_cfg = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let mut db = MaxBcgDb::new(db_cfg).unwrap();
+    db.run("agreement", &sky, &survey, &target.expanded(0.5)).unwrap();
+    let db_clusters: Vec<_> = db
+        .clusters()
+        .unwrap()
+        .into_iter()
+        .filter(|c| target.contains(c.ra, c.dec))
+        .collect();
+
+    // --- identical catalogs ---------------------------------------------
+    assert!(!db_clusters.is_empty(), "test sky must produce clusters");
+    assert_eq!(
+        tam_run.clusters.len(),
+        db_clusters.len(),
+        "cluster counts differ: TAM {:?} vs DB {:?}",
+        tam_run.clusters.iter().map(|c| c.objid).collect::<Vec<_>>(),
+        db_clusters.iter().map(|c| c.objid).collect::<Vec<_>>()
+    );
+    for (a, b) in tam_run.clusters.iter().zip(&db_clusters) {
+        assert_eq!(a.objid, b.objid);
+        assert!((a.z - b.z).abs() < 1e-12, "z differs for {}", a.objid);
+        assert_eq!(a.ngal, b.ngal, "ngal differs for {}", a.objid);
+        assert!((a.chi2 - b.chi2).abs() < 1e-9, "chi2 differs for {}", a.objid);
+    }
+
+    // --- membership agrees for the shared clusters ----------------------
+    let db_members = db.members().unwrap();
+    for cluster in &db_clusters {
+        let mut db_m: Vec<i64> = db_members
+            .iter()
+            .filter(|m| m.cluster_objid == cluster.objid)
+            .map(|m| m.galaxy_objid)
+            .collect();
+        let mut tam_m: Vec<i64> = tam_run
+            .members
+            .iter()
+            .filter(|m| m.cluster_objid == cluster.objid)
+            .map(|m| m.galaxy_objid)
+            .collect();
+        db_m.sort_unstable();
+        tam_m.sort_unstable();
+        assert_eq!(db_m, tam_m, "membership differs for cluster {}", cluster.objid);
+    }
+}
+
+#[test]
+fn production_tam_is_less_complete_than_db() {
+    // With the paper's production compromises (0.25 deg buffer, z-steps of
+    // 0.01) TAM's catalog may drift from the reference: fringe candidates
+    // have truncated neighborhoods. The catalogs still overlap heavily.
+    let (sky, survey, target) = test_sky();
+    let das = DataArchiveServer::new(NetworkModel::instant());
+    let tam_cfg = TamConfig::default();
+    let (fields, _) = publish_region(&sky, &target, &tam_cfg, &das);
+    let grid = GridCluster::new(tam_cluster());
+    let tam_run = run_region(&grid, &das, fields, &tam_cfg);
+
+    let db_cfg = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let mut db = MaxBcgDb::new(db_cfg).unwrap();
+    db.run("reference", &sky, &survey, &target.expanded(0.5)).unwrap();
+    let db_ids: std::collections::HashSet<i64> = db
+        .clusters()
+        .unwrap()
+        .into_iter()
+        .filter(|c| target.contains(c.ra, c.dec))
+        .map(|c| c.objid)
+        .collect();
+    let tam_ids: std::collections::HashSet<i64> =
+        tam_run.clusters.iter().map(|c| c.objid).collect();
+    assert!(!db_ids.is_empty());
+    let shared = db_ids.intersection(&tam_ids).count();
+    assert!(
+        shared * 2 >= db_ids.len(),
+        "production TAM should still find most reference clusters ({shared}/{})",
+        db_ids.len()
+    );
+}
