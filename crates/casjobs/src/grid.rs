@@ -10,10 +10,12 @@
 //! organizations with their own deployment policies.
 
 use crate::users::UserId;
+use gridsim::FaultPlan;
 use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
 use skycore::types::Cluster;
 use skycore::SkyRegion;
 use skysim::Sky;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +61,9 @@ pub struct NodeOutcome {
     pub elapsed: Duration,
     /// Failure message, if the node errored.
     pub error: Option<String>,
+    /// Host that re-ran this node's partition after it was lost
+    /// (`"origin"` when no surviving node was available to adopt it).
+    pub recovered_by: Option<String>,
 }
 
 /// A federation of CAS-hosting nodes.
@@ -66,6 +71,7 @@ pub struct DataGrid {
     sky: Arc<Sky>,
     nodes: Vec<CasNode>,
     config: MaxBcgConfig,
+    faults: Option<FaultPlan>,
 }
 
 /// A full grid run.
@@ -79,6 +85,8 @@ pub struct GridRunReport {
     pub collected: Vec<Cluster>,
     /// Wall time of the parallel phase.
     pub elapsed: Duration,
+    /// Lost partitions that were successfully re-run on a surviving host.
+    pub failovers: u32,
 }
 
 impl DataGrid {
@@ -105,7 +113,15 @@ impl DataGrid {
                 accepts_deployment: true,
             })
             .collect();
-        DataGrid { sky, nodes, config }
+        DataGrid { sky, nodes, config, faults: None }
+    }
+
+    /// Attach a fault schedule (builder style): node crashes from the plan
+    /// surface as real panics inside node threads, exercising the
+    /// containment and failover paths.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Mutable access to node policies (tests flip them).
@@ -120,29 +136,117 @@ impl DataGrid {
 
     /// Deploy MaxBCG for `user` over `candidate_window` and collect
     /// results per node policy. Nodes run concurrently, each against its
-    /// own local database — the code travels to the data.
+    /// own local database — the code travels to the data. A panicking node
+    /// is contained into a failed [`NodeOutcome`] (never crashing the
+    /// coordinator), and its partition is resubmitted to a surviving host
+    /// so the collected union stays complete.
     pub fn submit_maxbcg(&self, user: UserId, candidate_window: &SkyRegion) -> GridRunReport {
         let start = Instant::now();
-        let outcomes: Vec<NodeOutcome> = std::thread::scope(|scope| {
+        let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..self.config };
+        let faults = self.faults.as_ref();
+        let mut outcomes: Vec<NodeOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
                 .map(|node| {
                     let sky = Arc::clone(&self.sky);
-                    let config =
-                        MaxBcgConfig { iteration: IterationMode::SetBased, ..self.config };
-                    scope.spawn(move || run_node(node, &sky, candidate_window, config))
+                    scope.spawn(move || {
+                        run_node_contained(node, &sky, candidate_window, config, faults, 0)
+                    })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("grid node panicked")).collect()
+            self.nodes
+                .iter()
+                .zip(handles)
+                .map(|(node, h)| {
+                    // run_node_contained already catches worker panics; this
+                    // fallback covers a thread dying outside that guard.
+                    h.join().unwrap_or_else(|payload| {
+                        failed_outcome(&node.name, Duration::ZERO, panic_message(&payload))
+                    })
+                })
+                .collect()
         });
+
+        // Failover: a lost partition (crash/panic, not an authorization
+        // refusal) is resubmitted — in the paper's terms, a surviving
+        // Data-Grid node adopts the dead node's stripe of sky.
+        let mut failovers = 0u32;
+        for i in 0..outcomes.len() {
+            if outcomes[i].error.is_none() || !self.nodes[i].accepts_deployment {
+                continue;
+            }
+            let adopter = outcomes
+                .iter()
+                .enumerate()
+                .find(|(j, o)| *j != i && o.deployed && o.error.is_none())
+                .map_or_else(|| "origin".to_owned(), |(j, _)| self.nodes[j].name.clone());
+            for attempt in 1..=3u32 {
+                let retry = run_node_contained(
+                    &self.nodes[i],
+                    &self.sky,
+                    candidate_window,
+                    config,
+                    faults,
+                    attempt,
+                );
+                let done = retry.error.is_none();
+                outcomes[i] = retry;
+                if done {
+                    outcomes[i].recovered_by = Some(adopter.clone());
+                    failovers += 1;
+                    break;
+                }
+            }
+        }
+
         let mut collected: Vec<Cluster> = outcomes
             .iter()
             .flat_map(|o| o.clusters.iter().copied())
             .collect();
         collected.sort_by_key(|c| c.objid);
-        GridRunReport { user, outcomes, collected, elapsed: start.elapsed() }
+        GridRunReport { user, outcomes, collected, elapsed: start.elapsed(), failovers }
     }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("node panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("node panicked: {s}")
+    } else {
+        "node panicked with a non-string payload".to_owned()
+    }
+}
+
+fn failed_outcome(name: &str, elapsed: Duration, error: String) -> NodeOutcome {
+    NodeOutcome {
+        node: name.to_owned(),
+        deployed: true,
+        clusters: Vec::new(),
+        cluster_count: 0,
+        elapsed,
+        error: Some(error),
+        recovered_by: None,
+    }
+}
+
+/// Run one node with panic containment: a panic anywhere inside the
+/// MaxBCG engine (or injected by the fault plan) becomes a failed
+/// [`NodeOutcome`] instead of tearing down the coordinator.
+fn run_node_contained(
+    node: &CasNode,
+    sky: &Sky,
+    candidate_window: &SkyRegion,
+    config: MaxBcgConfig,
+    faults: Option<&FaultPlan>,
+    attempt: u32,
+) -> NodeOutcome {
+    let t0 = Instant::now();
+    catch_unwind(AssertUnwindSafe(|| {
+        run_node(node, sky, candidate_window, config, faults, attempt)
+    }))
+    .unwrap_or_else(|payload| failed_outcome(&node.name, t0.elapsed(), panic_message(&payload)))
 }
 
 fn run_node(
@@ -150,6 +254,8 @@ fn run_node(
     sky: &Sky,
     candidate_window: &SkyRegion,
     config: MaxBcgConfig,
+    faults: Option<&FaultPlan>,
+    attempt: u32,
 ) -> NodeOutcome {
     let t0 = Instant::now();
     if !node.accepts_deployment {
@@ -160,7 +266,15 @@ fn run_node(
             cluster_count: 0,
             elapsed: t0.elapsed(),
             error: Some(format!("{} refused code deployment", node.organization)),
+            recovered_by: None,
         };
+    }
+    if let Some(plan) = faults {
+        if plan.node_crashes(&node.name, attempt) {
+            // A real panic, on purpose: the containment path must be the
+            // thing that rescues the run, not a polite error return.
+            panic!("injected node crash on {}", node.name);
+        }
     }
     let fringe = SkyRegion::new(
         candidate_window.ra_min,
@@ -189,15 +303,9 @@ fn run_node(
             },
             elapsed: t0.elapsed(),
             error: None,
+            recovered_by: None,
         },
-        Err(e) => NodeOutcome {
-            node: node.name.clone(),
-            deployed: true,
-            clusters: Vec::new(),
-            cluster_count: 0,
-            elapsed: t0.elapsed(),
-            error: Some(e.to_string()),
-        },
+        Err(e) => failed_outcome(&node.name, t0.elapsed(), e.to_string()),
     }
 }
 
@@ -258,8 +366,33 @@ mod tests {
         let refused = &report.outcomes[1];
         assert!(!refused.deployed);
         assert!(refused.error.as_ref().unwrap().contains("refused"));
+        // An authorization refusal is a policy decision, not a crash — it
+        // must not be failed over to another host.
+        assert_eq!(report.failovers, 0);
+        assert!(refused.recovered_by.is_none());
         // The other nodes still produce their stripes.
         assert!(report.outcomes[0].deployed && report.outcomes[2].deployed);
+    }
+
+    #[test]
+    fn injected_crashes_are_contained_and_failed_over() {
+        use gridsim::{FaultConfig, FaultPlan};
+        // Every node panics on its first attempt; the coordinator must
+        // survive, re-run each lost stripe, and still produce the full
+        // catalog (Figure 6 identity under failure).
+        let plan = FaultPlan::new(FaultConfig::always(9, 1));
+        let (g, cand) = grid(3);
+        let g = g.with_faults(plan.clone());
+        let report = g.submit_maxbcg(UserId(1), &cand);
+        assert_eq!(plan.report().node_crashes, 3, "each node crashed exactly once");
+        assert_eq!(report.failovers, 3);
+        assert!(report.outcomes.iter().all(|o| o.error.is_none()));
+        assert!(report.outcomes.iter().all(|o| o.recovered_by.is_some()));
+
+        let mut single = MaxBcgDb::new(MaxBcgConfig::default()).unwrap();
+        single.run("one-site", &g.sky, &g.sky.region.clone(), &cand).unwrap();
+        let expected = single.clusters().unwrap();
+        assert_eq!(report.collected, expected, "recovered union must equal one-site run");
     }
 
     #[test]

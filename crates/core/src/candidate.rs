@@ -9,7 +9,7 @@ use skycore::bcg::{self, BcgParams, PassingRedshift};
 use skycore::kcorr::KcorrTable;
 use skycore::types::{Candidate, Friend, Galaxy};
 use skycore::ZoneScheme;
-use stardb::{Database, DbResult, Value};
+use stardb::{Database, DbError, DbResult, Value};
 
 /// Evaluate one galaxy. Returns the zero-or-one-row result of the paper's
 /// table-valued function.
@@ -50,7 +50,7 @@ pub fn f_bcg_candidate(
     // Look for neighbors in the Zone table, then join with Galaxy for
     // photometry and apply the bounding windows.
     let mut friends: Vec<Friend> = Vec::new();
-    let mut join_err: Option<stardb::DbError> = None;
+    let mut join_err: Option<DbError> = None;
     visit_nearby(db, scheme, g.ra, g.dec, windows.radius_deg, |objid, distance, _| {
         if objid == g.objid {
             return true;
@@ -96,7 +96,14 @@ pub fn f_bcg_candidate(
     let Some((idx, chi)) = best else {
         return Ok(None);
     };
-    let k = kcorr.row(search_set[idx].zid).expect("zid exists");
+    // The winning zid came from this same table, so a miss means the
+    // k-correction grid was corrupted mid-run — propagate, don't panic.
+    let k = kcorr.row(search_set[idx].zid).ok_or_else(|| {
+        DbError::Corrupt(format!(
+            "kcorr row {} missing for winning redshift",
+            search_set[idx].zid
+        ))
+    })?;
     Ok(Some(Candidate {
         objid: g.objid,
         ra: g.ra,

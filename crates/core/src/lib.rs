@@ -23,6 +23,8 @@ pub mod stats;
 pub mod zone_task;
 
 pub use neighbors::{nearby_obj_eq_zd, Neighbor};
-pub use partition::{run_partitioned, PartitionedRun};
+pub use partition::{
+    run_partitioned, run_partitioned_recovering, PartitionedRun, RecoveryPolicy, RecoveryReport,
+};
 pub use pipeline::{IterationMode, MaxBcgConfig, MaxBcgDb};
 pub use stats::RunReport;

@@ -16,6 +16,7 @@ use skycore::types::{Candidate, Cluster, ClusterMember};
 use skycore::SkyRegion;
 use skysim::Sky;
 use stardb::{DbError, DbResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// The duplicated-buffer margin of Figure 6, degrees.
@@ -83,6 +84,83 @@ impl PartitionedRun {
     }
 }
 
+/// Partition-level failover policy for
+/// [`run_partitioned_recovering`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Attempts per partition (1 = no recovery; a failed partition fails
+    /// the batch).
+    pub max_attempts: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_attempts: 3 }
+    }
+}
+
+/// What recovery actually did during a partitioned run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Attempts consumed per partition, in stripe order (1 = clean).
+    pub attempts: Vec<u32>,
+    /// Partitions that failed at least once and were re-run to success.
+    pub failovers: u32,
+    /// Every failure message observed along the way (the run still
+    /// succeeded if the result is `Ok` — these are the recovered ones).
+    pub errors: Vec<String>,
+}
+
+/// Run one stripe's share-nothing database end to end.
+fn run_one_partition(
+    config: &MaxBcgConfig,
+    sky: &Sky,
+    native: &SkyRegion,
+    imported: &SkyRegion,
+    index: usize,
+    n: usize,
+    candidate_window: &SkyRegion,
+) -> DbResult<PartitionResult> {
+    let mut node = MaxBcgDb::new(*config)?;
+    // Candidates this node must produce: the candidate window clipped
+    // to native ± 0.5 (fringe candidates are duplicated work shared
+    // with the neighboring node).
+    let cand_fringe = SkyRegion::new(
+        candidate_window.ra_min,
+        candidate_window.ra_max,
+        (native.dec_min - 0.5).max(candidate_window.dec_min),
+        (native.dec_max + 0.5).min(candidate_window.dec_max),
+    );
+    let report = node.run(&format!("P{}", index + 1), sky, imported, &cand_fringe)?;
+    // Keep only what the node natively owns; the fringe is the
+    // neighbor's property.
+    let candidates: Vec<Candidate> = node
+        .candidates()?
+        .into_iter()
+        .filter(|c| owns(native, index, n, c.dec))
+        .collect();
+    let clusters: Vec<Cluster> = node
+        .clusters()?
+        .into_iter()
+        .filter(|c| owns(native, index, n, c.dec))
+        .collect();
+    let own_ids: std::collections::HashSet<i64> = clusters.iter().map(|c| c.objid).collect();
+    let members: Vec<ClusterMember> = node
+        .members()?
+        .into_iter()
+        .filter(|m| own_ids.contains(&m.cluster_objid))
+        .collect();
+    Ok(PartitionResult {
+        index,
+        native: *native,
+        imported: *imported,
+        report,
+        candidates,
+        clusters,
+        members,
+    })
+}
+
 /// Run the pipeline partitioned `n` ways over dec stripes of
 /// `import_window`, with candidates over `candidate_window`.
 ///
@@ -100,50 +178,74 @@ pub fn run_partitioned(
     candidate_window: &SkyRegion,
     n: usize,
 ) -> DbResult<PartitionedRun> {
+    let policy = RecoveryPolicy { max_attempts: 1 };
+    let (run, _) = run_partitioned_recovering(
+        config,
+        sky,
+        import_window,
+        candidate_window,
+        n,
+        policy,
+        &mut |_, _| None,
+    )?;
+    Ok(run)
+}
+
+/// [`run_partitioned`] with partition-level failover: a crashed or
+/// panicking partition is re-planned and re-run (fresh database, same
+/// stripe) up to `policy.max_attempts` times rather than aborting the
+/// batch. `inject` is a fault hook called as `(partition_index, attempt)`
+/// before each attempt; returning `Some(err)` fails that attempt — the
+/// seam `gridsim`-driven chaos tests inject through without `maxbcg`
+/// depending on the grid layer.
+pub fn run_partitioned_recovering(
+    config: &MaxBcgConfig,
+    sky: &Sky,
+    import_window: &SkyRegion,
+    candidate_window: &SkyRegion,
+    n: usize,
+    policy: RecoveryPolicy,
+    inject: &mut dyn FnMut(usize, u32) -> Option<DbError>,
+) -> DbResult<(PartitionedRun, RecoveryReport)> {
     assert!(n > 0);
+    assert!(policy.max_attempts > 0);
     let stripes = import_window.partition_with_buffers(n, PARTITION_MARGIN_DEG);
     let start = Instant::now();
     let mut partitions = Vec::with_capacity(n);
+    let mut recovery = RecoveryReport::default();
     for (index, (native, imported)) in stripes.iter().enumerate() {
-        let mut node = MaxBcgDb::new(*config)?;
-        // Candidates this node must produce: the candidate window clipped
-        // to native ± 0.5 (fringe candidates are duplicated work shared
-        // with the neighboring node).
-        let cand_fringe = SkyRegion::new(
-            candidate_window.ra_min,
-            candidate_window.ra_max,
-            (native.dec_min - 0.5).max(candidate_window.dec_min),
-            (native.dec_max + 0.5).min(candidate_window.dec_max),
-        );
-        let report = node.run(&format!("P{}", index + 1), sky, imported, &cand_fringe)?;
-        // Keep only what the node natively owns; the fringe is the
-        // neighbor's property.
-        let candidates: Vec<Candidate> = node
-            .candidates()?
-            .into_iter()
-            .filter(|c| owns(native, index, n, c.dec))
-            .collect();
-        let clusters: Vec<Cluster> = node
-            .clusters()?
-            .into_iter()
-            .filter(|c| owns(native, index, n, c.dec))
-            .collect();
-        let own_ids: std::collections::HashSet<i64> =
-            clusters.iter().map(|c| c.objid).collect();
-        let members: Vec<ClusterMember> = node
-            .members()?
-            .into_iter()
-            .filter(|m| own_ids.contains(&m.cluster_objid))
-            .collect();
-        partitions.push(PartitionResult {
-            index,
-            native: *native,
-            imported: *imported,
-            report,
-            candidates,
-            clusters,
-            members,
-        });
+        let mut attempt = 0u32;
+        let result = loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| match inject(index, attempt) {
+                Some(e) => Err(e),
+                None => {
+                    run_one_partition(config, sky, native, imported, index, n, candidate_window)
+                }
+            }))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string payload".to_owned());
+                Err(DbError::Corrupt(format!("partition P{} panicked: {msg}", index + 1)))
+            });
+            attempt += 1;
+            match outcome {
+                Ok(p) => break Ok(p),
+                Err(e) => {
+                    recovery.errors.push(format!("P{} attempt {attempt}: {e}", index + 1));
+                    if attempt >= policy.max_attempts {
+                        break Err(e);
+                    }
+                }
+            }
+        };
+        recovery.attempts.push(attempt);
+        if attempt > 1 && result.is_ok() {
+            recovery.failovers += 1;
+        }
+        partitions.push(result?);
     }
     let wall_elapsed = start.elapsed();
 
@@ -169,7 +271,7 @@ pub fn run_partitioned(
             )));
         }
     }
-    Ok(PartitionedRun { partitions, candidates, clusters, members, wall_elapsed })
+    Ok((PartitionedRun { partitions, candidates, clusters, members, wall_elapsed }, recovery))
 }
 
 /// The sky-partitioning planner of §2.6: "A possible optimization is to
@@ -221,13 +323,21 @@ pub fn run_memory_fit(
     budget_bytes: u64,
 ) -> DbResult<(usize, PartitionedRun)> {
     let density = sky.galaxies.len() as f64 / sky.region.area_deg2();
-    let n = plan_for_memory(import_window, density, budget_bytes).ok_or_else(|| {
+    let mut n = plan_for_memory(import_window, density, budget_bytes).ok_or_else(|| {
         DbError::Corrupt(format!(
             "no stripe count fits {budget_bytes} bytes at {density:.0} galaxies/deg2"
         ))
     })?;
-    let run = run_partitioned(config, sky, import_window, candidate_window, n)?;
-    Ok((n, run))
+    // The §2.6 re-plan loop: if a run still hits buffer-pool pressure
+    // (the planner's footprint model is an estimate, not a guarantee),
+    // split finer and try again instead of surfacing the transient error.
+    loop {
+        match run_partitioned(config, sky, import_window, candidate_window, n) {
+            Ok(run) => return Ok((n, run)),
+            Err(e) if e.is_transient() && n < 64 => n += 1,
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Stripe ownership with half-open boundaries: a galaxy exactly on an
@@ -349,6 +459,60 @@ mod tests {
         assert_eq!(run.clusters, seq.clusters().unwrap());
         // An impossible budget errors instead of running.
         assert!(run_memory_fit(&config, &sky, &survey, &cand_window, 1024).is_err());
+    }
+
+    #[test]
+    fn injected_partition_failures_recover_to_identical_catalog() {
+        let (config, sky, survey, cand_window) = setup();
+        let mut seq = MaxBcgDb::new(config).unwrap();
+        seq.run("seq", &sky, &survey, &cand_window).unwrap();
+        // Every partition fails its first attempt (a mix of error returns
+        // and real panics); failover must rebuild each stripe and the
+        // union must still match the sequential catalog exactly.
+        let policy = RecoveryPolicy::default();
+        let (par, recovery) = run_partitioned_recovering(
+            &config,
+            &sky,
+            &survey,
+            &cand_window,
+            3,
+            policy,
+            &mut |index, attempt| {
+                if attempt == 0 {
+                    if index % 2 == 0 {
+                        Some(DbError::BufferExhausted)
+                    } else {
+                        panic!("injected partition crash on P{}", index + 1);
+                    }
+                } else {
+                    None
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(recovery.failovers, 3);
+        assert_eq!(recovery.attempts, vec![2, 2, 2]);
+        assert_eq!(recovery.errors.len(), 3);
+        assert!(recovery.errors.iter().any(|e| e.contains("panicked")));
+        assert_eq!(par.candidates, seq.candidates().unwrap());
+        assert_eq!(par.clusters, seq.clusters().unwrap());
+    }
+
+    #[test]
+    fn unrecoverable_partition_fails_the_batch_with_last_error() {
+        let (config, sky, survey, cand_window) = setup();
+        let policy = RecoveryPolicy { max_attempts: 2 };
+        let err = run_partitioned_recovering(
+            &config,
+            &sky,
+            &survey,
+            &cand_window,
+            2,
+            policy,
+            &mut |index, _| (index == 1).then_some(DbError::BufferExhausted),
+        )
+        .unwrap_err();
+        assert_eq!(err, DbError::BufferExhausted);
     }
 
     #[test]

@@ -13,31 +13,34 @@ pub fn sp_zone(db: &mut Database, scheme: &ZoneScheme) -> DbResult<u64> {
     db.truncate("Zone")?;
     // Collect first: the scan borrows the database immutably while inserts
     // need it mutably — and a real engine would similarly materialize the
-    // sort run before building the clustered index.
-    let mut rows: Vec<Row> = Vec::new();
+    // sort run before building the clustered index. Carry the clustered
+    // key alongside each row so the sort needs no fallible row decoding.
+    let mut rows: Vec<(i32, f64, Row)> = Vec::new();
     db.scan_with("Galaxy", |row| {
         let g = galaxy_from_payload(&row.encode());
         let v = UnitVec::from_radec(g.ra, g.dec);
-        rows.push(Row(vec![
-            Value::Int(scheme.zone_of(g.dec)),
-            Value::Float(g.ra),
-            Value::BigInt(g.objid),
-            Value::Float(g.dec),
-            Value::Float(v.x),
-            Value::Float(v.y),
-            Value::Float(v.z),
-        ]));
+        let zoneid = scheme.zone_of(g.dec);
+        rows.push((
+            zoneid,
+            g.ra,
+            Row(vec![
+                Value::Int(zoneid),
+                Value::Float(g.ra),
+                Value::BigInt(g.objid),
+                Value::Float(g.dec),
+                Value::Float(v.x),
+                Value::Float(v.y),
+                Value::Float(v.z),
+            ]),
+        ));
         Ok(true)
     })?;
     // Sort by the clustered key so the B-tree builds append-mostly, the
-    // way `CREATE CLUSTERED INDEX` bulk-sorts.
-    rows.sort_by(|a, b| {
-        (a.i64(0).unwrap(), a.f64(1).unwrap_or(0.0))
-            .partial_cmp(&(b.i64(0).unwrap(), b.f64(1).unwrap_or(0.0)))
-            .unwrap()
-    });
+    // way `CREATE CLUSTERED INDEX` bulk-sorts. `total_cmp` keeps the sort
+    // total even if a NaN ra ever sneaks in.
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut n = 0;
-    for row in rows {
+    for (_, _, row) in rows {
         db.insert("Zone", row)?;
         n += 1;
     }

@@ -7,7 +7,14 @@
 //! module models that store: named files, a network cost model, and
 //! transfer accounting. Fetches return real bytes (jobs actually parse
 //! them) plus the *modeled* wall time the transfer would have cost.
+//!
+//! Every published file carries an FNV-1a checksum, and
+//! [`DataArchiveServer::fetch_verified`] turns a raw fetch into a
+//! checksum-verified transfer with bounded retry — the layer where
+//! injected transfer drops and corruptions (see [`crate::faults`]) are
+//! detected and re-fetched instead of silently poisoning a job.
 
+use crate::faults::{fnv1a, FaultPlan, TransferFault};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -52,12 +59,22 @@ impl Default for NetworkModel {
 pub enum DasError {
     /// The requested file does not exist.
     NotFound(String),
+    /// Every transfer attempt was dropped or failed checksum verification.
+    TransferFailed {
+        /// File that could not be delivered intact.
+        name: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for DasError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DasError::NotFound(name) => write!(f, "DAS file not found: {name}"),
+            DasError::TransferFailed { name, attempts } => {
+                write!(f, "DAS transfer of {name} failed after {attempts} attempts")
+            }
         }
     }
 }
@@ -82,9 +99,15 @@ impl TransferTotals {
     }
 }
 
+/// A stored file: bytes plus the checksum computed at publish time.
+struct StoredFile {
+    data: Vec<u8>,
+    checksum: u64,
+}
+
 /// The archive server. Thread-safe: many node slots fetch concurrently.
 pub struct DataArchiveServer {
-    files: RwLock<HashMap<String, Vec<u8>>>,
+    files: RwLock<HashMap<String, StoredFile>>,
     network: NetworkModel,
     files_served: AtomicU64,
     bytes_served: AtomicU64,
@@ -103,9 +126,15 @@ impl DataArchiveServer {
         }
     }
 
-    /// Publish (or replace) a file.
+    /// Publish (or replace) a file, recording its checksum.
     pub fn publish(&self, name: impl Into<String>, data: Vec<u8>) {
-        self.files.write().insert(name.into(), data);
+        let checksum = fnv1a(&data);
+        self.files.write().insert(name.into(), StoredFile { data, checksum });
+    }
+
+    /// The publish-time checksum of `name`, if it exists.
+    pub fn checksum_of(&self, name: &str) -> Option<u64> {
+        self.files.read().get(name).map(|f| f.checksum)
     }
 
     /// Number of files in the archive.
@@ -121,17 +150,69 @@ impl DataArchiveServer {
     /// Fetch a file: returns the bytes and the modeled transfer time, and
     /// updates the counters.
     pub fn fetch(&self, name: &str) -> Result<(Vec<u8>, Duration), DasError> {
-        let data = self
-            .files
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| DasError::NotFound(name.to_owned()))?;
+        let (data, t, _) = self.fetch_raw(name)?;
+        Ok((data, t))
+    }
+
+    /// One raw transfer: bytes, modeled time, and the stored checksum.
+    fn fetch_raw(&self, name: &str) -> Result<(Vec<u8>, Duration, u64), DasError> {
+        let (data, checksum) = {
+            let files = self.files.read();
+            let f = files.get(name).ok_or_else(|| DasError::NotFound(name.to_owned()))?;
+            (f.data.clone(), f.checksum)
+        };
         let t = self.network.transfer_time(data.len() as u64);
         self.files_served.fetch_add(1, Ordering::Relaxed);
         self.bytes_served.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.modeled_nanos.fetch_add(t.as_nanos() as u64, Ordering::Relaxed);
-        Ok((data, t))
+        Ok((data, t, checksum))
+    }
+
+    /// Checksum-verified fetch with bounded retry under fault injection.
+    ///
+    /// Each attempt pays full modeled transfer time (a dropped or corrupted
+    /// transfer wastes the wire time it consumed); corruption is caught by
+    /// comparing the received bytes' FNV-1a checksum against the published
+    /// one. Returns the intact bytes, the total modeled time across all
+    /// attempts, and the number of attempts used. Fails with
+    /// [`DasError::TransferFailed`] once `max_attempts` transfers have all
+    /// been lost or corrupted. Missing files fail immediately: retrying a
+    /// deterministic `NotFound` cannot help.
+    pub fn fetch_verified(
+        &self,
+        name: &str,
+        faults: Option<&FaultPlan>,
+        max_attempts: u32,
+    ) -> Result<(Vec<u8>, Duration, u32), DasError> {
+        let max_attempts = max_attempts.max(1);
+        let mut total = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            let (mut data, t, checksum) = self.fetch_raw(name)?;
+            total += t;
+            let fault = faults
+                .map(|p| p.transfer_fault(name, attempt))
+                .unwrap_or(TransferFault::Deliver);
+            attempt += 1;
+            match fault {
+                TransferFault::Deliver => return Ok((data, total, attempt)),
+                TransferFault::Drop => {}
+                TransferFault::Corrupt { byte, bit } => {
+                    if !data.is_empty() {
+                        let i = byte % data.len();
+                        data[i] ^= 1 << (bit % 8);
+                    }
+                    // The checksum catches the flip; an empty file has
+                    // nothing to corrupt and arrives intact.
+                    if fnv1a(&data) == checksum {
+                        return Ok((data, total, attempt));
+                    }
+                }
+            }
+            if attempt >= max_attempts {
+                return Err(DasError::TransferFailed { name: name.to_owned(), attempts: attempt });
+            }
+        }
     }
 
     /// Snapshot the transfer counters.
@@ -174,6 +255,66 @@ mod tests {
         let big = n.transfer_time(10_000_000); // 10 MB at 10 MB/s = 1 s
         assert_eq!(small, Duration::from_millis(20));
         assert!((big.as_secs_f64() - 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verified_fetch_retries_past_injected_faults() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let das = DataArchiveServer::new(NetworkModel::campus_2004());
+        das.publish("field", vec![9u8; 10_000]);
+        // Every file faults on its first 2 attempts (drop), then delivers.
+        let plan = FaultPlan::new(FaultConfig::always(11, 2));
+        let (data, t, attempts) = das.fetch_verified("field", Some(&plan), 5).unwrap();
+        assert_eq!(data, vec![9u8; 10_000]);
+        assert_eq!(attempts, 3);
+        // Three transfers were paid for.
+        let single = NetworkModel::campus_2004().transfer_time(10_000);
+        assert!(t >= single * 3);
+        assert!(plan.report().transfers_dropped >= 2);
+    }
+
+    #[test]
+    fn verified_fetch_detects_corruption_via_checksum() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        das.publish("f", (0..255u8).collect());
+        let cfg = FaultConfig {
+            transfer_drop_p: 0.0,
+            transfer_corrupt_p: 1.0,
+            max_faults_per_key: 1,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::new(cfg);
+        let (data, _, attempts) = das.fetch_verified("f", Some(&plan), 3).unwrap();
+        assert_eq!(data, (0..255u8).collect::<Vec<u8>>(), "delivered bytes must be intact");
+        assert_eq!(attempts, 2, "one corrupted attempt, one clean retry");
+        assert_eq!(plan.report().transfers_corrupted, 1);
+    }
+
+    #[test]
+    fn verified_fetch_gives_up_after_bounded_attempts() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        das.publish("f", vec![1, 2, 3]);
+        // Unbounded faulting: every attempt drops.
+        let plan = FaultPlan::new(FaultConfig::always(5, u32::MAX));
+        let err = das.fetch_verified("f", Some(&plan), 4).unwrap_err();
+        assert_eq!(err, DasError::TransferFailed { name: "f".into(), attempts: 4 });
+        // Missing files fail immediately, no retry burn.
+        assert_eq!(
+            das.fetch_verified("ghost", Some(&plan), 4).unwrap_err(),
+            DasError::NotFound("ghost".into())
+        );
+    }
+
+    #[test]
+    fn verified_fetch_without_plan_is_a_plain_fetch() {
+        let das = DataArchiveServer::new(NetworkModel::instant());
+        das.publish("f", vec![5; 64]);
+        let (data, _, attempts) = das.fetch_verified("f", None, 3).unwrap();
+        assert_eq!(attempts, 1);
+        assert_eq!(data.len(), 64);
+        assert_eq!(das.checksum_of("f"), Some(crate::faults::fnv1a(&data)));
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! Deterministic, seed-driven fault injection for the grid substrate.
+//!
+//! A real data grid loses nodes, drops transfers, and stalls on stragglers;
+//! a reproduction that only models the happy path has no story for why
+//! CasJobs and the batch scheduler exist. This module provides a
+//! [`FaultPlan`]: a set of *pure* fault decisions derived by hashing
+//! `(seed, domain, key, attempt)`, so the same plan injects exactly the
+//! same faults on every run — independent of thread interleaving, host
+//! speed, or the order consumers happen to ask. Reproducibility is the
+//! whole point: a chaos run that cannot be replayed cannot be debugged.
+//!
+//! Decisions are stateless; an attempt-number bound (`max_faults_per_key`)
+//! guarantees every fault sequence is finite, so bounded-retry recovery
+//! machinery provably converges instead of flaking forever.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The 64-bit finalizer of splitmix64 — a fast, well-mixed hash step.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string (used to fold names into fault-decision keys
+/// and as the DAS transfer checksum).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A small deterministic RNG (splitmix64 sequence). Dependency-free so
+/// `gridsim` consumers can corrupt bytes or jitter backoff reproducibly
+/// without pulling `rand` into library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Seed the sequence.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Probabilities and bounds of a fault schedule. All probabilities are per
+/// *decision* (one job attempt, one file transfer), in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// Probability that a node/job attempt crashes outright.
+    pub node_crash_p: f64,
+    /// Probability that a DAS transfer attempt is dropped on the floor.
+    pub transfer_drop_p: f64,
+    /// Probability that a DAS transfer attempt delivers corrupted bytes
+    /// (caught by the transfer checksum, costing a retry).
+    pub transfer_corrupt_p: f64,
+    /// Probability that a job attempt straggles.
+    pub straggler_p: f64,
+    /// Compute-time multiplier applied to straggling attempts (> 1).
+    pub straggler_factor: f64,
+    /// Probability that an attempt hits buffer-pool pressure
+    /// (`DbError::BufferExhausted` at the consumer's discretion).
+    pub buffer_exhaust_p: f64,
+    /// Hard cap on injected faults per key: attempts numbered at or above
+    /// this bound never fault, so bounded retry always converges.
+    pub max_faults_per_key: u32,
+}
+
+impl FaultConfig {
+    /// No faults at all (every decision is benign).
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            node_crash_p: 0.0,
+            transfer_drop_p: 0.0,
+            transfer_corrupt_p: 0.0,
+            straggler_p: 0.0,
+            straggler_factor: 1.0,
+            buffer_exhaust_p: 0.0,
+            max_faults_per_key: 0,
+        }
+    }
+
+    /// A mild schedule: occasional faults, at most one per key.
+    pub fn mild(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            node_crash_p: 0.2,
+            transfer_drop_p: 0.1,
+            transfer_corrupt_p: 0.1,
+            straggler_p: 0.2,
+            straggler_factor: 4.0,
+            buffer_exhaust_p: 0.1,
+            max_faults_per_key: 1,
+        }
+    }
+
+    /// A severe schedule: most first attempts fault, two faults per key.
+    pub fn severe(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            node_crash_p: 0.75,
+            transfer_drop_p: 0.4,
+            transfer_corrupt_p: 0.4,
+            straggler_p: 0.5,
+            straggler_factor: 8.0,
+            buffer_exhaust_p: 0.4,
+            max_faults_per_key: 2,
+        }
+    }
+
+    /// Every key faults on exactly its first `max_faults_per_key` attempts
+    /// — the worst bounded schedule, for recovery proofs.
+    pub fn always(seed: u64, faults_per_key: u32) -> Self {
+        FaultConfig {
+            seed,
+            node_crash_p: 1.0,
+            transfer_drop_p: 1.0,
+            transfer_corrupt_p: 0.0,
+            straggler_p: 1.0,
+            straggler_factor: 3.0,
+            buffer_exhaust_p: 1.0,
+            max_faults_per_key: faults_per_key,
+        }
+    }
+}
+
+/// What the plan does to one transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// The bytes arrive intact.
+    Deliver,
+    /// The transfer is lost; the time is wasted, the bytes never arrive.
+    Drop,
+    /// The bytes arrive with one bit flipped at `byte % len`.
+    Corrupt {
+        /// Byte offset to corrupt (consumer reduces modulo length).
+        byte: usize,
+        /// Bit within the byte (0..8).
+        bit: u8,
+    },
+}
+
+/// Injection counters, shared across plan clones.
+#[derive(Debug, Default)]
+struct Ledger {
+    crashes: AtomicU64,
+    drops: AtomicU64,
+    corruptions: AtomicU64,
+    stragglers: AtomicU64,
+    buffer_exhausts: AtomicU64,
+}
+
+/// Snapshot of what a plan actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Node/job crashes injected.
+    pub node_crashes: u64,
+    /// Transfers dropped.
+    pub transfers_dropped: u64,
+    /// Transfers corrupted.
+    pub transfers_corrupted: u64,
+    /// Straggler slowdowns injected.
+    pub stragglers: u64,
+    /// Buffer-pressure faults injected.
+    pub buffer_exhausts: u64,
+}
+
+impl FaultReport {
+    /// Total faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.node_crashes
+            + self.transfers_dropped
+            + self.transfers_corrupted
+            + self.stragglers
+            + self.buffer_exhausts
+    }
+
+    /// How many distinct fault kinds fired at least once.
+    pub fn distinct_kinds(&self) -> usize {
+        [
+            self.node_crashes,
+            self.transfers_dropped,
+            self.transfers_corrupted,
+            self.stragglers,
+            self.buffer_exhausts,
+        ]
+        .iter()
+        .filter(|&&n| n > 0)
+        .count()
+    }
+}
+
+/// A reproducible fault schedule. Cloning shares the injection ledger, so
+/// a plan handed to several layers still reports one consolidated tally.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The schedule parameters.
+    pub config: FaultConfig,
+    ledger: Arc<Ledger>,
+}
+
+impl FaultPlan {
+    /// Build a plan from a schedule.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan { config, ledger: Arc::new(Ledger::default()) }
+    }
+
+    /// A plan that never injects anything.
+    pub fn disabled() -> Self {
+        FaultPlan::new(FaultConfig::none())
+    }
+
+    /// The raw 64-bit decision value for `(domain, key, attempt)` — a pure
+    /// function of the seed, exposed so tests can prove byte-for-byte
+    /// reproducibility of the whole schedule.
+    pub fn draw_u64(&self, domain: &str, key: &str, attempt: u32) -> u64 {
+        let mut h = self.config.seed;
+        h = mix64(h ^ fnv1a(domain.as_bytes()));
+        h = mix64(h ^ fnv1a(key.as_bytes()));
+        mix64(h ^ (u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// The decision value mapped to `[0, 1)`.
+    pub fn draw(&self, domain: &str, key: &str, attempt: u32) -> f64 {
+        (self.draw_u64(domain, key, attempt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn armed(&self, attempt: u32) -> bool {
+        attempt < self.config.max_faults_per_key
+    }
+
+    /// Does attempt `attempt` of the node/job named `key` crash?
+    pub fn node_crashes(&self, key: &str, attempt: u32) -> bool {
+        let hit = self.armed(attempt) && self.draw("crash", key, attempt) < self.config.node_crash_p;
+        if hit {
+            self.ledger.crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Does attempt `attempt` of `key` hit buffer-pool pressure?
+    pub fn buffer_exhausts(&self, key: &str, attempt: u32) -> bool {
+        let hit =
+            self.armed(attempt) && self.draw("bufpool", key, attempt) < self.config.buffer_exhaust_p;
+        if hit {
+            self.ledger.buffer_exhausts.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// What happens to transfer attempt `attempt` of file `key`?
+    pub fn transfer_fault(&self, key: &str, attempt: u32) -> TransferFault {
+        if !self.armed(attempt) {
+            return TransferFault::Deliver;
+        }
+        let d = self.draw("transfer", key, attempt);
+        if d < self.config.transfer_drop_p {
+            self.ledger.drops.fetch_add(1, Ordering::Relaxed);
+            TransferFault::Drop
+        } else if d < self.config.transfer_drop_p + self.config.transfer_corrupt_p {
+            self.ledger.corruptions.fetch_add(1, Ordering::Relaxed);
+            let bits = self.draw_u64("corrupt-at", key, attempt);
+            TransferFault::Corrupt { byte: (bits >> 8) as usize, bit: (bits & 7) as u8 }
+        } else {
+            TransferFault::Deliver
+        }
+    }
+
+    /// Compute-time multiplier for attempt `attempt` of job `key`:
+    /// `straggler_factor` when the attempt straggles, 1.0 otherwise.
+    pub fn straggler_multiplier(&self, key: &str, attempt: u32) -> f64 {
+        if self.armed(attempt) && self.draw("straggle", key, attempt) < self.config.straggler_p {
+            self.ledger.stragglers.fetch_add(1, Ordering::Relaxed);
+            self.config.straggler_factor.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Deterministic backoff jitter in `[0, 1)` for `(key, attempt)` — a
+    /// pure draw that does not count as an injected fault.
+    pub fn jitter01(&self, key: &str, attempt: u32) -> f64 {
+        self.draw("jitter", key, attempt)
+    }
+
+    /// Snapshot the injection tally.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            node_crashes: self.ledger.crashes.load(Ordering::Relaxed),
+            transfers_dropped: self.ledger.drops.load(Ordering::Relaxed),
+            transfers_corrupted: self.ledger.corruptions.load(Ordering::Relaxed),
+            stragglers: self.ledger.stragglers.load(Ordering::Relaxed),
+            buffer_exhausts: self.ledger.buffer_exhausts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Exponential backoff with a cap: `base * 2^(attempt-1)`, clamped to
+/// `cap`, stretched by up to 50% of itself by `jitter01`. Pure, so the
+/// scheduler's virtual-clock accounting is reproducible.
+pub fn backoff_delay(base: Duration, cap: Duration, attempt: u32, jitter01: f64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    let raw = base.as_secs_f64() * (1u64 << exp) as f64;
+    let capped = raw.min(cap.as_secs_f64());
+    Duration::from_secs_f64(capped * (1.0 + 0.5 * jitter01.clamp(0.0, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(FaultConfig::severe(42));
+        let b = FaultPlan::new(FaultConfig::severe(42));
+        for key in ["cas-1", "cas-2", "field-00003.tgt", "P2"] {
+            for attempt in 0..4 {
+                assert_eq!(
+                    a.draw_u64("crash", key, attempt),
+                    b.draw_u64("crash", key, attempt)
+                );
+                assert_eq!(a.transfer_fault(key, attempt), b.transfer_fault(key, attempt));
+                assert_eq!(
+                    a.straggler_multiplier(key, attempt),
+                    b.straggler_multiplier(key, attempt)
+                );
+            }
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(FaultConfig::severe(1));
+        let b = FaultPlan::new(FaultConfig::severe(2));
+        let differs = (0..64).any(|i| {
+            a.draw_u64("crash", "node", i) != b.draw_u64("crash", "node", i)
+        });
+        assert!(differs, "64 identical draws from different seeds is impossible");
+    }
+
+    #[test]
+    fn faults_are_bounded_per_key() {
+        let plan = FaultPlan::new(FaultConfig::always(7, 2));
+        assert!(plan.node_crashes("n", 0));
+        assert!(plan.node_crashes("n", 1));
+        assert!(!plan.node_crashes("n", 2), "attempt >= bound must never fault");
+        assert_eq!(plan.transfer_fault("f", 5), TransferFault::Deliver);
+        assert_eq!(plan.straggler_multiplier("j", 9), 1.0);
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let plan = FaultPlan::disabled();
+        for attempt in 0..8 {
+            assert!(!plan.node_crashes("x", attempt));
+            assert!(!plan.buffer_exhausts("x", attempt));
+            assert_eq!(plan.transfer_fault("x", attempt), TransferFault::Deliver);
+            assert_eq!(plan.straggler_multiplier("x", attempt), 1.0);
+        }
+        assert_eq!(plan.report(), FaultReport::default());
+    }
+
+    #[test]
+    fn ledger_is_shared_across_clones() {
+        let plan = FaultPlan::new(FaultConfig::always(3, 1));
+        let clone = plan.clone();
+        assert!(clone.node_crashes("a", 0));
+        assert!(plan.node_crashes("b", 0));
+        assert_eq!(plan.report().node_crashes, 2);
+        assert_eq!(clone.report(), plan.report());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(2);
+        let d1 = backoff_delay(base, cap, 1, 0.0);
+        let d2 = backoff_delay(base, cap, 2, 0.0);
+        let d3 = backoff_delay(base, cap, 3, 0.0);
+        assert_eq!(d1, Duration::from_millis(100));
+        assert_eq!(d2, Duration::from_millis(200));
+        assert_eq!(d3, Duration::from_millis(400));
+        let huge = backoff_delay(base, cap, 12, 0.0);
+        assert_eq!(huge, cap);
+        let jittered = backoff_delay(base, cap, 1, 1.0);
+        assert_eq!(jittered, Duration::from_millis(150));
+    }
+
+    #[test]
+    fn det_rng_is_reproducible_and_uniformish() {
+        let mut a = DetRng::new(99);
+        let mut b = DetRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = DetRng::new(5);
+        let mean: f64 = (0..1000).map(|_| r.next_f64()).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.1, "mean of uniform draws was {mean}");
+        assert!(DetRng::new(0).next_below(0) == 0);
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a(b"cas-1"), fnv1a(b"cas-2"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+}

@@ -5,16 +5,21 @@
 //! with a network cost model ([`das`]), and a Condor-style batch scheduler
 //! ([`scheduler`]) that executes real Rust jobs while accounting node time
 //! virtually (scaled by node clock speed) so TAM-vs-SQL comparisons do not
-//! depend on the benchmark host.
+//! depend on the benchmark host. The [`faults`] module adds deterministic,
+//! seed-driven fault injection (node crashes, dropped/corrupted transfers,
+//! stragglers, buffer pressure) that the scheduler and archive honor, so
+//! recovery machinery can be exercised reproducibly.
 
 #![warn(missing_docs)]
 
 pub mod chimera;
 pub mod das;
+pub mod faults;
 pub mod node;
 pub mod scheduler;
 
 pub use chimera::VirtualDataCatalog;
 pub use das::{DataArchiveServer, NetworkModel, TransferTotals};
+pub use faults::{DetRng, FaultConfig, FaultPlan, FaultReport, TransferFault};
 pub use node::{sql_cluster, tam_cluster, NodeSpec};
-pub use scheduler::{BatchReport, GridCluster, JobRun, JobSpec, StageIn};
+pub use scheduler::{BatchReport, GridCluster, JobRun, JobSpec, RetryPolicy, StageIn};

@@ -15,6 +15,7 @@
 //! machine happens to have.
 
 use crate::das::{DasError, DataArchiveServer};
+use crate::faults::{backoff_delay, FaultPlan};
 use crate::node::NodeSpec;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,16 +32,21 @@ pub struct JobSpec<J> {
 }
 
 /// Stage-in handle passed to workers: fetches go through the archive and
-/// are accounted to the current job.
+/// are accounted to the current job. When the cluster carries a
+/// [`FaultPlan`], fetches are checksum-verified with bounded retry, and
+/// the wasted time of dropped/corrupted attempts is billed to the job.
 pub struct StageIn<'a> {
     das: &'a DataArchiveServer,
     accum: Mutex<(Duration, u64)>,
+    faults: Option<&'a FaultPlan>,
+    transfer_attempts: u32,
 }
 
 impl StageIn<'_> {
     /// Fetch a file from the archive, accumulating modeled transfer time.
     pub fn fetch(&self, name: &str) -> Result<Vec<u8>, DasError> {
-        let (bytes, t) = self.das.fetch(name)?;
+        let (bytes, t, _attempts) =
+            self.das.fetch_verified(name, self.faults, self.transfer_attempts)?;
         let mut acc = self.accum.lock();
         acc.0 += t;
         acc.1 += bytes.len() as u64;
@@ -55,7 +61,8 @@ pub struct JobRun<T> {
     pub name: String,
     /// Worker output, or the failure message.
     pub output: Result<T, String>,
-    /// Measured compute time on the host.
+    /// Measured compute time on the host, summed over attempts (straggler
+    /// faults inflate it by their slowdown factor).
     pub compute_real: Duration,
     /// Modeled stage-in time.
     pub stage_in: Duration,
@@ -65,6 +72,12 @@ pub struct JobRun<T> {
     pub node: Option<String>,
     /// Virtual completion time of the job within the batch.
     pub virtual_end: Duration,
+    /// Attempts the job consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Virtual requeue delay accumulated by exponential backoff.
+    pub backoff: Duration,
+    /// Whether the final attempt was killed by the per-job timeout.
+    pub timed_out: bool,
 }
 
 /// Whole-batch accounting.
@@ -82,6 +95,39 @@ pub struct BatchReport {
     pub unschedulable: u32,
     /// Jobs that returned an error.
     pub failed: u32,
+    /// Jobs that needed more than one attempt.
+    pub retried: u32,
+    /// Total attempts across all jobs.
+    pub attempts_total: u32,
+    /// Jobs whose final attempt exceeded the per-job timeout.
+    pub timed_out: u32,
+    /// Total virtual backoff delay across jobs.
+    pub backoff_total: Duration,
+    /// Nodes blacklisted during placement for accumulating failures.
+    pub blacklisted: Vec<String>,
+}
+
+/// Requeue-on-failure policy: exponential backoff with a cap, jittered
+/// deterministically from the cluster's fault-plan seed so virtual-time
+/// accounting is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First requeue delay.
+    pub backoff_base: Duration,
+    /// Upper bound on any single requeue delay.
+    pub backoff_cap: Duration,
+    /// Checksum-verified transfer attempts per stage-in fetch.
+    pub transfer_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(30),
+            transfer_attempts: 3,
+        }
+    }
 }
 
 /// A virtual cluster: nodes plus the host clock they are scaled against.
@@ -95,12 +141,38 @@ pub struct GridCluster {
     /// Re-run a failing job up to this many extra attempts (Condor
     /// requeue-on-failure).
     pub retries: u32,
+    /// Backoff shape for those re-runs.
+    pub retry: RetryPolicy,
+    /// Kill a job attempt whose (straggler-inflated) host compute exceeds
+    /// this bound; the attempt fails and is requeued like any other
+    /// failure. `None` disables the timeout.
+    pub job_timeout: Option<Duration>,
+    /// Blacklist a node once this many failed jobs have been placed on it
+    /// (0 disables blacklisting). The last healthy node is never
+    /// blacklisted — the grid must stay able to drain the queue.
+    pub blacklist_after: u32,
+    /// Fault schedule injected into job attempts and stage-in transfers.
+    pub faults: Option<FaultPlan>,
 }
 
 impl GridCluster {
     /// A cluster with the default host clock estimate (3 GHz).
     pub fn new(nodes: Vec<NodeSpec>) -> Self {
-        GridCluster { nodes, host_ghz: 3.0, retries: 1 }
+        GridCluster {
+            nodes,
+            host_ghz: 3.0,
+            retries: 1,
+            retry: RetryPolicy::default(),
+            job_timeout: None,
+            blacklist_after: 0,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault schedule (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Total job slots.
@@ -126,6 +198,7 @@ impl GridCluster {
         let results: Vec<Mutex<Option<JobRun<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+        let max_attempts = self.retries.saturating_add(1);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -134,15 +207,63 @@ impl GridCluster {
                         break;
                     }
                     let job = &jobs[idx];
-                    let stage = StageIn { das, accum: Mutex::new((Duration::ZERO, 0)) };
-                    let t0 = Instant::now();
-                    let mut output = worker(&job.payload, &stage);
-                    let mut attempts_left = self.retries;
-                    while output.is_err() && attempts_left > 0 {
-                        attempts_left -= 1;
-                        output = worker(&job.payload, &stage);
-                    }
-                    let compute_real = t0.elapsed();
+                    let stage = StageIn {
+                        das,
+                        accum: Mutex::new((Duration::ZERO, 0)),
+                        faults: self.faults.as_ref(),
+                        transfer_attempts: self.retry.transfer_attempts,
+                    };
+                    let mut attempt = 0u32;
+                    let mut compute_real = Duration::ZERO;
+                    let mut backoff = Duration::ZERO;
+                    let (output, timed_out) = loop {
+                        let t0 = Instant::now();
+                        let mut out = match &self.faults {
+                            Some(plan) if plan.node_crashes(&job.name, attempt) => Err(format!(
+                                "injected fault: {} crashed on attempt {}",
+                                job.name,
+                                attempt + 1
+                            )),
+                            _ => worker(&job.payload, &stage),
+                        };
+                        // Stragglers: the attempt's measured compute is
+                        // stretched by the injected slowdown factor.
+                        let mult = self
+                            .faults
+                            .as_ref()
+                            .map_or(1.0, |p| p.straggler_multiplier(&job.name, attempt));
+                        let eff =
+                            Duration::from_secs_f64(t0.elapsed().as_secs_f64() * mult);
+                        compute_real += eff;
+                        let mut timed = false;
+                        if out.is_ok() {
+                            if let Some(limit) = self.job_timeout {
+                                if eff > limit {
+                                    timed = true;
+                                    out = Err(format!(
+                                        "job {} killed by timeout: ran {:.3}s against a {:.3}s bound",
+                                        job.name,
+                                        eff.as_secs_f64(),
+                                        limit.as_secs_f64()
+                                    ));
+                                }
+                            }
+                        }
+                        attempt += 1;
+                        if out.is_ok() || attempt >= max_attempts {
+                            break (out, timed);
+                        }
+                        let jitter = self
+                            .faults
+                            .as_ref()
+                            .map_or(0.0, |p| p.jitter01(&job.name, attempt));
+                        backoff += backoff_delay(
+                            self.retry.backoff_base,
+                            self.retry.backoff_cap,
+                            attempt,
+                            jitter,
+                        );
+                    };
                     let (stage_in, bytes_in) = *stage.accum.lock();
                     *results[idx].lock() = Some(JobRun {
                         name: job.name.clone(),
@@ -152,6 +273,9 @@ impl GridCluster {
                         bytes_in,
                         node: None,
                         virtual_end: Duration::ZERO,
+                        attempts: attempt,
+                        backoff,
+                        timed_out,
                     });
                 });
             }
@@ -176,28 +300,60 @@ impl GridCluster {
             })
             .collect();
         let mut report = BatchReport { real_elapsed, ..BatchReport::default() };
+        let mut strikes: Vec<u32> = vec![0; self.nodes.len()];
+        let mut blacklisted: Vec<bool> = vec![false; self.nodes.len()];
         for (run, job) in runs.iter_mut().zip(&jobs) {
             if run.output.is_err() {
                 report.failed += 1;
             }
+            if run.attempts > 1 {
+                report.retried += 1;
+            }
+            report.attempts_total += run.attempts;
+            if run.timed_out {
+                report.timed_out += 1;
+            }
+            report.backoff_total += run.backoff;
+            // Prefer healthy nodes; fall back to blacklisted ones rather
+            // than stranding a schedulable job.
+            let healthy_fits = slots
+                .iter()
+                .any(|s| !blacklisted[s.node_idx] && self.nodes[s.node_idx].ram_mb >= job.ram_mb);
             let slot = slots
                 .iter_mut()
-                .filter(|s| self.nodes[s.node_idx].ram_mb >= job.ram_mb)
+                .filter(|s| {
+                    self.nodes[s.node_idx].ram_mb >= job.ram_mb
+                        && (!healthy_fits || !blacklisted[s.node_idx])
+                })
                 .min_by_key(|s| s.available);
             let Some(slot) = slot else {
                 report.unschedulable += 1;
                 continue;
             };
-            let node = &self.nodes[slot.node_idx];
+            let node_idx = slot.node_idx;
+            let node = &self.nodes[node_idx];
             let virtual_compute =
                 Duration::from_secs_f64(run.compute_real.as_secs_f64() * self.host_ghz / node.cpu_ghz);
-            let end = slot.available + run.stage_in + virtual_compute;
+            // Requeue backoff holds the slot: Condor charges the queue,
+            // not the job's own cpu.
+            let end = slot.available + run.stage_in + run.backoff + virtual_compute;
             slot.available = end;
             run.node = Some(node.name.clone());
             run.virtual_end = end;
             report.virtual_compute_total += virtual_compute;
             report.stage_in_total += run.stage_in;
             report.virtual_makespan = report.virtual_makespan.max(end);
+            // Flaky-node accounting: a failed job strikes the node it ran
+            // on; enough strikes blacklist the node for later placements,
+            // unless it is the last healthy one.
+            if run.output.is_err() && self.blacklist_after > 0 {
+                strikes[node_idx] += 1;
+                let healthy = blacklisted.iter().filter(|b| !**b).count();
+                if strikes[node_idx] >= self.blacklist_after && healthy > 1 {
+                    blacklisted[node_idx] = true;
+                    report.blacklisted.push(node.name.clone());
+                }
+            }
         }
         (runs, report)
     }
@@ -327,5 +483,79 @@ mod tests {
         assert!(runs.iter().all(|r| r.bytes_in == 5_000_000));
         assert!(runs.iter().all(|r| r.stage_in > Duration::from_millis(400)));
         assert!(report.stage_in_total > Duration::from_millis(800));
+    }
+
+    #[test]
+    fn injected_crashes_are_recovered_by_retries_with_backoff() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let das = das_with(&[]);
+        // Every job crashes on exactly its first attempt; one retry rescues it.
+        let mut cluster = GridCluster::new(tam_cluster())
+            .with_faults(FaultPlan::new(FaultConfig::always(11, 1)));
+        cluster.retries = 2;
+        let (runs, report) =
+            cluster.run_batch(&das, jobs(6, 1), |&i, _| -> Result<usize, String> { Ok(i) });
+        assert_eq!(report.failed, 0, "bounded faults + retries must converge");
+        assert_eq!(report.retried, 6);
+        assert_eq!(report.attempts_total, 12, "each job: 1 crash + 1 success");
+        assert!(report.backoff_total > Duration::ZERO);
+        assert!(runs.iter().all(|r| r.output.is_ok() && r.attempts == 2 && r.backoff > Duration::ZERO));
+        let injected = cluster.faults.as_ref().unwrap().report();
+        assert_eq!(injected.node_crashes, 6);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_across_runs() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let das = das_with(&[]);
+        let batch = |seed: u64| {
+            let mut cluster = GridCluster::new(tam_cluster())
+                .with_faults(FaultPlan::new(FaultConfig::severe(seed)));
+            cluster.retries = 4;
+            let (runs, report) =
+                cluster.run_batch(&das, jobs(8, 1), |_, _| -> Result<(), String> { Ok(()) });
+            let shape: Vec<(u32, Duration)> =
+                runs.iter().map(|r| (r.attempts, r.backoff)).collect();
+            (shape, report.backoff_total)
+        };
+        let (a, a_total) = batch(77);
+        let (b, b_total) = batch(77);
+        assert_eq!(a, b, "same seed must yield identical attempts and backoff");
+        assert_eq!(a_total, b_total);
+        let (c, _) = batch(78);
+        assert_ne!(a, c, "a different seed should perturb the schedule");
+    }
+
+    #[test]
+    fn flaky_nodes_are_blacklisted_but_last_healthy_survives() {
+        let das = das_with(&[]);
+        let mut cluster = GridCluster::new(vec![NodeSpec::tam(1), NodeSpec::tam(2)]);
+        cluster.retries = 0;
+        cluster.blacklist_after = 1;
+        let (runs, report) =
+            cluster.run_batch(&das, jobs(6, 1), |_, _| -> Result<(), String> {
+                Err("hardware fault".into())
+            });
+        // The first failure strikes tam1 out; tam2 must keep taking work
+        // (never blacklist the last healthy node).
+        assert_eq!(report.blacklisted, vec!["tam1".to_string()]);
+        assert!(runs.iter().all(|r| r.node.is_some()), "jobs must not strand");
+        assert!(runs.iter().skip(1).all(|r| r.node.as_deref() == Some("tam2")));
+    }
+
+    #[test]
+    fn timeout_kills_overlong_jobs() {
+        let das = das_with(&[]);
+        let mut cluster = GridCluster::new(tam_cluster());
+        cluster.retries = 0;
+        cluster.job_timeout = Some(Duration::from_millis(1));
+        let (runs, report) = cluster.run_batch(&das, jobs(1, 1), |_, _| -> Result<(), String> {
+            std::thread::sleep(Duration::from_millis(25));
+            Ok(())
+        });
+        assert_eq!(report.timed_out, 1);
+        assert_eq!(report.failed, 1);
+        assert!(runs[0].timed_out);
+        assert!(runs[0].output.as_ref().unwrap_err().contains("timeout"));
     }
 }

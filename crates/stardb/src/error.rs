@@ -30,6 +30,16 @@ pub enum DbError {
     TypeError(String),
 }
 
+impl DbError {
+    /// Whether the failure is transient — retrying the same work (or
+    /// re-planning it over smaller partitions, §2.6's memory-fit loop) can
+    /// succeed. Schema and corruption errors are permanent; buffer-pool
+    /// pressure is a resource condition that a re-plan relieves.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DbError::BufferExhausted)
+    }
+}
+
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

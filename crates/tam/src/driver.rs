@@ -91,8 +91,10 @@ pub fn publish_region(
     for field in &fields {
         let target: Vec<_> = sky.galaxies_in(&field.target).copied().collect();
         let buffer: Vec<_> = sky.galaxies_in(&field.buffer).copied().collect();
-        let t = files::encode(&target);
-        let b = files::encode(&buffer);
+        // Sealed encodings: a corrupted transfer is caught at decode time
+        // even if the archive-level transfer checksum is bypassed.
+        let t = files::encode_sealed(&target);
+        let b = files::encode_sealed(&buffer);
         bytes += (t.len() + b.len()) as u64;
         das.publish(field.target_file(), t);
         das.publish(field.buffer_file(), b);
@@ -116,7 +118,7 @@ pub fn publish_virtual_region(
     let fields = tile(region, &sky.region, cfg.field_side, cfg.buffer_margin);
     let raw_name = "sky.cat";
     let all: Vec<_> = sky.galaxies.clone();
-    das.publish(raw_name, files::encode(&all));
+    das.publish(raw_name, files::encode_sealed(&all));
     for field in &fields {
         let target = field.target;
         let buffer = field.buffer;
@@ -129,7 +131,7 @@ pub fn publish_virtual_region(
                     raw.iter().filter(|g| target.contains(g.ra, g.dec)).copied().collect();
                 let b: Vec<_> =
                     raw.iter().filter(|g| buffer.contains(g.ra, g.dec)).copied().collect();
-                Ok(vec![files::encode(&t), files::encode(&b)])
+                Ok(vec![files::encode_sealed(&t), files::encode_sealed(&b)])
             }),
         );
         vdc.register_derivation(

@@ -3,9 +3,13 @@
 //! A compact binary layout with a 16-byte header and 44 bytes per galaxy —
 //! the record size the paper quotes for its galaxy table ("roughly 1.5
 //! million rows (44 bytes each)"). The codec detects truncation, bad magic,
-//! and version skew, which the failure-injection tests exercise.
+//! and version skew; the *sealed* variant ([`encode_sealed`]) appends an
+//! FNV-1a checksum footer so any bit flip anywhere in the file — header,
+//! payload, or footer — is detected rather than silently decoded. The
+//! failure-injection and property tests exercise all of it.
 
 use bytes::{Buf, BufMut};
+use gridsim::faults::fnv1a;
 use skycore::Galaxy;
 
 /// File magic: "TAMG".
@@ -16,6 +20,8 @@ const VERSION: u16 = 1;
 pub const RECORD_BYTES: usize = 44;
 /// Header bytes.
 pub const HEADER_BYTES: usize = 16;
+/// Checksum footer bytes of the sealed format.
+pub const FOOTER_BYTES: usize = 8;
 
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +37,13 @@ pub enum FileError {
         /// Bytes actually present after the header.
         got_bytes: usize,
     },
+    /// A sealed file's checksum footer does not match its contents.
+    ChecksumMismatch {
+        /// Checksum recomputed over the received bytes.
+        expected: u64,
+        /// Checksum the footer carries.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for FileError {
@@ -40,6 +53,9 @@ impl std::fmt::Display for FileError {
             FileError::BadVersion(v) => write!(f, "unsupported version {v}"),
             FileError::Truncated { expected, got_bytes } => {
                 write!(f, "truncated file: {expected} records declared, {got_bytes} payload bytes")
+            }
+            FileError::ChecksumMismatch { expected, got } => {
+                write!(f, "checksum mismatch: computed {expected:016x}, footer says {got:016x}")
             }
         }
     }
@@ -68,36 +84,61 @@ pub fn encode(galaxies: &[Galaxy]) -> Vec<u8> {
     out
 }
 
-/// Decode a field file.
-pub fn decode(mut buf: &[u8]) -> Result<Vec<Galaxy>, FileError> {
+/// Encode galaxies into a *sealed* field file: the plain encoding plus an
+/// FNV-1a checksum footer over header and payload. [`decode`] accepts both
+/// forms, but only the sealed form detects arbitrary in-flight bit flips
+/// (a flip in the count field breaks the length check; any other flip
+/// breaks the checksum).
+pub fn encode_sealed(galaxies: &[Galaxy]) -> Vec<u8> {
+    let mut out = encode(galaxies);
+    let sum = fnv1a(&out);
+    out.put_u64_le(sum);
+    out
+}
+
+/// Decode a field file (plain or sealed).
+pub fn decode(buf: &[u8]) -> Result<Vec<Galaxy>, FileError> {
     if buf.len() < HEADER_BYTES {
         return Err(FileError::Truncated { expected: 0, got_bytes: buf.len() });
     }
-    let magic = buf.get_u32_le();
+    let mut header = buf;
+    let magic = header.get_u32_le();
     if magic != MAGIC {
         return Err(FileError::BadMagic(magic));
     }
-    let version = buf.get_u16_le();
+    let version = header.get_u16_le();
     if version != VERSION {
         return Err(FileError::BadVersion(version));
     }
-    buf.advance(2);
-    let count = buf.get_u32_le();
-    buf.advance(4);
-    if buf.len() != count as usize * RECORD_BYTES {
-        return Err(FileError::Truncated { expected: count, got_bytes: buf.len() });
+    header.advance(2);
+    let count = header.get_u32_le();
+    header.advance(4);
+    let body_bytes = count as usize * RECORD_BYTES;
+    let after_header = buf.len() - HEADER_BYTES;
+    let sealed = after_header == body_bytes + FOOTER_BYTES;
+    if !sealed && after_header != body_bytes {
+        return Err(FileError::Truncated { expected: count, got_bytes: after_header });
     }
+    if sealed {
+        let split = buf.len() - FOOTER_BYTES;
+        let got = u64::from_le_bytes(buf[split..].try_into().expect("footer is 8 bytes"));
+        let expected = fnv1a(&buf[..split]);
+        if got != expected {
+            return Err(FileError::ChecksumMismatch { expected, got });
+        }
+    }
+    let mut records = &buf[HEADER_BYTES..HEADER_BYTES + body_bytes];
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
         out.push(Galaxy {
-            objid: buf.get_i64_le(),
-            ra: buf.get_f64_le(),
-            dec: buf.get_f64_le(),
-            i: f64::from(buf.get_f32_le()),
-            gr: f64::from(buf.get_f32_le()),
-            ri: f64::from(buf.get_f32_le()),
-            sigma_gr: f64::from(buf.get_f32_le()),
-            sigma_ri: f64::from(buf.get_f32_le()),
+            objid: records.get_i64_le(),
+            ra: records.get_f64_le(),
+            dec: records.get_f64_le(),
+            i: f64::from(records.get_f32_le()),
+            gr: f64::from(records.get_f32_le()),
+            ri: f64::from(records.get_f32_le()),
+            sigma_gr: f64::from(records.get_f32_le()),
+            sigma_ri: f64::from(records.get_f32_le()),
         });
     }
     Ok(out)
@@ -175,5 +216,40 @@ mod tests {
         let mut bytes = encode(&sample(3));
         bytes.extend_from_slice(&[0u8; 5]);
         assert!(matches!(decode(&bytes), Err(FileError::Truncated { .. })));
+    }
+
+    #[test]
+    fn sealed_roundtrip() {
+        let galaxies = sample(25);
+        let bytes = encode_sealed(&galaxies);
+        assert_eq!(bytes.len(), HEADER_BYTES + 25 * RECORD_BYTES + FOOTER_BYTES);
+        assert_eq!(decode(&bytes).unwrap().len(), 25);
+        // Sealed and plain encodings of the same data decode identically.
+        assert_eq!(decode(&bytes).unwrap(), decode(&encode(&galaxies)).unwrap());
+        // Empty files seal too.
+        assert_eq!(decode(&encode_sealed(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn sealed_detects_every_single_bit_flip() {
+        let bytes = encode_sealed(&sample(4));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    decode(&flipped).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sealed_payload_flip_reports_checksum_mismatch() {
+        let mut bytes = encode_sealed(&sample(4));
+        let payload_at = HEADER_BYTES + 3;
+        bytes[payload_at] ^= 0x10;
+        assert!(matches!(decode(&bytes), Err(FileError::ChecksumMismatch { .. })));
     }
 }

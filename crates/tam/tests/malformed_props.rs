@@ -1,0 +1,109 @@
+//! Property tests for the Target/Buffer codec: malformed files —
+//! truncated, bit-flipped, wrong magic, or outright random bytes — must
+//! always return `Err` and never panic. Corruption is seeded and
+//! deterministic so a failing case replays exactly.
+
+use gridsim::DetRng;
+use proptest::prelude::*;
+use skycore::Galaxy;
+use tam::files::{self, FileError, FOOTER_BYTES};
+
+fn sample(n: usize) -> Vec<Galaxy> {
+    (0..n)
+        .map(|k| {
+            Galaxy::with_derived_errors(
+                k as i64 + 1,
+                180.0 + k as f64 * 0.002,
+                -1.0 + k as f64 * 0.001,
+                16.0 + k as f64 * 0.02,
+                1.1,
+                0.5,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..4096)
+    ) {
+        // Any outcome is fine; reaching the next line is the assertion.
+        let _ = files::decode(&bytes);
+    }
+
+    #[test]
+    fn truncations_always_err(n in 0usize..24, cut in 1usize..200) {
+        let sealed = files::encode_sealed(&sample(n));
+        // Cutting exactly the footer yields a well-formed legacy file by
+        // design (backward compatibility); every other truncation errs.
+        prop_assume!(cut != FOOTER_BYTES && cut <= sealed.len());
+        let short = &sealed[..sealed.len() - cut];
+        prop_assert!(files::decode(short).is_err(), "cut {cut} of {} decoded", sealed.len());
+
+        let plain = files::encode(&sample(n));
+        let cut_plain = cut.min(plain.len());
+        if cut_plain > 0 {
+            prop_assert!(files::decode(&plain[..plain.len() - cut_plain]).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_magic_always_rejected(m in any::<u32>()) {
+        let mut f = files::encode_sealed(&sample(3));
+        let orig = u32::from_le_bytes(f[0..4].try_into().unwrap());
+        prop_assume!(m != orig);
+        f[0..4].copy_from_slice(&m.to_le_bytes());
+        prop_assert!(matches!(files::decode(&f), Err(FileError::BadMagic(_))));
+    }
+
+    #[test]
+    fn sealed_roundtrip_is_lossless_on_exact_fields(
+        objid in 1i64..i64::MAX / 2,
+        ra in 0.0f64..360.0,
+        dec in -90.0f64..90.0,
+    ) {
+        let g = Galaxy::with_derived_errors(objid, ra, dec, 17.0, 1.0, 0.4);
+        let back = files::decode(&files::encode_sealed(&[g])).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(back[0].objid, objid);
+        prop_assert_eq!(back[0].ra, ra);
+        prop_assert_eq!(back[0].dec, dec);
+    }
+}
+
+#[test]
+fn seeded_bit_flips_on_sealed_files_always_err() {
+    let sealed = files::encode_sealed(&sample(12));
+    let mut rng = DetRng::new(0xC1DA_2005);
+    for round in 0..256 {
+        let byte = rng.next_below(sealed.len());
+        let bit = rng.next_below(8);
+        let mut corrupted = sealed.clone();
+        corrupted[byte] ^= 1 << bit;
+        assert!(
+            files::decode(&corrupted).is_err(),
+            "round {round}: flip at byte {byte} bit {bit} went undetected"
+        );
+    }
+}
+
+#[test]
+fn seeded_multi_byte_corruption_always_err() {
+    let sealed = files::encode_sealed(&sample(8));
+    let mut rng = DetRng::new(42);
+    for _ in 0..64 {
+        let mut corrupted = sealed.clone();
+        let flips = 2 + rng.next_below(6);
+        let mut changed = false;
+        for _ in 0..flips {
+            let byte = rng.next_below(corrupted.len());
+            let old = corrupted[byte];
+            corrupted[byte] = (rng.next_u64() & 0xFF) as u8;
+            changed |= corrupted[byte] != old;
+        }
+        if changed {
+            assert!(files::decode(&corrupted).is_err());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Chaos recovery: the paper's core claim (Figure 6 / Table 1) is that the
+//! union of zone-partitioned answers is *identical* to the sequential
+//! answer. These tests assert the identity still holds when a deterministic
+//! [`gridsim::FaultPlan`] injects node crashes, dropped and corrupted
+//! transfers, stragglers, and buffer-pool pressure into the run — the
+//! recovery machinery (scheduler retry/backoff, checksum-verified
+//! transfers, panic containment, partition failover) must absorb every
+//! fault without changing a single byte of the catalog.
+
+use gridsim::das::NetworkModel;
+use gridsim::node::tam_cluster;
+use gridsim::{DataArchiveServer, FaultConfig, FaultPlan, GridCluster};
+use maxbcg::{
+    run_partitioned_recovering, IterationMode, MaxBcgConfig, MaxBcgDb, RecoveryPolicy,
+};
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use stardb::DbError;
+use std::sync::Arc;
+use std::time::Duration;
+use tam::{publish_region, run_region, TamConfig};
+
+/// A worst-case-but-bounded schedule with every fault kind armed: crashes,
+/// drops, corruptions, stragglers, and buffer pressure all fire on first
+/// attempts, never past the per-key bound — so recovery provably converges.
+fn chaos_config(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        node_crash_p: 1.0,
+        transfer_drop_p: 0.5,
+        transfer_corrupt_p: 0.5,
+        straggler_p: 1.0,
+        straggler_factor: 3.0,
+        buffer_exhaust_p: 1.0,
+        max_faults_per_key: 1,
+    }
+}
+
+#[test]
+fn tam_grid_chaos_run_matches_clean_run() {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let region = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+    let sky = Sky::generate(region, &SkyConfig::scaled(0.08), &kcorr, 7);
+    let cfg = TamConfig::default();
+    let das = DataArchiveServer::new(NetworkModel::instant());
+    let (fields, _) = publish_region(&sky, &region, &cfg, &das);
+    assert!(fields.len() >= 4, "need several fields for meaningful chaos");
+
+    let clean = run_region(&GridCluster::new(tam_cluster()), &das, fields.clone(), &cfg);
+    assert!(clean.failures.is_empty(), "{:?}", clean.failures);
+
+    let plan = FaultPlan::new(chaos_config(1105));
+    let mut cluster = GridCluster::new(tam_cluster()).with_faults(plan.clone());
+    cluster.retries = 3;
+    let chaotic = run_region(&cluster, &das, fields.clone(), &cfg);
+    assert!(
+        chaotic.failures.is_empty(),
+        "bounded faults + retries must drain every job: {:?}",
+        chaotic.failures
+    );
+
+    // Identity under failure: the recovered catalogs equal the clean ones
+    // bit for bit.
+    assert_eq!(chaotic.clusters, clean.clusters, "cluster catalogs diverged under chaos");
+    assert_eq!(chaotic.candidates, clean.candidates, "candidate catalogs diverged");
+    assert_eq!(chaotic.members, clean.members, "membership tables diverged");
+
+    // At least three distinct fault kinds actually fired.
+    let injected = plan.report();
+    assert!(injected.node_crashes > 0, "no crashes injected: {injected:?}");
+    assert!(injected.stragglers > 0, "no stragglers injected: {injected:?}");
+    assert!(
+        injected.transfers_dropped + injected.transfers_corrupted > 0,
+        "no transfer faults injected: {injected:?}"
+    );
+    assert!(injected.distinct_kinds() >= 3, "{injected:?}");
+    assert!(chaotic.batch.retried > 0);
+    assert!(chaotic.batch.backoff_total > Duration::ZERO);
+
+    // Reproducibility: re-running with a same-seed plan injects the same
+    // schedule and produces the same catalog and the same injection tally.
+    let plan2 = FaultPlan::new(chaos_config(1105));
+    let mut cluster2 = GridCluster::new(tam_cluster()).with_faults(plan2.clone());
+    cluster2.retries = 3;
+    let again = run_region(&cluster2, &das, fields, &cfg);
+    assert_eq!(again.clusters, chaotic.clusters);
+    assert_eq!(plan2.report(), injected, "same seed must inject the same schedule");
+}
+
+#[test]
+fn three_way_partition_chaos_preserves_figure6_identity() {
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(180.0, 182.0, -2.0, 2.0);
+    let mut sky_cfg = SkyConfig::scaled(0.08);
+    sky_cfg.clusters.density_per_deg2 = 10.0;
+    let sky = Sky::generate(survey, &sky_cfg, &kcorr, 777);
+    let cand = survey.shrunk(0.5);
+
+    let mut seq = MaxBcgDb::new(config).unwrap();
+    seq.run("seq", &sky, &survey, &cand).unwrap();
+
+    // Every partition loses its first attempt — even stripes to buffer
+    // pressure, odd stripes to an outright panic — and must fail over.
+    let plan = FaultPlan::new(FaultConfig::always(31, 1));
+    let (par, recovery) = run_partitioned_recovering(
+        &config,
+        &sky,
+        &survey,
+        &cand,
+        3,
+        RecoveryPolicy { max_attempts: 3 },
+        &mut |index, attempt| {
+            let key = format!("P{}", index + 1);
+            if index % 2 == 0 {
+                plan.buffer_exhausts(&key, attempt).then_some(DbError::BufferExhausted)
+            } else if plan.node_crashes(&key, attempt) {
+                panic!("injected crash on {key}");
+            } else {
+                None
+            }
+        },
+    )
+    .unwrap();
+
+    assert_eq!(recovery.failovers, 3, "all three stripes must have failed over");
+    assert_eq!(recovery.attempts, vec![2, 2, 2]);
+    assert!(recovery.errors.iter().any(|e| e.contains("panicked")));
+    assert!(recovery.errors.iter().any(|e| e.contains("buffer pool")));
+
+    assert_eq!(par.candidates, seq.candidates().unwrap(), "candidate identity broke");
+    assert_eq!(par.clusters, seq.clusters().unwrap(), "cluster identity broke");
+    let mut seq_members = seq.members().unwrap();
+    seq_members.sort_by_key(|m| (m.cluster_objid, m.galaxy_objid));
+    assert_eq!(par.members, seq_members, "membership identity broke");
+}
+
+#[test]
+fn data_grid_chaos_collects_the_full_catalog() {
+    let kcorr = KcorrTable::generate(KcorrConfig::sql());
+    let survey = SkyRegion::new(180.0, 181.0, -1.5, 1.5);
+    let sky = Arc::new(Sky::generate(survey, &SkyConfig::scaled(0.08), &kcorr, 555));
+    let cand = survey.shrunk(0.5);
+
+    let plan = FaultPlan::new(FaultConfig::severe(77));
+    let grid = casjobs::DataGrid::new(Arc::clone(&sky), &survey, 3, MaxBcgConfig::default())
+        .with_faults(plan.clone());
+    let report = grid.submit_maxbcg(casjobs::UserId(1), &cand);
+    assert!(
+        report.outcomes.iter().all(|o| o.error.is_none()),
+        "failover must rescue every node: {:?}",
+        report.outcomes.iter().filter_map(|o| o.error.clone()).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.failovers as usize,
+        report.outcomes.iter().filter(|o| o.recovered_by.is_some()).count()
+    );
+
+    let mut single = MaxBcgDb::new(MaxBcgConfig::default()).unwrap();
+    single.run("one-site", &sky, &survey, &cand).unwrap();
+    assert_eq!(
+        report.collected,
+        single.clusters().unwrap(),
+        "grid union under chaos must equal the one-site run"
+    );
+}
+
+#[test]
+fn fault_plans_are_byte_reproducible_from_the_seed() {
+    let a = FaultPlan::new(FaultConfig::severe(2026));
+    let b = FaultPlan::new(FaultConfig::severe(2026));
+    for domain in ["crash", "transfer", "corrupt-at", "straggle", "bufpool", "jitter"] {
+        for key in ["cas-1", "P2", "field-00003.target", "tam4", ""] {
+            for attempt in 0..8 {
+                assert_eq!(
+                    a.draw_u64(domain, key, attempt),
+                    b.draw_u64(domain, key, attempt),
+                    "schedule diverged at ({domain}, {key:?}, {attempt})"
+                );
+            }
+        }
+    }
+    let c = FaultPlan::new(FaultConfig::severe(2027));
+    let diverges = (0..64).any(|i| a.draw_u64("crash", "node", i) != c.draw_u64("crash", "node", i));
+    assert!(diverges, "different seeds must yield different schedules");
+}
