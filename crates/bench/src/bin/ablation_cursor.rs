@@ -76,4 +76,5 @@ fn main() {
     };
     let path = opts.write_report("ablation_cursor", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("ablation_cursor", &report);
 }

@@ -85,4 +85,5 @@ fn main() {
     };
     let path = opts.write_report("ablation_early_filter", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("ablation_early_filter", &report);
 }

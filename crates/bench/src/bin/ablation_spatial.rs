@@ -219,4 +219,5 @@ fn main() {
     };
     let path = opts.write_report("ablation_spatial", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("ablation_spatial", &report);
 }

@@ -209,6 +209,7 @@ fn main() {
         ChaosReport { scale: opts.scale, seed: opts.seed, schedules: outcomes };
     let path = opts.write_report("chaos_table1", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("chaos", &report);
 
     for o in &report.schedules {
         assert!(

@@ -178,4 +178,5 @@ fn main() {
     };
     let path = opts.write_report("fig1_fig2", &out);
     println!("report written to {}", path.display());
+    opts.emit_report("fig1_fig2", &out);
 }

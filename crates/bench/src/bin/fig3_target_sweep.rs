@@ -84,4 +84,5 @@ fn main() {
     let report = Fig3Report { scale: opts.scale, rows };
     let path = opts.write_report("fig3", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("fig3", &report);
 }

@@ -42,6 +42,8 @@ fn main() {
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
+    let mut statements = 0u64;
+    let mut errors = 0u64;
     loop {
         print!("skyql> ");
         out.flush().ok();
@@ -83,6 +85,7 @@ fn main() {
             println!("  meta: .tables  .schema <table>  .quit");
             continue;
         }
+        statements += 1;
         match db.execute_sql(line) {
             Ok(SqlOutput::Rows { columns, rows }) => {
                 let header: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -100,7 +103,20 @@ fn main() {
             }
             Ok(SqlOutput::Affected(n)) => println!("({n} rows affected)"),
             Ok(SqlOutput::Done) => println!("(ok)"),
-            Err(e) => println!("error: {e}"),
+            Err(e) => {
+                errors += 1;
+                println!("error: {e}");
+            }
         }
     }
+    // Session telemetry: the boot pipeline's counters plus the shell tally.
+    opts.emit_report(
+        "skyql",
+        &serde_json::json!({
+            "statements": statements,
+            "errors": errors,
+            "galaxies": db.row_count("Galaxy").unwrap_or(0),
+            "clusters": db.row_count("Clusters").unwrap_or(0),
+        }),
+    );
 }

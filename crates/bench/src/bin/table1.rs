@@ -126,5 +126,6 @@ fn main() {
     };
     let path = opts.write_report("table1", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("table1", &report);
     assert!(union_identical, "partitioned execution must be lossless");
 }

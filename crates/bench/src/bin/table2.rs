@@ -117,4 +117,5 @@ fn main() {
     };
     let path = opts.write_report("table2", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("table2", &report);
 }

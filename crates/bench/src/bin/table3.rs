@@ -143,4 +143,5 @@ fn main() {
     };
     let path = opts.write_report("table3", &report);
     println!("report written to {}", path.display());
+    opts.emit_report("table3", &report);
 }

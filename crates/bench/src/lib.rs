@@ -75,6 +75,23 @@ impl BenchOpts {
         std::fs::write(&path, json).expect("write report");
         path
     }
+
+    /// Capture the global `obs` registry into a unified machine-readable
+    /// run report — provenance (git revision, seed), config (scale),
+    /// every counter/gauge/histogram and finished span, plus the
+    /// experiment-specific `payload` — and write it as `BENCH_{name}.json`
+    /// in the current directory (the workspace root under `cargo run`).
+    /// Returns the path. Every experiment binary calls this once, after
+    /// its measured phases, so all BENCH files share one schema.
+    pub fn emit_report<T: Serialize>(&self, name: &str, payload: &T) -> PathBuf {
+        let report = obs::RunReport::capture(name)
+            .with_seed(self.seed)
+            .with_config("scale", self.scale)
+            .with_payload(payload);
+        let path = report.write(std::path::Path::new(".")).expect("write BENCH report");
+        println!("machine report: {}", path.display());
+        path
+    }
 }
 
 /// The scaled-down analogue of the paper's test case: the target region,
@@ -196,6 +213,20 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn emit_report_captures_registry_and_provenance() {
+        obs::counter("bench.test.marker").incr();
+        let opts = BenchOpts::default();
+        let path = opts.emit_report("benchunit", &serde_json::json!({"rows": 1}));
+        assert_eq!(path.file_name().unwrap(), "BENCH_benchunit.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let report = obs::RunReport::from_json(&body).unwrap();
+        assert_eq!(report.seed, Some(2005));
+        assert!(report.counters.contains_key("bench.test.marker"));
+        assert!(report.config.contains_key("scale"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -16,8 +16,34 @@ use skycore::types::Cluster;
 use skycore::SkyRegion;
 use skysim::Sky;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+struct GridObs {
+    submissions: obs::Counter,
+    nodes_run: obs::Counter,
+    panics_contained: obs::Counter,
+    refusals: obs::Counter,
+    failovers: obs::Counter,
+    clusters_collected: obs::Counter,
+}
+
+/// Grid-deployment accounting under `casjobs.grid.*`: `panics_contained`
+/// counts node attempts that died and were absorbed by the coordinator
+/// (crash containment), `refusals` counts authorization denials (policy,
+/// never failed over), `failovers` counts lost partitions re-run to
+/// completion on a surviving host.
+fn gobs() -> &'static GridObs {
+    static G: OnceLock<GridObs> = OnceLock::new();
+    G.get_or_init(|| GridObs {
+        submissions: obs::counter("casjobs.grid.submissions"),
+        nodes_run: obs::counter("casjobs.grid.nodes_run"),
+        panics_contained: obs::counter("casjobs.grid.panics_contained"),
+        refusals: obs::counter("casjobs.grid.refusals"),
+        failovers: obs::counter("casjobs.grid.failovers"),
+        clusters_collected: obs::counter("casjobs.grid.clusters_collected"),
+    })
+}
 
 /// What a node does with its results (the "policy" of §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +167,8 @@ impl DataGrid {
     /// coordinator), and its partition is resubmitted to a surviving host
     /// so the collected union stays complete.
     pub fn submit_maxbcg(&self, user: UserId, candidate_window: &SkyRegion) -> GridRunReport {
+        let _span = obs::span("submit_maxbcg");
+        gobs().submissions.incr();
         let start = Instant::now();
         let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..self.config };
         let faults = self.faults.as_ref();
@@ -195,6 +223,7 @@ impl DataGrid {
                 if done {
                     outcomes[i].recovered_by = Some(adopter.clone());
                     failovers += 1;
+                    gobs().failovers.incr();
                     break;
                 }
             }
@@ -205,6 +234,7 @@ impl DataGrid {
             .flat_map(|o| o.clusters.iter().copied())
             .collect();
         collected.sort_by_key(|c| c.objid);
+        gobs().clusters_collected.add(collected.len() as u64);
         GridRunReport { user, outcomes, collected, elapsed: start.elapsed(), failovers }
     }
 }
@@ -243,10 +273,14 @@ fn run_node_contained(
     attempt: u32,
 ) -> NodeOutcome {
     let t0 = Instant::now();
+    gobs().nodes_run.incr();
     catch_unwind(AssertUnwindSafe(|| {
         run_node(node, sky, candidate_window, config, faults, attempt)
     }))
-    .unwrap_or_else(|payload| failed_outcome(&node.name, t0.elapsed(), panic_message(&payload)))
+    .unwrap_or_else(|payload| {
+        gobs().panics_contained.incr();
+        failed_outcome(&node.name, t0.elapsed(), panic_message(&payload))
+    })
 }
 
 fn run_node(
@@ -259,6 +293,7 @@ fn run_node(
 ) -> NodeOutcome {
     let t0 = Instant::now();
     if !node.accepts_deployment {
+        gobs().refusals.incr();
         return NodeOutcome {
             node: node.name.clone(),
             deployed: false,

@@ -16,7 +16,30 @@ use skycore::SkyRegion;
 use skysim::Sky;
 use stardb::{Database, DbConfig, DbError, Row, Schema};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+struct ServiceObs {
+    submitted: obs::Counter,
+    finished: obs::Counter,
+    failed: obs::Counter,
+    cancelled: obs::Counter,
+    rows_uploaded: obs::Counter,
+    rows_downloaded: obs::Counter,
+}
+
+/// Job-queue accounting under `casjobs.jobs.*` / `casjobs.mydb.*` — the
+/// service-level view the paper's CasJobs portal shows its users.
+fn sobs() -> &'static ServiceObs {
+    static S: OnceLock<ServiceObs> = OnceLock::new();
+    S.get_or_init(|| ServiceObs {
+        submitted: obs::counter("casjobs.jobs.submitted"),
+        finished: obs::counter("casjobs.jobs.finished"),
+        failed: obs::counter("casjobs.jobs.failed"),
+        cancelled: obs::counter("casjobs.jobs.cancelled"),
+        rows_uploaded: obs::counter("casjobs.mydb.rows_uploaded"),
+        rows_downloaded: obs::counter("casjobs.mydb.rows_downloaded"),
+    })
+}
 
 /// Job identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -211,13 +234,16 @@ impl CasJobs {
             db.insert(table, row)?;
             n += 1;
         }
+        sobs().rows_uploaded.add(n);
         Ok(n)
     }
 
     /// Download a MyDB table (the owner's view; for shared reads see
     /// [`CasJobs::read_shared`]).
     pub fn download(&self, user: UserId, table: &str) -> Result<Vec<Row>, CasError> {
-        Ok(self.mydb(user)?.scan(table)?)
+        let rows = self.mydb(user)?.scan(table)?;
+        sobs().rows_downloaded.add(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Share a MyDB table with a group the owner belongs to.
@@ -263,6 +289,7 @@ impl CasJobs {
         let id = JobId(self.next_job);
         self.jobs.insert(id, Job { id, user, spec, state: JobState::Submitted });
         self.queue.push_back(id);
+        sobs().submitted.incr();
         Ok(id)
     }
 
@@ -277,6 +304,7 @@ impl CasJobs {
         if job.state == JobState::Submitted {
             job.state = JobState::Cancelled;
             self.queue.retain(|&q| q != id);
+            sobs().cancelled.incr();
         }
         Ok(())
     }
@@ -292,10 +320,19 @@ impl CasJobs {
                 continue;
             }
             self.jobs.get_mut(&id).expect("exists").state = JobState::Running;
-            let outcome = self.execute(&job);
+            let outcome = {
+                let _span = obs::span("casjobs_job");
+                self.execute(&job)
+            };
             let state = match outcome {
-                Ok(msg) => JobState::Finished(msg),
-                Err(e) => JobState::Failed(e.to_string()),
+                Ok(msg) => {
+                    sobs().finished.incr();
+                    JobState::Finished(msg)
+                }
+                Err(e) => {
+                    sobs().failed.incr();
+                    JobState::Failed(e.to_string())
+                }
             };
             self.jobs.get_mut(&id).expect("exists").state = state;
             ran += 1;

@@ -10,6 +10,25 @@ use skycore::kcorr::KcorrTable;
 use skycore::types::{Candidate, Friend, Galaxy};
 use skycore::ZoneScheme;
 use stardb::{Database, DbError, DbResult, Value};
+use std::sync::OnceLock;
+
+struct CandidateObs {
+    evaluated: obs::Counter,
+    early_rejected: obs::Counter,
+    friends_joined: obs::Counter,
+}
+
+/// Counters for the paper's §2.6 early-filter claim: `early_rejected /
+/// evaluated` is the fraction of galaxies the k-correction χ² cut
+/// discards before any spatial work.
+fn cobs() -> &'static CandidateObs {
+    static C: OnceLock<CandidateObs> = OnceLock::new();
+    C.get_or_init(|| CandidateObs {
+        evaluated: obs::counter("maxbcg.candidate.evaluated"),
+        early_rejected: obs::counter("maxbcg.candidate.early_rejected"),
+        friends_joined: obs::counter("maxbcg.candidate.friends_joined"),
+    })
+}
 
 /// Evaluate one galaxy. Returns the zero-or-one-row result of the paper's
 /// table-valued function.
@@ -29,8 +48,10 @@ pub fn f_bcg_candidate(
     early_filter: bool,
 ) -> DbResult<Option<Candidate>> {
     // Filter step: JOIN with Kcorr, keep redshifts with chisq < 7.
+    cobs().evaluated.incr();
     let passing = bcg::passing_redshifts(g, kcorr, params);
     if passing.is_empty() {
+        cobs().early_rejected.incr();
         return Ok(None);
     }
     let (search_set, windows) = if early_filter {
@@ -77,6 +98,7 @@ pub fn f_bcg_candidate(
     if let Some(e) = join_err {
         return Err(e);
     }
+    cobs().friends_joined.add(friends.len() as u64);
 
     // Count neighbors per redshift and pick the most likely.
     let counts = bcg::count_neighbors(&search_set, &friends, kcorr, g.i, params);

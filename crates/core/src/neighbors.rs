@@ -11,6 +11,28 @@ use crate::zone_task::zone_entry_from_payload;
 use skycore::angle::{chord2_of_deg, deg_of_chord_approx};
 use skycore::{UnitVec, ZoneScheme};
 use stardb::{Database, DbResult, Value};
+use std::sync::OnceLock;
+
+struct NeighborObs {
+    searches: obs::Counter,
+    zones_scanned: obs::Counter,
+    pairs_examined: obs::Counter,
+    pairs_per_zone: obs::Histogram,
+}
+
+/// Pair-examination accounting for the zone join. `pairs_examined` counts
+/// rows the RA range scan surfaced (before the dec/chord cut);
+/// `pairs_per_zone` is its per-zone-stripe distribution, the quantity the
+/// zone-height tuning in the paper's tech report optimizes.
+fn nobs() -> &'static NeighborObs {
+    static N: OnceLock<NeighborObs> = OnceLock::new();
+    N.get_or_init(|| NeighborObs {
+        searches: obs::counter("maxbcg.neighbors.searches"),
+        zones_scanned: obs::counter("maxbcg.neighbors.zones_scanned"),
+        pairs_examined: obs::counter("maxbcg.neighbors.pairs_examined"),
+        pairs_per_zone: obs::histogram("maxbcg.neighbors.pairs_per_zone"),
+    })
+}
 
 /// One neighbor hit: object id and angular distance in degrees (the
 /// paper's chord/d2r convention).
@@ -61,6 +83,7 @@ pub fn visit_nearby(
     let r2 = chord2_of_deg(r);
     let (zone_min, zone_max) = scheme.zone_range(dec, r);
     let (dec_lo, dec_hi) = (dec - r, dec + r);
+    nobs().searches.incr();
     // Reused per-zone hit buffer: a zone stripe within the RA window holds
     // at most a few dozen objects at survey densities.
     let mut hits: Vec<(i64, f64, f64)> = Vec::new();
@@ -69,7 +92,9 @@ pub fn visit_nearby(
         let lo = [Value::Int(zone), Value::Float(ra - x)];
         let hi = [Value::Int(zone), Value::Float(ra + x)];
         hits.clear();
+        let mut scanned: u64 = 0;
         db.range_scan_prefix_raw("Zone", &lo, &hi, |payload| {
+            scanned += 1;
             let e = zone_entry_from_payload(payload);
             // The paper's WHERE clause: dec window plus exact chord cut.
             if e.dec >= dec_lo && e.dec <= dec_hi {
@@ -80,6 +105,9 @@ pub fn visit_nearby(
             }
             true
         })?;
+        nobs().zones_scanned.incr();
+        nobs().pairs_examined.add(scanned);
+        nobs().pairs_per_zone.record(scanned);
         for &(objid, distance, hit_dec) in &hits {
             if !visit(objid, distance, hit_dec) {
                 return Ok(());

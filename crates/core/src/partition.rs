@@ -209,6 +209,8 @@ pub fn run_partitioned_recovering(
 ) -> DbResult<(PartitionedRun, RecoveryReport)> {
     assert!(n > 0);
     assert!(policy.max_attempts > 0);
+    let attempts_counter = obs::counter("maxbcg.partition.attempts");
+    let failover_counter = obs::counter("maxbcg.partition.failovers");
     let stripes = import_window.partition_with_buffers(n, PARTITION_MARGIN_DEG);
     let start = Instant::now();
     let mut partitions = Vec::with_capacity(n);
@@ -216,6 +218,7 @@ pub fn run_partitioned_recovering(
     for (index, (native, imported)) in stripes.iter().enumerate() {
         let mut attempt = 0u32;
         let result = loop {
+            attempts_counter.incr();
             let outcome = catch_unwind(AssertUnwindSafe(|| match inject(index, attempt) {
                 Some(e) => Err(e),
                 None => {
@@ -244,6 +247,7 @@ pub fn run_partitioned_recovering(
         recovery.attempts.push(attempt);
         if attempt > 1 && result.is_ok() {
             recovery.failovers += 1;
+            failover_counter.incr();
         }
         partitions.push(result?);
     }

@@ -196,6 +196,7 @@ impl MaxBcgDb {
         import_window: &SkyRegion,
         candidate_window: &SkyRegion,
     ) -> DbResult<RunReport> {
+        let _span = obs::span(label);
         let tasks = vec![
             self.import_galaxy(sky, import_window)?,
             self.make_zone()?,
@@ -203,14 +204,16 @@ impl MaxBcgDb {
             self.make_clusters()?,
             self.make_galaxies_metric()?,
         ];
-        Ok(RunReport {
+        let report = RunReport {
             label: label.to_owned(),
             tasks,
             galaxies: self.db.row_count("Galaxy")?,
             candidates: self.db.row_count("Candidates")?,
             clusters: self.db.row_count("Clusters")?,
             members: self.db.row_count("ClusterGalaxiesMetric")?,
-        })
+        };
+        report.record_to_obs();
+        Ok(report)
     }
 
     /// Materialize the candidate catalog.

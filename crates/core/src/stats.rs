@@ -1,4 +1,10 @@
 //! Run reports in the shape of the paper's Table 1.
+//!
+//! This domain report stays the Table 1 source of truth; the `obs`
+//! registry is its unified sink. [`RunReport::record_to_obs`] mirrors
+//! every task row into `maxbcg.task.*` counters, so bench reports carry
+//! the same numbers the printed table shows without a second measurement
+//! path.
 
 use serde::{Deserialize, Serialize};
 use stardb::TaskStats;
@@ -49,6 +55,27 @@ impl RunReport {
 
     fn table1_tasks(&self) -> impl Iterator<Item = &TaskStats> {
         self.tasks.iter().filter(|t| TABLE1_TASKS.contains(&t.name.as_str()))
+    }
+
+    /// Mirror this report into the global `obs` registry: per-task
+    /// elapsed/cpu/I/O under `maxbcg.task.{name}.*`, catalog cardinalities
+    /// under `maxbcg.catalog.*`. Counters accumulate across partitions, so
+    /// a partitioned run reports totals, matching [`TaskStats::absorb`].
+    pub fn record_to_obs(&self) {
+        obs::counter("maxbcg.pipeline.runs").incr();
+        for t in &self.tasks {
+            let base = format!("maxbcg.task.{}", t.name);
+            obs::counter(&format!("{base}.elapsed_ns")).add(t.elapsed().as_nanos() as u64);
+            obs::counter(&format!("{base}.cpu_ns")).add(t.cpu.as_nanos() as u64);
+            obs::counter(&format!("{base}.io_wait_ns")).add(t.io_wait.as_nanos() as u64);
+            obs::counter(&format!("{base}.logical_reads")).add(t.logical_reads);
+            obs::counter(&format!("{base}.physical_reads")).add(t.physical_reads);
+            obs::counter(&format!("{base}.physical_writes")).add(t.physical_writes);
+        }
+        obs::counter("maxbcg.catalog.galaxies").add(self.galaxies);
+        obs::counter("maxbcg.catalog.candidates").add(self.candidates);
+        obs::counter("maxbcg.catalog.clusters").add(self.clusters);
+        obs::counter("maxbcg.catalog.members").add(self.members);
     }
 
     /// Render the Table 1 block for this run.

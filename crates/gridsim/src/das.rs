@@ -19,7 +19,32 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+struct DasObs {
+    files: obs::Counter,
+    bytes: obs::Counter,
+    modeled_ns: obs::Counter,
+    checksum_failures: obs::Counter,
+    retries: obs::Counter,
+}
+
+/// Archive-wide transfer accounting, mirrored from the per-server atomics
+/// into the global registry so run reports can show grid I/O next to
+/// database I/O. `checksum_failures` counts corrupted deliveries caught by
+/// FNV-1a verification; `retries` counts extra transfer attempts beyond
+/// the first (drops + corruptions re-fetched).
+fn dobs() -> &'static DasObs {
+    static D: OnceLock<DasObs> = OnceLock::new();
+    D.get_or_init(|| DasObs {
+        files: obs::counter("gridsim.das.files"),
+        bytes: obs::counter("gridsim.das.bytes"),
+        modeled_ns: obs::counter("gridsim.das.modeled_ns"),
+        checksum_failures: obs::counter("gridsim.das.checksum_failures"),
+        retries: obs::counter("gridsim.das.transfer_retries"),
+    })
+}
 
 /// Network cost model for DAS transfers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -165,6 +190,10 @@ impl DataArchiveServer {
         self.files_served.fetch_add(1, Ordering::Relaxed);
         self.bytes_served.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.modeled_nanos.fetch_add(t.as_nanos() as u64, Ordering::Relaxed);
+        let o = dobs();
+        o.files.incr();
+        o.bytes.add(data.len() as u64);
+        o.modeled_ns.add(t.as_nanos() as u64);
         Ok((data, t, checksum))
     }
 
@@ -207,11 +236,13 @@ impl DataArchiveServer {
                     if fnv1a(&data) == checksum {
                         return Ok((data, total, attempt));
                     }
+                    dobs().checksum_failures.incr();
                 }
             }
             if attempt >= max_attempts {
                 return Err(DasError::TransferFailed { name: name.to_owned(), attempts: attempt });
             }
+            dobs().retries.incr();
         }
     }
 

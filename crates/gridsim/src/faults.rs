@@ -15,8 +15,30 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+struct FaultObs {
+    crashes: obs::Counter,
+    drops: obs::Counter,
+    corruptions: obs::Counter,
+    stragglers: obs::Counter,
+    buffer_exhausts: obs::Counter,
+}
+
+/// Fault injections by kind, mirrored from every plan's per-plan ledger
+/// into the global registry — a chaos run's report shows what was injected
+/// next to what the recovery machinery absorbed.
+fn fobs() -> &'static FaultObs {
+    static F: OnceLock<FaultObs> = OnceLock::new();
+    F.get_or_init(|| FaultObs {
+        crashes: obs::counter("gridsim.faults.node_crashes"),
+        drops: obs::counter("gridsim.faults.transfers_dropped"),
+        corruptions: obs::counter("gridsim.faults.transfers_corrupted"),
+        stragglers: obs::counter("gridsim.faults.stragglers"),
+        buffer_exhausts: obs::counter("gridsim.faults.buffer_exhausts"),
+    })
+}
 
 /// The 64-bit finalizer of splitmix64 — a fast, well-mixed hash step.
 #[inline]
@@ -268,6 +290,7 @@ impl FaultPlan {
         let hit = self.armed(attempt) && self.draw("crash", key, attempt) < self.config.node_crash_p;
         if hit {
             self.ledger.crashes.fetch_add(1, Ordering::Relaxed);
+            fobs().crashes.incr();
         }
         hit
     }
@@ -278,6 +301,7 @@ impl FaultPlan {
             self.armed(attempt) && self.draw("bufpool", key, attempt) < self.config.buffer_exhaust_p;
         if hit {
             self.ledger.buffer_exhausts.fetch_add(1, Ordering::Relaxed);
+            fobs().buffer_exhausts.incr();
         }
         hit
     }
@@ -290,9 +314,11 @@ impl FaultPlan {
         let d = self.draw("transfer", key, attempt);
         if d < self.config.transfer_drop_p {
             self.ledger.drops.fetch_add(1, Ordering::Relaxed);
+            fobs().drops.incr();
             TransferFault::Drop
         } else if d < self.config.transfer_drop_p + self.config.transfer_corrupt_p {
             self.ledger.corruptions.fetch_add(1, Ordering::Relaxed);
+            fobs().corruptions.incr();
             let bits = self.draw_u64("corrupt-at", key, attempt);
             TransferFault::Corrupt { byte: (bits >> 8) as usize, bit: (bits & 7) as u8 }
         } else {
@@ -305,6 +331,7 @@ impl FaultPlan {
     pub fn straggler_multiplier(&self, key: &str, attempt: u32) -> f64 {
         if self.armed(attempt) && self.draw("straggle", key, attempt) < self.config.straggler_p {
             self.ledger.stragglers.fetch_add(1, Ordering::Relaxed);
+            fobs().stragglers.incr();
             self.config.straggler_factor.max(1.0)
         } else {
             1.0

@@ -1,0 +1,87 @@
+//! # obs — unified telemetry for the MaxBCG reproduction
+//!
+//! The paper's evidence is quantitative accounting: Table 1's per-task
+//! elapsed/cpu/I/O decomposition, Table 3's 40× per-node comparison,
+//! Figure 6's parallel speedup. This crate turns every run of the
+//! reproduction into the same auditable ledger the paper publishes:
+//!
+//! * **Spans** ([`span`]) — lightweight hierarchical timers over a
+//!   monotonic clock. A span guard records its name, its ancestry path
+//!   (built from the active spans on the same thread), its start offset
+//!   from process start, and its duration. Near-zero cost when telemetry
+//!   is disabled ([`set_enabled`]): disabled guards are inert and touch
+//!   no shared state.
+//! * **Metrics** ([`counter`], [`gauge`], [`histogram`]) — typed
+//!   instruments behind a global registry. Handles are cheap `Arc`s over
+//!   atomics; hot paths cache them in a `OnceLock` so the per-operation
+//!   cost is one relaxed atomic add. [`reset`] zeroes values in place, so
+//!   cached handles stay wired to the registry.
+//! * **Run reports** ([`RunReport`]) — a serializable snapshot of the
+//!   whole run: every counter/gauge/histogram, every finished span, the
+//!   git revision, the experiment seed and config, plus an
+//!   experiment-specific payload. Serialized as *canonical* JSON (map
+//!   keys sorted, struct fields in declaration order) so reports diff
+//!   cleanly across commits.
+//!
+//! The counter taxonomy lives with the instrumented crates (`stardb`
+//! names its buffer-pool counters, `gridsim` its scheduler counters, and
+//! so on); this crate only provides the instruments. See DESIGN.md
+//! ("Observability") for the full name catalog.
+//!
+//! Telemetry never influences results: instruments only observe, and the
+//! `telemetry_report` integration test proves a disabled-telemetry run
+//! produces a byte-identical catalog to an instrumented one.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod report;
+mod span;
+
+pub use metrics::{
+    counter, gauge, histogram, reset, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsSnapshot,
+};
+pub use report::{git_rev, RunReport};
+pub use span::{span, spans_snapshot, take_spans, SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable telemetry collection. Disabling makes
+/// [`span`] return inert guards and stops metric mutation; it never
+/// changes what instrumented code computes.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Tests mutate process-global state (the registry, the span buffer, the
+/// enable flag); they serialize on this lock so the harness's parallel
+/// test threads cannot interleave.
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    LOCK.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_flag_round_trips() {
+        let _g = test_guard();
+        assert!(enabled(), "telemetry defaults to on");
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

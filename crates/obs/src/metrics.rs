@@ -1,0 +1,345 @@
+//! Typed counters, gauges, and histograms behind a global registry.
+//!
+//! Handles are `Arc`s over atomics: acquiring one goes through the
+//! registry lock once, after which every update is a relaxed atomic
+//! operation. [`reset`] zeroes values *in place* rather than clearing the
+//! registry, so handles cached in `OnceLock`s (the hot-path idiom across
+//! the workspace) remain wired to the registry forever.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the gauge (no-op while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket count: values up to 2^63 land in bucket
+/// `64 - leading_zeros(v)` (value 0 in bucket 0), so bucket `k` covers
+/// `[2^(k-1), 2^k)`.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistInner {
+    fn new() -> Self {
+        HistInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Record one sample (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let h = &self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros()) as usize;
+        h.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &self.0;
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(k, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((k as u32, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]. Buckets are sparse:
+/// `(bucket_index, count)` pairs where bucket `k > 0` covers samples in
+/// `[2^(k-1), 2^k)` and bucket 0 holds exact zeros.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Sparse `(bucket, count)` pairs, ascending by bucket.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static RwLock<Registry> {
+    static REG: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(Registry::default()))
+}
+
+/// Get (or create) the counter named `name`. Interned: every caller with
+/// the same name shares one underlying atomic.
+pub fn counter(name: &str) -> Counter {
+    if let Some(c) = registry().read().counters.get(name) {
+        return c.clone();
+    }
+    registry()
+        .write()
+        .counters
+        .entry(name.to_owned())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// Get (or create) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    if let Some(g) = registry().read().gauges.get(name) {
+        return g.clone();
+    }
+    registry()
+        .write()
+        .gauges
+        .entry(name.to_owned())
+        .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+        .clone()
+}
+
+/// Get (or create) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    if let Some(h) = registry().read().histograms.get(name) {
+        return h.clone();
+    }
+    registry()
+        .write()
+        .histograms
+        .entry(name.to_owned())
+        .or_insert_with(|| Histogram(Arc::new(HistInner::new())))
+        .clone()
+}
+
+/// Zero every registered metric **in place** (handles stay valid) and
+/// drop all finished spans. Run reports capture deltas from the last
+/// reset, so bench binaries reset before the measured phase.
+pub fn reset() {
+    let reg = registry().read();
+    for c in reg.counters.values() {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.values() {
+        g.0.store(0, Ordering::Relaxed);
+    }
+    for h in reg.histograms.values() {
+        h.0.count.store(0, Ordering::Relaxed);
+        h.0.sum.store(0, Ordering::Relaxed);
+        h.0.max.store(0, Ordering::Relaxed);
+        for b in &h.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+    drop(reg);
+    crate::span::take_spans();
+}
+
+/// A snapshot of every registered metric, map-keyed so serialization is
+/// canonical (BTreeMap iterates sorted).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Capture the registry right now.
+    pub fn capture() -> Self {
+        let reg = registry().read();
+        MetricsSnapshot {
+            counters: reg.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: reg.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_interned_and_atomic_under_threads() {
+        let _g = crate::test_guard();
+        let c = counter("test.metrics.atomicity");
+        c.0.store(0, Ordering::Relaxed);
+        const THREADS: usize = 8;
+        const PER: usize = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    // Each thread resolves its own handle: same atomic.
+                    let mine = counter("test.metrics.atomicity");
+                    for _ in 0..PER {
+                        mine.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), (THREADS * PER) as u64, "no lost increments");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let _g = crate::test_guard();
+        let g = gauge("test.metrics.gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let _g = crate::test_guard();
+        let h = histogram("test.metrics.hist");
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.max, 1000);
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3;
+        // 1000 → bucket 10.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1)]);
+        assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_keeping_handles_live() {
+        let _g = crate::test_guard();
+        let c = counter("test.metrics.reset");
+        c.add(5);
+        reset();
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        // The pre-reset handle and a fresh lookup agree: same atomic.
+        assert_eq!(counter("test.metrics.reset").get(), 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_freezes_metrics() {
+        let _g = crate::test_guard();
+        let c = counter("test.metrics.disabled");
+        let base = c.get();
+        crate::set_enabled(false);
+        c.add(100);
+        histogram("test.metrics.disabled.h").record(9);
+        crate::set_enabled(true);
+        assert_eq!(c.get(), base, "disabled counter must not move");
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let _g = crate::test_guard();
+        counter("test.metrics.snap.c").add(1);
+        gauge("test.metrics.snap.g").set(-4);
+        histogram("test.metrics.snap.h").record(8);
+        let s = MetricsSnapshot::capture();
+        assert!(s.counters["test.metrics.snap.c"] >= 1);
+        assert_eq!(s.gauges["test.metrics.snap.g"], -4);
+        assert!(s.histograms["test.metrics.snap.h"].count >= 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! The `RunReport` sink: one canonical-JSON document per run.
+//!
+//! A report captures everything the registry and span collector saw —
+//! plus provenance (git revision, seed, config) and an
+//! experiment-specific `payload` — so a bench run can be diffed against
+//! the same run on another commit. Canonicality comes from `BTreeMap`
+//! keys (sorted) and fixed struct field order; `serde_json` preserves
+//! insertion order for `Map`, so payloads built from structs are stable
+//! too.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// The git revision of the working tree, resolved once per process via
+/// `git rev-parse HEAD`; `"unknown"` when git is unavailable.
+pub fn git_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned())
+    })
+}
+
+/// A machine-readable record of one run: metrics, spans, provenance,
+/// and an experiment-specific payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Experiment name (`table1`, `chaos`, ...). The output file is
+    /// `BENCH_{name}.json`.
+    pub name: String,
+    /// Git revision the run was built from (`unknown` outside a repo).
+    pub git_rev: String,
+    /// RNG seed driving the run, when the experiment is seeded.
+    pub seed: Option<u64>,
+    /// Experiment configuration (scale, partitions, fault plan, ...).
+    pub config: BTreeMap<String, serde_json::Value>,
+    /// Every counter registered at capture time, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Every gauge, by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Every histogram, by name.
+    pub histograms: BTreeMap<String, crate::HistogramSnapshot>,
+    /// Every span finished by capture time.
+    pub spans: Vec<SpanRecord>,
+    /// Experiment-specific results (the numbers the human table prints).
+    pub payload: serde_json::Value,
+}
+
+impl RunReport {
+    /// Snapshot the registry and span collector into a report named
+    /// `name`. Spans are *copied*, not drained, so a later capture in
+    /// the same process still sees them.
+    pub fn capture(name: &str) -> Self {
+        let metrics = MetricsSnapshot::capture();
+        RunReport {
+            name: name.to_owned(),
+            git_rev: git_rev().to_owned(),
+            seed: None,
+            config: BTreeMap::new(),
+            counters: metrics.counters,
+            gauges: metrics.gauges,
+            histograms: metrics.histograms,
+            spans: crate::span::spans_snapshot(),
+            payload: serde_json::Value::Null,
+        }
+    }
+
+    /// Attach the experiment seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attach one config entry (serialize failures become JSON `null`).
+    pub fn with_config<T: Serialize>(mut self, key: &str, value: T) -> Self {
+        self.config.insert(
+            key.to_owned(),
+            serde_json::to_value(value).unwrap_or(serde_json::Value::Null),
+        );
+        self
+    }
+
+    /// Attach the experiment payload (the data the human table prints).
+    pub fn with_payload<T: Serialize>(mut self, payload: &T) -> Self {
+        self.payload = serde_json::to_value(payload).unwrap_or(serde_json::Value::Null);
+        self
+    }
+
+    /// Canonical JSON: map keys sorted (BTreeMap), struct fields in
+    /// declaration order, trailing newline.
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a report back from JSON (the round-trip inverse of
+    /// [`RunReport::to_canonical_json`]).
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write `BENCH_{name}.json` under `dir`, returning the path.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_canonical_json())?;
+        Ok(path)
+    }
+
+    /// Names of `required` counters missing from the report. Empty means
+    /// the report is complete; CI fails the run otherwise.
+    pub fn missing_counters(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|r| !self.counters.contains_key(**r))
+            .map(|r| (*r).to_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_canonical_json() {
+        let _g = crate::test_guard();
+        crate::reset();
+        crate::counter("test.report.pages").add(42);
+        crate::gauge("test.report.depth").set(-1);
+        crate::histogram("test.report.sizes").record(7);
+        {
+            let _s = crate::span("test-root");
+        }
+        let report = RunReport::capture("unit")
+            .with_seed(2005)
+            .with_config("scale", 0.05)
+            .with_payload(&serde_json::json!({"rows": 3}));
+        let json = report.to_canonical_json();
+        let back = RunReport::from_json(&json).expect("parses");
+        assert_eq!(report, back, "serialize → deserialize → equal");
+        // A second serialization of the parsed form is byte-identical.
+        assert_eq!(json, back.to_canonical_json());
+    }
+
+    #[test]
+    fn write_emits_bench_file_named_after_run() {
+        let _g = crate::test_guard();
+        let dir = std::env::temp_dir().join(format!("obs-report-{}", std::process::id()));
+        let report = RunReport::capture("smoke");
+        let path = report.write(&dir).expect("writes");
+        assert_eq!(path.file_name().unwrap(), "BENCH_smoke.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(RunReport::from_json(&body).unwrap().name, "smoke");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_counters_reports_gaps() {
+        let _g = crate::test_guard();
+        crate::counter("test.report.present").incr();
+        let report = RunReport::capture("gaps");
+        assert!(report.missing_counters(&["test.report.present"]).is_empty());
+        assert_eq!(
+            report.missing_counters(&["test.report.present", "test.report.absent"]),
+            vec!["test.report.absent".to_owned()]
+        );
+    }
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Hierarchical spans over a monotonic clock.
+//!
+//! A span is opened with [`span`] and closed when its guard drops. Spans
+//! nest per thread: the guard records the `/`-joined path of the spans
+//! active on its thread at open time, so a Table 1 run produces records
+//! like `table1/P2/spZone`. Start offsets are measured from a single
+//! process-wide [`Instant`], making every record's `(start, duration)`
+//! pair comparable across threads without wall-clock skew.
+//!
+//! When telemetry is disabled the guard is inert: no allocation, no
+//! thread-local access, no shared-state mutation on drop.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (the leaf of `path`).
+    pub name: String,
+    /// `/`-joined ancestry, e.g. `table1/P2/spZone`.
+    pub path: String,
+    /// Nesting depth (0 = root span on its thread).
+    pub depth: u32,
+    /// Nanoseconds from process epoch to span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn finished() -> &'static Mutex<Vec<SpanRecord>> {
+    static FINISHED: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    FINISHED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, root first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; dropping it records the [`SpanRecord`].
+#[must_use = "a span measures the scope holding its guard"]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at open time.
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    path: String,
+    depth: u32,
+    opened: Instant,
+    start_ns: u64,
+}
+
+/// Open a span named `name`, nested under the spans already open on this
+/// thread. Returns an inert guard when telemetry is disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    let start_ns = epoch().elapsed().as_nanos() as u64;
+    let (path, depth) = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = if stack.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}/{name}", stack.join("/"))
+        };
+        let depth = stack.len() as u32;
+        stack.push(name.to_owned());
+        (path, depth)
+    });
+    SpanGuard { live: Some(LiveSpan { path, depth, opened: Instant::now(), start_ns }) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let dur_ns = live.opened.elapsed().as_nanos() as u64;
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let name = live.path.rsplit('/').next().unwrap_or(&live.path).to_owned();
+        finished().lock().push(SpanRecord {
+            name,
+            path: live.path,
+            depth: live.depth,
+            start_ns: live.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Copy of every finished span so far.
+pub fn spans_snapshot() -> Vec<SpanRecord> {
+    finished().lock().clone()
+}
+
+/// Drain (and return) every finished span.
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *finished().lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths_and_depths() {
+        let _g = crate::test_guard();
+        take_spans();
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+                let _c = span("leaf");
+            }
+        }
+        let mut got = take_spans();
+        got.sort_by_key(|s| s.path.clone());
+        let paths: Vec<(&str, u32)> =
+            got.iter().map(|s| (s.path.as_str(), s.depth)).collect();
+        assert_eq!(
+            paths,
+            vec![("outer", 0), ("outer/inner", 1), ("outer/inner/leaf", 2)]
+        );
+        assert_eq!(got[2].name, "leaf");
+    }
+
+    #[test]
+    fn timing_is_monotonic_and_children_fit_in_parents() {
+        let _g = crate::test_guard();
+        take_spans();
+        {
+            let _p = span("parent");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _c = span("child");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = take_spans();
+        let parent = spans.iter().find(|s| s.name == "parent").unwrap();
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        assert!(child.start_ns >= parent.start_ns, "child opens after parent");
+        assert!(child.dur_ns <= parent.dur_ns, "child cannot outlive parent");
+        assert!(
+            child.start_ns + child.dur_ns <= parent.start_ns + parent.dur_ns,
+            "child closes before parent"
+        );
+        assert!(parent.dur_ns >= 4_000_000, "parent spans both sleeps");
+    }
+
+    #[test]
+    fn spans_from_many_threads_all_land() {
+        let _g = crate::test_guard();
+        take_spans();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    let _root = span(&format!("thread-{t}"));
+                    let _leaf = span("work");
+                });
+            }
+        });
+        let spans = take_spans();
+        assert_eq!(spans.len(), 8);
+        // Each thread's `work` nests under its own root, not a sibling's.
+        for t in 0..4 {
+            assert!(spans.iter().any(|s| s.path == format!("thread-{t}/work")));
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::test_guard();
+        take_spans();
+        crate::set_enabled(false);
+        {
+            let _g = span("ghost");
+        }
+        crate::set_enabled(true);
+        assert!(take_spans().iter().all(|s| s.name != "ghost"));
+    }
+}

@@ -35,6 +35,14 @@ const T_INNER: u8 = 1;
 const HDR: usize = 9;
 const SLOT: usize = 4;
 
+/// Root-to-leaf descents (point lookups and range-scan seeks). One seek
+/// per query is the B+tree promise the zone join relies on; a regression
+/// here shows up as this counter outpacing query counts.
+fn seeks() -> &'static obs::Counter {
+    static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::counter("stardb.btree.seeks"))
+}
+
 /// Largest key+payload combination a single node accepts. Half a page keeps
 /// splits always possible.
 pub const MAX_ENTRY: usize = (PAGE_SIZE - HDR - SLOT) / 2 - 8;
@@ -236,6 +244,7 @@ impl BTree {
 
     /// Point lookup: the payload stored under `key`.
     pub fn get(&self, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+        seeks().incr();
         let mut pid = self.root;
         loop {
             enum Step {
@@ -458,6 +467,7 @@ impl BTree {
 
     /// Leaf where a scan starting at `bound` begins, plus the entry index.
     fn seek(&self, bound: Bound<&[u8]>) -> DbResult<(PageId, usize)> {
+        seeks().incr();
         let key = match bound {
             Bound::Unbounded => return Ok((self.leftmost_leaf()?, 0)),
             Bound::Included(k) | Bound::Excluded(k) => k,

@@ -117,6 +117,31 @@ struct PoolInner {
     capacity: usize,
 }
 
+/// Global `obs` counters mirroring [`IoStats`], plus hit/miss/eviction
+/// splits the per-pool snapshot does not carry. Handles are resolved once
+/// per pool; updates are relaxed atomic adds.
+struct PoolObs {
+    logical_reads: obs::Counter,
+    hits: obs::Counter,
+    misses: obs::Counter,
+    evictions: obs::Counter,
+    physical_reads: obs::Counter,
+    physical_writes: obs::Counter,
+}
+
+impl PoolObs {
+    fn new() -> Self {
+        PoolObs {
+            logical_reads: obs::counter("stardb.buffer.logical_reads"),
+            hits: obs::counter("stardb.buffer.hits"),
+            misses: obs::counter("stardb.buffer.misses"),
+            evictions: obs::counter("stardb.buffer.evictions"),
+            physical_reads: obs::counter("stardb.buffer.physical_reads"),
+            physical_writes: obs::counter("stardb.buffer.physical_writes"),
+        }
+    }
+}
+
 /// The buffer pool. All page access goes through [`BufferPool::with_page`]
 /// and [`BufferPool::with_page_mut`]; the closure discipline guarantees a
 /// frame cannot be evicted while in use without the complexity of pin
@@ -125,6 +150,7 @@ pub struct BufferPool {
     store: Arc<dyn PageStore>,
     inner: Mutex<PoolInner>,
     stats: IoStats,
+    obs: PoolObs,
     profile: DiskProfile,
 }
 
@@ -141,6 +167,7 @@ impl BufferPool {
                 capacity,
             }),
             stats: IoStats::default(),
+            obs: PoolObs::new(),
             profile,
         }
     }
@@ -168,6 +195,7 @@ impl BufferPool {
     /// Run `f` over an immutable view of page `id`.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
         self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.obs.logical_reads.incr();
         let mut inner = self.inner.lock();
         let idx = self.frame_for(&mut inner, id, true)?;
         Ok(f(&inner.frames[idx].data))
@@ -176,6 +204,7 @@ impl BufferPool {
     /// Run `f` over a mutable view of page `id`; the page is marked dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
         self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.obs.logical_reads.incr();
         let mut inner = self.inner.lock();
         let idx = self.frame_for(&mut inner, id, true)?;
         inner.frames[idx].dirty = true;
@@ -189,6 +218,7 @@ impl BufferPool {
             if frame.dirty {
                 self.store.write_page(frame.page, &frame.data);
                 self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                self.obs.physical_writes.incr();
                 self.stats
                     .modeled_io_nanos
                     .fetch_add(self.profile.write_latency.as_nanos() as u64, Ordering::Relaxed);
@@ -200,6 +230,7 @@ impl BufferPool {
     fn write_back(&self, frame: &Frame) {
         self.store.write_page(frame.page, &frame.data);
         self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+        self.obs.physical_writes.incr();
         self.stats
             .modeled_io_nanos
             .fetch_add(self.profile.write_latency.as_nanos() as u64, Ordering::Relaxed);
@@ -209,9 +240,10 @@ impl BufferPool {
     fn frame_for(&self, inner: &mut PoolInner, id: PageId, load: bool) -> DbResult<usize> {
         if let Some(&idx) = inner.map.get(&id) {
             inner.frames[idx].referenced = true;
+            self.obs.hits.incr();
             return Ok(idx);
         }
-        // Miss.
+        self.obs.misses.incr();
         let idx = if inner.frames.len() < inner.capacity {
             inner.frames.push(Frame {
                 page: id,
@@ -222,6 +254,7 @@ impl BufferPool {
             inner.frames.len() - 1
         } else {
             let victim = self.pick_victim(inner)?;
+            self.obs.evictions.incr();
             let old = inner.frames[victim].page;
             if inner.frames[victim].dirty {
                 self.write_back(&inner.frames[victim]);
@@ -236,6 +269,7 @@ impl BufferPool {
         if load {
             self.store.read_page(id, &mut inner.frames[idx].data);
             self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+            self.obs.physical_reads.incr();
             self.stats
                 .modeled_io_nanos
                 .fetch_add(self.profile.read_latency.as_nanos() as u64, Ordering::Relaxed);

@@ -546,6 +546,7 @@ impl Database {
         name: &str,
         body: impl FnOnce(&mut Database) -> DbResult<T>,
     ) -> DbResult<(T, TaskStats)> {
+        let _span = obs::span(name);
         let before = self.pool.stats();
         let start = Instant::now();
         let out = body(self)?;

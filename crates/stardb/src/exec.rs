@@ -12,15 +12,30 @@ use crate::expr::Expr;
 use crate::row::Row;
 use crate::value::Value;
 use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+/// Rows dropped by [`filter`] predicates, workspace-wide.
+fn rows_filtered() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("stardb.exec.rows_filtered"))
+}
+
+/// Row pairs a join operator examined (the nested-loop cost driver).
+fn join_pairs() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("stardb.exec.join_pairs_examined"))
+}
 
 /// Keep rows matching `pred`.
 pub fn filter(rows: Vec<Row>, pred: &Expr) -> DbResult<Vec<Row>> {
+    let before = rows.len();
     let mut out = Vec::new();
     for row in rows {
         if pred.matches(&row)? {
             out.push(row);
         }
     }
+    rows_filtered().add((before - out.len()) as u64);
     Ok(out)
 }
 
@@ -40,6 +55,7 @@ pub fn project(rows: &[Row], exprs: &[Expr]) -> DbResult<Vec<Row>> {
 /// Nested-loop inner join: concatenated rows where `on` holds. `on` sees
 /// the concatenated row (left columns first).
 pub fn nested_loop_join(left: &[Row], right: &[Row], on: &Expr) -> DbResult<Vec<Row>> {
+    join_pairs().add((left.len() * right.len()) as u64);
     let mut out = Vec::new();
     for l in left {
         for r in right {
@@ -56,6 +72,7 @@ pub fn nested_loop_join(left: &[Row], right: &[Row], on: &Expr) -> DbResult<Vec<
 
 /// CROSS JOIN (the paper's `Galaxy CROSS JOIN Kcorr` filter step).
 pub fn cross_join(left: &[Row], right: &[Row]) -> Vec<Row> {
+    join_pairs().add((left.len() * right.len()) as u64);
     let mut out = Vec::with_capacity(left.len() * right.len());
     for l in left {
         for r in right {

@@ -5,6 +5,20 @@ use crate::error::{DbError, DbResult};
 use crate::page;
 use crate::store::PageId;
 use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn inserts() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("stardb.heap.inserts"))
+}
+
+/// Row-at-a-time cursor steps ([`HeapFile::next_record`]). The paper's
+/// "SQL cursors ... are very slow" claim is this counter times a page
+/// re-read each.
+fn cursor_steps() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("stardb.heap.cursor_steps"))
+}
 
 /// Address of a record inside a heap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +56,7 @@ impl HeapFile {
         if record.len() > page::MAX_CELL {
             return Err(DbError::RecordTooLarge { size: record.len(), max: page::MAX_CELL });
         }
+        inserts().incr();
         let last = *self.pages.last().expect("heap always has a page");
         if let Some(slot) = self.pool.with_page_mut(last, |p| page::insert(p, record))? {
             return Ok(RowId { page: last, slot });
@@ -91,6 +106,7 @@ impl HeapFile {
     /// row-at-a-time cost profile the paper complains about ("SQL cursors
     /// ... are very slow").
     pub fn next_record(&self, after: Option<RowId>) -> DbResult<Option<(RowId, Vec<u8>)>> {
+        cursor_steps().incr();
         let (mut page_idx, mut slot_from) = match after {
             None => (0usize, 0u16),
             Some(id) => {

@@ -12,7 +12,31 @@ use skycore::kcorr::{KcorrConfig, KcorrTable};
 use skycore::types::{Candidate, Cluster, ClusterMember};
 use skycore::SkyRegion;
 use skysim::Sky;
+use std::sync::OnceLock;
 use std::time::Duration;
+
+struct TamObs {
+    fields_published: obs::Counter,
+    bytes_published: obs::Counter,
+    fields_processed: obs::Counter,
+    fields_failed: obs::Counter,
+    compute_ns: obs::Counter,
+}
+
+/// File-pipeline accounting under `tam.*`: the file-based baseline's
+/// published/processed field counts, the bytes it pushed into the archive,
+/// and the summed host compute — the numbers Figure 6's TAM-vs-DB
+/// comparison is made of.
+fn tobs() -> &'static TamObs {
+    static T: OnceLock<TamObs> = OnceLock::new();
+    T.get_or_init(|| TamObs {
+        fields_published: obs::counter("tam.fields_published"),
+        bytes_published: obs::counter("tam.bytes_published"),
+        fields_processed: obs::counter("tam.fields_processed"),
+        fields_failed: obs::counter("tam.fields_failed"),
+        compute_ns: obs::counter("tam.compute_ns"),
+    })
+}
 
 /// Configuration of a TAM run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,6 +123,8 @@ pub fn publish_region(
         das.publish(field.target_file(), t);
         das.publish(field.buffer_file(), b);
     }
+    tobs().fields_published.add(fields.len() as u64);
+    tobs().bytes_published.add(bytes);
     (fields, bytes)
 }
 
@@ -166,6 +192,7 @@ pub fn run_region(
     fields: Vec<Field>,
     cfg: &TamConfig,
 ) -> TamRun {
+    let _span = obs::span("tam_run_region");
     let kcorr = KcorrTable::generate(cfg.kcorr);
     let jobs: Vec<JobSpec<Field>> = fields
         .iter()
@@ -205,6 +232,7 @@ pub fn run_region(
         match run.output {
             Ok(FieldResult { candidates, clusters, members, counts }) => {
                 ok += 1;
+                tobs().fields_processed.incr();
                 out.candidates.extend(
                     candidates.into_iter().filter(|c| field.target.contains(c.ra, c.dec)),
                 );
@@ -212,9 +240,13 @@ pub fn run_region(
                 out.members.extend(members);
                 absorb(&mut out.counts, &counts);
             }
-            Err(e) => out.failures.push(format!("{}: {e}", run.name)),
+            Err(e) => {
+                tobs().fields_failed.incr();
+                out.failures.push(format!("{}: {e}", run.name));
+            }
         }
     }
+    tobs().compute_ns.add(total_compute.as_nanos() as u64);
     if ok > 0 {
         out.mean_field_compute = total_compute / ok.max(1);
     }

@@ -1,0 +1,125 @@
+//! Telemetry integration: the unified run report actually observes a
+//! pipeline run (every counter the ISSUE's taxonomy requires is present,
+//! spans nest under the run), the report round-trips through its canonical
+//! JSON byte-for-byte, and — the non-negotiable property — telemetry never
+//! influences results: a run with collection disabled produces a catalog
+//! identical to an instrumented run.
+
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use skycore::kcorr::KcorrTable;
+use skycore::types::{Candidate, Cluster, ClusterMember};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use std::sync::Mutex;
+
+/// These tests flip and reset process-global telemetry state; serialize
+/// them so the harness's parallel threads cannot interleave.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn tiny_run(label: &str) -> (Vec<Candidate>, Vec<Cluster>, Vec<ClusterMember>) {
+    let config = MaxBcgConfig { iteration: IterationMode::Cursor, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let import = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+    let sky = Sky::generate(import, &SkyConfig::scaled(0.05), &kcorr, 2005);
+    let mut db = MaxBcgDb::new(config).expect("schema");
+    db.run(label, &sky, &import, &import.shrunk(0.25)).expect("pipeline");
+    let mut members = db.members().expect("members");
+    members.sort_by_key(|m| (m.cluster_objid, m.galaxy_objid));
+    (db.candidates().expect("candidates"), db.clusters().expect("clusters"), members)
+}
+
+/// Counters the acceptance criteria name: buffer hit/miss and page I/O
+/// from the storage engine, per-task elapsed from the pipeline, plus the
+/// spatial-join and early-filter counters of the MaxBCG layer.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "stardb.buffer.logical_reads",
+    "stardb.buffer.hits",
+    "stardb.buffer.misses",
+    "stardb.buffer.physical_reads",
+    "stardb.buffer.physical_writes",
+    "stardb.btree.seeks",
+    "maxbcg.pipeline.runs",
+    "maxbcg.task.spZone.elapsed_ns",
+    "maxbcg.task.fBCGCandidate.elapsed_ns",
+    "maxbcg.task.fIsCluster.elapsed_ns",
+    "maxbcg.candidate.evaluated",
+    "maxbcg.neighbors.searches",
+    "maxbcg.neighbors.pairs_examined",
+    "maxbcg.catalog.galaxies",
+];
+
+#[test]
+fn table1_run_report_is_complete_and_round_trips() {
+    let _g = GUARD.lock().unwrap();
+    obs::set_enabled(true);
+    obs::reset();
+    tiny_run("telemetry-itest");
+
+    let report = obs::RunReport::capture("telemetry_itest")
+        .with_seed(2005)
+        .with_config("scale", 0.05);
+    assert_eq!(
+        report.missing_counters(REQUIRED_COUNTERS),
+        Vec::<String>::new(),
+        "every acceptance counter must be present"
+    );
+    assert!(report.counters["stardb.buffer.logical_reads"] > 0);
+    assert_eq!(
+        report.counters["stardb.buffer.logical_reads"],
+        report.counters["stardb.buffer.hits"] + report.counters["stardb.buffer.misses"],
+        "every logical read is a hit or a miss"
+    );
+    assert_eq!(report.counters["maxbcg.pipeline.runs"], 1);
+
+    // Spans: the run is a root span, the Table 1 tasks nest under it.
+    let root = report
+        .spans
+        .iter()
+        .find(|s| s.name == "telemetry-itest")
+        .expect("pipeline root span");
+    assert_eq!(root.depth, 0);
+    for task in ["spZone", "fBCGCandidate", "fIsCluster"] {
+        let s = report
+            .spans
+            .iter()
+            .find(|s| s.name == task)
+            .unwrap_or_else(|| panic!("span for {task}"));
+        assert!(s.depth > 0, "{task} must nest under the run");
+        assert!(s.path.starts_with("telemetry-itest/"), "path was {}", s.path);
+        assert!(s.start_ns >= root.start_ns);
+        assert!(s.start_ns + s.dur_ns <= root.start_ns + root.dur_ns);
+    }
+
+    // Canonical JSON round-trip: parse back equal, re-serialize identical.
+    let json = report.to_canonical_json();
+    let back = obs::RunReport::from_json(&json).expect("parses");
+    assert_eq!(report, back);
+    assert_eq!(json, back.to_canonical_json());
+    obs::reset();
+}
+
+#[test]
+fn disabled_telemetry_run_is_byte_identical_and_silent() {
+    let _g = GUARD.lock().unwrap();
+    obs::set_enabled(true);
+    obs::reset();
+    let instrumented = tiny_run("enabled-run");
+    let reads_after_instrumented = obs::counter("stardb.buffer.logical_reads").get();
+    assert!(reads_after_instrumented > 0);
+
+    obs::set_enabled(false);
+    let dark = tiny_run("disabled-run");
+    obs::set_enabled(true);
+
+    assert_eq!(instrumented, dark, "telemetry must never influence the catalog");
+    assert_eq!(
+        obs::counter("stardb.buffer.logical_reads").get(),
+        reads_after_instrumented,
+        "a disabled run must not move counters"
+    );
+    assert!(
+        !obs::spans_snapshot().iter().any(|s| s.name == "disabled-run"),
+        "a disabled run must not record spans"
+    );
+    obs::reset();
+}
