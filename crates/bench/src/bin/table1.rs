@@ -38,7 +38,12 @@ struct PaperNumbers {
 fn main() {
     let opts = BenchOpts::parse();
     let case = PaperCase::full();
-    let config = MaxBcgConfig { iteration: IterationMode::Cursor, db: bench::server_db(), ..Default::default() };
+    let config = MaxBcgConfig {
+        iteration: IterationMode::Cursor,
+        db: bench::server_db(),
+        workers: opts.workers,
+        ..Default::default()
+    };
     let kcorr = KcorrTable::generate(config.kcorr);
     println!(
         "Table 1 reproduction: target {} inside import {} at density scale {}",

@@ -7,7 +7,9 @@
 //!   1.0 reproduces the full ~14,000 galaxies/deg² and takes hours, just
 //!   like the paper's runs did);
 //! * `--seed <n>` — sky seed (default 2005);
-//! * `--out <dir>` — where JSON reports land (default `reports/`).
+//! * `--out <dir>` — where JSON reports land (default `reports/`);
+//! * `--workers <n>` — worker threads for the CPU-bound pipeline stages
+//!   (default 1 = sequential; catalogs are byte-identical either way).
 
 #![warn(missing_docs)]
 
@@ -26,11 +28,13 @@ pub struct BenchOpts {
     pub seed: u64,
     /// Report directory.
     pub out: PathBuf,
+    /// Worker threads for the CPU-bound pipeline stages.
+    pub workers: usize,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: 0.05, seed: 2005, out: PathBuf::from("reports") }
+        BenchOpts { scale: 0.05, seed: 2005, out: PathBuf::from("reports"), workers: 1 }
     }
 }
 
@@ -56,7 +60,16 @@ impl BenchOpts {
                 "--out" => {
                     opts.out = args.next().map(PathBuf::from).expect("--out needs a path");
                 }
-                other => panic!("unknown flag {other} (supported: --scale --seed --out)"),
+                "--workers" => {
+                    opts.workers = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w| w >= 1)
+                        .expect("--workers needs a positive integer");
+                }
+                other => {
+                    panic!("unknown flag {other} (supported: --scale --seed --out --workers)")
+                }
             }
         }
         opts

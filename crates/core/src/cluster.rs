@@ -76,11 +76,17 @@ pub fn f_is_cluster(
 
 /// `spMakeClusters`: truncate `Clusters` and insert every candidate for
 /// which `fIsCluster` returns 1. Returns the number of clusters.
+///
+/// `workers > 1` evaluates `fIsCluster` on a zone-striped worker pool
+/// (`fIsCluster` only reads `Zone` and the fully built `Candidates`
+/// table); survivors are re-sorted by objid before insertion so the
+/// `Clusters` table is byte-identical at any worker count.
 pub fn sp_make_clusters(
     db: &mut Database,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
+    workers: usize,
 ) -> DbResult<u64> {
     db.truncate("Clusters")?;
     // Materialize the candidate list first (the scan must not alias the
@@ -90,12 +96,35 @@ pub fn sp_make_clusters(
         candidates.push(candidate_from_row(row)?);
         Ok(true)
     })?;
-    let mut n = 0;
-    for c in &candidates {
-        if f_is_cluster(db, kcorr, scheme, params, c)? {
-            db.insert("Clusters", candidate_row(c))?;
-            n += 1;
+    let mut keep: Vec<Candidate> = if workers <= 1 {
+        let mut out = Vec::new();
+        for c in &candidates {
+            if f_is_cluster(db, kcorr, scheme, params, c)? {
+                out.push(*c);
+            }
         }
+        out
+    } else {
+        let reader = db.reader();
+        let stripes = crate::parallel::zone_stripes(candidates, |c| scheme.zone_of(c.dec), workers);
+        crate::parallel::map_stripes(workers, stripes, |c| {
+            Ok(f_is_cluster(&reader, kcorr, scheme, params, c)?.then_some(*c))
+        })?
+        .into_iter()
+        .flatten()
+        .flatten()
+        .collect()
+    };
+    keep.sort_by_key(|c| c.objid);
+    let mut n = 0;
+    let mut keep = keep.into_iter();
+    loop {
+        let batch: Vec<_> =
+            keep.by_ref().take(crate::parallel::INSERT_BATCH).map(|c| candidate_row(&c)).collect();
+        if batch.is_empty() {
+            break;
+        }
+        n += db.insert_rows("Clusters", batch)?;
     }
     Ok(n)
 }
@@ -165,7 +194,7 @@ mod tests {
     fn sp_make_clusters_fills_table() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let n = sp_make_clusters(&mut db, &kcorr, &scheme, &p).unwrap();
+        let n = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(n, 2);
         assert_eq!(db.row_count("Clusters").unwrap(), 2);
         let ids: Vec<i64> = db
@@ -181,8 +210,21 @@ mod tests {
     fn rerun_is_idempotent() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let a = sp_make_clusters(&mut db, &kcorr, &scheme, &p).unwrap();
-        let b = sp_make_clusters(&mut db, &kcorr, &scheme, &p).unwrap();
+        let a = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let b = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_pool_matches_sequential_table() {
+        let (mut db, kcorr, scheme, _) = setup();
+        let p = BcgParams::default();
+        let n1 = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let seq = db.scan("Clusters").unwrap();
+        for workers in [2, 4] {
+            let n = sp_make_clusters(&mut db, &kcorr, &scheme, &p, workers).unwrap();
+            assert_eq!(n, n1, "workers={workers}");
+            assert_eq!(db.scan("Clusters").unwrap(), seq, "workers={workers}");
+        }
     }
 }

@@ -15,6 +15,7 @@ pub mod cluster;
 pub mod import;
 pub mod members;
 pub mod neighbors;
+pub mod parallel;
 pub mod partition;
 pub mod pipeline;
 pub mod schema;

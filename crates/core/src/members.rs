@@ -62,11 +62,20 @@ pub fn f_get_cluster_galaxies(
 
 /// `spMakeGalaxiesMetric`: loop over `Clusters` (a cursor in the paper)
 /// filling `ClusterGalaxiesMetric`. Returns the number of membership rows.
+///
+/// `workers > 1` expands clusters on a zone-striped worker pool
+/// (`fGetClusterGalaxiesMetric` only reads `Galaxy` and `Zone`). The
+/// metric table is a heap whose scan order is insertion order, so the
+/// per-cluster groups are merged back into cluster-objid order — the
+/// sequential insertion order, `Clusters` being objid-clustered — before
+/// writing; within a group the BCG-first visit order is already
+/// deterministic.
 pub fn sp_make_galaxies_metric(
     db: &mut Database,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
+    workers: usize,
 ) -> DbResult<u64> {
     db.truncate("ClusterGalaxiesMetric")?;
     let mut clusters = Vec::new();
@@ -74,19 +83,40 @@ pub fn sp_make_galaxies_metric(
         clusters.push(candidate_from_row(row)?);
         Ok(true)
     })?;
-    let mut n = 0;
-    for cluster in &clusters {
-        for m in f_get_cluster_galaxies(db, kcorr, scheme, params, cluster)? {
-            db.insert(
-                "ClusterGalaxiesMetric",
-                Row(vec![
-                    Value::BigInt(m.cluster_objid),
-                    Value::BigInt(m.galaxy_objid),
-                    Value::Float(m.distance),
-                ]),
-            )?;
-            n += 1;
+    let groups: Vec<Vec<ClusterMember>> = if workers <= 1 {
+        let mut out = Vec::with_capacity(clusters.len());
+        for cluster in &clusters {
+            out.push(f_get_cluster_galaxies(db, kcorr, scheme, params, cluster)?);
         }
+        out
+    } else {
+        let reader = db.reader();
+        let stripes = crate::parallel::zone_stripes(clusters, |c| scheme.zone_of(c.dec), workers);
+        let mut groups: Vec<Vec<ClusterMember>> =
+            crate::parallel::map_stripes(workers, stripes, |cluster| {
+                f_get_cluster_galaxies(&reader, kcorr, scheme, params, cluster)
+            })?
+            .into_iter()
+            .flatten()
+            .collect();
+        // Every group leads with its BCG row, so the key always exists.
+        groups.sort_by_key(|ms| ms.first().map(|m| m.cluster_objid));
+        groups
+    };
+    let mut n = 0;
+    let mut rows = groups.into_iter().flatten().map(|m| {
+        Row(vec![
+            Value::BigInt(m.cluster_objid),
+            Value::BigInt(m.galaxy_objid),
+            Value::Float(m.distance),
+        ])
+    });
+    loop {
+        let batch: Vec<Row> = rows.by_ref().take(crate::parallel::INSERT_BATCH).collect();
+        if batch.is_empty() {
+            break;
+        }
+        n += db.insert_rows("ClusterGalaxiesMetric", batch)?;
     }
     Ok(n)
 }
@@ -166,12 +196,25 @@ mod tests {
     fn metric_table_filled_by_procedure() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let n = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p).unwrap();
+        let n = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(n, 6);
         assert_eq!(db.row_count("ClusterGalaxiesMetric").unwrap(), 6);
         // Re-running truncates and refills.
-        let n2 = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p).unwrap();
+        let n2 = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(n2, 6);
         assert_eq!(db.row_count("ClusterGalaxiesMetric").unwrap(), 6);
+    }
+
+    #[test]
+    fn worker_pool_matches_sequential_table() {
+        let (mut db, kcorr, scheme, _) = setup();
+        let p = BcgParams::default();
+        let n1 = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let seq = db.scan("ClusterGalaxiesMetric").unwrap();
+        for workers in [2, 4] {
+            let n = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, workers).unwrap();
+            assert_eq!(n, n1, "workers={workers}");
+            assert_eq!(db.scan("ClusterGalaxiesMetric").unwrap(), seq, "workers={workers}");
+        }
     }
 }

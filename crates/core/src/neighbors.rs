@@ -85,8 +85,11 @@ pub fn visit_nearby(
     let (dec_lo, dec_hi) = (dec - r, dec + r);
     nobs().searches.incr();
     // Reused per-zone hit buffer: a zone stripe within the RA window holds
-    // at most a few dozen objects at survey densities.
-    let mut hits: Vec<(i64, f64, f64)> = Vec::new();
+    // at most a few dozen objects at survey densities. Hits carry the raw
+    // squared chord — the asin in `deg_of_chord_approx` runs after the
+    // scan, only for survivors of the chord cut, outside the latch-holding
+    // closure.
+    let mut hits: Vec<(i64, f64, f64)> = Vec::with_capacity(32);
     for zone in zone_min..=zone_max {
         let x = scheme.ra_half_window(dec, r, zone);
         let lo = [Value::Int(zone), Value::Float(ra - x)];
@@ -100,7 +103,7 @@ pub fn visit_nearby(
             if e.dec >= dec_lo && e.dec <= dec_hi {
                 let c2 = center.chord2(&e.pos);
                 if c2 < r2 {
-                    hits.push((e.objid, deg_of_chord_approx(c2.sqrt()), e.dec));
+                    hits.push((e.objid, c2, e.dec));
                 }
             }
             true
@@ -108,8 +111,8 @@ pub fn visit_nearby(
         nobs().zones_scanned.incr();
         nobs().pairs_examined.add(scanned);
         nobs().pairs_per_zone.record(scanned);
-        for &(objid, distance, hit_dec) in &hits {
-            if !visit(objid, distance, hit_dec) {
+        for &(objid, c2, hit_dec) in &hits {
+            if !visit(objid, deg_of_chord_approx(c2.sqrt()), hit_dec) {
                 return Ok(());
             }
         }

@@ -5,6 +5,7 @@ use crate::candidate::f_bcg_candidate;
 use crate::cluster::{candidate_from_row, candidate_row, sp_make_clusters};
 use crate::import::{galaxy_from_row, sp_import_galaxy};
 use crate::members::sp_make_galaxies_metric;
+use crate::parallel;
 use crate::schema::create_schema;
 use crate::stats::RunReport;
 use crate::zone_task::sp_zone;
@@ -41,6 +42,12 @@ pub struct MaxBcgConfig {
     pub iteration: IterationMode,
     /// Early χ² filtering (§2.6); disable only for the ablation bench.
     pub early_filter: bool,
+    /// Worker threads for the CPU-bound stages (`fBCGCandidate`,
+    /// `fIsCluster`, `fGetClusterGalaxiesMetric`). `1` (the default) runs
+    /// the sequential path; any count produces byte-identical catalogs —
+    /// workers only evaluate, the merge and all inserts stay ordered by
+    /// objid (see [`crate::parallel`]).
+    pub workers: usize,
 }
 
 impl Default for MaxBcgConfig {
@@ -52,6 +59,7 @@ impl Default for MaxBcgConfig {
             zone_height_deg: skycore::angle::ZONE_HEIGHT_DEG,
             iteration: IterationMode::Cursor,
             early_filter: true,
+            workers: 1,
         }
     }
 }
@@ -112,23 +120,24 @@ impl MaxBcgDb {
         let params = self.config.params;
         let iteration = self.config.iteration;
         let early = self.config.early_filter;
+        let workers = self.config.workers.max(1);
         let (_, stats) = self.db.run_task("fBCGCandidate", |db| {
             db.truncate("Candidates")?;
+            // Materialize the galaxy list with the configured iteration
+            // strategy: the cursor's fetch-at-a-time cost profile is the
+            // paper's, the streaming scan is §2.6's set-based wish.
+            let mut galaxies = Vec::new();
             match iteration {
                 IterationMode::Cursor => {
                     let mut cursor = db.cursor("Galaxy")?;
                     while let Some(row) = cursor.fetch_next(db)? {
                         let g = galaxy_from_row(&row)?;
-                        if !window.contains(g.ra, g.dec) {
-                            continue;
-                        }
-                        if let Some(c) = f_bcg_candidate(db, kcorr, &scheme, &params, &g, early)? {
-                            db.insert("Candidates", candidate_row(&c))?;
+                        if window.contains(g.ra, g.dec) {
+                            galaxies.push(g);
                         }
                     }
                 }
                 IterationMode::SetBased => {
-                    let mut galaxies = Vec::new();
                     db.scan_with("Galaxy", |row| {
                         let g = galaxy_from_row(row)?;
                         if window.contains(g.ra, g.dec) {
@@ -136,12 +145,39 @@ impl MaxBcgDb {
                         }
                         Ok(true)
                     })?;
-                    for g in &galaxies {
-                        if let Some(c) = f_bcg_candidate(db, kcorr, &scheme, &params, g, early)? {
-                            db.insert("Candidates", candidate_row(&c))?;
-                        }
+                }
+            }
+            let mut cands: Vec<Candidate> = if workers <= 1 {
+                let mut out = Vec::new();
+                for g in &galaxies {
+                    if let Some(c) = f_bcg_candidate(db, kcorr, &scheme, &params, g, early)? {
+                        out.push(c);
                     }
                 }
+                out
+            } else {
+                let reader = db.reader();
+                let stripes = parallel::zone_stripes(galaxies, |g| scheme.zone_of(g.dec), workers);
+                parallel::map_stripes(workers, stripes, |g| {
+                    f_bcg_candidate(&reader, kcorr, &scheme, &params, g, early)
+                })?
+                .into_iter()
+                .flatten()
+                .flatten()
+                .collect()
+            };
+            // The galaxy scan surfaces objid order; re-sorting after the
+            // stripe merge restores it, so the catalog bytes never depend
+            // on the worker count.
+            cands.sort_by_key(|c| c.objid);
+            let mut cands = cands.into_iter();
+            loop {
+                let batch: Vec<_> =
+                    cands.by_ref().take(parallel::INSERT_BATCH).map(|c| candidate_row(&c)).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                db.insert_rows("Candidates", batch)?;
             }
             Ok(())
         })?;
@@ -153,9 +189,10 @@ impl MaxBcgDb {
         let kcorr = &self.kcorr;
         let scheme = self.scheme;
         let params = self.config.params;
+        let workers = self.config.workers;
         let (_, stats) = self
             .db
-            .run_task("fIsCluster", |db| sp_make_clusters(db, kcorr, &scheme, &params))?;
+            .run_task("fIsCluster", |db| sp_make_clusters(db, kcorr, &scheme, &params, workers))?;
         Ok(stats)
     }
 
@@ -164,8 +201,9 @@ impl MaxBcgDb {
         let kcorr = &self.kcorr;
         let scheme = self.scheme;
         let params = self.config.params;
+        let workers = self.config.workers;
         let (_, stats) = self.db.run_task("spMakeGalaxiesMetric", |db| {
-            sp_make_galaxies_metric(db, kcorr, &scheme, &params)
+            sp_make_galaxies_metric(db, kcorr, &scheme, &params, workers)
         })?;
         Ok(stats)
     }
@@ -293,6 +331,24 @@ mod tests {
         assert_eq!(a.candidates().unwrap(), b.candidates().unwrap());
         assert_eq!(a.clusters().unwrap(), b.clusters().unwrap());
         assert_eq!(a.members().unwrap(), b.members().unwrap());
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_catalogs() {
+        let (seq, _, _) = run_pipeline(IterationMode::Cursor);
+        for workers in [2, 4] {
+            let config = MaxBcgConfig { workers, ..MaxBcgConfig::default() };
+            let kcorr = KcorrTable::generate(config.kcorr);
+            let survey = SkyRegion::new(180.0, 182.2, -1.1, 1.1);
+            let mut sky_cfg = SkyConfig::scaled(0.15);
+            sky_cfg.clusters.density_per_deg2 = 12.0;
+            let sky = Sky::generate(survey, &sky_cfg, &kcorr, 404);
+            let mut db = MaxBcgDb::new(config).unwrap();
+            db.run("par", &sky, &survey, &survey.shrunk(0.5)).unwrap();
+            assert_eq!(db.candidates().unwrap(), seq.candidates().unwrap(), "workers={workers}");
+            assert_eq!(db.clusters().unwrap(), seq.clusters().unwrap(), "workers={workers}");
+            assert_eq!(db.members().unwrap(), seq.members().unwrap(), "workers={workers}");
+        }
     }
 
     #[test]

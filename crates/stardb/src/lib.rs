@@ -30,7 +30,7 @@ pub mod expr;
 pub mod sql;
 pub mod stats;
 
-pub use db::{Cursor, Database, DbConfig};
+pub use db::{Cursor, Database, DbConfig, DbReader};
 pub use expr::{BinOp, Expr, Func};
 pub use sql::SqlOutput;
 pub use stats::TaskStats;

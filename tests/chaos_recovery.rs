@@ -134,6 +134,45 @@ fn three_way_partition_chaos_preserves_figure6_identity() {
     let mut seq_members = seq.members().unwrap();
     seq_members.sort_by_key(|m| (m.cluster_objid, m.galaxy_objid));
     assert_eq!(par.members, seq_members, "membership identity broke");
+
+    // Partitions run on real threads, so the batch wall tracks the
+    // slowest partition (retries included) — never the sum. The slack
+    // absorbs spawn/join/merge overhead on a loaded host.
+    let max_wall = par.max_partition_wall();
+    assert!(par.wall_elapsed >= max_wall);
+    assert!(
+        par.wall_elapsed <= max_wall.mul_f64(1.25) + Duration::from_millis(250),
+        "batch wall {:?} far exceeds slowest partition {:?}",
+        par.wall_elapsed,
+        max_wall
+    );
+
+    // The identity must also survive in-partition worker pools under the
+    // same (seed-reproducible) fault schedule.
+    let plan2 = FaultPlan::new(FaultConfig::always(31, 1));
+    let (par2, recovery2) = run_partitioned_recovering(
+        &MaxBcgConfig { workers: 2, ..config },
+        &sky,
+        &survey,
+        &cand,
+        3,
+        RecoveryPolicy { max_attempts: 3 },
+        &mut |index, attempt| {
+            let key = format!("P{}", index + 1);
+            if index % 2 == 0 {
+                plan2.buffer_exhausts(&key, attempt).then_some(DbError::BufferExhausted)
+            } else if plan2.node_crashes(&key, attempt) {
+                panic!("injected crash on {key}");
+            } else {
+                None
+            }
+        },
+    )
+    .unwrap();
+    assert_eq!(recovery2.attempts, vec![2, 2, 2], "same seed must inject the same schedule");
+    assert_eq!(par2.candidates, par.candidates, "worker pools broke candidate identity");
+    assert_eq!(par2.clusters, par.clusters, "worker pools broke cluster identity");
+    assert_eq!(par2.members, par.members, "worker pools broke membership identity");
 }
 
 #[test]

@@ -17,7 +17,14 @@ use std::sync::Mutex;
 static GUARD: Mutex<()> = Mutex::new(());
 
 fn tiny_run(label: &str) -> (Vec<Candidate>, Vec<Cluster>, Vec<ClusterMember>) {
-    let config = MaxBcgConfig { iteration: IterationMode::Cursor, ..Default::default() };
+    tiny_run_with(label, 1)
+}
+
+fn tiny_run_with(
+    label: &str,
+    workers: usize,
+) -> (Vec<Candidate>, Vec<Cluster>, Vec<ClusterMember>) {
+    let config = MaxBcgConfig { iteration: IterationMode::Cursor, workers, ..Default::default() };
     let kcorr = KcorrTable::generate(config.kcorr);
     let import = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
     let sky = Sky::generate(import, &SkyConfig::scaled(0.05), &kcorr, 2005);
@@ -109,9 +116,14 @@ fn disabled_telemetry_run_is_byte_identical_and_silent() {
 
     obs::set_enabled(false);
     let dark = tiny_run("disabled-run");
+    let dark_parallel = tiny_run_with("disabled-parallel-run", 2);
     obs::set_enabled(true);
 
     assert_eq!(instrumented, dark, "telemetry must never influence the catalog");
+    assert_eq!(
+        instrumented, dark_parallel,
+        "telemetry must never influence the catalog, worker pools included"
+    );
     assert_eq!(
         obs::counter("stardb.buffer.logical_reads").get(),
         reads_after_instrumented,
@@ -121,5 +133,21 @@ fn disabled_telemetry_run_is_byte_identical_and_silent() {
         !obs::spans_snapshot().iter().any(|s| s.name == "disabled-run"),
         "a disabled run must not record spans"
     );
+    obs::reset();
+}
+
+#[test]
+fn worker_pools_record_contention_telemetry() {
+    // Poison-tolerant: a failure in a sibling test must not cascade here.
+    let _g = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    obs::set_enabled(true);
+    obs::reset();
+    let seq = tiny_run("pool-seq");
+    assert_eq!(obs::counter("maxbcg.parallel.pools").get(), 0, "sequential runs never fan out");
+    let par = tiny_run_with("pool-par", 2);
+    assert_eq!(par, seq, "fan-out changed the catalog");
+    // Candidates, clusters, and members each ran one pool.
+    assert_eq!(obs::counter("maxbcg.parallel.pools").get(), 3);
+    assert!(obs::counter("maxbcg.parallel.stripes").get() > 0);
     obs::reset();
 }
