@@ -52,7 +52,7 @@ fn bench_candidate(c: &mut Criterion) {
         b.iter(|| {
             for g in &f.sample {
                 black_box(
-                    f_bcg_candidate(&f.db, &f.kcorr, &f.scheme, &params, g, true).unwrap(),
+                    f_bcg_candidate(&f.db, None, &f.kcorr, &f.scheme, &params, g, true).unwrap(),
                 );
             }
         })
@@ -61,7 +61,7 @@ fn bench_candidate(c: &mut Criterion) {
         b.iter(|| {
             for g in &f.sample {
                 black_box(
-                    f_bcg_candidate(&f.db, &f.kcorr, &f.scheme, &params, g, false).unwrap(),
+                    f_bcg_candidate(&f.db, None, &f.kcorr, &f.scheme, &params, g, false).unwrap(),
                 );
             }
         })

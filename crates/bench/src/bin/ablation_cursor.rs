@@ -26,6 +26,7 @@ struct CursorReport {
     set_based_logical_reads: u64,
     overhead: f64,
     identical: bool,
+    hash_join_rows: u64,
 }
 
 fn main() {
@@ -34,6 +35,7 @@ fn main() {
     let candidate_window = survey.shrunk(0.5);
 
     let mut runs = Vec::new();
+    let mut set_db: Option<MaxBcgDb> = None;
     for mode in [IterationMode::Cursor, IterationMode::SetBased] {
         let config = MaxBcgConfig { iteration: mode, db: bench::server_db(), ..Default::default() };
         let kcorr = KcorrTable::generate(config.kcorr);
@@ -43,6 +45,9 @@ fn main() {
         db.make_zone().expect("zone");
         let stats = db.make_candidates(&candidate_window).expect("candidates");
         runs.push((stats, db.candidates().expect("rows"), db.db().row_count("Galaxy").unwrap()));
+        if mode == IterationMode::SetBased {
+            set_db = Some(db);
+        }
     }
     let (cursor_stats, cursor_rows, galaxies) = &runs[0];
     let (set_stats, set_rows, _) = &runs[1];
@@ -64,6 +69,27 @@ fn main() {
     );
     assert!(identical);
 
+    // The set-based endgame of §2.6, now with a set-based join to match:
+    // re-join the candidate catalog to the galaxies it was k-corrected
+    // from, as one SQL hash equi-join on objid instead of a per-cursor-row
+    // index descent. Every candidate must find exactly its source galaxy.
+    let hash_rows = obs::counter("stardb.exec.hash_join_rows");
+    let hash_rows_0 = hash_rows.get();
+    let db = set_db.as_mut().expect("set-based run kept");
+    let (_, rows) = db
+        .db_mut()
+        .execute_sql(
+            "SELECT COUNT(*) FROM Candidates c JOIN Galaxy g ON c.objid = g.objid",
+        )
+        .expect("hash equi-join")
+        .rows()
+        .expect("result set");
+    let joined = rows[0].i64(0).expect("count") as usize;
+    let hash_join_rows = hash_rows.get() - hash_rows_0;
+    assert_eq!(joined, set_rows.len(), "every candidate joins its source galaxy");
+    assert_eq!(hash_join_rows as usize, joined, "the equi-join must take the hash path");
+    println!("k-correction re-join: {joined} candidates matched via hash join");
+
     let report = CursorReport {
         scale: opts.scale,
         galaxies: *galaxies,
@@ -73,6 +99,7 @@ fn main() {
         set_based_logical_reads: set_stats.logical_reads,
         overhead,
         identical,
+        hash_join_rows,
     };
     let path = opts.write_report("ablation_cursor", &report);
     println!("report written to {}", path.display());

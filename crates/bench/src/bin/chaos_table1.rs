@@ -205,6 +205,40 @@ fn main() {
     println!("{}", t.render());
     println!("identity invariant: recovered union == sequential catalog, at every schedule");
 
+    // ---- zone-cache staleness drill ---------------------------------------
+    // Recovery re-runs spZone, so a snapshot captured before a fault must
+    // degrade to the clustered index, never to wrong answers: hold the old
+    // snapshot across a re-zone (its epoch is now stale), search through
+    // it, and demand bit-identical hits plus a moving fallback counter.
+    let fallbacks = obs::counter("maxbcg.zonecache.fallbacks");
+    let stale = seq_db.zone_snapshot().expect("zone cache on by default").clone();
+    seq_db.make_zone().expect("re-zone");
+    assert!(!stale.is_fresh(seq_db.db()), "re-running spZone must move the Zone epoch");
+    let fallbacks_0 = fallbacks.get();
+    let (mut via_stale, mut via_fresh) = (Vec::new(), Vec::new());
+    for g in sky.galaxies.iter().step_by(97) {
+        maxbcg::visit_nearby_with(seq_db.db(), Some(&*stale), seq_db.scheme(), g.ra, g.dec, 0.2, |o, d, _| {
+            via_stale.push((o, d.to_bits()));
+            true
+        })
+        .expect("stale-snapshot search");
+        let fresh = seq_db.zone_snapshot().map(|s| &**s);
+        maxbcg::visit_nearby_with(seq_db.db(), fresh, seq_db.scheme(), g.ra, g.dec, 0.2, |o, d, _| {
+            via_fresh.push((o, d.to_bits()));
+            true
+        })
+        .expect("fresh-snapshot search");
+    }
+    assert_eq!(via_stale, via_fresh, "stale-snapshot fallback changed answers");
+    assert!(
+        fallbacks.get() > fallbacks_0,
+        "maxbcg.zonecache.fallbacks must move when a stale snapshot is offered"
+    );
+    println!(
+        "zone-cache drill: {} stale searches fell back to the clustered index, identically",
+        fallbacks.get() - fallbacks_0
+    );
+
     let report =
         ChaosReport { scale: opts.scale, seed: opts.seed, schedules: outcomes };
     let path = opts.write_report("chaos_table1", &report);

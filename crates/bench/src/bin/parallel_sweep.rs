@@ -83,6 +83,8 @@ fn main() {
         "I/O",
         "identical",
     ]);
+    let cache_hits = obs::counter("maxbcg.zonecache.hits");
+    let cache_hits_0 = cache_hits.get();
     for workers in WORKER_SWEEP {
         let config = MaxBcgConfig { workers, ..base };
         let mut db = MaxBcgDb::new(config).expect("schema");
@@ -126,6 +128,34 @@ fn main() {
         });
     }
     println!("{}", t.render());
+    // Every sweep point ran with the zone cache on (the default); the
+    // snapshot must actually have served the zone joins.
+    assert!(
+        cache_hits.get() > cache_hits_0,
+        "maxbcg.zonecache.hits must move across the sweep — the snapshot never served"
+    );
+
+    // ---- zone cache off: identity, not speed -------------------------------
+    // One extra point with the snapshot disabled: every search takes the
+    // clustered-index path and the catalogs must still match the baseline
+    // byte for byte — the cache is a cost knob, never an answer knob.
+    let cache_off_identical = {
+        let config = MaxBcgConfig { workers: 2, zone_cache: false, ..base };
+        let mut db = MaxBcgDb::new(config).expect("schema");
+        db.run("cache-off", &sky, &case.import, &case.candidates).expect("cache-off run");
+        assert!(db.zone_snapshot().is_none(), "zone_cache=false must not build a snapshot");
+        let catalogs = (
+            db.candidates().expect("candidates"),
+            db.clusters().expect("clusters"),
+            db.members().expect("members"),
+        );
+        baseline.as_ref() == Some(&catalogs)
+    };
+    println!(
+        "zone cache off (2 workers): identical to baseline: {}",
+        if cache_off_identical { "YES" } else { "NO — BUG" }
+    );
+    assert!(cache_off_identical, "disabling the zone cache changed the catalogs");
 
     // ---- threaded 3-way partition fan-out ----------------------------------
     let workers = host_cores.min(2).max(1);

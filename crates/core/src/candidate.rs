@@ -4,7 +4,8 @@
 //! back to `Galaxy` for photometry.
 
 use crate::import::galaxy_from_payload;
-use crate::neighbors::visit_nearby;
+use crate::neighbors::visit_nearby_with;
+use crate::zone_cache::ZoneSnapshot;
 use skycore::bcg::{self, BcgParams, PassingRedshift};
 use skycore::kcorr::KcorrTable;
 use skycore::types::{Candidate, Friend, Galaxy};
@@ -39,8 +40,13 @@ fn cobs() -> &'static CandidateObs {
 /// neighbor search and per-redshift counting run for *all* redshifts and
 /// the χ² cut is applied only at the very end — same answer, dramatically
 /// more work.
+///
+/// `snap` is the optional zone snapshot: when fresh, the neighbor search
+/// runs columnar; stale or `None` takes the clustered-index path. Either
+/// way the answer is identical (see [`crate::zone_cache`]).
 pub fn f_bcg_candidate(
     db: &Database,
+    snap: Option<&ZoneSnapshot>,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
@@ -72,7 +78,7 @@ pub fn f_bcg_candidate(
     // photometry and apply the bounding windows.
     let mut friends: Vec<Friend> = Vec::new();
     let mut join_err: Option<DbError> = None;
-    visit_nearby(db, scheme, g.ra, g.dec, windows.radius_deg, |objid, distance, _| {
+    visit_nearby_with(db, snap, scheme, g.ra, g.dec, windows.radius_deg, |objid, distance, _| {
         if objid == g.objid {
             return true;
         }
@@ -180,7 +186,7 @@ mod tests {
             total += 1;
             let g = db_galaxy(&db, t.bcg_objid);
             if let Some(c) =
-                f_bcg_candidate(&db, &kcorr, &scheme, &params, &g, true).unwrap()
+                f_bcg_candidate(&db, None, &kcorr, &scheme, &params, &g, true).unwrap()
             {
                 assert!((c.z - t.z).abs() < 0.08, "z {} vs {}", c.z, t.z);
                 assert!(c.ngal >= 2);
@@ -200,7 +206,7 @@ mod tests {
         let mut checked = 0;
         for g_raw in sky.galaxies.iter().step_by(37) {
             let g = db_galaxy(&db, g_raw.objid);
-            let via_db = f_bcg_candidate(&db, &kcorr, &scheme, &params, &g, true).unwrap();
+            let via_db = f_bcg_candidate(&db, None, &kcorr, &scheme, &params, &g, true).unwrap();
             let center = g.unit_vec();
             let via_mem = bcg::evaluate_candidate(&g, &kcorr, &params, |w| {
                 sky.galaxies
@@ -231,8 +237,8 @@ mod tests {
         let params = BcgParams::default();
         for g_raw in sky.galaxies.iter().step_by(101) {
             let g = db_galaxy(&db, g_raw.objid);
-            let fast = f_bcg_candidate(&db, &kcorr, &scheme, &params, &g, true).unwrap();
-            let slow = f_bcg_candidate(&db, &kcorr, &scheme, &params, &g, false).unwrap();
+            let fast = f_bcg_candidate(&db, None, &kcorr, &scheme, &params, &g, true).unwrap();
+            let slow = f_bcg_candidate(&db, None, &kcorr, &scheme, &params, &g, false).unwrap();
             assert_eq!(fast, slow, "objid {}", g.objid);
         }
     }
@@ -243,7 +249,7 @@ mod tests {
         let params = BcgParams::default();
         let junk = Galaxy::with_derived_errors(999_999_999, 180.5, 0.0, 18.0, -1.5, 3.0);
         let io_before = db.io_stats().logical_reads;
-        let out = f_bcg_candidate(&db, &kcorr, &scheme, &params, &junk, true).unwrap();
+        let out = f_bcg_candidate(&db, None, &kcorr, &scheme, &params, &junk, true).unwrap();
         assert!(out.is_none());
         assert_eq!(
             db.io_stats().logical_reads,

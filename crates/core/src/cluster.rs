@@ -6,7 +6,8 @@
 //! found, as in the paper, by running the zone neighborhood search over the
 //! galaxy Zone table and joining the hits against `Candidates`.
 
-use crate::neighbors::visit_nearby;
+use crate::neighbors::visit_nearby_with;
+use crate::zone_cache::ZoneSnapshot;
 use skycore::bcg::{self, BcgParams};
 use skycore::kcorr::KcorrTable;
 use skycore::types::Candidate;
@@ -40,8 +41,12 @@ pub fn candidate_row(c: &Candidate) -> Row {
 }
 
 /// `fIsCluster`: is this candidate the best in its neighborhood?
+///
+/// `snap` is the optional zone snapshot; fresh → columnar search, stale or
+/// `None` → clustered-index scan, identical answers either way.
 pub fn f_is_cluster(
     db: &Database,
+    snap: Option<&ZoneSnapshot>,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
@@ -50,7 +55,7 @@ pub fn f_is_cluster(
     let rad = kcorr.nearest(c.z).radius;
     let mut best = f64::NEG_INFINITY;
     let mut join_err: Option<stardb::DbError> = None;
-    visit_nearby(db, scheme, c.ra, c.dec, rad, |objid, _distance, _| {
+    visit_nearby_with(db, snap, scheme, c.ra, c.dec, rad, |objid, _distance, _| {
         match db.get("Candidates", &[Value::BigInt(objid)]) {
             Ok(Some(row)) => {
                 // Only the z and chi2 columns matter for the max.
@@ -83,6 +88,7 @@ pub fn f_is_cluster(
 /// `Clusters` table is byte-identical at any worker count.
 pub fn sp_make_clusters(
     db: &mut Database,
+    snap: Option<&ZoneSnapshot>,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
@@ -99,7 +105,7 @@ pub fn sp_make_clusters(
     let mut keep: Vec<Candidate> = if workers <= 1 {
         let mut out = Vec::new();
         for c in &candidates {
-            if f_is_cluster(db, kcorr, scheme, params, c)? {
+            if f_is_cluster(db, snap, kcorr, scheme, params, c)? {
                 out.push(*c);
             }
         }
@@ -108,7 +114,7 @@ pub fn sp_make_clusters(
         let reader = db.reader();
         let stripes = crate::parallel::zone_stripes(candidates, |c| scheme.zone_of(c.dec), workers);
         crate::parallel::map_stripes(workers, stripes, |c| {
-            Ok(f_is_cluster(&reader, kcorr, scheme, params, c)?.then_some(*c))
+            Ok(f_is_cluster(&reader, snap, kcorr, scheme, params, c)?.then_some(*c))
         })?
         .into_iter()
         .flatten()
@@ -173,10 +179,10 @@ mod tests {
     fn dominant_candidate_wins_weaker_neighbor_loses() {
         let (db, kcorr, scheme, cands) = setup();
         let p = BcgParams::default();
-        assert!(f_is_cluster(&db, &kcorr, &scheme, &p, &cands[0]).unwrap());
-        assert!(!f_is_cluster(&db, &kcorr, &scheme, &p, &cands[1]).unwrap());
+        assert!(f_is_cluster(&db, None, &kcorr, &scheme, &p, &cands[0]).unwrap());
+        assert!(!f_is_cluster(&db, None, &kcorr, &scheme, &p, &cands[1]).unwrap());
         // The distant candidate has no competition.
-        assert!(f_is_cluster(&db, &kcorr, &scheme, &p, &cands[2]).unwrap());
+        assert!(f_is_cluster(&db, None, &kcorr, &scheme, &p, &cands[2]).unwrap());
     }
 
     #[test]
@@ -187,14 +193,14 @@ mod tests {
         db.delete_by_key("Candidates", &[Value::BigInt(2)]).unwrap();
         cands[1].z = 0.30;
         db.insert("Candidates", candidate_row(&cands[1])).unwrap();
-        assert!(f_is_cluster(&db, &kcorr, &scheme, &p, &cands[1]).unwrap());
+        assert!(f_is_cluster(&db, None, &kcorr, &scheme, &p, &cands[1]).unwrap());
     }
 
     #[test]
     fn sp_make_clusters_fills_table() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let n = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let n = sp_make_clusters(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(n, 2);
         assert_eq!(db.row_count("Clusters").unwrap(), 2);
         let ids: Vec<i64> = db
@@ -210,8 +216,8 @@ mod tests {
     fn rerun_is_idempotent() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let a = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
-        let b = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let a = sp_make_clusters(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
+        let b = sp_make_clusters(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(a, b);
     }
 
@@ -219,10 +225,10 @@ mod tests {
     fn worker_pool_matches_sequential_table() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let n1 = sp_make_clusters(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let n1 = sp_make_clusters(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
         let seq = db.scan("Clusters").unwrap();
         for workers in [2, 4] {
-            let n = sp_make_clusters(&mut db, &kcorr, &scheme, &p, workers).unwrap();
+            let n = sp_make_clusters(&mut db, None, &kcorr, &scheme, &p, workers).unwrap();
             assert_eq!(n, n1, "workers={workers}");
             assert_eq!(db.scan("Clusters").unwrap(), seq, "workers={workers}");
         }

@@ -21,11 +21,13 @@ pub mod pipeline;
 pub mod schema;
 pub mod script;
 pub mod stats;
+pub mod zone_cache;
 pub mod zone_task;
 
-pub use neighbors::{nearby_obj_eq_zd, Neighbor};
+pub use neighbors::{nearby_obj_eq_zd, visit_nearby, visit_nearby_with, Neighbor};
 pub use partition::{
     run_partitioned, run_partitioned_recovering, PartitionedRun, RecoveryPolicy, RecoveryReport,
 };
 pub use pipeline::{IterationMode, MaxBcgConfig, MaxBcgDb};
 pub use stats::RunReport;
+pub use zone_cache::{ZoneBucket, ZoneSnapshot};

@@ -5,7 +5,8 @@
 
 use crate::cluster::candidate_from_row;
 use crate::import::galaxy_from_payload;
-use crate::neighbors::visit_nearby;
+use crate::neighbors::visit_nearby_with;
+use crate::zone_cache::ZoneSnapshot;
 use skycore::bcg::{self, BcgParams};
 use skycore::kcorr::KcorrTable;
 use skycore::types::{Cluster, ClusterMember, Friend};
@@ -14,8 +15,12 @@ use stardb::{Database, DbResult, Row, Value};
 
 /// `fGetClusterGalaxiesMetric` for one cluster: the BCG itself (distance
 /// 0) plus every admitted member.
+///
+/// `snap` is the optional zone snapshot; fresh → columnar search, stale or
+/// `None` → clustered-index scan, identical answers either way.
 pub fn f_get_cluster_galaxies(
     db: &Database,
+    snap: Option<&ZoneSnapshot>,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
@@ -30,7 +35,7 @@ pub fn f_get_cluster_galaxies(
         distance: 0.0,
     }];
     let mut join_err: Option<stardb::DbError> = None;
-    visit_nearby(db, scheme, cluster.ra, cluster.dec, w.radius_deg, |objid, distance, _| {
+    visit_nearby_with(db, snap, scheme, cluster.ra, cluster.dec, w.radius_deg, |objid, distance, _| {
         if objid == cluster.objid {
             return true;
         }
@@ -72,6 +77,7 @@ pub fn f_get_cluster_galaxies(
 /// deterministic.
 pub fn sp_make_galaxies_metric(
     db: &mut Database,
+    snap: Option<&ZoneSnapshot>,
     kcorr: &KcorrTable,
     scheme: &ZoneScheme,
     params: &BcgParams,
@@ -86,7 +92,7 @@ pub fn sp_make_galaxies_metric(
     let groups: Vec<Vec<ClusterMember>> = if workers <= 1 {
         let mut out = Vec::with_capacity(clusters.len());
         for cluster in &clusters {
-            out.push(f_get_cluster_galaxies(db, kcorr, scheme, params, cluster)?);
+            out.push(f_get_cluster_galaxies(db, snap, kcorr, scheme, params, cluster)?);
         }
         out
     } else {
@@ -94,7 +100,7 @@ pub fn sp_make_galaxies_metric(
         let stripes = crate::parallel::zone_stripes(clusters, |c| scheme.zone_of(c.dec), workers);
         let mut groups: Vec<Vec<ClusterMember>> =
             crate::parallel::map_stripes(workers, stripes, |cluster| {
-                f_get_cluster_galaxies(&reader, kcorr, scheme, params, cluster)
+                f_get_cluster_galaxies(&reader, snap, kcorr, scheme, params, cluster)
             })?
             .into_iter()
             .flatten()
@@ -176,7 +182,7 @@ mod tests {
     fn members_are_exactly_the_injected_ones() {
         let (db, kcorr, scheme, cluster) = setup();
         let p = BcgParams::default();
-        let members = f_get_cluster_galaxies(&db, &kcorr, &scheme, &p, &cluster).unwrap();
+        let members = f_get_cluster_galaxies(&db, None, &kcorr, &scheme, &p, &cluster).unwrap();
         let mut ids: Vec<i64> = members.iter().map(|m| m.galaxy_objid).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 10, 11, 12, 13, 14]);
@@ -186,7 +192,7 @@ mod tests {
     fn bcg_row_comes_first_with_distance_zero() {
         let (db, kcorr, scheme, cluster) = setup();
         let p = BcgParams::default();
-        let members = f_get_cluster_galaxies(&db, &kcorr, &scheme, &p, &cluster).unwrap();
+        let members = f_get_cluster_galaxies(&db, None, &kcorr, &scheme, &p, &cluster).unwrap();
         assert_eq!(members[0].galaxy_objid, 1);
         assert_eq!(members[0].distance, 0.0);
         assert!(members[1..].iter().all(|m| m.distance > 0.0));
@@ -196,11 +202,11 @@ mod tests {
     fn metric_table_filled_by_procedure() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let n = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let n = sp_make_galaxies_metric(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(n, 6);
         assert_eq!(db.row_count("ClusterGalaxiesMetric").unwrap(), 6);
         // Re-running truncates and refills.
-        let n2 = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let n2 = sp_make_galaxies_metric(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
         assert_eq!(n2, 6);
         assert_eq!(db.row_count("ClusterGalaxiesMetric").unwrap(), 6);
     }
@@ -209,10 +215,10 @@ mod tests {
     fn worker_pool_matches_sequential_table() {
         let (mut db, kcorr, scheme, _) = setup();
         let p = BcgParams::default();
-        let n1 = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, 1).unwrap();
+        let n1 = sp_make_galaxies_metric(&mut db, None, &kcorr, &scheme, &p, 1).unwrap();
         let seq = db.scan("ClusterGalaxiesMetric").unwrap();
         for workers in [2, 4] {
-            let n = sp_make_galaxies_metric(&mut db, &kcorr, &scheme, &p, workers).unwrap();
+            let n = sp_make_galaxies_metric(&mut db, None, &kcorr, &scheme, &p, workers).unwrap();
             assert_eq!(n, n1, "workers={workers}");
             assert_eq!(db.scan("ClusterGalaxiesMetric").unwrap(), seq, "workers={workers}");
         }

@@ -7,6 +7,7 @@
 //! `(zoneid, ra, objid)` clustered index — "this pure SQL approach avoids
 //! the cost of using expensive calls to the external C-HTM libraries".
 
+use crate::zone_cache::{zobs, ZoneSnapshot};
 use crate::zone_task::zone_entry_from_payload;
 use skycore::angle::{chord2_of_deg, deg_of_chord_approx};
 use skycore::{UnitVec, ZoneScheme};
@@ -77,8 +78,60 @@ pub fn visit_nearby(
     ra: f64,
     dec: f64,
     r: f64,
+    visit: impl FnMut(i64, f64, f64) -> bool,
+) -> DbResult<()> {
+    visit_nearby_with(db, None, scheme, ra, dec, r, visit)
+}
+
+/// The RA window `[ra - x, ra + x]` mapped onto the wrapped `[0, 360)`
+/// circle as up to two *ascending* intervals (count in `.1`). Both scan
+/// paths iterate the same intervals in the same order, so a circle
+/// straddling RA 0/360 surfaces its far-side neighbors — and surfaces them
+/// in identical order on either path.
+fn ra_intervals(ra: f64, x: f64) -> ([(f64, f64); 2], usize) {
+    if x >= 180.0 {
+        // Window wider than the circle (pole-adjacent zones): scan it all.
+        return ([(0.0, 360.0), (0.0, 0.0)], 1);
+    }
+    let (lo, hi) = (ra - x, ra + x);
+    if lo < 0.0 {
+        ([(0.0, hi), (lo + 360.0, 360.0)], 2)
+    } else if hi > 360.0 {
+        ([(0.0, hi - 360.0), (lo, 360.0)], 2)
+    } else {
+        ([(lo, hi), (0.0, 0.0)], 1)
+    }
+}
+
+/// [`visit_nearby`] with an optional [`ZoneSnapshot`]: a fresh snapshot is
+/// served from its struct-of-arrays buckets (binary-searched RA window,
+/// contiguous column slices, no latches, no payload decode); a stale or
+/// absent one falls back to the clustered-index scan. Both paths surface
+/// the same rows in the same order and feed the same stored unit vectors
+/// to the same chord arithmetic, so results are bit-identical — the
+/// snapshot changes cost, never answers.
+pub fn visit_nearby_with(
+    db: &Database,
+    snap: Option<&ZoneSnapshot>,
+    scheme: &ZoneScheme,
+    ra: f64,
+    dec: f64,
+    r: f64,
     mut visit: impl FnMut(i64, f64, f64) -> bool,
 ) -> DbResult<()> {
+    // Resolve the path once per search: the epoch read and the scans below
+    // share one `&Database` borrow, so freshness cannot change mid-search.
+    let snap = match snap {
+        Some(s) if s.is_fresh(db) => {
+            zobs().hits.incr();
+            Some(s)
+        }
+        Some(_) => {
+            zobs().fallbacks.incr();
+            None
+        }
+        None => None,
+    };
     let center = UnitVec::from_radec(ra, dec);
     let r2 = chord2_of_deg(r);
     let (zone_min, zone_max) = scheme.zone_range(dec, r);
@@ -92,22 +145,47 @@ pub fn visit_nearby(
     let mut hits: Vec<(i64, f64, f64)> = Vec::with_capacity(32);
     for zone in zone_min..=zone_max {
         let x = scheme.ra_half_window(dec, r, zone);
-        let lo = [Value::Int(zone), Value::Float(ra - x)];
-        let hi = [Value::Int(zone), Value::Float(ra + x)];
+        let (intervals, n_intervals) = ra_intervals(ra, x);
         hits.clear();
         let mut scanned: u64 = 0;
-        db.range_scan_prefix_raw("Zone", &lo, &hi, |payload| {
-            scanned += 1;
-            let e = zone_entry_from_payload(payload);
-            // The paper's WHERE clause: dec window plus exact chord cut.
-            if e.dec >= dec_lo && e.dec <= dec_hi {
-                let c2 = center.chord2(&e.pos);
-                if c2 < r2 {
-                    hits.push((e.objid, c2, e.dec));
+        for &(ra_lo, ra_hi) in &intervals[..n_intervals] {
+            match snap {
+                Some(s) => {
+                    let b = s.bucket(zone);
+                    let (start, end) = b.ra_window(ra_lo, ra_hi);
+                    scanned += (end - start) as u64;
+                    for i in start..end {
+                        // The paper's WHERE clause: dec window plus exact
+                        // chord cut, on columns instead of decoded rows.
+                        let d = b.dec[i];
+                        if d >= dec_lo && d <= dec_hi {
+                            let pos = UnitVec { x: b.cx[i], y: b.cy[i], z: b.cz[i] };
+                            let c2 = center.chord2(&pos);
+                            if c2 < r2 {
+                                hits.push((b.objid[i], c2, d));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let lo = [Value::Int(zone), Value::Float(ra_lo)];
+                    let hi = [Value::Int(zone), Value::Float(ra_hi)];
+                    db.range_scan_prefix_raw("Zone", &lo, &hi, |payload| {
+                        scanned += 1;
+                        let e = zone_entry_from_payload(payload);
+                        // The paper's WHERE clause: dec window plus exact
+                        // chord cut.
+                        if e.dec >= dec_lo && e.dec <= dec_hi {
+                            let c2 = center.chord2(&e.pos);
+                            if c2 < r2 {
+                                hits.push((e.objid, c2, e.dec));
+                            }
+                        }
+                        true
+                    })?;
                 }
             }
-            true
-        })?;
+        }
         nobs().zones_scanned.incr();
         nobs().pairs_examined.add(scanned);
         nobs().pairs_per_zone.record(scanned);
@@ -214,6 +292,183 @@ mod tests {
         })
         .unwrap();
         assert_eq!(n, 5);
+    }
+
+    /// Dual-path harness: run a search on the B-tree path and on a fresh
+    /// snapshot, assert the *ordered* hit streams are bit-identical, and
+    /// return the sorted ids for brute-force comparison.
+    fn both_paths(
+        db: &Database,
+        snap: &ZoneSnapshot,
+        scheme: &ZoneScheme,
+        ra: f64,
+        dec: f64,
+        r: f64,
+    ) -> Vec<i64> {
+        let mut btree: Vec<(i64, u64, u64)> = Vec::new();
+        visit_nearby_with(db, None, scheme, ra, dec, r, |id, d, hd| {
+            btree.push((id, d.to_bits(), hd.to_bits()));
+            true
+        })
+        .unwrap();
+        let mut soa: Vec<(i64, u64, u64)> = Vec::new();
+        visit_nearby_with(db, Some(snap), scheme, ra, dec, r, |id, d, hd| {
+            soa.push((id, d.to_bits(), hd.to_bits()));
+            true
+        })
+        .unwrap();
+        assert_eq!(btree, soa, "paths diverged at ({ra},{dec},{r})");
+        let mut ids: Vec<i64> = soa.into_iter().map(|(id, _, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn snapshot_path_matches_btree_and_brute_force() {
+        let (db, sky, scheme) = setup(41);
+        let snap = ZoneSnapshot::build(&db).unwrap();
+        for &(ra, dec, r) in &[
+            (180.5, 0.0, 0.5),
+            (180.2, 0.3, 0.25),
+            (180.9, -0.4, 0.1),
+            (180.5, 0.45, 0.3),
+            (180.0, 0.0, 0.02), // window pokes past the populated edge
+        ] {
+            assert_eq!(
+                both_paths(&db, &snap, &scheme, ra, dec, r),
+                brute_force(&sky, ra, dec, r),
+                "at ({ra},{dec},{r})"
+            );
+        }
+    }
+
+    /// Hand-built sky at chosen positions (the generator only fills
+    /// axis-aligned boxes; wrap and pole coverage needs exact placement).
+    fn setup_at(positions: &[(f64, f64)]) -> (Database, Sky, ZoneScheme) {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let region = SkyRegion::new(0.0, 360.0, -90.0, 90.0);
+        let galaxies = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(ra, dec))| {
+                skycore::types::Galaxy::with_derived_errors(i as i64 + 1, ra, dec, 17.5, 1.1, 0.5)
+            })
+            .collect();
+        let sky = Sky { region, galaxies, truth: Vec::new() };
+        sp_import_galaxy(&mut db, &sky, &region).unwrap();
+        let scheme = ZoneScheme::default();
+        sp_zone(&mut db, &scheme).unwrap();
+        (db, sky, scheme)
+    }
+
+    #[test]
+    fn circles_crossing_the_ra_wrap_find_far_side_neighbors() {
+        let (db, sky, scheme) = setup_at(&[
+            (359.62, 0.01),
+            (359.80, -0.05),
+            (359.95, 0.02),
+            (359.999, 0.0),
+            (0.001, 0.0),
+            (0.05, -0.03),
+            (0.30, 0.04),
+            (0.65, 0.0),
+            (180.0, 0.0), // far control, must never appear
+        ]);
+        let snap = ZoneSnapshot::build(&db).unwrap();
+        for &(ra, dec, r) in &[
+            (0.05, 0.0, 0.5),   // center just east of the seam
+            (359.9, 0.0, 0.5),  // center just west of the seam
+            (0.0, 0.0, 0.4),    // center exactly on the seam
+            (359.99, 0.02, 0.05),
+        ] {
+            let got = both_paths(&db, &snap, &scheme, ra, dec, r);
+            assert_eq!(got, brute_force(&sky, ra, dec, r), "at ({ra},{dec},{r})");
+            assert!(!got.is_empty(), "wrap search at ({ra},{dec},{r}) found nothing");
+            assert!(!got.contains(&9), "far control leaked in at ({ra},{dec},{r})");
+        }
+        // Sanity: at least one query must actually straddle the seam.
+        let straddles = both_paths(&db, &snap, &scheme, 0.05, 0.0, 0.5);
+        assert!(straddles.contains(&2) && straddles.contains(&7));
+    }
+
+    #[test]
+    fn centers_within_r_of_the_poles_match_brute_force() {
+        let (db, sky, scheme) = setup_at(&[
+            (0.0, 89.96),
+            (45.0, 89.97),
+            (90.0, 89.99),
+            (180.0, 89.95),
+            (270.0, 89.98),
+            (359.0, 89.999),
+            (10.0, -89.97),
+            (200.0, -89.99),
+            (0.0, 89.0), // just outside a 0.1-degree polar cap
+        ]);
+        let snap = ZoneSnapshot::build(&db).unwrap();
+        for &(ra, dec, r) in &[
+            (0.0, 89.98, 0.1),    // cap contains the north pole
+            (120.0, 89.97, 0.08), // wide in RA but not over the pole
+            (200.0, -89.98, 0.1), // south polar cap
+            (350.0, 89.999, 0.05),
+        ] {
+            let got = both_paths(&db, &snap, &scheme, ra, dec, r);
+            assert_eq!(got, brute_force(&sky, ra, dec, r), "at ({ra},{dec},{r})");
+        }
+        // The polar caps really do capture objects all around in RA.
+        let cap = both_paths(&db, &snap, &scheme, 0.0, 89.98, 0.1);
+        assert!(cap.len() >= 4, "polar cap found only {cap:?}");
+    }
+
+    #[test]
+    fn radius_larger_than_zone_height_matches_brute_force() {
+        // Coarse 1-degree zones, 2.5-degree search radius: the circle spans
+        // several whole zones and the central zone's widest RA extent is
+        // interior, not at an edge.
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let mut db = Database::new(DbConfig::in_memory());
+        create_schema(&mut db, &kcorr).unwrap();
+        let region = SkyRegion::new(178.0, 184.0, -3.0, 3.0);
+        let sky = Sky::generate(region, &SkyConfig::scaled(0.05), &kcorr, 44);
+        sp_import_galaxy(&mut db, &sky, &region).unwrap();
+        let coarse = ZoneScheme::with_height(1.0);
+        sp_zone(&mut db, &coarse).unwrap();
+        let snap = ZoneSnapshot::build(&db).unwrap();
+        for &(ra, dec, r) in &[(181.0, 0.3, 2.5), (180.0, -1.2, 1.7)] {
+            let got = both_paths(&db, &snap, &coarse, ra, dec, r);
+            assert_eq!(got, brute_force(&sky, ra, dec, r), "at ({ra},{dec},{r})");
+            assert!(!got.is_empty());
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_falls_back_to_the_btree_path() {
+        let (mut db, sky, scheme) = setup(45);
+        let snap = ZoneSnapshot::build(&db).unwrap();
+        let hits_0 = zobs().hits.get();
+        let falls_0 = zobs().fallbacks.get();
+
+        // Fresh: the columnar path serves the search. (Counters are
+        // process-global and sibling tests run concurrently, so assert
+        // monotonic movement, not exact deltas.)
+        let fresh = both_paths(&db, &snap, &scheme, 180.5, 0.0, 0.3);
+        assert!(zobs().hits.get() > hits_0, "fresh search must count a hit");
+
+        // Mutate Zone after the build: the same snapshot must now be
+        // bypassed, and results must still be correct (the table was
+        // rebuilt with identical content, only its epoch moved).
+        sp_zone(&mut db, &scheme).unwrap();
+        let mut stale: Vec<i64> = Vec::new();
+        visit_nearby_with(&db, Some(&snap), &scheme, 180.5, 0.0, 0.3, |id, _, _| {
+            stale.push(id);
+            true
+        })
+        .unwrap();
+        assert!(zobs().fallbacks.get() > falls_0, "stale search must count a fallback");
+        stale.sort_unstable();
+        assert_eq!(stale, fresh);
+        assert_eq!(stale, brute_force(&sky, 180.5, 0.0, 0.3));
     }
 
     #[test]

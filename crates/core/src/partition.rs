@@ -125,6 +125,12 @@ pub struct RecoveryReport {
 }
 
 /// Run one stripe's share-nothing database end to end.
+///
+/// Each node builds its own zone snapshot inside `node.run` (after its
+/// `spZone`), so the stripe's worker pool shares one columnar image per
+/// partition instead of contending on the node's buffer pool — and a
+/// partition retried after a fault rebuilds both table and snapshot from
+/// scratch, never inheriting a stale image across attempts.
 fn run_one_partition(
     config: &MaxBcgConfig,
     sky: &Sky,

@@ -8,6 +8,7 @@ use crate::members::sp_make_galaxies_metric;
 use crate::parallel;
 use crate::schema::create_schema;
 use crate::stats::RunReport;
+use crate::zone_cache::ZoneSnapshot;
 use crate::zone_task::sp_zone;
 use skycore::bcg::BcgParams;
 use skycore::kcorr::{KcorrConfig, KcorrTable};
@@ -48,6 +49,11 @@ pub struct MaxBcgConfig {
     /// workers only evaluate, the merge and all inserts stay ordered by
     /// objid (see [`crate::parallel`]).
     pub workers: usize,
+    /// Materialize the Zone table into a columnar snapshot after `spZone`
+    /// and serve the zone join from it (see [`crate::zone_cache`]). Off
+    /// runs every search on the clustered index; catalogs are byte
+    /// identical either way, so this is purely a cost knob.
+    pub zone_cache: bool,
 }
 
 impl Default for MaxBcgConfig {
@@ -60,6 +66,7 @@ impl Default for MaxBcgConfig {
             iteration: IterationMode::Cursor,
             early_filter: true,
             workers: 1,
+            zone_cache: true,
         }
     }
 }
@@ -71,6 +78,11 @@ pub struct MaxBcgDb {
     kcorr: KcorrTable,
     scheme: ZoneScheme,
     config: MaxBcgConfig,
+    /// Columnar image of the Zone table, rebuilt after every `spZone` when
+    /// `config.zone_cache` is on. `Arc`-shared so worker pools and the
+    /// partition runner read one copy; epoch checks inside the neighbor
+    /// kernel keep it safe against out-of-band Zone mutations.
+    snapshot: Option<std::sync::Arc<ZoneSnapshot>>,
 }
 
 impl MaxBcgDb {
@@ -79,7 +91,13 @@ impl MaxBcgDb {
         let kcorr = KcorrTable::generate(config.kcorr);
         let mut db = Database::new(config.db);
         create_schema(&mut db, &kcorr)?;
-        Ok(MaxBcgDb { db, kcorr, scheme: ZoneScheme::with_height(config.zone_height_deg), config })
+        Ok(MaxBcgDb {
+            db,
+            kcorr,
+            scheme: ZoneScheme::with_height(config.zone_height_deg),
+            config,
+            snapshot: None,
+        })
     }
 
     /// The underlying database (read access for tests and reports).
@@ -98,6 +116,11 @@ impl MaxBcgDb {
         &self.kcorr
     }
 
+    /// The zone scheme in use (derived from `config.zone_height_deg`).
+    pub fn scheme(&self) -> &ZoneScheme {
+        &self.scheme
+    }
+
     /// `spImportGalaxy` as a measured task.
     pub fn import_galaxy(&mut self, sky: &Sky, window: &SkyRegion) -> DbResult<TaskStats> {
         let (_, stats) =
@@ -105,11 +128,25 @@ impl MaxBcgDb {
         Ok(stats)
     }
 
-    /// `spZone` as a measured task.
+    /// `spZone` as a measured task. With the zone cache enabled this also
+    /// rebuilds the columnar snapshot, since the truncate-and-refill just
+    /// moved the Zone table's epoch.
     pub fn make_zone(&mut self) -> DbResult<TaskStats> {
         let scheme = self.scheme;
         let (_, stats) = self.db.run_task("spZone", |db| sp_zone(db, &scheme))?;
+        self.snapshot = if self.config.zone_cache {
+            Some(std::sync::Arc::new(ZoneSnapshot::build(&self.db)?))
+        } else {
+            None
+        };
         Ok(stats)
+    }
+
+    /// The current zone snapshot, if the cache is enabled and `spZone` has
+    /// run. May be stale if the Zone table was mutated out of band — the
+    /// neighbor kernel checks the epoch and falls back on its own.
+    pub fn zone_snapshot(&self) -> Option<&std::sync::Arc<ZoneSnapshot>> {
+        self.snapshot.as_ref()
     }
 
     /// `spMakeCandidates` over `window` as a measured task (the paper files
@@ -121,6 +158,8 @@ impl MaxBcgDb {
         let iteration = self.config.iteration;
         let early = self.config.early_filter;
         let workers = self.config.workers.max(1);
+        let snapshot = self.snapshot.clone();
+        let snap = snapshot.as_deref();
         let (_, stats) = self.db.run_task("fBCGCandidate", |db| {
             db.truncate("Candidates")?;
             // Materialize the galaxy list with the configured iteration
@@ -150,7 +189,7 @@ impl MaxBcgDb {
             let mut cands: Vec<Candidate> = if workers <= 1 {
                 let mut out = Vec::new();
                 for g in &galaxies {
-                    if let Some(c) = f_bcg_candidate(db, kcorr, &scheme, &params, g, early)? {
+                    if let Some(c) = f_bcg_candidate(db, snap, kcorr, &scheme, &params, g, early)? {
                         out.push(c);
                     }
                 }
@@ -159,7 +198,7 @@ impl MaxBcgDb {
                 let reader = db.reader();
                 let stripes = parallel::zone_stripes(galaxies, |g| scheme.zone_of(g.dec), workers);
                 parallel::map_stripes(workers, stripes, |g| {
-                    f_bcg_candidate(&reader, kcorr, &scheme, &params, g, early)
+                    f_bcg_candidate(&reader, snap, kcorr, &scheme, &params, g, early)
                 })?
                 .into_iter()
                 .flatten()
@@ -190,9 +229,11 @@ impl MaxBcgDb {
         let scheme = self.scheme;
         let params = self.config.params;
         let workers = self.config.workers;
-        let (_, stats) = self
-            .db
-            .run_task("fIsCluster", |db| sp_make_clusters(db, kcorr, &scheme, &params, workers))?;
+        let snapshot = self.snapshot.clone();
+        let snap = snapshot.as_deref();
+        let (_, stats) = self.db.run_task("fIsCluster", |db| {
+            sp_make_clusters(db, snap, kcorr, &scheme, &params, workers)
+        })?;
         Ok(stats)
     }
 
@@ -202,8 +243,10 @@ impl MaxBcgDb {
         let scheme = self.scheme;
         let params = self.config.params;
         let workers = self.config.workers;
+        let snapshot = self.snapshot.clone();
+        let snap = snapshot.as_deref();
         let (_, stats) = self.db.run_task("spMakeGalaxiesMetric", |db| {
-            sp_make_galaxies_metric(db, kcorr, &scheme, &params, workers)
+            sp_make_galaxies_metric(db, snap, kcorr, &scheme, &params, workers)
         })?;
         Ok(stats)
     }
@@ -348,6 +391,27 @@ mod tests {
             assert_eq!(db.candidates().unwrap(), seq.candidates().unwrap(), "workers={workers}");
             assert_eq!(db.clusters().unwrap(), seq.clusters().unwrap(), "workers={workers}");
             assert_eq!(db.members().unwrap(), seq.members().unwrap(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zone_cache_off_produces_identical_catalogs() {
+        let (on, _, _) = run_pipeline(IterationMode::Cursor);
+        assert!(on.zone_snapshot().is_some(), "default config must build the snapshot");
+        for workers in [1, 2] {
+            let config =
+                MaxBcgConfig { zone_cache: false, workers, ..MaxBcgConfig::default() };
+            let kcorr = KcorrTable::generate(config.kcorr);
+            let survey = SkyRegion::new(180.0, 182.2, -1.1, 1.1);
+            let mut sky_cfg = SkyConfig::scaled(0.15);
+            sky_cfg.clusters.density_per_deg2 = 12.0;
+            let sky = Sky::generate(survey, &sky_cfg, &kcorr, 404);
+            let mut db = MaxBcgDb::new(config).unwrap();
+            db.run("nocache", &sky, &survey, &survey.shrunk(0.5)).unwrap();
+            assert!(db.zone_snapshot().is_none(), "cache off must not materialize");
+            assert_eq!(db.candidates().unwrap(), on.candidates().unwrap(), "workers={workers}");
+            assert_eq!(db.clusters().unwrap(), on.clusters().unwrap(), "workers={workers}");
+            assert_eq!(db.members().unwrap(), on.members().unwrap(), "workers={workers}");
         }
     }
 

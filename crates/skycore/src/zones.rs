@@ -7,8 +7,32 @@
 //! zone. Both the `stardb` zone index and the `maxbcg` pipeline use these
 //! helpers so zone arithmetic lives in exactly one place.
 
-use crate::angle::{ra_adjusted_radius, ZONE_HEIGHT_DEG};
+use crate::angle::ZONE_HEIGHT_DEG;
 use serde::{Deserialize, Serialize};
+
+/// Half-extent in RA degrees of a circle of radius `r_deg` centered at
+/// `center_dec`, measured at declination `dec`: the spherical triangle
+/// identity `cos Δα = (cos r − sin δc sin δ) / (cos δc cos δ)`. Saturates
+/// to 360 when the declination ring lies wholly inside the circle (polar
+/// caps) and to 0 when the circle has no points at that declination.
+fn ra_extent_deg(center_dec: f64, r_deg: f64, dec: f64) -> f64 {
+    let (rr, dc, d) = (r_deg.to_radians(), center_dec.to_radians(), dec.to_radians());
+    let num = rr.cos() - dc.sin() * d.sin();
+    let denom = dc.cos() * d.cos();
+    if denom <= f64::EPSILON {
+        // At (or numerically at) a pole: the ring degenerates to a point,
+        // inside the circle iff the numerator is non-positive.
+        return if num <= 0.0 { 360.0 } else { 0.0 };
+    }
+    let f = num / denom;
+    if f <= -1.0 {
+        360.0
+    } else if f >= 1.0 {
+        0.0
+    } else {
+        f.acos().to_degrees()
+    }
+}
 
 /// Zone numbering scheme with height `h` degrees (default: 30 arcsec).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,21 +81,41 @@ impl ZoneScheme {
     /// Returns the half-width in RA degrees. For the central zone this is
     /// the full `cos(dec)`-adjusted radius.
     pub fn ra_half_window(&self, center_dec: f64, r_deg: f64, zone: i32) -> f64 {
-        let cen_zone = self.zone_of(center_dec);
-        if zone == cen_zone {
-            return ra_adjusted_radius(r_deg, center_dec);
+        // The slice of this zone the circle's declination band can touch,
+        // clamped to the physical sphere: a band reaching past a pole holds
+        // no declinations beyond ±90, and cos(dec) past the pole would go
+        // negative and poison the window.
+        let zone_lo = self.zone_bottom_dec(zone);
+        let zone_hi = zone_lo + self.height_deg;
+        let lo = (center_dec - r_deg).max(zone_lo).max(-90.0);
+        let hi = (center_dec + r_deg).min(zone_hi).min(90.0);
+        if lo > hi {
+            // The zone lies wholly outside the band: nothing can qualify.
+            return 0.0;
         }
-        // Zones below the center use their top edge; zones above use their
-        // bottom edge — the point of the zone closest to the circle center.
-        let zone_x = if zone < cen_zone { zone + 1 } else { zone };
-        let dec_at_zone = self.zone_bottom_dec(zone_x);
-        let delta_dec = (center_dec - dec_at_zone).abs();
-        // The paper computes sqrt(|r^2 - delta^2|): when the zone is wholly
-        // outside the circle (possible at the extreme loop bounds) the
-        // absolute value keeps the arithmetic finite and the distance test
-        // still rejects everything.
-        let chord = (r_deg * r_deg - delta_dec * delta_dec).abs().sqrt();
-        ra_adjusted_radius(chord, dec_at_zone)
+        // Exact spherical half-window, maximized over the slice. ΔRA(δ) on
+        // the circle boundary is unimodal in δ with its interior peak at
+        // sin δ* = sin δc / cos r, so the slice maximum is attained at an
+        // endpoint or at δ* when the slice contains it. The planar
+        // chord/cos(dec) shortcut of the plain SQL undersizes the window
+        // near the poles (a circle over the pole reaches RA ≈ center+180°);
+        // the window may only ever be generous — the dec-window and chord
+        // cuts are exact.
+        let mut w = ra_extent_deg(center_dec, r_deg, lo).max(ra_extent_deg(center_dec, r_deg, hi));
+        let ratio = center_dec.to_radians().sin() / r_deg.to_radians().cos();
+        if ratio.abs() <= 1.0 {
+            let peak = ratio.asin().to_degrees();
+            if peak > lo && peak < hi {
+                w = w.max(ra_extent_deg(center_dec, r_deg, peak));
+            }
+        }
+        if w >= 360.0 {
+            360.0
+        } else {
+            // A hair of slack against acos/cos rounding: widening is always
+            // safe, shrinking could drop a rim-adjacent object.
+            w + 1e-9
+        }
     }
 }
 
@@ -146,5 +190,91 @@ mod tests {
     #[should_panic(expected = "zone height must be positive")]
     fn zero_height_panics() {
         ZoneScheme::with_height(0.0);
+    }
+
+    /// The window must cover every point of the circle that falls inside the
+    /// zone: for sampled declinations in the zone∩band slice, the circle's
+    /// exact RA half-extent `ra_adjusted_radius(sqrt(r²−δ²), dec)` may never
+    /// exceed the reported window.
+    fn assert_window_covers_circle(s: &ZoneScheme, center_dec: f64, r: f64) {
+        let (z_lo, z_hi) = s.zone_range(center_dec, r);
+        for zone in z_lo..=z_hi {
+            let w = s.ra_half_window(center_dec, r, zone);
+            let zone_lo = s.zone_bottom_dec(zone);
+            let zone_hi = zone_lo + s.height_deg;
+            let lo = (center_dec - r).max(zone_lo).max(-90.0);
+            let hi = (center_dec + r).min(zone_hi).min(90.0);
+            if lo > hi {
+                assert_eq!(w, 0.0, "zone {zone} outside the band must get a zero window");
+                continue;
+            }
+            for i in 0..=32 {
+                let dec = lo + (hi - lo) * f64::from(i) / 32.0;
+                let extent = ra_extent_deg(center_dec, r, dec);
+                assert!(
+                    extent <= w + 1e-9,
+                    "zone {zone} dec {dec}: circle extent {extent} exceeds window {w} \
+                     (center_dec={center_dec}, r={r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_covers_circle_near_poles() {
+        let s = ZoneScheme::default();
+        // Centers within r of each pole: cos(dec) changes measurably across
+        // a single 30-arcsec zone here, so an edge-nearest-center correction
+        // would undersize the window.
+        for &(dec, r) in &[(89.99, 0.05), (-89.99, 0.05), (89.999, 0.01), (-89.95, 0.2)] {
+            assert_window_covers_circle(&s, dec, r);
+        }
+    }
+
+    #[test]
+    fn window_covers_circle_when_radius_exceeds_zone_height() {
+        // Coarse 1-degree zones and a 2.5-degree circle: every zone's slice
+        // spans the full zone height, and the central zone's widest point is
+        // not at its edges.
+        let s = ZoneScheme::with_height(1.0);
+        for &(dec, r) in &[(0.3, 2.5), (45.7, 2.5), (-60.2, 1.7)] {
+            assert_window_covers_circle(&s, dec, r);
+        }
+        // Default 30-arcsec zones with the Table 1 search radius (already
+        // many zone heights): same invariant.
+        assert_window_covers_circle(&ZoneScheme::default(), 2.5, 0.5);
+    }
+
+    #[test]
+    fn zone_wholly_outside_band_gets_zero_window() {
+        let s = ZoneScheme::with_height(1.0);
+        let (z_lo, z_hi) = s.zone_range(10.5, 0.4);
+        assert_eq!(s.ra_half_window(10.5, 0.4, z_lo - 1), 0.0);
+        assert_eq!(s.ra_half_window(10.5, 0.4, z_hi + 1), 0.0);
+        // Zones inside the range still get positive windows.
+        assert!(s.ra_half_window(10.5, 0.4, s.zone_of(10.5)) > 0.0);
+    }
+
+    #[test]
+    fn pole_zone_window_saturates_to_full_ra() {
+        // A circle over the pole: every meridian crosses it, so the most
+        // polar zone's window saturates to the full RA circle and the scan
+        // degenerates to the whole zone — the exact cuts do the filtering,
+        // exactly like the SQL original.
+        let s = ZoneScheme::default();
+        let dec: f64 = 90.0 - 0.001;
+        let top_zone = s.zone_of((dec + 0.01).min(90.0 - 1e-12));
+        assert_eq!(s.ra_half_window(dec, 0.01, top_zone), 360.0);
+    }
+
+    #[test]
+    fn zone_range_clamps_sanely_past_poles() {
+        let s = ZoneScheme::default();
+        // A band reaching past +90: the top zone index is simply the formula
+        // applied to dec+r; callers iterate the range and find no rows in
+        // zones beyond the data.
+        let (lo, hi) = s.zone_range(89.999, 0.01);
+        assert!(lo <= s.zone_of(89.999) && s.zone_of(89.999) <= hi);
+        assert!(hi >= s.zone_of(90.0 - 1e-9));
     }
 }

@@ -69,6 +69,13 @@ struct Table {
     schema: Schema,
     storage: Storage,
     indexes: Vec<SecondaryIndex>,
+    /// Mutation epoch: stamped from the database-wide monotonic counter on
+    /// every data change (insert/delete/truncate and table creation).
+    /// Derived read-optimized structures (the zone snapshot cache) record
+    /// the epoch they were built at and treat any difference as stale.
+    /// Epochs are never reused, so a drop + recreate cannot alias an old
+    /// snapshot onto a new table.
+    epoch: u64,
 }
 
 /// An embedded database instance: one buffer pool, many tables.
@@ -95,6 +102,8 @@ struct Table {
 pub struct Database {
     pool: Arc<BufferPool>,
     tables: HashMap<String, Table>,
+    /// Database-wide monotonic epoch source (see [`Table::epoch`]).
+    next_epoch: u64,
 }
 
 impl Database {
@@ -105,7 +114,13 @@ impl Database {
             config.buffer_frames,
             config.disk,
         ));
-        Database { pool, tables: HashMap::new() }
+        Database { pool, tables: HashMap::new(), next_epoch: 0 }
+    }
+
+    /// Claim the next mutation epoch (monotonic, never reused).
+    fn fresh_epoch(&mut self) -> u64 {
+        self.next_epoch += 1;
+        self.next_epoch
     }
 
     /// The shared buffer pool (stats, direct index construction).
@@ -158,9 +173,10 @@ impl Database {
             return Err(DbError::TableExists(name.to_owned()));
         }
         let file = HeapFile::create(self.pool.clone())?;
+        let epoch = self.fresh_epoch();
         self.tables.insert(
             key,
-            Table { schema, storage: Storage::Heap { file, rows: 0 }, indexes: Vec::new() },
+            Table { schema, storage: Storage::Heap { file, rows: 0 }, indexes: Vec::new(), epoch },
         );
         Ok(())
     }
@@ -183,12 +199,14 @@ impl Database {
             .map(|c| schema.col(c))
             .collect::<DbResult<Vec<usize>>>()?;
         let tree = BTree::create(self.pool.clone())?;
+        let epoch = self.fresh_epoch();
         self.tables.insert(
             key,
             Table {
                 schema,
                 storage: Storage::Clustered { tree, key_cols },
                 indexes: Vec::new(),
+                epoch,
             },
         );
         Ok(())
@@ -204,7 +222,9 @@ impl Database {
 
     /// Remove all rows (`TRUNCATE TABLE`), emptying secondary indexes too.
     pub fn truncate(&mut self, name: &str) -> DbResult<()> {
+        let epoch = self.fresh_epoch();
         let table = self.table_mut(name)?;
+        table.epoch = epoch;
         for idx in &mut table.indexes {
             idx.tree.truncate()?;
         }
@@ -220,7 +240,9 @@ impl Database {
 
     /// Insert one row, maintaining any secondary indexes.
     pub fn insert(&mut self, name: &str, row: Row) -> DbResult<()> {
+        let epoch = self.fresh_epoch();
         let table = self.table_mut(name)?;
+        table.epoch = epoch;
         table.schema.check_row(row.values())?;
         match &mut table.storage {
             Storage::Heap { file, rows } => {
@@ -259,6 +281,15 @@ impl Database {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// The table's current mutation epoch. Every insert, delete, and
+    /// truncate moves it forward (monotonically, database-wide, so a
+    /// drop + recreate can never repeat an epoch). Snapshot-style caches
+    /// record the epoch at build time and compare it before trusting their
+    /// contents; a mismatch — or a missing table — means stale.
+    pub fn table_epoch(&self, name: &str) -> DbResult<u64> {
+        Ok(self.table(name)?.epoch)
     }
 
     /// Row count.
@@ -387,7 +418,9 @@ impl Database {
 
     /// Delete by clustered key; `Ok(true)` if a row was removed.
     pub fn delete_by_key(&mut self, name: &str, key: &[Value]) -> DbResult<bool> {
+        let epoch = self.fresh_epoch();
         let table = self.table_mut(name)?;
+        table.epoch = epoch;
         let Storage::Clustered { tree, .. } = &mut table.storage else {
             return Err(DbError::TypeError(format!("{name} is not clustered")));
         };
@@ -523,6 +556,22 @@ impl Database {
         tree.scan_range_with(Bound::Included(&lo_key), Bound::Included(&hi_key), |_, payload| {
             visit(payload)
         })
+    }
+
+    /// Bulk extraction: stream every raw row payload of a clustered table
+    /// in clustered-key order; return `false` to stop early. This is the
+    /// snapshot-build path — one sequential pass, no per-row decode by the
+    /// engine, so read-optimized caches (the zone snapshot) can be
+    /// materialized at memory speed.
+    ///
+    /// `visit` runs under the buffer-pool latch and must not re-enter the
+    /// database (see [`Database::scan_with`]).
+    pub fn scan_raw(&self, name: &str, mut visit: impl FnMut(&[u8]) -> bool) -> DbResult<()> {
+        let table = self.table(name)?;
+        let Storage::Clustered { tree, .. } = &table.storage else {
+            return Err(DbError::TypeError(format!("{name} is not clustered")));
+        };
+        tree.scan_range_with(Bound::Unbounded, Bound::Unbounded, |_, payload| visit(payload))
     }
 
     /// Open a row-at-a-time cursor (the paper's `DECLARE c CURSOR`).
@@ -981,6 +1030,63 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn epochs_move_on_every_mutation_and_never_repeat() {
+        let mut d = db();
+        d.create_clustered_table("t", galaxy_schema(), &["objid"]).unwrap();
+        let e0 = d.table_epoch("t").unwrap();
+        d.insert("t", g(1, 180.0, 0.0, 17.0)).unwrap();
+        let e1 = d.table_epoch("t").unwrap();
+        assert!(e1 > e0, "insert must bump the epoch");
+        d.delete_by_key("t", &[Value::BigInt(1)]).unwrap();
+        let e2 = d.table_epoch("t").unwrap();
+        assert!(e2 > e1, "delete must bump the epoch");
+        d.truncate("t").unwrap();
+        let e3 = d.table_epoch("t").unwrap();
+        assert!(e3 > e2, "truncate must bump the epoch");
+        // Reads never move the epoch.
+        d.scan("t").unwrap();
+        d.get("t", &[Value::BigInt(1)]).unwrap();
+        assert_eq!(d.table_epoch("t").unwrap(), e3);
+        // Drop + recreate cannot alias an old epoch.
+        d.drop_table("t").unwrap();
+        assert!(d.table_epoch("t").is_err());
+        d.create_clustered_table("t", galaxy_schema(), &["objid"]).unwrap();
+        assert!(d.table_epoch("t").unwrap() > e3, "recreated table must get a fresh epoch");
+        // Epochs are per table: mutating one leaves the other untouched.
+        d.create_table("other", galaxy_schema()).unwrap();
+        let et = d.table_epoch("t").unwrap();
+        d.insert("other", g(9, 0.0, 0.0, 0.0)).unwrap();
+        assert_eq!(d.table_epoch("t").unwrap(), et);
+    }
+
+    #[test]
+    fn scan_raw_streams_payloads_in_key_order() {
+        let mut d = db();
+        d.create_clustered_table("t", galaxy_schema(), &["objid"]).unwrap();
+        for id in [30i64, 10, 20] {
+            d.insert("t", g(id, f64::from(id as i32), 0.0, 0.0)).unwrap();
+        }
+        let mut ids = Vec::new();
+        d.scan_raw("t", |payload| {
+            ids.push(Row::decode(payload, 4).unwrap().i64(0).unwrap());
+            true
+        })
+        .unwrap();
+        assert_eq!(ids, vec![10, 20, 30]);
+        // Early stop.
+        let mut n = 0;
+        d.scan_raw("t", |_| {
+            n += 1;
+            false
+        })
+        .unwrap();
+        assert_eq!(n, 1);
+        // Heaps have no clustered payload stream.
+        d.create_table("h", galaxy_schema()).unwrap();
+        assert!(d.scan_raw("h", |_| true).is_err());
     }
 
     #[test]

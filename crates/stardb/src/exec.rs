@@ -9,9 +9,11 @@
 
 use crate::error::DbResult;
 use crate::expr::Expr;
+use crate::key::encode_key;
 use crate::row::Row;
 use crate::value::Value;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Rows dropped by [`filter`] predicates, workspace-wide.
@@ -24,6 +26,14 @@ fn rows_filtered() -> &'static obs::Counter {
 fn join_pairs() -> &'static obs::Counter {
     static C: OnceLock<obs::Counter> = OnceLock::new();
     C.get_or_init(|| obs::counter("stardb.exec.join_pairs_examined"))
+}
+
+/// Rows produced by [`hash_join`] — the equi-join's output cardinality,
+/// reported alongside the pair counter so the cursor-vs-set ablation can
+/// show how much probing the hash table saved.
+fn hash_join_rows() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("stardb.exec.hash_join_rows"))
 }
 
 /// Keep rows matching `pred`.
@@ -52,32 +62,89 @@ pub fn project(rows: &[Row], exprs: &[Expr]) -> DbResult<Vec<Row>> {
         .collect()
 }
 
+/// Concatenated arity of a joined row (0 + 0 for two empty inputs, where
+/// no row is ever built).
+fn joined_arity(left: &[Row], right: &[Row]) -> usize {
+    left.first().map_or(0, Row::arity) + right.first().map_or(0, Row::arity)
+}
+
 /// Nested-loop inner join: concatenated rows where `on` holds. `on` sees
 /// the concatenated row (left columns first).
+///
+/// One scratch row is reused across all pairs; only pairs that pass the
+/// predicate pay a clone, and that clone is sized to the exact joined
+/// arity — the straightforward clone-extend-wrap per probe pair costs two
+/// allocations per *examined* pair, which dominates selective joins.
 pub fn nested_loop_join(left: &[Row], right: &[Row], on: &Expr) -> DbResult<Vec<Row>> {
     join_pairs().add((left.len() * right.len()) as u64);
     let mut out = Vec::new();
+    let mut scratch = Row(Vec::with_capacity(joined_arity(left, right)));
     for l in left {
         for r in right {
-            let mut joined = l.0.clone();
-            joined.extend(r.0.iter().cloned());
-            let joined = Row(joined);
-            if on.matches(&joined)? {
-                out.push(joined);
+            scratch.0.clear();
+            scratch.0.extend_from_slice(&l.0);
+            scratch.0.extend_from_slice(&r.0);
+            if on.matches(&scratch)? {
+                out.push(Row(scratch.0.clone()));
             }
         }
     }
     Ok(out)
 }
 
+/// Hash inner equi-join on `left[left_col] == right[right_col]`.
+///
+/// Builds on the right input, probes with the left, and emits rows in
+/// left-major order with right rows in input order — exactly the order
+/// [`nested_loop_join`] produces — so the two operators are
+/// interchangeable wherever the equality is well-typed. Keys are hashed
+/// through their order-preserving key encoding, which never equates
+/// values of different column types; callers (the SQL engine) pick this
+/// operator only when both columns share a `DataType`, leaving
+/// cross-type numeric coercion to the nested loop. NULL keys match
+/// nothing on either side, per SQL three-valued logic.
+pub fn hash_join(left: &[Row], right: &[Row], left_col: usize, right_col: usize) -> Vec<Row> {
+    // Build and probe each examine every input row once.
+    join_pairs().add((left.len() + right.len()) as u64);
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, r) in right.iter().enumerate() {
+        let k = &r.0[right_col];
+        if k.is_null() {
+            continue;
+        }
+        table.entry(encode_key(std::slice::from_ref(k))).or_default().push(i);
+    }
+    let arity = joined_arity(left, right);
+    let mut out = Vec::new();
+    for l in left {
+        let k = &l.0[left_col];
+        if k.is_null() {
+            continue;
+        }
+        let Some(hits) = table.get(&encode_key(std::slice::from_ref(k))) else {
+            continue;
+        };
+        for &i in hits {
+            let mut joined = Vec::with_capacity(arity);
+            joined.extend_from_slice(&l.0);
+            joined.extend_from_slice(&right[i].0);
+            out.push(Row(joined));
+        }
+    }
+    hash_join_rows().add(out.len() as u64);
+    out
+}
+
 /// CROSS JOIN (the paper's `Galaxy CROSS JOIN Kcorr` filter step).
 pub fn cross_join(left: &[Row], right: &[Row]) -> Vec<Row> {
     join_pairs().add((left.len() * right.len()) as u64);
+    let arity = joined_arity(left, right);
     let mut out = Vec::with_capacity(left.len() * right.len());
     for l in left {
         for r in right {
-            let mut joined = l.0.clone();
-            joined.extend(r.0.iter().cloned());
+            let mut joined = Vec::with_capacity(arity);
+            joined.extend_from_slice(&l.0);
+            joined.extend_from_slice(&r.0);
             out.push(Row(joined));
         }
     }
@@ -236,6 +303,52 @@ mod tests {
         // col2 = i % 3 in {2, 5}: only 2 matches (i = 2, 5, 8).
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|r| r.arity() == 4));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_on_typed_equality() {
+        let left = rows();
+        let right = vec![
+            Row(vec![Value::Int(2), Value::Float(20.0)]),
+            Row(vec![Value::Int(5), Value::Float(50.0)]),
+            Row(vec![Value::Int(2), Value::Float(21.0)]), // duplicate key
+        ];
+        let on = Expr::Col(2).bin(BinOp::Eq, Expr::Col(3));
+        let slow = nested_loop_join(&left, &right, &on).unwrap();
+        let fast = hash_join(&left, &right, 2, 0);
+        assert_eq!(fast, slow, "hash join must be a drop-in for the nested loop");
+        // i % 3 == 2 for i in {2, 5, 8}, each matching both Int(2) rows.
+        assert_eq!(fast.len(), 6);
+        assert!(fast.iter().all(|r| r.arity() == 5));
+    }
+
+    #[test]
+    fn hash_join_null_keys_match_nothing() {
+        let left = vec![Row(vec![Value::Null]), Row(vec![Value::Int(1)])];
+        let right = vec![Row(vec![Value::Null]), Row(vec![Value::Int(1)])];
+        let out = hash_join(&left, &right, 0, 0);
+        assert_eq!(out.len(), 1, "NULL = NULL is not true in SQL");
+        assert_eq!(out[0], Row(vec![Value::Int(1), Value::Int(1)]));
+    }
+
+    #[test]
+    fn hash_join_of_empty_inputs() {
+        assert!(hash_join(&[], &rows(), 0, 0).is_empty());
+        assert!(hash_join(&rows(), &[], 0, 0).is_empty());
+    }
+
+    #[test]
+    fn hash_join_counts_output_rows() {
+        obs::set_enabled(true);
+        let before = super::hash_join_rows().get();
+        let left = vec![Row(vec![Value::Int(7)])];
+        let right = vec![Row(vec![Value::Int(7)]), Row(vec![Value::Int(7)])];
+        let out = hash_join(&left, &right, 0, 0);
+        assert_eq!(out.len(), 2);
+        assert!(
+            super::hash_join_rows().get() >= before + 2,
+            "hash_join_rows must count emitted rows"
+        );
     }
 
     #[test]

@@ -194,6 +194,33 @@ fn bind(expr: &SqlExpr, scope: &Scope) -> DbResult<Expr> {
     })
 }
 
+/// Detect a hashable equi-join predicate: `a.x = b.y` with the two columns
+/// on opposite sides of the join boundary and sharing an *exact-equality*
+/// type (integer or text), so hashing the key encoding agrees bit-for-bit
+/// with the `=` predicate. Float keys stay on the nested loop: `-0.0 = 0.0`
+/// is true for the predicate but the two encode differently. Returns the
+/// positions `(left_col, right_col)`, the latter relative to the right input.
+fn equi_join_cols(
+    on: &SqlExpr,
+    scope: &Scope,
+    left_arity: usize,
+    dtypes: &[DataType],
+) -> Option<(usize, usize)> {
+    let SqlExpr::Bin { op: SqlBinOp::Eq, left, right } = on else { return None };
+    let (SqlExpr::Col(a), SqlExpr::Col(b)) = (left.as_ref(), right.as_ref()) else {
+        return None;
+    };
+    let (ia, ib) = (scope.resolve(a).ok()?, scope.resolve(b).ok()?);
+    let (l, r) = match (ia < left_arity, ib < left_arity) {
+        (true, false) => (ia, ib),
+        (false, true) => (ib, ia),
+        _ => return None,
+    };
+    let hashable = dtypes[l] == dtypes[r]
+        && matches!(dtypes[l], DataType::BigInt | DataType::Int | DataType::Text);
+    hashable.then_some((l, r - left_arity))
+}
+
 fn bin_op(op: SqlBinOp) -> BinOp {
     match op {
         SqlBinOp::Add => BinOp::Add,
@@ -228,10 +255,21 @@ fn explain_select(db: &Database, s: &Select) -> DbResult<SqlOutput> {
             "heap order"
         }
     ));
+    let from_schema = db.schema_of(&s.from.table)?;
+    let mut dtypes: Vec<DataType> = from_schema.columns().iter().map(|c| c.dtype).collect();
+    let mut scope = Scope::from_table(&s.from.alias, from_schema);
     for j in &s.joins {
         let rows = db.row_count(&j.table.table)?;
+        let right_schema = db.schema_of(&j.table.table)?;
+        let left_arity = dtypes.len();
+        dtypes.extend(right_schema.columns().iter().map(|c| c.dtype));
+        scope = scope.join(&j.table.alias, right_schema);
         plan.push(match &j.on {
             None => format!("cross join {} ({} rows)", j.table.table, rows),
+            Some(on) if equi_join_cols(on, &scope, left_arity, &dtypes).is_some() => format!(
+                "hash inner join {} AS {} ({} rows) on equality",
+                j.table.table, j.table.alias, rows
+            ),
             Some(_) => format!(
                 "nested-loop inner join {} AS {} ({} rows) on predicate",
                 j.table.table, j.table.alias, rows
@@ -270,18 +308,25 @@ fn explain_select(db: &Database, s: &Select) -> DbResult<SqlOutput> {
 
 fn run_select(db: &Database, s: &Select) -> DbResult<SqlOutput> {
     // FROM and JOINs: materialize and combine.
-    let mut scope = Scope::from_table(&s.from.alias, db.schema_of(&s.from.table)?);
+    let from_schema = db.schema_of(&s.from.table)?;
+    let mut dtypes: Vec<DataType> = from_schema.columns().iter().map(|c| c.dtype).collect();
+    let mut scope = Scope::from_table(&s.from.alias, from_schema);
     let mut rows = db.scan(&s.from.table)?;
     for join in &s.joins {
         let right_schema = db.schema_of(&join.table.table)?;
         let right_rows = db.scan(&join.table.table)?;
+        let left_arity = dtypes.len();
+        dtypes.extend(right_schema.columns().iter().map(|c| c.dtype));
         scope = scope.join(&join.table.alias, right_schema);
         rows = match &join.on {
             None => exec::cross_join(&rows, &right_rows),
-            Some(on) => {
-                let pred = bind(on, &scope)?;
-                exec::nested_loop_join(&rows, &right_rows, &pred)?
-            }
+            Some(on) => match equi_join_cols(on, &scope, left_arity, &dtypes) {
+                Some((lc, rc)) => exec::hash_join(&rows, &right_rows, lc, rc),
+                None => {
+                    let pred = bind(on, &scope)?;
+                    exec::nested_loop_join(&rows, &right_rows, &pred)?
+                }
+            },
         };
     }
 

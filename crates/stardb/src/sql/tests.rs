@@ -153,6 +153,73 @@ fn cross_join_cardinality() {
 }
 
 #[test]
+fn equi_join_takes_the_hash_path() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Label (objid BIGINT PRIMARY KEY, tag VARCHAR(8))").unwrap();
+    d.execute_sql("INSERT INTO Label VALUES (2, 'two'), (3, 'three'), (9, 'none')").unwrap();
+    let (_, plan) = rows(
+        &mut d,
+        "EXPLAIN SELECT g.objid, l.tag FROM Galaxy g JOIN Label l ON g.objid = l.objid",
+    );
+    let steps: Vec<String> = plan.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    assert!(
+        steps.iter().any(|s| s.contains("hash inner join Label")),
+        "expected a hash join step, got {steps:?}"
+    );
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT g.objid, l.tag FROM Galaxy g JOIN Label l ON g.objid = l.objid \
+         ORDER BY g.objid",
+    );
+    let pairs: Vec<(i64, String)> =
+        rs.iter().map(|r| (r.i64(0).unwrap(), r[1].as_str().unwrap().to_owned())).collect();
+    assert_eq!(pairs, vec![(2, "two".to_owned()), (3, "three".to_owned())]);
+}
+
+#[test]
+fn equi_join_on_nullable_text_skips_nulls() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Names (id BIGINT PRIMARY KEY, name VARCHAR(20))").unwrap();
+    // One NULL on each side: NULL = NULL must not match, same as the
+    // nested-loop predicate's three-valued logic.
+    d.execute_sql("INSERT INTO Names VALUES (1, 'a'), (2, NULL), (3, 'e')").unwrap();
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT g.objid, n.id FROM Galaxy g JOIN Names n ON g.name = n.name \
+         ORDER BY g.objid",
+    );
+    let pairs: Vec<(i64, i64)> =
+        rs.iter().map(|r| (r.i64(0).unwrap(), r.i64(1).unwrap())).collect();
+    assert_eq!(pairs, vec![(1, 1), (5, 3)]);
+}
+
+#[test]
+fn cross_type_equality_stays_on_the_nested_loop() {
+    let mut d = db();
+    // INT vs BIGINT: the predicate coerces numerically, the key encoding
+    // does not — so this must not take the hash path.
+    d.execute_sql("CREATE TABLE Small (zone INT PRIMARY KEY, tag VARCHAR(8))").unwrap();
+    d.execute_sql("INSERT INTO Small VALUES (1, 'one'), (2, 'two')").unwrap();
+    let (_, plan) = rows(
+        &mut d,
+        "EXPLAIN SELECT g.objid FROM Galaxy g JOIN Small s ON g.objid = s.zone",
+    );
+    let steps: Vec<String> = plan.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    assert!(
+        steps.iter().any(|s| s.contains("nested-loop inner join Small")),
+        "cross-type equality must stay nested-loop, got {steps:?}"
+    );
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT g.objid, s.tag FROM Galaxy g JOIN Small s ON g.objid = s.zone \
+         ORDER BY g.objid",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs[0].i64(0).unwrap(), 1);
+    assert_eq!(rs[1].i64(0).unwrap(), 2);
+}
+
+#[test]
 fn ambiguous_and_missing_columns_error() {
     let mut d = db();
     d.execute_sql("CREATE TABLE G2 (objid BIGINT PRIMARY KEY, extra FLOAT)").unwrap();

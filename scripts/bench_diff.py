@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json run reports and print a regression table.
+
+Every experiment binary emits a unified machine-readable report (see
+`obs::RunReport`): provenance, config, the full counter registry, and the
+finished spans. This tool diffs the metrics that track the cost claims —
+wall time, pairs examined by the zone join, and contended buffer-pool
+latch acquisitions — between a baseline report and a candidate report:
+
+    scripts/bench_diff.py BENCH_zone_kernel.base.json BENCH_zone_kernel.json
+
+Exit status is 0 unless --strict is given and a metric regressed past the
+threshold (default: 10% worse than baseline). Counter-only metrics missing
+from both reports are skipped; a metric present on one side only is
+reported as such and never fails the diff (different bench, not a
+regression). Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import sys
+
+# (label, kind) — kind "counter" reads report["counters"][label];
+# "wall" derives seconds from the root spans.
+METRICS = [
+    ("wall_s", "wall"),
+    ("maxbcg.neighbors.pairs_examined", "counter"),
+    ("stardb.buffer.latch_waits", "counter"),
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"cannot read {path}: {e}")
+
+
+def wall_seconds(report):
+    """Total wall of the run: the sum of root (depth 0) span durations.
+
+    Reports without spans (telemetry disabled) fall back to any payload
+    field named wall_s / *_wall_s / total_elapsed_s, summed.
+    """
+    spans = report.get("spans", [])
+    roots = [s.get("dur_ns", 0) for s in spans if s.get("depth") == 0]
+    if roots:
+        return sum(roots) / 1e9
+
+    total = 0.0
+    found = False
+
+    def walk(node):
+        nonlocal total, found
+        if isinstance(node, dict):
+            for k, v in node.items():
+                if isinstance(v, (int, float)) and (
+                    k == "wall_s" or k.endswith("_wall_s") or k == "total_elapsed_s"
+                ):
+                    total += v
+                    found = True
+                else:
+                    walk(v)
+        elif isinstance(node, list):
+            for v in node:
+                walk(v)
+
+    walk(report.get("payload", {}))
+    return total if found else None
+
+
+def metric_value(report, label, kind):
+    if kind == "wall":
+        return wall_seconds(report)
+    return report.get("counters", {}).get(label)
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("base", help="baseline BENCH_*.json")
+    ap.add_argument("head", help="candidate BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.10,
+        help="head/base ratio above which a metric counts as regressed (default 1.10)",
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any metric regresses past the threshold",
+    )
+    args = ap.parse_args()
+
+    base, head = load(args.base), load(args.head)
+    if base.get("name") != head.get("name"):
+        print(
+            f"note: comparing different experiments "
+            f"({base.get('name')!r} vs {head.get('name')!r})",
+            file=sys.stderr,
+        )
+
+    rows = []
+    regressed = []
+    for label, kind in METRICS:
+        b, h = metric_value(base, label, kind), metric_value(head, label, kind)
+        if b is None and h is None:
+            continue
+        if b is None or h is None:
+            rows.append((label, fmt(b), fmt(h), "-", "one-sided"))
+            continue
+        ratio = (h / b) if b else (float("inf") if h else 1.0)
+        status = "ok"
+        if ratio > args.threshold:
+            status = "REGRESSED"
+            regressed.append(label)
+        elif ratio < 1.0 / args.threshold:
+            status = "improved"
+        rows.append((label, fmt(b), fmt(h), f"{(ratio - 1) * 100:+.1f}%", status))
+
+    if not rows:
+        sys.exit("no comparable metrics in either report")
+
+    header = ("metric", "base", "head", "delta", "status")
+    widths = [max(len(r[i]) for r in rows + [header]) for i in range(5)]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+    base_rev = base.get("git_rev", "?")
+    head_rev = head.get("git_rev", "?")
+    print(f"\nbase {base_rev} -> head {head_rev}, threshold {args.threshold:.2f}x")
+    if regressed:
+        print(f"regressed: {', '.join(regressed)}")
+        if args.strict:
+            sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

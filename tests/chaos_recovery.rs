@@ -176,6 +176,48 @@ fn three_way_partition_chaos_preserves_figure6_identity() {
 }
 
 #[test]
+fn stale_zone_snapshot_falls_back_identically_after_a_rezone() {
+    // Chaos failover re-runs spZone on every attempt, so any columnar zone
+    // snapshot captured before a fault is stale by epoch. The neighbor
+    // kernel must detect that, take the clustered-index path, count the
+    // fallback — and change nothing about the answer.
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(180.0, 181.0, -0.5, 0.5);
+    let sky = Sky::generate(survey, &SkyConfig::scaled(0.08), &kcorr, 99);
+    let mut db = MaxBcgDb::new(config).unwrap();
+    db.run("stale-drill", &sky, &survey, &survey.shrunk(0.25)).unwrap();
+
+    let stale = db.zone_snapshot().expect("zone cache on by default").clone();
+    db.make_zone().unwrap(); // the failover path: truncate + refill moves the epoch
+    assert!(!stale.is_fresh(db.db()), "re-running spZone must invalidate the snapshot");
+
+    let fallbacks = obs::counter("maxbcg.zonecache.fallbacks");
+    let fallbacks_0 = fallbacks.get();
+    let mut searched = 0;
+    for g in sky.galaxies.iter().step_by(19) {
+        let (mut via_stale, mut via_none) = (Vec::new(), Vec::new());
+        maxbcg::visit_nearby_with(db.db(), Some(&*stale), db.scheme(), g.ra, g.dec, 0.2, |o, d, _| {
+            via_stale.push((o, d.to_bits()));
+            true
+        })
+        .unwrap();
+        maxbcg::visit_nearby_with(db.db(), None, db.scheme(), g.ra, g.dec, 0.2, |o, d, _| {
+            via_none.push((o, d.to_bits()));
+            true
+        })
+        .unwrap();
+        assert_eq!(via_stale, via_none, "stale fallback changed hits at ({}, {})", g.ra, g.dec);
+        searched += 1;
+    }
+    assert!(searched > 5, "need a meaningful sample");
+    assert!(
+        fallbacks.get() >= fallbacks_0 + searched,
+        "every stale-snapshot search must count a fallback"
+    );
+}
+
+#[test]
 fn data_grid_chaos_collects_the_full_catalog() {
     let kcorr = KcorrTable::generate(KcorrConfig::sql());
     let survey = SkyRegion::new(180.0, 181.0, -1.5, 1.5);

@@ -53,6 +53,8 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "maxbcg.neighbors.searches",
     "maxbcg.neighbors.pairs_examined",
     "maxbcg.catalog.galaxies",
+    "maxbcg.zonecache.builds",
+    "maxbcg.zonecache.hits",
 ];
 
 #[test]
