@@ -76,6 +76,20 @@ fn main() {
     let hash_rows = obs::counter("stardb.exec.hash_join_rows");
     let hash_rows_0 = hash_rows.get();
     let db = set_db.as_mut().expect("set-based run kept");
+    // The planner must pick the hash strategy for this query — check the
+    // plan it renders (the same object the execution below runs from).
+    let (_, plan) = db
+        .db_mut()
+        .execute_sql(
+            "EXPLAIN SELECT COUNT(*) FROM Candidates c JOIN Galaxy g ON c.objid = g.objid",
+        )
+        .expect("explain")
+        .rows()
+        .expect("plan rows");
+    assert!(
+        plan.iter().any(|r| r[0].as_str().is_ok_and(|s| s.contains("hash inner join"))),
+        "planner must choose the hash join for the objid equi-join"
+    );
     let (_, rows) = db
         .db_mut()
         .execute_sql(

@@ -109,7 +109,8 @@ fn main() {
             }
         }
     }
-    // Session telemetry: the boot pipeline's counters plus the shell tally.
+    // Session telemetry: the boot pipeline's counters plus the shell tally
+    // and the planner's access-path counters for everything typed above.
     opts.emit_report(
         "skyql",
         &serde_json::json!({
@@ -117,6 +118,12 @@ fn main() {
             "errors": errors,
             "galaxies": db.row_count("Galaxy").unwrap_or(0),
             "clusters": db.row_count("Clusters").unwrap_or(0),
+            "plan": {
+                "index_scans": obs::counter("stardb.plan.index_scans").get(),
+                "full_scans": obs::counter("stardb.plan.full_scans").get(),
+                "pushed_predicates": obs::counter("stardb.plan.pushed_predicates").get(),
+                "rows_pruned": obs::counter("stardb.plan.rows_pruned").get(),
+            },
         }),
     );
 }

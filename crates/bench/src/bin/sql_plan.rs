@@ -1,0 +1,186 @@
+//! **SQL plan** — the streaming planner vs the planner-free reference
+//! pipeline on the paper's region queries.
+//!
+//! Imports a sky into `Galaxy`, builds the `(ra, dec)` secondary index,
+//! then runs a Figure-4-shaped window selection twice: once through
+//! `PlanOptions::default()` (index range scan, predicate pushdown, hash
+//! joins, top-n) and once through `PlanOptions::naive()` (full scan, late
+//! filter). The two result sets must be byte-identical; the planned run
+//! must examine strictly fewer rows — that is the entire point of the
+//! planner — and its EXPLAIN must say "index range scan". A joined
+//! aggregate and a top-n query round out the workload.
+//!
+//! ```text
+//! cargo run -p bench --release --bin sql_plan [-- --scale 0.1 --seed 2005]
+//! ```
+//!
+//! Emits `BENCH_sql_plan.json`.
+
+use bench::{BenchOpts, TextTable};
+use maxbcg::region_query;
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use serde::Serialize;
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use stardb::sql::execute_with;
+use stardb::{Database, PlanOptions, Row};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct QueryPoint {
+    query: &'static str,
+    planned_s: f64,
+    naive_s: f64,
+    planned_rows_examined: u64,
+    naive_rows_examined: u64,
+    result_rows: usize,
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct PlanReport {
+    scale: f64,
+    galaxies: u64,
+    queries: Vec<QueryPoint>,
+    index_scans: u64,
+    full_scans: u64,
+    pushed_predicates: u64,
+    rows_pruned: u64,
+}
+
+/// Run `sql` under `opts`, returning (sorted rows, rows examined, secs).
+/// "Rows examined" is scan output plus everything the scans pruned — the
+/// figure an index range scan shrinks.
+fn measure(db: &mut Database, sql: &str, opts: &PlanOptions) -> (Vec<Row>, u64, f64) {
+    let pruned = obs::counter("stardb.plan.rows_pruned");
+    let filtered = obs::counter("stardb.exec.rows_filtered");
+    let (p0, f0) = (pruned.get(), filtered.get());
+    let t0 = Instant::now();
+    let (_, mut rows) = execute_with(db, sql, opts).expect("query").rows().expect("rows");
+    let secs = t0.elapsed().as_secs_f64();
+    let examined = rows.len() as u64 + (pruned.get() - p0) + (filtered.get() - f0);
+    rows.sort_by(|a, b| a.encode().cmp(&b.encode()));
+    (rows, examined, secs)
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    obs::set_enabled(true);
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(194.0, 196.5, 1.25, 3.75);
+    let sky = opts.sky(survey, &kcorr);
+    let mut engine = MaxBcgDb::new(config).expect("schema");
+    engine.import_galaxy(&sky, &survey).expect("import");
+    let db = engine.db_mut();
+    region_query::ensure_region_index(db).expect("index");
+    let galaxies = db.row_count("Galaxy").expect("rows");
+    db.execute_sql("CREATE TABLE Bright (objid BIGINT PRIMARY KEY)").expect("create");
+    let (_, bright) =
+        db.execute_sql("SELECT objid FROM Galaxy WHERE i < 19").unwrap().rows().unwrap();
+    for chunk in bright.chunks(64) {
+        let vals: Vec<String> =
+            chunk.iter().map(|r| format!("({})", r.i64(0).unwrap())).collect();
+        db.execute_sql(&format!("INSERT INTO Bright VALUES {}", vals.join(", ")))
+            .expect("fill Bright");
+    }
+
+    // The shrunk window makes the index selective: the query touches a
+    // fraction of Galaxy, so the planned scan must examine strictly fewer
+    // rows than the naive full pass.
+    let window = survey.shrunk(0.8);
+    let region_sql = region_query::region_select(&window);
+    let queries: Vec<(&'static str, String)> = vec![
+        ("region_window", region_sql.clone()),
+        (
+            "joined_aggregate",
+            format!(
+                "SELECT COUNT(*) FROM Galaxy g JOIN Bright b ON g.objid = b.objid \
+                 WHERE g.ra BETWEEN {} AND {}",
+                window.ra_min, window.ra_max
+            ),
+        ),
+        (
+            "top_n",
+            format!(
+                "SELECT objid, i FROM Galaxy WHERE ra BETWEEN {} AND {} \
+                 ORDER BY i DESC, objid LIMIT 20",
+                window.ra_min, window.ra_max
+            ),
+        ),
+    ];
+
+    // EXPLAIN must show the index path before we measure it.
+    let (_, plan) =
+        db.execute_sql(&format!("EXPLAIN {region_sql}")).expect("explain").rows().expect("rows");
+    let steps: Vec<String> = plan.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    assert!(
+        steps[0].contains("index range scan Galaxy") && steps[0].contains(region_query::REGION_INDEX),
+        "region query must plan as an index range scan: {steps:?}"
+    );
+    println!("plan for {}:", queries[0].0);
+    for s in &steps {
+        println!("  {s}");
+    }
+
+    let plan_counters = [
+        obs::counter("stardb.plan.index_scans"),
+        obs::counter("stardb.plan.full_scans"),
+        obs::counter("stardb.plan.pushed_predicates"),
+        obs::counter("stardb.plan.rows_pruned"),
+    ];
+    let base: Vec<u64> = plan_counters.iter().map(|c| c.get()).collect();
+
+    let mut points = Vec::new();
+    let mut table =
+        TextTable::new(&["query", "planned (s)", "naive (s)", "rows examined", "naive examined"]);
+    for (name, sql) in &queries {
+        let (planned, planned_examined, planned_s) = measure(db, sql, &PlanOptions::default());
+        let (naive, naive_examined, naive_s) = measure(db, sql, &PlanOptions::naive());
+        let identical = planned == naive;
+        assert!(identical, "{name}: planned and naive result sets diverged");
+        assert!(
+            planned_examined < naive_examined,
+            "{name}: planned path must examine strictly fewer rows \
+             ({planned_examined} vs {naive_examined})"
+        );
+        table.row(&[
+            (*name).into(),
+            format!("{planned_s:.4}"),
+            format!("{naive_s:.4}"),
+            planned_examined.to_string(),
+            naive_examined.to_string(),
+        ]);
+        points.push(QueryPoint {
+            query: name,
+            planned_s,
+            naive_s,
+            planned_rows_examined: planned_examined,
+            naive_rows_examined: naive_examined,
+            result_rows: planned.len(),
+            identical,
+        });
+    }
+    print!("{}", table.render());
+
+    let delta: Vec<u64> =
+        plan_counters.iter().zip(&base).map(|(c, b)| c.get() - b).collect();
+    let report = PlanReport {
+        scale: opts.scale,
+        galaxies,
+        queries: points,
+        index_scans: delta[0],
+        full_scans: delta[1],
+        pushed_predicates: delta[2],
+        rows_pruned: delta[3],
+    };
+    assert!(report.index_scans > 0, "the workload must hit the index path");
+    println!(
+        "plan counters for the workload: {} index scans, {} full scans, \
+         {} pushed predicates, {} rows pruned",
+        report.index_scans, report.full_scans, report.pushed_predicates, report.rows_pruned
+    );
+    let path = opts.write_report("sql_plan", &report);
+    println!("report written to {}", path.display());
+    opts.emit_report("sql_plan", &report);
+}

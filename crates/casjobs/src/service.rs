@@ -592,6 +592,45 @@ mod tests {
     }
 
     #[test]
+    fn indexed_mydb_queries_take_the_planned_index_path() {
+        let mut s = service();
+        let alice = s.register("alice").unwrap();
+        let window = SkyRegion::new(180.1, 181.1, -0.5, 0.5);
+        s.submit(alice, JobSpec::ExtractRegion { window, into: "mygal".into() }).unwrap();
+        for stmt in ["CREATE INDEX idx_mag ON mygal (i)"] {
+            s.submit(alice, JobSpec::Sql { statement: stmt.into() }).unwrap();
+        }
+        assert_eq!(s.run_pending(), 2);
+
+        // A sargable interactive query over the user's own index goes
+        // through the planner's index range scan, and EXPLAIN (the same
+        // plan object the execution used) says so.
+        obs::set_enabled(true);
+        let scans = obs::counter("stardb.plan.index_scans");
+        let before = scans.get();
+        let (_, rows) = s
+            .query(alice, "SELECT objid, i FROM mygal WHERE i BETWEEN 17 AND 19")
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert!(scans.get() > before, "MyDB query must use idx_mag");
+        for r in &rows {
+            let mag = r.f64(1).unwrap();
+            assert!((17.0..=19.0).contains(&mag));
+        }
+        let (_, plan) = s
+            .query(alice, "EXPLAIN SELECT objid, i FROM mygal WHERE i BETWEEN 17 AND 19")
+            .unwrap()
+            .rows()
+            .unwrap();
+        let first = plan[0][0].as_str().unwrap();
+        assert!(
+            first.contains("index range scan mygal") && first.contains("via idx_mag"),
+            "plan: {first}"
+        );
+    }
+
+    #[test]
     fn cancel_prevents_execution() {
         let mut s = service();
         let alice = s.register("alice").unwrap();

@@ -18,6 +18,7 @@ pub mod neighbors;
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
+pub mod region_query;
 pub mod schema;
 pub mod script;
 pub mod stats;

@@ -1,0 +1,50 @@
+//! Region selections through the SQL planner.
+//!
+//! The paper's Figures 4 and 5 are rectangular `ra/dec BETWEEN` windows
+//! over `Galaxy`. The stored procedures reach those rows through the Zone
+//! table, but ad-hoc CasJobs-style questions ("how many galaxies are in
+//! this window?") are plain SQL — and with a secondary index on
+//! `(ra, dec)` the streaming planner turns the window's `ra` bounds into
+//! a B-tree index range scan instead of a full pass over `Galaxy`.
+
+use skycore::SkyRegion;
+use stardb::{Database, DbResult, Row};
+
+/// Name of the secondary index region queries lean on.
+pub const REGION_INDEX: &str = "idx_galaxy_radec";
+
+/// Create the `(ra, dec)` secondary index on `Galaxy` if it does not
+/// exist yet. Idempotent: callers can invoke it before every query batch.
+pub fn ensure_region_index(db: &mut Database) -> DbResult<()> {
+    if db.index_names("Galaxy")?.iter().any(|n| n == REGION_INDEX) {
+        return Ok(());
+    }
+    db.execute_sql(&format!("CREATE INDEX {REGION_INDEX} ON Galaxy (ra, dec)"))?;
+    Ok(())
+}
+
+/// The Figure-4-shaped window selection as SQL. `BETWEEN` is inclusive on
+/// both edges, matching [`SkyRegion::contains`].
+pub fn region_select(window: &SkyRegion) -> String {
+    format!(
+        "SELECT objid, ra, dec, i FROM Galaxy \
+         WHERE ra BETWEEN {} AND {} AND dec BETWEEN {} AND {} ORDER BY objid",
+        window.ra_min, window.ra_max, window.dec_min, window.dec_max
+    )
+}
+
+/// Galaxies inside `window`, selected through the planned SQL path
+/// (index range scan when [`ensure_region_index`] has run).
+pub fn galaxies_in_region(db: &mut Database, window: &SkyRegion) -> DbResult<Vec<Row>> {
+    Ok(db.execute_sql(&region_select(window))?.rows()?.1)
+}
+
+/// `COUNT(*)` of galaxies inside `window`, through the same planned path.
+pub fn count_in_region(db: &mut Database, window: &SkyRegion) -> DbResult<u64> {
+    let sql = format!(
+        "SELECT COUNT(*) FROM Galaxy WHERE ra BETWEEN {} AND {} AND dec BETWEEN {} AND {}",
+        window.ra_min, window.ra_max, window.dec_min, window.dec_max
+    );
+    let (_, rows) = db.execute_sql(&sql)?.rows()?;
+    Ok(rows[0].i64(0)? as u64)
+}

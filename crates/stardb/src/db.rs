@@ -8,7 +8,8 @@ use crate::heap::{HeapFile, RowId};
 use crate::key::encode_key;
 use crate::row::Row;
 use crate::schema::Schema;
-use crate::stats::TaskStats;
+use crate::expr::Expr;
+use crate::stats::{TableStats, TaskStats};
 use crate::store::MemStore;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -377,6 +378,33 @@ impl Database {
         hi: &[Value],
         mut visit: impl FnMut(&Row) -> DbResult<bool>,
     ) -> DbResult<()> {
+        // Phase 1: collect clustering keys from the index (the scan holds
+        // the pool latch; lookups happen after).
+        let locators = self.index_range_keys(table, index, lo, hi)?;
+        // Phase 2: key lookups.
+        for loc in locators {
+            if let Some(row) = self.get(table, &loc)? {
+                if !visit(&row)? {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 1 of a nonclustered index range scan on its own: the
+    /// clustering-key locators of every index entry between the `lo` and
+    /// `hi` index-key prefixes (inclusive, prefix semantics as in
+    /// [`Database::range_scan_prefix`]), in index-key order. The query
+    /// planner's index-scan operator collects locators once, then fetches
+    /// rows in batches through [`Database::get`].
+    pub fn index_range_keys(
+        &self,
+        table: &str,
+        index: &str,
+        lo: &[Value],
+        hi: &[Value],
+    ) -> DbResult<Vec<Vec<Value>>> {
         let t = self.table(table)?;
         let idx = t
             .indexes
@@ -387,8 +415,6 @@ impl Database {
         let lo_key = encode_key(lo);
         let mut hi_key = encode_key(hi);
         hi_key.push(0xFF);
-        // Phase 1: collect clustering keys from the index (the scan holds
-        // the pool latch; lookups happen after).
         let mut locators: Vec<Vec<Value>> = Vec::new();
         idx.tree.scan_range_with(
             std::ops::Bound::Included(&lo_key),
@@ -400,15 +426,18 @@ impl Database {
                 true
             },
         )?;
-        // Phase 2: key lookups.
-        for loc in locators {
-            if let Some(row) = self.get(table, &loc)? {
-                if !visit(&row)? {
-                    break;
-                }
-            }
-        }
-        Ok(())
+        Ok(locators)
+    }
+
+    /// The column positions a nonclustered index covers, in index order.
+    pub fn index_key_cols(&self, table: &str, index: &str) -> DbResult<Vec<usize>> {
+        let t = self.table(table)?;
+        let idx = t
+            .indexes
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(index))
+            .ok_or_else(|| DbError::NoSuchTable(format!("index {index}")))?;
+        Ok(idx.cols.clone())
     }
 
     /// Parse and execute one SQL statement (see [`crate::sql`]).
@@ -584,6 +613,63 @@ impl Database {
         Ok(Cursor { table: Self::norm(name), pos: kind, done: false })
     }
 
+    /// Planner-facing statistics for a table (currently the row count).
+    pub fn table_stats(&self, name: &str) -> DbResult<TableStats> {
+        Ok(TableStats { rows: self.row_count(name)? })
+    }
+
+    /// Scan a table keeping only rows matching `pred` (column positions
+    /// are table positions). Returns the matching rows plus the number of
+    /// rows *examined*, so callers can report how much a pushed-down
+    /// predicate pruned.
+    pub fn scan_filtered(&self, name: &str, pred: &Expr) -> DbResult<(Vec<Row>, u64)> {
+        let mut out = Vec::new();
+        let mut scanned = 0u64;
+        self.scan_with(name, |row| {
+            scanned += 1;
+            if pred.matches(row)? {
+                out.push(row.clone());
+            }
+            Ok(true)
+        })?;
+        Ok((out, scanned))
+    }
+
+    /// Open a streaming batched scan over the whole table (clustered
+    /// tables in key order, heaps in page order). The scan holds no latch
+    /// between batches — like [`Cursor`], each fetch re-descends from the
+    /// last key — so the pull-based executor can interleave fetches with
+    /// arbitrary database reads.
+    pub fn batch_scan(&self, name: &str) -> DbResult<BatchScan> {
+        let table = self.table(name)?;
+        let mode = match &table.storage {
+            Storage::Heap { .. } => BatchMode::Heap { last: None },
+            Storage::Clustered { .. } => BatchMode::Clustered {
+                last_key: None,
+                lo_key: Vec::new(),
+                hi_key: vec![0xFF],
+            },
+        };
+        Ok(BatchScan { table: Self::norm(name), mode, done: false })
+    }
+
+    /// Open a streaming batched scan over the clustered-key range between
+    /// the `lo` and `hi` key *prefixes*, both inclusive (`hi` admits every
+    /// key extending it, as in [`Database::range_scan_prefix`]).
+    pub fn batch_range_scan(&self, name: &str, lo: &[Value], hi: &[Value]) -> DbResult<BatchScan> {
+        let table = self.table(name)?;
+        let Storage::Clustered { .. } = &table.storage else {
+            return Err(DbError::TypeError(format!("{name} is not clustered")));
+        };
+        let mut hi_key = encode_key(hi);
+        hi_key.push(0xFF);
+        Ok(BatchScan {
+            table: Self::norm(name),
+            mode: BatchMode::Clustered { last_key: None, lo_key: encode_key(lo), hi_key },
+            done: false,
+        })
+    }
+
     /// A `Send + Sync` read-only snapshot handle for concurrent readers.
     ///
     /// The returned [`DbReader`] derefs to [`Database`], so every `&self`
@@ -703,6 +789,123 @@ impl Cursor {
             }
             _ => Err(DbError::Corrupt("cursor/storage kind mismatch".into())),
         }
+    }
+}
+
+enum BatchMode {
+    Heap { last: Option<RowId> },
+    Clustered { last_key: Option<Vec<u8>>, lo_key: Vec<u8>, hi_key: Vec<u8> },
+}
+
+/// One batch fetched by a [`BatchScan`]: the rows that passed the pushed
+/// predicate and the number of stored rows examined to produce them.
+pub struct ScanChunk {
+    /// Rows that passed the predicate (all examined rows when no
+    /// predicate was pushed).
+    pub rows: Vec<Row>,
+    /// Stored rows examined, matching or not — the pruning denominator.
+    pub scanned: u64,
+}
+
+/// A streaming batched table scan: the planner's pull-based leaf operator
+/// (see [`Database::batch_scan`] / [`Database::batch_range_scan`]).
+///
+/// Between fetches the scan holds nothing but the last clustered key (or
+/// heap row id) examined; each fetch re-descends the B-tree from there,
+/// exactly like [`Cursor`], but amortizes the descent over a whole batch.
+pub struct BatchScan {
+    table: String,
+    mode: BatchMode,
+    done: bool,
+}
+
+impl BatchScan {
+    /// Fetch up to `max` rows matching `pred` (every row if `None`),
+    /// examining stored rows until the batch is full or the range ends.
+    /// Returns `None` once the scan is exhausted. The predicate runs under
+    /// the buffer-pool latch and therefore must not re-enter the database
+    /// — expression predicates over the row alone, as the planner pushes,
+    /// are always safe.
+    pub fn fetch(
+        &mut self,
+        db: &Database,
+        max: usize,
+        pred: Option<&Expr>,
+    ) -> DbResult<Option<ScanChunk>> {
+        if self.done || max == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        let table = db.table(&self.table)?;
+        let arity = table.schema.arity();
+        let mut rows: Vec<Row> = Vec::new();
+        let mut scanned = 0u64;
+        match (&mut self.mode, &table.storage) {
+            (BatchMode::Heap { last }, Storage::Heap { file, .. }) => {
+                while rows.len() < max {
+                    match file.next_record(*last)? {
+                        Some((id, bytes)) => {
+                            *last = Some(id);
+                            scanned += 1;
+                            let row = Row::decode(&bytes, arity)?;
+                            if pred.map_or(Ok(true), |p| p.matches(&row))? {
+                                rows.push(row);
+                            }
+                        }
+                        None => {
+                            self.done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            (BatchMode::Clustered { last_key, lo_key, hi_key }, Storage::Clustered { tree, .. }) => {
+                let lo = match last_key {
+                    Some(k) => Bound::Excluded(k.as_slice()),
+                    None => Bound::Included(lo_key.as_slice()),
+                };
+                let mut newest: Option<Vec<u8>> = None;
+                let mut err = None;
+                let mut filled = false;
+                tree.scan_range_with(lo, Bound::Included(hi_key.as_slice()), |k, payload| {
+                    scanned += 1;
+                    newest = Some(k.to_vec());
+                    let keep = Row::decode(payload, arity).and_then(|row| {
+                        Ok(match pred {
+                            Some(p) => p.matches(&row)?.then_some(row),
+                            None => Some(row),
+                        })
+                    });
+                    match keep {
+                        Ok(Some(row)) => {
+                            rows.push(row);
+                            filled = rows.len() >= max;
+                            !filled
+                        }
+                        Ok(None) => true,
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                })?;
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                if let Some(k) = newest {
+                    *last_key = Some(k);
+                }
+                if !filled {
+                    self.done = true;
+                }
+            }
+            _ => return Err(DbError::Corrupt("scan/storage kind mismatch".into())),
+        }
+        if scanned == 0 && rows.is_empty() {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(ScanChunk { rows, scanned }))
     }
 }
 

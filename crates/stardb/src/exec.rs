@@ -7,23 +7,23 @@
 //! of Figures 4/5, CasJobs user queries — run through these operators, and
 //! the cursor-vs-set ablation uses them as the set-based side.
 
-use crate::error::DbResult;
+use crate::error::{DbError, DbResult};
 use crate::expr::Expr;
 use crate::key::encode_key;
 use crate::row::Row;
 use crate::value::Value;
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::OnceLock;
 
 /// Rows dropped by [`filter`] predicates, workspace-wide.
-fn rows_filtered() -> &'static obs::Counter {
+pub(crate) fn rows_filtered() -> &'static obs::Counter {
     static C: OnceLock<obs::Counter> = OnceLock::new();
     C.get_or_init(|| obs::counter("stardb.exec.rows_filtered"))
 }
 
 /// Row pairs a join operator examined (the nested-loop cost driver).
-fn join_pairs() -> &'static obs::Counter {
+pub(crate) fn join_pairs() -> &'static obs::Counter {
     static C: OnceLock<obs::Counter> = OnceLock::new();
     C.get_or_init(|| obs::counter("stardb.exec.join_pairs_examined"))
 }
@@ -31,7 +31,7 @@ fn join_pairs() -> &'static obs::Counter {
 /// Rows produced by [`hash_join`] — the equi-join's output cardinality,
 /// reported alongside the pair counter so the cursor-vs-set ablation can
 /// show how much probing the hash table saved.
-fn hash_join_rows() -> &'static obs::Counter {
+pub(crate) fn hash_join_rows() -> &'static obs::Counter {
     static C: OnceLock<obs::Counter> = OnceLock::new();
     C.get_or_init(|| obs::counter("stardb.exec.hash_join_rows"))
 }
@@ -104,35 +104,64 @@ pub fn nested_loop_join(left: &[Row], right: &[Row], on: &Expr) -> DbResult<Vec<
 /// cross-type numeric coercion to the nested loop. NULL keys match
 /// nothing on either side, per SQL three-valued logic.
 pub fn hash_join(left: &[Row], right: &[Row], left_col: usize, right_col: usize) -> Vec<Row> {
-    // Build and probe each examine every input row once.
-    join_pairs().add((left.len() + right.len()) as u64);
-    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(right.len());
-    for (i, r) in right.iter().enumerate() {
-        let k = &r.0[right_col];
-        if k.is_null() {
-            continue;
+    let table = HashTable::build(right.to_vec(), right_col);
+    table.probe(left, left_col)
+}
+
+/// The build side of a hash equi-join, reusable across probe batches so
+/// the streaming executor builds once and probes one left batch at a time.
+///
+/// Keys hash through their order-preserving key encoding, which never
+/// equates values of different column types; callers pick the hash path
+/// only when both columns share a `DataType`. NULL keys are skipped on
+/// both sides, per SQL three-valued logic.
+pub struct HashTable {
+    rows: Vec<Row>,
+    map: HashMap<Vec<u8>, Vec<usize>>,
+    right_arity: usize,
+}
+
+impl HashTable {
+    /// Hash `right` on `right_col`. Counts one examined pair per build row.
+    pub fn build(right: Vec<Row>, right_col: usize) -> Self {
+        join_pairs().add(right.len() as u64);
+        let mut map: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(right.len());
+        for (i, r) in right.iter().enumerate() {
+            let k = &r.0[right_col];
+            if k.is_null() {
+                continue;
+            }
+            map.entry(encode_key(std::slice::from_ref(k))).or_default().push(i);
         }
-        table.entry(encode_key(std::slice::from_ref(k))).or_default().push(i);
+        let right_arity = right.first().map_or(0, Row::arity);
+        HashTable { rows: right, map, right_arity }
     }
-    let arity = joined_arity(left, right);
-    let mut out = Vec::new();
-    for l in left {
-        let k = &l.0[left_col];
-        if k.is_null() {
-            continue;
+
+    /// Probe with a batch of left rows; emits concatenated rows in
+    /// left-major order with build rows in input order — exactly the order
+    /// [`nested_loop_join`] produces, so the operators are interchangeable.
+    pub fn probe(&self, left: &[Row], left_col: usize) -> Vec<Row> {
+        join_pairs().add(left.len() as u64);
+        let arity = left.first().map_or(0, Row::arity) + self.right_arity;
+        let mut out = Vec::new();
+        for l in left {
+            let k = &l.0[left_col];
+            if k.is_null() {
+                continue;
+            }
+            let Some(hits) = self.map.get(&encode_key(std::slice::from_ref(k))) else {
+                continue;
+            };
+            for &i in hits {
+                let mut joined = Vec::with_capacity(arity);
+                joined.extend_from_slice(&l.0);
+                joined.extend_from_slice(&self.rows[i].0);
+                out.push(Row(joined));
+            }
         }
-        let Some(hits) = table.get(&encode_key(std::slice::from_ref(k))) else {
-            continue;
-        };
-        for &i in hits {
-            let mut joined = Vec::with_capacity(arity);
-            joined.extend_from_slice(&l.0);
-            joined.extend_from_slice(&right[i].0);
-            out.push(Row(joined));
-        }
+        hash_join_rows().add(out.len() as u64);
+        out
     }
-    hash_join_rows().add(out.len() as u64);
-    out
 }
 
 /// CROSS JOIN (the paper's `Galaxy CROSS JOIN Kcorr` filter step).
@@ -152,23 +181,119 @@ pub fn cross_join(left: &[Row], right: &[Row]) -> Vec<Row> {
 }
 
 /// Sort by the listed column positions ascending.
-pub fn sort_by_cols(mut rows: Vec<Row>, cols: &[usize]) -> Vec<Row> {
-    rows.sort_by(|a, b| {
-        for &c in cols {
-            match a[c].total_cmp(&b[c]) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            }
-        }
-        Ordering::Equal
-    });
+pub fn sort_by_cols(rows: Vec<Row>, cols: &[usize]) -> Vec<Row> {
+    let keys: Vec<(usize, bool)> = cols.iter().map(|&c| (c, false)).collect();
+    sort_by_keys(rows, &keys)
+}
+
+/// Stable sort by `(column, descending)` keys (SQL `ORDER BY`).
+pub fn sort_by_keys(mut rows: Vec<Row>, keys: &[(usize, bool)]) -> Vec<Row> {
+    rows.sort_by(|a, b| cmp_rows(a, b, keys));
     rows
+}
+
+fn cmp_rows(a: &Row, b: &Row, keys: &[(usize, bool)]) -> Ordering {
+    for &(c, desc) in keys {
+        let ord = a[c].total_cmp(&b[c]);
+        let ord = if desc { ord.reverse() } else { ord };
+        match ord {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
 }
 
 /// First `n` rows (SQL `TOP n`).
 pub fn limit(mut rows: Vec<Row>, n: usize) -> Vec<Row> {
     rows.truncate(n);
     rows
+}
+
+/// Bounded top-N accumulator: the `ORDER BY … LIMIT n` short-circuit.
+///
+/// Keeps the `n` best rows seen so far in a max-heap keyed by the sort
+/// keys plus arrival order, so the result — including how ties are broken
+/// — is exactly what a stable sort followed by `truncate(n)` produces,
+/// without ever buffering more than `n` rows.
+pub struct TopN {
+    keys: Vec<(usize, bool)>,
+    n: usize,
+    heap: BinaryHeap<TopNEntry>,
+    seq: u64,
+}
+
+/// Heap entry ordered by a cached order-preserving byte code, so the
+/// max-heap's `Ord` bound is self-contained and comparisons are memcmp.
+struct TopNEntry {
+    code: Vec<u8>,
+    row: Row,
+}
+
+impl PartialEq for TopNEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.code == other.code
+    }
+}
+impl Eq for TopNEntry {}
+impl PartialOrd for TopNEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TopNEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.code.cmp(&other.code)
+    }
+}
+
+impl TopN {
+    /// A top-N accumulator over `(column, descending)` sort keys.
+    pub fn new(keys: Vec<(usize, bool)>, n: usize) -> Self {
+        TopN { keys, n, heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Order-preserving byte encoding of `row`'s sort key: per-column
+    /// `encode_key` bytes (memcmp order matches `Value::total_cmp`),
+    /// bit-flipped for descending columns, with the arrival sequence
+    /// appended so equal keys rank by arrival — the stability guarantee.
+    /// Single-value encodings are never strict prefixes of one another
+    /// (numeric codes are fixed-width and tagged, text is NUL-terminated),
+    /// so concatenation preserves the lexicographic column order.
+    fn sort_code(&self, row: &Row, seq: u64) -> Vec<u8> {
+        let mut code = Vec::new();
+        for &(c, desc) in &self.keys {
+            let col = encode_key(std::slice::from_ref(&row[c]));
+            if desc {
+                code.extend(col.iter().map(|b| !b));
+            } else {
+                code.extend_from_slice(&col);
+            }
+        }
+        code.extend_from_slice(&seq.to_be_bytes());
+        code
+    }
+
+    /// Offer one row; kept only if it ranks among the best `n` so far.
+    pub fn push(&mut self, row: Row) {
+        if self.n == 0 {
+            return;
+        }
+        let code = self.sort_code(&row, self.seq);
+        self.seq += 1;
+        if self.heap.len() < self.n {
+            self.heap.push(TopNEntry { code, row });
+        } else if self.heap.peek().is_some_and(|worst| code < worst.code) {
+            self.heap.push(TopNEntry { code, row });
+            self.heap.pop();
+        }
+    }
+
+    /// The best `n` rows in sort order (ties keep arrival order, exactly
+    /// as a stable sort followed by `truncate(n)` would).
+    pub fn finish(self) -> Vec<Row> {
+        self.heap.into_sorted_vec().into_iter().map(|e| e.row).collect()
+    }
 }
 
 /// Aggregate functions.
@@ -199,64 +324,136 @@ pub struct AggSpec {
 /// `aggs`. Output rows are `[group_key?, agg_0, agg_1, ...]`, ordered by
 /// group key.
 pub fn aggregate(rows: &[Row], group_col: Option<usize>, aggs: &[AggSpec]) -> DbResult<Vec<Row>> {
-    struct Acc {
-        count: u64,
-        seen: u64,
-        min: f64,
-        max: f64,
-        sum: f64,
-    }
-    impl Acc {
-        fn new() -> Self {
-            Acc { count: 0, seen: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
-        }
-    }
-    // Group keys are compared via total order; a Vec keeps groups sorted.
-    let mut groups: Vec<(Option<Value>, Vec<Acc>)> = Vec::new();
+    let mut state = GroupState::new(group_col, aggs);
     for row in rows {
-        let key = group_col.map(|c| row[c].clone());
-        let idx = match groups.binary_search_by(|(k, _)| cmp_opt(k, &key)) {
+        state.update(row)?;
+    }
+    state.finish()
+}
+
+/// One aggregate's running state. MIN/MAX track the actual `Value` under
+/// total order (so integer columns stay integers and text is comparable);
+/// SUM keeps an exact `i128` alongside the float accumulator and reports
+/// `BIGINT` when every input was an integer — type fidelity the old
+/// everything-through-`f64` accumulator silently lost.
+struct Acc {
+    count: u64,
+    seen: u64,
+    min: Option<Value>,
+    max: Option<Value>,
+    fsum: f64,
+    isum: i128,
+    ints_only: bool,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc { count: 0, seen: 0, min: None, max: None, fsum: 0.0, isum: 0, ints_only: true }
+    }
+}
+
+/// Incremental grouped-aggregation state: the streaming executor feeds it
+/// one batch at a time and materializes only the group table, never the
+/// input. [`aggregate`] is the fold-it-all-at-once convenience wrapper.
+pub struct GroupState<'a> {
+    group_col: Option<usize>,
+    aggs: &'a [AggSpec],
+    // Group keys are compared via total order; a Vec keeps groups sorted.
+    groups: Vec<(Option<Value>, Vec<Acc>)>,
+}
+
+impl<'a> GroupState<'a> {
+    /// Empty state for `GROUP BY group_col` (`None` = one global group).
+    pub fn new(group_col: Option<usize>, aggs: &'a [AggSpec]) -> Self {
+        GroupState { group_col, aggs, groups: Vec::new() }
+    }
+
+    /// Fold one input row into its group.
+    pub fn update(&mut self, row: &Row) -> DbResult<()> {
+        let key = self.group_col.map(|c| row[c].clone());
+        let idx = match self.groups.binary_search_by(|(k, _)| cmp_opt(k, &key)) {
             Ok(i) => i,
             Err(i) => {
-                groups.insert(i, (key.clone(), aggs.iter().map(|_| Acc::new()).collect()));
+                self.groups.insert(i, (key, self.aggs.iter().map(|_| Acc::new()).collect()));
                 i
             }
         };
-        for (spec, acc) in aggs.iter().zip(&mut groups[idx].1) {
+        for (spec, acc) in self.aggs.iter().zip(&mut self.groups[idx].1) {
             acc.count += 1;
-            if spec.agg != Agg::Count {
-                let v = spec.arg.eval(row)?;
-                if !v.is_null() {
-                    let x = v.as_f64()?;
-                    acc.seen += 1;
-                    acc.min = acc.min.min(x);
-                    acc.max = acc.max.max(x);
-                    acc.sum += x;
+            if spec.agg == Agg::Count {
+                continue;
+            }
+            let v = spec.arg.eval(row)?;
+            if v.is_null() {
+                continue;
+            }
+            acc.seen += 1;
+            match spec.agg {
+                Agg::Min => {
+                    if acc.min.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Less) {
+                        acc.min = Some(v);
+                    }
                 }
+                Agg::Max => {
+                    if acc.max.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Greater) {
+                        acc.max = Some(v);
+                    }
+                }
+                Agg::Sum | Agg::Avg => {
+                    acc.fsum += v.as_f64()?;
+                    match v {
+                        Value::Int(i) => acc.isum += i128::from(i),
+                        Value::BigInt(i) => acc.isum += i128::from(i),
+                        _ => acc.ints_only = false,
+                    }
+                }
+                Agg::Count => unreachable!("handled above"),
             }
         }
+        Ok(())
     }
-    Ok(groups
-        .into_iter()
-        .map(|(key, accs)| {
-            let mut out: Vec<Value> = Vec::new();
-            if let Some(k) = key {
-                out.push(k);
-            }
-            for (spec, acc) in aggs.iter().zip(accs) {
-                out.push(match spec.agg {
-                    Agg::Count => Value::BigInt(acc.count as i64),
-                    Agg::Min if acc.seen > 0 => Value::Float(acc.min),
-                    Agg::Max if acc.seen > 0 => Value::Float(acc.max),
-                    Agg::Sum if acc.seen > 0 => Value::Float(acc.sum),
-                    Agg::Avg if acc.seen > 0 => Value::Float(acc.sum / acc.seen as f64),
-                    // SQL: aggregates over no non-NULL input are NULL.
-                    _ => Value::Null,
-                });
-            }
-            Row(out)
-        })
-        .collect())
+
+    /// Emit one `[group_key?, agg_0, ...]` row per group, ordered by key.
+    pub fn finish(self) -> DbResult<Vec<Row>> {
+        self.groups
+            .into_iter()
+            .map(|(key, accs)| {
+                let mut out: Vec<Value> = Vec::new();
+                if let Some(k) = key {
+                    out.push(k);
+                }
+                for (spec, acc) in self.aggs.iter().zip(accs) {
+                    out.push(finish_one(spec.agg, acc)?);
+                }
+                Ok(Row(out))
+            })
+            .collect()
+    }
+}
+
+fn finish_one(agg: Agg, acc: Acc) -> DbResult<Value> {
+    if agg == Agg::Count {
+        return Ok(Value::BigInt(acc.count as i64));
+    }
+    // SQL: aggregates over no non-NULL input are NULL.
+    if acc.seen == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(match agg {
+        Agg::Count => unreachable!("handled above"),
+        Agg::Min => acc.min.expect("seen > 0 implies a min"),
+        Agg::Max => acc.max.expect("seen > 0 implies a max"),
+        Agg::Sum if acc.ints_only => {
+            let s = i64::try_from(acc.isum)
+                .map_err(|_| DbError::TypeError("SUM overflows BIGINT".into()))?;
+            Value::BigInt(s)
+        }
+        Agg::Sum => Value::Float(acc.fsum),
+        // For all-integer input, divide the exact integer sum to avoid
+        // inheriting the float accumulator's rounding.
+        Agg::Avg if acc.ints_only => Value::Float(acc.isum as f64 / acc.seen as f64),
+        Agg::Avg => Value::Float(acc.fsum / acc.seen as f64),
+    })
 }
 
 fn cmp_opt(a: &Option<Value>, b: &Option<Value>) -> Ordering {
@@ -427,5 +624,50 @@ mod tests {
         ];
         let out = aggregate(&rows, None, &[AggSpec { agg: Agg::Avg, arg: Expr::Col(0) }]).unwrap();
         assert_eq!(out[0].f64(0).unwrap(), 3.0);
+    }
+
+    /// Deterministic pseudo-property sweep (the proptest version lives in
+    /// `tests/prop_sql_topn.rs`): many seeded row sets with heavy ties and
+    /// NULLs, every (keys, n) combination checked against stable
+    /// sort-then-truncate.
+    #[test]
+    fn top_n_heap_sweeps_identical_to_sort_truncate() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let len = (next() % 70) as usize;
+            let data: Vec<Row> = (0..len)
+                .map(|_| {
+                    let mut v = |m: u64| -> Value {
+                        match next() % m {
+                            0 => Value::Null,
+                            k => Value::BigInt((k % 5) as i64 - 2),
+                        }
+                    };
+                    Row(vec![v(6), v(4), Value::Float((next() % 3) as f64 / 2.0)])
+                })
+                .collect();
+            let keys: Vec<(usize, bool)> = match trial % 4 {
+                0 => vec![(0, false)],
+                1 => vec![(0, true)],
+                2 => vec![(1, false), (2, true)],
+                _ => vec![(2, true), (0, false), (1, true)],
+            };
+            for n in [0, 1, 3, len / 2, len, len + 5] {
+                let mut heap = TopN::new(keys.clone(), n);
+                for r in data.clone() {
+                    heap.push(r);
+                }
+                let got = heap.finish();
+                let mut want = sort_by_keys(data.clone(), &keys);
+                want.truncate(n);
+                assert_eq!(got, want, "trial {trial}, n={n}, keys {keys:?}");
+            }
+        }
     }
 }

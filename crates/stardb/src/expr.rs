@@ -164,6 +164,77 @@ impl Expr {
             v => truthy(&v),
         }
     }
+
+    /// Visit every column position referenced by this expression.
+    pub fn for_each_col(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            Expr::Col(i) => f(*i),
+            Expr::Lit(_) => {}
+            Expr::Bin(_, a, b) | Expr::Power(a, b) => {
+                a.for_each_col(f);
+                b.for_each_col(f);
+            }
+            Expr::Call(_, a) | Expr::Not(a) | Expr::IsNull(a) => a.for_each_col(f),
+            Expr::Between(v, lo, hi) => {
+                v.for_each_col(f);
+                lo.for_each_col(f);
+                hi.for_each_col(f);
+            }
+        }
+    }
+
+    /// All referenced column positions, sorted and deduplicated.
+    pub fn col_refs(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.for_each_col(&mut |c| cols.push(c));
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// A copy of this expression with every column position rewritten by
+    /// `f` (the planner uses this to re-base predicates pushed below a
+    /// join onto the base table's own column positions).
+    pub fn map_cols(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(f(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(a.map_cols(f)), Box::new(b.map_cols(f)))
+            }
+            Expr::Power(a, b) => {
+                Expr::Power(Box::new(a.map_cols(f)), Box::new(b.map_cols(f)))
+            }
+            Expr::Call(func, a) => Expr::Call(*func, Box::new(a.map_cols(f))),
+            Expr::Between(v, lo, hi) => Expr::Between(
+                Box::new(v.map_cols(f)),
+                Box::new(lo.map_cols(f)),
+                Box::new(hi.map_cols(f)),
+            ),
+            Expr::Not(a) => Expr::Not(Box::new(a.map_cols(f))),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.map_cols(f))),
+        }
+    }
+
+    /// Split a predicate into its top-level AND conjuncts. Filtering each
+    /// conjunct independently keeps exactly the rows the conjunction
+    /// keeps: a row passes iff every conjunct evaluates to true, and SQL's
+    /// NULL-counts-as-false rule distributes over AND.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Bin(BinOp::And, a, b) => {
+                let mut out = a.split_conjuncts();
+                out.extend(b.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from conjuncts (`None` for an empty list).
+    pub fn join_conjuncts(conjuncts: Vec<Expr>) -> Option<Expr> {
+        conjuncts.into_iter().reduce(|a, b| a.and(b))
+    }
 }
 
 fn truthy(v: &Value) -> DbResult<bool> {

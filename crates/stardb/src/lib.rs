@@ -30,7 +30,7 @@ pub mod expr;
 pub mod sql;
 pub mod stats;
 
-pub use db::{Cursor, Database, DbConfig, DbReader};
+pub use db::{BatchScan, Cursor, Database, DbConfig, DbReader, ScanChunk};
 pub use expr::{BinOp, Expr, Func};
-pub use sql::SqlOutput;
-pub use stats::TaskStats;
+pub use sql::{PlanOptions, SqlOutput};
+pub use stats::{TableStats, TaskStats};

@@ -1,18 +1,16 @@
-//! Binding and execution: AST → positional expressions → the `exec`
-//! operators.
+//! Statement dispatch: SELECTs go through the query planner
+//! ([`super::plan`]) and the streaming executor ([`super::physical`]);
+//! DML and DDL bind and run directly.
 //!
-//! The execution strategy matches the engine's scale honestly: FROM/JOIN
-//! inputs are materialized scans combined by nested loops (with the
-//! cross-join shortcut), filters and projections evaluate the bound
-//! expression tree per row, aggregation is hash-free sorted grouping, and
-//! ORDER BY/LIMIT run last. No cost-based planning — the MaxBCG stored
-//! procedures use the native API; SQL is the CasJobs user surface.
+//! EXPLAIN renders the *same* [`super::plan::SelectPlan`] object the
+//! executor runs, so the displayed plan — join strategy, chosen index,
+//! pushed predicates, row estimates — cannot drift from execution.
 
 use super::ast::*;
+use super::plan::{self, bind, PlanOptions, Scope};
+use super::physical;
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
-use crate::exec;
-use crate::expr::{BinOp, Expr, Func};
 use crate::row::Row;
 use crate::schema::{Column, Schema};
 use crate::value::{DataType, Value};
@@ -43,11 +41,20 @@ impl SqlOutput {
     }
 }
 
-/// Parse and execute one SQL statement against `db`.
+/// Parse and execute one SQL statement against `db` with the default
+/// (fully enabled) planner.
 pub fn execute(db: &mut Database, sql: &str) -> DbResult<SqlOutput> {
+    execute_with(db, sql, &PlanOptions::default())
+}
+
+/// Parse and execute one SQL statement with explicit planner options.
+/// Only SELECT / EXPLAIN honor the options; DML and DDL are unaffected.
+/// `PlanOptions::naive()` is the planner-free reference pipeline used by
+/// the plan-correctness corpus and the `sql_plan` ablation bench.
+pub fn execute_with(db: &mut Database, sql: &str, opts: &PlanOptions) -> DbResult<SqlOutput> {
     match super::parser::parse(sql)? {
-        Stmt::Select(s) => run_select(db, &s),
-        Stmt::Explain(s) => explain_select(db, &s),
+        Stmt::Select(s) => run_select(db, &s, opts),
+        Stmt::Explain(s) => explain_select(db, &s, opts),
         Stmt::Insert { table, columns, rows } => run_insert(db, &table, columns, rows),
         Stmt::CreateTable { table, columns, primary_key } => {
             run_create(db, &table, columns, primary_key)
@@ -76,585 +83,31 @@ pub fn execute(db: &mut Database, sql: &str) -> DbResult<SqlOutput> {
     }
 }
 
-// ---- binding ---------------------------------------------------------------
-
-/// Name-resolution scope: `(alias, column, position)` triples over the
-/// (possibly joined) input row.
-struct Scope {
-    entries: Vec<(String, String, usize)>,
-}
-
-impl Scope {
-    fn from_table(alias: &str, schema: &Schema) -> Scope {
-        Scope {
-            entries: schema
-                .columns()
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (alias.to_ascii_lowercase(), c.name.to_ascii_lowercase(), i))
-                .collect(),
-        }
-    }
-
-    fn join(mut self, alias: &str, schema: &Schema) -> Scope {
-        let base = self.entries.len();
-        self.entries.extend(schema.columns().iter().enumerate().map(|(i, c)| {
-            (alias.to_ascii_lowercase(), c.name.to_ascii_lowercase(), base + i)
-        }));
-        self
-    }
-
-    fn resolve(&self, col: &ColRef) -> DbResult<usize> {
-        let want_col = col.column.to_ascii_lowercase();
-        let want_tbl = col.table.as_ref().map(|t| t.to_ascii_lowercase());
-        let matches: Vec<usize> = self
-            .entries
-            .iter()
-            .filter(|(tbl, c, _)| {
-                c == &want_col && want_tbl.as_ref().is_none_or(|w| w == tbl)
-            })
-            .map(|&(_, _, i)| i)
-            .collect();
-        match matches.as_slice() {
-            [one] => Ok(*one),
-            [] => Err(DbError::NoSuchColumn(display_col(col))),
-            _ => Err(DbError::TypeError(format!("ambiguous column {}", display_col(col)))),
-        }
-    }
-}
-
-fn display_col(c: &ColRef) -> String {
-    match &c.table {
-        Some(t) => format!("{t}.{}", c.column),
-        None => c.column.clone(),
-    }
-}
-
-/// Bind a scalar SQL expression (no aggregates allowed).
-fn bind(expr: &SqlExpr, scope: &Scope) -> DbResult<Expr> {
-    Ok(match expr {
-        SqlExpr::Col(c) => Expr::Col(scope.resolve(c)?),
-        SqlExpr::Null => Expr::Lit(Value::Null),
-        SqlExpr::Number(n) => Expr::Lit(Value::Float(*n)),
-        SqlExpr::Integer(i) => Expr::Lit(Value::BigInt(*i)),
-        SqlExpr::Str(s) => Expr::Lit(Value::Text(s.clone())),
-        SqlExpr::Neg(e) => Expr::Bin(
-            BinOp::Sub,
-            Box::new(Expr::Lit(Value::Float(0.0))),
-            Box::new(bind(e, scope)?),
-        ),
-        SqlExpr::Bin { op, left, right } => Expr::Bin(
-            bin_op(*op),
-            Box::new(bind(left, scope)?),
-            Box::new(bind(right, scope)?),
-        ),
-        SqlExpr::Between { expr, lo, hi } => Expr::Between(
-            Box::new(bind(expr, scope)?),
-            Box::new(bind(lo, scope)?),
-            Box::new(bind(hi, scope)?),
-        ),
-        SqlExpr::IsNull { expr, negated } => {
-            let is_null = Expr::IsNull(Box::new(bind(expr, scope)?));
-            if *negated {
-                Expr::Not(Box::new(is_null))
-            } else {
-                is_null
-            }
-        }
-        SqlExpr::Not(e) => Expr::Not(Box::new(bind(e, scope)?)),
-        SqlExpr::Func { name, args } => {
-            let unary = |f: Func, args: &[SqlExpr]| -> DbResult<Expr> {
-                if args.len() != 1 {
-                    return Err(DbError::TypeError(format!("{name} takes one argument")));
-                }
-                Ok(Expr::Call(f, Box::new(bind(&args[0], scope)?)))
-            };
-            match name.as_str() {
-                "ABS" => unary(Func::Abs, args)?,
-                "LOG" => unary(Func::Log, args)?,
-                "FLOOR" => unary(Func::Floor, args)?,
-                "SQRT" => unary(Func::Sqrt, args)?,
-                "POWER" => {
-                    if args.len() != 2 {
-                        return Err(DbError::TypeError("POWER takes two arguments".into()));
-                    }
-                    Expr::Power(
-                        Box::new(bind(&args[0], scope)?),
-                        Box::new(bind(&args[1], scope)?),
-                    )
-                }
-                other => return Err(DbError::TypeError(format!("unknown function {other}"))),
-            }
-        }
-        SqlExpr::Agg { .. } => {
-            return Err(DbError::TypeError(
-                "aggregate not allowed here (only in the SELECT list)".into(),
-            ))
-        }
-    })
-}
-
-/// Detect a hashable equi-join predicate: `a.x = b.y` with the two columns
-/// on opposite sides of the join boundary and sharing an *exact-equality*
-/// type (integer or text), so hashing the key encoding agrees bit-for-bit
-/// with the `=` predicate. Float keys stay on the nested loop: `-0.0 = 0.0`
-/// is true for the predicate but the two encode differently. Returns the
-/// positions `(left_col, right_col)`, the latter relative to the right input.
-fn equi_join_cols(
-    on: &SqlExpr,
-    scope: &Scope,
-    left_arity: usize,
-    dtypes: &[DataType],
-) -> Option<(usize, usize)> {
-    let SqlExpr::Bin { op: SqlBinOp::Eq, left, right } = on else { return None };
-    let (SqlExpr::Col(a), SqlExpr::Col(b)) = (left.as_ref(), right.as_ref()) else {
-        return None;
-    };
-    let (ia, ib) = (scope.resolve(a).ok()?, scope.resolve(b).ok()?);
-    let (l, r) = match (ia < left_arity, ib < left_arity) {
-        (true, false) => (ia, ib),
-        (false, true) => (ib, ia),
-        _ => return None,
-    };
-    let hashable = dtypes[l] == dtypes[r]
-        && matches!(dtypes[l], DataType::BigInt | DataType::Int | DataType::Text);
-    hashable.then_some((l, r - left_arity))
-}
-
-fn bin_op(op: SqlBinOp) -> BinOp {
-    match op {
-        SqlBinOp::Add => BinOp::Add,
-        SqlBinOp::Sub => BinOp::Sub,
-        SqlBinOp::Mul => BinOp::Mul,
-        SqlBinOp::Div => BinOp::Div,
-        SqlBinOp::Eq => BinOp::Eq,
-        SqlBinOp::Ne => BinOp::Ne,
-        SqlBinOp::Lt => BinOp::Lt,
-        SqlBinOp::Le => BinOp::Le,
-        SqlBinOp::Gt => BinOp::Gt,
-        SqlBinOp::Ge => BinOp::Ge,
-        SqlBinOp::And => BinOp::And,
-        SqlBinOp::Or => BinOp::Or,
-    }
-}
-
-/// Render a SELECT's plan as rows (the executor is planner-free, so the
-/// plan is the fixed pipeline annotated with what each stage does — still
-/// the honest answer to "what will this query cost me").
-fn explain_select(db: &Database, s: &Select) -> DbResult<SqlOutput> {
-    let mut plan: Vec<String> = Vec::new();
-    let from_rows = db.row_count(&s.from.table)?;
-    plan.push(format!(
-        "scan {} AS {} ({} rows, {})",
-        s.from.table,
-        s.from.alias,
-        from_rows,
-        if db.clustered_key_cols(&s.from.table).is_ok() {
-            "clustered order"
-        } else {
-            "heap order"
-        }
-    ));
-    let from_schema = db.schema_of(&s.from.table)?;
-    let mut dtypes: Vec<DataType> = from_schema.columns().iter().map(|c| c.dtype).collect();
-    let mut scope = Scope::from_table(&s.from.alias, from_schema);
-    for j in &s.joins {
-        let rows = db.row_count(&j.table.table)?;
-        let right_schema = db.schema_of(&j.table.table)?;
-        let left_arity = dtypes.len();
-        dtypes.extend(right_schema.columns().iter().map(|c| c.dtype));
-        scope = scope.join(&j.table.alias, right_schema);
-        plan.push(match &j.on {
-            None => format!("cross join {} ({} rows)", j.table.table, rows),
-            Some(on) if equi_join_cols(on, &scope, left_arity, &dtypes).is_some() => format!(
-                "hash inner join {} AS {} ({} rows) on equality",
-                j.table.table, j.table.alias, rows
-            ),
-            Some(_) => format!(
-                "nested-loop inner join {} AS {} ({} rows) on predicate",
-                j.table.table, j.table.alias, rows
-            ),
-        });
-    }
-    if s.filter.is_some() {
-        plan.push("filter (WHERE)".to_owned());
-    }
-    match (&s.group_by, s.items.iter().any(|i| {
-        matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. })
-    })) {
-        (Some(g), _) => plan.push(format!("aggregate GROUP BY {}", display_col(g))),
-        (None, true) => plan.push("aggregate (global)".to_owned()),
-        _ => plan.push(format!("project {} columns", s.items.len())),
-    }
-    if s.having.is_some() {
-        plan.push("filter groups (HAVING)".to_owned());
-    }
-    if s.distinct {
-        plan.push("distinct".to_owned());
-    }
-    if !s.order_by.is_empty() {
-        plan.push(format!("sort by {} keys", s.order_by.len()));
-    }
-    if let Some(n) = s.limit {
-        plan.push(format!("limit {n}"));
-    }
-    Ok(SqlOutput::Rows {
-        columns: vec!["plan".to_owned()],
-        rows: plan.into_iter().map(|p| Row(vec![Value::Text(p)])).collect(),
-    })
-}
-
 // ---- SELECT -----------------------------------------------------------------
 
-fn run_select(db: &Database, s: &Select) -> DbResult<SqlOutput> {
-    // FROM and JOINs: materialize and combine.
-    let from_schema = db.schema_of(&s.from.table)?;
-    let mut dtypes: Vec<DataType> = from_schema.columns().iter().map(|c| c.dtype).collect();
-    let mut scope = Scope::from_table(&s.from.alias, from_schema);
-    let mut rows = db.scan(&s.from.table)?;
-    for join in &s.joins {
-        let right_schema = db.schema_of(&join.table.table)?;
-        let right_rows = db.scan(&join.table.table)?;
-        let left_arity = dtypes.len();
-        dtypes.extend(right_schema.columns().iter().map(|c| c.dtype));
-        scope = scope.join(&join.table.alias, right_schema);
-        rows = match &join.on {
-            None => exec::cross_join(&rows, &right_rows),
-            Some(on) => match equi_join_cols(on, &scope, left_arity, &dtypes) {
-                Some((lc, rc)) => exec::hash_join(&rows, &right_rows, lc, rc),
-                None => {
-                    let pred = bind(on, &scope)?;
-                    exec::nested_loop_join(&rows, &right_rows, &pred)?
-                }
-            },
-        };
-    }
-
-    // WHERE.
-    if let Some(f) = &s.filter {
-        let pred = bind(f, &scope)?;
-        rows = exec::filter(rows, &pred)?;
-    }
-
-    let has_agg = s.items.iter().any(|i| {
-        matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. })
-    });
-
-    if s.having.is_some() && !(has_agg || s.group_by.is_some()) {
-        return Err(DbError::TypeError("HAVING requires GROUP BY or aggregates".into()));
-    }
-
-    let (mut columns, mut out_rows) = if has_agg || s.group_by.is_some() {
-        run_aggregate_select(s, &scope, &rows)?
-    } else {
-        run_plain_select(s, &scope, &rows)?
-    };
-
-    if s.distinct {
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|r| seen.insert(r.encode()));
-    }
-
-    // ORDER BY: prefer output columns (aliases); for plain selects a key
-    // that did not survive projection is evaluated against the input rows
-    // as a hidden sort column, like SQL allows.
-    if !s.order_by.is_empty() {
-        enum Key {
-            Out(usize),
-            Hidden(Vec<Value>),
-        }
-        let mut keys: Vec<(Key, bool)> = Vec::new();
-        for item in &s.order_by {
-            let name = display_col(&item.col).to_ascii_lowercase();
-            let bare = item.col.column.to_ascii_lowercase();
-            let pos = columns.iter().position(|c| {
-                let cl = c.to_ascii_lowercase();
-                cl == name || cl == bare
-            });
-            let key = match pos {
-                Some(p) => Key::Out(p),
-                None if !(has_agg || s.group_by.is_some()) => {
-                    let bound = bind(&SqlExpr::Col(item.col.clone()), &scope)?;
-                    let vals = rows
-                        .iter()
-                        .map(|r| bound.eval(r))
-                        .collect::<DbResult<Vec<Value>>>()?;
-                    Key::Hidden(vals)
-                }
-                None => {
-                    return Err(DbError::TypeError(format!(
-                        "ORDER BY column {} must appear in the SELECT list",
-                        display_col(&item.col)
-                    )))
-                }
-            };
-            keys.push((key, item.desc));
-        }
-        let mut perm: Vec<usize> = (0..out_rows.len()).collect();
-        perm.sort_by(|&a, &b| {
-            for (key, desc) in &keys {
-                let ord = match key {
-                    Key::Out(p) => out_rows[a][*p].total_cmp(&out_rows[b][*p]),
-                    Key::Hidden(vals) => vals[a].total_cmp(&vals[b]),
-                };
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        out_rows = perm.into_iter().map(|i| out_rows[i].clone()).collect();
-    }
-
-    if let Some(n) = s.limit {
-        out_rows.truncate(n);
-    }
-    // Deduplicate output names for display friendliness (wildcard joins).
-    dedup_names(&mut columns);
-    Ok(SqlOutput::Rows { columns, rows: out_rows })
+fn run_select(db: &Database, s: &Select, opts: &PlanOptions) -> DbResult<SqlOutput> {
+    let sel_plan = plan::plan_select(db, s, opts)?;
+    let rows = physical::run(db, &sel_plan)?;
+    Ok(SqlOutput::Rows { columns: sel_plan.columns, rows })
 }
 
-fn run_plain_select(
-    s: &Select,
-    scope: &Scope,
-    rows: &[Row],
-) -> DbResult<(Vec<String>, Vec<Row>)> {
-    let mut columns = Vec::new();
-    let mut exprs = Vec::new();
-    for item in &s.items {
-        match item {
-            SelectItem::Wildcard => {
-                for (tbl, col, pos) in &scope.entries {
-                    let _ = tbl;
-                    columns.push(col.clone());
-                    exprs.push(Expr::Col(*pos));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                columns.push(output_name(expr, alias));
-                exprs.push(bind(expr, scope)?);
-            }
-        }
-    }
-    let projected = exec::project(rows, &exprs)?;
-    Ok((columns, projected))
-}
-
-fn run_aggregate_select(
-    s: &Select,
-    scope: &Scope,
-    rows: &[Row],
-) -> DbResult<(Vec<String>, Vec<Row>)> {
-    // Plan: each select item is either the GROUP BY column or an aggregate.
-    let group_pos = s.group_by.as_ref().map(|c| scope.resolve(c)).transpose()?;
-    enum Slot {
-        GroupKey,
-        Agg(usize),
-    }
-    let mut columns = Vec::new();
-    let mut slots = Vec::new();
-    let mut specs: Vec<exec::AggSpec> = Vec::new();
-    // HAVING support: pull its aggregate subexpressions into hidden spec
-    // slots and rewrite the predicate to reference them.
-    let mut having_plan: Option<(Expr, Vec<usize>)> = None;
-    for item in &s.items {
-        match item {
-            SelectItem::Wildcard => {
-                return Err(DbError::TypeError("SELECT * cannot be aggregated".into()))
-            }
-            SelectItem::Expr { expr, alias } => {
-                columns.push(output_name(expr, alias));
-                match expr {
-                    SqlExpr::Agg { func, arg } => {
-                        let agg = match func {
-                            AggFunc::Count => exec::Agg::Count,
-                            AggFunc::Min => exec::Agg::Min,
-                            AggFunc::Max => exec::Agg::Max,
-                            AggFunc::Sum => exec::Agg::Sum,
-                            AggFunc::Avg => exec::Agg::Avg,
-                        };
-                        let arg = match arg {
-                            Some(e) => bind(e, scope)?,
-                            None => Expr::lit(0i32),
-                        };
-                        slots.push(Slot::Agg(specs.len()));
-                        specs.push(exec::AggSpec { agg, arg });
-                    }
-                    SqlExpr::Col(c) => {
-                        let pos = scope.resolve(c)?;
-                        if group_pos != Some(pos) {
-                            return Err(DbError::TypeError(format!(
-                                "column {} must appear in GROUP BY",
-                                display_col(c)
-                            )));
-                        }
-                        slots.push(Slot::GroupKey);
-                    }
-                    _ => {
-                        return Err(DbError::TypeError(
-                            "SELECT list with aggregates may only contain aggregates and the \
-                             GROUP BY column"
-                                .into(),
-                        ))
-                    }
-                }
-            }
-        }
-    }
-    if let Some(having) = &s.having {
-        let mut agg_slots: Vec<usize> = Vec::new();
-        let rewritten =
-            bind_having(having, scope, group_pos, &mut specs, &mut agg_slots)?;
-        having_plan = Some((rewritten, agg_slots));
-    }
-    let agg_rows = exec::aggregate(rows, group_pos, &specs)?;
-    // exec::aggregate lays out [key?, agg0, agg1, ...]; permute per slots.
-    let key_offset = usize::from(group_pos.is_some());
-    let mut out = Vec::with_capacity(agg_rows.len());
-    // A global aggregate over zero rows still returns one row in SQL.
-    let source: Vec<Row> = if agg_rows.is_empty() && group_pos.is_none() {
-        let mut blank = Vec::new();
-        for spec in &specs {
-            blank.push(match spec.agg {
-                exec::Agg::Count => Value::BigInt(0),
-                _ => Value::Null,
-            });
-        }
-        vec![Row(blank)]
-    } else {
-        agg_rows
-    };
-    for r in &source {
-        if let Some((pred, _)) = &having_plan {
-            // The predicate was bound against the aggregate layout
-            // [key?, agg0, agg1, ...] directly.
-            if !pred.matches(r)? {
-                continue;
-            }
-        }
-        let mut vals = Vec::with_capacity(slots.len());
-        for slot in &slots {
-            vals.push(match slot {
-                Slot::GroupKey => r[0].clone(),
-                Slot::Agg(i) => r[key_offset + i].clone(),
-            });
-        }
-        out.push(Row(vals));
-    }
-    Ok((columns, out))
-}
-
-/// Bind a HAVING predicate against the aggregate output layout
-/// `[group_key?, agg0, agg1, ...]`: aggregate calls become references to
-/// (possibly newly appended hidden) aggregate slots; a bare column
-/// reference must be the GROUP BY column and becomes slot 0.
-fn bind_having(
-    expr: &SqlExpr,
-    scope: &Scope,
-    group_pos: Option<usize>,
-    specs: &mut Vec<exec::AggSpec>,
-    agg_slots: &mut Vec<usize>,
-) -> DbResult<Expr> {
-    let key_offset = usize::from(group_pos.is_some());
-    Ok(match expr {
-        SqlExpr::Agg { func, arg } => {
-            let agg = match func {
-                AggFunc::Count => exec::Agg::Count,
-                AggFunc::Min => exec::Agg::Min,
-                AggFunc::Max => exec::Agg::Max,
-                AggFunc::Sum => exec::Agg::Sum,
-                AggFunc::Avg => exec::Agg::Avg,
-            };
-            let bound_arg = match arg {
-                Some(e) => bind(e, scope)?,
-                None => Expr::lit(0i32),
-            };
-            let slot = specs.len();
-            specs.push(exec::AggSpec { agg, arg: bound_arg });
-            agg_slots.push(slot);
-            Expr::Col(key_offset + slot)
-        }
-        SqlExpr::Col(c) => {
-            let pos = scope.resolve(c)?;
-            if group_pos != Some(pos) {
-                return Err(DbError::TypeError(format!(
-                    "HAVING column {} must be the GROUP BY column or an aggregate",
-                    display_col(c)
-                )));
-            }
-            Expr::Col(0)
-        }
-        SqlExpr::Null => Expr::Lit(Value::Null),
-        SqlExpr::Number(n) => Expr::Lit(Value::Float(*n)),
-        SqlExpr::Integer(i) => Expr::Lit(Value::BigInt(*i)),
-        SqlExpr::Str(t) => Expr::Lit(Value::Text(t.clone())),
-        SqlExpr::Neg(e) => Expr::Bin(
-            BinOp::Sub,
-            Box::new(Expr::Lit(Value::Float(0.0))),
-            Box::new(bind_having(e, scope, group_pos, specs, agg_slots)?),
-        ),
-        SqlExpr::Bin { op, left, right } => Expr::Bin(
-            bin_op(*op),
-            Box::new(bind_having(left, scope, group_pos, specs, agg_slots)?),
-            Box::new(bind_having(right, scope, group_pos, specs, agg_slots)?),
-        ),
-        SqlExpr::Between { expr, lo, hi } => Expr::Between(
-            Box::new(bind_having(expr, scope, group_pos, specs, agg_slots)?),
-            Box::new(bind_having(lo, scope, group_pos, specs, agg_slots)?),
-            Box::new(bind_having(hi, scope, group_pos, specs, agg_slots)?),
-        ),
-        SqlExpr::IsNull { expr, negated } => {
-            let inner =
-                Expr::IsNull(Box::new(bind_having(expr, scope, group_pos, specs, agg_slots)?));
-            if *negated {
-                Expr::Not(Box::new(inner))
-            } else {
-                inner
-            }
-        }
-        SqlExpr::Not(e) => {
-            Expr::Not(Box::new(bind_having(e, scope, group_pos, specs, agg_slots)?))
-        }
-        SqlExpr::Func { .. } => {
-            return Err(DbError::TypeError(
-                "scalar functions over aggregates are not supported in HAVING".into(),
-            ))
-        }
+fn explain_select(db: &Database, s: &Select, opts: &PlanOptions) -> DbResult<SqlOutput> {
+    let sel_plan = plan::plan_select(db, s, opts)?;
+    Ok(SqlOutput::Rows {
+        columns: vec!["plan".to_owned()],
+        rows: sel_plan
+            .render()
+            .into_iter()
+            .map(|p| Row(vec![Value::Text(p)]))
+            .collect(),
     })
-}
-
-fn output_name(expr: &SqlExpr, alias: &Option<String>) -> String {
-    if let Some(a) = alias {
-        return a.clone();
-    }
-    match expr {
-        SqlExpr::Col(c) => c.column.clone(),
-        SqlExpr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase(),
-        _ => "expr".to_owned(),
-    }
-}
-
-fn dedup_names(names: &mut [String]) {
-    for i in 0..names.len() {
-        let mut n = 1;
-        for j in 0..i {
-            if names[j].eq_ignore_ascii_case(&names[i]) {
-                n += 1;
-            }
-        }
-        if n > 1 {
-            names[i] = format!("{}_{n}", names[i]);
-        }
-    }
 }
 
 // ---- INSERT / DELETE / CREATE ------------------------------------------------
 
 /// Evaluate a literal expression (no column references).
 fn literal(expr: &SqlExpr) -> DbResult<Value> {
-    let scope = Scope { entries: Vec::new() };
-    let bound = bind(expr, &scope)?;
+    let bound = bind(expr, &Scope::empty())?;
     bound.eval(&Row(vec![]))
 }
 
@@ -754,7 +207,7 @@ fn run_update(
     let schema = db.schema_of(table)?.clone();
     let key_cols = db.clustered_key_cols(table)?;
     let scope = Scope::from_table(table, &schema);
-    let mut plan = Vec::with_capacity(assignments.len());
+    let mut assign_plan = Vec::with_capacity(assignments.len());
     for (col, expr) in &assignments {
         let pos = schema.col(col)?;
         if key_cols.contains(&pos) {
@@ -762,7 +215,7 @@ fn run_update(
                 "cannot assign clustered key column {col}"
             )));
         }
-        plan.push((pos, bind(expr, &scope)?));
+        assign_plan.push((pos, bind(expr, &scope)?));
     }
     let pred = filter.map(|f| bind(&f, &scope)).transpose()?;
     // Collect matching rows, then rewrite in place (delete + reinsert under
@@ -781,7 +234,7 @@ fn run_update(
     let mut n = 0;
     for row in matching {
         let mut new_row = row.clone();
-        for (pos, expr) in &plan {
+        for (pos, expr) in &assign_plan {
             new_row.0[*pos] = coerce(expr.eval(&row)?, schema.columns()[*pos].dtype)?;
         }
         let key: Vec<Value> = key_cols.iter().map(|&i| row[i].clone()).collect();

@@ -12,9 +12,12 @@ pub mod ast;
 pub mod engine;
 pub mod lexer;
 pub mod parser;
+mod physical;
+pub mod plan;
 
 #[cfg(test)]
 mod tests;
 
-pub use engine::{execute, SqlOutput};
+pub use engine::{execute, execute_with, SqlOutput};
 pub use parser::parse;
+pub use plan::PlanOptions;

@@ -1,0 +1,486 @@
+//! Streaming physical operators for planned SELECTs.
+//!
+//! Every operator is a pull-based batch iterator: `next_batch` returns
+//! `Some(rows)` (possibly empty — more may follow) while input remains and
+//! `None` once exhausted. Batches are at most [`BATCH`] rows, so a plan
+//! holds one batch per pipeline stage instead of materializing every
+//! intermediate `Vec<Row>` — only the blocking operators (hash-join build
+//! side, nested-loop inner side, aggregate, sort) buffer, and `LIMIT`
+//! without a sort stops pulling (and therefore stops scanning) as soon as
+//! it is satisfied.
+//!
+//! The executor also maintains the planner's observability counters:
+//! `stardb.plan.index_scans` / `stardb.plan.full_scans` (one per opened
+//! scan), `stardb.plan.pushed_predicates` (conjuncts pushed below the
+//! joins), and `stardb.plan.rows_pruned` (rows examined by a scan minus
+//! rows it emitted — the rows the old pipeline would have dragged through
+//! the joins).
+
+use super::plan::{Access, JoinStrategy, OutputShape, ScanNode, SelectPlan, Slot};
+use crate::db::{BatchScan, Database};
+use crate::error::DbResult;
+use crate::exec::{self, GroupState, HashTable, TopN};
+use crate::expr::Expr;
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Maximum rows per pulled batch.
+pub(crate) const BATCH: usize = 1024;
+
+/// The `stardb.plan.*` counter set, created together so a telemetry run
+/// reports all four even when some stay zero.
+pub(crate) struct PlanCounters {
+    /// Scans served by a B-tree range (clustered or secondary).
+    pub index_scans: obs::Counter,
+    /// Scans that had to read the whole table.
+    pub full_scans: obs::Counter,
+    /// Conjuncts pushed below the joins onto base-table scans.
+    pub pushed_predicates: obs::Counter,
+    /// Rows examined by scans but filtered before leaving them.
+    pub rows_pruned: obs::Counter,
+}
+
+/// Global planner counters (no-ops while telemetry is disabled).
+pub(crate) fn plan_counters() -> &'static PlanCounters {
+    static C: OnceLock<PlanCounters> = OnceLock::new();
+    C.get_or_init(|| PlanCounters {
+        index_scans: obs::counter("stardb.plan.index_scans"),
+        full_scans: obs::counter("stardb.plan.full_scans"),
+        pushed_predicates: obs::counter("stardb.plan.pushed_predicates"),
+        rows_pruned: obs::counter("stardb.plan.rows_pruned"),
+    })
+}
+
+/// Run a plan to completion and collect its output rows.
+pub(crate) fn run(db: &Database, plan: &SelectPlan) -> DbResult<Vec<Row>> {
+    let mut op = build(db, plan)?;
+    let mut out = Vec::new();
+    while let Some(batch) = op.next_batch(db)? {
+        out.extend(batch);
+    }
+    Ok(out)
+}
+
+/// Assemble the operator tree for a plan. Operators borrow the plan's
+/// bound expressions, so the tree lives no longer than the plan.
+fn build<'p>(db: &Database, plan: &'p SelectPlan) -> DbResult<Op<'p>> {
+    let mut op = Op::Scan(ScanExec::open(db, &plan.scan)?);
+    for join in &plan.joins {
+        let right = drain(db, ScanExec::open(db, &join.right)?)?;
+        let side = match &join.strategy {
+            JoinStrategy::Hash { left_col, right_col } => {
+                RightSide::Hash { table: HashTable::build(right, *right_col), left_col: *left_col }
+            }
+            JoinStrategy::NestedLoop { on } => RightSide::Loop { rows: right, on: Some(on) },
+            JoinStrategy::Cross => RightSide::Loop { rows: right, on: None },
+        };
+        op = Op::Join(JoinExec { left: Box::new(op), side });
+        if let Some(post) = &join.post {
+            op = Op::Filter(FilterExec { input: Box::new(op), pred: post });
+        }
+    }
+    if let Some(pred) = &plan.filter {
+        op = Op::Filter(FilterExec { input: Box::new(op), pred });
+    }
+    let mut hidden_cut = 0;
+    match &plan.shape {
+        OutputShape::Plain { exprs, hidden } => {
+            hidden_cut = *hidden;
+            op = Op::Project(ProjectExec { input: Box::new(op), exprs });
+        }
+        OutputShape::Aggregate { group_pos, specs, slots, having, .. } => {
+            op = Op::Aggregate(Box::new(AggregateExec {
+                input: Box::new(op),
+                group_pos: *group_pos,
+                specs,
+                slots,
+                having: having.as_ref(),
+                done: false,
+            }));
+        }
+    }
+    if plan.distinct {
+        op = Op::Distinct(DistinctExec { input: Box::new(op), seen: HashSet::new() });
+    }
+    if plan.use_top_n {
+        op = Op::TopN(TopNExec {
+            input: Box::new(op),
+            keys: &plan.sort,
+            n: plan.limit.unwrap_or(0),
+            done: false,
+        });
+    } else {
+        if !plan.sort.is_empty() {
+            op = Op::Sort(SortExec { input: Box::new(op), keys: &plan.sort, done: false });
+        }
+        if let Some(n) = plan.limit {
+            op = Op::Limit(LimitExec { input: Box::new(op), remaining: n });
+        }
+    }
+    if hidden_cut > 0 {
+        op = Op::Cut(CutExec { input: Box::new(op), drop: hidden_cut });
+    }
+    Ok(op)
+}
+
+fn drain(db: &Database, mut scan: ScanExec) -> DbResult<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(batch) = scan.next_batch(db)? {
+        out.extend(batch);
+    }
+    Ok(out)
+}
+
+// ---- operators --------------------------------------------------------------
+
+enum Op<'p> {
+    Scan(ScanExec),
+    Join(JoinExec<'p>),
+    Filter(FilterExec<'p>),
+    Project(ProjectExec<'p>),
+    Aggregate(Box<AggregateExec<'p>>),
+    Distinct(DistinctExec<'p>),
+    Sort(SortExec<'p>),
+    TopN(TopNExec<'p>),
+    Limit(LimitExec<'p>),
+    Cut(CutExec<'p>),
+}
+
+impl Op<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        match self {
+            Op::Scan(x) => x.next_batch(db),
+            Op::Join(x) => x.next_batch(db),
+            Op::Filter(x) => x.next_batch(db),
+            Op::Project(x) => x.next_batch(db),
+            Op::Aggregate(x) => x.next_batch(db),
+            Op::Distinct(x) => x.next_batch(db),
+            Op::Sort(x) => x.next_batch(db),
+            Op::TopN(x) => x.next_batch(db),
+            Op::Limit(x) => x.next_batch(db),
+            Op::Cut(x) => x.next_batch(db),
+        }
+    }
+}
+
+enum Source {
+    /// Full or clustered-range batch scan over stored rows.
+    Batch(BatchScan),
+    /// Secondary-index range: pre-resolved clustering keys, fetched in
+    /// index order through the clustered tree.
+    Keys { table: String, keys: Vec<Vec<Value>>, next: usize },
+}
+
+struct ScanExec {
+    source: Source,
+    pred: Option<Expr>,
+}
+
+impl ScanExec {
+    fn open(db: &Database, node: &ScanNode) -> DbResult<ScanExec> {
+        let counters = plan_counters();
+        counters.pushed_predicates.add(node.pred_count as u64);
+        let source = match &node.access {
+            Access::Full => {
+                counters.full_scans.incr();
+                Source::Batch(db.batch_scan(&node.table)?)
+            }
+            Access::ClusteredRange { lo, hi, .. } => {
+                counters.index_scans.incr();
+                Source::Batch(db.batch_range_scan(&node.table, lo, hi)?)
+            }
+            Access::Index { name, lo, hi, .. } => {
+                counters.index_scans.incr();
+                Source::Keys {
+                    table: node.table.clone(),
+                    keys: db.index_range_keys(&node.table, name, lo, hi)?,
+                    next: 0,
+                }
+            }
+        };
+        Ok(ScanExec { source, pred: node.pred.clone() })
+    }
+
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        match &mut self.source {
+            Source::Batch(scan) => {
+                let Some(chunk) = scan.fetch(db, BATCH, self.pred.as_ref())? else {
+                    return Ok(None);
+                };
+                plan_counters().rows_pruned.add(chunk.scanned - chunk.rows.len() as u64);
+                Ok(Some(chunk.rows))
+            }
+            Source::Keys { table, keys, next } => {
+                if *next >= keys.len() {
+                    return Ok(None);
+                }
+                let mut rows = Vec::new();
+                let mut examined = 0u64;
+                while *next < keys.len() && rows.len() < BATCH {
+                    let key = &keys[*next];
+                    *next += 1;
+                    if let Some(row) = db.get(table, key)? {
+                        examined += 1;
+                        let keep = match &self.pred {
+                            Some(p) => p.matches(&row)?,
+                            None => true,
+                        };
+                        if keep {
+                            rows.push(row);
+                        }
+                    }
+                }
+                plan_counters().rows_pruned.add(examined - rows.len() as u64);
+                Ok(Some(rows))
+            }
+        }
+    }
+}
+
+enum RightSide<'p> {
+    Hash { table: HashTable, left_col: usize },
+    Loop { rows: Vec<Row>, on: Option<&'p Expr> },
+}
+
+struct JoinExec<'p> {
+    left: Box<Op<'p>>,
+    side: RightSide<'p>,
+}
+
+impl JoinExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.left.next_batch(db)? else {
+            return Ok(None);
+        };
+        match &self.side {
+            RightSide::Hash { table, left_col } => Ok(Some(table.probe(&batch, *left_col))),
+            RightSide::Loop { rows, on } => {
+                let mut out = Vec::new();
+                for l in &batch {
+                    for r in rows {
+                        exec::join_pairs().incr();
+                        let mut joined = Vec::with_capacity(l.arity() + r.arity());
+                        joined.extend_from_slice(&l.0);
+                        joined.extend_from_slice(&r.0);
+                        let joined = Row(joined);
+                        let keep = match on {
+                            Some(on) => on.matches(&joined)?,
+                            None => true,
+                        };
+                        if keep {
+                            out.push(joined);
+                        }
+                    }
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+struct FilterExec<'p> {
+    input: Box<Op<'p>>,
+    pred: &'p Expr,
+}
+
+impl FilterExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        let before = batch.len();
+        let mut out = Vec::with_capacity(before);
+        for row in batch {
+            if self.pred.matches(&row)? {
+                out.push(row);
+            }
+        }
+        exec::rows_filtered().add((before - out.len()) as u64);
+        Ok(Some(out))
+    }
+}
+
+struct ProjectExec<'p> {
+    input: Box<Op<'p>>,
+    exprs: &'p [Expr],
+}
+
+impl ProjectExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in &batch {
+            let vals: DbResult<Vec<Value>> = self.exprs.iter().map(|e| e.eval(row)).collect();
+            out.push(Row(vals?));
+        }
+        Ok(Some(out))
+    }
+}
+
+struct AggregateExec<'p> {
+    input: Box<Op<'p>>,
+    group_pos: Option<usize>,
+    specs: &'p [exec::AggSpec],
+    slots: &'p [Slot],
+    having: Option<&'p Expr>,
+    done: bool,
+}
+
+impl AggregateExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut state = GroupState::new(self.group_pos, self.specs);
+        while let Some(batch) = self.input.next_batch(db)? {
+            for row in &batch {
+                state.update(row)?;
+            }
+        }
+        let mut rows = state.finish()?;
+        if rows.is_empty() && self.group_pos.is_none() {
+            // A global aggregate over zero rows still yields one row:
+            // COUNT is 0, everything else is NULL.
+            let mut blank = Vec::with_capacity(self.specs.len());
+            for spec in self.specs {
+                blank.push(match spec.agg {
+                    exec::Agg::Count => Value::BigInt(0),
+                    _ => Value::Null,
+                });
+            }
+            rows.push(Row(blank));
+        }
+        if let Some(having) = self.having {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if having.matches(&row)? {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+        let key_offset = usize::from(self.group_pos.is_some());
+        let out = rows
+            .into_iter()
+            .map(|row| {
+                Row(self
+                    .slots
+                    .iter()
+                    .map(|slot| match slot {
+                        Slot::GroupKey => row.0[0].clone(),
+                        Slot::Agg(i) => row.0[key_offset + i].clone(),
+                    })
+                    .collect())
+            })
+            .collect();
+        Ok(Some(out))
+    }
+}
+
+struct DistinctExec<'p> {
+    input: Box<Op<'p>>,
+    seen: HashSet<Vec<u8>>,
+}
+
+impl DistinctExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in batch {
+            if self.seen.insert(row.encode()) {
+                out.push(row);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+struct SortExec<'p> {
+    input: Box<Op<'p>>,
+    keys: &'p [(usize, bool)],
+    done: bool,
+}
+
+impl SortExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut rows = Vec::new();
+        while let Some(batch) = self.input.next_batch(db)? {
+            rows.extend(batch);
+        }
+        Ok(Some(exec::sort_by_keys(rows, self.keys)))
+    }
+}
+
+struct TopNExec<'p> {
+    input: Box<Op<'p>>,
+    keys: &'p [(usize, bool)],
+    n: usize,
+    done: bool,
+}
+
+impl TopNExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut heap = TopN::new(self.keys.to_vec(), self.n);
+        while let Some(batch) = self.input.next_batch(db)? {
+            for row in batch {
+                heap.push(row);
+            }
+        }
+        Ok(Some(heap.finish()))
+    }
+}
+
+struct LimitExec<'p> {
+    input: Box<Op<'p>>,
+    remaining: usize,
+}
+
+impl LimitExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        if self.remaining == 0 {
+            // Stop pulling: upstream scans cease fetching pages.
+            return Ok(None);
+        }
+        let Some(mut batch) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        if batch.len() > self.remaining {
+            batch.truncate(self.remaining);
+        }
+        self.remaining -= batch.len();
+        Ok(Some(batch))
+    }
+}
+
+struct CutExec<'p> {
+    input: Box<Op<'p>>,
+    drop: usize,
+}
+
+impl CutExec<'_> {
+    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+        let Some(mut batch) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        for row in &mut batch {
+            let keep = row.0.len() - self.drop;
+            row.0.truncate(keep);
+        }
+        Ok(Some(batch))
+    }
+}

@@ -424,3 +424,275 @@ fn the_appendix_header_query_runs() {
     );
     assert_eq!(rs.len(), 5);
 }
+
+// ---- planner: access paths, pushdown, and plan/execution identity ----------
+
+use super::plan::PlanOptions;
+
+fn explain(d: &mut Database, sql: &str) -> Vec<String> {
+    let (_, rs) = rows(d, sql);
+    rs.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect()
+}
+
+#[test]
+fn sargable_pk_predicate_becomes_clustered_range_scan() {
+    let mut d = db();
+    let steps = explain(&mut d, "EXPLAIN SELECT objid FROM Galaxy WHERE objid BETWEEN 2 AND 4");
+    assert!(
+        steps[0].contains("clustered index range scan Galaxy"),
+        "expected a clustered range scan, got: {}",
+        steps[0]
+    );
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE objid BETWEEN 2 AND 4");
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![2, 3, 4]);
+}
+
+#[test]
+fn secondary_index_predicate_becomes_index_range_scan() {
+    obs::set_enabled(true);
+    let mut d = db();
+    d.execute_sql("CREATE INDEX idx_ra ON Galaxy (ra)").unwrap();
+    let steps =
+        explain(&mut d, "EXPLAIN SELECT objid FROM Galaxy WHERE ra BETWEEN 180.5 AND 182.0");
+    assert!(
+        steps[0].contains("index range scan Galaxy") && steps[0].contains("via idx_ra"),
+        "expected a secondary index range scan, got: {}",
+        steps[0]
+    );
+    // The same plan object executes: the index-scan counter moves and the
+    // result set matches the full-scan reference executor.
+    let scans_before = obs::counter("stardb.plan.index_scans").get();
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE ra BETWEEN 180.5 AND 182.0");
+    assert!(obs::counter("stardb.plan.index_scans").get() > scans_before);
+    let ids: Vec<i64> = rs.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, vec![2, 3, 4]);
+    let naive = super::engine::execute_with(
+        &mut d,
+        "SELECT objid FROM Galaxy WHERE ra BETWEEN 180.5 AND 182.0",
+        &PlanOptions::naive(),
+    )
+    .unwrap()
+    .rows()
+    .unwrap()
+    .1;
+    let naive_ids: Vec<i64> = naive.iter().map(|r| r.i64(0).unwrap()).collect();
+    assert_eq!(ids, naive_ids);
+}
+
+#[test]
+fn index_range_scan_examines_fewer_rows_than_full_scan() {
+    obs::set_enabled(true);
+    let mut d = db();
+    d.execute_sql("CREATE INDEX idx_ra ON Galaxy (ra)").unwrap();
+    // ra > 182.5 matches only objid 5; the index admits 1 of 5 rows while
+    // the naive plan examines all 5 and prunes 4 above the scan.
+    let pruned_before = obs::counter("stardb.plan.rows_pruned").get();
+    let (_, rs) = rows(&mut d, "SELECT objid FROM Galaxy WHERE ra > 182.5");
+    assert_eq!(rs.len(), 1);
+    let pruned_indexed = obs::counter("stardb.plan.rows_pruned").get() - pruned_before;
+    let pruned_before = obs::counter("stardb.plan.rows_pruned").get();
+    super::engine::execute_with(
+        &mut d,
+        "SELECT objid FROM Galaxy WHERE ra > 182.5",
+        &PlanOptions::naive(),
+    )
+    .unwrap();
+    let pruned_naive = obs::counter("stardb.plan.rows_pruned").get() - pruned_before;
+    // Naive mode pushes nothing into the scan, so it prunes nothing there;
+    // the planned path prunes at most the strict-bound edge rows.
+    assert_eq!(pruned_naive, 0);
+    assert!(pruned_indexed <= 1, "index admitted too many rows: {pruned_indexed}");
+}
+
+#[test]
+fn predicates_push_below_joins() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Label (objid BIGINT PRIMARY KEY, tag VARCHAR(8))").unwrap();
+    d.execute_sql("INSERT INTO Label VALUES (1,'x'), (2,'y'), (3,'z')").unwrap();
+    let steps = explain(
+        &mut d,
+        "EXPLAIN SELECT g.objid FROM Galaxy g JOIN Label l ON g.objid = l.objid \
+         WHERE g.ra > 180.5 AND l.tag = 'y'",
+    );
+    assert!(steps[0].contains("pushed WHERE: 1 predicate"), "left push missing: {}", steps[0]);
+    assert!(steps.iter().any(|s| s.contains("hash inner join Label")));
+    // The right-side residual predicate shows up as the join's input scan.
+    assert!(
+        steps.iter().any(|s| s.contains("scan Label") && s.contains("pushed WHERE")),
+        "right push missing: {steps:?}"
+    );
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT g.objid FROM Galaxy g JOIN Label l ON g.objid = l.objid \
+         WHERE g.ra > 180.5 AND l.tag = 'y'",
+    );
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs[0].i64(0).unwrap(), 2);
+}
+
+#[test]
+fn where_equality_across_tables_takes_the_hash_path() {
+    // FROM a, b WHERE a.x = b.y — the equality lives in WHERE, not ON, and
+    // the planner still hashes it (the old dispatcher could not).
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Label (objid BIGINT PRIMARY KEY, tag VARCHAR(8))").unwrap();
+    d.execute_sql("INSERT INTO Label VALUES (1,'x'), (2,'y')").unwrap();
+    let steps = explain(
+        &mut d,
+        "EXPLAIN SELECT g.objid, l.tag FROM Galaxy g CROSS JOIN Label l \
+         WHERE g.objid = l.objid",
+    );
+    assert!(
+        steps.iter().any(|s| s.contains("hash inner join Label")),
+        "WHERE equality should hash: {steps:?}"
+    );
+    let (_, rs) = rows(
+        &mut d,
+        "SELECT g.objid, l.tag FROM Galaxy g CROSS JOIN Label l WHERE g.objid = l.objid",
+    );
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn explain_and_execution_share_the_plan() {
+    // The drift guard: what EXPLAIN claims is what runs. Hash-join output
+    // counters only move if the executor actually took the hash path the
+    // EXPLAIN printed.
+    obs::set_enabled(true);
+    let mut d = db();
+    d.execute_sql("CREATE TABLE Label (objid BIGINT PRIMARY KEY, tag VARCHAR(8))").unwrap();
+    d.execute_sql("INSERT INTO Label VALUES (1,'x'), (2,'y'), (3,'z')").unwrap();
+    let q = "SELECT g.objid FROM Galaxy g JOIN Label l ON g.objid = l.objid";
+    let steps = explain(&mut d, &format!("EXPLAIN {q}"));
+    assert!(steps.iter().any(|s| s.contains("hash inner join Label")));
+    let hash_before = obs::counter("stardb.exec.hash_join_rows").get();
+    let (_, rs) = rows(&mut d, q);
+    assert_eq!(rs.len(), 3);
+    assert!(
+        obs::counter("stardb.exec.hash_join_rows").get() >= hash_before + 3,
+        "explained hash join did not execute as a hash join"
+    );
+}
+
+#[test]
+fn naive_options_disable_every_rewrite() {
+    let mut d = db();
+    d.execute_sql("CREATE INDEX idx_ra ON Galaxy (ra)").unwrap();
+    let q = "SELECT objid FROM Galaxy WHERE ra BETWEEN 180.5 AND 182.0 ORDER BY objid LIMIT 2";
+    let planned = d.execute_sql(q).unwrap().rows().unwrap().1;
+    let naive = super::engine::execute_with(&mut d, q, &PlanOptions::naive())
+        .unwrap()
+        .rows()
+        .unwrap()
+        .1;
+    assert_eq!(planned, naive);
+    let steps = explain(&mut d, &format!("EXPLAIN {q}"));
+    assert!(steps[0].contains("index range scan"));
+    assert!(steps.iter().any(|s| s.contains("top-n heap")));
+}
+
+// ---- aggregate type fidelity ------------------------------------------------
+
+#[test]
+fn integer_aggregates_stay_integer_typed() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE T (id BIGINT PRIMARY KEY, v INT)").unwrap();
+    d.execute_sql("INSERT INTO T VALUES (1, 10), (2, 3), (3, -4)").unwrap();
+    let (_, rs) = rows(&mut d, "SELECT SUM(v), MIN(v), MAX(v), AVG(v) FROM T");
+    assert_eq!(rs[0][0], Value::BigInt(9));
+    assert_eq!(rs[0][1], Value::Int(-4));
+    assert_eq!(rs[0][2], Value::Int(10));
+    // AVG is a ratio and stays floating point even over integers.
+    assert_eq!(rs[0][3], Value::Float(3.0));
+}
+
+#[test]
+fn bigint_sum_is_exact_beyond_f64_precision() {
+    // 2^60 + 3 - 2^60 == 3 exactly in i128 accumulation; an f64
+    // accumulator loses the 3 entirely (2^60 absorbs it) and returns 0.
+    let mut d = db();
+    d.execute_sql("CREATE TABLE T (id BIGINT PRIMARY KEY, v BIGINT)").unwrap();
+    d.execute_sql(
+        "INSERT INTO T VALUES (1, 1152921504606846976), (2, 3), (3, -1152921504606846976)",
+    )
+    .unwrap();
+    let (_, rs) = rows(&mut d, "SELECT SUM(v) FROM T");
+    assert_eq!(rs[0][0], Value::BigInt(3), "integer SUM must not round through f64");
+}
+
+#[test]
+fn sum_overflow_is_an_error_not_a_wrap() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE T (id BIGINT PRIMARY KEY, v BIGINT)").unwrap();
+    d.execute_sql(
+        "INSERT INTO T VALUES (1, 9223372036854775807), (2, 9223372036854775807)",
+    )
+    .unwrap();
+    let err = d.execute_sql("SELECT SUM(v) FROM T").unwrap_err();
+    assert!(err.to_string().contains("SUM overflows"), "got: {err}");
+}
+
+#[test]
+fn all_null_groups_aggregate_to_null() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE T (id BIGINT PRIMARY KEY, g INT NOT NULL, v BIGINT)")
+        .unwrap();
+    d.execute_sql(
+        "INSERT INTO T VALUES (1, 1, NULL), (2, 1, NULL), (3, 2, 7)",
+    )
+    .unwrap();
+    let (_, rs) =
+        rows(&mut d, "SELECT g, SUM(v), MIN(v), MAX(v), AVG(v), COUNT(*) FROM T GROUP BY g");
+    assert_eq!(rs.len(), 2);
+    // Group 1 is all NULL: every aggregate but COUNT is NULL.
+    assert_eq!(rs[0][0], Value::Int(1));
+    assert!(rs[0][1].is_null() && rs[0][2].is_null() && rs[0][3].is_null());
+    assert!(rs[0][4].is_null());
+    assert_eq!(rs[0][5], Value::BigInt(2));
+    // Group 2 keeps integer types.
+    assert_eq!(rs[1][1], Value::BigInt(7));
+    assert_eq!(rs[1][2], Value::BigInt(7));
+}
+
+// ---- top-n heap vs sort-then-truncate ---------------------------------------
+
+#[test]
+fn top_n_matches_sort_then_truncate_including_ties() {
+    let mut d = db();
+    d.execute_sql("CREATE TABLE T (id BIGINT PRIMARY KEY, k INT NOT NULL, v FLOAT)").unwrap();
+    // Heavy ties on k so stability matters: ids within equal k must come
+    // out in the same (insertion/clustered) order both ways.
+    let mut stmt = String::from("INSERT INTO T VALUES ");
+    for id in 0..60 {
+        if id > 0 {
+            stmt.push_str(", ");
+        }
+        stmt.push_str(&format!("({id}, {}, {}.5)", id % 5, id % 7));
+    }
+    d.execute_sql(&stmt).unwrap();
+    for q in [
+        "SELECT id, k FROM T ORDER BY k LIMIT 7",
+        "SELECT id, k FROM T ORDER BY k DESC LIMIT 9",
+        "SELECT id, k, v FROM T ORDER BY k, v DESC LIMIT 13",
+        "SELECT id, k FROM T ORDER BY k LIMIT 100",
+        "SELECT id, k FROM T ORDER BY k DESC LIMIT 1",
+    ] {
+        let planned = d.execute_sql(q).unwrap().rows().unwrap().1;
+        let naive = super::engine::execute_with(&mut d, q, &PlanOptions::naive())
+            .unwrap()
+            .rows()
+            .unwrap()
+            .1;
+        assert_eq!(planned, naive, "top-n diverged from sort+truncate for {q}");
+    }
+}
+
+#[test]
+fn distinct_with_unprojected_order_key_errors() {
+    let mut d = db();
+    let err = d
+        .execute_sql("SELECT DISTINCT name FROM Galaxy ORDER BY ra")
+        .unwrap_err();
+    assert!(err.to_string().contains("ORDER BY"), "got: {err}");
+}

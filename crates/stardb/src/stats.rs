@@ -59,6 +59,37 @@ impl TaskStats {
     }
 }
 
+/// Table-level statistics the query planner costs access paths with.
+///
+/// The engine keeps no histograms; the only statistic maintained for free
+/// by the storage layer is the row count, so cardinality estimates are
+/// rule-of-thumb selectivities applied to it — enough to pick an index
+/// range scan over a full scan and to annotate EXPLAIN output, which is
+/// all the planner needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Current number of rows in the table.
+    pub rows: u64,
+}
+
+impl TableStats {
+    /// Estimate the rows emitted by a scan that bounds `bounded_key_cols`
+    /// leading key columns of an index and re-checks `residual_predicates`
+    /// pushed-down predicates per row.
+    ///
+    /// Each bounded key column is assumed to prune to a quarter of the
+    /// remaining rows and each residual predicate to half — arbitrary but
+    /// stable constants, so plan choice and EXPLAIN's `est` column are
+    /// deterministic. A non-empty table never estimates below one row.
+    pub fn estimate_scan(&self, bounded_key_cols: usize, residual_predicates: usize) -> u64 {
+        if self.rows == 0 {
+            return 0;
+        }
+        let shift = (2 * bounded_key_cols + residual_predicates).min(63) as u32;
+        (self.rows >> shift).max(1)
+    }
+}
+
 impl std::fmt::Display for TaskStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

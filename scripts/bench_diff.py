@@ -26,6 +26,8 @@ METRICS = [
     ("wall_s", "wall"),
     ("maxbcg.neighbors.pairs_examined", "counter"),
     ("stardb.buffer.latch_waits", "counter"),
+    ("stardb.plan.full_scans", "counter"),
+    ("stardb.plan.rows_pruned", "counter"),
 ]
 
 

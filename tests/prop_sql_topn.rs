@@ -1,0 +1,44 @@
+//! Property test: the planner's bounded top-N heap must be
+//! indistinguishable from stable sort-then-truncate — including ties
+//! (stability: equal-key rows keep input order) and NULL keys (which sort
+//! first, like the key encoding says).
+
+use proptest::prelude::*;
+use stardb::exec::{sort_by_keys, TopN};
+use stardb::{Row, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        // A tiny domain forces heavy ties.
+        (-3i64..3).prop_map(Value::BigInt),
+        (-2i32..2).prop_map(Value::Int),
+        (-2i8..2).prop_map(|v| Value::Float(f64::from(v) * 0.5)),
+    ]
+}
+
+fn row_strategy(arity: usize) -> impl Strategy<Value = Row> {
+    prop::collection::vec(value_strategy(), arity).prop_map(Row)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn top_n_heap_equals_stable_sort_truncate(
+        rows in prop::collection::vec(row_strategy(3), 0..120),
+        key_cols in prop::collection::vec((0usize..3, prop::bool::ANY), 1..3),
+        n in 0usize..40,
+    ) {
+        let mut heap = TopN::new(key_cols.clone(), n);
+        for row in rows.clone() {
+            heap.push(row);
+        }
+        let via_heap = heap.finish();
+
+        let mut reference = sort_by_keys(rows, &key_cols);
+        reference.truncate(n);
+
+        prop_assert_eq!(via_heap, reference);
+    }
+}

@@ -64,3 +64,48 @@ fn candidates_confined_to_b_clusters_use_full_buffer() {
     let in_t = clusters.iter().filter(|c| t.contains(c.ra, c.dec)).count();
     assert!(in_t > 0, "T must own some clusters");
 }
+
+#[test]
+fn region_selection_runs_as_an_index_range_scan() {
+    // A Figure-4-style window question asked through SQL: after
+    // `ensure_region_index`, the planner must answer it with a B-tree
+    // index range scan, and the answer must match both the naive
+    // reference executor and ground truth from the simulated sky.
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let p = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+    let sky = Sky::generate(p, &SkyConfig::scaled(0.12), &kcorr, 424242);
+    let mut db = MaxBcgDb::new(config).unwrap();
+    db.import_galaxy(&sky, &p).unwrap();
+
+    maxbcg::region_query::ensure_region_index(db.db_mut()).unwrap();
+    // Idempotent: a second call must not error or duplicate the index.
+    maxbcg::region_query::ensure_region_index(db.db_mut()).unwrap();
+
+    let window = SkyRegion::new(180.5, 182.5, -1.0, 1.0);
+    let expected = sky.galaxies_in(&window).count() as u64;
+
+    obs::set_enabled(true);
+    let before = obs::counter("stardb.plan.index_scans").get();
+    let rows = maxbcg::region_query::galaxies_in_region(db.db_mut(), &window).unwrap();
+    assert!(obs::counter("stardb.plan.index_scans").get() > before, "window query must use the index");
+    assert_eq!(rows.len() as u64, expected);
+    assert_eq!(maxbcg::region_query::count_in_region(db.db_mut(), &window).unwrap(), expected);
+
+    // The planned result set matches the planner-free reference pipeline.
+    let sql = maxbcg::region_query::region_select(&window);
+    let (_, naive) = stardb::sql::execute_with(db.db_mut(), &sql, &stardb::PlanOptions::naive())
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows, naive);
+
+    // And EXPLAIN shows the same access path the execution took.
+    let (_, plan) = db.db_mut().execute_sql(&format!("EXPLAIN {sql}")).unwrap().rows().unwrap();
+    let steps: Vec<String> = plan.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    assert!(
+        steps[0].contains("index range scan Galaxy")
+            && steps[0].contains(maxbcg::region_query::REGION_INDEX),
+        "plan: {steps:?}"
+    );
+}

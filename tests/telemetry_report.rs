@@ -30,14 +30,19 @@ fn tiny_run_with(
     let sky = Sky::generate(import, &SkyConfig::scaled(0.05), &kcorr, 2005);
     let mut db = MaxBcgDb::new(config).expect("schema");
     db.run(label, &sky, &import, &import.shrunk(0.25)).expect("pipeline");
+    // One planned region query so the stardb.plan.* access-path counters
+    // register alongside the pipeline's storage counters.
+    maxbcg::region_query::ensure_region_index(db.db_mut()).expect("region index");
+    maxbcg::region_query::count_in_region(db.db_mut(), &import.shrunk(0.25)).expect("count");
     let mut members = db.members().expect("members");
     members.sort_by_key(|m| (m.cluster_objid, m.galaxy_objid));
     (db.candidates().expect("candidates"), db.clusters().expect("clusters"), members)
 }
 
 /// Counters the acceptance criteria name: buffer hit/miss and page I/O
-/// from the storage engine, per-task elapsed from the pipeline, plus the
-/// spatial-join and early-filter counters of the MaxBCG layer.
+/// from the storage engine, the SQL planner's access-path tallies,
+/// per-task elapsed from the pipeline, plus the spatial-join and
+/// early-filter counters of the MaxBCG layer.
 const REQUIRED_COUNTERS: &[&str] = &[
     "stardb.buffer.logical_reads",
     "stardb.buffer.hits",
@@ -45,6 +50,10 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "stardb.buffer.physical_reads",
     "stardb.buffer.physical_writes",
     "stardb.btree.seeks",
+    "stardb.plan.index_scans",
+    "stardb.plan.full_scans",
+    "stardb.plan.pushed_predicates",
+    "stardb.plan.rows_pruned",
     "maxbcg.pipeline.runs",
     "maxbcg.task.spZone.elapsed_ns",
     "maxbcg.task.fBCGCandidate.elapsed_ns",
