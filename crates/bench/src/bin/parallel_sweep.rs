@@ -158,7 +158,7 @@ fn main() {
     assert!(cache_off_identical, "disabling the zone cache changed the catalogs");
 
     // ---- threaded 3-way partition fan-out ----------------------------------
-    let workers = host_cores.min(2).max(1);
+    let workers = host_cores.clamp(1, 2);
     let par_config = MaxBcgConfig { workers, ..base };
     let par = run_partitioned(&par_config, &sky, &case.import, &case.candidates, 3)
         .expect("partitioned run");

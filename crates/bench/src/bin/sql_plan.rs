@@ -59,7 +59,7 @@ fn measure(db: &mut Database, sql: &str, opts: &PlanOptions) -> (Vec<Row>, u64, 
     let (_, mut rows) = execute_with(db, sql, opts).expect("query").rows().expect("rows");
     let secs = t0.elapsed().as_secs_f64();
     let examined = rows.len() as u64 + (pruned.get() - p0) + (filtered.get() - f0);
-    rows.sort_by(|a, b| a.encode().cmp(&b.encode()));
+    rows.sort_by_key(|a| a.encode());
     (rows, examined, secs)
 }
 

@@ -1,0 +1,194 @@
+//! **WAL ingest** — durability-cost microbenchmark: committed batch
+//! ingest through the write-ahead log, across fsync policies and
+//! concurrent snapshot readers.
+//!
+//! The durability story has two prices: the log itself (page images +
+//! commit records, fsynced per the policy) and snapshot isolation (MVCC
+//! copy-on-write while a reader pins an old epoch). This bench measures
+//! both on one matrix: fsync {commit, never} x readers {0, 2, 4}. Each
+//! point opens a fresh durable database, seeds it, pins one snapshot per
+//! reader thread, then ingests fixed-size batches with one commit per
+//! batch while the readers scan their pinned snapshot in a loop and
+//! assert it never moves. Reported per point: commit throughput, row
+//! throughput, reader scan counts, and the WAL append/fsync deltas.
+//!
+//! ```text
+//! cargo run -p bench --release --bin wal_ingest [-- --scale 0.05 --seed 2005]
+//! ```
+//!
+//! Emits `BENCH_wal.json`.
+
+use bench::{BenchOpts, TextTable};
+use serde::Serialize;
+use stardb::{
+    Column, DataType, Database, DbConfig, FsyncPolicy, Row, Schema, Value, WalConfig,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const READER_SWEEP: [usize; 3] = [0, 2, 4];
+const ROWS_PER_BATCH: u64 = 256;
+
+#[derive(Serialize)]
+struct IngestPoint {
+    fsync: &'static str,
+    readers: usize,
+    batches: u64,
+    rows: u64,
+    wall_s: f64,
+    commits_per_s: f64,
+    rows_per_s: f64,
+    reader_scans: u64,
+    wal_appends: u64,
+    wal_fsyncs: u64,
+    mvcc_cow_pages: u64,
+}
+
+#[derive(Serialize)]
+struct IngestReport {
+    scale: f64,
+    seed: u64,
+    rows_per_batch: u64,
+    points: Vec<IngestPoint>,
+    fsync_cost_ratio_at_0_readers: f64,
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("objid", DataType::BigInt),
+        Column::new("ra", DataType::Float),
+        Column::new("dec", DataType::Float),
+    ])
+}
+
+fn ingest_batch(db: &mut Database, seed: u64, batch: u64) {
+    for j in 0..ROWS_PER_BATCH {
+        let objid = (batch * ROWS_PER_BATCH + j) as i64;
+        let mix = gridsim::faults::mix64(seed ^ objid as u64);
+        db.insert(
+            "ingest",
+            Row(vec![
+                Value::BigInt(objid),
+                Value::Float((mix % 3_600_000) as f64 * 1e-4),
+                Value::Float(-90.0 + (mix >> 32 & 0x1b_7740) as f64 * 1e-4),
+            ]),
+        )
+        .expect("insert");
+    }
+    db.commit().expect("commit");
+}
+
+fn run_point(opts: &BenchOpts, fsync: FsyncPolicy, readers: usize, batches: u64) -> IngestPoint {
+    let dir = std::env::temp_dir().join(format!(
+        "stardb-wal-ingest-{}-{readers}-{}",
+        if matches!(fsync, FsyncPolicy::Never) { "never" } else { "commit" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_cfg = WalConfig { fsync, ..WalConfig::default() };
+    let mut db = Database::open(&dir, DbConfig::tiny(2048), wal_cfg).expect("open durable db");
+    db.create_clustered_table("ingest", schema(), &["objid"]).expect("schema");
+    ingest_batch(&mut db, opts.seed, 0); // seed batch the readers pin
+
+    let appends0 = obs::counter("stardb.wal.appends").get();
+    let fsyncs0 = obs::counter("stardb.wal.fsyncs").get();
+    let cow0 = obs::counter("stardb.mvcc.cow_pages").get();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let snap = db.snapshot();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let pinned = snap.row_count("ingest").expect("pinned rows");
+                assert_eq!(pinned, ROWS_PER_BATCH, "snapshot must pin the seed batch");
+                let mut scans = 0u64;
+                loop {
+                    let stop = done.load(Ordering::Acquire);
+                    let mut rows = 0u64;
+                    snap.scan_raw("ingest", |_| {
+                        rows += 1;
+                        true
+                    })
+                    .expect("snapshot scan");
+                    assert_eq!(rows, pinned, "pinned snapshot moved during ingest");
+                    scans += 1;
+                    if stop {
+                        return scans;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    for b in 1..=batches {
+        ingest_batch(&mut db, opts.seed, b);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    let reader_scans: u64 = reader_handles.into_iter().map(|h| h.join().expect("reader")).sum();
+
+    let rows = batches * ROWS_PER_BATCH;
+    let point = IngestPoint {
+        fsync: if matches!(fsync, FsyncPolicy::Never) { "never" } else { "commit" },
+        readers,
+        batches,
+        rows,
+        wall_s: wall,
+        commits_per_s: batches as f64 / wall.max(1e-9),
+        rows_per_s: rows as f64 / wall.max(1e-9),
+        reader_scans,
+        wal_appends: obs::counter("stardb.wal.appends").get() - appends0,
+        wal_fsyncs: obs::counter("stardb.wal.fsyncs").get() - fsyncs0,
+        mvcc_cow_pages: obs::counter("stardb.mvcc.cow_pages").get() - cow0,
+    };
+    db.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+    point
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    obs::set_enabled(true);
+    // Scale the batch count with --scale, bounded so CI stays quick.
+    let batches = ((400.0 * opts.scale) as u64).clamp(16, 400);
+
+    let mut points = Vec::new();
+    for fsync in [FsyncPolicy::Commit, FsyncPolicy::Never] {
+        for readers in READER_SWEEP {
+            points.push(run_point(&opts, fsync, readers, batches));
+        }
+    }
+
+    let per_commit = |p: &IngestPoint| p.wall_s / p.batches as f64;
+    let fsync_ratio = per_commit(&points[0]) / per_commit(&points[READER_SWEEP.len()]).max(1e-12);
+
+    let mut table = TextTable::new(&[
+        "fsync", "readers", "commits/s", "rows/s", "scans", "appends", "fsyncs", "cow",
+    ]);
+    for p in &points {
+        table.row(&[
+            p.fsync.to_string(),
+            p.readers.to_string(),
+            format!("{:.0}", p.commits_per_s),
+            format!("{:.0}", p.rows_per_s),
+            p.reader_scans.to_string(),
+            p.wal_appends.to_string(),
+            p.wal_fsyncs.to_string(),
+            p.mvcc_cow_pages.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("fsync=commit / fsync=never cost per commit (0 readers): {fsync_ratio:.2}x");
+
+    let report = IngestReport {
+        scale: opts.scale,
+        seed: opts.seed,
+        rows_per_batch: ROWS_PER_BATCH,
+        points,
+        fsync_cost_ratio_at_0_readers: fsync_ratio,
+    };
+    opts.emit_report("wal", &report);
+}

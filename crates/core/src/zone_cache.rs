@@ -112,12 +112,15 @@ impl<'a> ZoneBucket<'a> {
 impl ZoneSnapshot {
     /// Materialize the Zone table. Runs one full clustered scan via
     /// `scan_raw` (key order, raw payloads) and decodes each row exactly
-    /// once. The epoch is read under the same shared borrow as the scan,
-    /// so no mutation can slip between the two.
+    /// once. The version is read under the same shared borrow as the scan,
+    /// so no mutation can slip between the two. Using `table_version`
+    /// (commit epoch while clean, mutation epoch while dirty) instead of
+    /// the raw mutation epoch means a snapshot built from committed state
+    /// stays fresh until the next commit that actually touches Zone.
     pub fn build(db: &Database) -> DbResult<ZoneSnapshot> {
         let t0 = Instant::now();
         let mut snap = ZoneSnapshot {
-            epoch: db.table_epoch("Zone")?,
+            epoch: db.table_version("Zone")?,
             zone_min: 0,
             offsets: Vec::new(),
             ra: Vec::new(),
@@ -162,14 +165,14 @@ impl ZoneSnapshot {
         Ok(snap)
     }
 
-    /// Zone-table mutation epoch this snapshot was built at.
+    /// Zone-table version (commit epoch) this snapshot was built at.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
     /// True when the live Zone table still matches this snapshot.
     pub fn is_fresh(&self, db: &Database) -> bool {
-        db.table_epoch("Zone").is_ok_and(|e| e == self.epoch)
+        db.table_version("Zone").is_ok_and(|e| e == self.epoch)
     }
 
     /// Total rows materialized.
@@ -242,7 +245,7 @@ mod tests {
         let rows = zone_rows(&db);
         assert!(!rows.is_empty());
         assert_eq!(snap.rows(), rows.len());
-        assert_eq!(snap.epoch(), db.table_epoch("Zone").unwrap());
+        assert_eq!(snap.epoch(), db.table_version("Zone").unwrap());
         assert!(snap.is_fresh(&db));
 
         // Every row appears in its zone's bucket, in table order, with

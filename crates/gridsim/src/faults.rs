@@ -96,6 +96,17 @@ impl DetRng {
     }
 }
 
+/// Pure crash-point draw for kill-at-offset drills: a byte offset in
+/// `[lo, hi)` derived only from `(seed, key)`, so a crash drill's kill
+/// point is replayable from its seed alone (same contract as
+/// [`FaultPlan::draw_u64`]). Returns `lo` when the range is empty.
+pub fn crash_offset(seed: u64, key: &str, lo: u64, hi: u64) -> u64 {
+    if hi <= lo {
+        return lo;
+    }
+    lo + mix64(seed ^ fnv1a(key.as_bytes())) % (hi - lo)
+}
+
 /// Probabilities and bounds of a fault schedule. All probabilities are per
 /// *decision* (one job attempt, one file transfer), in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

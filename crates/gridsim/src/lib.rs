@@ -20,6 +20,6 @@ pub mod scheduler;
 
 pub use chimera::VirtualDataCatalog;
 pub use das::{DataArchiveServer, NetworkModel, TransferTotals};
-pub use faults::{DetRng, FaultConfig, FaultPlan, FaultReport, TransferFault};
+pub use faults::{crash_offset, DetRng, FaultConfig, FaultPlan, FaultReport, TransferFault};
 pub use node::{sql_cluster, tam_cluster, NodeSpec};
 pub use scheduler::{BatchReport, GridCluster, JobRun, JobSpec, RetryPolicy, StageIn};

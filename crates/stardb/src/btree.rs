@@ -140,16 +140,19 @@ fn search(p: &[u8], key: &[u8]) -> (usize, bool) {
 }
 
 /// For an inner node: the child to descend into for `key`.
-fn child_for(p: &[u8], key: &[u8]) -> PageId {
+fn child_for(p: &[u8], key: &[u8]) -> DbResult<PageId> {
     let (pos, exact) = search(p, key);
     // Entry i separates: keys < entries[i].key go left of it. An exact
     // match belongs to the right child (separators are copied-up leaf
     // keys: the key itself lives right).
     let idx = if exact { pos + 1 } else { pos };
     if idx == 0 {
-        PageId(extra(p))
+        Ok(PageId(extra(p)))
     } else {
-        PageId(u32::from_le_bytes(cell_payload(p, idx - 1).try_into().expect("child id")))
+        let raw: [u8; 4] = cell_payload(p, idx - 1)
+            .try_into()
+            .map_err(|_| DbError::Corrupt("inner node child pointer truncated".into()))?;
+        Ok(PageId(u32::from_le_bytes(raw)))
     }
 }
 
@@ -217,6 +220,9 @@ pub struct BTree {
     pool: Arc<BufferPool>,
     root: PageId,
     len: u64,
+    /// When set, every read resolves pages at this snapshot epoch
+    /// through the MVCC version table ([`BufferPool::with_page_at`]).
+    snap: Option<u64>,
 }
 
 enum Ins {
@@ -229,7 +235,34 @@ impl BTree {
     pub fn create(pool: Arc<BufferPool>) -> DbResult<Self> {
         let root = pool.allocate()?;
         pool.with_page_mut(root, |p| init_node(p, T_LEAF))?;
-        Ok(BTree { pool, root, len: 0 })
+        Ok(BTree { pool, root, len: 0, snap: None })
+    }
+
+    /// Re-attach a tree recovered from a WAL catalog: root and length were
+    /// serialized at commit, node contents replay from the log.
+    pub fn attach(pool: Arc<BufferPool>, root: PageId, len: u64) -> Self {
+        BTree { pool, root, len, snap: None }
+    }
+
+    /// A read-only view of a tree (given by its committed `root`/`len`)
+    /// pinned at snapshot epoch `snap`: reads resolve copy-on-write page
+    /// versions, so the view is stable while writers commit concurrently.
+    pub fn attach_at(pool: Arc<BufferPool>, root: PageId, len: u64, snap: u64) -> Self {
+        BTree { pool, root, len, snap: Some(snap) }
+    }
+
+    /// The current root page (serialized into WAL commit catalogs).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Read a page at this tree's visibility: the pinned snapshot when one
+    /// is set, the live frame otherwise.
+    fn read<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
+        match self.snap {
+            Some(s) => self.pool.with_page_at(pid, s, f),
+            None => self.pool.with_page(pid, f),
+        }
     }
 
     /// Number of entries.
@@ -251,14 +284,14 @@ impl BTree {
                 Descend(PageId),
                 Found(Option<Vec<u8>>),
             }
-            let step = self.pool.with_page(pid, |p| {
+            let step = self.read(pid, |p| -> DbResult<Step> {
                 if node_type(p) == T_INNER {
-                    Step::Descend(child_for(p, key))
+                    Ok(Step::Descend(child_for(p, key)?))
                 } else {
                     let (pos, exact) = search(p, key);
-                    Step::Found(exact.then(|| cell_payload(p, pos).to_vec()))
+                    Ok(Step::Found(exact.then(|| cell_payload(p, pos).to_vec())))
                 }
-            })?;
+            })??;
             match step {
                 Step::Descend(c) => pid = c,
                 Step::Found(v) => return Ok(v),
@@ -296,13 +329,13 @@ impl BTree {
             Leaf,
             Inner(PageId),
         }
-        let plan = self.pool.with_page(pid, |p| {
+        let plan = self.pool.with_page(pid, |p| -> DbResult<Plan> {
             if node_type(p) == T_INNER {
-                Plan::Inner(child_for(p, key))
+                Ok(Plan::Inner(child_for(p, key)?))
             } else {
-                Plan::Leaf
+                Ok(Plan::Leaf)
             }
-        })?;
+        })??;
         match plan {
             Plan::Leaf => self.leaf_insert(pid, key, payload),
             Plan::Inner(child) => {
@@ -389,9 +422,10 @@ impl BTree {
         } else {
             // Inner split: the separator moves up; the right node's
             // leftmost child is the promoted entry's child.
-            let promoted_child = u32::from_le_bytes(
-                right_first_payload.as_slice().try_into().expect("child id"),
-            );
+            let raw: [u8; 4] = right_first_payload.as_slice().try_into().map_err(|_| {
+                DbError::Corrupt("promoted separator carries no child pointer".into())
+            })?;
+            let promoted_child = u32::from_le_bytes(raw);
             self.pool.with_page_mut(pid, |p| {
                 init_node(p, T_INNER);
                 set_extra(p, old_extra);
@@ -419,17 +453,17 @@ impl BTree {
                 Descend(PageId),
                 Removed(bool),
             }
-            let step = self.pool.with_page_mut(pid, |p| {
+            let step = self.pool.with_page_mut(pid, |p| -> DbResult<Step> {
                 if node_type(p) == T_INNER {
-                    Step::Descend(child_for(p, key))
+                    Ok(Step::Descend(child_for(p, key)?))
                 } else {
                     let (pos, exact) = search(p, key);
                     if exact {
                         remove_at(p, pos);
                     }
-                    Step::Removed(exact)
+                    Ok(Step::Removed(exact))
                 }
-            })?;
+            })??;
             match step {
                 Step::Descend(c) => pid = c,
                 Step::Removed(found) => {
@@ -455,7 +489,7 @@ impl BTree {
     fn leftmost_leaf(&self) -> DbResult<PageId> {
         let mut pid = self.root;
         loop {
-            let next = self.pool.with_page(pid, |p| {
+            let next = self.read(pid, |p| {
                 (node_type(p) == T_INNER).then(|| PageId(extra(p)))
             })?;
             match next {
@@ -478,9 +512,9 @@ impl BTree {
                 Descend(PageId),
                 At(usize),
             }
-            let step = self.pool.with_page(pid, |p| {
+            let step = self.read(pid, |p| -> DbResult<Step> {
                 if node_type(p) == T_INNER {
-                    Step::Descend(child_for(p, key))
+                    Ok(Step::Descend(child_for(p, key)?))
                 } else {
                     let (pos, exact) = search(p, key);
                     let pos = if exact && matches!(bound, Bound::Excluded(_)) {
@@ -488,9 +522,9 @@ impl BTree {
                     } else {
                         pos
                     };
-                    Step::At(pos)
+                    Ok(Step::At(pos))
                 }
-            })?;
+            })??;
             match step {
                 Step::Descend(c) => pid = c,
                 Step::At(pos) => return Ok((pid, pos)),
@@ -515,7 +549,7 @@ impl BTree {
                 Next(PageId),
                 Stop,
             }
-            let step = self.pool.with_page(pid, |p| {
+            let step = self.read(pid, |p| {
                 let n = count(p);
                 for i in pos..n {
                     let k = cell_key(p, i);
@@ -572,7 +606,7 @@ impl BTree {
         let mut h = 1;
         let mut pid = self.root;
         loop {
-            let next = self.pool.with_page(pid, |p| {
+            let next = self.read(pid, |p| {
                 (node_type(p) == T_INNER).then(|| PageId(extra(p)))
             })?;
             match next {

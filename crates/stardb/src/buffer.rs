@@ -29,12 +29,13 @@
 //! latch acquisitions are counted in `stardb.buffer.latch_waits`.
 
 use crate::error::{DbError, DbResult};
+use crate::mvcc::MvccState;
 use crate::page::PAGE_SIZE;
 use crate::store::{PageId, PageStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Latency model for the simulated disk.
@@ -182,6 +183,8 @@ pub struct BufferPool {
     stats: IoStats,
     obs: PoolObs,
     profile: DiskProfile,
+    /// Copy-on-write hooks; [`BufferPool::enable_mvcc`] installs them once.
+    mvcc: OnceLock<Arc<MvccState>>,
 }
 
 impl BufferPool {
@@ -208,7 +211,17 @@ impl BufferPool {
             stats: IoStats::default(),
             obs: PoolObs::new(),
             profile,
+            mvcc: OnceLock::new(),
         }
+    }
+
+    /// Install the multi-version hooks: from here on, the first mutation of
+    /// a page per transaction files its committed image as a copy-on-write
+    /// version (see [`crate::mvcc`]), and [`BufferPool::with_page_at`]
+    /// resolves snapshot reads against the version table. Installing twice
+    /// is a no-op (the first state wins).
+    pub fn enable_mvcc(&self, state: Arc<MvccState>) {
+        let _ = self.mvcc.set(state);
     }
 
     /// Pool capacity in frames.
@@ -241,7 +254,11 @@ impl BufferPool {
 
     /// Allocate a fresh page (zeroed, resident, dirty).
     pub fn allocate(&self) -> DbResult<PageId> {
-        let id = self.store.allocate();
+        let id = self.store.allocate()?;
+        if let Some(mvcc) = self.mvcc.get() {
+            // No committed predecessor: mark owned, file no version.
+            mvcc.note_fresh(id);
+        }
         let mut shard = self.lock_shard(self.shard_of(id));
         let frame_idx = self.frame_for(&mut shard, id, /*load=*/ false)?;
         shard.frames[frame_idx].data.fill(0);
@@ -258,24 +275,54 @@ impl BufferPool {
         Ok(f(&shard.frames[idx].data))
     }
 
+    /// Run `f` over page `id` as it stood at snapshot epoch `snap`: the
+    /// copy-on-write version filed by a later writer when one exists, the
+    /// live frame otherwise. The version lookup happens inside the page's
+    /// shard latch — the same latch a writer holds while filing the
+    /// pre-image and mutating the frame — so a snapshot reader can never
+    /// observe a mutated frame whose pre-image is not yet filed.
+    pub fn with_page_at<R>(
+        &self,
+        id: PageId,
+        snap: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> DbResult<R> {
+        let Some(mvcc) = self.mvcc.get() else {
+            return self.with_page(id, f);
+        };
+        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.obs.logical_reads.incr();
+        let mut shard = self.lock_shard(self.shard_of(id));
+        if let Some(version) = mvcc.read_version(id, snap) {
+            self.obs.hits.incr();
+            return Ok(f(&version));
+        }
+        let idx = self.frame_for(&mut shard, id, true)?;
+        Ok(f(&shard.frames[idx].data))
+    }
+
     /// Run `f` over a mutable view of page `id`; the page is marked dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
         self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
         self.obs.logical_reads.incr();
         let mut shard = self.lock_shard(self.shard_of(id));
         let idx = self.frame_for(&mut shard, id, true)?;
+        if let Some(mvcc) = self.mvcc.get() {
+            // First mutation per transaction copies the committed image.
+            mvcc.before_write(id, &shard.frames[idx].data);
+        }
         shard.frames[idx].dirty = true;
         Ok(f(&mut shard.frames[idx].data))
     }
 
     /// Write every dirty frame back to the store (shard by shard, in shard
     /// order, so flush ordering stays deterministic).
-    pub fn flush_all(&self) {
+    pub fn flush_all(&self) -> DbResult<()> {
         for mutex in &self.shards {
             let mut shard = mutex.lock();
             for frame in &mut shard.frames {
                 if frame.dirty {
-                    self.store.write_page(frame.page, &frame.data);
+                    self.store.write_page(frame.page, &frame.data)?;
                     self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
                     self.obs.physical_writes.incr();
                     self.stats
@@ -285,15 +332,17 @@ impl BufferPool {
                 }
             }
         }
+        Ok(())
     }
 
-    fn write_back(&self, frame: &Frame) {
-        self.store.write_page(frame.page, &frame.data);
+    fn write_back(&self, frame: &Frame) -> DbResult<()> {
+        self.store.write_page(frame.page, &frame.data)?;
         self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
         self.obs.physical_writes.incr();
         self.stats
             .modeled_io_nanos
             .fetch_add(self.profile.write_latency.as_nanos() as u64, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Locate (or load) `id` in a frame of its shard, evicting if needed.
@@ -325,7 +374,7 @@ impl BufferPool {
             self.obs.evictions.incr();
             let old = shard.frames[victim].page;
             if shard.frames[victim].dirty {
-                self.write_back(&shard.frames[victim]);
+                self.write_back(&shard.frames[victim])?;
             }
             shard.frames[victim].page = id;
             shard.frames[victim].dirty = false;
@@ -335,7 +384,7 @@ impl BufferPool {
         };
         shard.map.insert(id, idx);
         if load {
-            self.store.read_page(id, &mut shard.frames[idx].data);
+            self.store.read_page(id, &mut shard.frames[idx].data)?;
             self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
             self.obs.physical_reads.incr();
             self.stats
@@ -454,9 +503,9 @@ mod tests {
         let p = BufferPool::new(store.clone(), 4, DiskProfile::instant());
         let id = p.allocate().unwrap();
         p.with_page_mut(id, |d| d[7] = 99).unwrap();
-        p.flush_all();
+        p.flush_all().unwrap();
         let mut raw = vec![0u8; PAGE_SIZE];
-        store.read_page(id, &mut raw);
+        store.read_page(id, &mut raw).unwrap();
         assert_eq!(raw[7], 99);
     }
 
@@ -520,7 +569,7 @@ mod tests {
             p.with_page_mut(id, |d| d[..8].copy_from_slice(&(k as u64).to_le_bytes()))
                 .unwrap();
         }
-        p.flush_all();
+        p.flush_all().unwrap();
         std::thread::scope(|scope| {
             for t in 0..8usize {
                 let p = std::sync::Arc::clone(&p);

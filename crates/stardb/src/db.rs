@@ -6,13 +6,17 @@ use crate::buffer::{BufferPool, DiskProfile, IoSnapshot};
 use crate::error::{DbError, DbResult};
 use crate::heap::{HeapFile, RowId};
 use crate::key::encode_key;
+use crate::mvcc::MvccState;
+use crate::page;
 use crate::row::Row;
-use crate::schema::Schema;
+use crate::schema::{Column, Schema};
 use crate::expr::Expr;
 use crate::stats::{TableStats, TaskStats};
-use crate::store::MemStore;
-use crate::value::Value;
-use std::collections::HashMap;
+use crate::store::{FileStore, MemStore, PageId, PageStore};
+use crate::value::{DataType, Value};
+use crate::wal::{Wal, WalConfig};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +81,112 @@ struct Table {
     /// Epochs are never reused, so a drop + recreate cannot alias an old
     /// snapshot onto a new table.
     epoch: u64,
+    /// Epoch of the last [`Database::commit`] that included a mutation of
+    /// this table (0 before the first). Commit epochs draw from the same
+    /// monotonic counter as mutation epochs, so the two never collide.
+    commit_epoch: u64,
+}
+
+/// The committed shape of one table, as serialized into WAL commit records
+/// and pinned by snapshots: enough to re-attach storage without replaying
+/// logical operations.
+enum SnapStorage {
+    Heap { pages: Vec<PageId>, rows: u64 },
+    Clustered { root: PageId, len: u64, key_cols: Vec<usize> },
+}
+
+struct SnapTable {
+    schema: Schema,
+    storage: SnapStorage,
+}
+
+/// The catalog as of the last commit. Snapshots hold an `Arc` to the
+/// version they pinned; commit swaps in a fresh one.
+struct CommittedCatalog {
+    epoch: u64,
+    tables: HashMap<String, SnapTable>,
+}
+
+// ---- catalog codec --------------------------------------------------------
+//
+// Commit and checkpoint records carry the serialized catalog: table
+// schemas, heap page lists, B-tree roots, index definitions, and the epoch
+// counter. A hand-rolled little-endian codec keeps the format stable and
+// dependency-free; corruption of these bytes is caught one level down by
+// the WAL record checksum, so the decoder treats any structural surprise
+// as [`DbError::WalCorrupt`].
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::BigInt => 0,
+        DataType::Int => 1,
+        DataType::Real => 2,
+        DataType::Float => 3,
+        DataType::Text => 4,
+    }
+}
+
+fn dtype_from(tag: u8) -> DbResult<DataType> {
+    Ok(match tag {
+        0 => DataType::BigInt,
+        1 => DataType::Int,
+        2 => DataType::Real,
+        3 => DataType::Float,
+        4 => DataType::Text,
+        other => return Err(DbError::WalCorrupt(format!("unknown dtype tag {other}"))),
+    })
+}
+
+/// Bounds-checked reader over catalog bytes.
+struct CatReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> CatReader<'a> {
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        if self.buf.len() - self.at < n {
+            return Err(DbError::WalCorrupt("catalog truncated".into()));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> DbResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> DbResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> DbResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> DbResult<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| DbError::WalCorrupt("catalog string is not utf-8".into()))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
 }
 
 /// An embedded database instance: one buffer pool, many tables.
@@ -105,6 +215,20 @@ pub struct Database {
     tables: HashMap<String, Table>,
     /// Database-wide monotonic epoch source (see [`Table::epoch`]).
     next_epoch: u64,
+    /// Snapshot/version state (hooks are installed into the pool only for
+    /// durable databases — see [`Database::open`]).
+    mvcc: Arc<MvccState>,
+    /// The write-ahead log, present for durable databases.
+    wal: Option<Arc<Wal>>,
+    /// Catalog as of the last commit, shared with snapshot handles.
+    committed: Arc<RwLock<Arc<CommittedCatalog>>>,
+    /// Tables mutated since the last commit (normalized names).
+    dirty_tables: HashSet<String>,
+    /// Schema-level changes (create/drop table or index) since the last
+    /// commit — they change the catalog without dirtying table data.
+    catalog_dirty: bool,
+    /// Serialized catalog of the last WAL commit (checkpoint reuses it).
+    last_catalog: Vec<u8>,
 }
 
 impl Database {
@@ -115,13 +239,307 @@ impl Database {
             config.buffer_frames,
             config.disk,
         ));
-        Database { pool, tables: HashMap::new(), next_epoch: 0 }
+        Database {
+            pool,
+            tables: HashMap::new(),
+            next_epoch: 0,
+            mvcc: Arc::new(MvccState::new()),
+            wal: None,
+            committed: Arc::new(RwLock::new(Arc::new(CommittedCatalog {
+                epoch: 0,
+                tables: HashMap::new(),
+            }))),
+            dirty_tables: HashSet::new(),
+            catalog_dirty: false,
+            last_catalog: Vec::new(),
+        }
+    }
+
+    /// Open (or create) a durable database at `dir`: a page file plus a
+    /// write-ahead log, with MVCC copy-on-write hooks installed in the
+    /// buffer pool. Opening runs recovery — committed transactions are
+    /// replayed, torn tail records are detected by checksum and truncated
+    /// — and re-attaches every table from the last consistent commit's
+    /// catalog. See [`crate::wal`] for the full protocol.
+    pub fn open(dir: &std::path::Path, config: DbConfig, wal_cfg: WalConfig) -> DbResult<Database> {
+        std::fs::create_dir_all(dir).map_err(|e| DbError::io("create db dir", &e))?;
+        let store = FileStore::open_repair(&dir.join("pages.db"))
+            .map_err(|e| DbError::io("open page file", &e))?;
+        let (wal, recovery) = Wal::open(&dir.join("wal"), wal_cfg, Arc::new(store))?;
+        let pool = Arc::new(BufferPool::new(
+            wal.clone() as Arc<dyn PageStore>,
+            config.buffer_frames,
+            config.disk,
+        ));
+        let mvcc = Arc::new(MvccState::new());
+        pool.enable_mvcc(mvcc.clone());
+        let mut db = Database {
+            pool,
+            tables: HashMap::new(),
+            next_epoch: recovery.epoch,
+            mvcc,
+            wal: Some(wal),
+            committed: Arc::new(RwLock::new(Arc::new(CommittedCatalog {
+                epoch: recovery.epoch,
+                tables: HashMap::new(),
+            }))),
+            dirty_tables: HashSet::new(),
+            catalog_dirty: false,
+            last_catalog: Vec::new(),
+        };
+        if let Some(bytes) = recovery.catalog {
+            db.decode_catalog(&bytes)?;
+            db.last_catalog = bytes;
+        }
+        if recovery.epoch > 0 {
+            // Future snapshots pin at the recovered epoch.
+            db.mvcc.commit(recovery.epoch);
+        }
+        *db.committed.write() = Arc::new(db.build_committed(recovery.epoch));
+        Ok(db)
+    }
+
+    /// The write-ahead log of a durable database (`None` for in-memory
+    /// instances). Exposed for the chaos drills, which arm crash points.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Claim the next mutation epoch (monotonic, never reused).
     fn fresh_epoch(&mut self) -> u64 {
         self.next_epoch += 1;
         self.next_epoch
+    }
+
+    /// Serialize the current catalog (see the codec notes above).
+    fn encode_catalog(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.next_epoch);
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        put_u32(&mut buf, names.len() as u32);
+        for name in names {
+            let t = &self.tables[name];
+            put_str(&mut buf, name);
+            put_u64(&mut buf, t.epoch);
+            put_u64(&mut buf, t.commit_epoch);
+            put_u32(&mut buf, t.schema.arity() as u32);
+            for c in t.schema.columns() {
+                put_str(&mut buf, &c.name);
+                buf.push(dtype_tag(c.dtype));
+                buf.push(u8::from(c.nullable));
+            }
+            match &t.storage {
+                Storage::Heap { file, rows } => {
+                    buf.push(0);
+                    put_u64(&mut buf, *rows);
+                    put_u32(&mut buf, file.pages().len() as u32);
+                    for p in file.pages() {
+                        put_u32(&mut buf, p.0);
+                    }
+                }
+                Storage::Clustered { tree, key_cols } => {
+                    buf.push(1);
+                    put_u32(&mut buf, tree.root().0);
+                    put_u64(&mut buf, tree.len());
+                    put_u32(&mut buf, key_cols.len() as u32);
+                    for &k in key_cols {
+                        put_u32(&mut buf, k as u32);
+                    }
+                }
+            }
+            put_u32(&mut buf, t.indexes.len() as u32);
+            for idx in &t.indexes {
+                put_str(&mut buf, &idx.name);
+                put_u32(&mut buf, idx.cols.len() as u32);
+                for &c in &idx.cols {
+                    put_u32(&mut buf, c as u32);
+                }
+                put_u32(&mut buf, idx.tree.root().0);
+                put_u64(&mut buf, idx.tree.len());
+            }
+        }
+        buf
+    }
+
+    /// Rebuild the table map from a recovered catalog, re-attaching heaps
+    /// and trees over the (already replayed) pool.
+    fn decode_catalog(&mut self, bytes: &[u8]) -> DbResult<()> {
+        let mut r = CatReader { buf: bytes, at: 0 };
+        self.next_epoch = r.u64()?;
+        let n_tables = r.u32()? as usize;
+        let mut tables = HashMap::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = r.str()?;
+            let epoch = r.u64()?;
+            let commit_epoch = r.u64()?;
+            let n_cols = r.u32()? as usize;
+            let mut cols = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let cname = r.str()?;
+                let dtype = dtype_from(r.u8()?)?;
+                let nullable = r.u8()? != 0;
+                cols.push(if nullable {
+                    Column::nullable(&cname, dtype)
+                } else {
+                    Column::new(&cname, dtype)
+                });
+            }
+            let schema = Schema::new(cols);
+            let storage = match r.u8()? {
+                0 => {
+                    let rows = r.u64()?;
+                    let n_pages = r.u32()? as usize;
+                    let mut pages = Vec::with_capacity(n_pages);
+                    for _ in 0..n_pages {
+                        pages.push(PageId(r.u32()?));
+                    }
+                    Storage::Heap { file: HeapFile::attach(self.pool.clone(), pages)?, rows }
+                }
+                1 => {
+                    let root = PageId(r.u32()?);
+                    let len = r.u64()?;
+                    let n_keys = r.u32()? as usize;
+                    let mut key_cols = Vec::with_capacity(n_keys);
+                    for _ in 0..n_keys {
+                        key_cols.push(r.u32()? as usize);
+                    }
+                    Storage::Clustered {
+                        tree: BTree::attach(self.pool.clone(), root, len),
+                        key_cols,
+                    }
+                }
+                other => {
+                    return Err(DbError::WalCorrupt(format!("unknown storage tag {other}")))
+                }
+            };
+            let n_indexes = r.u32()? as usize;
+            let mut indexes = Vec::with_capacity(n_indexes);
+            for _ in 0..n_indexes {
+                let iname = r.str()?;
+                let n_icols = r.u32()? as usize;
+                let mut icols = Vec::with_capacity(n_icols);
+                for _ in 0..n_icols {
+                    icols.push(r.u32()? as usize);
+                }
+                let root = PageId(r.u32()?);
+                let len = r.u64()?;
+                indexes.push(SecondaryIndex {
+                    name: iname,
+                    cols: icols,
+                    tree: BTree::attach(self.pool.clone(), root, len),
+                });
+            }
+            tables.insert(name, Table { schema, storage, indexes, epoch, commit_epoch });
+        }
+        if !r.done() {
+            return Err(DbError::WalCorrupt("catalog has trailing bytes".into()));
+        }
+        self.tables = tables;
+        Ok(())
+    }
+
+    /// Snapshot-facing view of the current tables, stamped `epoch`.
+    fn build_committed(&self, epoch: u64) -> CommittedCatalog {
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, t)| {
+                let storage = match &t.storage {
+                    Storage::Heap { file, rows } => {
+                        SnapStorage::Heap { pages: file.pages().to_vec(), rows: *rows }
+                    }
+                    Storage::Clustered { tree, key_cols } => SnapStorage::Clustered {
+                        root: tree.root(),
+                        len: tree.len(),
+                        key_cols: key_cols.clone(),
+                    },
+                };
+                (name.clone(), SnapTable { schema: t.schema.clone(), storage })
+            })
+            .collect();
+        CommittedCatalog { epoch, tables }
+    }
+
+    /// Commit everything since the last commit as one transaction: flush
+    /// dirty frames into the WAL's staged overlay, append their page
+    /// images plus a commit record carrying the serialized catalog (group
+    /// commit — one fsync for the whole batch), stamp MVCC pending
+    /// versions with the commit epoch, and publish a fresh committed
+    /// catalog for new snapshots. Returns the commit epoch (for an
+    /// unchanged database: the previous one, with nothing written).
+    ///
+    /// In-memory databases skip the log but still advance commit epochs,
+    /// so [`Database::table_version`] and snapshots behave identically.
+    pub fn commit(&mut self) -> DbResult<u64> {
+        if self.dirty_tables.is_empty() && !self.catalog_dirty {
+            return Ok(self.committed.read().epoch);
+        }
+        let epoch = self.fresh_epoch();
+        if let Some(wal) = self.wal.clone() {
+            self.pool.flush_all()?;
+            let catalog = self.encode_catalog();
+            wal.commit(epoch, &catalog)?;
+            self.last_catalog = catalog;
+        }
+        self.mvcc.commit(epoch);
+        for name in std::mem::take(&mut self.dirty_tables) {
+            if let Some(t) = self.tables.get_mut(&name) {
+                t.commit_epoch = epoch;
+            }
+        }
+        self.catalog_dirty = false;
+        *self.committed.write() = Arc::new(self.build_committed(epoch));
+        Ok(epoch)
+    }
+
+    /// Commit, then checkpoint the WAL: committed pages are written
+    /// through to the page file and fsync'd, the log rolls to a fresh
+    /// segment, and older segments are deleted. No-op (beyond the commit)
+    /// for in-memory databases.
+    pub fn checkpoint(&mut self) -> DbResult<u64> {
+        let epoch = self.commit()?;
+        if let Some(wal) = self.wal.clone() {
+            if self.last_catalog.is_empty() {
+                self.last_catalog = self.encode_catalog();
+            }
+            wal.checkpoint(epoch, &self.last_catalog)?;
+        }
+        Ok(epoch)
+    }
+
+    /// Cleanly shut down a durable database: commit and checkpoint, so the
+    /// next [`Database::open`] recovers from the checkpoint record alone.
+    pub fn close(mut self) -> DbResult<()> {
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Pin an owned, `Send + Sync` snapshot of the last committed state.
+    ///
+    /// The snapshot sees exactly the tables and rows of the commit it
+    /// pinned — scans, range scans, and point gets resolve page reads
+    /// through the MVCC version table, so a writer may keep mutating and
+    /// committing concurrently (durable databases install the
+    /// copy-on-write hooks; see [`Database::open`]). Superseded page
+    /// versions are held until the snapshot drops, then reclaimed by the
+    /// watermark GC.
+    pub fn snapshot(&self) -> DbSnapshot {
+        loop {
+            let epoch = self.mvcc.pin_snapshot();
+            let catalog = self.committed.read().clone();
+            if catalog.epoch == epoch {
+                return DbSnapshot {
+                    pool: self.pool.clone(),
+                    mvcc: self.mvcc.clone(),
+                    epoch,
+                    catalog,
+                };
+            }
+            // A commit raced between the pin and the catalog read; retry
+            // against the newer epoch.
+            self.mvcc.unpin_snapshot(epoch);
+        }
     }
 
     /// The shared buffer pool (stats, direct index construction).
@@ -175,9 +593,17 @@ impl Database {
         }
         let file = HeapFile::create(self.pool.clone())?;
         let epoch = self.fresh_epoch();
+        self.dirty_tables.insert(key.clone());
+        self.catalog_dirty = true;
         self.tables.insert(
             key,
-            Table { schema, storage: Storage::Heap { file, rows: 0 }, indexes: Vec::new(), epoch },
+            Table {
+                schema,
+                storage: Storage::Heap { file, rows: 0 },
+                indexes: Vec::new(),
+                epoch,
+                commit_epoch: 0,
+            },
         );
         Ok(())
     }
@@ -194,13 +620,19 @@ impl Database {
         if self.tables.contains_key(&key) {
             return Err(DbError::TableExists(name.to_owned()));
         }
-        assert!(!key_cols.is_empty(), "clustered table needs key columns");
+        if key_cols.is_empty() {
+            return Err(DbError::SchemaMismatch(
+                "clustered table needs at least one key column".into(),
+            ));
+        }
         let key_cols = key_cols
             .iter()
             .map(|c| schema.col(c))
             .collect::<DbResult<Vec<usize>>>()?;
         let tree = BTree::create(self.pool.clone())?;
         let epoch = self.fresh_epoch();
+        self.dirty_tables.insert(key.clone());
+        self.catalog_dirty = true;
         self.tables.insert(
             key,
             Table {
@@ -208,6 +640,7 @@ impl Database {
                 storage: Storage::Clustered { tree, key_cols },
                 indexes: Vec::new(),
                 epoch,
+                commit_epoch: 0,
             },
         );
         Ok(())
@@ -215,15 +648,20 @@ impl Database {
 
     /// Drop a table.
     pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        let key = Self::norm(name);
         self.tables
-            .remove(&Self::norm(name))
-            .map(|_| ())
+            .remove(&key)
+            .map(|_| {
+                self.dirty_tables.remove(&key);
+                self.catalog_dirty = true;
+            })
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
     /// Remove all rows (`TRUNCATE TABLE`), emptying secondary indexes too.
     pub fn truncate(&mut self, name: &str) -> DbResult<()> {
         let epoch = self.fresh_epoch();
+        self.dirty_tables.insert(Self::norm(name));
         let table = self.table_mut(name)?;
         table.epoch = epoch;
         for idx in &mut table.indexes {
@@ -242,6 +680,7 @@ impl Database {
     /// Insert one row, maintaining any secondary indexes.
     pub fn insert(&mut self, name: &str, row: Row) -> DbResult<()> {
         let epoch = self.fresh_epoch();
+        self.dirty_tables.insert(Self::norm(name));
         let table = self.table_mut(name)?;
         table.epoch = epoch;
         table.schema.check_row(row.values())?;
@@ -291,6 +730,21 @@ impl Database {
     /// contents; a mismatch — or a missing table — means stale.
     pub fn table_epoch(&self, name: &str) -> DbResult<u64> {
         Ok(self.table(name)?.epoch)
+    }
+
+    /// The table's *visible* version for derived caches: its last commit
+    /// epoch while the table has no uncommitted changes, the live mutation
+    /// epoch while it does. Under the commit protocol a cache keyed on
+    /// this value stays valid across read-only tasks (commits that touch
+    /// other tables do not move it) and invalidates the moment the table
+    /// itself changes — committed or not.
+    pub fn table_version(&self, name: &str) -> DbResult<u64> {
+        let t = self.table(name)?;
+        Ok(if self.dirty_tables.contains(&Self::norm(name)) {
+            t.epoch
+        } else {
+            t.commit_epoch
+        })
     }
 
     /// Row count.
@@ -347,6 +801,8 @@ impl Database {
             tree.insert(&encode_key(&ikey), &[])?;
         }
         t.indexes.push(SecondaryIndex { name: index.to_owned(), cols: col_ids, tree });
+        self.dirty_tables.insert(Self::norm(table));
+        self.catalog_dirty = true;
         Ok(())
     }
 
@@ -358,6 +814,7 @@ impl Database {
         if t.indexes.len() == before {
             return Err(DbError::NoSuchTable(format!("index {index}")));
         }
+        self.catalog_dirty = true;
         Ok(())
     }
 
@@ -448,6 +905,7 @@ impl Database {
     /// Delete by clustered key; `Ok(true)` if a row was removed.
     pub fn delete_by_key(&mut self, name: &str, key: &[Value]) -> DbResult<bool> {
         let epoch = self.fresh_epoch();
+        self.dirty_tables.insert(Self::norm(name));
         let table = self.table_mut(name)?;
         table.epoch = epoch;
         let Storage::Clustered { tree, .. } = &mut table.storage else {
@@ -699,7 +1157,10 @@ impl Database {
         let start = Instant::now();
         let out = body(self)?;
         let cpu = start.elapsed();
-        self.pool.flush_all();
+        self.pool.flush_all()?;
+        // Each task is one transaction: group-commit whatever it dirtied
+        // (no-op for read-only tasks, no log for in-memory databases).
+        self.commit()?;
         let io = self.pool.stats().since(&before);
         // The modeled I/O wait is not part of the measured wall time (the
         // engine never sleeps), so the measured time *is* the cpu time.
@@ -728,6 +1189,181 @@ impl std::ops::Deref for DbReader<'_> {
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<DbReader<'static>>();
+};
+
+/// An owned, pinned view of one committed transaction (see
+/// [`Database::snapshot`]). Unlike [`DbReader`], which borrows the database
+/// and therefore excludes writers, a `DbSnapshot` holds no borrow: a writer
+/// may insert and commit concurrently, and the snapshot keeps serving the
+/// rows of the epoch it pinned. Page reads resolve through the MVCC version
+/// table; dropping the snapshot releases the pin so the watermark GC can
+/// reclaim superseded versions.
+pub struct DbSnapshot {
+    pool: Arc<BufferPool>,
+    mvcc: Arc<MvccState>,
+    epoch: u64,
+    catalog: Arc<CommittedCatalog>,
+}
+
+impl DbSnapshot {
+    /// The commit epoch this snapshot is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// All table names in the pinned catalog (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// `true` when `name` existed at the pinned commit.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.tables.contains_key(&Database::norm(name))
+    }
+
+    fn table(&self, name: &str) -> DbResult<&SnapTable> {
+        self.catalog
+            .tables
+            .get(&Database::norm(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Row count of `name` at the pinned commit.
+    pub fn row_count(&self, name: &str) -> DbResult<u64> {
+        Ok(match &self.table(name)?.storage {
+            SnapStorage::Heap { rows, .. } => *rows,
+            SnapStorage::Clustered { len, .. } => *len,
+        })
+    }
+
+    fn clustered(&self, name: &str) -> DbResult<(BTree, usize)> {
+        let t = self.table(name)?;
+        let SnapStorage::Clustered { root, len, .. } = &t.storage else {
+            return Err(DbError::TypeError(format!("{name} is not clustered")));
+        };
+        Ok((
+            BTree::attach_at(self.pool.clone(), *root, *len, self.epoch),
+            t.schema.arity(),
+        ))
+    }
+
+    /// Column positions of `name`'s clustered key, as recorded at the
+    /// pinned commit.
+    pub fn clustered_key_cols(&self, name: &str) -> DbResult<Vec<usize>> {
+        match &self.table(name)?.storage {
+            SnapStorage::Clustered { key_cols, .. } => Ok(key_cols.clone()),
+            SnapStorage::Heap { .. } => {
+                Err(DbError::TypeError(format!("{name} is not clustered")))
+            }
+        }
+    }
+
+    /// Point lookup by clustered key, as of the pinned commit.
+    pub fn get(&self, name: &str, key: &[Value]) -> DbResult<Option<Row>> {
+        let (tree, arity) = self.clustered(name)?;
+        match tree.get(&encode_key(key))? {
+            Some(bytes) => Ok(Some(Row::decode(&bytes, arity)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Stream decoded rows of `name` as of the pinned commit; `visit`
+    /// returns `false` to stop early.
+    pub fn scan_with(
+        &self,
+        name: &str,
+        mut visit: impl FnMut(&Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let t = self.table(name)?;
+        let arity = t.schema.arity();
+        match &t.storage {
+            SnapStorage::Heap { pages, .. } => {
+                for &pid in pages {
+                    let cells: Vec<Vec<u8>> = self.pool.with_page_at(pid, self.epoch, |p| {
+                        page::iter(p).map(|(_, cell)| cell.to_vec()).collect()
+                    })?;
+                    for bytes in cells {
+                        if !visit(&Row::decode(&bytes, arity)?)? {
+                            return Ok(());
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SnapStorage::Clustered { root, len, .. } => {
+                let tree = BTree::attach_at(self.pool.clone(), *root, *len, self.epoch);
+                let mut err = None;
+                tree.scan_range_with(Bound::Unbounded, Bound::Unbounded, |_, payload| {
+                    match Row::decode(payload, arity).and_then(|row| visit(&row)) {
+                        Ok(more) => more,
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                })?;
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Stream raw clustered payloads in key order as of the pinned commit
+    /// (the snapshot analogue of [`Database::scan_raw`]).
+    pub fn scan_raw(&self, name: &str, mut visit: impl FnMut(&[u8]) -> bool) -> DbResult<()> {
+        let (tree, _) = self.clustered(name)?;
+        tree.scan_range_with(Bound::Unbounded, Bound::Unbounded, |_, payload| visit(payload))
+    }
+
+    /// Prefix range scan over the clustered key as of the pinned commit
+    /// (the snapshot analogue of [`Database::range_scan_prefix`]).
+    pub fn range_scan_prefix(
+        &self,
+        name: &str,
+        lo: &[Value],
+        hi: &[Value],
+        mut visit: impl FnMut(&Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let (tree, arity) = self.clustered(name)?;
+        let lo_key = encode_key(lo);
+        let mut hi_key = encode_key(hi);
+        // No encoded field begins with 0xFF, so appending it admits every
+        // extension of the hi prefix and nothing beyond it.
+        hi_key.push(0xFF);
+        let mut err = None;
+        tree.scan_range_with(
+            Bound::Included(&lo_key),
+            Bound::Included(&hi_key),
+            |_, payload| match Row::decode(payload, arity).and_then(|row| visit(&row)) {
+                Ok(more) => more,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            },
+        )?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for DbSnapshot {
+    fn drop(&mut self) {
+        self.mvcc.unpin_snapshot(self.epoch);
+    }
+}
+
+// Snapshots are built to cross threads: a pinned reader scans from a worker
+// while the owning thread keeps committing.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DbSnapshot>();
 };
 
 enum CursorPos {

@@ -28,15 +28,45 @@ pub enum DbError {
     BufferExhausted,
     /// An expression referenced an incompatible type.
     TypeError(String),
+    /// An operating-system I/O failure from the store or the WAL.
+    Io {
+        /// What the engine was doing (`"read page"`, `"fsync wal"`, ...).
+        op: String,
+        /// OS-level detail, stringified (keeps the enum `Clone + Eq`).
+        detail: String,
+        /// Whether retrying the same operation can plausibly succeed.
+        transient: bool,
+    },
+    /// The write-ahead log failed a checksum or structural check. Recovery
+    /// truncates the log instead of raising this; it surfaces only when a
+    /// caller asks for strict validation.
+    WalCorrupt(String),
 }
 
 impl DbError {
     /// Whether the failure is transient — retrying the same work (or
     /// re-planning it over smaller partitions, §2.6's memory-fit loop) can
     /// succeed. Schema and corruption errors are permanent; buffer-pool
-    /// pressure is a resource condition that a re-plan relieves.
+    /// pressure is a resource condition that a re-plan relieves, and an
+    /// interrupted/timed-out I/O may complete on retry.
     pub fn is_transient(&self) -> bool {
-        matches!(self, DbError::BufferExhausted)
+        match self {
+            DbError::BufferExhausted => true,
+            DbError::Io { transient, .. } => *transient,
+            _ => false,
+        }
+    }
+
+    /// Wrap an OS error, classifying transience by its kind: interrupted
+    /// and timed-out operations are retryable, everything else (bad fd,
+    /// full disk, permission) is permanent.
+    pub fn io(op: &str, err: &std::io::Error) -> DbError {
+        use std::io::ErrorKind;
+        let transient = matches!(
+            err.kind(),
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+        );
+        DbError::Io { op: op.to_owned(), detail: err.to_string(), transient }
     }
 }
 
@@ -54,6 +84,11 @@ impl fmt::Display for DbError {
             }
             DbError::BufferExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             DbError::TypeError(m) => write!(f, "type error: {m}"),
+            DbError::Io { op, detail, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{kind} i/o error during {op}: {detail}")
+            }
+            DbError::WalCorrupt(m) => write!(f, "wal corrupt: {m}"),
         }
     }
 }

@@ -223,16 +223,33 @@ pub struct TopN {
     seq: u64,
 }
 
-/// Heap entry ordered by a cached order-preserving byte code, so the
-/// max-heap's `Ord` bound is self-contained and comparisons are memcmp.
+/// Heap entry carrying its extracted `(key value, descending)` pairs and
+/// arrival sequence, so the max-heap's `Ord` bound is self-contained and
+/// the ranking is exactly [`cmp_rows`] — including across numeric types,
+/// where the key codec's byte order diverges (it groups by type tag,
+/// `total_cmp` compares numerically).
 struct TopNEntry {
-    code: Vec<u8>,
+    keys: Vec<(Value, bool)>,
+    seq: u64,
     row: Row,
+}
+
+impl TopNEntry {
+    fn rank(&self, other: &Self) -> Ordering {
+        for ((a, desc), (b, _)) in self.keys.iter().zip(&other.keys) {
+            let ord = a.total_cmp(b);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        self.seq.cmp(&other.seq)
+    }
 }
 
 impl PartialEq for TopNEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.code == other.code
+        self.rank(other) == Ordering::Equal
     }
 }
 impl Eq for TopNEntry {}
@@ -243,7 +260,7 @@ impl PartialOrd for TopNEntry {
 }
 impl Ord for TopNEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.code.cmp(&other.code)
+        self.rank(other)
     }
 }
 
@@ -253,38 +270,19 @@ impl TopN {
         TopN { keys, n, heap: BinaryHeap::new(), seq: 0 }
     }
 
-    /// Order-preserving byte encoding of `row`'s sort key: per-column
-    /// `encode_key` bytes (memcmp order matches `Value::total_cmp`),
-    /// bit-flipped for descending columns, with the arrival sequence
-    /// appended so equal keys rank by arrival — the stability guarantee.
-    /// Single-value encodings are never strict prefixes of one another
-    /// (numeric codes are fixed-width and tagged, text is NUL-terminated),
-    /// so concatenation preserves the lexicographic column order.
-    fn sort_code(&self, row: &Row, seq: u64) -> Vec<u8> {
-        let mut code = Vec::new();
-        for &(c, desc) in &self.keys {
-            let col = encode_key(std::slice::from_ref(&row[c]));
-            if desc {
-                code.extend(col.iter().map(|b| !b));
-            } else {
-                code.extend_from_slice(&col);
-            }
-        }
-        code.extend_from_slice(&seq.to_be_bytes());
-        code
-    }
-
     /// Offer one row; kept only if it ranks among the best `n` so far.
+    /// Equal keys rank by arrival order — the stability guarantee.
     pub fn push(&mut self, row: Row) {
         if self.n == 0 {
             return;
         }
-        let code = self.sort_code(&row, self.seq);
+        let keys = self.keys.iter().map(|&(c, desc)| (row[c].clone(), desc)).collect();
+        let entry = TopNEntry { keys, seq: self.seq, row };
         self.seq += 1;
         if self.heap.len() < self.n {
-            self.heap.push(TopNEntry { code, row });
-        } else if self.heap.peek().is_some_and(|worst| code < worst.code) {
-            self.heap.push(TopNEntry { code, row });
+            self.heap.push(entry);
+        } else if self.heap.peek().is_some_and(|worst| entry < *worst) {
+            self.heap.push(entry);
             self.heap.pop();
         }
     }

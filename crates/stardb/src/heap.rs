@@ -46,9 +46,24 @@ impl HeapFile {
         Ok(HeapFile { pool, pages: vec![first] })
     }
 
+    /// Re-attach a heap recovered from a WAL catalog: the page list was
+    /// serialized at commit, the page contents replay from the log.
+    pub fn attach(pool: Arc<BufferPool>, pages: Vec<PageId>) -> DbResult<Self> {
+        if pages.is_empty() {
+            return Err(DbError::Corrupt("recovered heap with no pages".into()));
+        }
+        Ok(HeapFile { pool, pages })
+    }
+
     /// Number of pages the heap occupies.
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+
+    /// The heap's page list, in scan order (serialized into WAL commit
+    /// catalogs; snapshot scans walk it against a pinned epoch).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
     }
 
     /// Insert a record, returning its address.
@@ -57,15 +72,23 @@ impl HeapFile {
             return Err(DbError::RecordTooLarge { size: record.len(), max: page::MAX_CELL });
         }
         inserts().incr();
-        let last = *self.pages.last().expect("heap always has a page");
+        let last = *self
+            .pages
+            .last()
+            .ok_or_else(|| DbError::Corrupt("heap lost its page list".into()))?;
         if let Some(slot) = self.pool.with_page_mut(last, |p| page::insert(p, record))? {
             return Ok(RowId { page: last, slot });
         }
         let fresh = self.pool.allocate()?;
-        let slot = self.pool.with_page_mut(fresh, |p| {
-            page::init(p);
-            page::insert(p, record).expect("fresh page must fit a max cell")
-        })?;
+        let slot = self
+            .pool
+            .with_page_mut(fresh, |p| {
+                page::init(p);
+                page::insert(p, record)
+            })?
+            .ok_or_else(|| {
+                DbError::Corrupt(format!("fresh page rejected a {}-byte cell", record.len()))
+            })?;
         self.pages.push(fresh);
         Ok(RowId { page: fresh, slot })
     }

@@ -12,17 +12,21 @@ pub mod buffer;
 pub mod error;
 pub mod heap;
 pub mod key;
+pub mod mvcc;
 pub mod page;
 pub mod row;
 pub mod schema;
 pub mod store;
 pub mod value;
+pub mod wal;
 
 pub use buffer::{BufferPool, DiskProfile, IoSnapshot};
 pub use error::{DbError, DbResult};
+pub use mvcc::MvccState;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use value::{DataType, Value};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecovery};
 
 pub mod db;
 pub mod exec;
@@ -30,7 +34,7 @@ pub mod expr;
 pub mod sql;
 pub mod stats;
 
-pub use db::{BatchScan, Cursor, Database, DbConfig, DbReader, ScanChunk};
+pub use db::{BatchScan, Cursor, Database, DbConfig, DbReader, DbSnapshot, ScanChunk};
 pub use expr::{BinOp, Expr, Func};
 pub use sql::{PlanOptions, SqlOutput};
 pub use stats::{TableStats, TaskStats};

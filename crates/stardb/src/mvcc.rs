@@ -1,0 +1,304 @@
+//! Page-level multi-versioning: snapshot visibility over the buffer pool.
+//!
+//! PR 4 gave every table a *mutation epoch* so derived caches could detect
+//! staleness. This module generalizes that counter into snapshot
+//! isolation: the first time a transaction dirties a page, the buffer pool
+//! hands the page's **committed** image to [`MvccState::before_write`],
+//! which files it as a copy-on-write version; at commit the pending
+//! versions are stamped with the commit epoch. A reader that pinned a
+//! snapshot at epoch `S` resolves every page read through
+//! [`MvccState::read_version`]: the oldest filed version still valid past
+//! `S`, or the live frame when no writer has superseded the page since.
+//!
+//! ## Visibility rule
+//!
+//! A filed version carries `valid_until = E`: it is the page's content for
+//! every snapshot `S < E` (the writer that replaced it committed at `E`).
+//! Uncommitted replacements are filed as *pending* (`valid_until = MAX`),
+//! so in-flight writes are invisible to every pinned snapshot — readers
+//! keep scanning a stable view while ingest commits concurrently.
+//!
+//! ## Watermark GC
+//!
+//! The pin table maps snapshot epoch → pin count. The GC watermark is the
+//! lowest pinned epoch; a committed version with `valid_until <= watermark`
+//! can serve no pinned reader (and no *future* reader, which would pin at
+//! least the current commit epoch) and is reclaimed. With no pins at all,
+//! every committed version is reclaimable. Counted in
+//! `stardb.mvcc.gc_reclaimed`.
+//!
+//! Lock order (shared with the pool): buffer-pool shard latch → `pins` →
+//! `versions`. [`MvccState::before_write`] runs inside the shard latch of
+//! the page being dirtied, and snapshot reads consult the version table
+//! under the same latch, so a reader can never observe a mutated frame
+//! before the pre-image that hides it is filed.
+
+use crate::store::PageId;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `valid_until` of a version filed by a transaction that has not
+/// committed yet: visible to every currently-pinnable snapshot.
+const PENDING: u64 = u64::MAX;
+
+/// One superseded page image.
+struct PageVersion {
+    /// The content is valid for snapshots `S < valid_until`
+    /// ([`PENDING`] while the superseding transaction is in flight).
+    valid_until: u64,
+    data: Arc<[u8]>,
+}
+
+#[derive(Default)]
+struct VersionTable {
+    /// Per page, ascending by `valid_until` ([`PENDING`] last, at most one).
+    versions: HashMap<PageId, Vec<PageVersion>>,
+    /// Pages already copy-on-write'd by the in-flight transaction.
+    dirty: HashSet<PageId>,
+}
+
+struct MvccObs {
+    snapshots: obs::Counter,
+    cow_pages: obs::Counter,
+    gc_reclaimed: obs::Counter,
+}
+
+/// Shared multi-version state: the copy-on-write version table, the
+/// snapshot pin table, and the last committed epoch. One per database,
+/// shared with its buffer pool and every snapshot handle.
+pub struct MvccState {
+    table: Mutex<VersionTable>,
+    /// snapshot epoch → number of outstanding pins.
+    pins: Mutex<BTreeMap<u64, usize>>,
+    last_committed: AtomicU64,
+    obs: MvccObs,
+}
+
+impl Default for MvccState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MvccState {
+    /// Fresh state: nothing committed, nothing pinned, no versions.
+    pub fn new() -> Self {
+        MvccState {
+            table: Mutex::new(VersionTable::default()),
+            pins: Mutex::new(BTreeMap::new()),
+            last_committed: AtomicU64::new(0),
+            obs: MvccObs {
+                snapshots: obs::counter("stardb.mvcc.snapshots"),
+                cow_pages: obs::counter("stardb.mvcc.cow_pages"),
+                gc_reclaimed: obs::counter("stardb.mvcc.gc_reclaimed"),
+            },
+        }
+    }
+
+    /// The epoch of the most recent commit (0 before any commit).
+    pub fn last_committed(&self) -> u64 {
+        self.last_committed.load(Ordering::Acquire)
+    }
+
+    /// File the committed image of a page the in-flight transaction is
+    /// about to dirty. Called by the buffer pool inside the page's shard
+    /// latch, *before* the mutation runs; no-op when the transaction
+    /// already owns the page (or freshly allocated it).
+    pub fn before_write(&self, id: PageId, committed_image: &[u8]) {
+        let mut t = self.table.lock();
+        if !t.dirty.insert(id) {
+            return;
+        }
+        self.obs.cow_pages.incr();
+        t.versions
+            .entry(id)
+            .or_default()
+            .push(PageVersion { valid_until: PENDING, data: Arc::from(committed_image) });
+    }
+
+    /// Mark a freshly-allocated page as owned by the in-flight transaction
+    /// without filing a version: the page has no committed predecessor and
+    /// no snapshot's catalog can reference it.
+    pub fn note_fresh(&self, id: PageId) {
+        self.table.lock().dirty.insert(id);
+    }
+
+    /// Resolve a page read at snapshot epoch `snap`: the filed image that
+    /// was current at `snap`, or `None` when the live frame is the right
+    /// answer. Runs under the page's shard latch (see module docs).
+    pub fn read_version(&self, id: PageId, snap: u64) -> Option<Arc<[u8]>> {
+        let t = self.table.lock();
+        let versions = t.versions.get(&id)?;
+        versions
+            .iter()
+            .find(|v| v.valid_until > snap)
+            .map(|v| Arc::clone(&v.data))
+    }
+
+    /// Pin a snapshot at the current commit epoch and return it. Atomic
+    /// with respect to [`MvccState::commit`]'s GC: either the pin lands
+    /// first (and its versions are retained) or the reader observes the
+    /// new epoch.
+    pub fn pin_snapshot(&self) -> u64 {
+        let mut pins = self.pins.lock();
+        let epoch = self.last_committed();
+        *pins.entry(epoch).or_insert(0) += 1;
+        self.obs.snapshots.incr();
+        epoch
+    }
+
+    /// Release one pin at `epoch`, reclaiming versions it was holding.
+    pub fn unpin_snapshot(&self, epoch: u64) {
+        let mut pins = self.pins.lock();
+        if let Some(n) = pins.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&epoch);
+            }
+        }
+        self.gc_locked(&pins);
+    }
+
+    /// Commit the in-flight transaction at `epoch`: pending versions become
+    /// valid-until-`epoch`, the dirty set resets, the commit epoch
+    /// advances, and unreachable versions are reclaimed.
+    pub fn commit(&self, epoch: u64) {
+        let pins = self.pins.lock();
+        {
+            let mut t = self.table.lock();
+            let dirty = std::mem::take(&mut t.dirty);
+            for id in dirty {
+                if let Some(versions) = t.versions.get_mut(&id) {
+                    if let Some(v) = versions.last_mut() {
+                        if v.valid_until == PENDING {
+                            v.valid_until = epoch;
+                        }
+                    }
+                }
+            }
+        }
+        self.last_committed.store(epoch, Ordering::Release);
+        self.gc_locked(&pins);
+    }
+
+    /// Reclaim versions no pinned (or future) snapshot can reach. Caller
+    /// holds the pin table.
+    fn gc_locked(&self, pins: &BTreeMap<u64, usize>) {
+        let watermark = pins.keys().next().copied();
+        let mut t = self.table.lock();
+        let mut reclaimed = 0u64;
+        t.versions.retain(|_, versions| {
+            versions.retain(|v| {
+                let keep = v.valid_until == PENDING
+                    || watermark.is_some_and(|w| v.valid_until > w);
+                if !keep {
+                    reclaimed += 1;
+                }
+                keep
+            });
+            !versions.is_empty()
+        });
+        if reclaimed > 0 {
+            self.obs.gc_reclaimed.add(reclaimed);
+        }
+    }
+
+    /// Number of filed versions (tests and stats).
+    pub fn version_count(&self) -> usize {
+        self.table.lock().versions.values().map(Vec::len).sum()
+    }
+
+    /// Number of distinct pinned snapshot epochs (tests and stats).
+    pub fn pinned_epochs(&self) -> usize {
+        self.pins.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(b: u8) -> Vec<u8> {
+        vec![b; 16]
+    }
+
+    #[test]
+    fn pending_versions_hide_inflight_writes() {
+        let m = MvccState::new();
+        let snap = m.pin_snapshot();
+        assert_eq!(snap, 0);
+        m.before_write(PageId(7), &img(1));
+        // The reader at snap 0 sees the filed committed image.
+        assert_eq!(&*m.read_version(PageId(7), snap).unwrap(), img(1).as_slice());
+        m.commit(5);
+        // Still visible to the old snapshot after commit...
+        assert_eq!(&*m.read_version(PageId(7), snap).unwrap(), img(1).as_slice());
+        // ...but a fresh snapshot reads the live frame.
+        let fresh = m.pin_snapshot();
+        assert_eq!(fresh, 5);
+        assert!(m.read_version(PageId(7), fresh).is_none());
+        m.unpin_snapshot(snap);
+        m.unpin_snapshot(fresh);
+    }
+
+    #[test]
+    fn first_dirty_files_exactly_one_version_per_txn() {
+        let m = MvccState::new();
+        let _pin = m.pin_snapshot();
+        m.before_write(PageId(1), &img(1));
+        m.before_write(PageId(1), &img(2)); // same txn: ignored
+        assert_eq!(m.version_count(), 1);
+        m.commit(3);
+        m.before_write(PageId(1), &img(3)); // next txn: filed again
+        assert_eq!(m.version_count(), 2);
+    }
+
+    #[test]
+    fn chained_versions_resolve_by_epoch() {
+        let m = MvccState::new();
+        let s0 = m.pin_snapshot(); // epoch 0
+        m.before_write(PageId(9), &img(10));
+        m.commit(2);
+        let s2 = m.pin_snapshot(); // epoch 2
+        m.before_write(PageId(9), &img(20));
+        m.commit(4);
+        // s0 wants the pre-2 image, s2 the pre-4 image, epoch-4 lives on
+        // the live frame.
+        assert_eq!(&*m.read_version(PageId(9), s0).unwrap(), img(10).as_slice());
+        assert_eq!(&*m.read_version(PageId(9), s2).unwrap(), img(20).as_slice());
+        let s4 = m.pin_snapshot();
+        assert!(m.read_version(PageId(9), s4).is_none());
+    }
+
+    #[test]
+    fn watermark_gc_reclaims_unpinned_versions() {
+        let m = MvccState::new();
+        let pin = m.pin_snapshot();
+        m.before_write(PageId(1), &img(1));
+        m.commit(2);
+        assert_eq!(m.version_count(), 1, "pinned snapshot holds the version");
+        m.unpin_snapshot(pin);
+        assert_eq!(m.version_count(), 0, "last unpin reclaims it");
+    }
+
+    #[test]
+    fn commit_with_no_pins_reclaims_immediately() {
+        let m = MvccState::new();
+        m.before_write(PageId(1), &img(1));
+        m.before_write(PageId(2), &img(2));
+        assert_eq!(m.version_count(), 2);
+        m.commit(1);
+        assert_eq!(m.version_count(), 0);
+        assert_eq!(m.pinned_epochs(), 0);
+    }
+
+    #[test]
+    fn fresh_pages_never_file_versions() {
+        let m = MvccState::new();
+        m.note_fresh(PageId(5));
+        m.before_write(PageId(5), &img(42));
+        assert_eq!(m.version_count(), 0, "fresh page has no committed predecessor");
+    }
+}

@@ -4,8 +4,10 @@
 //! the [`crate::buffer::BufferPool`], which is where logical/physical I/O
 //! accounting happens. The in-memory [`MemStore`] stands in for the disk
 //! subsystem of the paper's SQL Server machines; a latency profile on the
-//! buffer pool models its cost.
+//! buffer pool models its cost. [`FileStore`] is the persistence path the
+//! WAL commits through (see [`crate::wal`]).
 
+use crate::error::{DbError, DbResult};
 use crate::page::PAGE_SIZE;
 use parking_lot::RwLock;
 
@@ -24,16 +26,24 @@ impl std::fmt::Display for PageId {
 
 /// Backing storage for pages. Implementations must be thread-safe; the
 /// buffer pool serializes access but stats collectors may observe sizes
-/// concurrently.
+/// concurrently. All operations are fallible: real disks fail, and the
+/// engine classifies those failures through [`DbError::is_transient`].
 pub trait PageStore: Send + Sync {
     /// Read page `id` into `buf` (`PAGE_SIZE` bytes).
-    fn read_page(&self, id: PageId, buf: &mut [u8]);
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> DbResult<()>;
     /// Write `buf` to page `id`.
-    fn write_page(&self, id: PageId, buf: &[u8]);
+    fn write_page(&self, id: PageId, buf: &[u8]) -> DbResult<()>;
     /// Allocate a fresh zeroed page and return its id.
-    fn allocate(&self) -> PageId;
+    fn allocate(&self) -> DbResult<PageId>;
     /// Number of allocated pages.
     fn page_count(&self) -> u32;
+    /// Make every completed write durable (`fsync`). Stores without a
+    /// durability boundary (the in-memory store) are free to no-op; the
+    /// WAL calls this at commit/checkpoint boundaries so "committed" can
+    /// never mean "sitting in the OS page cache".
+    fn sync(&self) -> DbResult<()> {
+        Ok(())
+    }
 }
 
 /// An in-memory page store.
@@ -55,20 +65,28 @@ impl MemStore {
 }
 
 impl PageStore for MemStore {
-    fn read_page(&self, id: PageId, buf: &mut [u8]) {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> DbResult<()> {
         let pages = self.pages.read();
-        buf.copy_from_slice(&pages[id.0 as usize]);
+        let page = pages
+            .get(id.0 as usize)
+            .ok_or_else(|| DbError::Corrupt(format!("read of unallocated page {id}")))?;
+        buf.copy_from_slice(page);
+        Ok(())
     }
 
-    fn write_page(&self, id: PageId, buf: &[u8]) {
+    fn write_page(&self, id: PageId, buf: &[u8]) -> DbResult<()> {
         let mut pages = self.pages.write();
-        pages[id.0 as usize].copy_from_slice(buf);
+        let page = pages
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| DbError::Corrupt(format!("write of unallocated page {id}")))?;
+        page.copy_from_slice(buf);
+        Ok(())
     }
 
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> DbResult<PageId> {
         let mut pages = self.pages.write();
         pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
-        PageId(pages.len() as u32 - 1)
+        Ok(PageId(pages.len() as u32 - 1))
     }
 
     fn page_count(&self) -> u32 {
@@ -89,18 +107,33 @@ impl FileStore {
     /// Open (or create) a store at `path`. Existing pages are preserved:
     /// the page count is recovered from the file length.
     pub fn open(path: &std::path::Path) -> std::io::Result<FileStore> {
+        Self::open_inner(path, false)
+    }
+
+    /// Open for crash recovery: a trailing partial page (a write torn by
+    /// power loss mid-extension) is truncated away instead of rejected.
+    /// The WAL replays any committed content the truncation discards.
+    pub fn open_repair(path: &std::path::Path) -> std::io::Result<FileStore> {
+        Self::open_inner(path, true)
+    }
+
+    fn open_inner(path: &std::path::Path, repair: bool) -> std::io::Result<FileStore> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
-        let len = file.metadata()?.len();
+        let mut len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("store file length {len} is not a multiple of the page size"),
-            ));
+            if !repair {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("store file length {len} is not a multiple of the page size"),
+                ));
+            }
+            len -= len % PAGE_SIZE as u64;
+            file.set_len(len)?;
         }
         Ok(FileStore {
             file: RwLock::new(file),
@@ -110,32 +143,39 @@ impl FileStore {
 }
 
 impl PageStore for FileStore {
-    fn read_page(&self, id: PageId, buf: &mut [u8]) {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> DbResult<()> {
         use std::os::unix::fs::FileExt;
         let file = self.file.read();
         file.read_exact_at(buf, u64::from(id.0) * PAGE_SIZE as u64)
-            .expect("page read within allocated range");
+            .map_err(|e| DbError::io("read page", &e))
     }
 
-    fn write_page(&self, id: PageId, buf: &[u8]) {
+    fn write_page(&self, id: PageId, buf: &[u8]) -> DbResult<()> {
         use std::os::unix::fs::FileExt;
         let file = self.file.read();
         file.write_all_at(buf, u64::from(id.0) * PAGE_SIZE as u64)
-            .expect("page write within allocated range");
+            .map_err(|e| DbError::io("write page", &e))
     }
 
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> DbResult<PageId> {
         use std::os::unix::fs::FileExt;
         let id = self.pages.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         // Extend the file with a zeroed page so reads are always valid.
         let file = self.file.read();
         file.write_all_at(&[0u8; PAGE_SIZE], u64::from(id) * PAGE_SIZE as u64)
-            .expect("extend store file");
-        PageId(id)
+            .map_err(|e| DbError::io("extend store", &e))?;
+        Ok(PageId(id))
     }
 
     fn page_count(&self) -> u32 {
         self.pages.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn sync(&self) -> DbResult<()> {
+        self.file
+            .read()
+            .sync_all()
+            .map_err(|e| DbError::io("fsync store", &e))
     }
 }
 
@@ -146,8 +186,8 @@ mod tests {
     #[test]
     fn allocate_is_sequential() {
         let s = MemStore::new();
-        assert_eq!(s.allocate(), PageId(0));
-        assert_eq!(s.allocate(), PageId(1));
+        assert_eq!(s.allocate().unwrap(), PageId(0));
+        assert_eq!(s.allocate().unwrap(), PageId(1));
         assert_eq!(s.page_count(), 2);
         assert_eq!(s.bytes(), 2 * PAGE_SIZE);
     }
@@ -155,23 +195,32 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let s = MemStore::new();
-        let id = s.allocate();
+        let id = s.allocate().unwrap();
         let mut data = vec![0u8; PAGE_SIZE];
         data[0] = 0xAB;
         data[PAGE_SIZE - 1] = 0xCD;
-        s.write_page(id, &data);
+        s.write_page(id, &data).unwrap();
         let mut back = vec![0u8; PAGE_SIZE];
-        s.read_page(id, &mut back);
+        s.read_page(id, &mut back).unwrap();
         assert_eq!(back, data);
     }
 
     #[test]
     fn fresh_pages_are_zeroed() {
         let s = MemStore::new();
-        let id = s.allocate();
+        let id = s.allocate().unwrap();
         let mut buf = vec![1u8; PAGE_SIZE];
-        s.read_page(id, &mut buf);
+        s.read_page(id, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unallocated_access_is_an_error_not_a_panic() {
+        let s = MemStore::new();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(matches!(s.read_page(PageId(3), &mut buf), Err(DbError::Corrupt(_))));
+        assert!(matches!(s.write_page(PageId(3), &buf), Err(DbError::Corrupt(_))));
+        assert!(s.sync().is_ok(), "memory store sync is a no-op");
     }
 
     fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -183,22 +232,23 @@ mod tests {
         let path = temp_path("roundtrip");
         {
             let s = FileStore::open(&path).unwrap();
-            let a = s.allocate();
-            let b = s.allocate();
+            let a = s.allocate().unwrap();
+            let b = s.allocate().unwrap();
             let mut data = vec![0u8; PAGE_SIZE];
             data[0] = 0xAA;
-            s.write_page(a, &data);
+            s.write_page(a, &data).unwrap();
             data[0] = 0xBB;
-            s.write_page(b, &data);
+            s.write_page(b, &data).unwrap();
+            s.sync().unwrap();
             assert_eq!(s.page_count(), 2);
         }
         // Reopen: pages persist across process-lifetime boundaries.
         let s = FileStore::open(&path).unwrap();
         assert_eq!(s.page_count(), 2);
         let mut buf = vec![0u8; PAGE_SIZE];
-        s.read_page(PageId(0), &mut buf);
+        s.read_page(PageId(0), &mut buf).unwrap();
         assert_eq!(buf[0], 0xAA);
-        s.read_page(PageId(1), &mut buf);
+        s.read_page(PageId(1), &mut buf).unwrap();
         assert_eq!(buf[0], 0xBB);
         std::fs::remove_file(&path).ok();
     }
@@ -207,9 +257,9 @@ mod tests {
     fn file_store_fresh_pages_zeroed() {
         let path = temp_path("zeroed");
         let s = FileStore::open(&path).unwrap();
-        let id = s.allocate();
+        let id = s.allocate().unwrap();
         let mut buf = vec![7u8; PAGE_SIZE];
-        s.read_page(id, &mut buf);
+        s.read_page(id, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
         std::fs::remove_file(&path).ok();
     }
@@ -219,6 +269,21 @@ mod tests {
         let path = temp_path("torn");
         std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
         assert!(FileStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_repair_truncates_torn_tail() {
+        let path = temp_path("repair");
+        let mut bytes = vec![0u8; 2 * PAGE_SIZE + 17];
+        bytes[0] = 0x11;
+        bytes[PAGE_SIZE] = 0x22;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = FileStore::open_repair(&path).unwrap();
+        assert_eq!(s.page_count(), 2, "partial third page is dropped");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        s.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x22, "whole pages survive repair");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -28,6 +28,13 @@ METRICS = [
     ("stardb.buffer.latch_waits", "counter"),
     ("stardb.plan.full_scans", "counter"),
     ("stardb.plan.rows_pruned", "counter"),
+    ("stardb.wal.appends", "counter"),
+    ("stardb.wal.fsyncs", "counter"),
+    ("stardb.wal.recoveries", "counter"),
+    ("stardb.wal.torn_pages", "counter"),
+    ("stardb.mvcc.snapshots", "counter"),
+    ("stardb.mvcc.cow_pages", "counter"),
+    ("stardb.mvcc.gc_reclaimed", "counter"),
 ]
 
 

@@ -1,0 +1,247 @@
+//! Crash-recovery drills: kill the process at a seed-chosen WAL offset
+//! mid-ingest, reopen, and require recovery to land on the last consistent
+//! commit — no torn batches, no lost committed rows, byte-identical tables.
+//!
+//! The drill is a real `abort()` in a subprocess (the `crash_drill_child`
+//! test below re-invoked via `current_exe`), not a simulated error return:
+//! the child arms [`stardb::Wal::arm_crash_point`], ingests fixed-size
+//! batches with one commit per batch, and drops a marker file after each
+//! commit returns. The parent then reopens the database and checks the
+//! recovery invariants against the marker count. Kill offsets come from
+//! [`gridsim::crash_offset`], so every drill is replayable from its seed.
+
+use stardb::{Column, DataType, Database, DbConfig, Row, Schema, Value, WalConfig};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+const BATCH_ROWS: u64 = 64;
+const MAX_BATCHES: u64 = 96;
+/// Kill-offset window: past the first append, comfortably inside the
+/// bytes a full drill ingest writes (~96 batches x >=1 page image).
+const CRASH_LO: u64 = 4_096;
+const CRASH_HI: u64 = 500_000;
+
+fn drill_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("objid", DataType::BigInt),
+        Column::new("ra", DataType::Float),
+        Column::new("dec", DataType::Float),
+        Column::new("batch", DataType::Int),
+    ])
+}
+
+/// Deterministic batch content shared by the child and the clean
+/// reference build — recovery is checked bit for bit against it.
+fn apply_batch(db: &mut Database, seed: u64, batch: u64) {
+    for j in 0..BATCH_ROWS {
+        let objid = (batch * BATCH_ROWS + j) as i64;
+        let mix = gridsim::faults::mix64(seed ^ objid as u64);
+        let row = Row(vec![
+            Value::BigInt(objid),
+            Value::Float(180.0 + (mix % 10_000) as f64 * 1e-4),
+            Value::Float(-0.5 + (mix >> 32 & 0xffff) as f64 * 1e-5),
+            Value::Int(batch as i32),
+        ]);
+        db.insert("drill", row).unwrap();
+    }
+    db.commit().unwrap();
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "stardb-crash-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn scan_bytes(db: &Database, name: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    db.scan_raw(name, |p| {
+        out.extend_from_slice(p);
+        true
+    })
+    .unwrap();
+    out
+}
+
+fn marker_count(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with("marker."))
+        .count() as u64
+}
+
+/// Child body: runs only when the parent drill re-invokes this binary with
+/// `CRASH_DIR` set; a plain `cargo test` run sees it pass as a no-op.
+/// Ingests batches until the armed crash point aborts the process.
+#[test]
+fn crash_drill_child() {
+    let Ok(dir) = std::env::var("CRASH_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let seed: u64 = std::env::var("CRASH_SEED").unwrap().parse().unwrap();
+    let crash_at: u64 = std::env::var("CRASH_AT").unwrap().parse().unwrap();
+
+    let mut db = Database::open(&dir.join("db"), DbConfig::tiny(256), WalConfig::default())
+        .expect("child open");
+    db.wal().expect("durable db has a wal").arm_crash_point(crash_at);
+    db.create_clustered_table("drill", drill_schema(), &["objid"]).unwrap();
+    db.commit().unwrap();
+    for batch in 0..MAX_BATCHES {
+        apply_batch(&mut db, seed, batch);
+        // The marker records that this batch's commit *returned*; the
+        // abort happens inside a WAL append, so every marker implies a
+        // synced commit record the recovery pass must honor.
+        std::fs::write(dir.join(format!("marker.{batch:04}")), b"ok").unwrap();
+    }
+}
+
+/// One drill at one seed: spawn the child, let it die at the armed
+/// offset, reopen, and check the recovery invariants.
+fn run_drill(seed: u64) {
+    let dir = tmpdir("drill");
+    let crash_at = gridsim::crash_offset(seed, "wal-drill", CRASH_LO, CRASH_HI);
+
+    let exe = std::env::current_exe().unwrap();
+    let status = Command::new(&exe)
+        .args(["crash_drill_child", "--exact", "--test-threads=1"])
+        .env("CRASH_DIR", &dir)
+        .env("CRASH_SEED", seed.to_string())
+        .env("CRASH_AT", crash_at.to_string())
+        .status()
+        .expect("spawn crash drill child");
+    assert!(
+        !status.success(),
+        "seed {seed}: child must die at offset {crash_at}, not finish {MAX_BATCHES} batches"
+    );
+
+    let markers = marker_count(&dir);
+    let db = Database::open(&dir.join("db"), DbConfig::tiny(256), WalConfig::default())
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+
+    let rows = match db.row_count("drill") {
+        Ok(n) => n,
+        // Death before the schema commit: nothing durable yet, so no
+        // batch may have been marked either.
+        Err(_) => {
+            assert_eq!(markers, 0, "seed {seed}: markers without a recovered table");
+            return;
+        }
+    };
+    // Whole batches only: a torn batch must never be partially visible.
+    assert_eq!(rows % BATCH_ROWS, 0, "seed {seed}: partial batch visible after recovery");
+    let recovered = rows / BATCH_ROWS;
+    // Every marked (returned) commit is durable; at most one further
+    // commit can have hit the disk without its marker being written.
+    assert!(
+        recovered == markers || recovered == markers + 1,
+        "seed {seed}: recovered {recovered} batches, markers say {markers}"
+    );
+
+    // Byte-identical to a clean build of the same committed prefix.
+    let mut reference = Database::new(DbConfig::in_memory());
+    reference.create_clustered_table("drill", drill_schema(), &["objid"]).unwrap();
+    for batch in 0..recovered {
+        apply_batch(&mut reference, seed, batch);
+    }
+    assert_eq!(
+        scan_bytes(&db, "drill"),
+        scan_bytes(&reference, "drill"),
+        "seed {seed}: recovered table diverges from clean reference"
+    );
+}
+
+fn drill_seeds() -> Vec<u64> {
+    match std::env::var("STARDB_CRASH_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| t.trim().parse().expect("STARDB_CRASH_SEEDS: comma-separated u64s"))
+            .collect(),
+        Err(_) => vec![11, 29, 47],
+    }
+}
+
+#[test]
+fn kill_at_random_lsn_recovers_to_consistent_epoch() {
+    if std::env::var("CRASH_DIR").is_ok() {
+        // We *are* a child process; only crash_drill_child may run here.
+        return;
+    }
+    for seed in drill_seeds() {
+        run_drill(seed);
+    }
+}
+
+/// MVCC half of the drill: a reader that pinned a snapshot before ingest
+/// must see a byte-identical table on every scan while a writer commits
+/// batch after batch under it.
+#[test]
+fn pinned_reader_stable_during_concurrent_commits() {
+    if std::env::var("CRASH_DIR").is_ok() {
+        return;
+    }
+    let dir = tmpdir("snap");
+    let mut db =
+        Database::open(&dir.join("db"), DbConfig::tiny(256), WalConfig::default()).unwrap();
+    db.create_clustered_table("drill", drill_schema(), &["objid"]).unwrap();
+    db.commit().unwrap();
+    for batch in 0..4 {
+        apply_batch(&mut db, 7, batch);
+    }
+
+    let snap = db.snapshot();
+    let baseline = {
+        let mut out = Vec::new();
+        snap.scan_raw("drill", |p| {
+            out.extend_from_slice(p);
+            true
+        })
+        .unwrap();
+        out
+    };
+    assert!(!baseline.is_empty());
+
+    let done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut scans = 0u64;
+            loop {
+                let stop = done.load(Ordering::Acquire);
+                let mut now = Vec::new();
+                snap.scan_raw("drill", |p| {
+                    now.extend_from_slice(p);
+                    true
+                })
+                .unwrap();
+                assert_eq!(now, baseline, "pinned snapshot changed under a concurrent commit");
+                scans += 1;
+                if stop {
+                    return scans;
+                }
+            }
+        })
+    };
+
+    for batch in 4..24 {
+        apply_batch(&mut db, 7, batch);
+    }
+    done.store(true, Ordering::Release);
+    let scans = reader.join().expect("reader thread");
+    assert!(scans > 0);
+
+    // The live database (and a fresh snapshot) see every committed batch.
+    assert_eq!(db.row_count("drill").unwrap(), 24 * BATCH_ROWS);
+    assert_eq!(db.snapshot().row_count("drill").unwrap(), 24 * BATCH_ROWS);
+    db.close().unwrap();
+}

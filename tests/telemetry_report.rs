@@ -10,6 +10,7 @@ use skycore::kcorr::KcorrTable;
 use skycore::types::{Candidate, Cluster, ClusterMember};
 use skycore::SkyRegion;
 use skysim::{Sky, SkyConfig};
+use stardb::{Column, DataType, Database, DbConfig, Row, Schema, Value, WalConfig};
 use std::sync::Mutex;
 
 /// These tests flip and reset process-global telemetry state; serialize
@@ -36,7 +37,52 @@ fn tiny_run_with(
     maxbcg::region_query::count_in_region(db.db_mut(), &import.shrunk(0.25)).expect("count");
     let mut members = db.members().expect("members");
     members.sort_by_key(|m| (m.cluster_objid, m.galaxy_objid));
+    // A small durable round so the stardb.wal.* / stardb.mvcc.* counters
+    // register alongside the in-memory pipeline's (the catalog tuple
+    // returned below is untouched by it).
+    durable_exercise(label);
     (db.candidates().expect("candidates"), db.clusters().expect("clusters"), members)
+}
+
+/// Exercise the durability path end to end: commits through the WAL, a
+/// pinned snapshot riding over a concurrent commit (copy-on-write), a
+/// garbage log tail (torn-record detection), and a recovery reopen.
+fn durable_exercise(label: &str) {
+    let dir =
+        std::env::temp_dir().join(format!("stardb-telemetry-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let schema = Schema::new(vec![
+        Column::new("objid", DataType::BigInt),
+        Column::new("v", DataType::Float),
+    ]);
+    let put = |db: &mut Database, range: std::ops::Range<i64>| {
+        for i in range {
+            db.insert("t", Row(vec![Value::BigInt(i), Value::Float(i as f64)])).unwrap();
+        }
+        db.commit().unwrap();
+    };
+    {
+        let mut db =
+            Database::open(&dir, DbConfig::tiny(64), WalConfig::default()).expect("open durable");
+        db.create_clustered_table("t", schema, &["objid"]).unwrap();
+        put(&mut db, 0..32);
+        let snap = db.snapshot();
+        put(&mut db, 32..64); // copy-on-write under the pin
+        assert_eq!(snap.row_count("t").unwrap(), 32, "pinned snapshot moved");
+        drop(snap);
+        put(&mut db, 64..96); // watermark advance reclaims the versions
+        drop(db); // no close(): the log must carry the state to recovery
+    }
+    // Garbage tail: recovery must detect it by checksum and truncate.
+    use std::io::Write as _;
+    let log = dir.join("wal").join("wal.000000.log");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&log).expect("wal segment");
+    f.write_all(&[0xAB; 48]).unwrap();
+    drop(f);
+    let db = Database::open(&dir, DbConfig::tiny(64), WalConfig::default()).expect("recovery");
+    assert_eq!(db.row_count("t").unwrap(), 96, "recovery lost committed rows");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Counters the acceptance criteria name: buffer hit/miss and page I/O
@@ -64,6 +110,13 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "maxbcg.catalog.galaxies",
     "maxbcg.zonecache.builds",
     "maxbcg.zonecache.hits",
+    "stardb.wal.appends",
+    "stardb.wal.fsyncs",
+    "stardb.wal.recoveries",
+    "stardb.wal.torn_pages",
+    "stardb.mvcc.snapshots",
+    "stardb.mvcc.cow_pages",
+    "stardb.mvcc.gc_reclaimed",
 ];
 
 #[test]
@@ -88,6 +141,13 @@ fn table1_run_report_is_complete_and_round_trips() {
         "every logical read is a hit or a miss"
     );
     assert_eq!(report.counters["maxbcg.pipeline.runs"], 1);
+    // The durability round really exercised the WAL and MVCC paths.
+    assert!(report.counters["stardb.wal.appends"] > 0);
+    assert!(report.counters["stardb.wal.fsyncs"] > 0);
+    assert!(report.counters["stardb.wal.recoveries"] >= 1);
+    assert!(report.counters["stardb.wal.torn_pages"] >= 1);
+    assert!(report.counters["stardb.mvcc.snapshots"] >= 1);
+    assert!(report.counters["stardb.mvcc.cow_pages"] > 0);
 
     // Spans: the run is a root span, the Table 1 tasks nest under it.
     let root = report
