@@ -1,0 +1,40 @@
+use stardb::store::{MemStore, PageStore};
+use stardb::wal::{Wal, WalConfig};
+use std::sync::Arc;
+
+#[test]
+fn reopen_then_commit_preserves_prior_commits() {
+    let dir = std::env::temp_dir().join(format!("stardb-review-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(MemStore::new());
+    let p0 = store.allocate().unwrap();
+    let p1 = store.allocate().unwrap();
+    // Process 1: commit page p0, crash (no checkpoint).
+    {
+        let (wal, _) = Wal::open(&dir, WalConfig::default(), store.clone()).unwrap();
+        wal.write_page(p0, &vec![0xA1u8; stardb::page::PAGE_SIZE]).unwrap();
+        wal.commit(1, b"cat1").unwrap();
+    }
+    // Process 2: recover, commit a different page p1, crash.
+    {
+        let store2 = Arc::new(MemStore::new());
+        store2.allocate().unwrap();
+        store2.allocate().unwrap();
+        let (wal, rec) = Wal::open(&dir, WalConfig::default(), store2).unwrap();
+        assert_eq!(rec.epoch, 1);
+        wal.write_page(p1, &vec![0xB2u8; stardb::page::PAGE_SIZE]).unwrap();
+        wal.commit(2, b"cat2").unwrap();
+    }
+    // Process 3: recover; BOTH committed pages must replay.
+    let store3 = Arc::new(MemStore::new());
+    store3.allocate().unwrap();
+    store3.allocate().unwrap();
+    let (wal, rec) = Wal::open(&dir, WalConfig::default(), store3).unwrap();
+    assert_eq!(rec.epoch, 2, "latest commit epoch");
+    let mut buf = vec![0u8; stardb::page::PAGE_SIZE];
+    wal.read_page(p1, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xB2, "second commit survives");
+    wal.read_page(p0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xA1, "FIRST commit must also survive the reopen");
+    let _ = std::fs::remove_dir_all(&dir);
+}
