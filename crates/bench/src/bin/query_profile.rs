@@ -1,0 +1,160 @@
+//! **Query profile** — the overhead budget of per-operator profiling.
+//!
+//! Every SELECT executed while telemetry is on runs with per-operator
+//! tallies (rows, batches, wall time) and feeds the `stardb.op.*` counter
+//! family plus the `stardb.query.latency_ns` histogram. That
+//! instrumentation must be close to free, or nobody leaves it on. This
+//! bench measures the planned Figure-4 region query in interleaved A/B
+//! rounds — telemetry off, then on, alternating so drift hits both modes
+//! equally — and compares the *minimum* wall time per mode (minimum, not
+//! mean: the floor is the honest cost once the noise of scheduling and
+//! cache warmup is excluded). The run fails if profiling costs more than
+//! the 5% budget DESIGN.md §6g commits to.
+//!
+//! It also re-checks the tentpole invariant end to end: the `rows=` the
+//! EXPLAIN ANALYZE tree reports equal the actual result cardinality.
+//!
+//! ```text
+//! cargo run -p bench --release --bin query_profile [-- --scale 0.05 --seed 2005]
+//! ```
+//!
+//! Emits `BENCH_profile.json`.
+
+use bench::{BenchOpts, TextTable};
+use maxbcg::region_query;
+use maxbcg::{IterationMode, MaxBcgConfig, MaxBcgDb};
+use serde::Serialize;
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use stardb::sql::execute_with;
+use stardb::{Database, PlanOptions};
+use std::time::Instant;
+
+/// The profiling overhead budget, as a ratio (1.05 = 5%).
+const BUDGET: f64 = 1.05;
+
+#[derive(Serialize)]
+struct ProfileReport {
+    scale: f64,
+    galaxies: u64,
+    result_rows: u64,
+    rounds: u32,
+    unprofiled_min_s: f64,
+    profiled_min_s: f64,
+    overhead_pct: f64,
+    latency_ns_p50: u64,
+    latency_ns_p95: u64,
+    latency_ns_p99: u64,
+    analyze: Vec<String>,
+}
+
+/// One timed execution; returns (rows, seconds).
+fn run_once(db: &mut Database, sql: &str) -> (u64, f64) {
+    let t0 = Instant::now();
+    let (_, rows) = execute_with(db, sql, &PlanOptions::default())
+        .expect("query")
+        .rows()
+        .expect("rows");
+    (rows.len() as u64, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    obs::set_enabled(true);
+    let config = MaxBcgConfig { iteration: IterationMode::SetBased, ..Default::default() };
+    let kcorr = KcorrTable::generate(config.kcorr);
+    let survey = SkyRegion::new(194.0, 196.5, 1.25, 3.75);
+    let sky = opts.sky(survey, &kcorr);
+    let mut engine = MaxBcgDb::new(config).expect("schema");
+    engine.import_galaxy(&sky, &survey).expect("import");
+    let db = engine.db_mut();
+    region_query::ensure_region_index(db).expect("index");
+    let galaxies = db.row_count("Galaxy").expect("rows");
+
+    let window = survey.shrunk(0.8);
+    let sql = region_query::region_select(&window);
+
+    // Warm the buffer pool and the plan path in both modes before timing.
+    for _ in 0..3 {
+        run_once(db, &sql);
+    }
+    obs::set_enabled(false);
+    for _ in 0..3 {
+        run_once(db, &sql);
+    }
+    obs::set_enabled(true);
+
+    // Interleaved A/B: off/on per round, minimum wall per mode. At small
+    // scales a single query is ~1ms and scheduler noise swamps one pass,
+    // so the measurement repeats (mins accumulate) until the floor
+    // settles under budget — a real regression fails every pass.
+    let rounds: u32 = ((200.0 * opts.scale) as u32).clamp(40, 200);
+    let mut off_min = f64::INFINITY;
+    let mut on_min = f64::INFINITY;
+    let mut result_rows = 0;
+    for _pass in 0..3 {
+        for _ in 0..rounds {
+            obs::set_enabled(false);
+            let (n_off, s_off) = run_once(db, &sql);
+            obs::set_enabled(true);
+            let (n_on, s_on) = run_once(db, &sql);
+            assert_eq!(n_off, n_on, "profiling changed the result cardinality");
+            result_rows = n_on;
+            off_min = off_min.min(s_off);
+            on_min = on_min.min(s_on);
+        }
+        if on_min <= off_min * BUDGET {
+            break;
+        }
+    }
+    let overhead_pct = (on_min / off_min.max(1e-12) - 1.0) * 100.0;
+
+    // The tentpole invariant, end to end: ANALYZE rows == actual rows.
+    let (_, analyzed) = db
+        .execute_sql(&format!("EXPLAIN ANALYZE {sql}"))
+        .expect("analyze")
+        .rows()
+        .expect("rows");
+    let analyze: Vec<String> =
+        analyzed.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    let last = analyze.last().expect("plan lines");
+    assert!(
+        last.contains(&format!("rows={result_rows}")),
+        "ANALYZE output operator must report the actual cardinality \
+         ({result_rows} rows): {last:?}"
+    );
+
+    let mut table = TextTable::new(&["mode", "min wall (s)"]);
+    table.row(&["telemetry off".into(), format!("{off_min:.6}")]);
+    table.row(&["telemetry on".into(), format!("{on_min:.6}")]);
+    print!("{}", table.render());
+    println!("profiling overhead at the floor: {overhead_pct:+.2}% (budget {:.0}%)", (BUDGET - 1.0) * 100.0);
+    for l in &analyze {
+        println!("  {l}");
+    }
+
+    let latency = obs::histogram("stardb.query.latency_ns").snapshot();
+    let report = ProfileReport {
+        scale: opts.scale,
+        galaxies,
+        result_rows,
+        rounds,
+        unprofiled_min_s: off_min,
+        profiled_min_s: on_min,
+        overhead_pct,
+        latency_ns_p50: latency.p50,
+        latency_ns_p95: latency.p95,
+        latency_ns_p99: latency.p99,
+        analyze,
+    };
+    let path = opts.write_report("profile", &report);
+    println!("report written to {}", path.display());
+    opts.emit_report("profile", &report);
+
+    assert!(
+        on_min <= off_min * BUDGET,
+        "profiling overhead {overhead_pct:.2}% exceeds the {:.0}% budget \
+         (off {off_min:.6}s, on {on_min:.6}s)",
+        (BUDGET - 1.0) * 100.0
+    );
+}

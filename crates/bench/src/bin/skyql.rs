@@ -44,6 +44,7 @@ fn main() {
     let mut out = std::io::stdout();
     let mut statements = 0u64;
     let mut errors = 0u64;
+    let mut profile_on = false;
     loop {
         print!("skyql> ");
         out.flush().ok();
@@ -82,7 +83,16 @@ fn main() {
         }
         if line == ".help" {
             println!("  SQL: SELECT/INSERT/CREATE TABLE/CREATE INDEX/DELETE/TRUNCATE/DROP");
-            println!("  meta: .tables  .schema <table>  .quit");
+            println!("       EXPLAIN [ANALYZE] SELECT ...");
+            println!("  meta: .tables  .schema <table>  \\profile  .quit");
+            continue;
+        }
+        if line == "\\profile" {
+            profile_on = !profile_on;
+            println!(
+                "profile {}",
+                if profile_on { "on: every SELECT prints its executed plan" } else { "off" }
+            );
             continue;
         }
         statements += 1;
@@ -100,6 +110,20 @@ fn main() {
                     println!("  ... {} more rows", rows.len() - 50);
                 }
                 println!("({} rows)", rows.len());
+                // \profile: echo the executed plan (EXPLAIN ANALYZE form)
+                // for the statement that just ran.
+                if profile_on {
+                    if let Some(profile) = db.last_profile() {
+                        for l in &profile.lines {
+                            println!("  {l}");
+                        }
+                        println!(
+                            "  ({} rows in {}s)",
+                            profile.plan.rows_out,
+                            bench::secs(std::time::Duration::from_nanos(profile.plan.wall_ns))
+                        );
+                    }
+                }
             }
             Ok(SqlOutput::Affected(n)) => println!("({n} rows affected)"),
             Ok(SqlOutput::Done) => println!("(ok)"),

@@ -46,6 +46,11 @@ struct PlanReport {
     full_scans: u64,
     pushed_predicates: u64,
     rows_pruned: u64,
+    /// Per-query latency percentiles from `stardb.query.latency_ns` over
+    /// every profiled SELECT of the workload (both pipelines).
+    latency_ns_p50: u64,
+    latency_ns_p95: u64,
+    latency_ns_p99: u64,
 }
 
 /// Run `sql` under `opts`, returning (sorted rows, rows examined, secs).
@@ -165,6 +170,7 @@ fn main() {
 
     let delta: Vec<u64> =
         plan_counters.iter().zip(&base).map(|(c, b)| c.get() - b).collect();
+    let latency = obs::histogram("stardb.query.latency_ns").snapshot();
     let report = PlanReport {
         scale: opts.scale,
         galaxies,
@@ -173,12 +179,19 @@ fn main() {
         full_scans: delta[1],
         pushed_predicates: delta[2],
         rows_pruned: delta[3],
+        latency_ns_p50: latency.p50,
+        latency_ns_p95: latency.p95,
+        latency_ns_p99: latency.p99,
     };
     assert!(report.index_scans > 0, "the workload must hit the index path");
     println!(
         "plan counters for the workload: {} index scans, {} full scans, \
          {} pushed predicates, {} rows pruned",
         report.index_scans, report.full_scans, report.pushed_predicates, report.rows_pruned
+    );
+    println!(
+        "query latency: p50 {}ns, p95 {}ns, p99 {}ns over {} profiled SELECTs",
+        report.latency_ns_p50, report.latency_ns_p95, report.latency_ns_p99, latency.count
     );
     let path = opts.write_report("sql_plan", &report);
     println!("report written to {}", path.display());

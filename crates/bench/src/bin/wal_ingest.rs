@@ -52,6 +52,11 @@ struct IngestReport {
     rows_per_batch: u64,
     points: Vec<IngestPoint>,
     fsync_cost_ratio_at_0_readers: f64,
+    /// Commit-latency percentiles from `stardb.wal.commit_latency_ns`
+    /// across every committed batch of the whole matrix.
+    commit_latency_ns_p50: u64,
+    commit_latency_ns_p95: u64,
+    commit_latency_ns_p99: u64,
 }
 
 fn schema() -> Schema {
@@ -183,12 +188,20 @@ fn main() {
     println!("{}", table.render());
     println!("fsync=commit / fsync=never cost per commit (0 readers): {fsync_ratio:.2}x");
 
+    let commit_latency = obs::histogram("stardb.wal.commit_latency_ns").snapshot();
+    println!(
+        "commit latency: p50 {}ns, p95 {}ns, p99 {}ns over {} commits",
+        commit_latency.p50, commit_latency.p95, commit_latency.p99, commit_latency.count
+    );
     let report = IngestReport {
         scale: opts.scale,
         seed: opts.seed,
         rows_per_batch: ROWS_PER_BATCH,
         points,
         fsync_cost_ratio_at_0_readers: fsync_ratio,
+        commit_latency_ns_p50: commit_latency.p50,
+        commit_latency_ns_p95: commit_latency.p95,
+        commit_latency_ns_p99: commit_latency.p99,
     };
     opts.emit_report("wal", &report);
 }

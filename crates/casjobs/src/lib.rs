@@ -14,6 +14,6 @@ pub mod users;
 pub mod wire;
 
 pub use grid::{CasNode, DataGrid, GridRunReport, ResultPolicy};
-pub use service::{CasError, CasJobs, JobId, JobSpec, JobState};
+pub use service::{CasError, CasJobs, JobId, JobSpec, JobState, SlowQuery};
 pub use users::{GroupId, Registry, UserId};
 pub use wire::{handle_json, Envelope, Request, Response};

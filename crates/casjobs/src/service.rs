@@ -25,6 +25,7 @@ struct ServiceObs {
     cancelled: obs::Counter,
     rows_uploaded: obs::Counter,
     rows_downloaded: obs::Counter,
+    slow_queries: obs::Counter,
 }
 
 /// Job-queue accounting under `casjobs.jobs.*` / `casjobs.mydb.*` — the
@@ -38,6 +39,7 @@ fn sobs() -> &'static ServiceObs {
         cancelled: obs::counter("casjobs.jobs.cancelled"),
         rows_uploaded: obs::counter("casjobs.mydb.rows_uploaded"),
         rows_downloaded: obs::counter("casjobs.mydb.rows_downloaded"),
+        slow_queries: obs::counter("casjobs.jobs.slow_queries"),
     })
 }
 
@@ -153,6 +155,26 @@ impl std::fmt::Display for CasError {
 
 impl std::error::Error for CasError {}
 
+/// One entry in the slow-query log: what ran, for whom, how long it took,
+/// and the executed plan it ran with.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Submitting user.
+    pub user: UserId,
+    /// The user's login name at execution time.
+    pub user_name: String,
+    /// The batch job the statement ran under, or `None` for interactive
+    /// [`CasJobs::query`] calls.
+    pub job: Option<JobId>,
+    /// The statement text.
+    pub statement: String,
+    /// End-to-end wall time (parse + plan + execute), nanoseconds.
+    pub wall_ns: u64,
+    /// The rendered `EXPLAIN ANALYZE` tree of the executed plan. Empty for
+    /// statements without a profile (DML/DDL, or telemetry disabled).
+    pub plan: Vec<String>,
+}
+
 /// The CasJobs service over one CAS catalog.
 pub struct CasJobs {
     /// User/group registry.
@@ -165,6 +187,8 @@ pub struct CasJobs {
     queue: VecDeque<JobId>,
     jobs: HashMap<JobId, Job>,
     next_job: u64,
+    slow_query_threshold: std::time::Duration,
+    slow_log: Vec<SlowQuery>,
 }
 
 impl CasJobs {
@@ -180,6 +204,8 @@ impl CasJobs {
             queue: VecDeque::new(),
             jobs: HashMap::new(),
             next_job: 0,
+            slow_query_threshold: std::time::Duration::from_millis(250),
+            slow_log: Vec::new(),
         }
     }
 
@@ -187,6 +213,95 @@ impl CasJobs {
     /// testing).
     pub fn set_mydb_quota(&mut self, rows: u64) {
         self.mydb_quota_rows = rows;
+    }
+
+    /// Statements slower than `threshold` land in the slow-query log
+    /// (default 250ms). `Duration::ZERO` logs everything; `Duration::MAX`
+    /// disables the log.
+    pub fn set_slow_query_threshold(&mut self, threshold: std::time::Duration) {
+        self.slow_query_threshold = threshold;
+    }
+
+    /// The slow-query log, oldest first.
+    pub fn slow_queries(&self) -> &[SlowQuery] {
+        &self.slow_log
+    }
+
+    /// Append to the slow-query log if `wall_ns` crossed the threshold.
+    /// `rows_out` gates profile attachment: only statements that produced a
+    /// result set (SELECT / EXPLAIN) may claim the database's last profile;
+    /// anything else would misattribute a stale SELECT's plan to DML.
+    fn log_if_slow(
+        &mut self,
+        user: UserId,
+        job: Option<JobId>,
+        statement: &str,
+        wall_ns: u64,
+        rows_out: bool,
+    ) {
+        if std::time::Duration::from_nanos(wall_ns) < self.slow_query_threshold {
+            return;
+        }
+        let plan = if rows_out {
+            self.mydbs
+                .get(&user)
+                .and_then(|db| db.last_profile())
+                .map(|p| p.lines)
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        self.slow_log.push(SlowQuery {
+            user,
+            user_name: self.registry.name_of(user),
+            job,
+            statement: statement.to_owned(),
+            wall_ns,
+            plan,
+        });
+        sobs().slow_queries.incr();
+    }
+
+    /// A JSON summary of the session: job-queue tallies plus the full
+    /// slow-query log with user/job provenance and executed plans — the
+    /// per-session page a CasJobs operator would read after a batch run.
+    pub fn session_report(&self) -> serde_json::Value {
+        let mut finished = 0u64;
+        let mut failed = 0u64;
+        let mut cancelled = 0u64;
+        let mut queued = 0u64;
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Finished(_) => finished += 1,
+                JobState::Failed(_) => failed += 1,
+                JobState::Cancelled => cancelled += 1,
+                JobState::Submitted | JobState::Running => queued += 1,
+            }
+        }
+        let slow: Vec<serde_json::Value> = self
+            .slow_log
+            .iter()
+            .map(|q| {
+                serde_json::json!({
+                    "user": q.user_name,
+                    "job": q.job.map(|j| j.0),
+                    "statement": q.statement,
+                    "wall_ns": q.wall_ns,
+                    "plan": q.plan,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "users": self.mydbs.len() as u64,
+            "jobs": {
+                "finished": finished,
+                "failed": failed,
+                "cancelled": cancelled,
+                "queued": queued,
+            },
+            "slow_query_threshold_ns": self.slow_query_threshold.as_nanos() as u64,
+            "slow_queries": slow,
+        })
     }
 
     /// Register a user, provisioning an empty MyDB.
@@ -410,7 +525,12 @@ impl CasJobs {
                     .mydbs
                     .get_mut(&job.user)
                     .ok_or(CasError::User(UserError::NoSuchUser(job.user)))?;
-                match db.execute_sql(statement)? {
+                let t0 = std::time::Instant::now();
+                let out = db.execute_sql(statement)?;
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                let rows_out = matches!(out, stardb::SqlOutput::Rows { .. });
+                self.log_if_slow(job.user, Some(job.id), statement, wall_ns, rows_out);
+                match out {
                     stardb::SqlOutput::Rows { rows, columns } => {
                         Ok(format!("{} rows, {} columns", rows.len(), columns.len()))
                     }
@@ -429,7 +549,12 @@ impl CasJobs {
             .mydbs
             .get_mut(&user)
             .ok_or(CasError::User(UserError::NoSuchUser(user)))?;
-        Ok(db.execute_sql(sql)?)
+        let t0 = std::time::Instant::now();
+        let out = db.execute_sql(sql)?;
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let rows_out = matches!(out, stardb::SqlOutput::Rows { .. });
+        self.log_if_slow(user, None, sql, wall_ns, rows_out);
+        Ok(out)
     }
 }
 
@@ -597,9 +722,8 @@ mod tests {
         let alice = s.register("alice").unwrap();
         let window = SkyRegion::new(180.1, 181.1, -0.5, 0.5);
         s.submit(alice, JobSpec::ExtractRegion { window, into: "mygal".into() }).unwrap();
-        for stmt in ["CREATE INDEX idx_mag ON mygal (i)"] {
-            s.submit(alice, JobSpec::Sql { statement: stmt.into() }).unwrap();
-        }
+        let stmt = "CREATE INDEX idx_mag ON mygal (i)";
+        s.submit(alice, JobSpec::Sql { statement: stmt.into() }).unwrap();
         assert_eq!(s.run_pending(), 2);
 
         // A sargable interactive query over the user's own index goes
@@ -628,6 +752,57 @@ mod tests {
             first.contains("index range scan mygal") && first.contains("via idx_mag"),
             "plan: {first}"
         );
+    }
+
+    #[test]
+    fn slow_query_log_records_plan_and_provenance() {
+        obs::set_enabled(true);
+        let mut s = service();
+        s.set_slow_query_threshold(std::time::Duration::ZERO); // log everything
+        let alice = s.register("alice").unwrap();
+        for stmt in [
+            "CREATE TABLE pts (id BIGINT PRIMARY KEY, x FLOAT)",
+            "INSERT INTO pts VALUES (1, 0.5), (2, 1.5), (3, 2.5)",
+        ] {
+            s.submit(alice, JobSpec::Sql { statement: stmt.into() }).unwrap();
+        }
+        let job = s
+            .submit(alice, JobSpec::Sql { statement: "SELECT id FROM pts WHERE x < 2".into() })
+            .unwrap();
+        assert_eq!(s.run_pending(), 3);
+
+        // All three statements crossed the zero threshold; only the SELECT
+        // carries an executed-plan tree.
+        assert_eq!(s.slow_queries().len(), 3);
+        let ddl = &s.slow_queries()[0];
+        assert!(ddl.plan.is_empty(), "DDL has no profile: {:?}", ddl.plan);
+        let sel = &s.slow_queries()[2];
+        assert_eq!(sel.user_name, "alice");
+        assert_eq!(sel.job, Some(job));
+        assert!(!sel.plan.is_empty(), "SELECT must carry its ANALYZE tree");
+        assert!(
+            sel.plan.last().unwrap().contains("rows=2"),
+            "plan ends at actual cardinality: {:?}",
+            sel.plan
+        );
+
+        // Interactive queries log with no job id.
+        let before = s.slow_queries().len();
+        s.query(alice, "SELECT COUNT(*) FROM pts").unwrap().rows().unwrap();
+        let q = &s.slow_queries()[before];
+        assert_eq!(q.job, None);
+        assert!(q.statement.contains("COUNT"));
+
+        // The session report carries the log and the queue tallies.
+        let report = s.session_report();
+        let slow = report.get("slow_queries").unwrap();
+        assert!(slow.to_string().contains("alice"));
+
+        // Raising the threshold silences the log.
+        s.set_slow_query_threshold(std::time::Duration::from_secs(3600));
+        let before = s.slow_queries().len();
+        s.query(alice, "SELECT id FROM pts").unwrap().rows().unwrap();
+        assert_eq!(s.slow_queries().len(), before);
     }
 
     #[test]

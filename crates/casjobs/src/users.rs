@@ -96,6 +96,16 @@ impl Registry {
         self.users.values().find(|u| u.name == name)
     }
 
+    /// A user's login name, for provenance labels (slow-query log, job
+    /// listings). Unknown ids render as `user-<id>` rather than erroring so
+    /// diagnostics never fail.
+    pub fn name_of(&self, id: UserId) -> String {
+        match self.users.get(&id) {
+            Some(u) => u.name.clone(),
+            None => format!("user-{}", id.0),
+        }
+    }
+
     /// Create a group owned by `owner`, who becomes a member.
     pub fn create_group(&mut self, owner: UserId, name: &str) -> Result<GroupId, UserError> {
         self.user(owner)?;

@@ -110,7 +110,7 @@ impl Histogram {
     /// Snapshot the histogram.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let h = &self.0;
-        HistogramSnapshot {
+        let mut s = HistogramSnapshot {
             count: h.count.load(Ordering::Relaxed),
             sum: h.sum.load(Ordering::Relaxed),
             max: h.max.load(Ordering::Relaxed),
@@ -123,13 +123,23 @@ impl Histogram {
                     (n > 0).then_some((k as u32, n))
                 })
                 .collect(),
-        }
+            p50: 0,
+            p95: 0,
+            p99: 0,
+        };
+        s.p50 = s.percentile(0.50);
+        s.p95 = s.percentile(0.95);
+        s.p99 = s.percentile(0.99);
+        s
     }
 }
 
 /// A point-in-time copy of a [`Histogram`]. Buckets are sparse:
 /// `(bucket_index, count)` pairs where bucket `k > 0` covers samples in
-/// `[2^(k-1), 2^k)` and bucket 0 holds exact zeros.
+/// `[2^(k-1), 2^k)` and bucket 0 holds exact zeros. The percentile fields
+/// are upper-bound estimates derived from the buckets at snapshot time
+/// (see [`HistogramSnapshot::percentile`]); they default to zero when
+/// deserializing reports written before they existed.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Samples recorded.
@@ -140,6 +150,15 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Sparse `(bucket, count)` pairs, ascending by bucket.
     pub buckets: Vec<(u32, u64)>,
+    /// Median estimate (bucket upper bound, clamped to `max`).
+    #[serde(default)]
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    #[serde(default)]
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    #[serde(default)]
+    pub p99: u64,
 }
 
 impl HistogramSnapshot {
@@ -150,6 +169,28 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as an upper-bound estimate: the
+    /// inclusive upper edge of the bucket holding the sample of rank
+    /// `ceil(q * count)`, clamped to the observed `max`. Exact for the
+    /// count (which sample's bucket), conservative for the value (a
+    /// power-of-two bucket edge) — so a reported p99 never understates
+    /// the true p99 by more than one bucket width.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(k, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let upper: u128 = if k == 0 { 0 } else { (1u128 << k) - 1 };
+                return upper.min(u128::from(self.max)) as u64;
+            }
+        }
+        self.max
     }
 }
 
@@ -305,6 +346,38 @@ mod tests {
         // 1000 → bucket 10.
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1)]);
         assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_bucket_edges() {
+        let _g = crate::test_guard();
+        let h = histogram("test.metrics.pctl");
+        // 100 samples of 10 (bucket 4, upper edge 15) and one huge outlier.
+        for _ in 0..100 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50, 15, "median lands in the [8,16) bucket");
+        assert_eq!(s.p95, 15);
+        assert_eq!(s.p99, 15, "rank 100 of 101 is still a 10");
+        assert_eq!(s.percentile(1.0), 1_000_000, "p100 is the outlier, clamped to max");
+        // Percentiles survive a serde round trip (they are plain fields).
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Reports written before percentiles existed default to zero.
+        let legacy: HistogramSnapshot =
+            serde_json::from_str(r#"{"count":1,"sum":7,"max":7,"buckets":[[3,1]]}"#).unwrap();
+        assert_eq!((legacy.p50, legacy.p95, legacy.p99), (0, 0, 0));
+        assert_eq!(legacy.percentile(0.5), 7, "recompute from buckets still works");
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let _g = crate::test_guard();
+        let s = histogram("test.metrics.pctl.empty").snapshot();
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
     }
 
     #[test]

@@ -229,6 +229,19 @@ pub struct Database {
     catalog_dirty: bool,
     /// Serialized catalog of the last WAL commit (checkpoint reuses it).
     last_catalog: Vec<u8>,
+    /// Profile of the most recent profiled SELECT (set while telemetry is
+    /// enabled, and always by `EXPLAIN ANALYZE`); `None` after an
+    /// unprofiled SELECT. Interior mutability because SELECTs run through
+    /// `&Database`.
+    last_profile: parking_lot::Mutex<Option<crate::sql::QueryProfile>>,
+}
+
+/// Wall time of non-trivial commits (WAL append + fsync for durable
+/// databases, epoch/catalog bookkeeping for in-memory ones), feeding the
+/// `stardb.wal.commit_latency_ns` histogram's p50/p95/p99.
+fn commit_latency() -> &'static obs::Histogram {
+    static H: std::sync::OnceLock<obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| obs::histogram("stardb.wal.commit_latency_ns"))
 }
 
 impl Database {
@@ -252,6 +265,7 @@ impl Database {
             dirty_tables: HashSet::new(),
             catalog_dirty: false,
             last_catalog: Vec::new(),
+            last_profile: parking_lot::Mutex::new(None),
         }
     }
 
@@ -286,6 +300,7 @@ impl Database {
             dirty_tables: HashSet::new(),
             catalog_dirty: false,
             last_catalog: Vec::new(),
+            last_profile: parking_lot::Mutex::new(None),
         };
         if let Some(bytes) = recovery.catalog {
             db.decode_catalog(&bytes)?;
@@ -475,6 +490,7 @@ impl Database {
         if self.dirty_tables.is_empty() && !self.catalog_dirty {
             return Ok(self.committed.read().epoch);
         }
+        let t0 = Instant::now();
         let epoch = self.fresh_epoch();
         if let Some(wal) = self.wal.clone() {
             self.pool.flush_all()?;
@@ -490,6 +506,7 @@ impl Database {
         }
         self.catalog_dirty = false;
         *self.committed.write() = Arc::new(self.build_committed(epoch));
+        commit_latency().record(t0.elapsed().as_nanos() as u64);
         Ok(epoch)
     }
 
@@ -900,6 +917,19 @@ impl Database {
     /// Parse and execute one SQL statement (see [`crate::sql`]).
     pub fn execute_sql(&mut self, sql: &str) -> DbResult<crate::sql::SqlOutput> {
         crate::sql::execute(self, sql)
+    }
+
+    /// The profile of the most recent profiled SELECT: its ANALYZE-rendered
+    /// plan lines and per-operator stats. SELECTs are profiled while
+    /// telemetry is enabled ([`obs::enabled`]) and always by
+    /// `EXPLAIN ANALYZE`; an unprofiled SELECT clears this to `None`.
+    pub fn last_profile(&self) -> Option<crate::sql::QueryProfile> {
+        self.last_profile.lock().clone()
+    }
+
+    /// Store (or clear) the last-SELECT profile. Engine-internal.
+    pub(crate) fn set_last_profile(&self, prof: Option<crate::sql::QueryProfile>) {
+        *self.last_profile.lock() = prof;
     }
 
     /// Delete by clustered key; `Ok(true)` if a row was removed.

@@ -221,6 +221,7 @@ pub struct TopN {
     n: usize,
     heap: BinaryHeap<TopNEntry>,
     seq: u64,
+    evictions: u64,
 }
 
 /// Heap entry carrying its extracted `(key value, descending)` pairs and
@@ -267,7 +268,7 @@ impl Ord for TopNEntry {
 impl TopN {
     /// A top-N accumulator over `(column, descending)` sort keys.
     pub fn new(keys: Vec<(usize, bool)>, n: usize) -> Self {
-        TopN { keys, n, heap: BinaryHeap::new(), seq: 0 }
+        TopN { keys, n, heap: BinaryHeap::new(), seq: 0, evictions: 0 }
     }
 
     /// Offer one row; kept only if it ranks among the best `n` so far.
@@ -284,7 +285,14 @@ impl TopN {
         } else if self.heap.peek().is_some_and(|worst| entry < *worst) {
             self.heap.push(entry);
             self.heap.pop();
+            self.evictions += 1;
         }
+    }
+
+    /// Rows that entered the heap and were later displaced by a better
+    /// row — the work the bounded heap does beyond a plain `take(n)`.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The best `n` rows in sort order (ties keep arrival order, exactly

@@ -36,5 +36,5 @@ pub mod stats;
 
 pub use db::{BatchScan, Cursor, Database, DbConfig, DbReader, DbSnapshot, ScanChunk};
 pub use expr::{BinOp, Expr, Func};
-pub use sql::{PlanOptions, SqlOutput};
+pub use sql::{JoinProfile, OpProfile, PlanOptions, PlanProfile, QueryProfile, SqlOutput};
 pub use stats::{TableStats, TaskStats};

@@ -7,8 +7,15 @@ use crate::value::DataType;
 pub enum Stmt {
     /// `SELECT ...`
     Select(Box<Select>),
-    /// `EXPLAIN SELECT ...` — render the plan instead of running it.
-    Explain(Box<Select>),
+    /// `EXPLAIN [ANALYZE] SELECT ...` — render the plan; with ANALYZE,
+    /// execute it for real first and annotate every plan line with the
+    /// observed per-operator rows/batches/time.
+    Explain {
+        /// The SELECT being explained.
+        select: Box<Select>,
+        /// `EXPLAIN ANALYZE`: execute and annotate.
+        analyze: bool,
+    },
     /// `INSERT INTO t [(cols)] VALUES (...), (...)`
     Insert {
         /// Target table.

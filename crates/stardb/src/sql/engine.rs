@@ -5,15 +5,25 @@
 //! EXPLAIN renders the *same* [`super::plan::SelectPlan`] object the
 //! executor runs, so the displayed plan — join strategy, chosen index,
 //! pushed predicates, row estimates — cannot drift from execution.
+//! `EXPLAIN ANALYZE` goes one step further: it executes that object and
+//! annotates each rendered line with the observed per-operator profile.
+//!
+//! While telemetry is enabled ([`obs::enabled`]), every SELECT runs
+//! profiled: its per-operator stats feed the `stardb.op.*` counters, its
+//! wall time feeds the `stardb.query.latency_ns` histogram, and the full
+//! [`QueryProfile`] is retained on the database for
+//! [`Database::last_profile`]. With telemetry disabled, SELECTs take the
+//! unprofiled path — no clock reads, no profile allocations.
 
 use super::ast::*;
+use super::physical::{self, QueryProfile};
 use super::plan::{self, bind, PlanOptions, Scope};
-use super::physical;
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
 use crate::row::Row;
 use crate::schema::{Column, Schema};
 use crate::value::{DataType, Value};
+use std::sync::OnceLock;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +64,7 @@ pub fn execute(db: &mut Database, sql: &str) -> DbResult<SqlOutput> {
 pub fn execute_with(db: &mut Database, sql: &str, opts: &PlanOptions) -> DbResult<SqlOutput> {
     match super::parser::parse(sql)? {
         Stmt::Select(s) => run_select(db, &s, opts),
-        Stmt::Explain(s) => explain_select(db, &s, opts),
+        Stmt::Explain { select, analyze } => explain_select(db, &select, analyze, opts),
         Stmt::Insert { table, columns, rows } => run_insert(db, &table, columns, rows),
         Stmt::CreateTable { table, columns, primary_key } => {
             run_create(db, &table, columns, primary_key)
@@ -85,21 +95,50 @@ pub fn execute_with(db: &mut Database, sql: &str, opts: &PlanOptions) -> DbResul
 
 // ---- SELECT -----------------------------------------------------------------
 
+/// Per-query end-to-end latency (plan + execute), in nanoseconds.
+/// Registered lazily on the first profiled SELECT; recording is a no-op
+/// while telemetry is disabled.
+fn query_latency() -> &'static obs::Histogram {
+    static H: OnceLock<obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| obs::histogram("stardb.query.latency_ns"))
+}
+
 fn run_select(db: &Database, s: &Select, opts: &PlanOptions) -> DbResult<SqlOutput> {
     let sel_plan = plan::plan_select(db, s, opts)?;
-    let rows = physical::run(db, &sel_plan)?;
+    let rows = if obs::enabled() {
+        let (rows, prof) = physical::run_profiled(db, &sel_plan)?;
+        query_latency().record(prof.wall_ns);
+        db.set_last_profile(Some(QueryProfile {
+            lines: sel_plan.render_analyze(&prof),
+            plan: prof,
+        }));
+        rows
+    } else {
+        // The unprofiled path: no clock reads, no profile allocations —
+        // and any stale profile is cleared so callers can't misattribute.
+        db.set_last_profile(None);
+        physical::run(db, &sel_plan)?
+    };
     Ok(SqlOutput::Rows { columns: sel_plan.columns, rows })
 }
 
-fn explain_select(db: &Database, s: &Select, opts: &PlanOptions) -> DbResult<SqlOutput> {
+fn explain_select(db: &Database, s: &Select, analyze: bool, opts: &PlanOptions) -> DbResult<SqlOutput> {
     let sel_plan = plan::plan_select(db, s, opts)?;
+    let lines = if analyze {
+        // Execute the very plan object we are about to render — ANALYZE
+        // profiles regardless of the telemetry switch, since it was asked
+        // for explicitly.
+        let (_, prof) = physical::run_profiled(db, &sel_plan)?;
+        query_latency().record(prof.wall_ns);
+        let lines = sel_plan.render_analyze(&prof);
+        db.set_last_profile(Some(QueryProfile { lines: lines.clone(), plan: prof }));
+        lines
+    } else {
+        sel_plan.render()
+    };
     Ok(SqlOutput::Rows {
         columns: vec!["plan".to_owned()],
-        rows: sel_plan
-            .render()
-            .into_iter()
-            .map(|p| Row(vec![Value::Text(p)]))
-            .collect(),
+        rows: lines.into_iter().map(|p| Row(vec![Value::Text(p)])).collect(),
     })
 }
 

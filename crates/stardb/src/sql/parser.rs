@@ -90,7 +90,8 @@ impl Parser {
 
     fn stmt(&mut self) -> DbResult<Stmt> {
         if self.eat_kw("EXPLAIN") {
-            return Ok(Stmt::Explain(Box::new(self.select()?)));
+            let analyze = self.eat_kw("ANALYZE");
+            return Ok(Stmt::Explain { select: Box::new(self.select()?), analyze });
         }
         if self.peek_kw("SELECT") {
             return Ok(Stmt::Select(Box::new(self.select()?)));

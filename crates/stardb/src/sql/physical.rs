@@ -15,6 +15,22 @@
 //! joins), and `stardb.plan.rows_pruned` (rows examined by a scan minus
 //! rows it emitted — the rows the old pipeline would have dragged through
 //! the joins).
+//!
+//! ## Profiling
+//!
+//! [`run_profiled`] executes the same operator tree with an [`OpProfile`]
+//! per node: rows out, batches pulled, and cumulative `next_batch` wall
+//! time from a monotonic clock ([`std::time::Instant`]), timed at the
+//! dispatch point so a node's `time` is *inclusive* of its children —
+//! the same convention as `EXPLAIN ANALYZE` in mainstream engines.
+//! Operator-specific extras ride along: rows pruned by residual filters,
+//! hash-table build rows and probe hits, heap evictions in top-N, rows cut
+//! by LIMIT. After the run the per-node tallies are collected into a
+//! [`PlanProfile`] that mirrors the [`SelectPlan`] shape, so
+//! `SelectPlan::render_analyze` can annotate the identical EXPLAIN lines —
+//! the profile is attached to the very plan object execution ran and
+//! cannot drift from it. The unprofiled [`run`] path carries the same
+//! structs but never reads the clock and never allocates a profile.
 
 use super::plan::{Access, JoinStrategy, OutputShape, ScanNode, SelectPlan, Slot};
 use crate::db::{BatchScan, Database};
@@ -25,6 +41,7 @@ use crate::row::Row;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Maximum rows per pulled batch.
 pub(crate) const BATCH: usize = 1024;
@@ -53,22 +70,201 @@ pub(crate) fn plan_counters() -> &'static PlanCounters {
     })
 }
 
+/// The `stardb.op.*` per-operator counter set, created together so a
+/// telemetry run reports the whole family even when parts stay zero.
+/// `rows` is rows emitted by operators of that kind; `ns` is *self* time
+/// (the node's inclusive `next_batch` time minus its input's), so the
+/// family decomposes query wall time instead of multiply counting it.
+struct OpCounters {
+    scan_rows: obs::Counter,
+    scan_ns: obs::Counter,
+    filter_rows: obs::Counter,
+    filter_ns: obs::Counter,
+    hash_join_rows: obs::Counter,
+    hash_join_ns: obs::Counter,
+    topn_rows: obs::Counter,
+    topn_ns: obs::Counter,
+    limit_rows: obs::Counter,
+    limit_ns: obs::Counter,
+}
+
+fn op_counters() -> &'static OpCounters {
+    static C: OnceLock<OpCounters> = OnceLock::new();
+    C.get_or_init(|| OpCounters {
+        scan_rows: obs::counter("stardb.op.scan.rows"),
+        scan_ns: obs::counter("stardb.op.scan.ns"),
+        filter_rows: obs::counter("stardb.op.filter.rows"),
+        filter_ns: obs::counter("stardb.op.filter.ns"),
+        hash_join_rows: obs::counter("stardb.op.hash_join.rows"),
+        hash_join_ns: obs::counter("stardb.op.hash_join.ns"),
+        topn_rows: obs::counter("stardb.op.topn.rows"),
+        topn_ns: obs::counter("stardb.op.topn.ns"),
+        limit_rows: obs::counter("stardb.op.limit.rows"),
+        limit_ns: obs::counter("stardb.op.limit.ns"),
+    })
+}
+
+// ---- profiles ---------------------------------------------------------------
+
+/// Runtime statistics of one physical operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Rows the operator emitted.
+    pub rows: u64,
+    /// `next_batch` calls that returned a batch.
+    pub batches: u64,
+    /// Cumulative `next_batch` wall time (monotonic clock), inclusive of
+    /// the operator's children — the outermost operator's time is the
+    /// whole pipeline's.
+    pub time_ns: u64,
+    /// Operator-specific extras, e.g. `("pruned", n)` for scans and
+    /// filters, `("build_rows", n)` / `("probe_hits", n)` for hash joins,
+    /// `("evicted", n)` for top-N heaps, `("cut", n)` for LIMIT.
+    pub extras: Vec<(&'static str, u64)>,
+}
+
+impl OpProfile {
+    /// The `(actual: rows=… batches=… time=… k=v…)` annotation appended
+    /// to this operator's EXPLAIN line by `EXPLAIN ANALYZE`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!(
+            "(actual: rows={} batches={} time={}",
+            self.rows,
+            self.batches,
+            fmt_ns(self.time_ns)
+        );
+        for (k, v) in &self.extras {
+            let _ = write!(s, " {k}={v}");
+        }
+        s.push(')');
+        s
+    }
+}
+
+/// Format nanoseconds for display (`870ns`, `12.4µs`, `3.50ms`, `1.20s`).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Profile of one join stage: the join operator itself, the right-side
+/// scan drained into the build side, and any post-join residual filter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinProfile {
+    /// Hash join (vs nested-loop / cross)?
+    pub hashed: bool,
+    /// The join operator (probe side for hash joins).
+    pub join: OpProfile,
+    /// The right-side scan, drained eagerly when the operator tree is
+    /// built (its time is the build-side drain, not probe time).
+    pub build: OpProfile,
+    /// Residual predicate applied to concatenated rows after the join.
+    pub post: Option<OpProfile>,
+}
+
+/// Per-operator profile of one executed [`SelectPlan`], mirroring the plan
+/// shape node for node — `SelectPlan::render_analyze` zips this against
+/// the EXPLAIN lines, so the annotated tree is the executed tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// The driving (left-most) base-table scan.
+    pub scan: OpProfile,
+    /// One entry per join stage, in plan order.
+    pub joins: Vec<JoinProfile>,
+    /// The residual WHERE filter above the joins, if the plan has one.
+    pub filter: Option<OpProfile>,
+    /// The projection or aggregation operator. Aggregates apply HAVING
+    /// internally, so `rows` is the post-HAVING group count.
+    pub output: OpProfile,
+    /// Groups discarded by HAVING (`Some` only when the plan has one).
+    pub having_pruned: Option<u64>,
+    /// The DISTINCT operator, if present.
+    pub distinct: Option<OpProfile>,
+    /// The bounded top-N heap, when `ORDER BY … LIMIT` short-circuits.
+    pub top_n: Option<OpProfile>,
+    /// The full sort, when top-N does not apply.
+    pub sort: Option<OpProfile>,
+    /// The standalone LIMIT operator (absent when top-N subsumes it).
+    pub limit: Option<OpProfile>,
+    /// Wall time of the whole run: building the operator tree (including
+    /// eager build-side drains) plus pulling every batch.
+    pub wall_ns: u64,
+    /// Rows the query returned.
+    pub rows_out: u64,
+}
+
+/// The profile of the most recent profiled SELECT on a [`Database`]:
+/// the ANALYZE-rendered plan lines plus the structured profile tree.
+/// Retrieved via [`Database::last_profile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// The EXPLAIN tree, one line per operator, annotated with
+    /// `(actual: rows=… batches=… time=…)` — exactly what
+    /// `EXPLAIN ANALYZE` prints.
+    pub lines: Vec<String>,
+    /// The structured per-operator profile.
+    pub plan: PlanProfile,
+}
+
+/// Plain per-operator tallies updated on the hot path: three `u64` adds
+/// per batch when profiling, nothing at all when not. Never allocates.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    rows: u64,
+    batches: u64,
+    time_ns: u64,
+}
+
+impl Tally {
+    fn with(self, extras: Vec<(&'static str, u64)>) -> OpProfile {
+        OpProfile { rows: self.rows, batches: self.batches, time_ns: self.time_ns, extras }
+    }
+}
+
+// ---- execution --------------------------------------------------------------
+
 /// Run a plan to completion and collect its output rows.
 pub(crate) fn run(db: &Database, plan: &SelectPlan) -> DbResult<Vec<Row>> {
-    let mut op = build(db, plan)?;
+    let mut op = build(db, plan, false)?;
     let mut out = Vec::new();
-    while let Some(batch) = op.next_batch(db)? {
+    while let Some(batch) = op.next_batch(db, false)? {
         out.extend(batch);
     }
     Ok(out)
 }
 
+/// Run a plan to completion with per-operator profiling, returning the
+/// rows plus a [`PlanProfile`] mirroring the plan shape. Also folds the
+/// profile into the `stardb.op.*` counters (when telemetry is enabled).
+pub(crate) fn run_profiled(db: &Database, plan: &SelectPlan) -> DbResult<(Vec<Row>, PlanProfile)> {
+    let t0 = Instant::now();
+    let mut op = build(db, plan, true)?;
+    let mut out = Vec::new();
+    while let Some(batch) = op.next_batch(db, true)? {
+        out.extend(batch);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut prof = collect(op, plan);
+    prof.wall_ns = wall_ns;
+    prof.rows_out = out.len() as u64;
+    record_op_counters(&prof);
+    Ok((out, prof))
+}
+
 /// Assemble the operator tree for a plan. Operators borrow the plan's
 /// bound expressions, so the tree lives no longer than the plan.
-fn build<'p>(db: &Database, plan: &'p SelectPlan) -> DbResult<Op<'p>> {
+fn build<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbResult<Op<'p>> {
     let mut op = Op::Scan(ScanExec::open(db, &plan.scan)?);
     for join in &plan.joins {
-        let right = drain(db, ScanExec::open(db, &join.right)?)?;
+        let (right, build_prof) = drain(db, ScanExec::open(db, &join.right)?, profiled)?;
         let side = match &join.strategy {
             JoinStrategy::Hash { left_col, right_col } => {
                 RightSide::Hash { table: HashTable::build(right, *right_col), left_col: *left_col }
@@ -76,19 +272,35 @@ fn build<'p>(db: &Database, plan: &'p SelectPlan) -> DbResult<Op<'p>> {
             JoinStrategy::NestedLoop { on } => RightSide::Loop { rows: right, on: Some(on) },
             JoinStrategy::Cross => RightSide::Loop { rows: right, on: None },
         };
-        op = Op::Join(JoinExec { left: Box::new(op), side });
+        op = Op::Join(JoinExec {
+            left: Box::new(op),
+            side,
+            tally: Tally::default(),
+            build: build_prof,
+            pairs: 0,
+        });
         if let Some(post) = &join.post {
-            op = Op::Filter(FilterExec { input: Box::new(op), pred: post });
+            op = Op::Filter(FilterExec {
+                input: Box::new(op),
+                pred: post,
+                tally: Tally::default(),
+                pruned: 0,
+            });
         }
     }
     if let Some(pred) = &plan.filter {
-        op = Op::Filter(FilterExec { input: Box::new(op), pred });
+        op = Op::Filter(FilterExec {
+            input: Box::new(op),
+            pred,
+            tally: Tally::default(),
+            pruned: 0,
+        });
     }
     let mut hidden_cut = 0;
     match &plan.shape {
         OutputShape::Plain { exprs, hidden } => {
             hidden_cut = *hidden;
-            op = Op::Project(ProjectExec { input: Box::new(op), exprs });
+            op = Op::Project(ProjectExec { input: Box::new(op), exprs, tally: Tally::default() });
         }
         OutputShape::Aggregate { group_pos, specs, slots, having, .. } => {
             op = Op::Aggregate(Box::new(AggregateExec {
@@ -98,11 +310,18 @@ fn build<'p>(db: &Database, plan: &'p SelectPlan) -> DbResult<Op<'p>> {
                 slots,
                 having: having.as_ref(),
                 done: false,
+                tally: Tally::default(),
+                having_pruned: 0,
             }));
         }
     }
     if plan.distinct {
-        op = Op::Distinct(DistinctExec { input: Box::new(op), seen: HashSet::new() });
+        op = Op::Distinct(DistinctExec {
+            input: Box::new(op),
+            seen: HashSet::new(),
+            tally: Tally::default(),
+            dups: 0,
+        });
     }
     if plan.use_top_n {
         op = Op::TopN(TopNExec {
@@ -110,27 +329,201 @@ fn build<'p>(db: &Database, plan: &'p SelectPlan) -> DbResult<Op<'p>> {
             keys: &plan.sort,
             n: plan.limit.unwrap_or(0),
             done: false,
+            tally: Tally::default(),
+            evicted: 0,
         });
     } else {
         if !plan.sort.is_empty() {
-            op = Op::Sort(SortExec { input: Box::new(op), keys: &plan.sort, done: false });
+            op = Op::Sort(SortExec {
+                input: Box::new(op),
+                keys: &plan.sort,
+                done: false,
+                tally: Tally::default(),
+            });
         }
         if let Some(n) = plan.limit {
-            op = Op::Limit(LimitExec { input: Box::new(op), remaining: n });
+            op = Op::Limit(LimitExec {
+                input: Box::new(op),
+                remaining: n,
+                tally: Tally::default(),
+                cut: 0,
+            });
         }
     }
     if hidden_cut > 0 {
-        op = Op::Cut(CutExec { input: Box::new(op), drop: hidden_cut });
+        op = Op::Cut(CutExec { input: Box::new(op), drop: hidden_cut, tally: Tally::default() });
     }
     Ok(op)
 }
 
-fn drain(db: &Database, mut scan: ScanExec) -> DbResult<Vec<Row>> {
+/// Drain a scan to completion (join build sides), timing it when profiled.
+fn drain(db: &Database, mut scan: ScanExec, profiled: bool) -> DbResult<(Vec<Row>, OpProfile)> {
     let mut out = Vec::new();
-    while let Some(batch) = scan.next_batch(db)? {
-        out.extend(batch);
+    loop {
+        let t0 = profiled.then(Instant::now);
+        let batch = scan.next_batch(db, profiled)?;
+        if let Some(t0) = t0 {
+            scan.tally.time_ns += t0.elapsed().as_nanos() as u64;
+        }
+        match batch {
+            Some(b) => {
+                if profiled {
+                    scan.tally.batches += 1;
+                    scan.tally.rows += b.len() as u64;
+                }
+                out.extend(b);
+            }
+            None => break,
+        }
     }
-    Ok(out)
+    let prof = scan.profile();
+    Ok((out, prof))
+}
+
+/// Walk the finished operator tree root-to-leaf, moving each node's
+/// tallies into a [`PlanProfile`] shaped exactly like `plan`. The peel
+/// order is the reverse of [`build`], steered by the plan's own flags, so
+/// every node lands in its mirror slot.
+fn collect(root: Op<'_>, plan: &SelectPlan) -> PlanProfile {
+    let mut prof = PlanProfile::default();
+    let mut op = root;
+    // Cut only drops hidden sort columns; it is not an EXPLAIN line and
+    // preserves row counts, so its tallies are intentionally discarded.
+    op = match op {
+        Op::Cut(x) => *x.input,
+        o => o,
+    };
+    op = match op {
+        Op::TopN(x) => {
+            prof.top_n = Some(x.tally.with(vec![("evicted", x.evicted)]));
+            *x.input
+        }
+        Op::Limit(x) => {
+            prof.limit = Some(x.tally.with(vec![("cut", x.cut)]));
+            *x.input
+        }
+        o => o,
+    };
+    op = match op {
+        Op::Sort(x) => {
+            prof.sort = Some(x.tally.with(Vec::new()));
+            *x.input
+        }
+        o => o,
+    };
+    op = match op {
+        Op::Distinct(x) => {
+            prof.distinct = Some(x.tally.with(vec![("dups", x.dups)]));
+            *x.input
+        }
+        o => o,
+    };
+    op = match op {
+        Op::Project(x) => {
+            prof.output = x.tally.with(Vec::new());
+            *x.input
+        }
+        Op::Aggregate(x) => {
+            prof.having_pruned = x.having.is_some().then_some(x.having_pruned);
+            prof.output = x.tally.with(Vec::new());
+            *x.input
+        }
+        o => o,
+    };
+    if plan.filter.is_some() {
+        op = match op {
+            Op::Filter(x) => {
+                prof.filter = Some(x.profile());
+                *x.input
+            }
+            o => o,
+        };
+    }
+    let mut joins: Vec<JoinProfile> = Vec::with_capacity(plan.joins.len());
+    for node in plan.joins.iter().rev() {
+        let mut jp = JoinProfile::default();
+        if node.post.is_some() {
+            op = match op {
+                Op::Filter(x) => {
+                    jp.post = Some(x.profile());
+                    *x.input
+                }
+                o => o,
+            };
+        }
+        op = match op {
+            Op::Join(x) => {
+                jp.hashed = matches!(x.side, RightSide::Hash { .. });
+                let extras = if jp.hashed {
+                    vec![("build_rows", x.build.rows), ("probe_hits", x.tally.rows)]
+                } else {
+                    vec![("pairs", x.pairs)]
+                };
+                jp.join = x.tally.with(extras);
+                jp.build = x.build;
+                *x.left
+            }
+            o => o,
+        };
+        joins.push(jp);
+    }
+    joins.reverse();
+    prof.joins = joins;
+    if let Op::Scan(x) = op {
+        prof.scan = x.profile();
+    }
+    prof
+}
+
+/// Fold one profile into the `stardb.op.*` counters. Counter `ns` is
+/// *self* time: each node's inclusive time minus its input's, walking the
+/// pipeline chain, so the family sums to roughly the query wall time.
+fn record_op_counters(prof: &PlanProfile) {
+    if !obs::enabled() {
+        return;
+    }
+    let c = op_counters();
+    c.scan_rows.add(prof.scan.rows);
+    c.scan_ns.add(prof.scan.time_ns);
+    // `prev` is the inclusive time of the node feeding the current one.
+    let mut prev = prof.scan.time_ns;
+    for j in &prof.joins {
+        // Build-side drains are leaf scans in their own right.
+        c.scan_rows.add(j.build.rows);
+        c.scan_ns.add(j.build.time_ns);
+        if j.hashed {
+            c.hash_join_rows.add(j.join.rows);
+            c.hash_join_ns.add(j.join.time_ns.saturating_sub(prev));
+        }
+        prev = j.join.time_ns;
+        if let Some(post) = &j.post {
+            c.filter_rows.add(post.rows);
+            c.filter_ns.add(post.time_ns.saturating_sub(prev));
+            prev = post.time_ns;
+        }
+    }
+    if let Some(f) = &prof.filter {
+        c.filter_rows.add(f.rows);
+        c.filter_ns.add(f.time_ns.saturating_sub(prev));
+    }
+    // Projection/aggregation always sits above the filter, so its inclusive
+    // time is what downstream operators subtract.
+    prev = prof.output.time_ns;
+    if let Some(d) = &prof.distinct {
+        prev = d.time_ns;
+    }
+    if let Some(t) = &prof.top_n {
+        c.topn_rows.add(t.rows);
+        c.topn_ns.add(t.time_ns.saturating_sub(prev));
+        prev = t.time_ns;
+    }
+    if let Some(s) = &prof.sort {
+        prev = s.time_ns;
+    }
+    if let Some(l) = &prof.limit {
+        c.limit_rows.add(l.rows);
+        c.limit_ns.add(l.time_ns.saturating_sub(prev));
+    }
 }
 
 // ---- operators --------------------------------------------------------------
@@ -149,18 +542,52 @@ enum Op<'p> {
 }
 
 impl Op<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+    /// Pull the next batch. With `profiled` set, wrap the pull in a
+    /// monotonic-clock read and update the node's tally — the only
+    /// profiling work on the hot path (three integer adds per batch).
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        if !profiled {
+            return self.pull(db, false);
+        }
+        let t0 = Instant::now();
+        let out = self.pull(db, true);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let tally = self.tally_mut();
+        tally.time_ns += elapsed;
+        if let Ok(Some(batch)) = &out {
+            tally.batches += 1;
+            tally.rows += batch.len() as u64;
+        }
+        out
+    }
+
+    fn pull(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
         match self {
-            Op::Scan(x) => x.next_batch(db),
-            Op::Join(x) => x.next_batch(db),
-            Op::Filter(x) => x.next_batch(db),
-            Op::Project(x) => x.next_batch(db),
-            Op::Aggregate(x) => x.next_batch(db),
-            Op::Distinct(x) => x.next_batch(db),
-            Op::Sort(x) => x.next_batch(db),
-            Op::TopN(x) => x.next_batch(db),
-            Op::Limit(x) => x.next_batch(db),
-            Op::Cut(x) => x.next_batch(db),
+            Op::Scan(x) => x.next_batch(db, profiled),
+            Op::Join(x) => x.next_batch(db, profiled),
+            Op::Filter(x) => x.next_batch(db, profiled),
+            Op::Project(x) => x.next_batch(db, profiled),
+            Op::Aggregate(x) => x.next_batch(db, profiled),
+            Op::Distinct(x) => x.next_batch(db, profiled),
+            Op::Sort(x) => x.next_batch(db, profiled),
+            Op::TopN(x) => x.next_batch(db, profiled),
+            Op::Limit(x) => x.next_batch(db, profiled),
+            Op::Cut(x) => x.next_batch(db, profiled),
+        }
+    }
+
+    fn tally_mut(&mut self) -> &mut Tally {
+        match self {
+            Op::Scan(x) => &mut x.tally,
+            Op::Join(x) => &mut x.tally,
+            Op::Filter(x) => &mut x.tally,
+            Op::Project(x) => &mut x.tally,
+            Op::Aggregate(x) => &mut x.tally,
+            Op::Distinct(x) => &mut x.tally,
+            Op::Sort(x) => &mut x.tally,
+            Op::TopN(x) => &mut x.tally,
+            Op::Limit(x) => &mut x.tally,
+            Op::Cut(x) => &mut x.tally,
         }
     }
 }
@@ -176,6 +603,8 @@ enum Source {
 struct ScanExec {
     source: Source,
     pred: Option<Expr>,
+    tally: Tally,
+    pruned: u64,
 }
 
 impl ScanExec {
@@ -200,16 +629,24 @@ impl ScanExec {
                 }
             }
         };
-        Ok(ScanExec { source, pred: node.pred.clone() })
+        Ok(ScanExec { source, pred: node.pred.clone(), tally: Tally::default(), pruned: 0 })
     }
 
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+    fn profile(&self) -> OpProfile {
+        self.tally.with(vec![("pruned", self.pruned)])
+    }
+
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
         match &mut self.source {
             Source::Batch(scan) => {
                 let Some(chunk) = scan.fetch(db, BATCH, self.pred.as_ref())? else {
                     return Ok(None);
                 };
-                plan_counters().rows_pruned.add(chunk.scanned - chunk.rows.len() as u64);
+                let pruned = chunk.scanned - chunk.rows.len() as u64;
+                plan_counters().rows_pruned.add(pruned);
+                if profiled {
+                    self.pruned += pruned;
+                }
                 Ok(Some(chunk.rows))
             }
             Source::Keys { table, keys, next } => {
@@ -232,7 +669,11 @@ impl ScanExec {
                         }
                     }
                 }
-                plan_counters().rows_pruned.add(examined - rows.len() as u64);
+                let pruned = examined - rows.len() as u64;
+                plan_counters().rows_pruned.add(pruned);
+                if profiled {
+                    self.pruned += pruned;
+                }
                 Ok(Some(rows))
             }
         }
@@ -247,16 +688,24 @@ enum RightSide<'p> {
 struct JoinExec<'p> {
     left: Box<Op<'p>>,
     side: RightSide<'p>,
+    tally: Tally,
+    /// Profile of the right-side scan drained at build time.
+    build: OpProfile,
+    /// Nested-loop pairs examined (profiled runs only).
+    pairs: u64,
 }
 
 impl JoinExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
-        let Some(batch) = self.left.next_batch(db)? else {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.left.next_batch(db, profiled)? else {
             return Ok(None);
         };
         match &self.side {
             RightSide::Hash { table, left_col } => Ok(Some(table.probe(&batch, *left_col))),
             RightSide::Loop { rows, on } => {
+                if profiled {
+                    self.pairs += batch.len() as u64 * rows.len() as u64;
+                }
                 let mut out = Vec::new();
                 for l in &batch {
                     for r in rows {
@@ -283,11 +732,17 @@ impl JoinExec<'_> {
 struct FilterExec<'p> {
     input: Box<Op<'p>>,
     pred: &'p Expr,
+    tally: Tally,
+    pruned: u64,
 }
 
 impl FilterExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
-        let Some(batch) = self.input.next_batch(db)? else {
+    fn profile(&self) -> OpProfile {
+        self.tally.with(vec![("pruned", self.pruned)])
+    }
+
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db, profiled)? else {
             return Ok(None);
         };
         let before = batch.len();
@@ -298,6 +753,9 @@ impl FilterExec<'_> {
             }
         }
         exec::rows_filtered().add((before - out.len()) as u64);
+        if profiled {
+            self.pruned += (before - out.len()) as u64;
+        }
         Ok(Some(out))
     }
 }
@@ -305,11 +763,12 @@ impl FilterExec<'_> {
 struct ProjectExec<'p> {
     input: Box<Op<'p>>,
     exprs: &'p [Expr],
+    tally: Tally,
 }
 
 impl ProjectExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
-        let Some(batch) = self.input.next_batch(db)? else {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db, profiled)? else {
             return Ok(None);
         };
         let mut out = Vec::with_capacity(batch.len());
@@ -328,16 +787,18 @@ struct AggregateExec<'p> {
     slots: &'p [Slot],
     having: Option<&'p Expr>,
     done: bool,
+    tally: Tally,
+    having_pruned: u64,
 }
 
 impl AggregateExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
         if self.done {
             return Ok(None);
         }
         self.done = true;
         let mut state = GroupState::new(self.group_pos, self.specs);
-        while let Some(batch) = self.input.next_batch(db)? {
+        while let Some(batch) = self.input.next_batch(db, profiled)? {
             for row in &batch {
                 state.update(row)?;
             }
@@ -356,6 +817,7 @@ impl AggregateExec<'_> {
             rows.push(Row(blank));
         }
         if let Some(having) = self.having {
+            let before = rows.len();
             let mut kept = Vec::with_capacity(rows.len());
             for row in rows {
                 if having.matches(&row)? {
@@ -363,6 +825,9 @@ impl AggregateExec<'_> {
                 }
             }
             rows = kept;
+            if profiled {
+                self.having_pruned += (before - rows.len()) as u64;
+            }
         }
         let key_offset = usize::from(self.group_pos.is_some());
         let out = rows
@@ -385,18 +850,24 @@ impl AggregateExec<'_> {
 struct DistinctExec<'p> {
     input: Box<Op<'p>>,
     seen: HashSet<Vec<u8>>,
+    tally: Tally,
+    dups: u64,
 }
 
 impl DistinctExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
-        let Some(batch) = self.input.next_batch(db)? else {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db, profiled)? else {
             return Ok(None);
         };
+        let before = batch.len();
         let mut out = Vec::with_capacity(batch.len());
         for row in batch {
             if self.seen.insert(row.encode()) {
                 out.push(row);
             }
+        }
+        if profiled {
+            self.dups += (before - out.len()) as u64;
         }
         Ok(Some(out))
     }
@@ -406,16 +877,17 @@ struct SortExec<'p> {
     input: Box<Op<'p>>,
     keys: &'p [(usize, bool)],
     done: bool,
+    tally: Tally,
 }
 
 impl SortExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
         if self.done {
             return Ok(None);
         }
         self.done = true;
         let mut rows = Vec::new();
-        while let Some(batch) = self.input.next_batch(db)? {
+        while let Some(batch) = self.input.next_batch(db, profiled)? {
             rows.extend(batch);
         }
         Ok(Some(exec::sort_by_keys(rows, self.keys)))
@@ -427,20 +899,23 @@ struct TopNExec<'p> {
     keys: &'p [(usize, bool)],
     n: usize,
     done: bool,
+    tally: Tally,
+    evicted: u64,
 }
 
 impl TopNExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
         if self.done {
             return Ok(None);
         }
         self.done = true;
         let mut heap = TopN::new(self.keys.to_vec(), self.n);
-        while let Some(batch) = self.input.next_batch(db)? {
+        while let Some(batch) = self.input.next_batch(db, profiled)? {
             for row in batch {
                 heap.push(row);
             }
         }
+        self.evicted = heap.evictions();
         Ok(Some(heap.finish()))
     }
 }
@@ -448,18 +923,23 @@ impl TopNExec<'_> {
 struct LimitExec<'p> {
     input: Box<Op<'p>>,
     remaining: usize,
+    tally: Tally,
+    cut: u64,
 }
 
 impl LimitExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
         if self.remaining == 0 {
             // Stop pulling: upstream scans cease fetching pages.
             return Ok(None);
         }
-        let Some(mut batch) = self.input.next_batch(db)? else {
+        let Some(mut batch) = self.input.next_batch(db, profiled)? else {
             return Ok(None);
         };
         if batch.len() > self.remaining {
+            if profiled {
+                self.cut += (batch.len() - self.remaining) as u64;
+            }
             batch.truncate(self.remaining);
         }
         self.remaining -= batch.len();
@@ -470,11 +950,12 @@ impl LimitExec<'_> {
 struct CutExec<'p> {
     input: Box<Op<'p>>,
     drop: usize,
+    tally: Tally,
 }
 
 impl CutExec<'_> {
-    fn next_batch(&mut self, db: &Database) -> DbResult<Option<Vec<Row>>> {
-        let Some(mut batch) = self.input.next_batch(db)? else {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        let Some(mut batch) = self.input.next_batch(db, profiled)? else {
             return Ok(None);
         };
         for row in &mut batch {

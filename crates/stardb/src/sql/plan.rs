@@ -32,6 +32,7 @@
 use super::ast::{
     AggFunc, ColRef, Select, SelectItem, SqlBinOp, SqlExpr,
 };
+use super::physical::{OpProfile, PlanProfile};
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
 use crate::exec;
@@ -992,74 +993,133 @@ fn scan_line(s: &ScanNode) -> String {
     }
 }
 
+/// Append an operator's ANALYZE annotation when profiling supplied one.
+fn annotated(line: String, prof: Option<&OpProfile>) -> String {
+    match prof {
+        Some(p) => format!("{line}  {}", p.render()),
+        None => line,
+    }
+}
+
 impl SelectPlan {
     /// Render the plan as EXPLAIN lines, leaf-first in pipeline order.
     /// This renders the *same object* the executor runs — operator choice,
     /// indexes, pushed predicates, and row estimates included.
     pub(crate) fn render(&self) -> Vec<String> {
-        let mut out = vec![scan_line(&self.scan)];
-        for j in &self.joins {
+        self.render_lines(None)
+    }
+
+    /// Render the `EXPLAIN ANALYZE` tree: the exact lines of [`render`],
+    /// each annotated with the matching operator's observed
+    /// `(actual: rows=… batches=… time=…)`. `prof` must come from running
+    /// this very plan ([`super::physical::run_profiled`]), which is the
+    /// only way one is ever produced — so annotation and execution cannot
+    /// drift.
+    ///
+    /// [`render`]: SelectPlan::render
+    pub(crate) fn render_analyze(&self, prof: &PlanProfile) -> Vec<String> {
+        self.render_lines(Some(prof))
+    }
+
+    /// Shared renderer: one line per operator, in pipeline order, with
+    /// optional profile annotations zipped node-for-node against the plan
+    /// shape. Both render paths go through here, so ANALYZE output always
+    /// `starts_with` the plain EXPLAIN output line for line.
+    fn render_lines(&self, prof: Option<&PlanProfile>) -> Vec<String> {
+        let mut out = vec![annotated(scan_line(&self.scan), prof.map(|p| &p.scan))];
+        for (i, j) in self.joins.iter().enumerate() {
+            let jp = prof.and_then(|p| p.joins.get(i));
             let r = &j.right;
-            out.push(match &j.strategy {
-                JoinStrategy::Cross => {
-                    format!("cross join {} ({} rows)", r.table, r.table_rows)
-                }
-                JoinStrategy::Hash { .. } => format!(
-                    "hash inner join {} AS {} ({} rows) on equality",
-                    r.table, r.alias, r.table_rows
-                ),
-                JoinStrategy::NestedLoop { .. } => format!(
-                    "nested-loop inner join {} AS {} ({} rows) on predicate",
-                    r.table, r.alias, r.table_rows
-                ),
-            });
+            out.push(annotated(
+                match &j.strategy {
+                    JoinStrategy::Cross => {
+                        format!("cross join {} ({} rows)", r.table, r.table_rows)
+                    }
+                    JoinStrategy::Hash { .. } => format!(
+                        "hash inner join {} AS {} ({} rows) on equality",
+                        r.table, r.alias, r.table_rows
+                    ),
+                    JoinStrategy::NestedLoop { .. } => format!(
+                        "nested-loop inner join {} AS {} ({} rows) on predicate",
+                        r.table, r.alias, r.table_rows
+                    ),
+                },
+                jp.map(|p| &p.join),
+            ));
             if r.pred_count > 0 || r.access != Access::Full {
-                out.push(format!("  └ {}", scan_line(r)));
+                out.push(annotated(format!("  └ {}", scan_line(r)), jp.map(|p| &p.build)));
             }
             if j.post_count > 0 {
-                out.push(format!(
-                    "filter after join ({} residual {})",
-                    j.post_count,
-                    plural(j.post_count)
+                out.push(annotated(
+                    format!(
+                        "filter after join ({} residual {})",
+                        j.post_count,
+                        plural(j.post_count)
+                    ),
+                    jp.and_then(|p| p.post.as_ref()),
                 ));
             }
         }
         if self.filter.is_some() {
-            out.push(format!(
-                "filter (WHERE, {} {})",
-                self.filter_count,
-                plural(self.filter_count)
+            out.push(annotated(
+                format!("filter (WHERE, {} {})", self.filter_count, plural(self.filter_count)),
+                prof.and_then(|p| p.filter.as_ref()),
             ));
         }
         match &self.shape {
             OutputShape::Aggregate { group_label, having, .. } => {
-                match group_label {
-                    Some(g) => out.push(format!("aggregate GROUP BY {g}")),
-                    None => out.push("aggregate (global)".to_owned()),
-                }
+                out.push(annotated(
+                    match group_label {
+                        Some(g) => format!("aggregate GROUP BY {g}"),
+                        None => "aggregate (global)".to_owned(),
+                    },
+                    prof.map(|p| &p.output),
+                ));
                 if having.is_some() {
-                    out.push("filter groups (HAVING)".to_owned());
+                    // The aggregate applies HAVING internally, so this line
+                    // reports the groups it discarded rather than a second
+                    // copy of the operator tally.
+                    let line = "filter groups (HAVING)".to_owned();
+                    out.push(match prof.and_then(|p| p.having_pruned) {
+                        Some(n) => format!(
+                            "{line}  (actual: rows={} groups_pruned={n})",
+                            prof.map_or(0, |p| p.output.rows)
+                        ),
+                        None => line,
+                    });
                 }
             }
             OutputShape::Plain { exprs, hidden } => {
-                out.push(format!("project {} columns", exprs.len() - hidden));
+                out.push(annotated(
+                    format!("project {} columns", exprs.len() - hidden),
+                    prof.map(|p| &p.output),
+                ));
             }
         }
         if self.distinct {
-            out.push("distinct".to_owned());
+            out.push(annotated("distinct".to_owned(), prof.and_then(|p| p.distinct.as_ref())));
         }
         if self.use_top_n {
-            out.push(format!(
-                "top-n heap (sort by {} keys, limit {})",
-                self.sort.len(),
-                self.limit.unwrap_or(0)
+            out.push(annotated(
+                format!(
+                    "top-n heap (sort by {} keys, limit {})",
+                    self.sort.len(),
+                    self.limit.unwrap_or(0)
+                ),
+                prof.and_then(|p| p.top_n.as_ref()),
             ));
         } else {
             if !self.sort.is_empty() {
-                out.push(format!("sort by {} keys", self.sort.len()));
+                out.push(annotated(
+                    format!("sort by {} keys", self.sort.len()),
+                    prof.and_then(|p| p.sort.as_ref()),
+                ));
             }
             if let Some(n) = self.limit {
-                out.push(format!("limit {n}"));
+                out.push(annotated(
+                    format!("limit {n}"),
+                    prof.and_then(|p| p.limit.as_ref()),
+                ));
             }
         }
         out

@@ -323,8 +323,12 @@ impl Wal {
                 std::fs::remove_file(path).map_err(|e| DbError::io("drop wal segment", &e))?;
             }
             let (index, path) = &segs[seg_pos];
+            // Append mode, not write mode: a plain write handle sits at
+            // byte 0 and the next commit would overwrite the very records
+            // recovery just replayed. O_APPEND pins every write to the
+            // (truncated) end of the segment.
             let file = std::fs::OpenOptions::new()
-                .write(true)
+                .append(true)
                 .read(true)
                 .open(path)
                 .map_err(|e| DbError::io("open wal segment", &e))?;

@@ -21,7 +21,9 @@ import json
 import sys
 
 # (label, kind) — kind "counter" reads report["counters"][label];
-# "wall" derives seconds from the root spans.
+# "wall" derives seconds from the root spans; "hist" labels are
+# "name:pXX" and read report["histograms"][name][pXX] (the percentile
+# fields HistogramSnapshot serializes alongside count/sum/max).
 METRICS = [
     ("wall_s", "wall"),
     ("maxbcg.neighbors.pairs_examined", "counter"),
@@ -35,6 +37,12 @@ METRICS = [
     ("stardb.mvcc.snapshots", "counter"),
     ("stardb.mvcc.cow_pages", "counter"),
     ("stardb.mvcc.gc_reclaimed", "counter"),
+    ("stardb.query.latency_ns:p50", "hist"),
+    ("stardb.query.latency_ns:p95", "hist"),
+    ("stardb.query.latency_ns:p99", "hist"),
+    ("stardb.wal.commit_latency_ns:p50", "hist"),
+    ("stardb.wal.commit_latency_ns:p95", "hist"),
+    ("stardb.wal.commit_latency_ns:p99", "hist"),
 ]
 
 
@@ -82,6 +90,15 @@ def wall_seconds(report):
 def metric_value(report, label, kind):
     if kind == "wall":
         return wall_seconds(report)
+    if kind == "hist":
+        name, _, pct = label.rpartition(":")
+        snap = report.get("histograms", {}).get(name)
+        if snap is None:
+            return None
+        # An empty histogram (nothing recorded) diffs like an absent one.
+        if not snap.get("count"):
+            return None
+        return snap.get(pct)
     return report.get("counters", {}).get(label)
 
 

@@ -117,6 +117,16 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "stardb.mvcc.snapshots",
     "stardb.mvcc.cow_pages",
     "stardb.mvcc.gc_reclaimed",
+    "stardb.op.scan.rows",
+    "stardb.op.scan.ns",
+    "stardb.op.filter.rows",
+    "stardb.op.filter.ns",
+    "stardb.op.hash_join.rows",
+    "stardb.op.hash_join.ns",
+    "stardb.op.topn.rows",
+    "stardb.op.topn.ns",
+    "stardb.op.limit.rows",
+    "stardb.op.limit.ns",
 ];
 
 #[test]
@@ -148,6 +158,15 @@ fn table1_run_report_is_complete_and_round_trips() {
     assert!(report.counters["stardb.wal.torn_pages"] >= 1);
     assert!(report.counters["stardb.mvcc.snapshots"] >= 1);
     assert!(report.counters["stardb.mvcc.cow_pages"] > 0);
+    // The profiled region query moved the per-operator family and the
+    // query-latency histogram; commits moved WAL commit latency.
+    assert!(report.counters["stardb.op.scan.rows"] > 0);
+    assert!(report.counters["stardb.op.scan.ns"] > 0);
+    let lat = &report.histograms["stardb.query.latency_ns"];
+    assert!(lat.count > 0, "profiled SELECTs must record latency");
+    assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99, "percentiles must be ordered");
+    assert!(lat.p99 <= lat.max);
+    assert!(report.histograms["stardb.wal.commit_latency_ns"].count > 0);
 
     // Spans: the run is a root span, the Table 1 tasks nest under it.
     let root = report
@@ -173,6 +192,36 @@ fn table1_run_report_is_complete_and_round_trips() {
     let back = obs::RunReport::from_json(&json).expect("parses");
     assert_eq!(report, back);
     assert_eq!(json, back.to_canonical_json());
+    obs::reset();
+}
+
+/// Audit: the REQUIRED_COUNTERS list cannot silently fall behind the
+/// engine. Every counter the run actually registers under the planner,
+/// WAL, and per-operator namespaces must be asserted above — adding a new
+/// `stardb.plan.*` / `stardb.wal.*` / `stardb.op.*` counter without
+/// extending the acceptance list fails this test.
+#[test]
+fn required_counters_cover_every_registered_plan_wal_op_counter() {
+    let _g = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    obs::set_enabled(true);
+    obs::reset();
+    tiny_run("counter-audit");
+    let report = obs::RunReport::capture("counter_audit");
+    let missing: Vec<&String> = report
+        .counters
+        .keys()
+        .filter(|name| {
+            ["stardb.plan.", "stardb.wal.", "stardb.op."]
+                .iter()
+                .any(|p| name.starts_with(p))
+        })
+        .filter(|name| !REQUIRED_COUNTERS.contains(&name.as_str()))
+        .collect();
+    assert_eq!(
+        missing,
+        Vec::<&String>::new(),
+        "registered counters absent from REQUIRED_COUNTERS"
+    );
     obs::reset();
 }
 

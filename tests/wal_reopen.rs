@@ -1,3 +1,9 @@
+//! Reopen-then-commit durability: after recovery reopens the boundary
+//! segment, new records must land *after* the replayed commits, never
+//! over them. The repro drives the log alone (fresh `MemStore` per
+//! "process", so nothing survives except what the segments carry) and
+//! asserts every committed epoch replays across two reopens.
+
 use stardb::store::{MemStore, PageStore};
 use stardb::wal::{Wal, WalConfig};
 use std::sync::Arc;
