@@ -3,6 +3,7 @@
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, DiskProfile, IoSnapshot};
+use crate::colbatch::ColumnBatch;
 use crate::error::{DbError, DbResult};
 use crate::heap::{HeapFile, RowId};
 use crate::key::encode_key;
@@ -784,6 +785,16 @@ impl Database {
         }
     }
 
+    /// Point lookup by clustered key, returning the undecoded row payload
+    /// (the vectorized scan decodes it straight into column buffers).
+    pub fn get_raw(&self, name: &str, key: &[Value]) -> DbResult<Option<Vec<u8>>> {
+        let table = self.table(name)?;
+        let Storage::Clustered { tree, .. } = &table.storage else {
+            return Err(DbError::TypeError(format!("{name} is not clustered")));
+        };
+        tree.get(&encode_key(key))
+    }
+
     /// The positions of a clustered table's key columns.
     pub fn clustered_key_cols(&self, name: &str) -> DbResult<Vec<usize>> {
         match &self.table(name)?.storage {
@@ -1463,6 +1474,15 @@ enum BatchMode {
     Clustered { last_key: Option<Vec<u8>>, lo_key: Vec<u8>, hi_key: Vec<u8> },
 }
 
+/// One column-major batch fetched by [`BatchScan::fetch_columns`]: every
+/// stored row examined lands in the batch (predicates run columnwise
+/// *after* the fetch, producing selection vectors), so `batch.len()` is
+/// also the pruning denominator.
+pub struct ColChunk {
+    /// The examined rows, decoded straight into column buffers.
+    pub batch: ColumnBatch,
+}
+
 /// One batch fetched by a [`BatchScan`]: the rows that passed the pushed
 /// predicate and the number of stored rows examined to produce them.
 pub struct ScanChunk {
@@ -1572,6 +1592,78 @@ impl BatchScan {
             return Ok(None);
         }
         Ok(Some(ScanChunk { rows, scanned }))
+    }
+
+    /// Fetch up to `max` stored rows as a column-major batch, decoding
+    /// page payloads straight into typed buffers with no per-row `Row`
+    /// materialization — the vectorized pipeline's leaf. Unlike
+    /// [`BatchScan::fetch`] no predicate runs here: filtering happens
+    /// columnwise on the returned batch, so every examined row is in it.
+    /// Returns `None` once the scan is exhausted.
+    pub fn fetch_columns(&mut self, db: &Database, max: usize) -> DbResult<Option<ColChunk>> {
+        if self.done || max == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        let table = db.table(&self.table)?;
+        let dtypes: Vec<DataType> =
+            table.schema.columns().iter().map(|c| c.dtype).collect();
+        let mut batch = ColumnBatch::with_capacity(&dtypes, max);
+        match (&mut self.mode, &table.storage) {
+            (BatchMode::Heap { last }, Storage::Heap { file, .. }) => {
+                while batch.len() < max {
+                    match file.next_record(*last)? {
+                        Some((id, bytes)) => {
+                            *last = Some(id);
+                            batch.push_wire(&bytes)?;
+                        }
+                        None => {
+                            self.done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            (BatchMode::Clustered { last_key, lo_key, hi_key }, Storage::Clustered { tree, .. }) => {
+                let lo = match last_key {
+                    Some(k) => Bound::Excluded(k.as_slice()),
+                    None => Bound::Included(lo_key.as_slice()),
+                };
+                let mut newest: Option<Vec<u8>> = None;
+                let mut err = None;
+                let mut filled = false;
+                // The decode runs under the buffer-pool latch but touches
+                // only the batch buffers — it cannot re-enter the database.
+                tree.scan_range_with(lo, Bound::Included(hi_key.as_slice()), |k, payload| {
+                    newest = Some(k.to_vec());
+                    match batch.push_wire(payload) {
+                        Ok(()) => {
+                            filled = batch.len() >= max;
+                            !filled
+                        }
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                })?;
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                if let Some(k) = newest {
+                    *last_key = Some(k);
+                }
+                if !filled {
+                    self.done = true;
+                }
+            }
+            _ => return Err(DbError::Corrupt("scan/storage kind mismatch".into())),
+        }
+        if batch.is_empty() {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(ColChunk { batch }))
     }
 }
 

@@ -9,7 +9,8 @@
 
 use crate::error::{DbError, DbResult};
 use crate::expr::Expr;
-use crate::key::encode_key;
+use crate::colbatch::ColumnBatch;
+use crate::key::{encode_key, encode_value};
 use crate::row::Row;
 use crate::value::Value;
 use std::cmp::Ordering;
@@ -104,7 +105,7 @@ pub fn nested_loop_join(left: &[Row], right: &[Row], on: &Expr) -> DbResult<Vec<
 /// cross-type numeric coercion to the nested loop. NULL keys match
 /// nothing on either side, per SQL three-valued logic.
 pub fn hash_join(left: &[Row], right: &[Row], left_col: usize, right_col: usize) -> Vec<Row> {
-    let table = HashTable::build(right.to_vec(), right_col);
+    let mut table = HashTable::build(right.to_vec(), right_col);
     table.probe(left, left_col)
 }
 
@@ -119,6 +120,10 @@ pub struct HashTable {
     rows: Vec<Row>,
     map: HashMap<Vec<u8>, Vec<usize>>,
     right_arity: usize,
+    /// Probe-key encode buffer, reused across probe rows *and* batches —
+    /// the streaming executor probes thousands of batches through one
+    /// table, and a fresh `Vec` per probe row was pure allocator churn.
+    scratch: Vec<u8>,
 }
 
 impl HashTable {
@@ -134,22 +139,24 @@ impl HashTable {
             map.entry(encode_key(std::slice::from_ref(k))).or_default().push(i);
         }
         let right_arity = right.first().map_or(0, Row::arity);
-        HashTable { rows: right, map, right_arity }
+        HashTable { rows: right, map, right_arity, scratch: Vec::new() }
     }
 
     /// Probe with a batch of left rows; emits concatenated rows in
     /// left-major order with build rows in input order — exactly the order
     /// [`nested_loop_join`] produces, so the operators are interchangeable.
-    pub fn probe(&self, left: &[Row], left_col: usize) -> Vec<Row> {
+    pub fn probe(&mut self, left: &[Row], left_col: usize) -> Vec<Row> {
         join_pairs().add(left.len() as u64);
         let arity = left.first().map_or(0, Row::arity) + self.right_arity;
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(left.len());
         for l in left {
             let k = &l.0[left_col];
             if k.is_null() {
                 continue;
             }
-            let Some(hits) = self.map.get(&encode_key(std::slice::from_ref(k))) else {
+            self.scratch.clear();
+            encode_value(k, &mut self.scratch);
+            let Some(hits) = self.map.get(self.scratch.as_slice()) else {
                 continue;
             };
             for &i in hits {
@@ -277,16 +284,31 @@ impl TopN {
         if self.n == 0 {
             return;
         }
-        let keys = self.keys.iter().map(|&(c, desc)| (row[c].clone(), desc)).collect();
-        let entry = TopNEntry { keys, seq: self.seq, row };
+        let seq = self.seq;
         self.seq += 1;
-        if self.heap.len() < self.n {
-            self.heap.push(entry);
-        } else if self.heap.peek().is_some_and(|worst| entry < *worst) {
-            self.heap.push(entry);
+        if self.heap.len() >= self.n {
+            // Rank the candidate against the current worst by *reference*
+            // before paying the key clones. Key ties lose: the candidate's
+            // larger arrival sequence ranks it after the incumbent.
+            let keeps = self.heap.peek().is_some_and(|worst| {
+                self.keys
+                    .iter()
+                    .zip(&worst.keys)
+                    .find_map(|(&(c, desc), (wv, _))| {
+                        let ord = row[c].total_cmp(wv);
+                        let ord = if desc { ord.reverse() } else { ord };
+                        (ord != Ordering::Equal).then_some(ord)
+                    })
+                    .is_some_and(|ord| ord == Ordering::Less)
+            });
+            if !keeps {
+                return;
+            }
             self.heap.pop();
             self.evictions += 1;
         }
+        let keys = self.keys.iter().map(|&(c, desc)| (row[c].clone(), desc)).collect();
+        self.heap.push(TopNEntry { keys, seq, row });
     }
 
     /// Rows that entered the heap and were later displaced by a better
@@ -374,46 +396,148 @@ impl<'a> GroupState<'a> {
         GroupState { group_col, aggs, groups: Vec::new() }
     }
 
-    /// Fold one input row into its group.
-    pub fn update(&mut self, row: &Row) -> DbResult<()> {
-        let key = self.group_col.map(|c| row[c].clone());
-        let idx = match self.groups.binary_search_by(|(k, _)| cmp_opt(k, &key)) {
+    /// Resolve (inserting if new) the group index for `key`.
+    fn group_idx(&mut self, key: Option<Value>) -> usize {
+        match self.groups.binary_search_by(|(k, _)| cmp_opt(k, &key)) {
             Ok(i) => i,
             Err(i) => {
                 self.groups.insert(i, (key, self.aggs.iter().map(|_| Acc::new()).collect()));
                 i
             }
-        };
+        }
+    }
+
+    /// Fold one input row into its group.
+    pub fn update(&mut self, row: &Row) -> DbResult<()> {
+        let key = self.group_col.map(|c| row[c].clone());
+        let idx = self.group_idx(key);
         for (spec, acc) in self.aggs.iter().zip(&mut self.groups[idx].1) {
             acc.count += 1;
             if spec.agg == Agg::Count {
                 continue;
             }
             let v = spec.arg.eval(row)?;
-            if v.is_null() {
+            if !v.is_null() {
+                fold_value(spec.agg, acc, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a whole column-major batch, accumulating columnwise: group
+    /// indices are resolved once per row up front (two passes, so
+    /// mid-batch group inserts cannot shift already-resolved indices),
+    /// then each aggregate sweeps its argument column in a tight loop,
+    /// touching the null bitmap instead of matching `Value::Null`. The
+    /// per-(group, aggregate) value sequences are exactly those of
+    /// row-at-a-time [`GroupState::update`], so float accumulation order
+    /// — and therefore every emitted bit — is identical.
+    pub fn update_columns(&mut self, batch: &ColumnBatch) -> DbResult<()> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut idxs: Vec<u32> = Vec::with_capacity(n);
+        match self.group_col {
+            None => {
+                let g = self.group_idx(None) as u32;
+                idxs.resize(n, g);
+            }
+            Some(c) => {
+                for i in 0..n {
+                    self.group_idx(Some(batch.value(c, i)));
+                }
+                for i in 0..n {
+                    let key = Some(batch.value(c, i));
+                    let g = self
+                        .groups
+                        .binary_search_by(|(k, _)| cmp_opt(k, &key))
+                        .expect("inserted in first pass");
+                    idxs.push(g as u32);
+                }
+            }
+        }
+        for (s, spec) in self.aggs.iter().enumerate() {
+            for &g in &idxs {
+                self.groups[g as usize].1[s].count += 1;
+            }
+            if spec.agg == Agg::Count {
                 continue;
             }
-            acc.seen += 1;
-            match spec.agg {
-                Agg::Min => {
-                    if acc.min.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Less) {
-                        acc.min = Some(v);
+            match &spec.arg {
+                // The common shape: aggregate over a plain column.
+                Expr::Col(c) => {
+                    let col = batch.col(*c);
+                    match (spec.agg, &col.data) {
+                        // SUM/AVG over numeric buffers accumulate without
+                        // materializing a single `Value`.
+                        (Agg::Sum | Agg::Avg, crate::colbatch::ColumnData::BigInt(vals)) => {
+                            for (i, &g) in idxs.iter().enumerate() {
+                                if !col.is_null(i) {
+                                    let acc = &mut self.groups[g as usize].1[s];
+                                    acc.seen += 1;
+                                    acc.fsum += vals[i] as f64;
+                                    acc.isum += i128::from(vals[i]);
+                                }
+                            }
+                        }
+                        (Agg::Sum | Agg::Avg, crate::colbatch::ColumnData::Int(vals)) => {
+                            for (i, &g) in idxs.iter().enumerate() {
+                                if !col.is_null(i) {
+                                    let acc = &mut self.groups[g as usize].1[s];
+                                    acc.seen += 1;
+                                    acc.fsum += f64::from(vals[i]);
+                                    acc.isum += i128::from(vals[i]);
+                                }
+                            }
+                        }
+                        (Agg::Sum | Agg::Avg, crate::colbatch::ColumnData::Real(vals)) => {
+                            for (i, &g) in idxs.iter().enumerate() {
+                                if !col.is_null(i) {
+                                    let acc = &mut self.groups[g as usize].1[s];
+                                    acc.seen += 1;
+                                    acc.fsum += f64::from(vals[i]);
+                                    acc.ints_only = false;
+                                }
+                            }
+                        }
+                        (Agg::Sum | Agg::Avg, crate::colbatch::ColumnData::Float(vals)) => {
+                            for (i, &g) in idxs.iter().enumerate() {
+                                if !col.is_null(i) {
+                                    let acc = &mut self.groups[g as usize].1[s];
+                                    acc.seen += 1;
+                                    acc.fsum += vals[i];
+                                    acc.ints_only = false;
+                                }
+                            }
+                        }
+                        // MIN/MAX (any type) and SUM over text (a type
+                        // error, reported exactly as the row path reports
+                        // it) go through the shared fold.
+                        _ => {
+                            for (i, &g) in idxs.iter().enumerate() {
+                                if !col.is_null(i) {
+                                    fold_value(
+                                        spec.agg,
+                                        &mut self.groups[g as usize].1[s],
+                                        col.value(i),
+                                    )?;
+                                }
+                            }
+                        }
                     }
                 }
-                Agg::Max => {
-                    if acc.max.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Greater) {
-                        acc.max = Some(v);
+                // Computed arguments: evaluate on a reused scratch row.
+                arg => {
+                    let mut scratch = Row(Vec::with_capacity(batch.num_cols()));
+                    for (i, &g) in idxs.iter().enumerate() {
+                        batch.read_row_into(i, &mut scratch.0);
+                        let v = arg.eval(&scratch)?;
+                        if !v.is_null() {
+                            fold_value(spec.agg, &mut self.groups[g as usize].1[s], v)?;
+                        }
                     }
                 }
-                Agg::Sum | Agg::Avg => {
-                    acc.fsum += v.as_f64()?;
-                    match v {
-                        Value::Int(i) => acc.isum += i128::from(i),
-                        Value::BigInt(i) => acc.isum += i128::from(i),
-                        _ => acc.ints_only = false,
-                    }
-                }
-                Agg::Count => unreachable!("handled above"),
             }
         }
         Ok(())
@@ -435,6 +559,34 @@ impl<'a> GroupState<'a> {
             })
             .collect()
     }
+}
+
+/// Fold one non-NULL value into an accumulator (shared by the row-at-a-
+/// time and columnar update paths, so their semantics cannot drift).
+fn fold_value(agg: Agg, acc: &mut Acc, v: Value) -> DbResult<()> {
+    acc.seen += 1;
+    match agg {
+        Agg::Min => {
+            if acc.min.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Less) {
+                acc.min = Some(v);
+            }
+        }
+        Agg::Max => {
+            if acc.max.as_ref().is_none_or(|m| v.total_cmp(m) == Ordering::Greater) {
+                acc.max = Some(v);
+            }
+        }
+        Agg::Sum | Agg::Avg => {
+            acc.fsum += v.as_f64()?;
+            match v {
+                Value::Int(i) => acc.isum += i128::from(i),
+                Value::BigInt(i) => acc.isum += i128::from(i),
+                _ => acc.ints_only = false,
+            }
+        }
+        Agg::Count => unreachable!("COUNT never folds values"),
+    }
+    Ok(())
 }
 
 fn finish_one(agg: Agg, acc: Acc) -> DbResult<Value> {

@@ -9,6 +9,7 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod colbatch;
 pub mod error;
 pub mod heap;
 pub mod key;
@@ -21,6 +22,7 @@ pub mod value;
 pub mod wal;
 
 pub use buffer::{BufferPool, DiskProfile, IoSnapshot};
+pub use colbatch::{ColumnBatch, ColumnHashTable, VPredicate};
 pub use error::{DbError, DbResult};
 pub use mvcc::MvccState;
 pub use row::Row;
@@ -34,7 +36,7 @@ pub mod expr;
 pub mod sql;
 pub mod stats;
 
-pub use db::{BatchScan, Cursor, Database, DbConfig, DbReader, DbSnapshot, ScanChunk};
+pub use db::{BatchScan, ColChunk, Cursor, Database, DbConfig, DbReader, DbSnapshot, ScanChunk};
 pub use expr::{BinOp, Expr, Func};
 pub use sql::{JoinProfile, OpProfile, PlanOptions, PlanProfile, QueryProfile, SqlOutput};
 pub use stats::{TableStats, TaskStats};

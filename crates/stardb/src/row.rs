@@ -16,12 +16,12 @@ use std::ops::Index;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Row(pub Vec<Value>);
 
-const TAG_NULL: u8 = 0;
-const TAG_BIGINT: u8 = 1;
-const TAG_INT: u8 = 2;
-const TAG_REAL: u8 = 3;
-const TAG_FLOAT: u8 = 4;
-const TAG_TEXT: u8 = 5;
+pub(crate) const TAG_NULL: u8 = 0;
+pub(crate) const TAG_BIGINT: u8 = 1;
+pub(crate) const TAG_INT: u8 = 2;
+pub(crate) const TAG_REAL: u8 = 3;
+pub(crate) const TAG_FLOAT: u8 = 4;
+pub(crate) const TAG_TEXT: u8 = 5;
 
 impl Row {
     /// Build a row from anything convertible to values.

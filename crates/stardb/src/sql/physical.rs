@@ -33,12 +33,13 @@
 //! structs but never reads the clock and never allocates a profile.
 
 use super::plan::{Access, JoinStrategy, OutputShape, ScanNode, SelectPlan, Slot};
+use crate::colbatch::{ColumnBatch, ColumnHashTable, VPredicate};
 use crate::db::{BatchScan, Database};
 use crate::error::DbResult;
 use crate::exec::{self, GroupState, HashTable, TopN};
 use crate::expr::Expr;
 use crate::row::Row;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use std::collections::HashSet;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -101,6 +102,29 @@ fn op_counters() -> &'static OpCounters {
         topn_ns: obs::counter("stardb.op.topn.ns"),
         limit_rows: obs::counter("stardb.op.limit.rows"),
         limit_ns: obs::counter("stardb.op.limit.ns"),
+    })
+}
+
+/// The `stardb.op.vector.*` counter set of the columnar pipeline, created
+/// together so a telemetry run reports all three even when some stay zero.
+struct VectorCounters {
+    /// Column-major batches emitted by vectorized scans.
+    batches: obs::Counter,
+    /// Sum over scan batches of `kept * 100 / scanned` — divide by
+    /// `batches` for the average percentage of scanned rows the compiled
+    /// predicates kept.
+    selectivity_pct: obs::Counter,
+    /// Rows materialized back into `Row`s at the pipeline boundary
+    /// (projection / aggregation output).
+    materialized_rows: obs::Counter,
+}
+
+fn vector_counters() -> &'static VectorCounters {
+    static C: OnceLock<VectorCounters> = OnceLock::new();
+    C.get_or_init(|| VectorCounters {
+        batches: obs::counter("stardb.op.vector.batches"),
+        selectivity_pct: obs::counter("stardb.op.vector.selectivity_pct"),
+        materialized_rows: obs::counter("stardb.op.vector.materialized_rows"),
     })
 }
 
@@ -260,61 +284,22 @@ pub(crate) fn run_profiled(db: &Database, plan: &SelectPlan) -> DbResult<(Vec<Ro
 }
 
 /// Assemble the operator tree for a plan. Operators borrow the plan's
-/// bound expressions, so the tree lives no longer than the plan.
+/// bound expressions, so the tree lives no longer than the plan. Below
+/// the materialization boundary (scan → joins → residual filter → output
+/// shape) the tree comes in two flavors steered by `plan.vectorized`:
+/// column-major [`ColumnBatch`] exchange or the row-at-a-time reference
+/// pipeline. Everything above the boundary (DISTINCT, sort, top-N,
+/// LIMIT, hidden-column cut) operates on materialized rows either way.
 fn build<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbResult<Op<'p>> {
-    let mut op = Op::Scan(ScanExec::open(db, &plan.scan)?);
-    for join in &plan.joins {
-        let (right, build_prof) = drain(db, ScanExec::open(db, &join.right)?, profiled)?;
-        let side = match &join.strategy {
-            JoinStrategy::Hash { left_col, right_col } => {
-                RightSide::Hash { table: HashTable::build(right, *right_col), left_col: *left_col }
-            }
-            JoinStrategy::NestedLoop { on } => RightSide::Loop { rows: right, on: Some(on) },
-            JoinStrategy::Cross => RightSide::Loop { rows: right, on: None },
-        };
-        op = Op::Join(JoinExec {
-            left: Box::new(op),
-            side,
-            tally: Tally::default(),
-            build: build_prof,
-            pairs: 0,
-        });
-        if let Some(post) = &join.post {
-            op = Op::Filter(FilterExec {
-                input: Box::new(op),
-                pred: post,
-                tally: Tally::default(),
-                pruned: 0,
-            });
-        }
-    }
-    if let Some(pred) = &plan.filter {
-        op = Op::Filter(FilterExec {
-            input: Box::new(op),
-            pred,
-            tally: Tally::default(),
-            pruned: 0,
-        });
-    }
-    let mut hidden_cut = 0;
-    match &plan.shape {
-        OutputShape::Plain { exprs, hidden } => {
-            hidden_cut = *hidden;
-            op = Op::Project(ProjectExec { input: Box::new(op), exprs, tally: Tally::default() });
-        }
-        OutputShape::Aggregate { group_pos, specs, slots, having, .. } => {
-            op = Op::Aggregate(Box::new(AggregateExec {
-                input: Box::new(op),
-                group_pos: *group_pos,
-                specs,
-                slots,
-                having: having.as_ref(),
-                done: false,
-                tally: Tally::default(),
-                having_pruned: 0,
-            }));
-        }
-    }
+    let hidden_cut = match &plan.shape {
+        OutputShape::Plain { hidden, .. } => *hidden,
+        OutputShape::Aggregate { .. } => 0,
+    };
+    let mut op = if plan.vectorized {
+        build_vectorized(db, plan, profiled)?
+    } else {
+        build_rowwise(db, plan, profiled)?
+    };
     if plan.distinct {
         op = Op::Distinct(DistinctExec {
             input: Box::new(op),
@@ -356,6 +341,147 @@ fn build<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbResult<Op
     Ok(op)
 }
 
+/// The row-at-a-time pipeline below the materialization boundary: the
+/// reference executor the vectorized pipeline must match byte for byte,
+/// kept selectable via [`super::plan::PlanOptions::rowwise`] for A/B
+/// benchmarking.
+fn build_rowwise<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbResult<Op<'p>> {
+    let mut op = Op::Scan(ScanExec::open(db, &plan.scan)?);
+    for join in &plan.joins {
+        let (right, build_prof) = drain(db, ScanExec::open(db, &join.right)?, profiled)?;
+        let side = match &join.strategy {
+            JoinStrategy::Hash { left_col, right_col } => {
+                RightSide::Hash { table: HashTable::build(right, *right_col), left_col: *left_col }
+            }
+            JoinStrategy::NestedLoop { on } => RightSide::Loop { rows: right, on: Some(on) },
+            JoinStrategy::Cross => RightSide::Loop { rows: right, on: None },
+        };
+        op = Op::Join(JoinExec {
+            left: Box::new(op),
+            side,
+            tally: Tally::default(),
+            build: build_prof,
+            pairs: 0,
+        });
+        if let Some(post) = &join.post {
+            op = Op::Filter(FilterExec {
+                input: Box::new(op),
+                pred: post,
+                tally: Tally::default(),
+                pruned: 0,
+            });
+        }
+    }
+    if let Some(pred) = &plan.filter {
+        op = Op::Filter(FilterExec {
+            input: Box::new(op),
+            pred,
+            tally: Tally::default(),
+            pruned: 0,
+        });
+    }
+    Ok(match &plan.shape {
+        OutputShape::Plain { exprs, .. } => {
+            Op::Project(ProjectExec { input: Box::new(op), exprs, tally: Tally::default() })
+        }
+        OutputShape::Aggregate { group_pos, specs, slots, having, .. } => {
+            Op::Aggregate(Box::new(AggregateExec {
+                input: Box::new(op),
+                group_pos: *group_pos,
+                specs,
+                slots,
+                having: having.as_ref(),
+                done: false,
+                tally: Tally::default(),
+                having_pruned: 0,
+            }))
+        }
+    })
+}
+
+/// The vectorized pipeline below the materialization boundary: scans
+/// decode pages straight into [`ColumnBatch`]es, predicates run as
+/// compiled per-column kernels producing selection vectors, joins build
+/// output batches by columnwise gather, and rows are materialized only by
+/// the boundary operator ([`VProjectExec`] / [`VAggregateExec`]) this
+/// function returns.
+fn build_vectorized<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbResult<Op<'p>> {
+    // Concatenated column types grow join by join; residual predicates
+    // compile against the layout at their point in the pipeline.
+    let mut dtypes = table_dtypes(db, &plan.scan.table)?;
+    let mut vop = VOp::Scan(VScanExec::open(db, &plan.scan)?);
+    for join in &plan.joins {
+        let right_scan = VScanExec::open(db, &join.right)?;
+        let right_dtypes = right_scan.dtypes.clone();
+        let (right, build_prof) = drain_columns(db, right_scan, profiled)?;
+        let side = match &join.strategy {
+            JoinStrategy::Hash { left_col, right_col } => {
+                exec::join_pairs().add(right.len() as u64);
+                VRightSide::Hash {
+                    table: ColumnHashTable::build(right, *right_col)?,
+                    left_col: *left_col,
+                }
+            }
+            JoinStrategy::NestedLoop { on } => VRightSide::Loop {
+                // The ON expression is arbitrary, so it evaluates on
+                // materialized pair rows — the inner side is small and
+                // materialized once, while output batches still assemble
+                // by columnwise gather.
+                rows: right.to_rows(),
+                batch: right,
+                on: Some((*on).clone()),
+            },
+            JoinStrategy::Cross => VRightSide::Loop { rows: Vec::new(), batch: right, on: None },
+        };
+        dtypes.extend(right_dtypes);
+        vop = VOp::Join(VJoinExec {
+            left: Box::new(vop),
+            side,
+            tally: Tally::default(),
+            build: build_prof,
+            pairs: 0,
+        });
+        if let Some(post) = &join.post {
+            vop = VOp::Filter(VFilterExec {
+                input: Box::new(vop),
+                vpred: VPredicate::compile(post, &dtypes),
+                tally: Tally::default(),
+                pruned: 0,
+            });
+        }
+    }
+    if let Some(pred) = &plan.filter {
+        vop = VOp::Filter(VFilterExec {
+            input: Box::new(vop),
+            vpred: VPredicate::compile(pred, &dtypes),
+            tally: Tally::default(),
+            pruned: 0,
+        });
+    }
+    Ok(match &plan.shape {
+        OutputShape::Plain { exprs, .. } => {
+            Op::VProject(VProjectExec { input: vop, exprs, tally: Tally::default() })
+        }
+        OutputShape::Aggregate { group_pos, specs, slots, having, .. } => {
+            Op::VAggregate(Box::new(VAggregateExec {
+                input: vop,
+                group_pos: *group_pos,
+                specs,
+                slots,
+                having: having.as_ref(),
+                done: false,
+                tally: Tally::default(),
+                having_pruned: 0,
+            }))
+        }
+    })
+}
+
+/// A table's column types in schema order.
+fn table_dtypes(db: &Database, table: &str) -> DbResult<Vec<DataType>> {
+    Ok(db.schema_of(table)?.columns().iter().map(|c| c.dtype).collect())
+}
+
 /// Drain a scan to completion (join build sides), timing it when profiled.
 fn drain(db: &Database, mut scan: ScanExec, profiled: bool) -> DbResult<(Vec<Row>, OpProfile)> {
     let mut out = Vec::new();
@@ -372,6 +498,35 @@ fn drain(db: &Database, mut scan: ScanExec, profiled: bool) -> DbResult<(Vec<Row
                     scan.tally.rows += b.len() as u64;
                 }
                 out.extend(b);
+            }
+            None => break,
+        }
+    }
+    let prof = scan.profile();
+    Ok((out, prof))
+}
+
+/// Drain a vectorized scan to completion into one column-major batch
+/// (join build sides), timing it when profiled.
+fn drain_columns(
+    db: &Database,
+    mut scan: VScanExec,
+    profiled: bool,
+) -> DbResult<(ColumnBatch, OpProfile)> {
+    let mut out = ColumnBatch::with_capacity(&scan.dtypes, 0);
+    loop {
+        let t0 = profiled.then(Instant::now);
+        let batch = scan.next_batch(db, profiled)?;
+        if let Some(t0) = t0 {
+            scan.tally.time_ns += t0.elapsed().as_nanos() as u64;
+        }
+        match batch {
+            Some(b) => {
+                if profiled {
+                    scan.tally.batches += 1;
+                    scan.tally.rows += b.len() as u64;
+                }
+                out.extend_from(&b)?;
             }
             None => break,
         }
@@ -428,6 +583,20 @@ fn collect(root: Op<'_>, plan: &SelectPlan) -> PlanProfile {
             prof.output = x.tally.with(Vec::new());
             *x.input
         }
+        // The vectorized boundary: collect the column-batch chain into
+        // the same profile slots, then stop — the profile tree mirrors
+        // the plan, not the exchange format.
+        Op::VProject(x) => {
+            prof.output = x.tally.with(Vec::new());
+            collect_vchain(x.input, plan, &mut prof);
+            return prof;
+        }
+        Op::VAggregate(x) => {
+            prof.having_pruned = x.having.is_some().then_some(x.having_pruned);
+            prof.output = x.tally.with(Vec::new());
+            collect_vchain(x.input, plan, &mut prof);
+            return prof;
+        }
         o => o,
     };
     if plan.filter.is_some() {
@@ -473,6 +642,55 @@ fn collect(root: Op<'_>, plan: &SelectPlan) -> PlanProfile {
         prof.scan = x.profile();
     }
     prof
+}
+
+/// [`collect`]'s mirror for the column-batch chain below the vectorized
+/// boundary: same peel order (filter → joins in reverse → scan), same
+/// profile slots, so `render_analyze` works unchanged on either pipeline.
+fn collect_vchain(root: VOp, plan: &SelectPlan, prof: &mut PlanProfile) {
+    let mut op = root;
+    if plan.filter.is_some() {
+        op = match op {
+            VOp::Filter(x) => {
+                prof.filter = Some(x.profile());
+                *x.input
+            }
+            o => o,
+        };
+    }
+    let mut joins: Vec<JoinProfile> = Vec::with_capacity(plan.joins.len());
+    for node in plan.joins.iter().rev() {
+        let mut jp = JoinProfile::default();
+        if node.post.is_some() {
+            op = match op {
+                VOp::Filter(x) => {
+                    jp.post = Some(x.profile());
+                    *x.input
+                }
+                o => o,
+            };
+        }
+        op = match op {
+            VOp::Join(x) => {
+                jp.hashed = matches!(x.side, VRightSide::Hash { .. });
+                let extras = if jp.hashed {
+                    vec![("build_rows", x.build.rows), ("probe_hits", x.tally.rows)]
+                } else {
+                    vec![("pairs", x.pairs)]
+                };
+                jp.join = x.tally.with(extras);
+                jp.build = x.build;
+                *x.left
+            }
+            o => o,
+        };
+        joins.push(jp);
+    }
+    joins.reverse();
+    prof.joins = joins;
+    if let VOp::Scan(x) = op {
+        prof.scan = x.profile();
+    }
 }
 
 /// Fold one profile into the `stardb.op.*` counters. Counter `ns` is
@@ -534,6 +752,10 @@ enum Op<'p> {
     Filter(FilterExec<'p>),
     Project(ProjectExec<'p>),
     Aggregate(Box<AggregateExec<'p>>),
+    /// Materialization boundary over a column-batch chain: projection.
+    VProject(VProjectExec<'p>),
+    /// Materialization boundary over a column-batch chain: aggregation.
+    VAggregate(Box<VAggregateExec<'p>>),
     Distinct(DistinctExec<'p>),
     Sort(SortExec<'p>),
     TopN(TopNExec<'p>),
@@ -568,6 +790,8 @@ impl Op<'_> {
             Op::Filter(x) => x.next_batch(db, profiled),
             Op::Project(x) => x.next_batch(db, profiled),
             Op::Aggregate(x) => x.next_batch(db, profiled),
+            Op::VProject(x) => x.next_batch(db, profiled),
+            Op::VAggregate(x) => x.next_batch(db, profiled),
             Op::Distinct(x) => x.next_batch(db, profiled),
             Op::Sort(x) => x.next_batch(db, profiled),
             Op::TopN(x) => x.next_batch(db, profiled),
@@ -583,6 +807,8 @@ impl Op<'_> {
             Op::Filter(x) => &mut x.tally,
             Op::Project(x) => &mut x.tally,
             Op::Aggregate(x) => &mut x.tally,
+            Op::VProject(x) => &mut x.tally,
+            Op::VAggregate(x) => &mut x.tally,
             Op::Distinct(x) => &mut x.tally,
             Op::Sort(x) => &mut x.tally,
             Op::TopN(x) => &mut x.tally,
@@ -700,15 +926,15 @@ impl JoinExec<'_> {
         let Some(batch) = self.left.next_batch(db, profiled)? else {
             return Ok(None);
         };
-        match &self.side {
+        match &mut self.side {
             RightSide::Hash { table, left_col } => Ok(Some(table.probe(&batch, *left_col))),
             RightSide::Loop { rows, on } => {
                 if profiled {
                     self.pairs += batch.len() as u64 * rows.len() as u64;
                 }
-                let mut out = Vec::new();
+                let mut out = Vec::with_capacity(batch.len());
                 for l in &batch {
-                    for r in rows {
+                    for r in rows.iter() {
                         exec::join_pairs().incr();
                         let mut joined = Vec::with_capacity(l.arity() + r.arity());
                         joined.extend_from_slice(&l.0);
@@ -963,5 +1189,371 @@ impl CutExec<'_> {
             row.0.truncate(keep);
         }
         Ok(Some(batch))
+    }
+}
+
+// ---- vectorized operators ---------------------------------------------------
+//
+// The column-batch chain below the materialization boundary. Same pull
+// protocol and profiling discipline as `Op`, but `next_batch` exchanges
+// `ColumnBatch`es: scans decode pages straight into typed buffers,
+// predicates are compiled kernels producing selection vectors, joins
+// assemble output batches by columnwise gather. The chain owns its
+// predicates (compiled once at build), so it carries no plan lifetime.
+
+enum VOp {
+    Scan(VScanExec),
+    Join(VJoinExec),
+    Filter(VFilterExec),
+}
+
+impl VOp {
+    /// Pull the next column-major batch, timing the dispatch when
+    /// profiled — the mirror of [`Op::next_batch`].
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<ColumnBatch>> {
+        if !profiled {
+            return self.pull(db, false);
+        }
+        let t0 = Instant::now();
+        let out = self.pull(db, true);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let tally = self.tally_mut();
+        tally.time_ns += elapsed;
+        if let Ok(Some(batch)) = &out {
+            tally.batches += 1;
+            tally.rows += batch.len() as u64;
+        }
+        out
+    }
+
+    fn pull(&mut self, db: &Database, profiled: bool) -> DbResult<Option<ColumnBatch>> {
+        match self {
+            VOp::Scan(x) => x.next_batch(db, profiled),
+            VOp::Join(x) => x.next_batch(db, profiled),
+            VOp::Filter(x) => x.next_batch(db, profiled),
+        }
+    }
+
+    fn tally_mut(&mut self) -> &mut Tally {
+        match self {
+            VOp::Scan(x) => &mut x.tally,
+            VOp::Join(x) => &mut x.tally,
+            VOp::Filter(x) => &mut x.tally,
+        }
+    }
+}
+
+enum VSource {
+    /// Full or clustered-range scan decoding pages into column buffers.
+    Batch(BatchScan),
+    /// Secondary-index range: pre-resolved clustering keys, their raw
+    /// payloads decoded straight into column buffers in index order.
+    Keys { table: String, keys: Vec<Vec<Value>>, next: usize },
+}
+
+struct VScanExec {
+    source: VSource,
+    /// The table's column types (compile target for the pushed predicate
+    /// and layout of every emitted batch).
+    dtypes: Vec<DataType>,
+    vpred: Option<VPredicate>,
+    tally: Tally,
+    pruned: u64,
+}
+
+impl VScanExec {
+    fn open(db: &Database, node: &ScanNode) -> DbResult<VScanExec> {
+        let counters = plan_counters();
+        vector_counters(); // register the family even if adds stay zero
+        counters.pushed_predicates.add(node.pred_count as u64);
+        let source = match &node.access {
+            Access::Full => {
+                counters.full_scans.incr();
+                VSource::Batch(db.batch_scan(&node.table)?)
+            }
+            Access::ClusteredRange { lo, hi, .. } => {
+                counters.index_scans.incr();
+                VSource::Batch(db.batch_range_scan(&node.table, lo, hi)?)
+            }
+            Access::Index { name, lo, hi, .. } => {
+                counters.index_scans.incr();
+                VSource::Keys {
+                    table: node.table.clone(),
+                    keys: db.index_range_keys(&node.table, name, lo, hi)?,
+                    next: 0,
+                }
+            }
+        };
+        let dtypes = table_dtypes(db, &node.table)?;
+        let vpred = node.pred.as_ref().map(|p| VPredicate::compile(p, &dtypes));
+        Ok(VScanExec { source, dtypes, vpred, tally: Tally::default(), pruned: 0 })
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.tally.with(vec![("pruned", self.pruned)])
+    }
+
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<ColumnBatch>> {
+        let batch = match &mut self.source {
+            VSource::Batch(scan) => {
+                let Some(chunk) = scan.fetch_columns(db, BATCH)? else {
+                    return Ok(None);
+                };
+                chunk.batch
+            }
+            VSource::Keys { table, keys, next } => {
+                if *next >= keys.len() {
+                    return Ok(None);
+                }
+                let mut batch = ColumnBatch::with_capacity(&self.dtypes, BATCH);
+                while *next < keys.len() && batch.len() < BATCH {
+                    let key = &keys[*next];
+                    *next += 1;
+                    if let Some(payload) = db.get_raw(table, key)? {
+                        batch.push_wire(&payload)?;
+                    }
+                }
+                batch
+            }
+        };
+        let scanned = batch.len() as u64;
+        let batch = match &self.vpred {
+            Some(vp) => {
+                let sel = vp.select(&batch)?;
+                if sel.len() == batch.len() {
+                    batch
+                } else {
+                    batch.gather(&sel)
+                }
+            }
+            None => batch,
+        };
+        let kept = batch.len() as u64;
+        let pruned = scanned - kept;
+        plan_counters().rows_pruned.add(pruned);
+        if profiled {
+            self.pruned += pruned;
+        }
+        let vc = vector_counters();
+        vc.batches.incr();
+        if let Some(pct) = (kept * 100).checked_div(scanned) {
+            vc.selectivity_pct.add(pct);
+        }
+        Ok(Some(batch))
+    }
+}
+
+enum VRightSide {
+    /// Columnar hash join: build-side directory over the native key
+    /// representation, probe hashes the key column, output gathers.
+    Hash { table: ColumnHashTable, left_col: usize },
+    /// Nested loop / cross join. The ON expression (arbitrary) evaluates
+    /// on materialized pair rows; `rows` is the inner side materialized
+    /// once at build (empty for CROSS, which never evaluates rows).
+    Loop { batch: ColumnBatch, rows: Vec<Row>, on: Option<Expr> },
+}
+
+struct VJoinExec {
+    left: Box<VOp>,
+    side: VRightSide,
+    tally: Tally,
+    /// Profile of the right-side scan drained at build time.
+    build: OpProfile,
+    /// Nested-loop pairs examined (profiled runs only).
+    pairs: u64,
+}
+
+impl VJoinExec {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<ColumnBatch>> {
+        let Some(batch) = self.left.next_batch(db, profiled)? else {
+            return Ok(None);
+        };
+        match &mut self.side {
+            VRightSide::Hash { table, left_col } => {
+                exec::join_pairs().add(batch.len() as u64);
+                let out = table.probe(&batch, *left_col)?;
+                exec::hash_join_rows().add(out.len() as u64);
+                Ok(Some(out))
+            }
+            VRightSide::Loop { batch: right, rows, on } => {
+                let n = right.len();
+                exec::join_pairs().add(batch.len() as u64 * n as u64);
+                if profiled {
+                    self.pairs += batch.len() as u64 * n as u64;
+                }
+                let mut li: Vec<u32> = Vec::new();
+                let mut ri: Vec<u32> = Vec::new();
+                match on {
+                    None => {
+                        // CROSS: every pair, no row ever materialized.
+                        for i in 0..batch.len() as u32 {
+                            li.extend(std::iter::repeat_n(i, n));
+                            ri.extend(0..n as u32);
+                        }
+                    }
+                    Some(on) => {
+                        // Scratch pair row: left prefix refreshed per
+                        // outer row, right suffix swapped per inner row.
+                        let left_arity = batch.num_cols();
+                        let mut joined = Row(Vec::with_capacity(left_arity + rows.first().map_or(0, Row::arity)));
+                        for i in 0..batch.len() {
+                            batch.read_row_into(i, &mut joined.0);
+                            for (j, r) in rows.iter().enumerate() {
+                                joined.0.truncate(left_arity);
+                                joined.0.extend_from_slice(&r.0);
+                                if on.matches(&joined)? {
+                                    li.push(i as u32);
+                                    ri.push(j as u32);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(Some(ColumnBatch::concat_gather(&batch, &li, right, &ri)))
+            }
+        }
+    }
+}
+
+struct VFilterExec {
+    input: Box<VOp>,
+    vpred: VPredicate,
+    tally: Tally,
+    pruned: u64,
+}
+
+impl VFilterExec {
+    fn profile(&self) -> OpProfile {
+        self.tally.with(vec![("pruned", self.pruned)])
+    }
+
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<ColumnBatch>> {
+        let Some(batch) = self.input.next_batch(db, profiled)? else {
+            return Ok(None);
+        };
+        let before = batch.len();
+        let sel = self.vpred.select(&batch)?;
+        let out = if sel.len() == before { batch } else { batch.gather(&sel) };
+        exec::rows_filtered().add((before - out.len()) as u64);
+        if profiled {
+            self.pruned += (before - out.len()) as u64;
+        }
+        Ok(Some(out))
+    }
+}
+
+/// The materialization boundary for plain selects: evaluates the
+/// projection over a column batch and emits `Row`s. All-column
+/// projections read the buffers directly; computed expressions fall back
+/// to a reused scratch row.
+struct VProjectExec<'p> {
+    input: VOp,
+    exprs: &'p [Expr],
+    tally: Tally,
+}
+
+impl VProjectExec<'_> {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch(db, profiled)? else {
+            return Ok(None);
+        };
+        let n = batch.len();
+        let mut out = Vec::with_capacity(n);
+        let cols: Option<Vec<usize>> = self
+            .exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Col(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        match cols {
+            Some(cols) => {
+                for i in 0..n {
+                    out.push(Row(cols.iter().map(|&c| batch.value(c, i)).collect()));
+                }
+            }
+            None => {
+                let mut scratch = Row(Vec::with_capacity(batch.num_cols()));
+                for i in 0..n {
+                    batch.read_row_into(i, &mut scratch.0);
+                    let vals: DbResult<Vec<Value>> =
+                        self.exprs.iter().map(|e| e.eval(&scratch)).collect();
+                    out.push(Row(vals?));
+                }
+            }
+        }
+        vector_counters().materialized_rows.add(out.len() as u64);
+        Ok(Some(out))
+    }
+}
+
+/// The materialization boundary for aggregates: feeds column batches to
+/// [`GroupState::update_columns`] and emits the final group rows —
+/// zero-row global fill-in, HAVING, and slot remapping exactly as the
+/// row-at-a-time [`AggregateExec`].
+struct VAggregateExec<'p> {
+    input: VOp,
+    group_pos: Option<usize>,
+    specs: &'p [exec::AggSpec],
+    slots: &'p [Slot],
+    having: Option<&'p Expr>,
+    done: bool,
+    tally: Tally,
+    having_pruned: u64,
+}
+
+impl VAggregateExec<'_> {
+    fn next_batch(&mut self, db: &Database, profiled: bool) -> DbResult<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut state = GroupState::new(self.group_pos, self.specs);
+        while let Some(batch) = self.input.next_batch(db, profiled)? {
+            state.update_columns(&batch)?;
+        }
+        let mut rows = state.finish()?;
+        if rows.is_empty() && self.group_pos.is_none() {
+            // A global aggregate over zero rows still yields one row:
+            // COUNT is 0, everything else is NULL.
+            let mut blank = Vec::with_capacity(self.specs.len());
+            for spec in self.specs {
+                blank.push(match spec.agg {
+                    exec::Agg::Count => Value::BigInt(0),
+                    _ => Value::Null,
+                });
+            }
+            rows.push(Row(blank));
+        }
+        if let Some(having) = self.having {
+            let before = rows.len();
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if having.matches(&row)? {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+            if profiled {
+                self.having_pruned += (before - rows.len()) as u64;
+            }
+        }
+        let key_offset = usize::from(self.group_pos.is_some());
+        let out: Vec<Row> = rows
+            .into_iter()
+            .map(|row| {
+                Row(self
+                    .slots
+                    .iter()
+                    .map(|slot| match slot {
+                        Slot::GroupKey => row.0[0].clone(),
+                        Slot::Agg(i) => row.0[key_offset + i].clone(),
+                    })
+                    .collect())
+            })
+            .collect();
+        vector_counters().materialized_rows.add(out.len() as u64);
+        Ok(Some(out))
     }
 }

@@ -59,18 +59,43 @@ pub struct PlanOptions {
     pub hash_join: bool,
     /// Short-circuit `ORDER BY … LIMIT n` with a bounded top-N heap.
     pub top_n: bool,
+    /// Exchange column-major [`crate::colbatch::ColumnBatch`]es between the
+    /// scan/filter/join operators instead of `Vec<Row>` (rows materialize
+    /// only at the pipeline boundary). Off = the row-at-a-time pipeline,
+    /// kept selectable for A/B benchmarking; results are byte-identical
+    /// either way.
+    pub vectorized: bool,
 }
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        PlanOptions { use_indexes: true, pushdown: true, hash_join: true, top_n: true }
+        PlanOptions {
+            use_indexes: true,
+            pushdown: true,
+            hash_join: true,
+            top_n: true,
+            vectorized: true,
+        }
     }
 }
 
 impl PlanOptions {
     /// Everything off: the planner-free reference pipeline.
     pub fn naive() -> Self {
-        PlanOptions { use_indexes: false, pushdown: false, hash_join: false, top_n: false }
+        PlanOptions {
+            use_indexes: false,
+            pushdown: false,
+            hash_join: false,
+            top_n: false,
+            vectorized: false,
+        }
+    }
+
+    /// The planned pipeline with row-at-a-time operators: every planner
+    /// feature on, columnar exchange off. The A/B baseline for the
+    /// vectorized executor.
+    pub fn rowwise() -> Self {
+        PlanOptions { vectorized: false, ..PlanOptions::default() }
     }
 }
 
@@ -360,6 +385,9 @@ pub struct SelectPlan {
     pub(crate) sort: Vec<(usize, bool)>,
     pub(crate) use_top_n: bool,
     pub(crate) limit: Option<usize>,
+    /// Exchange [`crate::colbatch::ColumnBatch`]es below the
+    /// materialization boundary instead of `Vec<Row>`.
+    pub(crate) vectorized: bool,
 }
 
 // ---- planning ---------------------------------------------------------------
@@ -569,6 +597,7 @@ pub(crate) fn plan_select(db: &Database, s: &Select, opts: &PlanOptions) -> DbRe
         sort,
         use_top_n,
         limit: s.limit,
+        vectorized: opts.vectorized,
     })
 }
 

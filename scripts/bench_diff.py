@@ -37,6 +37,9 @@ METRICS = [
     ("stardb.mvcc.snapshots", "counter"),
     ("stardb.mvcc.cow_pages", "counter"),
     ("stardb.mvcc.gc_reclaimed", "counter"),
+    ("stardb.op.vector.batches", "counter"),
+    ("stardb.op.vector.selectivity_pct", "counter"),
+    ("stardb.op.vector.materialized_rows", "counter"),
     ("stardb.query.latency_ns:p50", "hist"),
     ("stardb.query.latency_ns:p95", "hist"),
     ("stardb.query.latency_ns:p99", "hist"),

@@ -153,6 +153,33 @@ fn planned_and_naive_executors_agree_on_the_corpus() {
     }
 }
 
+/// The columnar pipeline (`PlanOptions::default()`) and the row-at-a-time
+/// pipeline (`PlanOptions::rowwise()`) must produce byte-identical results
+/// on the whole corpus — same wire encoding, not just value equality, so
+/// type drift (e.g. INT widening to BIGINT) is caught too.
+#[test]
+fn vectorized_and_rowwise_pipelines_agree_byte_for_byte() {
+    let mut d = corpus_db();
+    for (sql, ordered) in corpus() {
+        let (vc, vr) = execute_with(&mut d, &sql, &PlanOptions::default())
+            .unwrap_or_else(|e| panic!("vectorized {sql}: {e}"))
+            .rows()
+            .unwrap();
+        let (rc, rr) = execute_with(&mut d, &sql, &PlanOptions::rowwise())
+            .unwrap_or_else(|e| panic!("rowwise {sql}: {e}"))
+            .rows()
+            .unwrap();
+        assert_eq!(vc, rc, "column names diverged: {sql}");
+        if ordered {
+            let ve: Vec<Vec<u8>> = vr.iter().map(Row::encode).collect();
+            let re: Vec<Vec<u8>> = rr.iter().map(Row::encode).collect();
+            assert_eq!(ve, re, "ordered encodings diverged: {sql}");
+        } else {
+            assert_eq!(multiset(vr), multiset(rr), "row multisets diverged: {sql}");
+        }
+    }
+}
+
 fn explain(d: &mut Database, sql: &str) -> Vec<String> {
     let (_, rs) = d.execute_sql(&format!("EXPLAIN {sql}")).unwrap().rows().unwrap();
     rs.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect()

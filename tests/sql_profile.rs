@@ -125,7 +125,7 @@ fn analyze_row_counts_match_actual_cardinalities() {
     let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
     obs::set_enabled(true);
     let mut d = corpus_db();
-    for opts in [PlanOptions::default(), PlanOptions::naive()] {
+    for opts in [PlanOptions::default(), PlanOptions::rowwise(), PlanOptions::naive()] {
         for sql in corpus() {
             let (_, rows) = execute_with(&mut d, &sql, &opts)
                 .unwrap_or_else(|e| panic!("{sql}: {e}"))
@@ -156,7 +156,7 @@ fn analyze_tree_matches_explain_line_for_line() {
     let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
     obs::set_enabled(true);
     let mut d = corpus_db();
-    for opts in [PlanOptions::default(), PlanOptions::naive()] {
+    for opts in [PlanOptions::default(), PlanOptions::rowwise(), PlanOptions::naive()] {
         for sql in corpus() {
             let plain = plan_lines(&mut d, &format!("EXPLAIN {sql}"), &opts);
             let analyzed = plan_lines(&mut d, &format!("EXPLAIN ANALYZE {sql}"), &opts);

@@ -127,6 +127,9 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "stardb.op.topn.ns",
     "stardb.op.limit.rows",
     "stardb.op.limit.ns",
+    "stardb.op.vector.batches",
+    "stardb.op.vector.selectivity_pct",
+    "stardb.op.vector.materialized_rows",
 ];
 
 #[test]
