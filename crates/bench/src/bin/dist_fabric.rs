@@ -1,0 +1,218 @@
+//! **Distributed fabric sweep** — the zone-sharded scatter–gather layer
+//! at 1/2/4/8 database nodes over the paper's region workload.
+//!
+//! Imports a sky into a `Galaxy` catalog, shards it across N simulated
+//! stardb nodes with [`distfab::DistCluster`], and drives the workload at
+//! every node count:
+//!
+//! * **Identity** — every query's result must be byte-for-byte identical
+//!   across 1/2/4/8 nodes (the Figure-4 region window is the headline).
+//! * **Scaling** — the full-slice scan+filter kernel's *virtual cluster
+//!   makespan* (node-clock scaled, host-independent — the same time base
+//!   as every other gridsim number) must drop near-linearly: ≥ 2.5×
+//!   faster at 4 nodes than at 1, asserted.
+//! * **Pruning** — the dec-window region query must ship strictly fewer
+//!   rows than the broadcast baseline, and contact fewer shards.
+//!
+//! ```text
+//! cargo run -p bench --release --bin dist_fabric [-- --scale 0.05 --seed 2005]
+//! ```
+//!
+//! Emits `BENCH_dist.json`.
+
+use bench::{BenchOpts, TextTable};
+use distfab::{DistCluster, DistConfig};
+use serde::Serialize;
+use skycore::kcorr::KcorrTable;
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use stardb::{Database, DbConfig, Row};
+use std::time::Instant;
+
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (query, node-count) measurement.
+#[derive(Serialize)]
+struct SweepPoint {
+    query: &'static str,
+    nodes: usize,
+    wall_s: f64,
+    /// Virtual cluster makespan of the scatter (seconds).
+    makespan_s: f64,
+    rows_shipped: u64,
+    bytes_shipped: u64,
+    shards_contacted: usize,
+    shards_pruned: usize,
+    result_rows: usize,
+    identical_to_one_node: bool,
+}
+
+#[derive(Serialize)]
+struct DistReport {
+    scale: f64,
+    galaxies: u64,
+    sweep: Vec<SweepPoint>,
+    /// makespan(1 node) / makespan(4 nodes) on the scan+filter kernel —
+    /// the headline scaling number, asserted >= 2.5.
+    kernel_speedup_4x: f64,
+    /// Same ratio at 8 nodes, reported for the scaling curve.
+    kernel_speedup_8x: f64,
+    /// Rows the pruned region plan shipped at 8 nodes.
+    pruned_rows_shipped: u64,
+    /// Rows the broadcast baseline shipped for the same query — must be
+    /// strictly greater.
+    broadcast_rows_shipped: u64,
+    /// Shards the pruned region plan contacted at 8 nodes (of 8).
+    pruned_shards_contacted: usize,
+}
+
+/// Build the source catalog: Galaxy only, clustered on objid, with the
+/// region secondary index so the per-shard subplans use the same access
+/// paths the single-node engine picks.
+fn setup(opts: &BenchOpts, survey: &SkyRegion) -> (Database, u64) {
+    let kcorr = KcorrTable::generate(skycore::kcorr::KcorrConfig::default());
+    let sky = Sky::generate(*survey, &SkyConfig::scaled(opts.scale), &kcorr, opts.seed);
+    let mut db = Database::new(DbConfig::in_memory());
+    db.create_clustered_table("Galaxy", maxbcg::schema::galaxy_schema(), &["objid"])
+        .expect("schema");
+    db.create_index("Galaxy", "idx_region", &["dec", "ra"]).expect("index");
+    let rows: Vec<Row> =
+        sky.galaxies_in(survey).map(maxbcg::import::galaxy_row).collect();
+    let n = rows.len() as u64;
+    db.insert_rows("Galaxy", rows).expect("import");
+    (db, n)
+}
+
+fn digest(rows: &[Row]) -> Vec<Vec<u8>> {
+    rows.iter().map(Row::encode).collect()
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    obs::set_enabled(true);
+    let survey = SkyRegion::new(194.0, 196.5, 1.25, 3.75);
+    let window = survey.shrunk(0.8);
+    let (src, galaxies) = setup(&opts, &survey);
+    println!("catalog: {galaxies} galaxies over dec [{}, {}]", survey.dec_min, survey.dec_max);
+
+    let queries: Vec<(&'static str, String)> = vec![
+        // Full-slice scan+filter: contacts every shard, each scanning its
+        // own slice — the near-linear-scaling kernel.
+        (
+            "scan_filter_kernel",
+            "SELECT objid, ra, dec, i FROM Galaxy WHERE i < 20.5 ORDER BY objid".to_owned(),
+        ),
+        // The paper's Figure-4 region window (dec-sargable: prunes).
+        ("fig4_region", maxbcg::region_query::region_select(&window)),
+        // Distributed aggregation: partial COUNT/MIN/MAX fold.
+        (
+            "grouped_agg",
+            "SELECT COUNT(*), MIN(i), MAX(ra) FROM Galaxy WHERE i < 21.0".to_owned(),
+        ),
+        // Distributed top-n with a per-shard pushed LIMIT.
+        (
+            "top_n",
+            "SELECT objid, i FROM Galaxy ORDER BY i, objid LIMIT 32".to_owned(),
+        ),
+    ];
+
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    let mut table = TextTable::new(&[
+        "query", "nodes", "wall (s)", "makespan (s)", "rows shipped", "contacted", "identical",
+    ]);
+    let mut kernel_makespans = [0f64; NODE_COUNTS.len()];
+    let mut reference: Vec<(usize, Vec<Vec<u8>>)> = Vec::new(); // query idx -> 1-node digest
+    let mut pruned_rows_shipped = 0u64;
+    let mut pruned_shards_contacted = 0usize;
+    let mut broadcast_rows_shipped = 0u64;
+
+    for (ni, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let fab = DistCluster::build(
+            &src,
+            DistConfig::new(nodes, "Galaxy", "dec", survey.dec_min, survey.dec_max),
+        )
+        .expect("build fabric");
+        for (qi, (name, sql)) in queries.iter().enumerate() {
+            let t0 = Instant::now();
+            let (_, rows) = fab.execute_sql(sql).expect("query").rows().expect("rows");
+            let wall_s = t0.elapsed().as_secs_f64();
+            let p = fab.last_dist().expect("profile");
+            let d = digest(&rows);
+            let identical = if nodes == 1 {
+                reference.push((qi, d.clone()));
+                true
+            } else {
+                reference.iter().find(|(i, _)| *i == qi).expect("reference").1 == d
+            };
+            assert!(identical, "{name}@{nodes} nodes diverged from the 1-node answer");
+            if *name == "scan_filter_kernel" {
+                kernel_makespans[ni] = p.virtual_makespan_s;
+            }
+            if *name == "fig4_region" && nodes == 8 {
+                pruned_rows_shipped = p.rows_shipped;
+                pruned_shards_contacted = p.contacted;
+                let (_, brows) =
+                    fab.execute_broadcast(sql).expect("broadcast").rows().expect("rows");
+                assert_eq!(digest(&brows), d, "broadcast baseline disagreed");
+                broadcast_rows_shipped = fab.last_dist().expect("profile").rows_shipped;
+            }
+            table.row(&[
+                (*name).into(),
+                nodes.to_string(),
+                format!("{wall_s:.5}"),
+                format!("{:.5}", p.virtual_makespan_s),
+                p.rows_shipped.to_string(),
+                format!("{}/{}", p.contacted, p.contacted + p.pruned),
+                identical.to_string(),
+            ]);
+            sweep.push(SweepPoint {
+                query: name,
+                nodes,
+                wall_s,
+                makespan_s: p.virtual_makespan_s,
+                rows_shipped: p.rows_shipped,
+                bytes_shipped: p.bytes_shipped,
+                shards_contacted: p.contacted,
+                shards_pruned: p.pruned,
+                result_rows: rows.len(),
+                identical_to_one_node: identical,
+            });
+        }
+    }
+    print!("{}", table.render());
+
+    let kernel_speedup_4x = kernel_makespans[0] / kernel_makespans[2];
+    let kernel_speedup_8x = kernel_makespans[0] / kernel_makespans[3];
+    println!(
+        "scan+filter kernel: {kernel_speedup_4x:.2}x at 4 nodes, {kernel_speedup_8x:.2}x at 8 \
+         (virtual makespan vs 1 node)"
+    );
+    println!(
+        "fig4 pruning at 8 nodes: {pruned_shards_contacted}/8 shards, {pruned_rows_shipped} rows \
+         shipped vs {broadcast_rows_shipped} broadcast"
+    );
+    assert!(
+        kernel_speedup_4x >= 2.5,
+        "scan+filter kernel must scale >= 2.5x at 4 nodes, got {kernel_speedup_4x:.2}x"
+    );
+    assert!(
+        pruned_rows_shipped < broadcast_rows_shipped,
+        "zone pruning must ship strictly fewer rows than broadcast \
+         ({pruned_rows_shipped} vs {broadcast_rows_shipped})"
+    );
+    assert!(pruned_shards_contacted < 8, "the dec window must not touch every shard");
+
+    let report = DistReport {
+        scale: opts.scale,
+        galaxies,
+        sweep,
+        kernel_speedup_4x,
+        kernel_speedup_8x,
+        pruned_rows_shipped,
+        broadcast_rows_shipped,
+        pruned_shards_contacted,
+    };
+    let path = opts.write_report("dist_fabric", &report);
+    println!("report written to {}", path.display());
+    opts.emit_report("dist", &report);
+}

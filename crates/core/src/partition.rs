@@ -13,7 +13,7 @@
 use crate::pipeline::{MaxBcgConfig, MaxBcgDb};
 use crate::stats::RunReport;
 use skycore::types::{Candidate, Cluster, ClusterMember};
-use skycore::SkyRegion;
+use skycore::{ShardMap, SkyRegion, ZoneScheme};
 use skysim::Sky;
 use stardb::{DbError, DbResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -260,7 +260,13 @@ pub fn run_partitioned_recovering(
     assert!(policy.max_attempts > 0);
     let attempts_counter = obs::counter("maxbcg.partition.attempts");
     let failover_counter = obs::counter("maxbcg.partition.failovers");
-    let stripes = import_window.partition_with_buffers(n, PARTITION_MARGIN_DEG);
+    // Stripe boundaries come from the shared zone-range shard map — the
+    // same bucketing the distributed query fabric uses to place shards on
+    // nodes — so a partition's native stripe holds exactly its shard's
+    // zones and the two layers can never disagree about ownership.
+    let shard_map =
+        ShardMap::build(ZoneScheme::default(), import_window.dec_min, import_window.dec_max, n);
+    let stripes = shard_map.stripes_with_buffers(import_window, PARTITION_MARGIN_DEG);
     let start = Instant::now();
     let inject = Mutex::new(inject);
     let outcomes: Vec<PartitionOutcome> = std::thread::scope(|scope| {

@@ -1,0 +1,1238 @@
+//! # distfab — the distributed zone-sharded scatter–gather query fabric
+//!
+//! §5 of the paper sketches the zone-partitioned cluster the SDSS team
+//! built after the single-node port: the catalog split into contiguous
+//! declination-zone ranges, one range per database server, a coordinator
+//! that scatters planned subqueries to the shard-holding nodes and merges
+//! the partial answers. This crate is that layer over the reproduction's
+//! substrates: [`stardb`] shards hosted on [`gridsim`] nodes, sharded by
+//! [`skycore::ShardMap`] — the *same* zone bucketing the MaxBCG partition
+//! driver uses, so the science pipeline and the query fabric can never
+//! disagree about who owns a declination.
+//!
+//! The flow for one query:
+//!
+//! 1. **Plan** — parse the SELECT, intersect its sargable shard-column
+//!    interval ([`stardb::sql::column_interval`]) with the shard map's
+//!    zone ranges, and rewrite it into a per-shard subquery plus a gather
+//!    recipe (merge keys, or a finalization query over a scratch table).
+//! 2. **Scatter** — ship the subquery *text* to each contacted shard via
+//!    [`gridsim::GridCluster::run_routed`]: node crashes re-route one
+//!    ring step per attempt with backoff, so a mid-gather kill degrades
+//!    latency, never answers.
+//! 3. **Gather** — shard results come back row-codec encoded
+//!    ([`stardb::Row::encode`]); the coordinator decodes them into
+//!    [`stardb::ColumnBatch`] streams and recombines with the exchange
+//!    operators in [`stardb::dist`]: order-preserving k-way merge,
+//!    distributed top-n, duplicate elimination, or partial→final
+//!    aggregation over a scratch table.
+//!
+//! Results are **deterministic in the node count**: per-shard streams are
+//! produced in a canonical total order (explicit ORDER BY keys extended
+//! with every remaining column, NULLs first, floats by `total_cmp`), and
+//! every gather operator is insensitive to shard arrival interleaving.
+//! Known, documented divergences from the single-node engine: `LIMIT`
+//! without a total order selects the canonically-first rows (the engine
+//! picks scan-order rows), and `AVG`/float-`SUM` fold in canonical row
+//! order (last-ulp differences from the engine's scan order, still exact
+//! across node counts). See DESIGN.md §6i.
+
+#![warn(missing_docs)]
+
+mod render;
+
+pub use render::{render_col, render_expr, render_select};
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gridsim::{db_cluster, FaultPlan, GridCluster, RoutedJob};
+use skycore::{ShardMap, ZoneScheme};
+use stardb::dist::{
+    canonical_keys, decode_wire_stream, dedup_sorted_rows, dist_counters, gather_latency,
+    merge_streams, merge_top_n, SortKey,
+};
+use stardb::sql::ast::{AggFunc, ColRef, OrderItem, Select, SelectItem, SqlExpr, Stmt, TableRef};
+use stardb::sql::{column_interval, parse};
+use stardb::{
+    ColumnBatch, Column, DataType, Database, DbConfig, DbError, DbResult, Row, Schema, SqlOutput,
+    Value,
+};
+
+/// Name of the coordinator's scratch table for aggregate finalization.
+const SCRATCH: &str = "__dist_gather";
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// How to shard a catalog over a simulated cluster.
+#[derive(Debug)]
+pub struct DistConfig {
+    /// Number of shards == number of database nodes (shard `k` is homed
+    /// on node `db{k}`).
+    pub nodes: usize,
+    /// The partitioned table; every other table is replicated everywhere.
+    pub shard_table: String,
+    /// The declination column the zone bucketing keys on.
+    pub shard_col: String,
+    /// Zone layout shared with the science pipeline.
+    pub scheme: ZoneScheme,
+    /// Inclusive lower edge of the sharded declination span.
+    pub dec_min: f64,
+    /// Inclusive upper edge of the sharded declination span.
+    pub dec_max: f64,
+    /// Coordinator-side rebatching granularity for gathered wire rows.
+    pub batch_rows: usize,
+    /// Extra subquery attempts after a failure (crash failover budget).
+    pub retries: u32,
+    /// Strikes before a node is blacklisted for later routing (0 = off).
+    pub blacklist_after: u32,
+    /// Deterministic fault schedule injected into the scatter.
+    pub faults: Option<FaultPlan>,
+}
+
+impl DistConfig {
+    /// A config with the shared defaults (30″ zones, 1024-row gather
+    /// batches, 3 failover retries, blacklist after 2 strikes).
+    pub fn new(nodes: usize, shard_table: &str, shard_col: &str, dec_min: f64, dec_max: f64) -> Self {
+        DistConfig {
+            nodes,
+            shard_table: shard_table.to_owned(),
+            shard_col: shard_col.to_owned(),
+            scheme: ZoneScheme::default(),
+            dec_min,
+            dec_max,
+            batch_rows: 1024,
+            retries: 3,
+            blacklist_after: 2,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault schedule (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query profile
+// ---------------------------------------------------------------------------
+
+/// What one shard shipped back for the last distributed query.
+#[derive(Debug, Clone)]
+pub struct ShardShip {
+    /// Shard index.
+    pub shard: usize,
+    /// Node that finally ran the subquery (after any failovers).
+    pub node: String,
+    /// Half-open zone range the shard owns.
+    pub zones: (i32, i32),
+    /// Result rows shipped to the coordinator.
+    pub rows: u64,
+    /// Wire bytes shipped.
+    pub bytes: u64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Execution profile of the last query routed through the fabric.
+#[derive(Debug, Clone, Default)]
+pub struct DistProfile {
+    /// Gather mode: `merge`, `top-n`, `merge+dedup`, `partial-agg`,
+    /// `raw-agg`, `broadcast`, or `local`.
+    pub mode: String,
+    /// Shards in the map.
+    pub shards_total: usize,
+    /// Shards actually contacted.
+    pub contacted: usize,
+    /// Shards skipped by zone-range pruning.
+    pub pruned: usize,
+    /// Total rows shipped shard → coordinator.
+    pub rows_shipped: u64,
+    /// Total wire bytes shipped.
+    pub bytes_shipped: u64,
+    /// Subquery attempts beyond the first (crash failovers).
+    pub retries: u64,
+    /// End-to-end scatter–gather wall time, nanoseconds.
+    pub gather_ns: u64,
+    /// Virtual cluster makespan of the scatter (node-clock scaled, the
+    /// grid simulator's host-independent time base), seconds.
+    pub virtual_makespan_s: f64,
+    /// The per-shard subquery text.
+    pub subquery: String,
+    /// Coordinator finalization query, for aggregate/broadcast gathers.
+    pub final_sql: Option<String>,
+    /// Per-shard shipping detail.
+    pub per_shard: Vec<ShardShip>,
+    /// Nodes blacklisted during the scatter.
+    pub blacklisted: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+/// How gathered streams recombine at the coordinator.
+enum Gather {
+    /// Streams arrive totally ordered; k-way merge, then optional
+    /// adjacent dedup (DISTINCT) and truncation (LIMIT), then cut hidden
+    /// sort columns down to `visible`.
+    Merge { keys: Vec<SortKey>, visible: usize, distinct: bool, limit: Option<usize> },
+    /// Decode every shipped row, optionally sort canonically, load into a
+    /// coordinator table, and run `final_sql` over it. `temp_cols` names
+    /// the scratch columns; `None` loads into the (empty) coordinator
+    /// copy of the shard table instead (broadcast mode).
+    Finalize { sort_rows: bool, temp_cols: Option<Vec<String>>, final_sql: String },
+}
+
+struct DistPlan {
+    mode: &'static str,
+    subquery: String,
+    /// Arity of each shipped row.
+    width: usize,
+    /// Inclusive contacted shard range.
+    contacted: (usize, usize),
+    pruned: usize,
+    gather: Gather,
+}
+
+// ---------------------------------------------------------------------------
+// The cluster
+// ---------------------------------------------------------------------------
+
+/// A zone-sharded database cluster: one [`Database`] shard per simulated
+/// grid node, plus a coordinator catalog holding the replicated tables
+/// and every schema.
+pub struct DistCluster {
+    cfg: DistConfig,
+    map: ShardMap,
+    grid: GridCluster,
+    shards: Vec<Mutex<Database>>,
+    /// Coordinator store: all schemas, replicated-table rows, an *empty*
+    /// shard-table slice (probing plans against it), and scratch space.
+    catalog: Mutex<Database>,
+    qid: AtomicU64,
+    last: Mutex<Option<DistProfile>>,
+}
+
+impl DistCluster {
+    /// Shard `src` across `cfg.nodes` simulated database nodes. The shard
+    /// table's rows are routed by [`ShardMap::shard_of_dec`] on the shard
+    /// column; every other table (and every index definition) is
+    /// replicated on each node and kept at the coordinator.
+    pub fn build(src: &Database, mut cfg: DistConfig) -> DbResult<DistCluster> {
+        assert!(cfg.nodes > 0, "a fabric needs at least one node");
+        let map = ShardMap::build(cfg.scheme, cfg.dec_min, cfg.dec_max, cfg.nodes);
+        let mut grid = GridCluster::new(db_cluster(cfg.nodes));
+        grid.retries = cfg.retries;
+        grid.blacklist_after = cfg.blacklist_after;
+        if let Some(plan) = cfg.faults.take() {
+            grid = grid.with_faults(plan.clone());
+            cfg.faults = Some(plan);
+        }
+
+        let mut shards: Vec<Database> =
+            (0..cfg.nodes).map(|_| Database::new(DbConfig::in_memory())).collect();
+        let mut catalog = Database::new(DbConfig::in_memory());
+
+        for table in src.table_names() {
+            let schema = src.schema_of(&table)?.clone();
+            let clustered: Option<Vec<String>> = src.clustered_key_cols(&table).ok().map(|pos| {
+                pos.iter().map(|&p| schema.columns()[p].name.clone()).collect()
+            });
+            let indexes: Vec<(String, Vec<String>)> = src
+                .index_names(&table)?
+                .into_iter()
+                .map(|idx| {
+                    let cols = src
+                        .index_key_cols(&table, &idx)
+                        .map(|pos| {
+                            pos.iter().map(|&p| schema.columns()[p].name.clone()).collect()
+                        })
+                        .unwrap_or_default();
+                    (idx, cols)
+                })
+                .collect();
+            let create = |db: &mut Database| -> DbResult<()> {
+                match &clustered {
+                    Some(key) => {
+                        let key: Vec<&str> = key.iter().map(String::as_str).collect();
+                        db.create_clustered_table(&table, schema.clone(), &key)?;
+                    }
+                    None => db.create_table(&table, schema.clone())?,
+                }
+                for (idx, cols) in &indexes {
+                    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    db.create_index(&table, idx, &cols)?;
+                }
+                Ok(())
+            };
+            create(&mut catalog)?;
+            for shard in &mut shards {
+                create(shard)?;
+            }
+
+            let rows = src.scan(&table)?;
+            if table.eq_ignore_ascii_case(&cfg.shard_table) {
+                let dec_idx = schema.col(&cfg.shard_col)?;
+                let mut slices: Vec<Vec<Row>> = vec![Vec::new(); cfg.nodes];
+                for row in rows {
+                    let dec = match &row.0[dec_idx] {
+                        Value::Float(x) => *x,
+                        Value::Real(x) => f64::from(*x),
+                        Value::BigInt(x) => *x as f64,
+                        Value::Int(x) => f64::from(*x),
+                        // NULL / non-numeric declinations park on shard 0.
+                        _ => f64::NEG_INFINITY,
+                    };
+                    let k = if dec.is_finite() { map.shard_of_dec(dec) } else { 0 };
+                    slices[k].push(row);
+                }
+                for (shard, slice) in shards.iter_mut().zip(slices) {
+                    shard.insert_rows(&table, slice)?;
+                }
+            } else {
+                catalog.insert_rows(&table, rows.iter().cloned())?;
+                for shard in &mut shards {
+                    shard.insert_rows(&table, rows.iter().cloned())?;
+                }
+            }
+        }
+
+        Ok(DistCluster {
+            cfg,
+            map,
+            grid,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            catalog: Mutex::new(catalog),
+            qid: AtomicU64::new(0),
+            last: Mutex::new(None),
+        })
+    }
+
+    /// The shard map in force.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+
+    /// Profile of the last query routed through the fabric.
+    pub fn last_dist(&self) -> Option<DistProfile> {
+        self.last.lock().unwrap().clone()
+    }
+
+    /// Rows of the shard table resident on shard `k` (test/bench aid).
+    pub fn shard_rows(&self, k: usize) -> usize {
+        let db = self.shards[k].lock().unwrap();
+        db.scan(&self.cfg.shard_table).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Execute one SQL statement against the fabric. `SELECT` scatters;
+    /// `EXPLAIN [ANALYZE] SELECT` renders the distributed plan tree; all
+    /// writes are rejected (the fabric is a read-only query layer).
+    pub fn execute_sql(&self, sql: &str) -> DbResult<SqlOutput> {
+        match parse(sql)? {
+            Stmt::Select(s) => self.run_select(&s, sql, false),
+            Stmt::Explain { select, analyze } => self.explain_select(&select, analyze),
+            _ => Err(DbError::TypeError(
+                "the distributed fabric is read-only: only SELECT and EXPLAIN route".into(),
+            )),
+        }
+    }
+
+    /// Execute a SELECT with scatter–gather but **no** zone pruning and
+    /// **no** operator pushdown: every shard ships its whole slice and
+    /// the coordinator runs the original query over the reassembled
+    /// table. The naive-federation baseline the benchmarks compare
+    /// against — and an independent correctness oracle.
+    pub fn execute_broadcast(&self, sql: &str) -> DbResult<SqlOutput> {
+        match parse(sql)? {
+            Stmt::Select(s) => self.run_select(&s, sql, true),
+            _ => Err(DbError::TypeError("broadcast baseline takes a SELECT".into())),
+        }
+    }
+
+    /// The distributed EXPLAIN lines for `sql` (a SELECT).
+    pub fn explain_lines(&self, sql: &str, analyze: bool) -> DbResult<Vec<String>> {
+        let select = match parse(sql)? {
+            Stmt::Select(s) => s,
+            Stmt::Explain { select, .. } => select,
+            _ => return Err(DbError::TypeError("EXPLAIN takes a SELECT".into())),
+        };
+        match self.explain_select(&select, analyze)? {
+            SqlOutput::Rows { rows, .. } => Ok(rows
+                .into_iter()
+                .map(|r| match r.0.into_iter().next() {
+                    Some(Value::Text(s)) => s,
+                    other => format!("{other:?}"),
+                })
+                .collect()),
+            _ => unreachable!("EXPLAIN yields rows"),
+        }
+    }
+
+    // -- query path ---------------------------------------------------------
+
+    fn involves_shard_table(&self, s: &Select) -> bool {
+        let st = &self.cfg.shard_table;
+        s.from.table.eq_ignore_ascii_case(st)
+            || s.joins.iter().any(|j| j.table.table.eq_ignore_ascii_case(st))
+    }
+
+    fn run_select(&self, s: &Select, raw_sql: &str, force_broadcast: bool) -> DbResult<SqlOutput> {
+        // Engine-parity probe: plan and execute the original query at the
+        // coordinator (the shard-table slice there is empty). This yields
+        // the exact output column names — including the engine's
+        // dedup-suffix naming — and surfaces the engine's own error for
+        // invalid SQL before anything is scattered.
+        let probe = self.catalog.lock().unwrap().execute_sql(raw_sql)?;
+        let (probe_cols, local_rows) = match probe {
+            SqlOutput::Rows { columns, rows } => (columns, rows),
+            other => return Ok(other),
+        };
+
+        if !self.involves_shard_table(s) {
+            // Fully replicated at the coordinator: nothing to scatter.
+            *self.last.lock().unwrap() = Some(DistProfile {
+                mode: "local".into(),
+                shards_total: self.map.shard_count(),
+                ..DistProfile::default()
+            });
+            return Ok(SqlOutput::Rows { columns: probe_cols, rows: local_rows });
+        }
+
+        let plan = self.plan_select(s, raw_sql, force_broadcast)?;
+        let t0 = Instant::now();
+        let (streams, per_shard, retries, blacklisted, makespan_s) = self.scatter(&plan)?;
+        let rows = self.gather(&plan, streams)?;
+        let gather_ns = t0.elapsed().as_nanos() as u64;
+
+        let rows_shipped: u64 = per_shard.iter().map(|p| p.rows).sum();
+        let bytes_shipped: u64 = per_shard.iter().map(|p| p.bytes).sum();
+        let c = dist_counters();
+        c.subqueries.add(per_shard.len() as u64);
+        c.shards_pruned.add(plan.pruned as u64);
+        c.rows_shipped.add(rows_shipped);
+        c.bytes_shipped.add(bytes_shipped);
+        c.retries.add(retries);
+        gather_latency().record(gather_ns);
+
+        let final_sql = match &plan.gather {
+            Gather::Finalize { final_sql, .. } => Some(final_sql.clone()),
+            Gather::Merge { .. } => None,
+        };
+        *self.last.lock().unwrap() = Some(DistProfile {
+            mode: plan.mode.into(),
+            shards_total: self.map.shard_count(),
+            contacted: per_shard.len(),
+            pruned: plan.pruned,
+            rows_shipped,
+            bytes_shipped,
+            retries,
+            gather_ns,
+            virtual_makespan_s: makespan_s,
+            subquery: plan.subquery.clone(),
+            final_sql,
+            per_shard,
+            blacklisted,
+        });
+        Ok(SqlOutput::Rows { columns: probe_cols, rows })
+    }
+
+    /// Scatter the planned subquery to every contacted shard over the
+    /// routed grid scheduler. Returns per-shard encoded row payloads in
+    /// ascending shard order (the merge tie-break relies on it).
+    #[allow(clippy::type_complexity)]
+    fn scatter(
+        &self,
+        plan: &DistPlan,
+    ) -> DbResult<(Vec<Vec<Vec<u8>>>, Vec<ShardShip>, u64, Vec<String>, f64)> {
+        let qid = self.qid.fetch_add(1, Ordering::Relaxed);
+        let shards: Vec<usize> = (plan.contacted.0..=plan.contacted.1).collect();
+        let jobs: Vec<RoutedJob<usize>> = shards
+            .iter()
+            .map(|&k| RoutedJob {
+                name: format!("q{qid}.s{k}"),
+                ram_mb: 256,
+                home: k,
+                payload: k,
+            })
+            .collect();
+        let subquery = plan.subquery.clone();
+        let (runs, report) = self.grid.run_routed(jobs, |&k, _node| {
+            let mut db = self.shards[k].lock().unwrap();
+            match db.execute_sql(&subquery) {
+                Ok(SqlOutput::Rows { rows, .. }) => {
+                    Ok(rows.iter().map(Row::encode).collect::<Vec<Vec<u8>>>())
+                }
+                Ok(_) => Err("subquery did not produce a row set".to_owned()),
+                Err(e) => Err(format!("{e:?}")),
+            }
+        });
+
+        let mut streams = Vec::with_capacity(runs.len());
+        let mut per_shard = Vec::with_capacity(runs.len());
+        let mut retries = 0u64;
+        for (run, &k) in runs.into_iter().zip(&shards) {
+            retries += u64::from(run.attempts.saturating_sub(1));
+            let payloads = run.output.map_err(|e| DbError::Io {
+                op: format!("scatter {}", run.name),
+                detail: e,
+                transient: true,
+            })?;
+            per_shard.push(ShardShip {
+                shard: k,
+                node: run.node.unwrap_or_else(|| "unscheduled".into()),
+                zones: self.map.shard_zones(k),
+                rows: payloads.len() as u64,
+                bytes: payloads.iter().map(|p| p.len() as u64).sum(),
+                attempts: run.attempts,
+            });
+            streams.push(payloads);
+        }
+        let makespan_s = report.virtual_makespan.as_secs_f64();
+        Ok((streams, per_shard, retries, report.blacklisted, makespan_s))
+    }
+
+    /// Recombine gathered wire streams per the plan's gather recipe.
+    fn gather(&self, plan: &DistPlan, streams: Vec<Vec<Vec<u8>>>) -> DbResult<Vec<Row>> {
+        let dtypes = infer_dtypes(&streams, plan.width)?;
+        match &plan.gather {
+            Gather::Merge { keys, visible, distinct, limit } => {
+                let batches: Vec<Vec<ColumnBatch>> = streams
+                    .iter()
+                    .map(|payloads| decode_wire_stream(payloads, &dtypes, self.cfg.batch_rows))
+                    .collect::<DbResult<_>>()?;
+                let mut rows = match limit {
+                    Some(n) => merge_top_n(&batches, keys, *n),
+                    None => merge_streams(&batches, keys),
+                };
+                if *distinct {
+                    rows = dedup_sorted_rows(rows);
+                }
+                if let Some(n) = limit {
+                    rows.truncate(*n);
+                }
+                for row in &mut rows {
+                    row.0.truncate(*visible);
+                }
+                Ok(rows)
+            }
+            Gather::Finalize { sort_rows, temp_cols, final_sql } => {
+                let mut rows: Vec<Row> = Vec::new();
+                for payload in streams.iter().flatten() {
+                    rows.push(Row::decode(payload, plan.width)?);
+                }
+                if *sort_rows {
+                    // Canonical load order: the coordinator's fold (AVG,
+                    // float SUM) must not depend on the shard split.
+                    rows.sort_by(cmp_rows);
+                }
+                let mut db = self.catalog.lock().unwrap();
+                let (table, temp) = match temp_cols {
+                    Some(cols) => {
+                        let _ = db.drop_table(SCRATCH);
+                        let schema = Schema::new(
+                            cols.iter()
+                                .zip(&dtypes)
+                                .map(|(name, dt)| Column::nullable(name, *dt))
+                                .collect(),
+                        );
+                        db.create_table(SCRATCH, schema)?;
+                        (SCRATCH.to_owned(), true)
+                    }
+                    None => {
+                        db.truncate(&self.cfg.shard_table)?;
+                        (self.cfg.shard_table.clone(), false)
+                    }
+                };
+                let loaded = db.insert_rows(&table, rows).and_then(|_| db.execute_sql(final_sql));
+                // Leave the coordinator clean even on failure.
+                if temp {
+                    let _ = db.drop_table(SCRATCH);
+                } else {
+                    let _ = db.truncate(&table);
+                }
+                match loaded? {
+                    SqlOutput::Rows { rows, .. } => Ok(rows),
+                    _ => Err(DbError::TypeError("finalize query did not yield rows".into())),
+                }
+            }
+        }
+    }
+
+    // -- planning -----------------------------------------------------------
+
+    /// The inclusive shard range a query must contact, and how many
+    /// shards zone pruning skipped.
+    fn contacted_range(&self, s: &Select) -> ((usize, usize), usize) {
+        let contacted = match column_interval(s, &self.cfg.shard_col) {
+            Some((lo, hi)) => {
+                let lo = lo.unwrap_or(self.cfg.dec_min);
+                let hi = hi.unwrap_or(self.cfg.dec_max).max(lo);
+                self.map.shards_for_dec_range(lo, hi)
+            }
+            None => (0, self.map.shard_count() - 1),
+        };
+        let pruned = self.map.shard_count() - (contacted.1 - contacted.0 + 1);
+        (contacted, pruned)
+    }
+
+    fn plan_select(&self, s: &Select, raw_sql: &str, force_broadcast: bool) -> DbResult<DistPlan> {
+        if force_broadcast {
+            return self.plan_broadcast(raw_sql, true);
+        }
+        let (contacted, pruned) = self.contacted_range(s);
+        let aggregated = s.group_by.is_some()
+            || s.items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. }));
+        let planned = if aggregated {
+            self.plan_agg(s, contacted, pruned)
+        } else {
+            self.plan_plain(s, contacted, pruned)
+        };
+        match planned {
+            Some(plan) => Ok(plan),
+            // Shapes the pushdown rewriter does not cover fall back to
+            // shipping whole slices — slower, never wrong.
+            None => self.plan_broadcast(raw_sql, false),
+        }
+    }
+
+    fn plan_broadcast(&self, raw_sql: &str, _all: bool) -> DbResult<DistPlan> {
+        let width = {
+            let db = self.catalog.lock().unwrap();
+            db.schema_of(&self.cfg.shard_table)?.columns().len()
+        };
+        Ok(DistPlan {
+            mode: "broadcast",
+            subquery: format!("SELECT * FROM {}", self.cfg.shard_table),
+            width,
+            contacted: (0, self.map.shard_count() - 1),
+            pruned: 0,
+            gather: Gather::Finalize {
+                sort_rows: true,
+                temp_cols: None,
+                final_sql: raw_sql.to_owned(),
+            },
+        })
+    }
+
+    /// Rewrite a non-aggregate SELECT: alias every output expression,
+    /// append hidden ORDER BY columns the projection dropped, extend the
+    /// sort to a canonical total order, and push LIMIT per shard.
+    fn plan_plain(
+        &self,
+        s: &Select,
+        contacted: (usize, usize),
+        pruned: usize,
+    ) -> Option<DistPlan> {
+        // Expand the projection the way the planner's scope does: `*`
+        // pulls every visible column, FROM table first, joins in order.
+        let mut out: Vec<(SqlExpr, String)> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    let db = self.catalog.lock().unwrap();
+                    let mut tables = vec![&s.from];
+                    tables.extend(s.joins.iter().map(|j| &j.table));
+                    for t in tables {
+                        let schema = db.schema_of(&t.table).ok()?;
+                        for c in schema.columns() {
+                            out.push((
+                                SqlExpr::Col(ColRef {
+                                    table: Some(t.alias.clone()),
+                                    column: c.name.clone(),
+                                }),
+                                c.name.to_ascii_lowercase(),
+                            ));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    out.push((expr.clone(), output_name(expr, alias)));
+                }
+            }
+        }
+        let visible = out.len();
+
+        // ORDER BY resolution mirrors the engine: qualified or bare name
+        // against pre-dedup output names, first match wins; a miss on a
+        // plain non-DISTINCT select becomes a hidden appended column.
+        let mut explicit: Vec<SortKey> = Vec::new();
+        for item in &s.order_by {
+            let qualified = display_col(&item.col);
+            let bare = item.col.column.to_ascii_lowercase();
+            let pos = out.iter().position(|(_, n)| *n == qualified || *n == bare);
+            let pos = match pos {
+                Some(p) => p,
+                None if s.distinct => return None, // engine rejects; probe already did
+                None => {
+                    out.push((SqlExpr::Col(item.col.clone()), String::new()));
+                    out.len() - 1
+                }
+            };
+            explicit.push(SortKey { col: pos, desc: item.desc });
+        }
+        let keys = canonical_keys(out.len(), &explicit);
+
+        let sub = Select {
+            distinct: s.distinct,
+            items: out
+                .iter()
+                .enumerate()
+                .map(|(k, (expr, _))| SelectItem::Expr {
+                    expr: expr.clone(),
+                    alias: Some(format!("__c{k}")),
+                })
+                .collect(),
+            from: s.from.clone(),
+            joins: s.joins.clone(),
+            filter: s.filter.clone(),
+            group_by: None,
+            having: None,
+            order_by: keys
+                .iter()
+                .map(|k| OrderItem {
+                    col: ColRef { table: None, column: format!("__c{}", k.col) },
+                    desc: k.desc,
+                })
+                .collect(),
+            limit: s.limit,
+        };
+        let mode = if s.limit.is_some() && !explicit.is_empty() {
+            "top-n"
+        } else if s.distinct {
+            "merge+dedup"
+        } else {
+            "merge"
+        };
+        Some(DistPlan {
+            mode,
+            subquery: render_select(&sub),
+            width: out.len(),
+            contacted,
+            pruned,
+            gather: Gather::Merge { keys, visible, distinct: s.distinct, limit: s.limit },
+        })
+    }
+
+    /// Rewrite an aggregate SELECT. Decomposable aggregates (`COUNT`,
+    /// `MIN`, `MAX`, integer `SUM`) ship per-shard *partials* that a
+    /// finalization query folds (`COUNT` → `SUM` of partial counts);
+    /// everything else (`AVG`, float `SUM`, `HAVING`) ships the raw
+    /// argument columns and aggregates once at the coordinator.
+    fn plan_agg(&self, s: &Select, contacted: (usize, usize), pruned: usize) -> Option<DistPlan> {
+        #[derive(Clone, Copy)]
+        enum Kind {
+            Group,
+            Agg(usize),
+        }
+        let group = s.group_by.as_ref();
+        let mut aggs: Vec<(AggFunc, Option<SqlExpr>)> = Vec::new();
+        let mut kinds: Vec<Kind> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        for item in &s.items {
+            let SelectItem::Expr { expr, alias } = item else { return None };
+            names.push(output_name(expr, alias));
+            match expr {
+                SqlExpr::Agg { func, arg } => {
+                    kinds.push(Kind::Agg(push_agg(&mut aggs, *func, arg.as_deref())));
+                }
+                SqlExpr::Col(c) if group.is_some_and(|g| same_col(c, g)) => {
+                    kinds.push(Kind::Group);
+                }
+                _ => return None,
+            }
+        }
+        // HAVING aggregates ship alongside the projection's.
+        let having_rewritten = match &s.having {
+            Some(h) => Some(rewrite_having(h, group, &mut aggs)?),
+            None => None,
+        };
+
+        let partial_ok = s.having.is_none()
+            && !s.distinct
+            && aggs.iter().all(|(f, a)| self.partial_eligible(s, *f, a.as_ref()));
+
+        // Map each original ORDER BY item to a final-query output alias.
+        let order_by: Vec<OrderItem> = s
+            .order_by
+            .iter()
+            .map(|o| {
+                let qualified = display_col(&o.col);
+                let bare = o.col.column.to_ascii_lowercase();
+                names
+                    .iter()
+                    .position(|n| *n == qualified || *n == bare)
+                    .map(|j| OrderItem {
+                        col: ColRef { table: None, column: format!("__f{j}") },
+                        desc: o.desc,
+                    })
+            })
+            .collect::<Option<_>>()?;
+
+        let scratch_ref = TableRef { table: SCRATCH.to_owned(), alias: SCRATCH.to_owned() };
+        let group_col = |_: &ColRef| ColRef { table: None, column: "__g0".to_owned() };
+
+        if partial_ok {
+            // Per-shard: the original aggregation, shipped as partials.
+            let mut items: Vec<SelectItem> = Vec::new();
+            let mut cols: Vec<String> = Vec::new();
+            if let Some(g) = group {
+                items.push(SelectItem::Expr {
+                    expr: SqlExpr::Col((*g).clone()),
+                    alias: Some("__g0".to_owned()),
+                });
+                cols.push("__g0".to_owned());
+            }
+            for (i, (func, arg)) in aggs.iter().enumerate() {
+                items.push(SelectItem::Expr {
+                    expr: SqlExpr::Agg {
+                        func: *func,
+                        arg: arg.clone().map(Box::new),
+                    },
+                    alias: Some(format!("__p{i}")),
+                });
+                cols.push(format!("__p{i}"));
+            }
+            let sub = Select {
+                distinct: false,
+                items,
+                from: s.from.clone(),
+                joins: s.joins.clone(),
+                filter: s.filter.clone(),
+                group_by: s.group_by.clone(),
+                having: None,
+                order_by: vec![],
+                limit: None,
+            };
+            // Final: fold partials (COUNT folds with SUM).
+            let final_items: Vec<SelectItem> = kinds
+                .iter()
+                .enumerate()
+                .map(|(j, kind)| match kind {
+                    Kind::Group => SelectItem::Expr {
+                        expr: SqlExpr::Col(group_col(group.unwrap())),
+                        alias: Some(format!("__f{j}")),
+                    },
+                    Kind::Agg(i) => {
+                        let fold = match aggs[*i].0 {
+                            AggFunc::Count | AggFunc::Sum => AggFunc::Sum,
+                            AggFunc::Min => AggFunc::Min,
+                            AggFunc::Max => AggFunc::Max,
+                            AggFunc::Avg => unreachable!("AVG is never partial"),
+                        };
+                        SelectItem::Expr {
+                            expr: SqlExpr::Agg {
+                                func: fold,
+                                arg: Some(Box::new(SqlExpr::Col(ColRef {
+                                    table: None,
+                                    column: format!("__p{i}"),
+                                }))),
+                            },
+                            alias: Some(format!("__f{j}")),
+                        }
+                    }
+                })
+                .collect();
+            let final_q = Select {
+                distinct: false,
+                items: final_items,
+                from: scratch_ref,
+                joins: vec![],
+                filter: None,
+                group_by: group.map(group_col),
+                having: None,
+                order_by,
+                limit: s.limit,
+            };
+            let width = cols.len();
+            return Some(DistPlan {
+                mode: "partial-agg",
+                subquery: render_select(&sub),
+                width,
+                contacted,
+                pruned,
+                gather: Gather::Finalize {
+                    sort_rows: false,
+                    temp_cols: Some(cols),
+                    final_sql: render_select(&final_q),
+                },
+            });
+        }
+
+        // Raw mode: ship the group key and every aggregate argument as
+        // plain columns; aggregate exactly once at the coordinator.
+        let mut items: Vec<SelectItem> = Vec::new();
+        let mut cols: Vec<String> = Vec::new();
+        if let Some(g) = group {
+            items.push(SelectItem::Expr {
+                expr: SqlExpr::Col((*g).clone()),
+                alias: Some("__g0".to_owned()),
+            });
+            cols.push("__g0".to_owned());
+        }
+        for (i, (_, arg)) in aggs.iter().enumerate() {
+            if let Some(arg) = arg {
+                items.push(SelectItem::Expr {
+                    expr: arg.clone(),
+                    alias: Some(format!("__a{i}")),
+                });
+                cols.push(format!("__a{i}"));
+            }
+        }
+        if items.is_empty() {
+            // COUNT(*)-only and group-less: ship a 1 per matching row.
+            items.push(SelectItem::Expr {
+                expr: SqlExpr::Integer(1),
+                alias: Some("__one".to_owned()),
+            });
+            cols.push("__one".to_owned());
+        }
+        let sub = Select {
+            distinct: false,
+            items,
+            from: s.from.clone(),
+            joins: s.joins.clone(),
+            filter: s.filter.clone(),
+            group_by: None,
+            having: None,
+            order_by: vec![],
+            limit: None,
+        };
+        let final_items: Vec<SelectItem> = kinds
+            .iter()
+            .enumerate()
+            .map(|(j, kind)| match kind {
+                Kind::Group => SelectItem::Expr {
+                    expr: SqlExpr::Col(group_col(group.unwrap())),
+                    alias: Some(format!("__f{j}")),
+                },
+                Kind::Agg(i) => SelectItem::Expr {
+                    expr: scratch_agg(&aggs, *i),
+                    alias: Some(format!("__f{j}")),
+                },
+            })
+            .collect();
+        let final_q = Select {
+            distinct: false,
+            items: final_items,
+            from: scratch_ref,
+            joins: vec![],
+            filter: None,
+            group_by: group.map(group_col),
+            having: having_rewritten,
+            order_by,
+            limit: s.limit,
+        };
+        let width = cols.len();
+        Some(DistPlan {
+            mode: "raw-agg",
+            subquery: render_select(&sub),
+            width,
+            contacted,
+            pruned,
+            gather: Gather::Finalize {
+                sort_rows: true,
+                temp_cols: Some(cols),
+                final_sql: render_select(&final_q),
+            },
+        })
+    }
+
+    /// Whether one aggregate decomposes into exact per-shard partials.
+    /// Float `SUM` does not: the partial sums would fold in a different
+    /// order per node count, breaking bytewise identity across N.
+    fn partial_eligible(&self, s: &Select, func: AggFunc, arg: Option<&SqlExpr>) -> bool {
+        match func {
+            AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+            AggFunc::Avg => false,
+            AggFunc::Sum => {
+                let Some(SqlExpr::Col(c)) = arg else { return false };
+                matches!(
+                    self.resolve_dtype(s, c),
+                    Some(DataType::Int | DataType::BigInt)
+                )
+            }
+        }
+    }
+
+    /// Resolve a column reference's declared type against the catalog.
+    fn resolve_dtype(&self, s: &Select, c: &ColRef) -> Option<DataType> {
+        let db = self.catalog.lock().unwrap();
+        let mut tables = vec![&s.from];
+        tables.extend(s.joins.iter().map(|j| &j.table));
+        for t in tables {
+            if let Some(q) = &c.table {
+                if !q.eq_ignore_ascii_case(&t.alias) {
+                    continue;
+                }
+            }
+            if let Ok(schema) = db.schema_of(&t.table) {
+                if let Ok(pos) = schema.col(&c.column) {
+                    return Some(schema.columns()[pos].dtype);
+                }
+            }
+        }
+        None
+    }
+
+    // -- EXPLAIN ------------------------------------------------------------
+
+    fn explain_select(&self, s: &Select, analyze: bool) -> DbResult<SqlOutput> {
+        let raw = render_select(s);
+        let mut lines: Vec<String> = Vec::new();
+        if !self.involves_shard_table(s) {
+            lines.push(
+                "gather[local]: no shard table referenced; executed at the coordinator".into(),
+            );
+            let prefix = if analyze { "EXPLAIN ANALYZE " } else { "EXPLAIN " };
+            let out = self.catalog.lock().unwrap().execute_sql(&format!("{prefix}{raw}"))?;
+            push_engine_lines(&mut lines, out, "  ");
+            return Ok(explain_rows(lines));
+        }
+
+        let plan = self.plan_select(s, &raw, false)?;
+        let profile = if analyze {
+            self.run_select(s, &raw, false)?;
+            self.last_dist()
+        } else {
+            None
+        };
+
+        let (zlo, zhi) = self.map.zone_span();
+        let n_contacted = plan.contacted.1 - plan.contacted.0 + 1;
+        let mut head = format!(
+            "gather[{}]: shards {}/{} contacted, {} pruned by zone range, zones {}..={}, wire batch {} rows",
+            plan.mode,
+            n_contacted,
+            self.map.shard_count(),
+            plan.pruned,
+            zlo,
+            zhi,
+            self.cfg.batch_rows,
+        );
+        if let Some(p) = &profile {
+            head.push_str(&format!(
+                ", rows shipped {}, bytes {}, retries {}, gather {:.3}ms",
+                p.rows_shipped,
+                p.bytes_shipped,
+                p.retries,
+                p.gather_ns as f64 / 1e6
+            ));
+        }
+        lines.push(head);
+        match &plan.gather {
+            Gather::Merge { keys, visible, distinct, limit } => {
+                let mut l = format!(
+                    "  exchange[merge]: {} sort key(s) over {} shipped col(s), {} visible",
+                    keys.len(),
+                    plan.width,
+                    visible
+                );
+                if *distinct {
+                    l.push_str(", distinct");
+                }
+                if let Some(n) = limit {
+                    l.push_str(&format!(", limit {n}"));
+                }
+                lines.push(l);
+            }
+            Gather::Finalize { sort_rows, temp_cols, final_sql } => {
+                let target = match temp_cols {
+                    Some(cols) => format!("scratch({})", cols.join(", ")),
+                    None => self.cfg.shard_table.clone(),
+                };
+                let order = if *sort_rows { "canonical order" } else { "arrival order" };
+                lines.push(format!("  exchange[gather-insert]: into {target}, {order}"));
+                lines.push(format!("  finalize: {final_sql}"));
+            }
+        }
+        let prefix = if analyze { "EXPLAIN ANALYZE " } else { "EXPLAIN " };
+        for k in plan.contacted.0..=plan.contacted.1 {
+            let (za, zb) = self.map.shard_zones(k);
+            let (da, db_hi) = self.map.shard_dec_range(k);
+            let mut l = format!(
+                "  shard {k}: zones [{za}..{zb}), dec [{da:.4}..{db_hi:.4}), home db{k}"
+            );
+            if let Some(p) = &profile {
+                if let Some(ship) = p.per_shard.iter().find(|x| x.shard == k) {
+                    l.push_str(&format!(
+                        ", rows {}, bytes {}, attempts {}, node {}",
+                        ship.rows, ship.bytes, ship.attempts, ship.node
+                    ));
+                }
+            }
+            lines.push(l);
+            let out = {
+                let mut db = self.shards[k].lock().unwrap();
+                db.execute_sql(&format!("{prefix}{}", plan.subquery))?
+            };
+            push_engine_lines(&mut lines, out, "    ");
+        }
+        Ok(explain_rows(lines))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Lowercased engine output name for a projection item (pre-dedup).
+fn output_name(expr: &SqlExpr, alias: &Option<String>) -> String {
+    if let Some(a) = alias {
+        return a.to_ascii_lowercase();
+    }
+    match expr {
+        SqlExpr::Col(c) => c.column.to_ascii_lowercase(),
+        SqlExpr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase(),
+        _ => "expr".to_owned(),
+    }
+}
+
+/// Lowercased qualified display form (`t.c` / `c`), as the engine matches
+/// ORDER BY targets.
+fn display_col(c: &ColRef) -> String {
+    match &c.table {
+        Some(t) => format!("{}.{}", t.to_ascii_lowercase(), c.column.to_ascii_lowercase()),
+        None => c.column.to_ascii_lowercase(),
+    }
+}
+
+/// Whether a projection column reference names the GROUP BY column.
+fn same_col(c: &ColRef, g: &ColRef) -> bool {
+    c.column.eq_ignore_ascii_case(&g.column)
+}
+
+/// Intern an aggregate call, deduplicating identical (func, arg) pairs.
+fn push_agg(
+    aggs: &mut Vec<(AggFunc, Option<SqlExpr>)>,
+    func: AggFunc,
+    arg: Option<&SqlExpr>,
+) -> usize {
+    let arg = arg.cloned();
+    if let Some(i) = aggs.iter().position(|(f, a)| *f == func && *a == arg) {
+        return i;
+    }
+    aggs.push((func, arg));
+    aggs.len() - 1
+}
+
+/// The coordinator-side aggregate over raw shipped columns: `COUNT(*)`
+/// stays `COUNT(*)` (one scratch row per source row); everything else
+/// re-aggregates its shipped argument column.
+fn scratch_agg(aggs: &[(AggFunc, Option<SqlExpr>)], i: usize) -> SqlExpr {
+    let (func, arg) = &aggs[i];
+    SqlExpr::Agg {
+        func: *func,
+        arg: arg.as_ref().map(|_| {
+            Box::new(SqlExpr::Col(ColRef { table: None, column: format!("__a{i}") }))
+        }),
+    }
+}
+
+/// Rewrite a HAVING predicate for the raw-mode finalization query:
+/// aggregate calls point at shipped argument columns, bare group-column
+/// references become the scratch group key. Returns `None` when the
+/// predicate contains something the rewriter cannot place.
+fn rewrite_having(
+    e: &SqlExpr,
+    group: Option<&ColRef>,
+    aggs: &mut Vec<(AggFunc, Option<SqlExpr>)>,
+) -> Option<SqlExpr> {
+    Some(match e {
+        SqlExpr::Agg { func, arg } => {
+            let i = push_agg(aggs, *func, arg.as_deref());
+            scratch_agg(aggs, i)
+        }
+        SqlExpr::Col(c) if group.is_some_and(|g| same_col(c, g)) => {
+            SqlExpr::Col(ColRef { table: None, column: "__g0".to_owned() })
+        }
+        SqlExpr::Col(_) => return None,
+        SqlExpr::Null | SqlExpr::Number(_) | SqlExpr::Integer(_) | SqlExpr::Str(_) => e.clone(),
+        SqlExpr::Neg(x) => SqlExpr::Neg(Box::new(rewrite_having(x, group, aggs)?)),
+        SqlExpr::Bin { op, left, right } => SqlExpr::Bin {
+            op: *op,
+            left: Box::new(rewrite_having(left, group, aggs)?),
+            right: Box::new(rewrite_having(right, group, aggs)?),
+        },
+        SqlExpr::Between { expr, lo, hi } => SqlExpr::Between {
+            expr: Box::new(rewrite_having(expr, group, aggs)?),
+            lo: Box::new(rewrite_having(lo, group, aggs)?),
+            hi: Box::new(rewrite_having(hi, group, aggs)?),
+        },
+        SqlExpr::IsNull { expr, negated } => SqlExpr::IsNull {
+            expr: Box::new(rewrite_having(expr, group, aggs)?),
+            negated: *negated,
+        },
+        SqlExpr::Not(x) => SqlExpr::Not(Box::new(rewrite_having(x, group, aggs)?)),
+        SqlExpr::Func { name, args } => SqlExpr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_having(a, group, aggs))
+                .collect::<Option<_>>()?,
+        },
+    })
+}
+
+/// First non-NULL wire tag per column across every stream, in shard
+/// order; all-NULL columns fall back to `BigInt` (NULL decodes under any
+/// dtype).
+fn infer_dtypes(streams: &[Vec<Vec<u8>>], width: usize) -> DbResult<Vec<DataType>> {
+    let mut dtypes: Vec<Option<DataType>> = vec![None; width];
+    'outer: for payload in streams.iter().flatten() {
+        if dtypes.iter().all(|d| d.is_some()) {
+            break 'outer;
+        }
+        let row = Row::decode(payload, width)?;
+        for (slot, v) in dtypes.iter_mut().zip(&row.0) {
+            if slot.is_none() {
+                *slot = v.dtype();
+            }
+        }
+    }
+    Ok(dtypes.into_iter().map(|d| d.unwrap_or(DataType::BigInt)).collect())
+}
+
+/// Lexicographic canonical row order (NULLs first, floats total-ordered).
+fn cmp_rows(a: &Row, b: &Row) -> CmpOrdering {
+    for (x, y) in a.0.iter().zip(&b.0) {
+        let c = x.total_cmp(y);
+        if c != CmpOrdering::Equal {
+            return c;
+        }
+    }
+    CmpOrdering::Equal
+}
+
+fn explain_rows(lines: Vec<String>) -> SqlOutput {
+    SqlOutput::Rows {
+        columns: vec!["plan".to_owned()],
+        rows: lines.into_iter().map(|l| Row(vec![Value::Text(l)])).collect(),
+    }
+}
+
+fn push_engine_lines(lines: &mut Vec<String>, out: SqlOutput, indent: &str) {
+    if let SqlOutput::Rows { rows, .. } = out {
+        for row in rows {
+            if let Some(Value::Text(s)) = row.0.into_iter().next() {
+                lines.push(format!("{indent}{s}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

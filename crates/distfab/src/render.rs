@@ -1,0 +1,211 @@
+//! Render a parsed [`Select`] back to SQL text.
+//!
+//! The fabric plans against the AST but ships *text* to shard nodes — the
+//! wire protocol a real federation uses, and the reason subqueries stay
+//! engine-agnostic. The renderer is conservative: every compound
+//! expression is parenthesized, so operator precedence never depends on
+//! the parser agreeing with the printer. Float literals use Rust's `{:?}`
+//! formatting, which round-trips exactly through the SQL lexer (it
+//! accepts exponents and bare fractions).
+
+use stardb::sql::ast::{
+    AggFunc, ColRef, Join, OrderItem, Select, SelectItem, SqlBinOp, SqlExpr,
+};
+
+/// Render a column reference, qualified when the AST is.
+pub fn render_col(c: &ColRef) -> String {
+    match &c.table {
+        Some(t) => format!("{t}.{}", c.column),
+        None => c.column.clone(),
+    }
+}
+
+fn render_agg(func: AggFunc, arg: &Option<Box<SqlExpr>>) -> String {
+    let name = match func {
+        AggFunc::Count => "COUNT",
+        AggFunc::Min => "MIN",
+        AggFunc::Max => "MAX",
+        AggFunc::Sum => "SUM",
+        AggFunc::Avg => "AVG",
+    };
+    match arg {
+        None => format!("{name}(*)"),
+        Some(e) => format!("{name}({})", render_expr(e)),
+    }
+}
+
+/// Render an expression to SQL text that reparses to the same semantics.
+pub fn render_expr(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Col(c) => render_col(c),
+        SqlExpr::Null => "NULL".to_owned(),
+        SqlExpr::Number(x) => format!("{x:?}"),
+        SqlExpr::Integer(i) => {
+            if *i < 0 {
+                format!("({i})")
+            } else {
+                format!("{i}")
+            }
+        }
+        SqlExpr::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        SqlExpr::Neg(inner) => format!("(-{})", render_expr(inner)),
+        SqlExpr::Bin { op, left, right } => {
+            let op = match op {
+                SqlBinOp::Add => "+",
+                SqlBinOp::Sub => "-",
+                SqlBinOp::Mul => "*",
+                SqlBinOp::Div => "/",
+                SqlBinOp::Eq => "=",
+                SqlBinOp::Ne => "<>",
+                SqlBinOp::Lt => "<",
+                SqlBinOp::Le => "<=",
+                SqlBinOp::Gt => ">",
+                SqlBinOp::Ge => ">=",
+                SqlBinOp::And => "AND",
+                SqlBinOp::Or => "OR",
+            };
+            format!("({} {op} {})", render_expr(left), render_expr(right))
+        }
+        SqlExpr::Between { expr, lo, hi } => format!(
+            "({} BETWEEN {} AND {})",
+            render_expr(expr),
+            render_expr(lo),
+            render_expr(hi)
+        ),
+        SqlExpr::IsNull { expr, negated } => {
+            let not = if *negated { " NOT" } else { "" };
+            format!("({} IS{not} NULL)", render_expr(expr))
+        }
+        SqlExpr::Not(inner) => format!("(NOT {})", render_expr(inner)),
+        SqlExpr::Func { name, args } => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        SqlExpr::Agg { func, arg } => render_agg(*func, arg),
+    }
+}
+
+fn render_join(j: &Join) -> String {
+    let t = if j.table.alias.eq_ignore_ascii_case(&j.table.table) {
+        j.table.table.clone()
+    } else {
+        format!("{} AS {}", j.table.table, j.table.alias)
+    };
+    match &j.on {
+        Some(on) => format!(" JOIN {t} ON {}", render_expr(on)),
+        None => format!(" CROSS JOIN {t}"),
+    }
+}
+
+fn render_order(items: &[OrderItem]) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|o| {
+            if o.desc {
+                format!("{} DESC", render_col(&o.col))
+            } else {
+                render_col(&o.col)
+            }
+        })
+        .collect();
+    parts.join(", ")
+}
+
+/// Render a full SELECT statement.
+pub fn render_select(s: &Select) -> String {
+    let mut out = String::from("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = s
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => "*".to_owned(),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => format!("{} AS {a}", render_expr(expr)),
+                None => render_expr(expr),
+            },
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str(" FROM ");
+    out.push_str(&s.from.table);
+    if !s.from.alias.eq_ignore_ascii_case(&s.from.table) {
+        out.push_str(" AS ");
+        out.push_str(&s.from.alias);
+    }
+    for j in &s.joins {
+        out.push_str(&render_join(j));
+    }
+    if let Some(f) = &s.filter {
+        out.push_str(" WHERE ");
+        out.push_str(&render_expr(f));
+    }
+    if let Some(g) = &s.group_by {
+        out.push_str(" GROUP BY ");
+        out.push_str(&render_col(g));
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        out.push_str(&render_expr(h));
+    }
+    if !s.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        out.push_str(&render_order(&s.order_by));
+    }
+    if let Some(n) = s.limit {
+        out.push_str(&format!(" LIMIT {n}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardb::sql::ast::Stmt;
+    use stardb::sql::parse;
+
+    fn roundtrip(sql: &str) -> Select {
+        match parse(sql).expect("parse") {
+            Stmt::Select(s) => *s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rendered_select_reparses_to_same_ast() {
+        let cases = [
+            "SELECT * FROM Galaxy",
+            "SELECT g.ra, g.dec FROM Galaxy g WHERE g.dec BETWEEN -1.25 AND 2.5e-1",
+            "SELECT objid AS id FROM Galaxy WHERE (mag IS NOT NULL) AND NOT (cls = 3)",
+            "SELECT DISTINCT cls FROM Galaxy ORDER BY cls",
+            "SELECT cls, COUNT(*), SUM(cls), AVG(dec) FROM Galaxy GROUP BY cls",
+            "SELECT g.objid FROM Galaxy g JOIN Label l ON g.cls = l.cls WHERE l.weight > 2",
+            "SELECT g.objid, l.cls FROM Galaxy g CROSS JOIN Label l LIMIT 7",
+            "SELECT objid FROM Galaxy WHERE ABS(dec) < 0.5 ORDER BY ra DESC, objid LIMIT 3",
+            "SELECT cls FROM Galaxy GROUP BY cls HAVING COUNT(*) > 10",
+            "SELECT objid FROM Galaxy WHERE mag > -1.5 AND ra * 2.0 < 400.0",
+        ];
+        for sql in cases {
+            let ast = roundtrip(sql);
+            let rendered = render_select(&ast);
+            let again = roundtrip(&rendered);
+            assert_eq!(ast, again, "render not faithful for {sql:?}: {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn rendered_text_is_stable_under_double_render() {
+        let sql = "SELECT g.ra AS x FROM Galaxy g WHERE g.dec >= -3.0 ORDER BY x DESC LIMIT 9";
+        let once = render_select(&roundtrip(sql));
+        let twice = render_select(&roundtrip(&once));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn string_literals_escape_quotes() {
+        let e = SqlExpr::Str("it's".to_owned());
+        assert_eq!(render_expr(&e), "'it''s'");
+    }
+}

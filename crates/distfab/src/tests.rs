@@ -1,0 +1,267 @@
+//! Fabric unit tests: identity across node counts, pruning, failover.
+
+use super::*;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *x >> 11
+}
+
+/// A miniature survey catalog in the corpus shape: a sharded `Galaxy`
+/// table spanning dec [-5, 5) and a small replicated `Label` dimension.
+fn sample_db(n: usize) -> Database {
+    let mut db = Database::new(DbConfig::in_memory());
+    db.create_clustered_table(
+        "Galaxy",
+        Schema::new(vec![
+            Column::new("objid", DataType::BigInt),
+            Column::new("ra", DataType::Float),
+            Column::new("dec", DataType::Float),
+            Column::nullable("mag", DataType::Real),
+            Column::new("cls", DataType::Int),
+        ]),
+        &["objid"],
+    )
+    .unwrap();
+    db.create_index("Galaxy", "idx_ra", &["ra", "dec"]).unwrap();
+    db.create_clustered_table(
+        "Label",
+        Schema::new(vec![
+            Column::new("cls", DataType::BigInt),
+            Column::new("weight", DataType::Int),
+        ]),
+        &["cls"],
+    )
+    .unwrap();
+    let mut x = 0xC0FFEE_u64;
+    let mut rows = Vec::new();
+    for i in 0..n {
+        let ra = 170.0 + (lcg(&mut x) % 20_000) as f64 / 1000.0;
+        let dec = -5.0 + (lcg(&mut x) % 10_000) as f64 / 1000.0;
+        let mag = if lcg(&mut x) % 7 == 0 {
+            Value::Null
+        } else {
+            Value::Real(14.0 + (lcg(&mut x) % 800) as f32 / 100.0)
+        };
+        let cls = (lcg(&mut x) % 6) as i32;
+        rows.push(Row(vec![
+            Value::BigInt(i as i64),
+            Value::Float(ra),
+            Value::Float(dec),
+            mag,
+            Value::Int(cls),
+        ]));
+    }
+    db.insert_rows("Galaxy", rows).unwrap();
+    for cls in 0..6 {
+        db.insert("Label", Row(vec![Value::BigInt(cls), Value::Int((cls as i32) * 3 + 1)]))
+            .unwrap();
+    }
+    db
+}
+
+fn fabric(src: &Database, nodes: usize) -> DistCluster {
+    DistCluster::build(src, DistConfig::new(nodes, "Galaxy", "dec", -5.0, 5.0)).unwrap()
+}
+
+fn engine_rows(db: &mut Database, sql: &str) -> Vec<Row> {
+    match db.execute_sql(sql).unwrap() {
+        SqlOutput::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+fn fabric_rows(f: &DistCluster, sql: &str) -> Vec<Row> {
+    match f.execute_sql(sql).unwrap() {
+        SqlOutput::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+fn multiset(rows: &[Row]) -> Vec<Vec<u8>> {
+    let mut m: Vec<Vec<u8>> = rows.iter().map(Row::encode).collect();
+    m.sort();
+    m
+}
+
+/// Positional comparison with a relative float tolerance, for aggregate
+/// outputs whose fold order legitimately differs from the engine's.
+fn assert_rows_approx_eq(engine: &[Row], fabric: &[Row], sql: &str) {
+    assert_eq!(engine.len(), fabric.len(), "row count diverged for {sql}");
+    for (a, b) in engine.iter().zip(fabric) {
+        assert_eq!(a.0.len(), b.0.len(), "arity diverged for {sql}");
+        for (x, y) in a.0.iter().zip(&b.0) {
+            match (x, y) {
+                (Value::Float(p), Value::Float(q)) => {
+                    let scale = p.abs().max(q.abs()).max(1.0);
+                    assert!(
+                        (p - q).abs() <= 1e-9 * scale,
+                        "float diverged beyond ulp noise for {sql}: {p} vs {q}"
+                    );
+                }
+                _ => assert_eq!(x, y, "value diverged for {sql}"),
+            }
+        }
+    }
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT objid, ra, dec FROM Galaxy WHERE dec BETWEEN -1.5 AND 0.5 ORDER BY objid",
+    "SELECT objid, mag FROM Galaxy WHERE ra > 180.0 AND dec >= 2.0 AND dec < 4.0 ORDER BY objid",
+    "SELECT objid FROM Galaxy WHERE mag IS NULL ORDER BY objid",
+    "SELECT DISTINCT cls FROM Galaxy ORDER BY cls",
+    "SELECT cls, COUNT(*), SUM(cls), MIN(mag), MAX(ra) FROM Galaxy GROUP BY cls",
+    "SELECT COUNT(*) FROM Galaxy WHERE dec < -4.5",
+    "SELECT cls, AVG(dec) FROM Galaxy WHERE dec > 1.0 GROUP BY cls",
+    "SELECT objid, cls FROM Galaxy ORDER BY cls DESC, objid LIMIT 11",
+    "SELECT g.objid, l.weight FROM Galaxy g JOIN Label l ON g.cls = l.cls \
+     WHERE g.dec BETWEEN 0.0 AND 1.0 ORDER BY g.objid",
+    "SELECT cls, COUNT(*) FROM Galaxy GROUP BY cls HAVING COUNT(*) > 20",
+    "SELECT COUNT(*) FROM Galaxy WHERE dec > 99.0",
+];
+
+#[test]
+fn answers_are_identical_across_node_counts_and_match_the_engine() {
+    let mut src = sample_db(400);
+    let fabrics: Vec<DistCluster> = [1, 2, 4, 8].iter().map(|&n| fabric(&src, n)).collect();
+    for sql in QUERIES {
+        let reference = fabric_rows(&fabrics[0], sql);
+        for f in &fabrics[1..] {
+            let got = fabric_rows(f, sql);
+            assert_eq!(
+                multiset(&reference).len(),
+                multiset(&got).len(),
+                "row count diverged for {sql}"
+            );
+            assert_eq!(
+                reference.iter().map(Row::encode).collect::<Vec<_>>(),
+                got.iter().map(Row::encode).collect::<Vec<_>>(),
+                "byte identity broke across node counts for {sql}"
+            );
+        }
+        // Engine agreement as a multiset (the fabric's output order is
+        // canonical; the engine's is scan/plan order). AVG folds in
+        // canonical row order at the coordinator, so it may differ from
+        // the engine's scan-order fold in the last ulp — compare those
+        // with a relative tolerance (DESIGN.md §6i).
+        let engine = engine_rows(&mut src, sql);
+        if sql.contains("AVG") {
+            assert_rows_approx_eq(&engine, &reference, sql);
+        } else {
+            assert_eq!(multiset(&engine), multiset(&reference), "engine disagreement for {sql}");
+        }
+    }
+}
+
+#[test]
+fn shard_slices_cover_the_catalog_exactly() {
+    let src = sample_db(300);
+    let f = fabric(&src, 8);
+    let total: usize = (0..8).map(|k| f.shard_rows(k)).sum();
+    assert_eq!(total, 300, "sharding must partition rows exactly");
+}
+
+#[test]
+fn zone_pruning_contacts_fewer_shards_and_ships_fewer_rows() {
+    let src = sample_db(400);
+    let f = fabric(&src, 8);
+    let sql = "SELECT objid, dec FROM Galaxy WHERE dec BETWEEN -1.0 AND 0.0 ORDER BY objid";
+    let pruned_rows = fabric_rows(f_ref(&f), sql);
+    let p = f.last_dist().unwrap();
+    assert!(p.contacted < 8, "pruning should skip shards, contacted {}", p.contacted);
+    assert!(p.pruned > 0);
+    let pruned_shipped = p.rows_shipped;
+
+    let broadcast_rows = match f.execute_broadcast(sql).unwrap() {
+        SqlOutput::Rows { rows, .. } => rows,
+        _ => unreachable!(),
+    };
+    let b = f.last_dist().unwrap();
+    assert_eq!(b.mode, "broadcast");
+    assert_eq!(b.contacted, 8);
+    assert_eq!(multiset(&pruned_rows), multiset(&broadcast_rows));
+    assert!(
+        pruned_shipped < b.rows_shipped,
+        "pruned plan shipped {pruned_shipped} rows, broadcast {}",
+        b.rows_shipped
+    );
+}
+
+fn f_ref(f: &DistCluster) -> &DistCluster {
+    f
+}
+
+#[test]
+fn replicated_only_queries_stay_local() {
+    let src = sample_db(50);
+    let f = fabric(&src, 4);
+    let rows = fabric_rows(&f, "SELECT cls, weight FROM Label ORDER BY cls");
+    assert_eq!(rows.len(), 6);
+    assert_eq!(f.last_dist().unwrap().mode, "local");
+}
+
+#[test]
+fn explain_renders_the_distributed_tree() {
+    let src = sample_db(200);
+    let f = fabric(&src, 4);
+    let sql = "SELECT objid FROM Galaxy WHERE dec BETWEEN 2.0 AND 3.0 ORDER BY objid";
+    let lines = f.explain_lines(sql, false).unwrap();
+    assert!(lines[0].starts_with("gather["), "missing gather head: {lines:?}");
+    assert!(lines[0].contains("pruned by zone range"));
+    assert!(lines.iter().any(|l| l.trim_start().starts_with("shard ")));
+    assert!(
+        lines.iter().any(|l| l.contains("scan") || l.contains("seek")),
+        "per-shard engine subplans missing: {lines:?}"
+    );
+
+    let analyzed = f.explain_lines(sql, true).unwrap();
+    assert!(analyzed[0].contains("rows shipped"), "analyze totals missing: {analyzed:?}");
+    assert!(analyzed.iter().any(|l| l.contains("attempts")));
+}
+
+#[test]
+fn node_crash_mid_scatter_is_retried_and_answers_are_unchanged() {
+    use gridsim::{FaultConfig, FaultPlan};
+    let src = sample_db(300);
+    let calm = fabric(&src, 4);
+    let stormy = DistCluster::build(
+        &src,
+        DistConfig::new(4, "Galaxy", "dec", -5.0, 5.0)
+            .with_faults(FaultPlan::new(FaultConfig::always(7, 1))),
+    )
+    .unwrap();
+    for sql in QUERIES {
+        let want = fabric_rows(&calm, sql);
+        let got = fabric_rows(&stormy, sql);
+        assert_eq!(
+            want.iter().map(Row::encode).collect::<Vec<_>>(),
+            got.iter().map(Row::encode).collect::<Vec<_>>(),
+            "crash failover changed the answer for {sql}"
+        );
+        let p = stormy.last_dist().unwrap();
+        if p.mode != "local" {
+            assert!(p.retries > 0, "always-crash plan must cost retries for {sql}");
+        }
+    }
+}
+
+#[test]
+fn writes_are_rejected() {
+    let src = sample_db(10);
+    let f = fabric(&src, 2);
+    assert!(f.execute_sql("INSERT INTO Label VALUES (9, 1)").is_err());
+    assert!(f.execute_sql("DROP TABLE Galaxy").is_err());
+}
+
+#[test]
+fn top_n_pushes_the_limit_to_every_shard() {
+    let src = sample_db(400);
+    let f = fabric(&src, 4);
+    let rows = fabric_rows(&f, "SELECT objid, ra FROM Galaxy ORDER BY ra DESC, objid LIMIT 5");
+    assert_eq!(rows.len(), 5);
+    let p = f.last_dist().unwrap();
+    assert_eq!(p.mode, "top-n");
+    // Each shard ships at most LIMIT rows, not its whole slice.
+    assert!(p.rows_shipped <= 4 * 5, "limit not pushed down: shipped {}", p.rows_shipped);
+    assert!(p.subquery.contains("LIMIT 5"), "subquery lost the limit: {}", p.subquery);
+}

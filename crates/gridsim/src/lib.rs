@@ -21,5 +21,5 @@ pub mod scheduler;
 pub use chimera::VirtualDataCatalog;
 pub use das::{DataArchiveServer, NetworkModel, TransferTotals};
 pub use faults::{crash_offset, DetRng, FaultConfig, FaultPlan, FaultReport, TransferFault};
-pub use node::{sql_cluster, tam_cluster, NodeSpec};
-pub use scheduler::{BatchReport, GridCluster, JobRun, JobSpec, RetryPolicy, StageIn};
+pub use node::{db_cluster, sql_cluster, tam_cluster, NodeSpec};
+pub use scheduler::{BatchReport, GridCluster, JobRun, JobSpec, RetryPolicy, RoutedJob, StageIn};

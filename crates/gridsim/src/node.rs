@@ -31,6 +31,13 @@ impl NodeSpec {
     pub fn sql_server(idx: usize) -> Self {
         NodeSpec { name: format!("sql{idx}"), cpu_ghz: 2.6, cpus: 2, ram_mb: 2048 }
     }
+
+    /// One node of the distributed query fabric: a database server holding
+    /// a contiguous zone-range shard of the catalog. Same hardware class as
+    /// the SQL Server cluster, named after the shard it homes.
+    pub fn db_node(shard: usize) -> Self {
+        NodeSpec { name: format!("db{shard}"), cpu_ghz: 2.6, cpus: 2, ram_mb: 2048 }
+    }
 }
 
 /// The five-node TAM Beowulf cluster (10 job slots).
@@ -41,6 +48,12 @@ pub fn tam_cluster() -> Vec<NodeSpec> {
 /// The three-node SQL Server cluster.
 pub fn sql_cluster() -> Vec<NodeSpec> {
     (1..=3).map(NodeSpec::sql_server).collect()
+}
+
+/// An `n`-node shard-holding database cluster for the query fabric:
+/// node `k` homes shard `k`.
+pub fn db_cluster(n: usize) -> Vec<NodeSpec> {
+    (0..n).map(NodeSpec::db_node).collect()
 }
 
 #[cfg(test)]

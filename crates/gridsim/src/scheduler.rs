@@ -32,6 +32,27 @@ pub struct JobSpec<J> {
     pub payload: J,
 }
 
+/// One routed job: a subquery pinned to the node that homes its shard.
+///
+/// Unlike [`JobSpec`] batch jobs — which the matchmaker may place on any
+/// node because they stage their own data in — a routed job's data already
+/// lives on a specific node (a zone-range shard of the catalog), so the
+/// scheduler sends the job *to the data*, the paper's central argument.
+/// Only when the home node fails does the job move: each failed attempt
+/// advances one step around the node ring (a replica / re-opened shard),
+/// skipping blacklisted nodes.
+pub struct RoutedJob<J> {
+    /// Job name (also the fault-plan key, so chaos schedules can target
+    /// one shard's subquery deterministically).
+    pub name: String,
+    /// Declared working-set size; nodes with less RAM cannot run the job.
+    pub ram_mb: u64,
+    /// Index into the cluster's node list of the shard-holding node.
+    pub home: usize,
+    /// Workload payload handed to the worker.
+    pub payload: J,
+}
+
 /// Stage-in handle passed to workers: fetches go through the archive and
 /// are accounted to the current job. When the cluster carries a
 /// [`FaultPlan`], fetches are checksum-verified with bounded retry, and
@@ -415,6 +436,186 @@ impl GridCluster {
         report.record_to_obs();
         (runs, report)
     }
+
+    /// Run a scatter of routed jobs: each job executes on its home node
+    /// (the node holding its shard), re-routing one ring step per failed
+    /// attempt. Measurement is sequential and placement is interleaved
+    /// with it, because routing decisions depend on the evolving
+    /// strike/blacklist state — the whole pass is deterministic for a
+    /// given fault plan, which the distributed-identity tests rely on.
+    ///
+    /// There is no stage-in: the data is already resident on the node.
+    /// The worker receives the payload and the node actually executing
+    /// the attempt, and must produce a node-independent result (shard
+    /// stores are re-opened elsewhere on failover, not recomputed), so
+    /// retries cannot perturb query answers.
+    pub fn run_routed<J, T>(
+        &self,
+        jobs: Vec<RoutedJob<J>>,
+        worker: impl Fn(&J, &NodeSpec) -> Result<T, String>,
+    ) -> (Vec<JobRun<T>>, BatchReport) {
+        let _span = obs::span("run_routed");
+        let start = Instant::now();
+        let n_nodes = self.nodes.len();
+        assert!(n_nodes > 0, "routed scatter needs at least one node");
+        let max_attempts = self.retries.saturating_add(1);
+
+        struct Slot {
+            node_idx: usize,
+            available: Duration,
+        }
+        let mut slots: Vec<Slot> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, node)| {
+                (0..node.cpus).map(move |_| Slot { node_idx: i, available: Duration::ZERO })
+            })
+            .collect();
+        let mut report = BatchReport {
+            per_node: self
+                .nodes
+                .iter()
+                .map(|n| NodeUsage { node: n.name.clone(), ..NodeUsage::default() })
+                .collect(),
+            ..BatchReport::default()
+        };
+        let mut strikes: Vec<u32> = vec![0; n_nodes];
+        let mut blacklisted: Vec<bool> = vec![false; n_nodes];
+        let mut runs: Vec<JobRun<T>> = Vec::with_capacity(jobs.len());
+
+        for job in &jobs {
+            // Ring routing: failed attempt k+1 runs on the next fitting,
+            // non-blacklisted node after the one attempt k used; if every
+            // fitting node is blacklisted, fall back to blacklisted ones
+            // rather than stranding the subquery.
+            let route = |step: u32, blacklisted: &[bool]| -> Option<usize> {
+                let start = (job.home + step as usize) % n_nodes;
+                let ring = (0..n_nodes).map(|d| (start + d) % n_nodes);
+                let fits = |i: &usize| self.nodes[*i].ram_mb >= job.ram_mb;
+                ring.clone()
+                    .filter(fits)
+                    .find(|&i| !blacklisted[i])
+                    .or_else(|| ring.clone().find(fits))
+            };
+            if route(0, &blacklisted).is_none() {
+                report.unschedulable += 1;
+                runs.push(JobRun {
+                    name: job.name.clone(),
+                    output: Err(format!("no node can satisfy {} MB", job.ram_mb)),
+                    compute_real: Duration::ZERO,
+                    stage_in: Duration::ZERO,
+                    bytes_in: 0,
+                    node: None,
+                    virtual_end: Duration::ZERO,
+                    attempts: 0,
+                    backoff: Duration::ZERO,
+                    timed_out: false,
+                });
+                continue;
+            }
+            let mut attempt = 0u32;
+            let mut compute_real = Duration::ZERO;
+            let mut backoff = Duration::ZERO;
+            let (output, timed_out, node_idx) = loop {
+                let node_idx = route(attempt, &blacklisted).expect("checked above");
+                let node = &self.nodes[node_idx];
+                let t0 = Instant::now();
+                let mut out = match &self.faults {
+                    Some(plan) if plan.node_crashes(&job.name, attempt) => Err(format!(
+                        "injected fault: node {} crashed running {} on attempt {}",
+                        node.name,
+                        job.name,
+                        attempt + 1
+                    )),
+                    _ => worker(&job.payload, node),
+                };
+                let mult = self
+                    .faults
+                    .as_ref()
+                    .map_or(1.0, |p| p.straggler_multiplier(&job.name, attempt));
+                let eff = Duration::from_secs_f64(t0.elapsed().as_secs_f64() * mult);
+                compute_real += eff;
+                let mut timed = false;
+                if out.is_ok() {
+                    if let Some(limit) = self.job_timeout {
+                        if eff > limit {
+                            timed = true;
+                            out = Err(format!(
+                                "job {} killed by timeout: ran {:.3}s against a {:.3}s bound",
+                                job.name,
+                                eff.as_secs_f64(),
+                                limit.as_secs_f64()
+                            ));
+                        }
+                    }
+                }
+                // A failed attempt strikes the node it actually ran on —
+                // the same flaky-node accounting as batch placement, but
+                // applied eagerly so the *next* attempt routes around it.
+                if out.is_err() && self.blacklist_after > 0 {
+                    strikes[node_idx] += 1;
+                    let healthy = blacklisted.iter().filter(|b| !**b).count();
+                    if strikes[node_idx] >= self.blacklist_after && healthy > 1 {
+                        blacklisted[node_idx] = true;
+                        report.blacklisted.push(node.name.clone());
+                    }
+                }
+                attempt += 1;
+                if out.is_ok() || attempt >= max_attempts {
+                    break (out, timed, node_idx);
+                }
+                let jitter =
+                    self.faults.as_ref().map_or(0.0, |p| p.jitter01(&job.name, attempt));
+                backoff += backoff_delay(
+                    self.retry.backoff_base,
+                    self.retry.backoff_cap,
+                    attempt,
+                    jitter,
+                );
+            };
+            if output.is_err() {
+                report.failed += 1;
+            }
+            if attempt > 1 {
+                report.retried += 1;
+            }
+            report.attempts_total += attempt;
+            if timed_out {
+                report.timed_out += 1;
+            }
+            report.backoff_total += backoff;
+            let node = &self.nodes[node_idx];
+            let virtual_compute =
+                Duration::from_secs_f64(compute_real.as_secs_f64() * self.host_ghz / node.cpu_ghz);
+            let slot = slots
+                .iter_mut()
+                .filter(|s| s.node_idx == node_idx)
+                .min_by_key(|s| s.available)
+                .expect("every node has at least one slot");
+            let end = slot.available + backoff + virtual_compute;
+            slot.available = end;
+            report.virtual_compute_total += virtual_compute;
+            report.virtual_makespan = report.virtual_makespan.max(end);
+            report.per_node[node_idx].virtual_cpu += virtual_compute;
+            report.per_node[node_idx].jobs += 1;
+            runs.push(JobRun {
+                name: job.name.clone(),
+                output,
+                compute_real,
+                stage_in: Duration::ZERO,
+                bytes_in: 0,
+                node: Some(node.name.clone()),
+                virtual_end: end,
+                attempts: attempt,
+                backoff,
+                timed_out,
+            });
+        }
+        report.real_elapsed = start.elapsed();
+        report.record_to_obs();
+        (runs, report)
+    }
 }
 
 #[cfg(test)]
@@ -617,6 +818,134 @@ mod tests {
         assert_eq!(io, report.stage_in_total);
         assert_eq!(placed, 12);
         assert!(io > Duration::ZERO, "stage-in must show up as node I/O wait");
+    }
+
+    fn routed(n: usize, ram: u64) -> Vec<RoutedJob<usize>> {
+        (0..n)
+            .map(|i| RoutedJob { name: format!("q0.s{i}"), ram_mb: ram, home: i, payload: i })
+            .collect()
+    }
+
+    #[test]
+    fn routed_jobs_land_on_their_home_nodes() {
+        let cluster = GridCluster::new(crate::node::db_cluster(4));
+        let (runs, report) = cluster.run_routed(routed(4, 512), |&i, node| {
+            assert_eq!(node.name, format!("db{i}"), "fault-free scatter must stay home");
+            Ok(i * 10)
+        });
+        assert_eq!(runs.len(), 4);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.output, Ok(i * 10));
+            assert_eq!(r.node.as_deref(), Some(format!("db{i}").as_str()));
+            assert_eq!(r.attempts, 1);
+        }
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.unschedulable, 0);
+        // One job per node: every node shows exactly one placement.
+        assert!(report.per_node.iter().all(|n| n.jobs == 1));
+    }
+
+    #[test]
+    fn routed_scatter_spreads_makespan_across_nodes() {
+        // 8 equal jobs over 1 node vs 4 nodes: with data-local placement
+        // the virtual makespan shrinks ~4x (2 slots per node).
+        let nap = |_: &usize, _: &NodeSpec| -> Result<(), String> {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(())
+        };
+        let spread = |n: usize| {
+            let cluster = GridCluster::new(crate::node::db_cluster(n));
+            let jobs = (0..8)
+                .map(|i| RoutedJob {
+                    name: format!("j{i}"),
+                    ram_mb: 1,
+                    home: i % n,
+                    payload: i,
+                })
+                .collect();
+            cluster.run_routed(jobs, nap).1.virtual_makespan
+        };
+        let one = spread(1);
+        let four = spread(4);
+        let ratio = one.as_secs_f64() / four.as_secs_f64();
+        assert!((2.5..6.0).contains(&ratio), "4x nodes should shrink makespan ~4x, got {ratio:.2}");
+    }
+
+    #[test]
+    fn routed_crash_reroutes_to_next_ring_node() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        // Every subquery's first attempt crashes its home node; the retry
+        // must land one ring step over and succeed with the same answer.
+        let mut cluster = GridCluster::new(crate::node::db_cluster(4))
+            .with_faults(FaultPlan::new(FaultConfig::always(3, 1)));
+        cluster.retries = 2;
+        let (runs, report) = cluster.run_routed(routed(4, 1), |&i, _| Ok(i));
+        assert_eq!(report.failed, 0, "one retry must rescue a single injected crash");
+        assert_eq!(report.retried, 4);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.output, Ok(i), "failover must not change the answer");
+            assert_eq!(r.attempts, 2);
+            assert!(r.backoff > Duration::ZERO);
+            assert_eq!(
+                r.node.as_deref(),
+                Some(format!("db{}", (i + 1) % 4).as_str()),
+                "retry must advance one ring step off the crashed home node"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_reroute_skips_blacklisted_nodes() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        // Two nodes, both subqueries homed on db0, which always crashes
+        // first attempts: after db0 is struck out, the second subquery's
+        // first attempt must route straight to db1 (no blind retry on a
+        // known-dead node).
+        let mut cluster = GridCluster::new(crate::node::db_cluster(2))
+            .with_faults(FaultPlan::new(FaultConfig::always(9, 1)));
+        cluster.retries = 2;
+        cluster.blacklist_after = 1;
+        let jobs = vec![
+            RoutedJob { name: "q0.s0".into(), ram_mb: 1, home: 0, payload: 0usize },
+            RoutedJob { name: "q1.s0".into(), ram_mb: 1, home: 0, payload: 1usize },
+        ];
+        let (runs, report) = cluster.run_routed(jobs, |&i, _| Ok(i));
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.blacklisted, vec!["db0".to_string()]);
+        assert_eq!(runs[0].attempts, 2, "first subquery pays the crash");
+        assert_eq!(runs[0].node.as_deref(), Some("db1"));
+        // db0 blacklisted by the time the second subquery routes: it goes
+        // to db1 directly. (Its fault-plan key still schedules one crash,
+        // burned on db1's first attempt, so it may legitimately retry —
+        // but never on db0.)
+        assert_eq!(runs[1].node.as_deref(), Some("db1"));
+    }
+
+    #[test]
+    fn routed_ram_constraint_reports_unschedulable() {
+        let cluster = GridCluster::new(crate::node::db_cluster(2)); // 2 GB nodes
+        let (runs, report) = cluster.run_routed(routed(2, 4096), |&i, _| Ok(i));
+        assert_eq!(report.unschedulable, 2);
+        assert!(runs.iter().all(|r| r.node.is_none() && r.output.is_err()));
+    }
+
+    #[test]
+    fn routed_scatter_is_deterministic_for_a_seed() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let shape = |seed: u64| {
+            let mut cluster = GridCluster::new(crate::node::db_cluster(4))
+                .with_faults(FaultPlan::new(FaultConfig::severe(seed)));
+            cluster.retries = 4;
+            cluster.blacklist_after = 2;
+            let (runs, report) = cluster.run_routed(routed(6, 1), |&i, _| Ok(i));
+            // Attempts, routing, backoff, and blacklist order must all
+            // reproduce; virtual times are excluded — they scale *measured*
+            // host time, which carries scheduler jitter.
+            let per_job: Vec<(u32, Option<String>, Duration)> =
+                runs.iter().map(|r| (r.attempts, r.node.clone(), r.backoff)).collect();
+            (per_job, report.blacklisted)
+        };
+        assert_eq!(shape(41), shape(41), "same seed must reproduce the whole scatter");
     }
 
     #[test]

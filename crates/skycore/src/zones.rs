@@ -8,6 +8,7 @@
 //! helpers so zone arithmetic lives in exactly one place.
 
 use crate::angle::ZONE_HEIGHT_DEG;
+use crate::region::SkyRegion;
 use serde::{Deserialize, Serialize};
 
 /// Half-extent in RA degrees of a circle of radius `r_deg` centered at
@@ -116,6 +117,131 @@ impl ZoneScheme {
             // safe, shrinking could drop a rim-adjacent object.
             w + 1e-9
         }
+    }
+}
+
+/// A deterministic partition of a contiguous zone range into `n` shards.
+///
+/// This is the single bucketing function shared by the in-process partition
+/// runner (`maxbcg::partition`) and the distributed query fabric: shard `k`
+/// owns the half-open zone range `[bounds[k], bounds[k+1])`, the ranges are
+/// contiguous and exhaustive over the covered span, and the split depends
+/// only on `(scheme, zone span, n)` — never on data order or thread timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMap {
+    scheme: ZoneScheme,
+    /// `n + 1` ascending zone boundaries; shard `k` owns `[bounds[k], bounds[k+1])`.
+    bounds: Vec<i32>,
+}
+
+impl ShardMap {
+    /// Build a map covering the zones overlapped by `[dec_min, dec_max]`,
+    /// split into `shards` contiguous ranges of near-equal zone count.
+    pub fn build(scheme: ZoneScheme, dec_min: f64, dec_max: f64, shards: usize) -> ShardMap {
+        assert!(dec_max >= dec_min, "declination range must be non-empty");
+        let zone_lo = scheme.zone_of(dec_min);
+        // The top zone is inclusive: the zone containing dec_max belongs to
+        // the last shard even when dec_max sits on a zone bottom.
+        let zone_hi = scheme.zone_of(dec_max);
+        ShardMap::from_zone_span(scheme, zone_lo, zone_hi, shards)
+    }
+
+    /// Build a map over the inclusive zone span `[zone_lo, zone_hi]`.
+    pub fn from_zone_span(scheme: ZoneScheme, zone_lo: i32, zone_hi: i32, shards: usize) -> ShardMap {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(zone_hi >= zone_lo, "zone span must be non-empty");
+        let span = i64::from(zone_hi) - i64::from(zone_lo) + 1;
+        let n = shards as i64;
+        // Integer split: bounds[k] = zone_lo + span*k/n. Contiguous and
+        // exhaustive by construction; when n exceeds the zone count some
+        // trailing shards own empty ranges, which is fine — they simply hold
+        // no data and are always pruned.
+        let bounds: Vec<i32> = (0..=n)
+            .map(|k| (i64::from(zone_lo) + span * k / n) as i32)
+            .collect();
+        ShardMap { scheme, bounds }
+    }
+
+    /// The zone scheme the map was built against.
+    pub fn scheme(&self) -> ZoneScheme {
+        self.scheme
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Inclusive zone span `[lo, hi]` covered by the whole map.
+    pub fn zone_span(&self) -> (i32, i32) {
+        (self.bounds[0], self.bounds[self.bounds.len() - 1] - 1)
+    }
+
+    /// Half-open zone range `[lo, hi)` owned by shard `k`. Empty ranges
+    /// (`lo == hi`) occur only when there are more shards than zones.
+    pub fn shard_zones(&self, k: usize) -> (i32, i32) {
+        (self.bounds[k], self.bounds[k + 1])
+    }
+
+    /// The unique shard owning `zone`. Zones outside the covered span clamp
+    /// to the nearest end shard, so edge effects (a dec exactly on the top
+    /// boundary) still route somewhere deterministic.
+    pub fn shard_of_zone(&self, zone: i32) -> usize {
+        let n = self.shard_count();
+        // First k with bounds[k+1] > zone — skips empty ranges, so each zone
+        // maps to exactly one shard.
+        let k = self.bounds[1..=n].partition_point(|&hi| hi <= zone);
+        k.min(n - 1)
+    }
+
+    /// The shard owning the zone containing `dec`.
+    pub fn shard_of_dec(&self, dec: f64) -> usize {
+        self.shard_of_zone(self.scheme.zone_of(dec))
+    }
+
+    /// Declination interval `[lo, hi)` covered by shard `k`'s zones.
+    pub fn shard_dec_range(&self, k: usize) -> (f64, f64) {
+        let (zlo, zhi) = self.shard_zones(k);
+        (self.scheme.zone_bottom_dec(zlo), self.scheme.zone_bottom_dec(zhi))
+    }
+
+    /// Inclusive shard-index range overlapping the declination interval
+    /// `[dec_lo, dec_hi]` — the zone-pruning rule: a query whose sargable
+    /// dec bounds touch 3 zones contacts only the shards holding them.
+    pub fn shards_for_dec_range(&self, dec_lo: f64, dec_hi: f64) -> (usize, usize) {
+        (self.shard_of_dec(dec_lo), self.shard_of_dec(dec_hi.max(dec_lo)))
+    }
+
+    /// Zone-aligned `(native, buffered)` stripes of `window`, the shard-map
+    /// analogue of `SkyRegion::partition_with_buffers`: interior stripe
+    /// boundaries sit on zone bottoms (so each shard's stripe holds exactly
+    /// its zones), the outer edges coincide with the window, and `margin`
+    /// degrees of overlap are added on interior edges only. Buffered
+    /// stripes are clamped to the window — no shard imports sky the
+    /// sequential run would not.
+    pub fn stripes_with_buffers(&self, window: &SkyRegion, margin: f64) -> Vec<(SkyRegion, SkyRegion)> {
+        let n = self.shard_count();
+        let edge = |k: usize| -> f64 {
+            if k == 0 {
+                window.dec_min
+            } else if k == n {
+                window.dec_max
+            } else {
+                self.scheme
+                    .zone_bottom_dec(self.bounds[k])
+                    .clamp(window.dec_min, window.dec_max)
+            }
+        };
+        (0..n)
+            .map(|k| {
+                let (lo, hi) = (edge(k), edge(k + 1));
+                let native = SkyRegion::new(window.ra_min, window.ra_max, lo, hi);
+                let blo = if k == 0 { lo } else { (lo - margin).max(window.dec_min) };
+                let bhi = if k == n - 1 { hi } else { (hi + margin).min(window.dec_max) };
+                let buffered = SkyRegion::new(window.ra_min, window.ra_max, blo, bhi);
+                (native, buffered)
+            })
+            .collect()
     }
 }
 
@@ -265,6 +391,132 @@ mod tests {
         let dec: f64 = 90.0 - 0.001;
         let top_zone = s.zone_of((dec + 0.01).min(90.0 - 1e-12));
         assert_eq!(s.ra_half_window(dec, 0.01, top_zone), 360.0);
+    }
+
+    #[test]
+    fn shard_ranges_contiguous_exhaustive_and_exclusive() {
+        // Every zone in the span maps to exactly one shard, ranges are
+        // contiguous, and their union is exactly the span — across shard
+        // counts that divide the span evenly, unevenly, and exceed it.
+        let s = ZoneScheme::with_height(1.0);
+        for &n in &[1usize, 2, 3, 4, 7, 8, 16, 40] {
+            let map = ShardMap::build(s, -5.0, 5.0, n);
+            assert_eq!(map.shard_count(), n);
+            let (span_lo, span_hi) = map.zone_span();
+            assert_eq!((span_lo, span_hi), (s.zone_of(-5.0), s.zone_of(5.0)));
+            // Contiguity: each shard starts where the previous one ended.
+            for k in 1..n {
+                assert_eq!(map.shard_zones(k).0, map.shard_zones(k - 1).1, "n={n} k={k}");
+            }
+            // Outer edges coincide with the span.
+            assert_eq!(map.shard_zones(0).0, span_lo);
+            assert_eq!(map.shard_zones(n - 1).1, span_hi + 1);
+            // Exclusivity + exhaustiveness: zone z lies in shard_of_zone(z)'s
+            // range and in no other shard's range.
+            for z in span_lo..=span_hi {
+                let owner = map.shard_of_zone(z);
+                let owners = (0..n)
+                    .filter(|&k| {
+                        let (lo, hi) = map.shard_zones(k);
+                        lo <= z && z < hi
+                    })
+                    .collect::<Vec<_>>();
+                assert_eq!(owners, vec![owner], "n={n} zone={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_dec_agrees_with_zone_ownership() {
+        let s = ZoneScheme::with_height(1.0);
+        let map = ShardMap::build(s, -5.0, 5.0, 4);
+        let mut dec = -5.0;
+        while dec < 5.0 {
+            let k = map.shard_of_dec(dec);
+            let (lo, hi) = map.shard_dec_range(k);
+            assert!(lo <= dec && dec < hi, "dec={dec} shard={k} range=[{lo},{hi})");
+            dec += 0.23;
+        }
+        // The top boundary clamps to the last shard instead of falling off.
+        assert_eq!(map.shard_of_dec(5.0), 3);
+        assert_eq!(map.shard_of_dec(90.0), 3);
+        assert_eq!(map.shard_of_dec(-90.0), 0);
+    }
+
+    #[test]
+    fn shard_pruning_contacts_only_overlapping_shards() {
+        let s = ZoneScheme::with_height(1.0);
+        let map = ShardMap::build(s, -5.0, 5.0, 4);
+        // A 3-zone dec band inside one shard's range contacts 1 of 4 shards.
+        let (lo, hi) = map.shards_for_dec_range(-4.8, -3.2);
+        assert_eq!((lo, hi), (0, 0));
+        // A band straddling a shard boundary contacts both sides.
+        let (lo, hi) = map.shards_for_dec_range(-3.5, -2.0);
+        assert_eq!((lo, hi), (0, 1));
+        // The full window contacts everything.
+        let (lo, hi) = map.shards_for_dec_range(-5.0, 5.0);
+        assert_eq!((lo, hi), (0, 3));
+    }
+
+    #[test]
+    fn more_shards_than_zones_leaves_trailing_shards_empty() {
+        let s = ZoneScheme::with_height(1.0);
+        // 3 zones split 5 ways: every zone still owned exactly once, the
+        // shards with empty ranges own nothing.
+        let map = ShardMap::from_zone_span(s, 10, 12, 5);
+        let owned: Vec<usize> = (10..=12).map(|z| map.shard_of_zone(z)).collect();
+        assert_eq!(owned.len(), 3);
+        for k in 0..5 {
+            let (lo, hi) = map.shard_zones(k);
+            assert!(hi >= lo);
+        }
+        let total: i64 = (0..5)
+            .map(|k| {
+                let (lo, hi) = map.shard_zones(k);
+                i64::from(hi) - i64::from(lo)
+            })
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn stripes_cover_window_and_align_to_zone_bottoms() {
+        let s = ZoneScheme::with_height(1.0);
+        let map = ShardMap::build(s, -4.5, 4.5, 3);
+        let window = SkyRegion::new(10.0, 20.0, -4.5, 4.5);
+        let stripes = map.stripes_with_buffers(&window, 0.25);
+        assert_eq!(stripes.len(), 3);
+        // Natives tile the window exactly.
+        assert_eq!(stripes[0].0.dec_min, window.dec_min);
+        assert_eq!(stripes[2].0.dec_max, window.dec_max);
+        for w in stripes.windows(2) {
+            assert_eq!(w[0].0.dec_max, w[1].0.dec_min);
+        }
+        // Interior edges sit on zone bottoms.
+        for (native, _) in &stripes[1..] {
+            let z = s.zone_of(native.dec_min);
+            assert!((s.zone_bottom_dec(z) - native.dec_min).abs() < 1e-12);
+        }
+        // Buffers: margin on interior edges only, clamped to the window.
+        for (i, (native, buffered)) in stripes.iter().enumerate() {
+            assert!(buffered.dec_min <= native.dec_min && buffered.dec_max >= native.dec_max);
+            assert!(buffered.dec_min >= window.dec_min - 1e-12);
+            assert!(buffered.dec_max <= window.dec_max + 1e-12);
+            if i > 0 {
+                assert!((native.dec_min - buffered.dec_min - 0.25).abs() < 1e-12);
+            }
+            if i + 1 < stripes.len() {
+                assert!((buffered.dec_max - native.dec_max - 0.25).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_is_deterministic() {
+        let s = ZoneScheme::default();
+        let a = ShardMap::build(s, -1.25, 1.25, 8);
+        let b = ShardMap::build(s, -1.25, 1.25, 8);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Distributed exchange operators: the gather side of scatter–gather.
+//!
+//! A distributed query ships each shard's partial result back to the
+//! coordinator as wire-encoded rows decoded into [`ColumnBatch`]es (one
+//! stream of batches per shard, indexed by shard id). The operators here
+//! recombine those streams:
+//!
+//! * [`union_streams`] — concatenation in shard-id order, for queries with
+//!   no required output order;
+//! * [`merge_streams`] — order-preserving k-way merge on sort keys, for
+//!   queries whose per-shard subqueries were already sorted;
+//! * [`merge_top_n`] — distributed TopN: every shard ships its local
+//!   top-n, the coordinator merges and keeps the global first n;
+//! * [`dedup_sorted_rows`] — adjacent-duplicate elimination over a merged
+//!   sorted stream, for DISTINCT.
+//!
+//! Every operator is a pure function of `(streams indexed by shard id,
+//! keys)`: shard *arrival* order and the batch boundaries inside a stream
+//! cannot change the output. Ties compare by the lowest shard id, so even
+//! partial sort keys yield one deterministic answer. NULLs sort first and
+//! floats compare via `total_cmp`, exactly like the single-node engine
+//! ([`Value::total_cmp`]), so a merge of sorted shard streams is
+//! indistinguishable from one node having sorted the union.
+
+use crate::colbatch::ColumnBatch;
+use crate::row::Row;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+/// One sort key at the gather point: output-column position + direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column position in the shipped row.
+    pub col: usize,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// The canonical key list for `width`-column rows: the query's explicit
+/// keys first, then every remaining column ascending. Under this list two
+/// rows compare equal only if they are identical value-for-value, which is
+/// what makes per-shard `ORDER BY` + gather merge reproduce one canonical
+/// order at any node count.
+pub fn canonical_keys(width: usize, explicit: &[SortKey]) -> Vec<SortKey> {
+    let mut keys: Vec<SortKey> = explicit.to_vec();
+    for col in 0..width {
+        if !explicit.iter().any(|k| k.col == col) {
+            keys.push(SortKey { col, desc: false });
+        }
+    }
+    keys
+}
+
+/// Compare row `ai` of `a` against row `bi` of `b` under `keys`.
+pub fn cmp_at(a: &ColumnBatch, ai: usize, b: &ColumnBatch, bi: usize, keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let va = a.value(k.col, ai);
+        let vb = b.value(k.col, bi);
+        let ord = va.total_cmp(&vb);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Cursor over one shard's stream of batches.
+struct Cursor<'a> {
+    batches: &'a [ColumnBatch],
+    batch: usize,
+    row: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(batches: &'a [ColumnBatch]) -> Self {
+        let mut c = Cursor { batches, batch: 0, row: 0 };
+        c.skip_empty();
+        c
+    }
+
+    fn skip_empty(&mut self) {
+        while self.batch < self.batches.len() && self.row >= self.batches[self.batch].len() {
+            self.batch += 1;
+            self.row = 0;
+        }
+    }
+
+    fn peek(&self) -> Option<(&'a ColumnBatch, usize)> {
+        (self.batch < self.batches.len()).then(|| (&self.batches[self.batch], self.row))
+    }
+
+    fn advance(&mut self) {
+        self.row += 1;
+        self.skip_empty();
+    }
+}
+
+/// Union exchange: concatenate the shard streams in shard-id order.
+pub fn union_streams(streams: &[Vec<ColumnBatch>]) -> Vec<Row> {
+    let mut out = Vec::new();
+    for stream in streams {
+        for batch in stream {
+            out.extend(batch.to_rows());
+        }
+    }
+    out
+}
+
+/// Merge exchange: order-preserving k-way merge of per-shard sorted
+/// streams under `keys`; key-ties take the lowest shard id first. With a
+/// small k a linear minimum scan per output row is both simpler and
+/// faster than a heap, and its tie behavior is transparent.
+pub fn merge_streams(streams: &[Vec<ColumnBatch>], keys: &[SortKey]) -> Vec<Row> {
+    let mut cursors: Vec<Cursor> = streams.iter().map(|s| Cursor::new(s)).collect();
+    let total: usize = streams.iter().flatten().map(ColumnBatch::len).sum();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, cur) in cursors.iter().enumerate() {
+            let Some((batch, row)) = cur.peek() else { continue };
+            best = match best {
+                None => Some(i),
+                Some(j) => {
+                    let (jb, jr) = cursors[j].peek().expect("best cursor is live");
+                    // Strictly-less wins; ties keep the earlier shard.
+                    if cmp_at(batch, row, jb, jr, keys) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(j)
+                    }
+                }
+            };
+        }
+        let Some(i) = best else { break };
+        let (batch, row) = cursors[i].peek().expect("chosen cursor is live");
+        out.push(batch.row(row));
+        cursors[i].advance();
+    }
+    out
+}
+
+/// Distributed TopN gather: merge the per-shard top-n streams and keep the
+/// global first `n`. Correct because selection of the first `n` under a
+/// total order distributes over partitions: the global top-n is contained
+/// in the union of per-shard top-n's.
+pub fn merge_top_n(streams: &[Vec<ColumnBatch>], keys: &[SortKey], n: usize) -> Vec<Row> {
+    let mut rows = merge_streams(streams, keys);
+    rows.truncate(n);
+    rows
+}
+
+/// Adjacent-duplicate elimination over an already-merged sorted stream —
+/// the distributed DISTINCT finalizer. Rows compare by value identity
+/// (every column, `total_cmp`), matching the engine's sorted-distinct.
+pub fn dedup_sorted_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut out: Vec<Row> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let dup = out.last().is_some_and(|prev| {
+            prev.0.len() == row.0.len()
+                && prev.0.iter().zip(&row.0).all(|(a, b)| a.total_cmp(b) == Ordering::Equal)
+        });
+        if !dup {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Decode wire-encoded row payloads (shard-id order) into a stream of
+/// column batches of at most `batch_rows` rows each. Column dtypes are
+/// inferred from the first non-NULL wire tag seen per column across the
+/// payloads — the coordinator does not need the shard's schema in hand,
+/// only its bytes, mirroring how a networked gather would work.
+pub fn decode_wire_stream(
+    payloads: &[Vec<u8>],
+    dtypes: &[crate::value::DataType],
+    batch_rows: usize,
+) -> crate::error::DbResult<Vec<ColumnBatch>> {
+    let mut out = Vec::new();
+    let mut batch = ColumnBatch::with_capacity(dtypes, batch_rows.min(payloads.len()));
+    for payload in payloads {
+        if batch.len() >= batch_rows {
+            out.push(std::mem::replace(&mut batch, ColumnBatch::with_capacity(dtypes, batch_rows)));
+        }
+        batch.push_wire(payload)?;
+    }
+    if !batch.is_empty() || out.is_empty() {
+        out.push(batch);
+    }
+    Ok(out)
+}
+
+/// Infer per-column dtypes from wire payloads: the first non-NULL tag per
+/// column wins, scanning payloads in order. Columns that are NULL in every
+/// row fall back to `BigInt` (any dtype accepts NULLs on the wire).
+pub fn infer_wire_dtypes(
+    payloads: &[Vec<u8>],
+    width: usize,
+) -> crate::error::DbResult<Vec<crate::value::DataType>> {
+    use crate::value::DataType;
+    let mut dtypes: Vec<Option<DataType>> = vec![None; width];
+    for payload in payloads {
+        if dtypes.iter().all(|d| d.is_some()) {
+            break;
+        }
+        let row = Row::decode(payload, width)?;
+        for (slot, v) in dtypes.iter_mut().zip(&row.0) {
+            if slot.is_none() {
+                *slot = match v {
+                    Value::Null => None,
+                    Value::BigInt(_) => Some(DataType::BigInt),
+                    Value::Int(_) => Some(DataType::Int),
+                    Value::Real(_) => Some(DataType::Real),
+                    Value::Float(_) => Some(DataType::Float),
+                    Value::Text(_) => Some(DataType::Text),
+                };
+            }
+        }
+    }
+    Ok(dtypes.into_iter().map(|d| d.unwrap_or(DataType::BigInt)).collect())
+}
+
+// ---- telemetry --------------------------------------------------------------
+
+/// The `stardb.dist.*` counter family, registered once.
+pub struct DistCounters {
+    /// Subqueries scattered to shard-holding nodes.
+    pub subqueries: obs::Counter,
+    /// Shards skipped by zone-range pruning (not contacted at all).
+    pub shards_pruned: obs::Counter,
+    /// Rows shipped shard → coordinator.
+    pub rows_shipped: obs::Counter,
+    /// Wire bytes shipped shard → coordinator.
+    pub bytes_shipped: obs::Counter,
+    /// Subquery attempts beyond the first (crash failovers).
+    pub retries: obs::Counter,
+}
+
+/// Lazily-registered singleton for the `stardb.dist.*` counters.
+pub fn dist_counters() -> &'static DistCounters {
+    static C: OnceLock<DistCounters> = OnceLock::new();
+    C.get_or_init(|| DistCounters {
+        subqueries: obs::counter("stardb.dist.subqueries"),
+        shards_pruned: obs::counter("stardb.dist.shards_pruned"),
+        rows_shipped: obs::counter("stardb.dist.rows_shipped"),
+        bytes_shipped: obs::counter("stardb.dist.bytes_shipped"),
+        retries: obs::counter("stardb.dist.retries"),
+    })
+}
+
+/// End-to-end scatter–gather latency per distributed query, nanoseconds.
+pub fn gather_latency() -> &'static obs::Histogram {
+    static H: OnceLock<obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| obs::histogram("stardb.dist.gather_latency_ns"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn batch(rows: &[Vec<Value>]) -> ColumnBatch {
+        let rows: Vec<Row> = rows.iter().map(|r| Row(r.clone())).collect();
+        ColumnBatch::from_rows(&[DataType::BigInt, DataType::Float], &rows).unwrap()
+    }
+
+    fn ints(rows: &[(i64, f64)]) -> ColumnBatch {
+        batch(
+            &rows
+                .iter()
+                .map(|&(a, b)| vec![Value::BigInt(a), Value::Float(b)])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_streams() {
+        let streams = vec![
+            vec![ints(&[(1, 0.5)]), ints(&[(4, 0.1)])],
+            vec![ints(&[(2, 0.2), (3, 0.9)])],
+        ];
+        let keys = [SortKey { col: 0, desc: false }];
+        let rows = merge_streams(&streams, &keys);
+        let got: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.0[0] {
+                Value::BigInt(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_is_insensitive_to_batch_splits() {
+        let whole = vec![vec![ints(&[(1, 1.0), (3, 3.0), (5, 5.0)])], vec![ints(&[(2, 2.0)])]];
+        let split = vec![
+            vec![ints(&[(1, 1.0)]), ints(&[]), ints(&[(3, 3.0), (5, 5.0)])],
+            vec![ints(&[]), ints(&[(2, 2.0)])],
+        ];
+        let keys = [SortKey { col: 0, desc: false }];
+        assert_eq!(merge_streams(&whole, &keys), merge_streams(&split, &keys));
+    }
+
+    #[test]
+    fn merge_ties_keep_shard_id_order() {
+        let streams =
+            vec![vec![ints(&[(7, 1.0)])], vec![ints(&[(7, 2.0)])], vec![ints(&[(7, 3.0)])]];
+        let keys = [SortKey { col: 0, desc: false }];
+        let rows = merge_streams(&streams, &keys);
+        let payload: Vec<f64> = rows
+            .iter()
+            .map(|r| match r.0[1] {
+                Value::Float(f) => f,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(payload, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nulls_sort_first_and_nans_merge_totally() {
+        let streams = vec![
+            vec![batch(&[vec![Value::Null, Value::Float(0.0)]])],
+            vec![ints(&[(1, f64::NAN)])],
+        ];
+        let keys = [SortKey { col: 0, desc: false }];
+        let rows = merge_streams(&streams, &keys);
+        assert!(rows[0].0[0].is_null(), "NULL key must gather first");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn top_n_takes_global_prefix() {
+        let streams = vec![vec![ints(&[(1, 1.0), (5, 5.0)])], vec![ints(&[(2, 2.0), (9, 9.0)])]];
+        let keys = [SortKey { col: 0, desc: false }];
+        let rows = merge_top_n(&streams, &keys, 3);
+        let got: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.0[0] {
+                Value::BigInt(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn dedup_removes_only_adjacent_identical_rows() {
+        let rows = vec![
+            Row(vec![Value::BigInt(1), Value::Float(1.0)]),
+            Row(vec![Value::BigInt(1), Value::Float(1.0)]),
+            Row(vec![Value::BigInt(1), Value::Float(2.0)]),
+            Row(vec![Value::BigInt(2), Value::Float(2.0)]),
+        ];
+        assert_eq!(dedup_sorted_rows(rows).len(), 3);
+    }
+
+    #[test]
+    fn wire_round_trip_infers_dtypes_and_rebatches() {
+        let src = ints(&[(10, 1.5), (20, 2.5), (30, 3.5)]);
+        let payloads: Vec<Vec<u8>> = src.to_rows().iter().map(Row::encode).collect();
+        let dtypes = infer_wire_dtypes(&payloads, 2).unwrap();
+        assert_eq!(dtypes, vec![DataType::BigInt, DataType::Float]);
+        let batches = decode_wire_stream(&payloads, &dtypes, 2).unwrap();
+        assert_eq!(batches.len(), 2, "3 rows at 2 rows/batch = 2 batches");
+        let rows: Vec<Row> = batches.iter().flat_map(ColumnBatch::to_rows).collect();
+        assert_eq!(rows, src.to_rows());
+    }
+
+    #[test]
+    fn all_null_column_still_decodes() {
+        let payloads: Vec<Vec<u8>> =
+            vec![Row(vec![Value::Null, Value::Text("x".into())]).encode()];
+        let dtypes = infer_wire_dtypes(&payloads, 2).unwrap();
+        assert_eq!(dtypes[0], DataType::BigInt, "all-NULL column falls back");
+        let batches = decode_wire_stream(&payloads, &dtypes, 1024).unwrap();
+        assert!(batches[0].value(0, 0).is_null());
+    }
+
+    #[test]
+    fn canonical_keys_cover_every_column_once() {
+        let keys = canonical_keys(4, &[SortKey { col: 2, desc: true }]);
+        let cols: Vec<usize> = keys.iter().map(|k| k.col).collect();
+        assert_eq!(cols, vec![2, 0, 1, 3]);
+        assert!(keys[0].desc && keys.iter().skip(1).all(|k| !k.desc));
+    }
+}

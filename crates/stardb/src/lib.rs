@@ -31,6 +31,7 @@ pub use value::{DataType, Value};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecovery};
 
 pub mod db;
+pub mod dist;
 pub mod exec;
 pub mod expr;
 pub mod sql;

@@ -21,4 +21,4 @@ mod tests;
 pub use engine::{execute, execute_with, SqlOutput};
 pub use parser::parse;
 pub use physical::{JoinProfile, OpProfile, PlanProfile, QueryProfile};
-pub use plan::PlanOptions;
+pub use plan::{column_interval, PlanOptions};

@@ -1154,3 +1154,104 @@ impl SelectPlan {
         out
     }
 }
+
+// ---- sargable bounds at the AST level ---------------------------------------
+
+/// The inclusive numeric interval a SELECT's WHERE clause imposes on
+/// `column`, extracted from top-level AND conjuncts (`BETWEEN`, `<`, `<=`,
+/// `>`, `>=`, `=` against constant numeric literals). Returns
+/// `(lo, hi)` with `None` for an unbounded side, or `None` when the filter
+/// places no sargable constraint on the column at all.
+///
+/// This is the distributed planner's shard-pruning probe: the fabric
+/// intersects the interval with each shard's zone range to decide which
+/// nodes a subquery must visit, so it deliberately works on the *AST*
+/// (before binding) and is conservative — anything it cannot prove
+/// constant-bounded simply widens the interval. Strict bounds are kept
+/// inclusive; pruning only needs a superset of the touched range.
+pub fn column_interval(s: &Select, column: &str) -> Option<(Option<f64>, Option<f64>)> {
+    let filter = s.filter.as_ref()?;
+    let mut lo: Option<f64> = None;
+    let mut hi: Option<f64> = None;
+    let mut found = false;
+    let mut stack: Vec<&SqlExpr> = vec![filter];
+    while let Some(e) = stack.pop() {
+        match e {
+            SqlExpr::Bin { op: SqlBinOp::And, left, right } => {
+                stack.push(left);
+                stack.push(right);
+            }
+            SqlExpr::Bin { op, left, right } => {
+                let (col_side, lit_side, op) = match (is_col(left, column), is_col(right, column)) {
+                    (true, _) => (left, right, *op),
+                    (_, true) => (right, left, flip_sql(*op)),
+                    _ => continue,
+                };
+                let _ = col_side;
+                let Some(v) = const_num(lit_side) else { continue };
+                match op {
+                    SqlBinOp::Eq => {
+                        tighten(&mut lo, v, true);
+                        tighten(&mut hi, v, false);
+                        found = true;
+                    }
+                    SqlBinOp::Lt | SqlBinOp::Le => {
+                        tighten(&mut hi, v, false);
+                        found = true;
+                    }
+                    SqlBinOp::Gt | SqlBinOp::Ge => {
+                        tighten(&mut lo, v, true);
+                        found = true;
+                    }
+                    _ => {}
+                }
+            }
+            SqlExpr::Between { expr, lo: l, hi: h } => {
+                if !is_col(expr, column) {
+                    continue;
+                }
+                if let Some(v) = const_num(l) {
+                    tighten(&mut lo, v, true);
+                    found = true;
+                }
+                if let Some(v) = const_num(h) {
+                    tighten(&mut hi, v, false);
+                    found = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    found.then_some((lo, hi))
+}
+
+fn is_col(e: &SqlExpr, column: &str) -> bool {
+    matches!(e, SqlExpr::Col(c) if c.column.eq_ignore_ascii_case(column))
+}
+
+fn const_num(e: &SqlExpr) -> Option<f64> {
+    match e {
+        SqlExpr::Number(f) => Some(*f),
+        SqlExpr::Integer(i) => Some(*i as f64),
+        SqlExpr::Neg(inner) => const_num(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+fn tighten(slot: &mut Option<f64>, v: f64, is_lo: bool) {
+    *slot = Some(match *slot {
+        None => v,
+        Some(cur) if is_lo => cur.max(v),
+        Some(cur) => cur.min(v),
+    });
+}
+
+fn flip_sql(op: SqlBinOp) -> SqlBinOp {
+    match op {
+        SqlBinOp::Lt => SqlBinOp::Gt,
+        SqlBinOp::Le => SqlBinOp::Ge,
+        SqlBinOp::Gt => SqlBinOp::Lt,
+        SqlBinOp::Ge => SqlBinOp::Le,
+        other => other,
+    }
+}

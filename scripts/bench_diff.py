@@ -40,12 +40,20 @@ METRICS = [
     ("stardb.op.vector.batches", "counter"),
     ("stardb.op.vector.selectivity_pct", "counter"),
     ("stardb.op.vector.materialized_rows", "counter"),
+    ("stardb.dist.subqueries", "counter"),
+    ("stardb.dist.shards_pruned", "counter"),
+    ("stardb.dist.rows_shipped", "counter"),
+    ("stardb.dist.bytes_shipped", "counter"),
+    ("stardb.dist.retries", "counter"),
     ("stardb.query.latency_ns:p50", "hist"),
     ("stardb.query.latency_ns:p95", "hist"),
     ("stardb.query.latency_ns:p99", "hist"),
     ("stardb.wal.commit_latency_ns:p50", "hist"),
     ("stardb.wal.commit_latency_ns:p95", "hist"),
     ("stardb.wal.commit_latency_ns:p99", "hist"),
+    ("stardb.dist.gather_latency_ns:p50", "hist"),
+    ("stardb.dist.gather_latency_ns:p95", "hist"),
+    ("stardb.dist.gather_latency_ns:p99", "hist"),
 ]
 
 

@@ -17,8 +17,10 @@
 //! * [`tam`] — the file-based Tcl/C-era baseline pipeline.
 //! * [`maxbcg`] — the paper's contribution: MaxBCG on the database.
 //! * [`casjobs`] — the batch query system of section 4.
+//! * [`distfab`] — the zone-sharded scatter–gather query fabric (§5).
 
 pub use casjobs;
+pub use distfab;
 pub use gridsim;
 pub use htm;
 pub use maxbcg;

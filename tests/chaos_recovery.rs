@@ -7,6 +7,10 @@
 //! transfers, panic containment, partition failover) must absorb every
 //! fault without changing a single byte of the catalog.
 
+#[allow(dead_code)]
+mod common;
+
+use distfab::{DistCluster, DistConfig};
 use gridsim::das::NetworkModel;
 use gridsim::node::tam_cluster;
 use gridsim::{DataArchiveServer, FaultConfig, FaultPlan, GridCluster};
@@ -245,6 +249,77 @@ fn data_grid_chaos_collects_the_full_catalog() {
         single.clusters().unwrap(),
         "grid union under chaos must equal the one-site run"
     );
+}
+
+/// Kill-one-node-mid-gather: a seed-driven fault plan crashes the first
+/// attempt of every scattered subquery, so each one fails over to the
+/// next ring node mid-gather. The recombined answer must stay
+/// byte-identical to the calm fabric's, and the failovers must be
+/// visible as `stardb.dist.retries`.
+#[test]
+fn distributed_gather_survives_node_kills_mid_scatter() {
+    let src = common::corpus_db();
+    let calm = DistCluster::build(&src, DistConfig::new(4, "Galaxy", "dec", -5.0, 5.0)).unwrap();
+    let stormy = DistCluster::build(
+        &src,
+        DistConfig::new(4, "Galaxy", "dec", -5.0, 5.0)
+            .with_faults(FaultPlan::new(FaultConfig::always(1105, 1))),
+    )
+    .unwrap();
+
+    let retries_counter = obs::counter("stardb.dist.retries");
+    let retries_before = retries_counter.get();
+    let drill = [
+        // Order-preserving merge over a pruned shard subset.
+        "SELECT objid, ra FROM Galaxy WHERE dec BETWEEN -2.0 AND 0.5 ORDER BY objid",
+        // Distributed top-N with a pushed per-shard LIMIT.
+        "SELECT objid, mag FROM Galaxy ORDER BY mag DESC, objid LIMIT 9",
+        // Partial → final aggregate fold.
+        "SELECT cls, COUNT(*), MIN(mag) FROM Galaxy GROUP BY cls",
+        // Raw-mode re-aggregation (AVG cannot fold from partials).
+        "SELECT cls, AVG(dec) FROM Galaxy GROUP BY cls",
+        // DISTINCT dedup at the gather point.
+        "SELECT DISTINCT cls FROM Galaxy ORDER BY cls",
+    ];
+    for sql in drill {
+        let want = match calm.execute_sql(sql).unwrap() {
+            stardb::SqlOutput::Rows { rows, .. } => rows,
+            other => panic!("expected rows, got {other:?}"),
+        };
+        let got = match stormy.execute_sql(sql).unwrap() {
+            stardb::SqlOutput::Rows { rows, .. } => rows,
+            other => panic!("expected rows, got {other:?}"),
+        };
+        assert_eq!(
+            want.iter().map(stardb::Row::encode).collect::<Vec<_>>(),
+            got.iter().map(stardb::Row::encode).collect::<Vec<_>>(),
+            "node kill changed the answer for {sql}"
+        );
+        let p = stormy.last_dist().unwrap();
+        assert!(p.retries > 0, "always-crash plan must cost failovers for {sql}");
+        assert!(
+            p.per_shard.iter().all(|s| s.attempts >= 2),
+            "every subquery's first attempt must have died for {sql}: {:?}",
+            p.per_shard
+        );
+    }
+    assert!(
+        retries_counter.get() > retries_before,
+        "failovers must surface in stardb.dist.retries"
+    );
+
+    // Reproducibility: a same-seed stormy fabric retries identically.
+    let stormy2 = DistCluster::build(
+        &src,
+        DistConfig::new(4, "Galaxy", "dec", -5.0, 5.0)
+            .with_faults(FaultPlan::new(FaultConfig::always(1105, 1))),
+    )
+    .unwrap();
+    let _ = stormy2.execute_sql(drill[0]).unwrap();
+    let p2 = stormy2.last_dist().unwrap();
+    let _ = stormy.execute_sql(drill[0]).unwrap();
+    let p1 = stormy.last_dist().unwrap();
+    assert_eq!(p1.retries, p2.retries, "same seed must inject the same crash schedule");
 }
 
 #[test]

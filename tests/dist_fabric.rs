@@ -1,0 +1,174 @@
+//! Distributed fabric identity: the planner corpus and the paper's
+//! Figure-4 region query must answer **byte-for-byte identically** at
+//! 1/2/4/8 simulated database nodes, zone-range pruning must contact
+//! strictly fewer shards (and ship strictly fewer rows) than a broadcast
+//! of the same query, and EXPLAIN must render the whole distributed tree
+//! — gather head, exchange operator, per-shard engine subplans.
+
+mod common;
+
+use common::{corpus, corpus_db};
+use distfab::{DistCluster, DistConfig};
+use skycore::kcorr::{KcorrConfig, KcorrTable};
+use skycore::SkyRegion;
+use skysim::{Sky, SkyConfig};
+use stardb::{Database, DbConfig, Row, SqlOutput, Value};
+
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn fabric(src: &Database, nodes: usize) -> DistCluster {
+    DistCluster::build(src, DistConfig::new(nodes, "Galaxy", "dec", -5.0, 5.0)).unwrap()
+}
+
+fn rows_of(out: SqlOutput) -> Vec<Row> {
+    match out {
+        SqlOutput::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+fn encoded(rows: &[Row]) -> Vec<Vec<u8>> {
+    rows.iter().map(Row::encode).collect()
+}
+
+fn multiset(rows: &[Row]) -> Vec<Vec<u8>> {
+    let mut m = encoded(rows);
+    m.sort();
+    m
+}
+
+#[test]
+fn sql_plans_corpus_is_byte_identical_across_node_counts() {
+    let mut src = corpus_db();
+    let fabrics: Vec<DistCluster> = NODE_COUNTS.iter().map(|&n| fabric(&src, n)).collect();
+    for (sql, _) in corpus() {
+        let reference = rows_of(fabrics[0].execute_sql(&sql).unwrap());
+        for (f, &n) in fabrics[1..].iter().zip(&NODE_COUNTS[1..]) {
+            let got = rows_of(f.execute_sql(&sql).unwrap());
+            assert_eq!(
+                encoded(&reference),
+                encoded(&got),
+                "byte identity broke at {n} nodes for {sql}"
+            );
+        }
+        // Engine agreement as a multiset (the fabric's output order is
+        // canonical, the engine's is plan order). AVG folds at the
+        // coordinator in canonical row order, so it can differ from the
+        // engine's scan-order fold in the last ulp — the one documented
+        // divergence (DESIGN.md §6i).
+        let engine = rows_of(src.execute_sql(&sql).unwrap());
+        if sql.contains("AVG") {
+            assert_eq!(engine.len(), reference.len(), "row count diverged for {sql}");
+            for (a, b) in engine.iter().zip(&reference) {
+                for (x, y) in a.0.iter().zip(&b.0) {
+                    match (x, y) {
+                        (Value::Float(p), Value::Float(q)) => {
+                            let scale = p.abs().max(q.abs()).max(1.0);
+                            assert!(
+                                (p - q).abs() <= 1e-9 * scale,
+                                "AVG diverged beyond ulp noise for {sql}: {p} vs {q}"
+                            );
+                        }
+                        _ => assert_eq!(x, y, "value diverged for {sql}"),
+                    }
+                }
+            }
+        } else {
+            assert_eq!(multiset(&engine), multiset(&reference), "engine disagreement for {sql}");
+        }
+    }
+}
+
+/// The Figure-4 catalog: a synthetic sky imported into the real `Galaxy`
+/// schema, sharded on dec across the survey band.
+fn sky_db(survey: &SkyRegion) -> Database {
+    let kcorr = KcorrTable::generate(KcorrConfig::default());
+    let sky = Sky::generate(*survey, &SkyConfig::scaled(0.02), &kcorr, 2005);
+    let mut db = Database::new(DbConfig::in_memory());
+    db.create_clustered_table("Galaxy", maxbcg::schema::galaxy_schema(), &["objid"]).unwrap();
+    db.create_index("Galaxy", "idx_region", &["dec", "ra"]).unwrap();
+    let rows: Vec<Row> = sky.galaxies_in(survey).map(maxbcg::import::galaxy_row).collect();
+    assert!(rows.len() > 500, "need a meaningful catalog, got {}", rows.len());
+    db.insert_rows("Galaxy", rows).unwrap();
+    db
+}
+
+#[test]
+fn figure4_region_query_is_identical_and_pruned_at_every_node_count() {
+    let survey = SkyRegion::new(194.0, 196.5, 1.25, 3.75);
+    let window = survey.shrunk(0.8);
+    let mut src = sky_db(&survey);
+    let sql = maxbcg::region_query::region_select(&window);
+    // ORDER BY objid pins a total order: the fabric must equal the
+    // single-node engine positionally, byte for byte.
+    let engine = rows_of(src.execute_sql(&sql).unwrap());
+    assert!(!engine.is_empty(), "the window must select something");
+
+    for &nodes in &NODE_COUNTS {
+        let f = DistCluster::build(
+            &src,
+            DistConfig::new(nodes, "Galaxy", "dec", survey.dec_min, survey.dec_max),
+        )
+        .unwrap();
+        let got = rows_of(f.execute_sql(&sql).unwrap());
+        assert_eq!(encoded(&engine), encoded(&got), "Figure-4 identity broke at {nodes} nodes");
+
+        let p = f.last_dist().unwrap();
+        if nodes == 8 {
+            // The dec window covers a strict sub-band: pruning must skip
+            // shards and ship strictly fewer rows than broadcast.
+            assert!(p.contacted < 8, "expected pruning, contacted {}/8", p.contacted);
+            assert!(p.pruned > 0);
+            let shipped = p.rows_shipped;
+            let broadcast = rows_of(f.execute_broadcast(&sql).unwrap());
+            assert_eq!(encoded(&engine), encoded(&broadcast), "broadcast identity broke");
+            let b = f.last_dist().unwrap();
+            assert_eq!(b.contacted, 8, "broadcast must contact every shard");
+            assert!(
+                shipped < b.rows_shipped,
+                "pruned plan shipped {shipped}, broadcast {}",
+                b.rows_shipped
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_renders_gather_exchange_and_per_shard_subplans() {
+    let src = corpus_db();
+    let f = fabric(&src, 8);
+    let sql = "SELECT objid, ra FROM Galaxy WHERE dec BETWEEN -1.0 AND 1.0 ORDER BY objid";
+
+    // EXPLAIN through the SQL front door returns the plan column.
+    let out = f.execute_sql(&format!("EXPLAIN {sql}")).unwrap();
+    let (cols, rows) = match out {
+        SqlOutput::Rows { columns, rows } => (columns, rows),
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert_eq!(cols, vec!["plan".to_owned()]);
+    let lines: Vec<String> = rows.iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+
+    assert!(lines[0].starts_with("gather["), "gather head missing: {lines:?}");
+    assert!(lines[0].contains("pruned by zone range"), "pruning note missing: {lines:?}");
+    assert!(
+        lines.iter().any(|l| l.trim_start().starts_with("exchange[")),
+        "exchange operator missing: {lines:?}"
+    );
+    let shard_lines =
+        lines.iter().filter(|l| l.trim_start().starts_with("shard ")).count();
+    assert!((1..8).contains(&shard_lines), "pruned shard list: {lines:?}");
+    assert!(
+        lines.iter().any(|l| l.contains("scan") || l.contains("seek")),
+        "per-shard engine subplans missing: {lines:?}"
+    );
+
+    // EXPLAIN ANALYZE adds the measured exchange totals.
+    let analyzed = f.explain_lines(sql, true).unwrap();
+    assert!(analyzed[0].contains("rows shipped"), "analyze totals missing: {analyzed:?}");
+    assert!(analyzed.iter().any(|l| l.contains("attempts")), "{analyzed:?}");
+
+    // The plan the tree describes is the plan that runs: contacted shard
+    // count in the profile matches the EXPLAIN's shard lines.
+    let _ = rows_of(f.execute_sql(sql).unwrap());
+    assert_eq!(f.last_dist().unwrap().contacted, shard_lines);
+}

@@ -1,0 +1,153 @@
+//! Property tests for the distributed gather operators: the k-way merge
+//! and the distributed top-N must be *invariant* under how rows are dealt
+//! across shards and how each shard's stream is split into wire batches —
+//! the fabric's byte-identity-at-any-node-count claim reduced to its
+//! operator kernel. The domains force heavy ties, NULL keys (sort first)
+//! and NaN floats (ordered via `total_cmp`), and rows travel through the
+//! real wire encoding both ways.
+
+use proptest::prelude::*;
+use stardb::dist::{
+    canonical_keys, decode_wire_stream, dedup_sorted_rows, infer_wire_dtypes, merge_streams,
+    merge_top_n, SortKey,
+};
+use stardb::{ColumnBatch, Row, Value};
+
+const ARITY: usize = 3;
+
+/// Per-column value domains with a fixed dtype each (the wire contract:
+/// one dtype per column), tiny ranges for ties, plus NULL/NaN/-0.0 edges.
+fn value_strategy(col: usize) -> BoxedStrategy<Value> {
+    match col {
+        0 => prop_oneof![Just(Value::Null), (-3i64..3).prop_map(Value::BigInt)].boxed(),
+        1 => prop_oneof![
+            Just(Value::Null),
+            Just(Value::Float(f64::NAN)),
+            Just(Value::Float(-0.0)),
+            (-2i32..3).prop_map(|v| Value::Float(f64::from(v) * 0.5)),
+        ]
+        .boxed(),
+        _ => prop_oneof![Just(Value::Null), (-2i32..2).prop_map(Value::Int)].boxed(),
+    }
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (value_strategy(0), value_strategy(1), value_strategy(2))
+        .prop_map(|(a, b, c)| Row(vec![a, b, c]))
+}
+
+/// Compare by wire encoding: `Value` equality is useless under NaN, the
+/// byte encoding is exactly the identity the fabric promises.
+fn encoded(rows: &[Row]) -> Vec<Vec<u8>> {
+    rows.iter().map(Row::encode).collect()
+}
+
+/// Build the canonical gathered order by merging every row as its own
+/// trivially-sorted single-row stream — no independent comparator needed,
+/// the operator under test defines its own fixpoint.
+fn canonical_order(rows: &[Row], keys: &[SortKey]) -> Vec<Row> {
+    let streams: Vec<Vec<ColumnBatch>> = rows
+        .iter()
+        .map(|r| {
+            let payload = vec![r.encode()];
+            let dtypes = infer_wire_dtypes(&payload, ARITY).unwrap();
+            decode_wire_stream(&payload, &dtypes, 8).unwrap()
+        })
+        .collect();
+    merge_streams(&streams, keys)
+}
+
+/// Deal an already-sorted row sequence into `shards` streams (subsequences
+/// of a sorted sequence stay sorted) using the per-row `deal` draws, then
+/// re-encode each shard with its own batch split.
+fn deal_streams(
+    sorted: &[Row],
+    deal: &[usize],
+    shards: usize,
+    batch_rows: usize,
+) -> Vec<Vec<ColumnBatch>> {
+    let mut payloads: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards];
+    for (i, row) in sorted.iter().enumerate() {
+        payloads[deal[i % deal.len()] % shards].push(row.encode());
+    }
+    payloads
+        .iter()
+        .map(|p| {
+            let dtypes = infer_wire_dtypes(p, ARITY).unwrap();
+            decode_wire_stream(p, &dtypes, batch_rows).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// K-way merge returns one canonical sequence no matter how rows are
+    /// partitioned across shards or split into batches.
+    #[test]
+    fn merge_is_invariant_under_sharding_and_batch_splits(
+        rows in prop::collection::vec(row_strategy(), 0..90),
+        explicit in prop::collection::vec((0usize..ARITY, prop::bool::ANY), 0..3),
+        deal in prop::collection::vec(0usize..8, 1..64),
+        shards in 1usize..9,
+        batch_rows in 1usize..17,
+    ) {
+        let keys: Vec<SortKey> =
+            explicit.iter().map(|&(col, desc)| SortKey { col, desc }).collect();
+        let keys = canonical_keys(ARITY, &keys);
+        let reference = canonical_order(&rows, &keys);
+
+        let streams = deal_streams(&reference, &deal, shards, batch_rows);
+        let merged = merge_streams(&streams, &keys);
+        prop_assert_eq!(encoded(&merged), encoded(&reference));
+
+        // DISTINCT finalizer: dedup over the merged stream is stable under
+        // the same re-sharding (adjacent duplicates are all that remain
+        // under a canonical all-column key).
+        let deduped = dedup_sorted_rows(merged);
+        prop_assert_eq!(
+            encoded(&deduped),
+            encoded(&dedup_sorted_rows(reference.clone()))
+        );
+    }
+
+    /// Distributed top-N equals merge-then-truncate, and stays correct
+    /// when every shard pre-truncates to its local top-N — the soundness
+    /// of the fabric's per-shard LIMIT pushdown.
+    #[test]
+    fn top_n_is_invariant_and_limit_pushdown_is_sound(
+        rows in prop::collection::vec(row_strategy(), 0..90),
+        explicit in prop::collection::vec((0usize..ARITY, prop::bool::ANY), 0..3),
+        deal in prop::collection::vec(0usize..8, 1..64),
+        shards in 1usize..9,
+        batch_rows in 1usize..17,
+        n in 0usize..24,
+    ) {
+        let keys: Vec<SortKey> =
+            explicit.iter().map(|&(col, desc)| SortKey { col, desc }).collect();
+        let keys = canonical_keys(ARITY, &keys);
+        let reference = canonical_order(&rows, &keys);
+        let mut truncated = reference.clone();
+        truncated.truncate(n);
+
+        let streams = deal_streams(&reference, &deal, shards, batch_rows);
+        let top = merge_top_n(&streams, &keys, n);
+        prop_assert_eq!(encoded(&top), encoded(&truncated));
+
+        // LIMIT pushdown: each shard ships only its local first n rows.
+        let pushed: Vec<Vec<ColumnBatch>> = streams
+            .iter()
+            .map(|stream| {
+                let local: Vec<Row> = merge_streams(std::slice::from_ref(stream), &keys)
+                    .into_iter()
+                    .take(n)
+                    .collect();
+                let payloads: Vec<Vec<u8>> = local.iter().map(Row::encode).collect();
+                let dtypes = infer_wire_dtypes(&payloads, ARITY).unwrap();
+                decode_wire_stream(&payloads, &dtypes, batch_rows).unwrap()
+            })
+            .collect();
+        let via_pushdown = merge_top_n(&pushed, &keys, n);
+        prop_assert_eq!(encoded(&via_pushdown), encoded(&truncated));
+    }
+}

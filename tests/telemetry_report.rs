@@ -41,7 +41,41 @@ fn tiny_run_with(
     // register alongside the in-memory pipeline's (the catalog tuple
     // returned below is untouched by it).
     durable_exercise(label);
+    // And a small scatter–gather round (with an always-crash first attempt
+    // so failover retries register) for the stardb.dist.* family.
+    dist_exercise();
     (db.candidates().expect("candidates"), db.clusters().expect("clusters"), members)
+}
+
+/// Exercise the distributed fabric end to end: a zone-pruned merge gather
+/// and a partial-aggregate gather across 4 simulated nodes, under a fault
+/// plan that crashes every first attempt so the retry path counts too.
+fn dist_exercise() {
+    use distfab::{DistCluster, DistConfig};
+    use gridsim::{FaultConfig, FaultPlan};
+    let mut db = Database::new(DbConfig::in_memory());
+    db.create_clustered_table(
+        "G",
+        Schema::new(vec![
+            Column::new("objid", DataType::BigInt),
+            Column::new("dec", DataType::Float),
+        ]),
+        &["objid"],
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..64)
+        .map(|i| Row(vec![Value::BigInt(i), Value::Float(-5.0 + i as f64 * 10.0 / 64.0)]))
+        .collect();
+    db.insert_rows("G", rows).unwrap();
+    let fab = DistCluster::build(
+        &db,
+        DistConfig::new(4, "G", "dec", -5.0, 5.0)
+            .with_faults(FaultPlan::new(FaultConfig::always(5, 1))),
+    )
+    .expect("fabric");
+    fab.execute_sql("SELECT objid, dec FROM G WHERE dec BETWEEN -1.0 AND 0.0 ORDER BY objid")
+        .expect("pruned gather");
+    fab.execute_sql("SELECT COUNT(*) FROM G").expect("aggregate gather");
 }
 
 /// Exercise the durability path end to end: commits through the WAL, a
@@ -130,6 +164,11 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "stardb.op.vector.batches",
     "stardb.op.vector.selectivity_pct",
     "stardb.op.vector.materialized_rows",
+    "stardb.dist.subqueries",
+    "stardb.dist.shards_pruned",
+    "stardb.dist.rows_shipped",
+    "stardb.dist.bytes_shipped",
+    "stardb.dist.retries",
 ];
 
 #[test]
@@ -170,6 +209,16 @@ fn table1_run_report_is_complete_and_round_trips() {
     assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99, "percentiles must be ordered");
     assert!(lat.p99 <= lat.max);
     assert!(report.histograms["stardb.wal.commit_latency_ns"].count > 0);
+    // The scatter–gather round moved the distributed-exchange family:
+    // subqueries fanned out, a shard was pruned, rows and bytes crossed
+    // the wire, the crash plan cost retries, and every gather recorded
+    // its end-to-end latency.
+    assert!(report.counters["stardb.dist.subqueries"] > 0);
+    assert!(report.counters["stardb.dist.shards_pruned"] > 0);
+    assert!(report.counters["stardb.dist.rows_shipped"] > 0);
+    assert!(report.counters["stardb.dist.bytes_shipped"] > 0);
+    assert!(report.counters["stardb.dist.retries"] > 0);
+    assert!(report.histograms["stardb.dist.gather_latency_ns"].count > 0);
 
     // Spans: the run is a root span, the Table 1 tasks nest under it.
     let root = report
@@ -200,9 +249,10 @@ fn table1_run_report_is_complete_and_round_trips() {
 
 /// Audit: the REQUIRED_COUNTERS list cannot silently fall behind the
 /// engine. Every counter the run actually registers under the planner,
-/// WAL, and per-operator namespaces must be asserted above — adding a new
-/// `stardb.plan.*` / `stardb.wal.*` / `stardb.op.*` counter without
-/// extending the acceptance list fails this test.
+/// WAL, per-operator, and distributed-exchange namespaces must be
+/// asserted above — adding a new `stardb.plan.*` / `stardb.wal.*` /
+/// `stardb.op.*` / `stardb.dist.*` counter without extending the
+/// acceptance list fails this test.
 #[test]
 fn required_counters_cover_every_registered_plan_wal_op_counter() {
     let _g = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -214,7 +264,7 @@ fn required_counters_cover_every_registered_plan_wal_op_counter() {
         .counters
         .keys()
         .filter(|name| {
-            ["stardb.plan.", "stardb.wal.", "stardb.op."]
+            ["stardb.plan.", "stardb.wal.", "stardb.op.", "stardb.dist."]
                 .iter()
                 .any(|p| name.starts_with(p))
         })
