@@ -265,3 +265,13 @@ fn top_n_pushes_the_limit_to_every_shard() {
     assert!(p.rows_shipped <= 4 * 5, "limit not pushed down: shipped {}", p.rows_shipped);
     assert!(p.subquery.contains("LIMIT 5"), "subquery lost the limit: {}", p.subquery);
 }
+
+#[test]
+fn review_distinct_limit_repro() {
+    let mut src = sample_db(400);
+    let f2 = fabric(&src, 2);
+    let sql = "SELECT DISTINCT cls FROM Galaxy ORDER BY cls LIMIT 4";
+    let engine = engine_rows(&mut src, sql);
+    let got = fabric_rows(&f2, sql);
+    assert_eq!(engine.len(), got.len(), "engine {} vs fabric {}", engine.len(), got.len());
+}
