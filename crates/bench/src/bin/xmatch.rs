@@ -1,0 +1,297 @@
+//! **Cross-survey XMatch sweep** — the planned zone join as an end-to-end
+//! workload: a truth catalog and its re-observation cross-matched by SQL,
+//! swept over local worker counts and 1/2/4/8 co-partitioned fabric nodes.
+//!
+//! Generates a `skysim` sky over a 90 deg² stripe (≈1.26 M truth galaxies
+//! at `--scale 1.0`), re-observes it as a second survey (90% complete,
+//! 0.3″ positional scatter), loads both as zoned survey tables, and runs
+//! the match radius as a planned zone join:
+//!
+//! * **Identity** — the pair catalog must be byte-for-byte identical at
+//!   every worker count and every node count (asserted).
+//! * **Pruning** — the zone join must examine strictly fewer candidate
+//!   pairs than the n₁·n₂ broadcast nested-loop cross product (asserted
+//!   from the `stardb.op.zonejoin.pairs_examined` counter).
+//! * **Speed** — wall time must beat a nested-loop matcher extrapolated
+//!   from a measured calibration slice by ≥ 5× (asserted).
+//! * **Physics** — the fraction of truth objects correctly matched must
+//!   sit inside the closed-form band `completeness · Rayleigh(r; σ)`
+//!   (asserted to ±0.02).
+//!
+//! ```text
+//! cargo run -p bench --release --bin xmatch [-- --scale 0.05 --seed 2005]
+//! ```
+//!
+//! Emits `BENCH_xmatch.json`.
+
+use bench::{BenchOpts, TextTable};
+use distfab::{DistCluster, DistConfig};
+use maxbcg::xmatch::{
+    brute_force_xmatch, create_survey_table, expected_match_rate, load_survey, run_xmatch,
+    XmatchObj, XmatchSpec,
+};
+use serde::Serialize;
+use skycore::kcorr::KcorrTable;
+use skycore::{SkyRegion, ZoneScheme};
+use skysim::{Sky, SkyConfig, SurveyConfig};
+use stardb::{Database, DbConfig, PlanOptions};
+use std::time::Instant;
+
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Match radius, arcseconds. 1″ over 0.3″ scatter puts the Rayleigh CDF
+/// at 0.996, so the expected correct-match rate is ≈ 0.9 · 0.996.
+const RADIUS_ARCSEC: f64 = 1.0;
+/// The paper's 30″ zone height: the radius spans a fraction of a zone, so
+/// the join band is ±1 zone.
+const ZONE_HEIGHT_DEG: f64 = 30.0 / 3600.0;
+
+/// One local measurement at a worker count.
+#[derive(Serialize)]
+struct WorkerPoint {
+    workers: usize,
+    wall_s: f64,
+    pairs: usize,
+    identical_to_one_worker: bool,
+}
+
+/// One fabric measurement at a node count.
+#[derive(Serialize)]
+struct NodePoint {
+    nodes: usize,
+    wall_s: f64,
+    rows_shipped: u64,
+    bytes_shipped: u64,
+    result_pairs: usize,
+    identical_to_local: bool,
+    co_partitioned: bool,
+}
+
+#[derive(Serialize)]
+struct XmatchReport {
+    scale: f64,
+    radius_arcsec: f64,
+    zone_height_deg: f64,
+    truth_objects: u64,
+    survey2_objects: u64,
+    pairs: u64,
+    correct_matches: u64,
+    match_rate: f64,
+    expected_match_rate: f64,
+    /// Candidate pairs the zone join actually examined (counter delta of
+    /// the canonical single-worker run).
+    pairs_examined: u64,
+    /// n₁ · n₂ — what a broadcast nested loop would examine.
+    cross_product_pairs: u64,
+    /// Measured nested-loop calibration: slice size and wall.
+    calibration_pairs: u64,
+    calibration_wall_s: f64,
+    /// The calibration extrapolated to the full cross product.
+    nested_loop_extrapolated_s: f64,
+    /// Canonical single-worker planned zone-join wall.
+    zone_join_wall_s: f64,
+    /// `nested_loop_extrapolated_s / zone_join_wall_s` — asserted ≥ 5.
+    speedup_vs_nested_loop: f64,
+    halo_rows: u64,
+    workers_sweep: Vec<WorkerPoint>,
+    nodes_sweep: Vec<NodePoint>,
+}
+
+/// Truth objects of the generated sky as `(objid, ra, dec)` triples.
+fn truth_objects(sky: &Sky) -> Vec<XmatchObj> {
+    sky.galaxies.iter().map(|g| (g.objid, g.ra, g.dec)).collect()
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    obs::set_enabled(true);
+    let region = SkyRegion::new(150.0, 186.0, 1.25, 3.75);
+    let kcorr = KcorrTable::generate(skycore::kcorr::KcorrConfig::default());
+    let sky = Sky::generate(region, &SkyConfig::scaled(opts.scale), &kcorr, opts.seed);
+    let survey_cfg = SurveyConfig::paper();
+    let obs2 = sky.second_survey(&survey_cfg, opts.seed + 1);
+    let truth = truth_objects(&sky);
+    let second: Vec<XmatchObj> = obs2.iter().map(|o| (o.objid, o.ra, o.dec)).collect();
+    let (n1, n2) = (truth.len() as u64, second.len() as u64);
+    println!(
+        "catalogs: {n1} truth x {n2} observed over {:.0} deg2 (scale {})",
+        (region.ra_max - region.ra_min) * (region.dec_max - region.dec_min),
+        opts.scale
+    );
+
+    let radius_deg = RADIUS_ARCSEC / 3600.0;
+    let scheme = ZoneScheme::with_height(ZONE_HEIGHT_DEG);
+    let max_dec = truth
+        .iter()
+        .chain(&second)
+        .map(|&(_, _, d)| d.abs())
+        .fold(0.0f64, f64::max);
+    let spec = XmatchSpec::new(radius_deg, scheme, max_dec);
+
+    let mut db = Database::new(DbConfig::in_memory());
+    create_survey_table(&mut db, "Survey1").expect("Survey1 schema");
+    create_survey_table(&mut db, "Survey2").expect("Survey2 schema");
+    load_survey(&mut db, "Survey1", &truth, &scheme, 0.0).expect("load truth");
+    load_survey(&mut db, "Survey2", &second, &scheme, spec.margin_deg()).expect("load survey2");
+
+    // Nested-loop calibration: measure the brute-force matcher on a slice
+    // and extrapolate its per-pair cost to the full cross product.
+    let m = 4000.min(truth.len()).min(second.len());
+    let t0 = Instant::now();
+    let calib = brute_force_xmatch(&truth[..m], &second[..m], &spec);
+    let calibration_wall_s = t0.elapsed().as_secs_f64();
+    let calibration_pairs = (m * m) as u64;
+    let per_pair_s = calibration_wall_s / calibration_pairs as f64;
+    let cross_product_pairs = n1 * n2;
+    let nested_loop_extrapolated_s = per_pair_s * cross_product_pairs as f64;
+    println!(
+        "nested-loop calibration: {m}x{m} slice in {calibration_wall_s:.3}s \
+         ({} matched) -> {nested_loop_extrapolated_s:.1}s extrapolated",
+        calib.len()
+    );
+
+    // Canonical single-worker run, with the pairs-examined counter delta.
+    let examined_c = obs::counter("stardb.op.zonejoin.pairs_examined");
+    let examined_before = examined_c.get();
+    let t0 = Instant::now();
+    let reference =
+        run_xmatch(&mut db, &spec, "Survey1", "Survey2", 1, &PlanOptions::default())
+            .expect("xmatch");
+    let zone_join_wall_s = t0.elapsed().as_secs_f64();
+    let pairs_examined = examined_c.get() - examined_before;
+    let speedup_vs_nested_loop = nested_loop_extrapolated_s / zone_join_wall_s;
+
+    let correct_matches = reference.iter().filter(|&&(a, b)| a == b).count() as u64;
+    let match_rate = correct_matches as f64 / n1 as f64;
+    let expected = expected_match_rate(
+        survey_cfg.completeness,
+        survey_cfg.scatter_arcsec,
+        radius_deg,
+    );
+    println!(
+        "{} pairs, {correct_matches} correct ({match_rate:.4} vs {expected:.4} expected), \
+         {pairs_examined} of {cross_product_pairs} candidate pairs examined, \
+         {zone_join_wall_s:.3}s wall ({speedup_vs_nested_loop:.1}x over nested loop)",
+        reference.len()
+    );
+
+    // Worker-count axis: the stripe decomposition must not change a byte.
+    let mut table = TextTable::new(&["axis", "workers/nodes", "wall (s)", "pairs", "identical"]);
+    let mut workers_sweep: Vec<WorkerPoint> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let t0 = Instant::now();
+        let pairs = run_xmatch(&mut db, &spec, "Survey1", "Survey2", workers, &PlanOptions::default())
+            .expect("xmatch");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let identical = pairs == reference;
+        assert!(identical, "{workers} workers diverged from the 1-worker catalog");
+        table.row(&[
+            "workers".into(),
+            workers.to_string(),
+            format!("{wall_s:.3}"),
+            pairs.len().to_string(),
+            identical.to_string(),
+        ]);
+        workers_sweep.push(WorkerPoint {
+            workers,
+            wall_s,
+            pairs: pairs.len(),
+            identical_to_one_worker: identical,
+        });
+    }
+
+    // Node-count axis: the co-partitioned fabric must answer identically
+    // with shard-local joins (no probe-side shuffle).
+    let sql = spec.sql("Survey1", "Survey2", None);
+    let mut nodes_sweep: Vec<NodePoint> = Vec::new();
+    for &nodes in &NODE_COUNTS {
+        let mut cfg = DistConfig::new(
+            nodes,
+            "Survey1",
+            "dec",
+            region.dec_min - 0.01,
+            region.dec_max + 0.01,
+        )
+        .with_co_shard("Survey2", "zoneid", spec.dzone());
+        cfg.scheme = scheme;
+        let fab = DistCluster::build(&db, cfg).expect("build fabric");
+        let co_partitioned = fab
+            .explain_lines(&sql, false)
+            .expect("explain")
+            .iter()
+            .any(|l| l.contains("co-partitioned"));
+        assert!(
+            nodes == 1 || co_partitioned,
+            "the fabric plan at {nodes} nodes is not co-partitioned"
+        );
+        let t0 = Instant::now();
+        let (_, rows) = fab.execute_sql(&sql).expect("fabric xmatch").rows().expect("rows");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let p = fab.last_dist().expect("profile");
+        let pairs: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|r| (r.i64(0).expect("objid1"), r.i64(1).expect("objid2")))
+            .collect();
+        let identical = pairs == reference;
+        assert!(identical, "{nodes} nodes diverged from the local catalog");
+        table.row(&[
+            "nodes".into(),
+            nodes.to_string(),
+            format!("{wall_s:.3}"),
+            pairs.len().to_string(),
+            identical.to_string(),
+        ]);
+        nodes_sweep.push(NodePoint {
+            nodes,
+            wall_s,
+            rows_shipped: p.rows_shipped,
+            bytes_shipped: p.bytes_shipped,
+            result_pairs: pairs.len(),
+            identical_to_local: identical,
+            co_partitioned,
+        });
+    }
+    print!("{}", table.render());
+
+    let halo_rows = obs::counter("stardb.op.zonejoin.halo_rows").get();
+    assert!(pairs_examined > 0, "the zone-join profile never moved");
+    assert!(
+        pairs_examined < cross_product_pairs,
+        "zone join examined {pairs_examined} pairs, no better than the \
+         {cross_product_pairs} cross product"
+    );
+    assert!(
+        speedup_vs_nested_loop >= 5.0,
+        "planned zone join must beat the extrapolated nested loop by >= 5x, \
+         got {speedup_vs_nested_loop:.2}x"
+    );
+    assert!(
+        (match_rate - expected).abs() <= 0.02,
+        "correct-match rate {match_rate:.4} outside the expected band around {expected:.4}"
+    );
+
+    let report = XmatchReport {
+        scale: opts.scale,
+        radius_arcsec: RADIUS_ARCSEC,
+        zone_height_deg: ZONE_HEIGHT_DEG,
+        truth_objects: n1,
+        survey2_objects: n2,
+        pairs: reference.len() as u64,
+        correct_matches,
+        match_rate,
+        expected_match_rate: expected,
+        pairs_examined,
+        cross_product_pairs,
+        calibration_pairs,
+        calibration_wall_s,
+        nested_loop_extrapolated_s,
+        zone_join_wall_s,
+        speedup_vs_nested_loop,
+        halo_rows,
+        workers_sweep,
+        nodes_sweep,
+    };
+    let path = opts.write_report("xmatch_sweep", &report);
+    println!("report written to {}", path.display());
+    opts.emit_report("xmatch", &report);
+}

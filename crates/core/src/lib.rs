@@ -22,6 +22,7 @@ pub mod region_query;
 pub mod schema;
 pub mod script;
 pub mod stats;
+pub mod xmatch;
 pub mod zone_cache;
 pub mod zone_task;
 
@@ -31,4 +32,8 @@ pub use partition::{
 };
 pub use pipeline::{IterationMode, MaxBcgConfig, MaxBcgDb};
 pub use stats::RunReport;
+pub use xmatch::{
+    brute_force_xmatch, create_survey_table, expected_match_rate, load_survey, run_xmatch,
+    XmatchObj, XmatchSpec,
+};
 pub use zone_cache::{ZoneBucket, ZoneSnapshot};

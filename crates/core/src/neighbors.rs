@@ -10,7 +10,7 @@
 use crate::zone_cache::{zobs, ZoneSnapshot};
 use crate::zone_task::zone_entry_from_payload;
 use skycore::angle::{chord2_of_deg, deg_of_chord_approx};
-use skycore::{UnitVec, ZoneScheme};
+use skycore::{ra_intervals, UnitVec, ZoneScheme};
 use stardb::{Database, DbResult, Value};
 use std::sync::OnceLock;
 
@@ -81,26 +81,6 @@ pub fn visit_nearby(
     visit: impl FnMut(i64, f64, f64) -> bool,
 ) -> DbResult<()> {
     visit_nearby_with(db, None, scheme, ra, dec, r, visit)
-}
-
-/// The RA window `[ra - x, ra + x]` mapped onto the wrapped `[0, 360)`
-/// circle as up to two *ascending* intervals (count in `.1`). Both scan
-/// paths iterate the same intervals in the same order, so a circle
-/// straddling RA 0/360 surfaces its far-side neighbors — and surfaces them
-/// in identical order on either path.
-fn ra_intervals(ra: f64, x: f64) -> ([(f64, f64); 2], usize) {
-    if x >= 180.0 {
-        // Window wider than the circle (pole-adjacent zones): scan it all.
-        return ([(0.0, 360.0), (0.0, 0.0)], 1);
-    }
-    let (lo, hi) = (ra - x, ra + x);
-    if lo < 0.0 {
-        ([(0.0, hi), (lo + 360.0, 360.0)], 2)
-    } else if hi > 360.0 {
-        ([(0.0, hi - 360.0), (lo, 360.0)], 2)
-    } else {
-        ([(lo, hi), (0.0, 0.0)], 1)
-    }
 }
 
 /// [`visit_nearby`] with an optional [`ZoneSnapshot`]: a fresh snapshot is

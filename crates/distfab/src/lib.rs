@@ -8,7 +8,10 @@
 //! substrates: [`stardb`] shards hosted on [`gridsim`] nodes, sharded by
 //! [`skycore::ShardMap`] — the *same* zone bucketing the MaxBCG partition
 //! driver uses, so the science pipeline and the query fabric can never
-//! disagree about who owns a declination.
+//! disagree about who owns a declination. Tables registered as co-shards
+//! ([`CoShard`]) ride that map zone-aligned with a halo fringe, so
+//! cross-survey zone-band joins run shard-local (DESIGN.md §6j) instead
+//! of broadcasting a survey through the coordinator.
 //!
 //! The flow for one query:
 //!
@@ -55,7 +58,7 @@ use stardb::dist::{
     merge_streams, merge_top_n, SortKey,
 };
 use stardb::sql::ast::{AggFunc, ColRef, OrderItem, Select, SelectItem, SqlExpr, Stmt, TableRef};
-use stardb::sql::{column_interval, parse};
+use stardb::sql::{column_interval, parse, zone_band_halo};
 use stardb::{
     ColumnBatch, Column, DataType, Database, DbConfig, DbError, DbResult, Row, Schema, SqlOutput,
     Value,
@@ -68,13 +71,32 @@ const SCRATCH: &str = "__dist_gather";
 // Configuration
 // ---------------------------------------------------------------------------
 
+/// A table co-partitioned with the shard table: zone-aligned on the same
+/// [`ShardMap`], with rows duplicated into every shard whose owned zone
+/// range lies within `halo_zones` of the row's zone. A zone-band join
+/// between the shard table and a co-sharded table whose band fits inside
+/// the halo can then run **shard-local** — every matching pair is
+/// produced exactly once, by the shard owning the left row's zone —
+/// instead of broadcasting a whole survey through the coordinator.
+#[derive(Debug, Clone)]
+pub struct CoShard {
+    /// The co-partitioned table.
+    pub table: String,
+    /// Its integer zone column (the routing key).
+    pub zone_col: String,
+    /// Halo half-width, zones: a row of zone `z` is also materialized on
+    /// each neighbor shard owning any zone in `[z - halo, z + halo]`.
+    pub halo_zones: i64,
+}
+
 /// How to shard a catalog over a simulated cluster.
 #[derive(Debug)]
 pub struct DistConfig {
     /// Number of shards == number of database nodes (shard `k` is homed
     /// on node `db{k}`).
     pub nodes: usize,
-    /// The partitioned table; every other table is replicated everywhere.
+    /// The partitioned table; every other table is replicated everywhere
+    /// unless listed in `co_shard`.
     pub shard_table: String,
     /// The declination column the zone bucketing keys on.
     pub shard_col: String,
@@ -92,6 +114,8 @@ pub struct DistConfig {
     pub blacklist_after: u32,
     /// Deterministic fault schedule injected into the scatter.
     pub faults: Option<FaultPlan>,
+    /// Tables co-partitioned with the shard table (zone-aligned + halo).
+    pub co_shard: Vec<CoShard>,
 }
 
 impl DistConfig {
@@ -109,6 +133,7 @@ impl DistConfig {
             retries: 3,
             blacklist_after: 2,
             faults: None,
+            co_shard: Vec::new(),
         }
     }
 
@@ -116,6 +141,22 @@ impl DistConfig {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Co-partition `table` with the shard table (builder style): routed
+    /// by its integer `zone_col` through the same shard map, with a
+    /// `halo_zones`-wide duplication fringe on shard boundaries.
+    pub fn with_co_shard(mut self, table: &str, zone_col: &str, halo_zones: i64) -> Self {
+        self.co_shard.push(CoShard {
+            table: table.to_owned(),
+            zone_col: zone_col.to_owned(),
+            halo_zones: halo_zones.max(0),
+        });
+        self
+    }
+
+    fn co_of(&self, table: &str) -> Option<&CoShard> {
+        self.co_shard.iter().find(|c| table.eq_ignore_ascii_case(&c.table))
     }
 }
 
@@ -199,6 +240,9 @@ struct DistPlan {
     contacted: (usize, usize),
     pruned: usize,
     gather: Gather,
+    /// Co-partitioned tables the plan leans on for shard-locality:
+    /// `(table, join band ±zones, provisioned halo ±zones)`.
+    co: Vec<(String, i64, i64)>,
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +340,52 @@ impl DistCluster {
                 for (shard, slice) in shards.iter_mut().zip(slices) {
                     shard.insert_rows(&table, slice)?;
                 }
+            } else if let Some(co) = cfg.co_of(&table).cloned() {
+                // Co-partitioned: routed by zone through the same map as
+                // the shard table, with halo duplicates on each neighbor
+                // shard owning zones within `halo_zones` — so zone-band
+                // joins against the shard table run shard-local. The
+                // coordinator keeps the only full copy (plan probing,
+                // broadcast finalization, and purely local queries).
+                let zone_idx = schema.col(&co.zone_col)?;
+                let mut slices: Vec<Vec<Row>> = vec![Vec::new(); cfg.nodes];
+                let mut halo_rows = 0u64;
+                for row in &rows {
+                    let z = match &row.0[zone_idx] {
+                        Value::Int(x) => Some(i64::from(*x)),
+                        Value::BigInt(x) => Some(*x),
+                        // NULL / non-integer zones can never satisfy a
+                        // zone-band join; park one copy deterministically.
+                        _ => None,
+                    };
+                    let mut placed = 0u64;
+                    if let Some(z) = z {
+                        for (k, slice) in slices.iter_mut().enumerate() {
+                            let (lo, hi) = map.shard_zones(k);
+                            if lo < hi
+                                && z + co.halo_zones >= i64::from(lo)
+                                && z - co.halo_zones < i64::from(hi)
+                            {
+                                slice.push(row.clone());
+                                placed += 1;
+                            }
+                        }
+                    }
+                    match placed {
+                        0 => {
+                            let clamped = z
+                                .unwrap_or(i64::MIN)
+                                .clamp(i64::from(i32::MIN), i64::from(i32::MAX));
+                            slices[map.shard_of_zone(clamped as i32)].push(row.clone());
+                        }
+                        n => halo_rows += n - 1,
+                    }
+                }
+                stardb::zonejoin_halo_rows().add(halo_rows);
+                for (shard, slice) in shards.iter_mut().zip(slices) {
+                    shard.insert_rows(&table, slice)?;
+                }
+                catalog.insert_rows(&table, rows)?;
             } else {
                 catalog.insert_rows(&table, rows.iter().cloned())?;
                 for shard in &mut shards {
@@ -512,9 +602,12 @@ impl DistCluster {
                     .iter()
                     .map(|payloads| decode_wire_stream(payloads, &dtypes, self.cfg.batch_rows))
                     .collect::<DbResult<_>>()?;
+                // DISTINCT must dedup *before* the top-n cut: duplicates
+                // of one value arriving from several shards would
+                // otherwise crowd distinct values out of the first n.
                 let mut rows = match limit {
-                    Some(n) => merge_top_n(&batches, keys, *n),
-                    None => merge_streams(&batches, keys),
+                    Some(n) if !*distinct => merge_top_n(&batches, keys, *n),
+                    _ => merge_streams(&batches, keys),
                 };
                 if *distinct {
                     rows = dedup_sorted_rows(rows);
@@ -591,6 +684,20 @@ impl DistCluster {
         if force_broadcast {
             return self.plan_broadcast(raw_sql, true);
         }
+        // Co-partitioning gate: a query touching co-sharded tables runs
+        // shard-local only when every such table carries a zone-band join
+        // conjunct no wider than its provisioned halo — otherwise a pair
+        // could straddle a shard boundary and the plan must broadcast.
+        let mut co: Vec<(String, i64, i64)> = Vec::new();
+        let mut tables = vec![&s.from];
+        tables.extend(s.joins.iter().map(|j| &j.table));
+        for t in &tables {
+            let Some(c) = self.cfg.co_of(&t.table) else { continue };
+            match zone_band_halo(s, &c.zone_col) {
+                Some(dz) if dz <= c.halo_zones => co.push((c.table.clone(), dz, c.halo_zones)),
+                _ => return self.plan_broadcast(raw_sql, false),
+            }
+        }
         let (contacted, pruned) = self.contacted_range(s);
         let aggregated = s.group_by.is_some()
             || s.items
@@ -602,7 +709,10 @@ impl DistCluster {
             self.plan_plain(s, contacted, pruned)
         };
         match planned {
-            Some(plan) => Ok(plan),
+            Some(mut plan) => {
+                plan.co = co;
+                Ok(plan)
+            }
             // Shapes the pushdown rewriter does not cover fall back to
             // shipping whole slices — slower, never wrong.
             None => self.plan_broadcast(raw_sql, false),
@@ -625,6 +735,7 @@ impl DistCluster {
                 temp_cols: None,
                 final_sql: raw_sql.to_owned(),
             },
+            co: Vec::new(),
         })
     }
 
@@ -724,6 +835,7 @@ impl DistCluster {
             contacted,
             pruned,
             gather: Gather::Merge { keys, visible, distinct: s.distinct, limit: s.limit },
+            co: Vec::new(),
         })
     }
 
@@ -869,6 +981,7 @@ impl DistCluster {
                     temp_cols: Some(cols),
                     final_sql: render_select(&final_q),
                 },
+                co: Vec::new(),
             });
         }
 
@@ -948,6 +1061,7 @@ impl DistCluster {
                 temp_cols: Some(cols),
                 final_sql: render_select(&final_q),
             },
+            co: Vec::new(),
         })
     }
 
@@ -1033,6 +1147,14 @@ impl DistCluster {
             ));
         }
         lines.push(head);
+        for (table, band, halo) in &plan.co {
+            lines.push(format!(
+                "  exchange[co-partitioned]: {table} zone-aligned with {}, \
+                 join band \u{b1}{band} zones within halo \u{b1}{halo} \u{2014} \
+                 shard-local join, no probe-side shuffle",
+                self.cfg.shard_table,
+            ));
+        }
         match &plan.gather {
             Gather::Merge { keys, visible, distinct, limit } => {
                 let mut l = format!(

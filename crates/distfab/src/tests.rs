@@ -275,3 +275,133 @@ fn review_distinct_limit_repro() {
     let got = fabric_rows(&f2, sql);
     assert_eq!(engine.len(), got.len(), "engine {} vs fabric {}", engine.len(), got.len());
 }
+
+// ---------------------------------------------------------------------------
+// Co-partitioned zone joins
+// ---------------------------------------------------------------------------
+
+/// Two zoned survey tables over dec [-5, 5): `Survey1` (the shard table,
+/// routed by dec) and `Survey2` (co-sharded by zoneid), with deterministic
+/// positions so roughly half the objects pair up within the band.
+fn xmatch_db(n: usize) -> Database {
+    let scheme = ZoneScheme::with_height(0.5);
+    let mut db = Database::new(DbConfig::in_memory());
+    let survey = Schema::new(vec![
+        Column::new("zoneid", DataType::Int),
+        Column::new("ra", DataType::Float),
+        Column::new("objid", DataType::BigInt),
+        Column::new("dec", DataType::Float),
+    ]);
+    db.create_clustered_table("Survey1", survey.clone(), &["zoneid", "ra", "objid"]).unwrap();
+    db.create_clustered_table("Survey2", survey, &["zoneid", "ra", "objid"]).unwrap();
+    let mut x = 0xBEEF_u64;
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for i in 0..n {
+        let ra = 170.0 + (lcg(&mut x) % 20_000) as f64 / 1000.0;
+        let dec = -5.0 + (lcg(&mut x) % 9_999) as f64 / 1000.0;
+        s1.push((i as i64, ra, dec));
+        // Every other object re-observed a touch away; the rest displaced
+        // far outside the match window.
+        let (dra, ddec) = if i % 2 == 0 { (0.01, 0.02) } else { (3.0, 1.0) };
+        s2.push((10_000 + i as i64, ra + dra, (dec + ddec).min(4.999)));
+    }
+    for (table, objs) in [("Survey1", s1), ("Survey2", s2)] {
+        let mut rows: Vec<Row> = objs
+            .into_iter()
+            .map(|(objid, ra, dec)| {
+                Row(vec![
+                    Value::Int(scheme.zone_of(dec)),
+                    Value::Float(ra),
+                    Value::BigInt(objid),
+                    Value::Float(dec),
+                ])
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0[0].total_cmp(&b.0[0]).then(a.0[1].total_cmp(&b.0[1])));
+        db.insert_rows(table, rows).unwrap();
+    }
+    db
+}
+
+fn co_fabric(src: &Database, nodes: usize, halo: i64) -> DistCluster {
+    let mut cfg = DistConfig::new(nodes, "Survey1", "dec", -5.0, 5.0)
+        .with_co_shard("Survey2", "zoneid", halo);
+    cfg.scheme = ZoneScheme::with_height(0.5);
+    DistCluster::build(src, cfg).unwrap()
+}
+
+const ZONE_JOIN: &str = "SELECT a.objid AS o1, b.objid AS o2 FROM Survey1 a \
+     JOIN Survey2 b ON b.zoneid BETWEEN a.zoneid - 1 AND a.zoneid + 1 \
+     WHERE b.ra BETWEEN a.ra - 0.1 AND a.ra + 0.1 ORDER BY o1, o2";
+
+#[test]
+fn co_partitioned_zone_join_is_shard_local_and_node_count_invariant() {
+    let mut src = xmatch_db(240);
+    let want = engine_rows(&mut src, ZONE_JOIN);
+    assert!(want.len() >= 100, "expected plenty of pairs, got {}", want.len());
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for nodes in [1, 2, 4, 8] {
+        let f = co_fabric(&src, nodes, 1);
+        let got = fabric_rows(&f, ZONE_JOIN);
+        let enc: Vec<Vec<u8>> = got.iter().map(Row::encode).collect();
+        assert_eq!(
+            enc,
+            want.iter().map(Row::encode).collect::<Vec<_>>(),
+            "co-sharded join diverged from the engine at {nodes} nodes"
+        );
+        match &reference {
+            Some(r) => assert_eq!(*r, enc, "answer changed between node counts"),
+            None => reference = Some(enc),
+        }
+        let p = f.last_dist().unwrap();
+        assert_eq!(p.mode, "merge", "zone join should run shard-local, not {}", p.mode);
+    }
+}
+
+#[test]
+fn halo_duplicates_exist_only_on_boundary_shards() {
+    let src = xmatch_db(240);
+    let f = co_fabric(&src, 4, 2);
+    let total: usize =
+        (0..4).map(|k| f.shards[k].lock().unwrap().scan("Survey2").unwrap().len()).sum();
+    assert!(total > 240, "halo fringe should duplicate boundary rows, held {total}");
+    assert!(total < 2 * 240, "halo should copy a fringe, not whole slices: {total}");
+    // The coordinator keeps the one full (duplicate-free) copy.
+    let n = f.catalog.lock().unwrap().scan("Survey2").unwrap().len();
+    assert_eq!(n, 240);
+}
+
+#[test]
+fn band_wider_than_the_halo_broadcasts_instead_of_answering_wrong() {
+    let mut src = xmatch_db(120);
+    let wide = "SELECT a.objid AS o1, b.objid AS o2 FROM Survey1 a \
+         JOIN Survey2 b ON b.zoneid BETWEEN a.zoneid - 3 AND a.zoneid + 3 \
+         WHERE b.ra BETWEEN a.ra - 0.1 AND a.ra + 0.1 ORDER BY o1, o2";
+    let want = engine_rows(&mut src, wide);
+    let f = co_fabric(&src, 4, 1);
+    let got = fabric_rows(&f, wide);
+    assert_eq!(multiset(&want), multiset(&got));
+    assert_eq!(f.last_dist().unwrap().mode, "broadcast");
+}
+
+#[test]
+fn co_shard_only_queries_answer_locally_from_the_catalog_copy() {
+    let src = xmatch_db(120);
+    let f = co_fabric(&src, 4, 1);
+    let rows = fabric_rows(&f, "SELECT COUNT(*) FROM Survey2");
+    assert_eq!(rows, vec![Row(vec![Value::BigInt(120)])]);
+    assert_eq!(f.last_dist().unwrap().mode, "local");
+}
+
+#[test]
+fn explain_renders_the_co_partitioned_exchange() {
+    let src = xmatch_db(120);
+    let f = co_fabric(&src, 4, 1);
+    let lines = f.explain_lines(ZONE_JOIN, false).unwrap();
+    assert!(
+        lines.iter().any(|l| l.contains("co-partitioned") && l.contains("Survey2")),
+        "missing co-partitioned exchange line: {lines:#?}"
+    );
+    assert!(lines[0].contains("gather[merge]"), "unexpected head: {}", lines[0]);
+}

@@ -27,4 +27,4 @@ pub use cosmology::Cosmology;
 pub use kcorr::{KcorrConfig, KcorrRow, KcorrTable};
 pub use region::SkyRegion;
 pub use types::{Candidate, Cluster, ClusterMember, Friend, Galaxy};
-pub use zones::{ShardMap, ZoneScheme};
+pub use zones::{ra_intervals, ShardMap, ZoneScheme};

@@ -120,6 +120,28 @@ impl ZoneScheme {
     }
 }
 
+/// The RA window `[ra - x, ra + x]` mapped onto the wrapped `[0, 360)`
+/// circle as up to two *ascending* intervals (count in `.1`). Every scan
+/// path iterates the same intervals in the same order, so a circle
+/// straddling RA 0/360 surfaces its far-side neighbors — and surfaces them
+/// in identical order on any path. A half-window of 180° or more covers
+/// the whole circle (pole-adjacent zones): one `[0, 360]` interval, scan
+/// it all and let the exact cuts filter.
+pub fn ra_intervals(ra: f64, x: f64) -> ([(f64, f64); 2], usize) {
+    if x >= 180.0 {
+        // Window wider than the circle (pole-adjacent zones): scan it all.
+        return ([(0.0, 360.0), (0.0, 0.0)], 1);
+    }
+    let (lo, hi) = (ra - x, ra + x);
+    if lo < 0.0 {
+        ([(0.0, hi), (lo + 360.0, 360.0)], 2)
+    } else if hi > 360.0 {
+        ([(0.0, hi - 360.0), (lo, 360.0)], 2)
+    } else {
+        ([(lo, hi), (0.0, 0.0)], 1)
+    }
+}
+
 /// A deterministic partition of a contiguous zone range into `n` shards.
 ///
 /// This is the single bucketing function shared by the in-process partition
@@ -391,6 +413,39 @@ mod tests {
         let dec: f64 = 90.0 - 0.001;
         let top_zone = s.zone_of((dec + 0.01).min(90.0 - 1e-12));
         assert_eq!(s.ra_half_window(dec, 0.01, top_zone), 360.0);
+    }
+
+    #[test]
+    fn ra_intervals_interior_window_is_one_interval() {
+        let ([a, _], n) = ra_intervals(180.0, 0.5);
+        assert_eq!(n, 1);
+        assert_eq!(a, (179.5, 180.5));
+    }
+
+    #[test]
+    fn ra_intervals_wrap_below_zero_splits_ascending() {
+        let ([a, b], n) = ra_intervals(0.2, 0.5);
+        assert_eq!(n, 2);
+        // Both intervals ascend and are listed low-first.
+        assert_eq!(a, (0.0, 0.7));
+        assert!((b.0 - 359.7).abs() < 1e-12 && b.1 == 360.0);
+    }
+
+    #[test]
+    fn ra_intervals_wrap_above_360_splits_ascending() {
+        let ([a, b], n) = ra_intervals(359.8, 0.5);
+        assert_eq!(n, 2);
+        assert!((a.1 - 0.3).abs() < 1e-12 && a.0 == 0.0);
+        assert_eq!(b, (359.3, 360.0));
+    }
+
+    #[test]
+    fn ra_intervals_saturated_window_scans_whole_circle() {
+        for &x in &[180.0, 200.0, 360.0] {
+            let ([a, _], n) = ra_intervals(10.0, x);
+            assert_eq!(n, 1);
+            assert_eq!(a, (0.0, 360.0));
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 pub mod catalog;
 pub mod config;
 pub mod rng;
+pub mod survey;
 
 pub use catalog::{Sky, TrueCluster};
 pub use config::{ClusterConfig, FieldConfig, SkyConfig};
+pub use survey::{SurveyConfig, SurveyObject};

@@ -1,0 +1,173 @@
+//! A second synthetic survey derived from a generated sky.
+//!
+//! Cross-survey workloads (DESIGN.md §6j) need two catalogs of the *same*
+//! sky observed differently: the second survey re-observes the truth
+//! galaxies with per-axis Gaussian positional scatter and Bernoulli
+//! incompleteness, so every emitted object carries its truth `objid` and a
+//! cross-match can be scored exactly — a matched pair is *correct* iff the
+//! objids agree, and the match rate has a closed form (completeness times
+//! the Rayleigh CDF of the match radius over the scatter).
+
+use crate::catalog::Sky;
+use crate::rng::{normal, stream};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the second survey re-observes the truth sky.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyConfig {
+    /// Probability a truth galaxy appears in the second survey.
+    pub completeness: f64,
+    /// Per-axis positional scatter, arcseconds (1-sigma). The separation
+    /// between a truth position and its re-observation is then Rayleigh
+    /// with this scale, so `P(sep < r) = 1 - exp(-r^2 / (2 sigma^2))`.
+    pub scatter_arcsec: f64,
+}
+
+impl SurveyConfig {
+    /// A plausible photometric follow-up: most objects re-detected, with
+    /// sub-arcsecond astrometry.
+    pub fn paper() -> SurveyConfig {
+        SurveyConfig { completeness: 0.9, scatter_arcsec: 0.3 }
+    }
+}
+
+impl Default for SurveyConfig {
+    fn default() -> SurveyConfig {
+        SurveyConfig::paper()
+    }
+}
+
+/// One object of the derived survey: the truth `objid` with the observed
+/// (scattered) position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyObject {
+    /// objid of the truth galaxy this observation came from.
+    pub objid: i64,
+    /// Observed right ascension, degrees, normalized to `[0, 360)`.
+    pub ra: f64,
+    /// Observed declination, degrees, clamped to `[-90, 90]`.
+    pub dec: f64,
+}
+
+impl Sky {
+    /// Re-observe this sky as a second survey. Deterministic in
+    /// `(self, config, seed)`; objects come out in truth objid order.
+    ///
+    /// The RA scatter is divided by `cos(dec)` so the *angular* scatter is
+    /// isotropic; observed RA wraps onto `[0, 360)` (a truth galaxy at
+    /// 359.9999° can scatter across the meridian) and dec clamps at the
+    /// poles.
+    pub fn second_survey(&self, config: &SurveyConfig, seed: u64) -> Vec<SurveyObject> {
+        let sigma_deg = config.scatter_arcsec / 3600.0;
+        let mut rng = stream(seed, "survey2");
+        let mut out = Vec::with_capacity(
+            (self.galaxies.len() as f64 * config.completeness).ceil() as usize,
+        );
+        for g in &self.galaxies {
+            // Draw the detection coin and both axis offsets for every truth
+            // galaxy, kept or not: the observed position of galaxy k then
+            // never depends on whether earlier galaxies were detected.
+            let detected = rng.gen::<f64>() < config.completeness;
+            let dra = normal(&mut rng, 0.0, sigma_deg);
+            let ddec = normal(&mut rng, 0.0, sigma_deg);
+            if !detected {
+                continue;
+            }
+            let cos_dec = g.dec.to_radians().cos().max(1e-6);
+            out.push(SurveyObject {
+                objid: g.objid,
+                ra: (g.ra + dra / cos_dec).rem_euclid(360.0),
+                dec: (g.dec + ddec).clamp(-90.0, 90.0),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkyConfig;
+    use skycore::kcorr::{KcorrConfig, KcorrTable};
+    use skycore::region::SkyRegion;
+
+    fn sky() -> Sky {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        let region = SkyRegion::new(180.0, 183.0, -1.5, 1.5);
+        Sky::generate(region, &SkyConfig::test(), &kcorr, 2005)
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let s = sky();
+        let cfg = SurveyConfig::paper();
+        let a = s.second_survey(&cfg, 11);
+        let b = s.second_survey(&cfg, 11);
+        assert_eq!(a, b);
+        let c = s.second_survey(&cfg, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn completeness_thins_the_catalog_to_the_configured_fraction() {
+        let s = sky();
+        let cfg = SurveyConfig { completeness: 0.7, scatter_arcsec: 0.3 };
+        let obs = s.second_survey(&cfg, 5);
+        let frac = obs.len() as f64 / s.galaxies.len() as f64;
+        assert!((frac - 0.7).abs() < 0.05, "kept fraction {frac}");
+        // objid order preserved, each objid a truth objid, no duplicates.
+        for w in obs.windows(2) {
+            assert!(w[0].objid < w[1].objid);
+        }
+    }
+
+    #[test]
+    fn scatter_matches_the_configured_sigma() {
+        let s = sky();
+        let cfg = SurveyConfig { completeness: 1.0, scatter_arcsec: 2.0 };
+        let obs = s.second_survey(&cfg, 5);
+        assert_eq!(obs.len(), s.galaxies.len());
+        let sigma_deg = cfg.scatter_arcsec / 3600.0;
+        let mut sum2 = 0.0;
+        for (g, o) in s.galaxies.iter().zip(&obs) {
+            assert_eq!(g.objid, o.objid);
+            let ddec = o.dec - g.dec;
+            let dra = (o.ra - g.ra) * g.dec.to_radians().cos();
+            sum2 += dra * dra + ddec * ddec;
+        }
+        // Mean squared angular offset of a 2D Gaussian is 2 sigma^2.
+        let got = (sum2 / obs.len() as f64).sqrt();
+        let expected = sigma_deg * std::f64::consts::SQRT_2;
+        assert!((got / expected - 1.0).abs() < 0.05, "rms {got} vs {expected}");
+    }
+
+    #[test]
+    fn dropping_a_galaxy_does_not_shift_later_positions() {
+        let s = sky();
+        let full = s.second_survey(&SurveyConfig { completeness: 1.0, scatter_arcsec: 1.0 }, 5);
+        let thin = s.second_survey(&SurveyConfig { completeness: 0.5, scatter_arcsec: 1.0 }, 5);
+        // Every thin observation equals its full-survey counterpart: the
+        // per-galaxy draw discipline means incompleteness only deletes.
+        let by_id: std::collections::HashMap<i64, &SurveyObject> =
+            full.iter().map(|o| (o.objid, o)).collect();
+        assert!(!thin.is_empty());
+        for o in &thin {
+            assert_eq!(*by_id[&o.objid], *o);
+        }
+    }
+
+    #[test]
+    fn observed_positions_stay_on_the_sphere() {
+        let kcorr = KcorrTable::generate(KcorrConfig::sql());
+        // A region hugging RA 0 so scatter wraps.
+        let region = SkyRegion::new(0.0, 0.5, -1.0, 1.0);
+        let s = Sky::generate(region, &SkyConfig::test(), &kcorr, 7);
+        let cfg = SurveyConfig { completeness: 1.0, scatter_arcsec: 30.0 };
+        let obs = s.second_survey(&cfg, 3);
+        assert!(obs.iter().all(|o| (0.0..360.0).contains(&o.ra)));
+        assert!(obs.iter().all(|o| (-90.0..=90.0).contains(&o.dec)));
+        // Some galaxy near ra=0 must have wrapped high.
+        assert!(obs.iter().any(|o| o.ra > 359.0), "expected RA wrap in the sample");
+    }
+}

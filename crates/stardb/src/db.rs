@@ -235,6 +235,11 @@ pub struct Database {
     /// unprofiled SELECT. Interior mutability because SELECTs run through
     /// `&Database`.
     last_profile: parking_lot::Mutex<Option<crate::sql::QueryProfile>>,
+    /// Zone maps built from full unfiltered scans, one per table, keyed by
+    /// [`Database::table_version`] epochs — stale maps are dropped on
+    /// lookup, so writers never invalidate explicitly. Interior mutability
+    /// because SELECTs run through `&Database`.
+    zonemaps: parking_lot::Mutex<HashMap<String, Arc<crate::zonemap::ZoneMap>>>,
 }
 
 /// Wall time of non-trivial commits (WAL append + fsync for durable
@@ -267,6 +272,7 @@ impl Database {
             catalog_dirty: false,
             last_catalog: Vec::new(),
             last_profile: parking_lot::Mutex::new(None),
+            zonemaps: parking_lot::Mutex::new(HashMap::new()),
         }
     }
 
@@ -302,6 +308,7 @@ impl Database {
             catalog_dirty: false,
             last_catalog: Vec::new(),
             last_profile: parking_lot::Mutex::new(None),
+            zonemaps: parking_lot::Mutex::new(HashMap::new()),
         };
         if let Some(bytes) = recovery.catalog {
             db.decode_catalog(&bytes)?;
@@ -763,6 +770,30 @@ impl Database {
         } else {
             t.commit_epoch
         })
+    }
+
+    /// The cached zone map for `table` at version `epoch`, if one is held.
+    /// A map built at any other version is stale: it is dropped from the
+    /// cache and `None` returned, so callers rebuild and re-store.
+    pub(crate) fn cached_zonemap(
+        &self,
+        table: &str,
+        epoch: u64,
+    ) -> Option<Arc<crate::zonemap::ZoneMap>> {
+        let mut maps = self.zonemaps.lock();
+        match maps.get(table) {
+            Some(m) if m.epoch() == epoch => Some(m.clone()),
+            Some(_) => {
+                maps.remove(table);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Cache a zone map built from a full unfiltered scan of `table`.
+    pub(crate) fn store_zonemap(&self, table: &str, map: Arc<crate::zonemap::ZoneMap>) {
+        self.zonemaps.lock().insert(table.to_string(), map);
     }
 
     /// Row count.

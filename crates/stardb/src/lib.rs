@@ -36,8 +36,13 @@ pub mod exec;
 pub mod expr;
 pub mod sql;
 pub mod stats;
+pub mod zonemap;
 
 pub use db::{BatchScan, ColChunk, Cursor, Database, DbConfig, DbReader, DbSnapshot, ScanChunk};
 pub use expr::{BinOp, Expr, Func};
-pub use sql::{JoinProfile, OpProfile, PlanOptions, PlanProfile, QueryProfile, SqlOutput};
+pub use sql::{
+    zone_band_halo, zonejoin_halo_rows, JoinProfile, OpProfile, PlanOptions, PlanProfile,
+    QueryProfile, SqlOutput,
+};
 pub use stats::{TableStats, TaskStats};
+pub use zonemap::ZoneMap;

@@ -20,5 +20,5 @@ mod tests;
 
 pub use engine::{execute, execute_with, SqlOutput};
 pub use parser::parse;
-pub use physical::{JoinProfile, OpProfile, PlanProfile, QueryProfile};
-pub use plan::{column_interval, PlanOptions};
+pub use physical::{zonejoin_halo_rows, JoinProfile, OpProfile, PlanProfile, QueryProfile};
+pub use plan::{column_interval, zone_band_halo, PlanOptions};

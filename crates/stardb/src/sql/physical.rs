@@ -32,7 +32,7 @@
 //! cannot drift from it. The unprofiled [`run`] path carries the same
 //! structs but never reads the clock and never allocates a profile.
 
-use super::plan::{Access, JoinStrategy, OutputShape, ScanNode, SelectPlan, Slot};
+use super::plan::{Access, JoinStrategy, OutputShape, ScanNode, SelectPlan, Slot, ZoneJoinSpec};
 use crate::colbatch::{ColumnBatch, ColumnHashTable, VPredicate};
 use crate::db::{BatchScan, Database};
 use crate::error::DbResult;
@@ -40,8 +40,9 @@ use crate::exec::{self, GroupState, HashTable, TopN};
 use crate::expr::Expr;
 use crate::row::Row;
 use crate::value::{DataType, Value};
+use crate::zonemap::ZoneMap;
 use std::collections::HashSet;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Maximum rows per pulled batch.
@@ -126,6 +127,40 @@ fn vector_counters() -> &'static VectorCounters {
         selectivity_pct: obs::counter("stardb.op.vector.selectivity_pct"),
         materialized_rows: obs::counter("stardb.op.vector.materialized_rows"),
     })
+}
+
+/// The `stardb.op.zonejoin.*` counter set of the zone-join operator,
+/// created together so a telemetry run reports the whole family even when
+/// parts stay zero. `pairs_examined` counts zone-map candidates (the rows
+/// a nested loop would have tested, minus everything the band pruning
+/// skipped); `halo_rows` counts build rows replicated into neighbor
+/// shards by the distributed fabric's ±Δzone halo exchange.
+pub(crate) struct ZoneJoinCounters {
+    /// Probe-side rows driven through the zone map.
+    pub probes: obs::Counter,
+    /// Candidate pairs surfaced by the zone band × RA window.
+    pub pairs_examined: obs::Counter,
+    /// Candidates surviving the full join conjunction.
+    pub pairs_matched: obs::Counter,
+    /// Rows copied into neighbor shards as a co-partitioned join halo.
+    pub halo_rows: obs::Counter,
+}
+
+pub(crate) fn zonejoin_counters() -> &'static ZoneJoinCounters {
+    static C: OnceLock<ZoneJoinCounters> = OnceLock::new();
+    C.get_or_init(|| ZoneJoinCounters {
+        probes: obs::counter("stardb.op.zonejoin.probes"),
+        pairs_examined: obs::counter("stardb.op.zonejoin.pairs_examined"),
+        pairs_matched: obs::counter("stardb.op.zonejoin.pairs_matched"),
+        halo_rows: obs::counter("stardb.op.zonejoin.halo_rows"),
+    })
+}
+
+/// The `stardb.op.zonejoin.halo_rows` counter, registered with its whole
+/// family — the distributed fabric bumps it once per build row replicated
+/// into a neighbor shard by the ±Δzone halo exchange.
+pub fn zonejoin_halo_rows() -> &'static obs::Counter {
+    &zonejoin_counters().halo_rows
 }
 
 // ---- profiles ---------------------------------------------------------------
@@ -354,6 +389,12 @@ fn build_rowwise<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbR
                 RightSide::Hash { table: HashTable::build(right, *right_col), left_col: *left_col }
             }
             JoinStrategy::NestedLoop { on } => RightSide::Loop { rows: right, on: Some(on) },
+            JoinStrategy::Zone { spec, on } => {
+                let map = zone_map_for(db, &join.right, spec, |epoch| {
+                    ZoneMap::from_rows(&right, spec.right_zone, spec.right_ra, epoch)
+                })?;
+                RightSide::Zone { rows: right, map, spec, on }
+            }
             JoinStrategy::Cross => RightSide::Loop { rows: right, on: None },
         };
         op = Op::Join(JoinExec {
@@ -362,6 +403,8 @@ fn build_rowwise<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> DbR
             tally: Tally::default(),
             build: build_prof,
             pairs: 0,
+            probes: 0,
+            matched: 0,
         });
         if let Some(post) = &join.post {
             op = Op::Filter(FilterExec {
@@ -431,6 +474,18 @@ fn build_vectorized<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> 
                 batch: right,
                 on: Some((*on).clone()),
             },
+            JoinStrategy::Zone { spec, on } => {
+                let map = zone_map_for(db, &join.right, spec, |epoch| {
+                    ZoneMap::from_batch(&right, spec.right_zone, spec.right_ra, epoch)
+                })?;
+                VRightSide::Zone {
+                    rows: right.to_rows(),
+                    batch: right,
+                    map,
+                    spec: spec.clone(),
+                    on: (*on).clone(),
+                }
+            }
             JoinStrategy::Cross => VRightSide::Loop { rows: Vec::new(), batch: right, on: None },
         };
         dtypes.extend(right_dtypes);
@@ -440,6 +495,8 @@ fn build_vectorized<'p>(db: &Database, plan: &'p SelectPlan, profiled: bool) -> 
             tally: Tally::default(),
             build: build_prof,
             pairs: 0,
+            probes: 0,
+            matched: 0,
         });
         if let Some(post) = &join.post {
             vop = VOp::Filter(VFilterExec {
@@ -535,6 +592,63 @@ fn drain_columns(
     Ok((out, prof))
 }
 
+/// Resolve the zone map for a join build side: served from the
+/// per-database cache when the build side is a full unfiltered table scan
+/// (any other access path or pushed predicate reorders or thins the
+/// drained rows, so its ordinals would not transfer) at a still-current
+/// `table_version`, rebuilt — and re-cached when eligible — otherwise.
+/// Either way the map's ordinals index the drained build rows in scan
+/// order.
+fn zone_map_for(
+    db: &Database,
+    node: &ScanNode,
+    spec: &ZoneJoinSpec,
+    build: impl FnOnce(u64) -> ZoneMap,
+) -> DbResult<Arc<ZoneMap>> {
+    zonejoin_counters(); // register the family even if adds stay zero
+    let epoch = db.table_version(&node.table)?;
+    let cacheable = matches!(node.access, Access::Full) && node.pred.is_none();
+    if cacheable {
+        if let Some(m) = db.cached_zonemap(&node.table, epoch) {
+            if m.key_cols() == (spec.right_zone, spec.right_ra) {
+                return Ok(m);
+            }
+        }
+    }
+    let m = Arc::new(build(epoch));
+    if cacheable {
+        db.store_zonemap(&node.table, m.clone());
+    }
+    Ok(m)
+}
+
+/// The probe window one left row opens in the zone map: the zone band
+/// `[zone - Δz, zone + Δz]` widened outward to cover f64 rounding (the
+/// evaluator compares in f64, and the candidate set may only ever be
+/// generous — the re-evaluated conjunction is exact), plus the RA window
+/// `[ra - w, ra + w]` computed exactly as the evaluator computes it.
+/// `None` when either key is NULL or non-numeric: such a row fails the
+/// BETWEEN outright and probes nothing.
+fn zone_probe_bounds(zone: &Value, ra: &Value, spec: &ZoneJoinSpec) -> Option<(i64, i64, f64, f64)> {
+    let lz = match zone {
+        Value::Int(i) => i64::from(*i),
+        Value::BigInt(i) => *i,
+        _ => return None,
+    };
+    let lr = match ra {
+        Value::Float(f) => *f,
+        Value::Real(f) => f64::from(*f),
+        Value::Int(i) => f64::from(*i),
+        Value::BigInt(i) => *i as f64,
+        _ => return None,
+    };
+    let lo_f = lz as f64 - spec.dz as f64;
+    let hi_f = lz as f64 + spec.dz as f64;
+    let zlo = if lo_f <= i64::MIN as f64 { i64::MIN } else { lo_f.floor() as i64 };
+    let zhi = if hi_f >= i64::MAX as f64 { i64::MAX } else { hi_f.ceil() as i64 };
+    Some((zlo, zhi, lr - spec.ra_w, lr + spec.ra_w))
+}
+
 /// Walk the finished operator tree root-to-leaf, moving each node's
 /// tallies into a [`PlanProfile`] shaped exactly like `plan`. The peel
 /// order is the reverse of [`build`], steered by the plan's own flags, so
@@ -625,6 +739,8 @@ fn collect(root: Op<'_>, plan: &SelectPlan) -> PlanProfile {
                 jp.hashed = matches!(x.side, RightSide::Hash { .. });
                 let extras = if jp.hashed {
                     vec![("build_rows", x.build.rows), ("probe_hits", x.tally.rows)]
+                } else if matches!(x.side, RightSide::Zone { .. }) {
+                    vec![("probes", x.probes), ("pairs", x.pairs), ("matched", x.matched)]
                 } else {
                     vec![("pairs", x.pairs)]
                 };
@@ -675,6 +791,8 @@ fn collect_vchain(root: VOp, plan: &SelectPlan, prof: &mut PlanProfile) {
                 jp.hashed = matches!(x.side, VRightSide::Hash { .. });
                 let extras = if jp.hashed {
                     vec![("build_rows", x.build.rows), ("probe_hits", x.tally.rows)]
+                } else if matches!(x.side, VRightSide::Zone { .. }) {
+                    vec![("probes", x.probes), ("pairs", x.pairs), ("matched", x.matched)]
                 } else {
                     vec![("pairs", x.pairs)]
                 };
@@ -909,6 +1027,11 @@ impl ScanExec {
 enum RightSide<'p> {
     Hash { table: HashTable, left_col: usize },
     Loop { rows: Vec<Row>, on: Option<&'p Expr> },
+    /// Zone join: candidates from a [`ZoneMap`] probe, sorted back into
+    /// build order, then the full conjunction `on` re-evaluated on each —
+    /// identical output to `Loop` over the same rows, strictly fewer
+    /// pairs evaluated.
+    Zone { rows: Vec<Row>, map: Arc<ZoneMap>, spec: &'p ZoneJoinSpec, on: &'p Expr },
 }
 
 struct JoinExec<'p> {
@@ -917,8 +1040,12 @@ struct JoinExec<'p> {
     tally: Tally,
     /// Profile of the right-side scan drained at build time.
     build: OpProfile,
-    /// Nested-loop pairs examined (profiled runs only).
+    /// Nested-loop / zone-join pairs examined (profiled runs only).
     pairs: u64,
+    /// Zone-join probes driven (profiled runs only).
+    probes: u64,
+    /// Zone-join pairs surviving the conjunction (profiled runs only).
+    matched: u64,
 }
 
 impl JoinExec<'_> {
@@ -928,6 +1055,46 @@ impl JoinExec<'_> {
         };
         match &mut self.side {
             RightSide::Hash { table, left_col } => Ok(Some(table.probe(&batch, *left_col))),
+            RightSide::Zone { rows, map, spec, on } => {
+                let c = zonejoin_counters();
+                c.probes.add(batch.len() as u64);
+                if profiled {
+                    self.probes += batch.len() as u64;
+                }
+                let mut out = Vec::with_capacity(batch.len());
+                let mut cands: Vec<u32> = Vec::new();
+                for l in &batch {
+                    cands.clear();
+                    if let Some((zlo, zhi, ra_lo, ra_hi)) =
+                        zone_probe_bounds(&l.0[spec.left_zone], &l.0[spec.left_ra], spec)
+                    {
+                        map.probe(zlo, zhi, ra_lo, ra_hi, &mut cands);
+                        // Build (= nested-loop) order restores the exact
+                        // output order of the reference pipeline.
+                        cands.sort_unstable();
+                    }
+                    c.pairs_examined.add(cands.len() as u64);
+                    exec::join_pairs().add(cands.len() as u64);
+                    if profiled {
+                        self.pairs += cands.len() as u64;
+                    }
+                    for &j in cands.iter() {
+                        let r = &rows[j as usize];
+                        let mut joined = Vec::with_capacity(l.arity() + r.arity());
+                        joined.extend_from_slice(&l.0);
+                        joined.extend_from_slice(&r.0);
+                        let joined = Row(joined);
+                        if on.matches(&joined)? {
+                            c.pairs_matched.incr();
+                            if profiled {
+                                self.matched += 1;
+                            }
+                            out.push(joined);
+                        }
+                    }
+                }
+                Ok(Some(out))
+            }
             RightSide::Loop { rows, on } => {
                 if profiled {
                     self.pairs += batch.len() as u64 * rows.len() as u64;
@@ -1351,6 +1518,10 @@ enum VRightSide {
     /// on materialized pair rows; `rows` is the inner side materialized
     /// once at build (empty for CROSS, which never evaluates rows).
     Loop { batch: ColumnBatch, rows: Vec<Row>, on: Option<Expr> },
+    /// Zone join: [`ZoneMap`] candidate probe, candidates restored to
+    /// build order, full ON re-evaluated per pair — identical output to
+    /// `Loop` over the same rows, strictly fewer pairs evaluated.
+    Zone { batch: ColumnBatch, rows: Vec<Row>, map: Arc<ZoneMap>, spec: ZoneJoinSpec, on: Expr },
 }
 
 struct VJoinExec {
@@ -1359,8 +1530,12 @@ struct VJoinExec {
     tally: Tally,
     /// Profile of the right-side scan drained at build time.
     build: OpProfile,
-    /// Nested-loop pairs examined (profiled runs only).
+    /// Nested-loop / zone-join pairs examined (profiled runs only).
     pairs: u64,
+    /// Zone-join probes driven (profiled runs only).
+    probes: u64,
+    /// Zone-join pairs surviving the conjunction (profiled runs only).
+    matched: u64,
 }
 
 impl VJoinExec {
@@ -1374,6 +1549,54 @@ impl VJoinExec {
                 let out = table.probe(&batch, *left_col)?;
                 exec::hash_join_rows().add(out.len() as u64);
                 Ok(Some(out))
+            }
+            VRightSide::Zone { batch: right, rows, map, spec, on } => {
+                let c = zonejoin_counters();
+                c.probes.add(batch.len() as u64);
+                if profiled {
+                    self.probes += batch.len() as u64;
+                }
+                let mut li: Vec<u32> = Vec::new();
+                let mut ri: Vec<u32> = Vec::new();
+                let mut cands: Vec<u32> = Vec::new();
+                let left_arity = batch.num_cols();
+                let mut joined =
+                    Row(Vec::with_capacity(left_arity + rows.first().map_or(0, Row::arity)));
+                for i in 0..batch.len() {
+                    cands.clear();
+                    if let Some((zlo, zhi, ra_lo, ra_hi)) = zone_probe_bounds(
+                        &batch.value(spec.left_zone, i),
+                        &batch.value(spec.left_ra, i),
+                        spec,
+                    ) {
+                        map.probe(zlo, zhi, ra_lo, ra_hi, &mut cands);
+                        // Build (= nested-loop) order restores the exact
+                        // output order of the reference pipeline.
+                        cands.sort_unstable();
+                    }
+                    c.pairs_examined.add(cands.len() as u64);
+                    exec::join_pairs().add(cands.len() as u64);
+                    if profiled {
+                        self.pairs += cands.len() as u64;
+                    }
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    batch.read_row_into(i, &mut joined.0);
+                    for &j in cands.iter() {
+                        joined.0.truncate(left_arity);
+                        joined.0.extend_from_slice(&rows[j as usize].0);
+                        if on.matches(&joined)? {
+                            c.pairs_matched.incr();
+                            if profiled {
+                                self.matched += 1;
+                            }
+                            li.push(i as u32);
+                            ri.push(j);
+                        }
+                    }
+                }
+                Ok(Some(ColumnBatch::concat_gather(&batch, &li, right, &ri)))
             }
             VRightSide::Loop { batch: right, rows, on } => {
                 let n = right.len();

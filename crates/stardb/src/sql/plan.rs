@@ -59,6 +59,12 @@ pub struct PlanOptions {
     pub hash_join: bool,
     /// Short-circuit `ORDER BY … LIMIT n` with a bounded top-N heap.
     pub top_n: bool,
+    /// Recognize the zone-join shape (`b.zoneid BETWEEN a.zoneid - Δz AND
+    /// a.zoneid + Δz` plus `b.ra BETWEEN a.ra - w AND a.ra + w`) and probe
+    /// a zone map of the inner side instead of examining every pair. The
+    /// full join conjunction is still re-evaluated on every candidate, so
+    /// results are byte-identical to the nested loop.
+    pub zone_join: bool,
     /// Exchange column-major [`crate::colbatch::ColumnBatch`]es between the
     /// scan/filter/join operators instead of `Vec<Row>` (rows materialize
     /// only at the pipeline boundary). Off = the row-at-a-time pipeline,
@@ -74,6 +80,7 @@ impl Default for PlanOptions {
             pushdown: true,
             hash_join: true,
             top_n: true,
+            zone_join: true,
             vectorized: true,
         }
     }
@@ -87,6 +94,7 @@ impl PlanOptions {
             pushdown: false,
             hash_join: false,
             top_n: false,
+            zone_join: false,
             vectorized: false,
         }
     }
@@ -321,6 +329,27 @@ pub(crate) struct ScanNode {
     pub est_rows: u64,
 }
 
+/// The recognized zone-join band shape: an equi-band on an integer zone
+/// column (`b.zoneid BETWEEN a.zoneid - dz AND a.zoneid + dz`) plus a
+/// float RA window (`b.ra BETWEEN a.ra - w AND a.ra + w`). Left columns
+/// are global (concatenated) positions; right columns are local to the
+/// right table, matching the drained build side.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ZoneJoinSpec {
+    /// Probe-side zone column, global position.
+    pub left_zone: usize,
+    /// Build-side zone column, right-local position.
+    pub right_zone: usize,
+    /// Zone half-band Δz (build rows within ±Δz zones qualify).
+    pub dz: i64,
+    /// Probe-side RA column, global position.
+    pub left_ra: usize,
+    /// Build-side RA column, right-local position.
+    pub right_ra: usize,
+    /// RA half-window in degrees.
+    pub ra_w: f64,
+}
+
 /// How a join combines its inputs.
 #[derive(Debug, Clone)]
 pub(crate) enum JoinStrategy {
@@ -329,6 +358,11 @@ pub(crate) enum JoinStrategy {
     Hash { left_col: usize, right_col: usize },
     /// Nested loop over a bound predicate (concatenated positions).
     NestedLoop { on: Expr },
+    /// Zone join: probe a [`crate::zonemap::ZoneMap`] of the right input
+    /// for the zone-band × RA-window candidates, then re-evaluate the
+    /// *full* original conjunction `on` (bands included) on each — a
+    /// strict candidate-pruning of the nested loop, byte-identical output.
+    Zone { spec: ZoneJoinSpec, on: Expr },
     /// No join predicate at all.
     Cross,
 }
@@ -484,11 +518,20 @@ pub(crate) fn plan_select(db: &Database, s: &Select, opts: &PlanOptions) -> DbRe
         }
     }
 
-    // Join strategy: pick one well-typed cross-boundary equality as a hash
-    // key; everything else stays as the nested-loop predicate.
+    // Join strategy: the zone-band shape beats everything (it prunes with
+    // both bands at once); otherwise pick one well-typed cross-boundary
+    // equality as a hash key; everything else stays as the nested-loop
+    // predicate.
     let mut join_nodes: Vec<(JoinStrategy, Option<Expr>, usize)> = Vec::new();
     for (k, conjuncts) in at_join.into_iter().enumerate() {
         let right_off = tables[k + 1].offset;
+        if opts.zone_join {
+            if let Some(spec) = zone_join_spec(&conjuncts, right_off, &dtypes) {
+                let on = Expr::join_conjuncts(conjuncts).expect("zone join has conjuncts");
+                join_nodes.push((JoinStrategy::Zone { spec, on }, None, 0));
+                continue;
+            }
+        }
         let mut hash: Option<(usize, usize)> = None;
         let mut rest: Vec<Expr> = Vec::new();
         for c in conjuncts {
@@ -618,6 +661,79 @@ fn hash_key(conjunct: &Expr, right_off: usize, dtypes: &[DataType]) -> Option<(u
     let hashable = dtypes[l] == dtypes[r]
         && matches!(dtypes[l], DataType::BigInt | DataType::Int | DataType::Text);
     hashable.then_some((l, r))
+}
+
+/// Detect a symmetric band conjunct `right_col BETWEEN left_col - w AND
+/// left_col + w` across the join boundary, with the same literal width on
+/// both bounds. Returns `(left_col, right_col, width)` in global
+/// positions.
+fn band_conjunct(c: &Expr, right_off: usize) -> Option<(usize, usize, Value)> {
+    let Expr::Between(v, lo, hi) = c else { return None };
+    let &Expr::Col(rc) = v.as_ref() else { return None };
+    if rc < right_off {
+        return None;
+    }
+    let Expr::Bin(BinOp::Sub, ll, lw) = lo.as_ref() else { return None };
+    let Expr::Bin(BinOp::Add, hl, hw) = hi.as_ref() else { return None };
+    let (&Expr::Col(lc), Expr::Lit(wl)) = (ll.as_ref(), lw.as_ref()) else { return None };
+    let (&Expr::Col(hc), Expr::Lit(wh)) = (hl.as_ref(), hw.as_ref()) else { return None };
+    if lc != hc || lc >= right_off || wl != wh {
+        return None;
+    }
+    Some((lc, rc, wl.clone()))
+}
+
+/// Recognize the zone-join shape among one join's conjuncts: an integer
+/// zone band plus a float RA band (see [`ZoneJoinSpec`]). Any further
+/// conjuncts (the great-circle distance residual) stay in the re-evaluated
+/// conjunction, so the recognition only has to find the two prunable
+/// bands.
+fn zone_join_spec(
+    conjuncts: &[Expr],
+    right_off: usize,
+    dtypes: &[DataType],
+) -> Option<ZoneJoinSpec> {
+    let mut zone: Option<(usize, usize, i64)> = None;
+    let mut ra: Option<(usize, usize, f64)> = None;
+    for c in conjuncts {
+        let Some((l, r, w)) = band_conjunct(c, right_off) else { continue };
+        let int_cols = matches!(dtypes[l], DataType::Int | DataType::BigInt)
+            && matches!(dtypes[r], DataType::Int | DataType::BigInt);
+        let float_cols = matches!(dtypes[l], DataType::Float | DataType::Real)
+            && matches!(dtypes[r], DataType::Float | DataType::Real);
+        if zone.is_none() && int_cols {
+            let dz = match w {
+                Value::Int(i) => i64::from(i),
+                Value::BigInt(i) => i,
+                _ => continue,
+            };
+            if dz >= 0 {
+                zone = Some((l, r, dz));
+                continue;
+            }
+        }
+        if ra.is_none() && float_cols {
+            let wv = match w {
+                Value::Float(f) => f,
+                Value::Real(f) => f64::from(f),
+                Value::Int(i) => f64::from(i),
+                Value::BigInt(i) => i as f64,
+                _ => continue,
+            };
+            if wv.is_finite() && wv >= 0.0 {
+                ra = Some((l, r, wv));
+            }
+        }
+    }
+    let ((lz, rz, dz), (lr, rr, ra_w)) = (zone?, ra?);
+    Some(ZoneJoinSpec {
+        left_zone: lz,
+        right_zone: rz - right_off,
+        dz,
+        left_ra: lr,
+        right_ra: rr - right_off,
+        ra_w,
+    })
 }
 
 /// Inclusive bounds a table's pushed conjuncts put on one column.
@@ -1072,6 +1188,10 @@ impl SelectPlan {
                         "nested-loop inner join {} AS {} ({} rows) on predicate",
                         r.table, r.alias, r.table_rows
                     ),
+                    JoinStrategy::Zone { spec, .. } => format!(
+                        "zone join {} AS {} ({} rows) within ±{} zones, ra ±{} deg",
+                        r.table, r.alias, r.table_rows, spec.dz, spec.ra_w
+                    ),
                 },
                 jp.map(|p| &p.join),
             ));
@@ -1223,6 +1343,58 @@ pub fn column_interval(s: &Select, column: &str) -> Option<(Option<f64>, Option<
         }
     }
     found.then_some((lo, hi))
+}
+
+/// The ±Δzone half-band a query's zone-join conjunct imposes between two
+/// references to `column`, extracted from the WHERE clause and every JOIN
+/// ON clause at the AST level: `x.column BETWEEN y.column - dz AND
+/// y.column + dz` with the same non-negative integer literal on both
+/// bounds. Returns `dz`, or `None` when no such conjunct exists.
+///
+/// Like [`column_interval`], this is a distributed-planner probe: the
+/// fabric compares the band against its co-partitioned halo width to
+/// decide whether a cross-match can run shard-local.
+pub fn zone_band_halo(s: &Select, column: &str) -> Option<i64> {
+    let mut stack: Vec<&SqlExpr> = Vec::new();
+    if let Some(f) = s.filter.as_ref() {
+        stack.push(f);
+    }
+    for j in &s.joins {
+        if let Some(on) = j.on.as_ref() {
+            stack.push(on);
+        }
+    }
+    while let Some(e) = stack.pop() {
+        match e {
+            SqlExpr::Bin { op: SqlBinOp::And, left, right } => {
+                stack.push(left);
+                stack.push(right);
+            }
+            SqlExpr::Between { expr, lo, hi } => {
+                if !is_col(expr, column) {
+                    continue;
+                }
+                let band = |bound: &SqlExpr, sub: bool| -> Option<i64> {
+                    let SqlExpr::Bin { op, left, right } = bound else { return None };
+                    let want = if sub { SqlBinOp::Sub } else { SqlBinOp::Add };
+                    if *op != want || !is_col(left, column) {
+                        return None;
+                    }
+                    match right.as_ref() {
+                        SqlExpr::Integer(i) if *i >= 0 => Some(*i),
+                        _ => None,
+                    }
+                };
+                if let (Some(a), Some(b)) = (band(lo, true), band(hi, false)) {
+                    if a == b {
+                        return Some(a);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn is_col(e: &SqlExpr, column: &str) -> bool {

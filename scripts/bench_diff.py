@@ -40,6 +40,14 @@ METRICS = [
     ("stardb.op.vector.batches", "counter"),
     ("stardb.op.vector.selectivity_pct", "counter"),
     ("stardb.op.vector.materialized_rows", "counter"),
+    ("stardb.op.zonejoin.probes", "counter"),
+    ("stardb.op.zonejoin.pairs_examined", "counter"),
+    ("stardb.op.zonejoin.pairs_matched", "counter"),
+    ("stardb.op.zonejoin.halo_rows", "counter"),
+    ("maxbcg.xmatch.runs", "counter"),
+    ("maxbcg.xmatch.stripes", "counter"),
+    ("maxbcg.xmatch.margin_rows", "counter"),
+    ("maxbcg.xmatch.pairs", "counter"),
     ("stardb.dist.subqueries", "counter"),
     ("stardb.dist.shards_pruned", "counter"),
     ("stardb.dist.rows_shipped", "counter"),

@@ -44,7 +44,40 @@ fn tiny_run_with(
     // And a small scatter–gather round (with an always-crash first attempt
     // so failover retries register) for the stardb.dist.* family.
     dist_exercise();
+    // And a small cross-survey zone join, single-node then co-sharded,
+    // for the stardb.op.zonejoin.* and maxbcg.xmatch.* families.
+    xmatch_exercise();
     (db.candidates().expect("candidates"), db.clusters().expect("clusters"), members)
+}
+
+/// Exercise the cross-survey zone join end to end: a planned single-node
+/// xmatch (zone-join operator counters, xmatch pipeline counters), then
+/// the same surveys re-sharded over a 2-node co-partitioned fabric whose
+/// boundary halo duplicates move `stardb.op.zonejoin.halo_rows`.
+fn xmatch_exercise() {
+    use distfab::{DistCluster, DistConfig};
+    use maxbcg::xmatch::{create_survey_table, load_survey, run_xmatch, XmatchSpec};
+    use skycore::ZoneScheme;
+    let scheme = ZoneScheme::with_height(0.5);
+    let spec = XmatchSpec::new(0.1, scheme, 5.0);
+    let mut db = Database::new(DbConfig::in_memory());
+    create_survey_table(&mut db, "Survey1").unwrap();
+    create_survey_table(&mut db, "Survey2").unwrap();
+    let a: Vec<(i64, f64, f64)> =
+        (0..48).map(|i| (i, 10.0 + 0.2 * i as f64, -4.4 + i as f64 * 8.8 / 48.0)).collect();
+    let b: Vec<(i64, f64, f64)> =
+        a.iter().map(|&(id, ra, dec)| (100 + id, ra + 0.01, dec)).collect();
+    load_survey(&mut db, "Survey1", &a, &scheme, 0.0).unwrap();
+    load_survey(&mut db, "Survey2", &b, &scheme, spec.margin_deg()).unwrap();
+    let pairs =
+        run_xmatch(&mut db, &spec, "Survey1", "Survey2", 1, &stardb::PlanOptions::default())
+            .unwrap();
+    assert_eq!(pairs.len(), 48, "xmatch exercise must pair every object");
+    let mut cfg = DistConfig::new(2, "Survey1", "dec", -4.5, 4.5)
+        .with_co_shard("Survey2", "zoneid", spec.dzone());
+    cfg.scheme = scheme;
+    let fab = DistCluster::build(&db, cfg).expect("co-sharded fabric");
+    fab.execute_sql(&spec.sql("Survey1", "Survey2", None)).expect("co-sharded xmatch");
 }
 
 /// Exercise the distributed fabric end to end: a zone-pruned merge gather
@@ -164,6 +197,14 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "stardb.op.vector.batches",
     "stardb.op.vector.selectivity_pct",
     "stardb.op.vector.materialized_rows",
+    "stardb.op.zonejoin.probes",
+    "stardb.op.zonejoin.pairs_examined",
+    "stardb.op.zonejoin.pairs_matched",
+    "stardb.op.zonejoin.halo_rows",
+    "maxbcg.xmatch.runs",
+    "maxbcg.xmatch.stripes",
+    "maxbcg.xmatch.margin_rows",
+    "maxbcg.xmatch.pairs",
     "stardb.dist.subqueries",
     "stardb.dist.shards_pruned",
     "stardb.dist.rows_shipped",
@@ -219,6 +260,15 @@ fn table1_run_report_is_complete_and_round_trips() {
     assert!(report.counters["stardb.dist.bytes_shipped"] > 0);
     assert!(report.counters["stardb.dist.retries"] > 0);
     assert!(report.histograms["stardb.dist.gather_latency_ns"].count > 0);
+    // The cross-survey round moved the zone-join operator family: probes
+    // walked the zone map, candidate pairs were examined and matched, and
+    // the co-partitioned rebuild shipped halo duplicates.
+    assert!(report.counters["stardb.op.zonejoin.probes"] > 0);
+    assert!(report.counters["stardb.op.zonejoin.pairs_examined"] > 0);
+    assert!(report.counters["stardb.op.zonejoin.pairs_matched"] > 0);
+    assert!(report.counters["stardb.op.zonejoin.halo_rows"] > 0);
+    assert!(report.counters["maxbcg.xmatch.runs"] >= 1);
+    assert!(report.counters["maxbcg.xmatch.pairs"] >= 48);
 
     // Spans: the run is a root span, the Table 1 tasks nest under it.
     let root = report
